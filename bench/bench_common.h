@@ -1,0 +1,57 @@
+#ifndef OWLQR_BENCH_BENCH_COMMON_H_
+#define OWLQR_BENCH_BENCH_COMMON_H_
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "core/rewriters.h"
+#include "core/rewriting_context.h"
+#include "workloads/paper_workloads.h"
+
+namespace owlqr {
+namespace bench {
+
+// The Section 6 scenario: Example 11 ontology plus a shared rewriting
+// context.  One static instance per bench binary.
+struct Scenario {
+  Vocabulary vocab;
+  std::unique_ptr<TBox> tbox;
+  std::unique_ptr<RewritingContext> ctx;
+
+  Scenario() {
+    tbox = MakeExample11TBox(&vocab);
+    ctx = std::make_unique<RewritingContext>(*tbox);
+  }
+
+  static Scenario& Get() {
+    static Scenario* instance = new Scenario();
+    return *instance;
+  }
+};
+
+// The rewriters in the column order of the paper's tables; UCQ stands in for
+// Rapid/Clipper and PrestoLike for Presto (see DESIGN.md).
+inline constexpr RewriterKind kTableKinds[] = {
+    RewriterKind::kUcq, RewriterKind::kPrestoLike, RewriterKind::kLin,
+    RewriterKind::kLog, RewriterKind::kTw,          RewriterKind::kTwStar};
+
+inline const char* kSequences[3] = {kSequence1, kSequence2, kSequence3};
+
+// Scale factor for the Table 2 datasets: OWLQR_SCALE in (0, 1], default 0.1
+// (set OWLQR_SCALE=1 to reproduce the paper's sizes).
+inline double DatasetScale() {
+  const char* env = std::getenv("OWLQR_SCALE");
+  return env != nullptr ? std::atof(env) : 0.1;
+}
+
+// IDB-tuple budget standing in for the paper's 999 s evaluation timeout.
+inline long TupleBudget() {
+  const char* env = std::getenv("OWLQR_TUPLE_BUDGET");
+  return env != nullptr ? std::atol(env) : 2'000'000L;
+}
+
+}  // namespace bench
+}  // namespace owlqr
+
+#endif  // OWLQR_BENCH_BENCH_COMMON_H_

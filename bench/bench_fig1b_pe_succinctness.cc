@@ -1,0 +1,58 @@
+// Figure 1(b) illustration: the succinctness gap between NDL and PE
+// rewritings.  For the OMQ(1,1,2) workload the paper proves polynomial-size
+// NDL rewritings exist but polynomial-size PE rewritings do not (for the
+// bounded-depth/bounded-leaf classes).  This bench reports, per query
+// length, the size of each optimal NDL rewriting next to the size of its PE
+// unfolding (computed exactly by dynamic programming, without materialising
+// the formula) and the UCQ (= Sigma_2 PE) size.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "pe/pe_formula.h"
+
+namespace owlqr {
+namespace bench {
+namespace {
+
+void BM_PeSuccinctness(benchmark::State& state) {
+  Scenario& s = Scenario::Get();
+  int length = static_cast<int>(state.range(0));
+  RewriterKind kind = kTableKinds[state.range(1)];
+  std::string word(kSequence1, 0, static_cast<size_t>(length));
+  ConjunctiveQuery query = SequenceQuery(&s.vocab, word);
+
+  long ndl_size = 0;
+  long pe_size = 0;
+  for (auto _ : state) {
+    NdlProgram program = RewriteOmq(s.ctx.get(), query, kind);
+    ndl_size = program.SizeInSymbols();
+    pe_size = UnfoldedPeSize(program);
+    benchmark::DoNotOptimize(pe_size);
+  }
+  state.counters["NdlSize"] = static_cast<double>(ndl_size);
+  state.counters["PeSize"] = static_cast<double>(pe_size);
+  state.counters["Ratio"] =
+      static_cast<double>(pe_size) / static_cast<double>(ndl_size);
+  state.SetLabel(std::string(RewriterName(kind)) + " " + word);
+}
+
+void RegisterAll() {
+  for (int length : {3, 6, 9, 12, 15}) {
+    for (int kind : {2, 3, 4, 0}) {  // Lin, Log, Tw, UCQ.
+      std::string name = "Fig1b/len" + std::to_string(length) + "/" +
+                         RewriterName(kTableKinds[kind]);
+      benchmark::RegisterBenchmark(name.c_str(), BM_PeSuccinctness)
+          ->Args({length, kind})
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+}
+
+int dummy = (RegisterAll(), 0);
+
+}  // namespace
+}  // namespace bench
+}  // namespace owlqr
+
+BENCHMARK_MAIN();

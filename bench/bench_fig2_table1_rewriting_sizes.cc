@@ -1,0 +1,60 @@
+// Reproduces Figure 2 and Table 1: the number of clauses in the
+// NDL-rewritings produced by the six algorithms for the 1..15-atom prefixes
+// of the three {R,S}-sequences over the Example 11 ontology.
+//
+// Expected shape: UCQ (~Rapid/Clipper) and PrestoLike (~Presto) grow
+// exponentially in the number of independent tree witnesses; Lin, Log, Tw and
+// Tw* grow linearly.  The `Clauses` counter is the paper's reported metric.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+namespace owlqr {
+namespace bench {
+namespace {
+
+void BM_RewritingSize(benchmark::State& state) {
+  Scenario& s = Scenario::Get();
+  int sequence = static_cast<int>(state.range(0));
+  int length = static_cast<int>(state.range(1));
+  RewriterKind kind = kTableKinds[state.range(2)];
+  std::string word(kSequences[sequence], 0, length);
+  ConjunctiveQuery query = SequenceQuery(&s.vocab, word);
+
+  long clauses = 0;
+  bool truncated = false;
+  for (auto _ : state) {
+    RewriteOptions options;
+    options.truncated = &truncated;
+    NdlProgram program = RewriteOmq(s.ctx.get(), query, kind, options);
+    clauses = program.num_clauses();
+    benchmark::DoNotOptimize(clauses);
+  }
+  state.counters["Clauses"] = static_cast<double>(clauses);
+  state.counters["Truncated"] = truncated ? 1 : 0;
+  state.SetLabel(std::string(RewriterName(kind)) + " " + word);
+}
+
+void RegisterAll() {
+  for (int sequence = 0; sequence < 3; ++sequence) {
+    for (int length = 1; length <= 15; ++length) {
+      for (int kind = 0; kind < 6; ++kind) {
+        std::string name = "Fig2/seq" + std::to_string(sequence + 1) +
+                           "/len" + std::to_string(length) + "/" +
+                           RewriterName(kTableKinds[kind]);
+        benchmark::RegisterBenchmark(name.c_str(), BM_RewritingSize)
+            ->Args({sequence, length, kind})
+            ->Unit(benchmark::kMillisecond);
+      }
+    }
+  }
+}
+
+int dummy = (RegisterAll(), 0);
+
+}  // namespace
+}  // namespace bench
+}  // namespace owlqr
+
+BENCHMARK_MAIN();

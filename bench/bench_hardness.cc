@@ -1,0 +1,87 @@
+// The negative results (Sections 4-5) as measurements: how the reference
+// answering engine scales on the hardness constructions.
+//  - Theorem 15 (hitting set): growing the parameter k.
+//  - Theorem 17 (SAT, fixed ontology T-dagger): growing the CNF.
+//  - Theorem 22 (hardest LOGCFL language, fixed T-double-dagger): word length.
+// Counters report construction sizes (|T| axioms, |q| atoms).
+
+#include <benchmark/benchmark.h>
+
+#include "chase/certain_answers.h"
+#include "reductions/hardest_logcfl.h"
+#include "reductions/hitting_set.h"
+#include "reductions/sat.h"
+
+namespace owlqr {
+namespace bench {
+namespace {
+
+void BM_HittingSet(benchmark::State& state) {
+  int k = static_cast<int>(state.range(0));
+  Hypergraph h{4, {{1, 3}, {2, 3}, {1, 2}, {2, 4}}};
+  Vocabulary vocab;
+  HittingSetOmq omq = MakeHittingSetOmq(&vocab, h, k);
+  bool holds = false;
+  for (auto _ : state) {
+    holds = IsCertainAnswer(*omq.tbox, omq.query, omq.data, {});
+    benchmark::DoNotOptimize(holds);
+  }
+  state.counters["TBoxAxioms"] = omq.tbox->NumAxioms();
+  state.counters["QueryAtoms"] = static_cast<double>(omq.query.atoms().size());
+  state.counters["Holds"] = holds ? 1 : 0;
+}
+
+void BM_SatOmq(benchmark::State& state) {
+  int vars = static_cast<int>(state.range(0));
+  // The "all distinct pairs" CNF over `vars` variables: satisfiable.
+  Cnf phi;
+  phi.num_vars = vars;
+  for (int i = 1; i <= vars; ++i) {
+    for (int j = i + 1; j <= vars; ++j) phi.clauses.push_back({i, j});
+  }
+  Vocabulary vocab;
+  auto tbox = MakeTDagger(&vocab);
+  ConjunctiveQuery query = MakeSatQuery(&vocab, *tbox, phi);
+  DataInstance data = MakeSatData(&vocab);
+  bool holds = false;
+  for (auto _ : state) {
+    holds = IsCertainAnswer(*tbox, query, data, {});
+    benchmark::DoNotOptimize(holds);
+  }
+  state.counters["TBoxAxioms"] = tbox->NumAxioms();
+  state.counters["QueryAtoms"] = static_cast<double>(query.atoms().size());
+  state.counters["Holds"] = holds ? 1 : 0;
+}
+
+void BM_HardestLanguage(benchmark::State& state) {
+  int blocks = static_cast<int>(state.range(0));
+  // w = [a#b][ab...]: one choice block repeated; in L.
+  std::string word;
+  word += "[a#ab]";
+  for (int i = 1; i < blocks; ++i) word += "[b#ba]";
+  Vocabulary vocab;
+  auto tbox = MakeTDoubleDagger(&vocab);
+  ConjunctiveQuery query = MakeWordQuery(&vocab, word);
+  DataInstance data = MakeWordData(&vocab);
+  bool holds = false;
+  for (auto _ : state) {
+    holds = IsCertainAnswer(*tbox, query, data, {});
+    benchmark::DoNotOptimize(holds);
+  }
+  state.counters["WordLength"] = static_cast<double>(word.size());
+  state.counters["QueryAtoms"] = static_cast<double>(query.atoms().size());
+  state.counters["Holds"] = holds ? 1 : 0;
+  state.counters["InL"] = InHardestLanguage(word) ? 1 : 0;
+}
+
+BENCHMARK(BM_HittingSet)->DenseRange(1, 3)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SatOmq)->DenseRange(2, 4)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_HardestLanguage)
+    ->DenseRange(1, 3)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace owlqr
+
+BENCHMARK_MAIN();

@@ -1,0 +1,81 @@
+// The parallelisability angle of the paper's complexity results: LOGCFL
+// rewritings (Log, Tw) have logarithmic dependence depth — "in theory, such
+// algorithms are known to be space efficient and highly parallelisable"
+// (Section 1).  This bench reports, per rewriting, the machine-independent
+// parallel profile — dependence depth (parallel steps) and level widths
+// (available parallelism) — plus the wall-clock of the level-parallel
+// evaluator at 1 and 4 threads.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+
+#include "bench_common.h"
+#include "ndl/evaluator.h"
+
+namespace owlqr {
+namespace bench {
+namespace {
+
+void BM_Parallelism(benchmark::State& state) {
+  Scenario& s = Scenario::Get();
+  int length = static_cast<int>(state.range(0));
+  RewriterKind kind = kTableKinds[state.range(1)];
+  int threads = static_cast<int>(state.range(2));
+  std::string word(kSequence1, 0, static_cast<size_t>(length));
+  ConjunctiveQuery query = SequenceQuery(&s.vocab, word);
+  RewriteOptions options;
+  options.arbitrary_instances = true;
+  NdlProgram program = RewriteOmq(s.ctx.get(), query, kind, options);
+
+  auto levels = program.TopologicalLevels();
+  size_t max_width = 0;
+  size_t total = 0;
+  for (const auto& level : levels) {
+    max_width = std::max(max_width, level.size());
+    total += level.size();
+  }
+
+  auto configs = Table2Configs(DatasetScale());
+  DataInstance data = GenerateDataset(&s.vocab, *s.tbox, configs[0]);
+  EvaluationStats stats;
+  for (auto _ : state) {
+    EvaluatorLimits limits;
+    limits.max_generated_tuples = TupleBudget();
+    limits.max_work = 20 * TupleBudget();
+    Evaluator eval(program, data, limits);
+    auto answers = eval.EvaluateParallel(threads, &stats);
+    benchmark::DoNotOptimize(answers);
+  }
+  state.counters["ParallelDepth"] = static_cast<double>(levels.size());
+  state.counters["MaxLevelWidth"] = static_cast<double>(max_width);
+  state.counters["IdbPredicates"] = static_cast<double>(total);
+  state.counters["GeneratedTuples"] =
+      static_cast<double>(stats.generated_tuples);
+  state.SetLabel(std::string(RewriterName(kind)) + " " + word + " t" +
+                 std::to_string(threads));
+}
+
+void RegisterAll() {
+  for (int length : {7, 15}) {
+    for (int kind : {2, 3, 4}) {  // Lin, Log, Tw.
+      for (int threads : {1, 4}) {
+        std::string name = "Parallelism/len" + std::to_string(length) + "/" +
+                           RewriterName(kTableKinds[kind]) + "/t" +
+                           std::to_string(threads);
+        benchmark::RegisterBenchmark(name.c_str(), BM_Parallelism)
+            ->Args({length, kind, threads})
+            ->Unit(benchmark::kMillisecond)
+            ->Iterations(1);
+      }
+    }
+  }
+}
+
+int dummy = (RegisterAll(), 0);
+
+}  // namespace
+}  // namespace bench
+}  // namespace owlqr
+
+BENCHMARK_MAIN();

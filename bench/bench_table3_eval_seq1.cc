@@ -1,0 +1,14 @@
+// Reproduces Table 3: evaluation of the six rewritings of Sequence 1
+// prefixes over the four Table 2 datasets (see eval_table_common.h).
+
+#include "eval_table_common.h"
+
+namespace owlqr {
+namespace bench {
+namespace {
+int dummy = (RegisterEvalTable("Table3", 0), 0);
+}  // namespace
+}  // namespace bench
+}  // namespace owlqr
+
+BENCHMARK_MAIN();

@@ -1,0 +1,182 @@
+// A command-line OBDA tool: rewrite an ontology-mediated query to
+// nonrecursive datalog and (optionally) evaluate it over data.
+//
+//   $ ./example_owlqr_cli ONTOLOGY QUERY [DATA] [--rewriter=KIND]
+//                         [--print-rewriting] [--sql] [--complete-instances]
+//
+//   ONTOLOGY  file in the ParseTBox syntax (see src/syntax/parser.h)
+//   QUERY     file with one query:  q(x) :- R(x, y), A(y)
+//   DATA      optional file with facts:  A(a). R(a, b).
+//   KIND      lin | log | tw | twstar | ucq | presto | auto   (default auto;
+//             auto picks by the paper's Figure 1 classes and, when data is
+//             given, by the Section 6 cost model)
+//
+// Example:
+//   ./example_owlqr_cli onto.txt query.txt data.txt --rewriter=lin
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/cost_model.h"
+#include "core/omq.h"
+#include "core/rewriters.h"
+#include "ndl/evaluator.h"
+#include "syntax/parser.h"
+#include "syntax/sql_export.h"
+
+namespace {
+
+bool ReadFile(const char* path, std::string* out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace owlqr;
+  const char* ontology_path = nullptr;
+  const char* query_path = nullptr;
+  const char* data_path = nullptr;
+  std::string rewriter = "auto";
+  bool print_rewriting = false;
+  bool print_sql = false;
+  bool complete_instances = false;
+
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--rewriter=", 11) == 0) {
+      rewriter = argv[i] + 11;
+    } else if (std::strcmp(argv[i], "--print-rewriting") == 0) {
+      print_rewriting = true;
+    } else if (std::strcmp(argv[i], "--sql") == 0) {
+      print_sql = true;
+    } else if (std::strcmp(argv[i], "--complete-instances") == 0) {
+      complete_instances = true;
+    } else if (ontology_path == nullptr) {
+      ontology_path = argv[i];
+    } else if (query_path == nullptr) {
+      query_path = argv[i];
+    } else if (data_path == nullptr) {
+      data_path = argv[i];
+    } else {
+      std::fprintf(stderr, "unexpected argument: %s\n", argv[i]);
+      return 2;
+    }
+  }
+  if (ontology_path == nullptr || query_path == nullptr) {
+    std::fprintf(stderr,
+                 "usage: %s ONTOLOGY QUERY [DATA] [--rewriter=KIND] "
+                 "[--print-rewriting] [--complete-instances]\n",
+                 argv[0]);
+    return 2;
+  }
+
+  std::string text, error;
+  Vocabulary vocab;
+  TBox tbox(&vocab);
+  if (!ReadFile(ontology_path, &text)) {
+    std::fprintf(stderr, "cannot read %s\n", ontology_path);
+    return 1;
+  }
+  if (!ParseTBox(text, &tbox, &error)) {
+    std::fprintf(stderr, "%s: %s\n", ontology_path, error.c_str());
+    return 1;
+  }
+  tbox.Normalize();
+
+  if (!ReadFile(query_path, &text)) {
+    std::fprintf(stderr, "cannot read %s\n", query_path);
+    return 1;
+  }
+  auto query = ParseQuery(text, &vocab, &error);
+  if (!query.has_value()) {
+    std::fprintf(stderr, "%s: %s\n", query_path, error.c_str());
+    return 1;
+  }
+
+  DataInstance data(&vocab);
+  bool have_data = data_path != nullptr;
+  if (have_data) {
+    if (!ReadFile(data_path, &text)) {
+      std::fprintf(stderr, "cannot read %s\n", data_path);
+      return 1;
+    }
+    if (!ParseData(text, &data, &error)) {
+      std::fprintf(stderr, "%s: %s\n", data_path, error.c_str());
+      return 1;
+    }
+  }
+
+  RewritingContext ctx(tbox);
+  OmqProfile profile = ProfileOmq(ctx, *query);
+  std::fprintf(stderr, "profile: %s\n", profile.ToString().c_str());
+
+  RewriteOptions options;
+  options.arbitrary_instances = !complete_instances;
+  NdlProgram program(&vocab);
+  RewriterKind kind;
+  if (rewriter == "auto") {
+    if (have_data && profile.tree_shaped && profile.finite_depth()) {
+      DataStatistics stats = DataStatistics::FromInstance(data);
+      program = CostBasedRewrite(&ctx, *query, stats, options, &kind);
+    } else {
+      kind = profile.RecommendedRewriter();
+      program = RewriteOmq(&ctx, *query, kind, options);
+    }
+  } else {
+    if (rewriter == "lin") {
+      kind = RewriterKind::kLin;
+    } else if (rewriter == "log") {
+      kind = RewriterKind::kLog;
+    } else if (rewriter == "tw") {
+      kind = RewriterKind::kTw;
+    } else if (rewriter == "twstar") {
+      kind = RewriterKind::kTwStar;
+    } else if (rewriter == "ucq") {
+      kind = RewriterKind::kUcq;
+    } else if (rewriter == "presto") {
+      kind = RewriterKind::kPrestoLike;
+    } else {
+      std::fprintf(stderr, "unknown rewriter: %s\n", rewriter.c_str());
+      return 2;
+    }
+    program = RewriteOmq(&ctx, *query, kind, options);
+  }
+  std::fprintf(stderr, "rewriter: %s (%d clauses, depth %d, width %d)\n",
+               RewriterName(kind), program.num_clauses(), program.Depth(),
+               program.Width());
+
+  if (print_sql) {
+    SqlExport sql = ExportSql(program);
+    std::printf("%s\n%s\n-- answers: SELECT * FROM %s;\n",
+                sql.create_tables.c_str(), sql.create_views.c_str(),
+                sql.goal_view.c_str());
+  } else if (print_rewriting || !have_data) {
+    std::printf("%s", program.ToString().c_str());
+  }
+  if (have_data) {
+    EvaluationStats stats;
+    Evaluator eval(program, data);
+    auto answers = eval.Evaluate(&stats);
+    for (const auto& tuple : answers) {
+      for (size_t i = 0; i < tuple.size(); ++i) {
+        std::printf("%s%s", i > 0 ? "\t" : "",
+                    vocab.IndividualName(tuple[i]).c_str());
+      }
+      std::printf("\n");
+    }
+    if (query->IsBoolean()) {
+      std::printf("%s\n", answers.empty() ? "false" : "true");
+    }
+    std::fprintf(stderr, "%ld answers, %ld tuples materialised\n",
+                 stats.goal_tuples, stats.generated_tuples);
+  }
+  return 0;
+}

@@ -1,0 +1,196 @@
+#include "chase/canonical_model.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "data/completion.h"
+#include "util/logging.h"
+
+namespace owlqr {
+
+CanonicalModel::CanonicalModel(const TBox& tbox, const Saturation& saturation,
+                               const WordGraph& word_graph,
+                               const DataInstance& data, int max_depth)
+    : tbox_(tbox),
+      saturation_(saturation),
+      word_graph_(word_graph),
+      completed_(CompleteInstance(data, tbox, saturation)),
+      max_depth_(max_depth) {
+  // Level 0: individuals.
+  for (int a : completed_.individuals()) {
+    element_of_individual_[a] = num_elements();
+    elements_.push_back({a, -1, kNoRole, 0});
+    children_.emplace_back();
+    expanded_.push_back(false);
+  }
+  num_individuals_ = num_elements();
+
+  // ABox adjacency for RoleSuccessors over individuals.
+  for (int predicate : completed_.ActivePredicates()) {
+    for (auto [s, o] : completed_.RolePairs(predicate)) {
+      subj_to_obj_[predicate][s].push_back(o);
+      obj_to_subj_[predicate][o].push_back(s);
+    }
+  }
+}
+
+void CanonicalModel::Expand(int e) const {
+  if (expanded_[e]) return;
+  expanded_[e] = true;
+  const Element elem = elements_[e];
+  if (elem.depth >= max_depth_) return;
+  if (elem.parent < 0) {
+    // A null a.rho exists iff T,A |= exists y rho(a, y) (visible as the
+    // assertion A_rho(a) after completion) and rho is non-reflexive (i.e.
+    // rho is a word-graph node).
+    for (RoleId rho : word_graph_.nodes()) {
+      int exists_concept = tbox_.ExistsConcept(rho);
+      if (exists_concept < 0) continue;
+      if (!completed_.HasConceptAssertion(exists_concept, elem.individual)) {
+        continue;
+      }
+      int child = num_elements();
+      elements_.push_back({elem.individual, e, rho, 1});
+      children_.emplace_back();
+      expanded_.push_back(false);
+      children_[e].push_back(child);
+    }
+  } else {
+    for (RoleId rho : word_graph_.Successors(elem.last_role)) {
+      int child = num_elements();
+      elements_.push_back({elem.individual, e, rho, elem.depth + 1});
+      children_.emplace_back();
+      expanded_.push_back(false);
+      children_[e].push_back(child);
+    }
+  }
+}
+
+const std::vector<int>& CanonicalModel::Children(int e) const {
+  Expand(e);
+  return children_[e];
+}
+
+void CanonicalModel::MaterializeAll() {
+  for (int e = 0; e < num_elements(); ++e) Expand(e);
+}
+
+const std::vector<int>& CanonicalModel::RepresentativeNulls() const {
+  if (representatives_computed_) return representatives_;
+  representatives_computed_ = true;
+  // BFS over elements, keeping the first (shallowest) occurrence per last
+  // letter.  The frontier only expands through *new* letters, so this visits
+  // at most |roles| + 1 levels of each letter path.
+  std::vector<bool> seen_letter(2 * tbox_.vocabulary()->num_predicates(),
+                                false);
+  std::queue<int> queue;
+  for (int e = 0; e < num_individuals_; ++e) queue.push(e);
+  while (!queue.empty()) {
+    int e = queue.front();
+    queue.pop();
+    for (int child : Children(e)) {
+      RoleId rho = elements_[child].last_role;
+      if (rho < static_cast<int>(seen_letter.size()) && seen_letter[rho]) {
+        continue;
+      }
+      if (rho < static_cast<int>(seen_letter.size())) seen_letter[rho] = true;
+      representatives_.push_back(child);
+      queue.push(child);
+    }
+  }
+  return representatives_;
+}
+
+std::vector<int> CanonicalModel::DepthOneNulls() const {
+  std::vector<int> out;
+  for (int e = 0; e < num_individuals_; ++e) {
+    for (int child : Children(e)) out.push_back(child);
+  }
+  return out;
+}
+
+int CanonicalModel::ElementOfIndividual(int individual) const {
+  auto it = element_of_individual_.find(individual);
+  return it == element_of_individual_.end() ? -1 : it->second;
+}
+
+bool CanonicalModel::HasConcept(int e, int concept_id) const {
+  const Element& elem = elements_[e];
+  if (elem.parent < 0) {
+    return completed_.HasConceptAssertion(concept_id, elem.individual);
+  }
+  return saturation_.InverseExistsImpliesConcept(elem.last_role, concept_id);
+}
+
+bool CanonicalModel::HasBasicConcept(int e, const BasicConcept& c) const {
+  switch (c.kind) {
+    case BasicConcept::Kind::kTop:
+      return true;
+    case BasicConcept::Kind::kAtomic:
+      return HasConcept(e, c.id);
+    case BasicConcept::Kind::kExists: {
+      const Element& elem = elements_[e];
+      if (elem.parent < 0) {
+        int exists_concept = tbox_.ExistsConcept(c.id);
+        if (exists_concept >= 0) {
+          return completed_.HasConceptAssertion(exists_concept,
+                                                elem.individual);
+        }
+        // Role outside the TBox: only the raw data can witness it.
+        int pred = PredicateOf(c.id);
+        const auto& map = IsInverse(c.id) ? obj_to_subj_ : subj_to_obj_;
+        auto it = map.find(pred);
+        return it != map.end() && it->second.count(elem.individual) > 0;
+      }
+      return saturation_.SubConcept(
+          BasicConcept::Exists(Inverse(elem.last_role)), c);
+    }
+  }
+  return false;
+}
+
+bool CanonicalModel::HasRole(RoleId rho, int u, int v) const {
+  const Element& eu = elements_[u];
+  const Element& ev = elements_[v];
+  if (eu.parent < 0 && ev.parent < 0) {
+    return completed_.HasRoleAssertionForRole(rho, eu.individual,
+                                              ev.individual);
+  }
+  if (u == v) return saturation_.Reflexive(rho);
+  if (ev.parent == u) return saturation_.SubRole(ev.last_role, rho);
+  if (eu.parent == v) return saturation_.SubRole(eu.last_role, Inverse(rho));
+  return false;
+}
+
+std::vector<int> CanonicalModel::RoleSuccessors(RoleId rho, int u) const {
+  std::vector<int> out;
+  const Element& eu = elements_[u];
+  if (eu.parent < 0) {
+    // ABox successors (the completed instance already contains all derived
+    // role atoms, so a direct lookup suffices).
+    int pred = PredicateOf(rho);
+    const auto& map = IsInverse(rho) ? obj_to_subj_ : subj_to_obj_;
+    auto it = map.find(pred);
+    if (it != map.end()) {
+      auto jt = it->second.find(eu.individual);
+      if (jt != it->second.end()) {
+        for (int b : jt->second) out.push_back(ElementOfIndividual(b));
+      }
+    }
+  } else {
+    if (saturation_.SubRole(eu.last_role, Inverse(rho))) {
+      out.push_back(eu.parent);
+    }
+  }
+  if (saturation_.Reflexive(rho)) out.push_back(u);
+  for (int child : Children(u)) {
+    if (saturation_.SubRole(elements_[child].last_role, rho)) {
+      out.push_back(child);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace owlqr

@@ -1,0 +1,103 @@
+#ifndef OWLQR_CHASE_CANONICAL_MODEL_H_
+#define OWLQR_CHASE_CANONICAL_MODEL_H_
+
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "data/data_instance.h"
+#include "ontology/saturation.h"
+#include "ontology/tbox.h"
+#include "ontology/word_graph.h"
+
+namespace owlqr {
+
+// A lazily materialised prefix of the canonical model C_{T,A} (Section 2),
+// up to `max_depth` levels of labelled nulls below each individual.
+//
+// Elements are dense indices.  Individuals of ind(A) come first; every other
+// element is a labelled null a.rho_1...rho_n represented by its parent
+// element and the last role rho_n.  The witness-creation rule follows the
+// paper exactly: a null a.rho exists iff T,A |= exists y rho(a, y) and rho is
+// not reflexive; a null w.rho.rho' exists iff rho -> rho' is a W_T edge.
+//
+// Children are created on first access (Children / RoleSuccessors), so large
+// infinite-depth models cost only what a search actually explores;
+// `num_elements()` grows accordingly.  Use MaterializeAll() when a full
+// enumeration up to max_depth is required.
+class CanonicalModel {
+ public:
+  struct Element {
+    int individual;   // Base individual (vocabulary id).
+    int parent;       // Parent element, or -1 for individuals.
+    RoleId last_role; // kNoRole for individuals.
+    int depth;        // 0 for individuals.
+  };
+
+  // `data` need not be complete; it is completed internally.
+  CanonicalModel(const TBox& tbox, const Saturation& saturation,
+                 const WordGraph& word_graph, const DataInstance& data,
+                 int max_depth);
+
+  int num_elements() const { return static_cast<int>(elements_.size()); }
+  const Element& element(int e) const { return elements_[e]; }
+  bool IsIndividual(int e) const { return elements_[e].parent < 0; }
+  int num_individuals() const { return num_individuals_; }
+  // Element index of a vocabulary individual; -1 if not in ind(A).
+  int ElementOfIndividual(int individual) const;
+
+  // Entailed concept membership C_{T,A} |= A(e).
+  bool HasConcept(int e, int concept_id) const;
+  bool HasBasicConcept(int e, const BasicConcept& c) const;
+
+  // Entailed role membership C_{T,A} |= rho(u, v).
+  bool HasRole(RoleId rho, int u, int v) const;
+  // All v with C_{T,A} |= rho(u, v) in the depth-bounded model (children are
+  // materialised on demand).
+  std::vector<int> RoleSuccessors(RoleId rho, int u) const;
+
+  const std::vector<int>& Children(int e) const;
+
+  // Materialises every element up to max_depth (may be huge for branching
+  // infinite-depth ontologies; prefer the lazy accessors).
+  void MaterializeAll();
+
+  // One canonical labelled null per reachable last letter rho, at its
+  // shallowest occurrence.  Any fully-anonymous homomorphism can be shifted
+  // so that its minimal element is one of these (the subtree below a null
+  // depends only on its last letter), so these suffice as search seeds for
+  // existential variables.
+  const std::vector<int>& RepresentativeNulls() const;
+
+  // All depth-1 nulls (materialises level 1).
+  std::vector<int> DepthOneNulls() const;
+
+  const DataInstance& completed_data() const { return completed_; }
+  const Saturation& saturation() const { return saturation_; }
+  const TBox& tbox() const { return tbox_; }
+  int max_depth() const { return max_depth_; }
+
+ private:
+  // Creates the children of `e` if not yet done.
+  void Expand(int e) const;
+
+  const TBox& tbox_;
+  const Saturation& saturation_;
+  const WordGraph& word_graph_;
+  DataInstance completed_;
+  int max_depth_;
+  int num_individuals_ = 0;
+  mutable std::vector<Element> elements_;
+  mutable std::vector<std::vector<int>> children_;
+  mutable std::vector<bool> expanded_;
+  mutable std::vector<int> representatives_;
+  mutable bool representatives_computed_ = false;
+  std::unordered_map<int, int> element_of_individual_;
+  // Completed-ABox adjacency: predicate -> subject -> objects, and inverse.
+  std::map<int, std::unordered_map<int, std::vector<int>>> subj_to_obj_;
+  std::map<int, std::unordered_map<int, std::vector<int>>> obj_to_subj_;
+};
+
+}  // namespace owlqr
+
+#endif  // OWLQR_CHASE_CANONICAL_MODEL_H_

@@ -1,0 +1,171 @@
+#include "chase/certain_answers.h"
+
+#include <algorithm>
+#include <map>
+#include <queue>
+
+#include "chase/canonical_model.h"
+#include "chase/homomorphism.h"
+#include "data/completion.h"
+#include "ontology/saturation.h"
+#include "ontology/word_graph.h"
+
+namespace owlqr {
+
+namespace {
+
+// BFS distances (in letters, >= 1) of the word-graph nodes from the feasible
+// first letters of the completed instance; unreachable letters are absent.
+std::map<RoleId, int> LetterDistances(const TBox& tbox,
+                                      const WordGraph& word_graph,
+                                      const DataInstance& completed) {
+  std::map<RoleId, int> dist;
+  std::queue<RoleId> queue;
+  for (RoleId rho : word_graph.nodes()) {
+    int exists_concept = tbox.ExistsConcept(rho);
+    if (exists_concept < 0) continue;
+    if (!completed.ConceptMembers(exists_concept).empty()) {
+      dist[rho] = 1;
+      queue.push(rho);
+    }
+  }
+  while (!queue.empty()) {
+    RoleId rho = queue.front();
+    queue.pop();
+    for (RoleId next : word_graph.Successors(rho)) {
+      if (dist.count(next) == 0) {
+        dist[next] = dist[rho] + 1;
+        queue.push(next);
+      }
+    }
+  }
+  return dist;
+}
+
+// A sufficient materialisation depth for answering a query with
+// `num_query_vars` variables over `data`: any homomorphism can be shifted so
+// that each fully-anonymous part hangs below the shallowest occurrence of its
+// minimal element's last letter (subtrees depend only on that letter), so
+// depth max_letter_distance + num_query_vars suffices.
+int SufficientDepth(const TBox& tbox, const WordGraph& word_graph,
+                    const DataInstance& completed, int num_query_vars) {
+  int deepest = 0;
+  for (const auto& [rho, d] : LetterDistances(tbox, word_graph, completed)) {
+    deepest = std::max(deepest, d);
+  }
+  return deepest + num_query_vars;
+}
+
+}  // namespace
+
+CertainAnswersResult ComputeCertainAnswers(const TBox& tbox,
+                                           const ConjunctiveQuery& query,
+                                           const DataInstance& data) {
+  CertainAnswersResult result;
+  if (!IsConsistent(tbox, data)) {
+    result.consistent = false;
+    return result;
+  }
+  Saturation saturation(tbox);
+  WordGraph word_graph(tbox, saturation);
+  DataInstance completed = CompleteInstance(data, tbox, saturation);
+  int depth = SufficientDepth(tbox, word_graph, completed, query.num_vars());
+  CanonicalModel model(tbox, saturation, word_graph, completed, depth);
+  HomomorphismSearch search(query, model);
+  result.answers = search.AllAnswers();
+  return result;
+}
+
+bool IsCertainAnswer(const TBox& tbox, const ConjunctiveQuery& query,
+                     const DataInstance& data, const std::vector<int>& answer) {
+  if (!IsConsistent(tbox, data)) return true;
+  Saturation saturation(tbox);
+  WordGraph word_graph(tbox, saturation);
+  DataInstance completed = CompleteInstance(data, tbox, saturation);
+  int depth = SufficientDepth(tbox, word_graph, completed, query.num_vars());
+  CanonicalModel model(tbox, saturation, word_graph, completed, depth);
+  HomomorphismSearch search(query, model);
+  if (query.IsBoolean()) return answer.empty() && search.Exists();
+  return search.ExistsWithAnswer(answer);
+}
+
+bool IsConsistent(const TBox& tbox, const DataInstance& data) {
+  Saturation saturation(tbox);
+  WordGraph word_graph(tbox, saturation);
+  DataInstance completed = CompleteInstance(data, tbox, saturation);
+  if (completed.individuals().empty()) return true;
+  std::map<RoleId, int> letters =
+      LetterDistances(tbox, word_graph, completed);
+
+  // Basic concepts holding at nulls with last letter rho are exactly those
+  // entailed by exists rho^-; at individuals they are read off the completed
+  // instance.
+  auto holds_at_individual = [&](const BasicConcept& c, int a) {
+    switch (c.kind) {
+      case BasicConcept::Kind::kTop:
+        return true;
+      case BasicConcept::Kind::kAtomic:
+        return completed.HasConceptAssertion(c.id, a);
+      case BasicConcept::Kind::kExists: {
+        int exists_concept = tbox.ExistsConcept(c.id);
+        if (exists_concept >= 0) {
+          return completed.HasConceptAssertion(exists_concept, a);
+        }
+        for (auto [s, o] : completed.RolePairs(PredicateOf(c.id))) {
+          if ((IsInverse(c.id) ? o : s) == a) return true;
+        }
+        return false;
+      }
+    }
+    return false;
+  };
+
+  for (const ConceptDisjointness& axiom : tbox.concept_disjointness()) {
+    for (int a : completed.individuals()) {
+      if (holds_at_individual(axiom.lhs, a) &&
+          holds_at_individual(axiom.rhs, a)) {
+        return false;
+      }
+    }
+    for (const auto& [rho, d] : letters) {
+      BasicConcept inv = BasicConcept::Exists(Inverse(rho));
+      if (saturation.SubConcept(inv, axiom.lhs) &&
+          saturation.SubConcept(inv, axiom.rhs)) {
+        return false;
+      }
+    }
+  }
+  for (const RoleDisjointness& axiom : tbox.role_disjointness()) {
+    // ABox pairs: the completed instance holds all derived role atoms, so a
+    // direct extension intersection test is exact.
+    for (auto [s, o] : completed.RolePairs(PredicateOf(axiom.lhs))) {
+      int a = IsInverse(axiom.lhs) ? o : s;
+      int b = IsInverse(axiom.lhs) ? s : o;
+      if (completed.HasRoleAssertionForRole(axiom.rhs, a, b)) return false;
+    }
+    // Tree edges labelled rho participate in every super-role of rho.
+    for (const auto& [rho, d] : letters) {
+      if (saturation.SubRole(rho, axiom.lhs) &&
+          saturation.SubRole(rho, axiom.rhs)) {
+        return false;
+      }
+      if (saturation.SubRole(rho, Inverse(axiom.lhs)) &&
+          saturation.SubRole(rho, Inverse(axiom.rhs))) {
+        return false;
+      }
+    }
+    // Reflexive loops: sigma1(x,x) and sigma2(x,x) for any element.
+    if (saturation.Reflexive(axiom.lhs) && saturation.Reflexive(axiom.rhs)) {
+      return false;
+    }
+  }
+  for (RoleId rho : tbox.irreflexive_roles()) {
+    if (saturation.Reflexive(rho)) return false;
+    for (auto [s, o] : completed.RolePairs(PredicateOf(rho))) {
+      if (s == o) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace owlqr

@@ -1,0 +1,36 @@
+#ifndef OWLQR_CHASE_CERTAIN_ANSWERS_H_
+#define OWLQR_CHASE_CERTAIN_ANSWERS_H_
+
+#include <vector>
+
+#include "cq/cq.h"
+#include "data/data_instance.h"
+#include "ontology/tbox.h"
+
+namespace owlqr {
+
+struct CertainAnswersResult {
+  // False if (T, A) is inconsistent; in that case every tuple over ind(A) is
+  // a certain answer and `answers` is left empty.
+  bool consistent = true;
+  std::vector<std::vector<int>> answers;
+};
+
+// Reference OMQ answering engine (ground truth for the rewriters):
+// materialises the canonical model C_{T,A} to a provably sufficient depth and
+// runs a backtracking homomorphism search.  Intended for modest data sizes.
+CertainAnswersResult ComputeCertainAnswers(const TBox& tbox,
+                                           const ConjunctiveQuery& query,
+                                           const DataInstance& data);
+
+// Decision variant: is `answer` a certain answer to (T, q) over A?
+bool IsCertainAnswer(const TBox& tbox, const ConjunctiveQuery& query,
+                     const DataInstance& data, const std::vector<int>& answer);
+
+// KB consistency: no disjointness or irreflexivity axiom is violated in the
+// canonical model.
+bool IsConsistent(const TBox& tbox, const DataInstance& data);
+
+}  // namespace owlqr
+
+#endif  // OWLQR_CHASE_CERTAIN_ANSWERS_H_

@@ -1,0 +1,196 @@
+#include "chase/homomorphism.h"
+
+#include <algorithm>
+#include <set>
+
+namespace owlqr {
+
+HomomorphismSearch::HomomorphismSearch(const ConjunctiveQuery& query,
+                                       const CanonicalModel& model)
+    : query_(query), model_(model) {}
+
+// Checks every atom of the query all of whose variables (including `var`)
+// are assigned.
+bool HomomorphismSearch::CheckVar(const std::vector<int>& assignment,
+                                  int var) const {
+  for (const CqAtom& atom : query_.atoms()) {
+    if (atom.kind == CqAtom::Kind::kUnary) {
+      if (atom.arg0 != var) continue;
+      if (!model_.HasConcept(assignment[var], atom.symbol)) return false;
+    } else {
+      if (atom.arg0 != var && atom.arg1 != var) continue;
+      int u = assignment[atom.arg0];
+      int v = assignment[atom.arg1];
+      if (u < 0 || v < 0) continue;
+      if (!model_.HasRole(RoleOf(atom.symbol), u, v)) return false;
+    }
+  }
+  return true;
+}
+
+bool HomomorphismSearch::SearchFrom(
+    std::vector<int>* assignment,
+    const std::function<bool(const std::vector<int>&)>& on_answer,
+    bool* stop) const {
+  // Pick the next variable: prefer one adjacent to an assigned variable
+  // (candidates can then be enumerated from role successors).
+  int var = -1;
+  int via_atom = -1;
+  for (size_t i = 0; i < query_.atoms().size() && var < 0; ++i) {
+    const CqAtom& atom = query_.atoms()[i];
+    if (atom.kind != CqAtom::Kind::kBinary || atom.arg0 == atom.arg1) continue;
+    bool a0 = (*assignment)[atom.arg0] >= 0;
+    bool a1 = (*assignment)[atom.arg1] >= 0;
+    if (a0 != a1) {
+      var = a0 ? atom.arg1 : atom.arg0;
+      via_atom = static_cast<int>(i);
+    }
+  }
+  if (var < 0) {
+    for (int v = 0; v < query_.num_vars() && var < 0; ++v) {
+      if ((*assignment)[v] < 0) var = v;
+    }
+  }
+  if (var < 0) {
+    // Complete assignment: answer variables must be individuals.
+    for (int v : query_.answer_vars()) {
+      if (!model_.IsIndividual((*assignment)[v])) return false;
+    }
+    std::vector<int> answer;
+    for (int v : query_.answer_vars()) {
+      answer.push_back(model_.element((*assignment)[v]).individual);
+    }
+    if (!on_answer(answer)) *stop = true;
+    return true;
+  }
+
+  bool found = false;
+  auto try_element = [&](int element) {
+    if (*stop) return;
+    if (query_.IsAnswerVar(var) && !model_.IsIndividual(element)) return;
+    (*assignment)[var] = element;
+    if (CheckVar(*assignment, var)) {
+      if (SearchFrom(assignment, on_answer, stop)) found = true;
+    }
+    (*assignment)[var] = -1;
+  };
+
+  if (via_atom >= 0) {
+    const CqAtom& atom = query_.atoms()[via_atom];
+    bool forward = (*assignment)[atom.arg0] >= 0;
+    RoleId rho = forward ? RoleOf(atom.symbol) : Inverse(RoleOf(atom.symbol));
+    int anchor = forward ? (*assignment)[atom.arg0] : (*assignment)[atom.arg1];
+    for (int candidate : model_.RoleSuccessors(rho, anchor)) {
+      try_element(candidate);
+      if (*stop) break;
+    }
+  } else {
+    // `var` starts a fresh connected component (none of its variables is
+    // assigned).  A complete seeding: some variable w of the component maps
+    // to an individual (try every (w, individual) pair), or the whole
+    // component lies in the anonymous part — then it can be shifted so that
+    // its minimal-depth element is a representative null (subtrees depend
+    // only on the last letter), i.e. some w maps to a representative.
+    // Seeding any w anchors the rest of the component via role successors.
+    std::vector<int> component = FreeComponentOf(*assignment, var);
+    for (int w : component) {
+      for (int candidate = 0; candidate < model_.num_individuals();
+           ++candidate) {
+        if (*stop) return found;
+        TrySeed(w, candidate, assignment, on_answer, stop, &found);
+      }
+      if (query_.IsAnswerVar(w)) continue;
+      for (int candidate : model_.RepresentativeNulls()) {
+        if (*stop) return found;
+        TrySeed(w, candidate, assignment, on_answer, stop, &found);
+      }
+    }
+  }
+  return found;
+}
+
+void HomomorphismSearch::TrySeed(
+    int w, int element, std::vector<int>* assignment,
+    const std::function<bool(const std::vector<int>&)>& on_answer, bool* stop,
+    bool* found) const {
+  if (query_.IsAnswerVar(w) && !model_.IsIndividual(element)) return;
+  (*assignment)[w] = element;
+  if (CheckVar(*assignment, w)) {
+    if (SearchFrom(assignment, on_answer, stop)) *found = true;
+  }
+  (*assignment)[w] = -1;
+}
+
+std::vector<int> HomomorphismSearch::FreeComponentOf(
+    const std::vector<int>& assignment, int var) const {
+  std::vector<int> component = {var};
+  std::vector<bool> in_component(query_.num_vars(), false);
+  in_component[var] = true;
+  for (size_t i = 0; i < component.size(); ++i) {
+    int u = component[i];
+    for (const CqAtom& atom : query_.atoms()) {
+      if (atom.kind != CqAtom::Kind::kBinary) continue;
+      if (atom.arg0 != u && atom.arg1 != u) continue;
+      int other = atom.arg0 == u ? atom.arg1 : atom.arg0;
+      if (!in_component[other] && assignment[other] < 0) {
+        in_component[other] = true;
+        component.push_back(other);
+      }
+    }
+  }
+  return component;
+}
+
+bool HomomorphismSearch::Search(
+    std::vector<int> assignment,
+    const std::function<bool(const std::vector<int>&)>& on_answer) const {
+  bool stop = false;
+  return SearchFrom(&assignment, on_answer, &stop);
+}
+
+bool HomomorphismSearch::ExistsWithAnswer(const std::vector<int>& answer) const {
+  std::vector<int> assignment(query_.num_vars(), -1);
+  const std::vector<int>& vars = query_.answer_vars();
+  if (answer.size() != vars.size()) return false;
+  for (size_t i = 0; i < vars.size(); ++i) {
+    int element = model_.ElementOfIndividual(answer[i]);
+    if (element < 0) return false;
+    if (assignment[vars[i]] >= 0 && assignment[vars[i]] != element) {
+      return false;
+    }
+    assignment[vars[i]] = element;
+  }
+  for (int v : vars) {
+    if (!CheckVar(assignment, v)) return false;
+  }
+  bool found = false;
+  bool stop = false;
+  std::vector<int> a = assignment;
+  SearchFrom(&a, [&found](const std::vector<int>&) {
+    found = true;
+    return false;  // Stop at the first homomorphism.
+  }, &stop);
+  return found;
+}
+
+bool HomomorphismSearch::Exists() const {
+  bool found = false;
+  Search(std::vector<int>(query_.num_vars(), -1),
+         [&found](const std::vector<int>&) {
+           found = true;
+           return false;
+         });
+  return found;
+}
+
+std::vector<std::vector<int>> HomomorphismSearch::AllAnswers() const {
+  std::set<std::vector<int>> answers;
+  Search(std::vector<int>(query_.num_vars(), -1),
+         [&answers](const std::vector<int>& answer) {
+           answers.insert(answer);
+           return true;
+         });
+  return std::vector<std::vector<int>>(answers.begin(), answers.end());
+}
+
+}  // namespace owlqr

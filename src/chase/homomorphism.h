@@ -1,0 +1,53 @@
+#ifndef OWLQR_CHASE_HOMOMORPHISM_H_
+#define OWLQR_CHASE_HOMOMORPHISM_H_
+
+#include <functional>
+#include <vector>
+
+#include "chase/canonical_model.h"
+#include "cq/cq.h"
+
+namespace owlqr {
+
+// Backtracking search for homomorphisms from a CQ into a (materialised)
+// canonical model.  Answer variables may only be mapped to individuals.
+class HomomorphismSearch {
+ public:
+  HomomorphismSearch(const ConjunctiveQuery& query, const CanonicalModel& model);
+
+  // True iff some homomorphism maps the answer variables to the elements of
+  // `answer` (vocabulary individual ids, in answer-variable order).
+  bool ExistsWithAnswer(const std::vector<int>& answer) const;
+
+  // True iff any homomorphism exists (Boolean evaluation).
+  bool Exists() const;
+
+  // All answer tuples (vocabulary individual ids), sorted and deduplicated.
+  // For a Boolean query, returns {()} if satisfied and {} otherwise.
+  std::vector<std::vector<int>> AllAnswers() const;
+
+ private:
+  // Runs the search with `assignment` partially filled (element indices,
+  // -1 = unassigned).  Calls `on_answer` for every complete homomorphism
+  // found; if it returns false, the search stops early.
+  bool Search(std::vector<int> assignment,
+              const std::function<bool(const std::vector<int>&)>& on_answer) const;
+  bool SearchFrom(std::vector<int>* assignment,
+                  const std::function<bool(const std::vector<int>&)>& on_answer,
+                  bool* stop) const;
+  bool CheckVar(const std::vector<int>& assignment, int var) const;
+  // Assigns w -> element, verifies the atoms on w, and continues the search.
+  void TrySeed(int w, int element, std::vector<int>* assignment,
+               const std::function<bool(const std::vector<int>&)>& on_answer,
+               bool* stop, bool* found) const;
+  // The unassigned variables connected to `var` via binary atoms.
+  std::vector<int> FreeComponentOf(const std::vector<int>& assignment,
+                                   int var) const;
+
+  const ConjunctiveQuery& query_;
+  const CanonicalModel& model_;
+};
+
+}  // namespace owlqr
+
+#endif  // OWLQR_CHASE_HOMOMORPHISM_H_

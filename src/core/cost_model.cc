@@ -1,0 +1,144 @@
+#include "core/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "cq/gaifman.h"
+#include "util/logging.h"
+
+namespace owlqr {
+
+DataStatistics DataStatistics::FromInstance(const DataInstance& data) {
+  DataStatistics stats;
+  stats.num_individuals = data.num_individuals();
+  for (int c : data.ActiveConcepts()) {
+    stats.concept_cardinality[c] =
+        static_cast<long>(data.ConceptMembers(c).size());
+  }
+  for (int p : data.ActivePredicates()) {
+    stats.predicate_cardinality[p] =
+        static_cast<long>(data.RolePairs(p).size());
+  }
+  return stats;
+}
+
+long DataStatistics::ConceptCount(int concept_id) const {
+  auto it = concept_cardinality.find(concept_id);
+  return it == concept_cardinality.end() ? 0 : it->second;
+}
+
+long DataStatistics::PredicateCount(int predicate_id) const {
+  auto it = predicate_cardinality.find(predicate_id);
+  return it == predicate_cardinality.end() ? 0 : it->second;
+}
+
+double EstimateEvaluationCost(const NdlProgram& program,
+                              const DataStatistics& stats) {
+  constexpr double kCap = 1e18;
+  double adom = std::max<long>(1, stats.num_individuals);
+  std::vector<double> estimate(program.num_predicates(), 0.0);
+
+  for (int p : program.TopologicalOrder()) {
+    double total = 0;
+    for (int ci : program.ClausesFor(p)) {
+      const NdlClause& clause = program.clause(ci);
+      double product = 1.0;
+      std::map<int, int> occurrences;
+      for (const NdlAtom& atom : clause.body) {
+        const PredicateInfo& info = program.predicate(atom.predicate);
+        double card = 0;
+        switch (info.kind) {
+          case PredicateKind::kConceptEdb:
+            card = static_cast<double>(stats.ConceptCount(info.external_id));
+            break;
+          case PredicateKind::kRoleEdb:
+            card =
+                static_cast<double>(stats.PredicateCount(info.external_id));
+            break;
+          case PredicateKind::kTableEdb:
+            // Mapping-layer tables are not part of the OMQ cost model;
+            // treat them like base relations of unknown (domain) size.
+          case PredicateKind::kEquality:
+          case PredicateKind::kAdom:
+            card = adom;
+            break;
+          case PredicateKind::kIdb:
+            card = estimate[atom.predicate];
+            break;
+        }
+        product = std::min(kCap, product * std::max(card, 0.0));
+        for (const Term& t : atom.args) {
+          if (!t.is_constant) ++occurrences[t.value];
+        }
+      }
+      // Independence discount: each repeated occurrence of a variable keeps
+      // a 1/|adom| fraction of the cross product.
+      for (const auto& [var, count] : occurrences) {
+        for (int i = 1; i < count; ++i) product /= adom;
+      }
+      // Projection to the head cannot exceed adom^arity.
+      double head_bound =
+          std::pow(adom, static_cast<double>(clause.head.args.size()));
+      total = std::min(kCap, total + std::min(product, head_bound));
+    }
+    estimate[p] = total;
+  }
+
+  // Cost = total materialised tuples across the predicates the goal needs.
+  double cost = 0;
+  std::vector<bool> reachable(program.num_predicates(), false);
+  if (program.goal() >= 0) {
+    std::vector<int> stack = {program.goal()};
+    reachable[program.goal()] = true;
+    while (!stack.empty()) {
+      int p = stack.back();
+      stack.pop_back();
+      cost = std::min(kCap, cost + estimate[p]);
+      for (int ci : program.ClausesFor(p)) {
+        for (const NdlAtom& atom : program.clause(ci).body) {
+          if (program.IsIdb(atom.predicate) && !reachable[atom.predicate]) {
+            reachable[atom.predicate] = true;
+            stack.push_back(atom.predicate);
+          }
+        }
+      }
+    }
+  }
+  return cost;
+}
+
+NdlProgram CostBasedRewrite(RewritingContext* ctx,
+                            const ConjunctiveQuery& query,
+                            const DataStatistics& stats,
+                            const RewriteOptions& options,
+                            RewriterKind* chosen) {
+  GaifmanGraph graph(query);
+  bool tree = graph.IsTree();
+  bool finite = ctx->depth() != WordGraph::kInfiniteDepth;
+  std::vector<RewriterKind> candidates;
+  if (finite && tree) candidates.push_back(RewriterKind::kLin);
+  if (finite) candidates.push_back(RewriterKind::kLog);
+  if (tree) {
+    candidates.push_back(RewriterKind::kTw);
+    candidates.push_back(RewriterKind::kTwStar);
+  }
+  OWLQR_CHECK_MSG(!candidates.empty(),
+                  "no optimal rewriter applies (cyclic CQ, infinite depth)");
+
+  double best_cost = 0;
+  int best = -1;
+  std::vector<NdlProgram> programs;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    programs.push_back(RewriteOmq(ctx, query, candidates[i], options));
+    double cost = EstimateEvaluationCost(programs.back(), stats);
+    if (best < 0 || cost < best_cost) {
+      best = static_cast<int>(i);
+      best_cost = cost;
+    }
+  }
+  if (chosen != nullptr) *chosen = candidates[best];
+  return std::move(programs[best]);
+}
+
+}  // namespace owlqr

@@ -1,0 +1,49 @@
+#ifndef OWLQR_CORE_COST_MODEL_H_
+#define OWLQR_CORE_COST_MODEL_H_
+
+#include <map>
+
+#include "core/rewriters.h"
+#include "data/data_instance.h"
+#include "ndl/program.h"
+
+namespace owlqr {
+
+// Section 6 proposes an "adaptable splitting strategy that would work
+// similarly to query execution planners in DBMSs and use statistical
+// information about the relational tables" with a cost function over
+// alternative rewritings.  This module implements that proposal: a textbook
+// cardinality model over the data statistics, used to pick among the optimal
+// rewriters per OMQ.
+
+struct DataStatistics {
+  long num_individuals = 0;
+  std::map<int, long> concept_cardinality;    // concept id -> #facts.
+  std::map<int, long> predicate_cardinality;  // predicate id -> #facts.
+
+  static DataStatistics FromInstance(const DataInstance& data);
+
+  long ConceptCount(int concept_id) const;
+  long PredicateCount(int predicate_id) const;
+};
+
+// Estimated number of tuples materialised when evaluating the program
+// bottom-up over data with these statistics: per clause, the product of the
+// body-atom cardinalities discounted by 1/|adom| for every repeated variable
+// occurrence (attribute-independence assumption), summed over clauses and
+// reachable IDB predicates.
+double EstimateEvaluationCost(const NdlProgram& program,
+                              const DataStatistics& stats);
+
+// Rewrites the OMQ with every applicable optimal strategy (Lin / Log / Tw /
+// Tw*), estimates each cost, and returns the cheapest program.  `chosen`
+// receives the selected strategy.
+NdlProgram CostBasedRewrite(RewritingContext* ctx,
+                            const ConjunctiveQuery& query,
+                            const DataStatistics& stats,
+                            const RewriteOptions& options = {},
+                            RewriterKind* chosen = nullptr);
+
+}  // namespace owlqr
+
+#endif  // OWLQR_CORE_COST_MODEL_H_

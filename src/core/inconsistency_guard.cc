@@ -1,0 +1,193 @@
+#include "core/inconsistency_guard.h"
+
+#include <map>
+#include <set>
+
+#include "util/logging.h"
+
+namespace owlqr {
+
+namespace {
+
+// Role atom rho(x, y) over raw EDB predicates.
+NdlAtom RawRoleAtom(NdlProgram* program, RoleId rho, Term x, Term y) {
+  int pred = program->AddRolePredicate(PredicateOf(rho));
+  if (IsInverse(rho)) std::swap(x, y);
+  return {pred, {x, y}};
+}
+
+// Creates (memoised) a unary IDB predicate holding exactly the individuals
+// with T, A |= tau(a), defined from the entailment closure over raw data.
+class HoldsPredicates {
+ public:
+  HoldsPredicates(RewritingContext* ctx, NdlProgram* program)
+      : ctx_(*ctx), program_(*program) {}
+
+  int For(const BasicConcept& tau) {
+    auto key = std::make_pair(static_cast<int>(tau.kind), tau.id);
+    auto it = memo_.find(key);
+    if (it != memo_.end()) return it->second;
+    int pred = program_.AddIdbPredicate(
+        "_holds" + std::to_string(memo_.size()), 1);
+    memo_.emplace(key, pred);
+    const Saturation& sat = ctx_.saturation();
+    Term x = Term::Var(0), y = Term::Var(1);
+    auto emit = [&](NdlAtom atom) {
+      NdlClause c;
+      c.head = {pred, {x}};
+      c.body.push_back(std::move(atom));
+      program_.AddClause(std::move(c));
+    };
+    // tau itself, when atomic and outside the snapshot.
+    if (tau.kind == BasicConcept::Kind::kAtomic) {
+      emit({program_.AddConceptPredicate(tau.id), {x}});
+    }
+    for (int b = 0; b < sat.num_snapshot_concepts(); ++b) {
+      if (tau.kind == BasicConcept::Kind::kAtomic && b == tau.id) continue;
+      if (sat.SubConcept(BasicConcept::Atomic(b), tau)) {
+        emit({program_.AddConceptPredicate(b), {x}});
+      }
+    }
+    for (RoleId rho = 0; rho < sat.num_snapshot_roles(); ++rho) {
+      if (sat.SubConcept(BasicConcept::Exists(rho), tau)) {
+        emit(RawRoleAtom(&program_, rho, x, y));
+      }
+    }
+    if (tau.kind == BasicConcept::Kind::kExists &&
+        static_cast<int>(tau.id) >= sat.num_snapshot_roles()) {
+      emit(RawRoleAtom(&program_, tau.id, x, y));
+    }
+    if (sat.SubConcept(BasicConcept::Top(), tau)) {
+      emit({program_.AdomPredicate(), {x}});
+    }
+    return pred;
+  }
+
+ private:
+  RewritingContext& ctx_;
+  NdlProgram& program_;
+  std::map<std::pair<int, int>, int> memo_;
+};
+
+}  // namespace
+
+int AddInconsistencyGuard(RewritingContext* ctx, NdlProgram* program) {
+  const TBox& tbox = ctx->tbox();
+  const Saturation& sat = ctx->saturation();
+  const WordGraph& word_graph = ctx->word_graph();
+  OWLQR_CHECK(program->goal() >= 0);
+
+  int incon = program->AddIdbPredicate("_incon", 0);
+  HoldsPredicates holds(ctx, program);
+  Term x = Term::Var(0), y = Term::Var(1);
+
+  auto emit_incon = [&](std::vector<NdlAtom> body) {
+    NdlClause c;
+    c.head = {incon, {}};
+    c.body = std::move(body);
+    program->AddClause(std::move(c));
+  };
+  // Fires when a null with last letter `rho` exists: some individual entails
+  // exists rho0 for a word-graph start rho0 reaching rho.
+  std::set<RoleId> anonymous_letters_emitted;
+  auto emit_anonymous_clash = [&](RoleId rho) {
+    if (!anonymous_letters_emitted.insert(rho).second) return;
+    for (RoleId start : word_graph.nodes()) {
+      // Reachability start ->* rho in the word graph.
+      std::set<RoleId> seen = {start};
+      std::vector<RoleId> stack = {start};
+      bool reaches = start == rho;
+      while (!stack.empty() && !reaches) {
+        RoleId cur = stack.back();
+        stack.pop_back();
+        for (RoleId next : word_graph.Successors(cur)) {
+          if (next == rho) reaches = true;
+          if (seen.insert(next).second) stack.push_back(next);
+        }
+      }
+      if (reaches) {
+        emit_incon({{holds.For(BasicConcept::Exists(start)), {x}}});
+      }
+    }
+  };
+
+  // Concept disjointness.
+  for (const ConceptDisjointness& axiom : tbox.concept_disjointness()) {
+    emit_incon({{holds.For(axiom.lhs), {x}}, {holds.For(axiom.rhs), {x}}});
+    for (RoleId rho : word_graph.nodes()) {
+      BasicConcept inv = BasicConcept::Exists(Inverse(rho));
+      if (sat.SubConcept(inv, axiom.lhs) && sat.SubConcept(inv, axiom.rhs)) {
+        emit_anonymous_clash(rho);
+      }
+    }
+  }
+  // Role disjointness.
+  for (const RoleDisjointness& axiom : tbox.role_disjointness()) {
+    for (RoleId a = 0; a < sat.num_snapshot_roles(); ++a) {
+      if (!sat.SubRole(a, axiom.lhs)) continue;
+      for (RoleId b = 0; b < sat.num_snapshot_roles(); ++b) {
+        if (!sat.SubRole(b, axiom.rhs)) continue;
+        emit_incon({RawRoleAtom(program, a, x, y),
+                    RawRoleAtom(program, b, x, y)});
+      }
+      // sigma2 reflexive: sigma2(x, x) everywhere, so a self-loop in a
+      // suffices (and vice versa below via symmetry of the enumeration).
+      if (sat.Reflexive(axiom.rhs)) {
+        emit_incon({RawRoleAtom(program, a, x, x)});
+      }
+    }
+    if (sat.Reflexive(axiom.lhs)) {
+      for (RoleId b = 0; b < sat.num_snapshot_roles(); ++b) {
+        if (sat.SubRole(b, axiom.rhs)) {
+          emit_incon({RawRoleAtom(program, b, x, x)});
+        }
+      }
+      if (sat.Reflexive(axiom.rhs)) {
+        emit_incon({{program->AdomPredicate(), {x}}});
+      }
+    }
+    for (RoleId rho : word_graph.nodes()) {
+      if ((sat.SubRole(rho, axiom.lhs) && sat.SubRole(rho, axiom.rhs)) ||
+          (sat.SubRole(rho, Inverse(axiom.lhs)) &&
+           sat.SubRole(rho, Inverse(axiom.rhs)))) {
+        emit_anonymous_clash(rho);
+      }
+    }
+  }
+  // Irreflexivity.
+  for (RoleId rho : tbox.irreflexive_roles()) {
+    if (sat.Reflexive(rho)) {
+      emit_incon({{program->AdomPredicate(), {x}}});
+    }
+    for (RoleId a = 0; a < sat.num_snapshot_roles(); ++a) {
+      if (sat.SubRole(a, rho)) emit_incon({RawRoleAtom(program, a, x, x)});
+    }
+  }
+
+  // New goal: the old answers, plus everything once _incon holds.
+  const PredicateInfo& old_goal = program->predicate(program->goal());
+  int guarded = program->AddIdbPredicate(old_goal.name + "_guarded",
+                                         old_goal.arity);
+  program->mutable_predicate(guarded).parameter_positions =
+      old_goal.parameter_positions;
+  {
+    NdlClause pass;
+    pass.head.predicate = guarded;
+    NdlClause all;
+    all.head.predicate = guarded;
+    all.body.push_back({incon, {}});
+    for (int i = 0; i < old_goal.arity; ++i) {
+      pass.head.args.push_back(Term::Var(i));
+      all.head.args.push_back(Term::Var(i));
+      all.body.push_back({program->AdomPredicate(), {Term::Var(i)}});
+    }
+    pass.body.push_back({program->goal(),
+                         std::vector<Term>(pass.head.args)});
+    program->AddClause(std::move(pass));
+    program->AddClause(std::move(all));
+  }
+  program->SetGoal(guarded);
+  return guarded;
+}
+
+}  // namespace owlqr

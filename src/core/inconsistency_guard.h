@@ -1,0 +1,29 @@
+#ifndef OWLQR_CORE_INCONSISTENCY_GUARD_H_
+#define OWLQR_CORE_INCONSISTENCY_GUARD_H_
+
+#include "core/rewriting_context.h"
+#include "ndl/program.h"
+
+namespace owlqr {
+
+// The paper drops bottom axioms "without loss of generality" because
+// rewritings can "incorporate subqueries that check whether the left-hand
+// side of an axiom with bottom holds and output all tuples of constants if
+// this is the case" (Section 2).  This implements that trick for NDL.
+//
+// AddInconsistencyGuard rewires `program` (a rewriting over *arbitrary* data
+// instances) so that its goal also derives every tuple over ind(A)^arity
+// whenever some disjointness or irreflexivity axiom fires:
+//
+//   _incon()  <- <violation subquery>          (one clause per axiom)
+//   G'(x...)  <- G(x...)
+//   G'(x...)  <- _incon() & TOP(x1) & ... & TOP(xn)
+//
+// Violations are detected through the entailment closure, so raw (not
+// completed) data suffices.  Anonymous-part clashes are tested per reachable
+// tree letter.  Returns the new goal predicate.
+int AddInconsistencyGuard(RewritingContext* ctx, NdlProgram* program);
+
+}  // namespace owlqr
+
+#endif  // OWLQR_CORE_INCONSISTENCY_GUARD_H_

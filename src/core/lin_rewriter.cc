@@ -1,0 +1,166 @@
+#include "core/lin_rewriter.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "core/type_compat.h"
+#include "cq/gaifman.h"
+#include "ndl/transforms.h"
+#include "util/logging.h"
+
+namespace owlqr {
+
+namespace {
+
+class LinRewriterImpl {
+ public:
+  LinRewriterImpl(RewritingContext* ctx, const ConjunctiveQuery& query,
+                  int root)
+      : ctx_(*ctx), query_(query), root_(root), program_(query.vocabulary()) {}
+
+  NdlProgram Run() {
+    OWLQR_CHECK_MSG(ctx_.depth() != WordGraph::kInfiniteDepth,
+                    "Lin rewriting requires a finite-depth ontology");
+    GaifmanGraph graph(query_);
+    OWLQR_CHECK_MSG(graph.IsTree(), "Lin rewriting requires a tree-shaped CQ");
+    if (root_ < 0) {
+      root_ = query_.answer_vars().empty() ? 0 : query_.answer_vars()[0];
+    }
+    all_words_ = ctx_.words().AllWordsUpTo(ctx_.depth());
+    slices_ = graph.BfsLayers(root_);
+    int m = static_cast<int>(slices_.size()) - 1;
+
+    // x^n and z^n_exists per slice; x^n are the answer variables occurring in
+    // q_n (atoms entirely within slices >= n).
+    std::vector<std::vector<int>> x_n(m + 1);
+    std::vector<std::vector<int>> z_exists(m + 1);
+    {
+      std::vector<int> slice_of(query_.num_vars(), -1);
+      for (int n = 0; n <= m; ++n) {
+        for (int v : slices_[n]) slice_of[v] = n;
+      }
+      for (int n = 0; n <= m; ++n) {
+        std::set<int> answers;
+        for (const CqAtom& atom : query_.atoms()) {
+          int lo = slice_of[atom.arg0];
+          if (atom.kind == CqAtom::Kind::kBinary) {
+            lo = std::min(lo, slice_of[atom.arg1]);
+          }
+          if (lo < n) continue;
+          if (query_.IsAnswerVar(atom.arg0)) answers.insert(atom.arg0);
+          if (atom.kind == CqAtom::Kind::kBinary &&
+              query_.IsAnswerVar(atom.arg1)) {
+            answers.insert(atom.arg1);
+          }
+        }
+        for (int x : query_.answer_vars()) {
+          if (answers.count(x) > 0) x_n[n].push_back(x);
+        }
+        for (int v : slices_[n]) {
+          if (!query_.IsAnswerVar(v)) z_exists[n].push_back(v);
+        }
+      }
+    }
+
+    auto predicate_for = [&](int n, const TypeMap& w) {
+      std::string name = "G" + std::to_string(n) + "[" +
+                         w.Name(ctx_.words(), *query_.vocabulary()) + "]";
+      int arity = static_cast<int>(z_exists[n].size() + x_n[n].size());
+      int pred = program_.AddIdbPredicate(name, arity);
+      std::vector<bool> params(z_exists[n].size(), false);
+      params.insert(params.end(), x_n[n].size(), true);
+      program_.mutable_predicate(pred).parameter_positions = std::move(params);
+      return pred;
+    };
+    auto head_atom = [&](int pred, int n) {
+      NdlAtom atom;
+      atom.predicate = pred;
+      for (int v : z_exists[n]) atom.args.push_back(Term::Var(v));
+      for (int v : x_n[n]) atom.args.push_back(Term::Var(v));
+      return atom;
+    };
+
+    // Bottom slice M: G^w_M <- At^w(z^M) for locally compatible w.
+    std::map<TypeMap, int> kept;  // Types of the current slice -> predicate.
+    {
+      EnumerateCompatibleTypes(
+          ctx_, query_, slices_[m], all_words_, TypeMap(),
+          [&](const TypeMap& w) {
+            int pred = predicate_for(m, w);
+            NdlClause clause;
+            clause.head = head_atom(pred, m);
+            EmitTypeAtoms(ctx_, query_, w, slices_[m], &program_,
+                          &clause.body);
+            program_.AddClause(std::move(clause));
+            kept.emplace(w, pred);
+          });
+    }
+
+    // Slices M-1 .. 0.
+    for (int n = m - 1; n >= 0; --n) {
+      std::map<TypeMap, int> next_kept;
+      std::vector<int> pair_dom = slices_[n];
+      pair_dom.insert(pair_dom.end(), slices_[n + 1].begin(),
+                      slices_[n + 1].end());
+      EnumerateCompatibleTypes(
+          ctx_, query_, slices_[n], all_words_, TypeMap(),
+          [&](const TypeMap& w) {
+            int pred = -1;
+            for (const auto& [s, child_pred] : kept) {
+              TypeMap merged = TypeMap::Union(w, s);
+              // Compatibility of the pair (w, s) with (z^n, z^{n+1}):
+              // exactly the type conditions over the union of the slices.
+              if (!TypeCompatible(ctx_, query_, merged, pair_dom)) continue;
+              if (pred < 0) {
+                pred = predicate_for(n, w);
+                next_kept.emplace(w, pred);
+              }
+              NdlClause clause;
+              clause.head = head_atom(pred, n);
+              EmitTypeAtoms(ctx_, query_, merged, pair_dom, &program_,
+                            &clause.body);
+              clause.body.push_back(head_atom(child_pred, n + 1));
+              program_.AddClause(std::move(clause));
+            }
+          });
+      kept = std::move(next_kept);
+    }
+
+    // Goal: G(x) <- G^w_0(z^0_exists, x^0) for every kept type.
+    int goal = program_.AddIdbPredicate(
+        "G", static_cast<int>(query_.answer_vars().size()));
+    program_.mutable_predicate(goal).parameter_positions.assign(
+        query_.answer_vars().size(), true);
+    for (const auto& [w, pred] : kept) {
+      NdlClause clause;
+      clause.head.predicate = goal;
+      for (int x : query_.answer_vars()) {
+        clause.head.args.push_back(Term::Var(x));
+      }
+      clause.body.push_back(head_atom(pred, 0));
+      program_.AddClause(std::move(clause));
+    }
+    program_.SetGoal(goal);
+    EnsureSafety(&program_);
+    PruneProgram(&program_);
+    return std::move(program_);
+  }
+
+ private:
+  RewritingContext& ctx_;
+  const ConjunctiveQuery& query_;
+  int root_;
+  NdlProgram program_;
+  std::vector<int> all_words_;
+  std::vector<std::vector<int>> slices_;
+};
+
+}  // namespace
+
+NdlProgram LinRewrite(RewritingContext* ctx, const ConjunctiveQuery& query,
+                      int root) {
+  return LinRewriterImpl(ctx, query, root).Run();
+}
+
+}  // namespace owlqr

@@ -1,0 +1,25 @@
+#ifndef OWLQR_CORE_LIN_REWRITER_H_
+#define OWLQR_CORE_LIN_REWRITER_H_
+
+#include "core/rewriting_context.h"
+#include "cq/cq.h"
+#include "ndl/program.h"
+
+namespace owlqr {
+
+// The Lin rewriting of Section 3.3 for OMQ(d, 1, l): ontologies of finite
+// depth with tree-shaped CQs with at most l leaves.  Slices the query by BFS
+// distance from a root variable and introduces one IDB predicate G^w_n per
+// slice n and slice type w.  The resulting program is a *linear* NDL query of
+// width <= 2l; evaluation is in NL.
+//
+// The returned program is a rewriting over complete data instances; apply
+// LinearStarTransform (Lemma 3) for arbitrary instances.  Requires a
+// connected tree-shaped query and a finite-depth ontology.  `root` fixes the
+// slice root variable (-1 = first answer variable, or variable 0).
+NdlProgram LinRewrite(RewritingContext* ctx, const ConjunctiveQuery& query,
+                      int root = -1);
+
+}  // namespace owlqr
+
+#endif  // OWLQR_CORE_LIN_REWRITER_H_

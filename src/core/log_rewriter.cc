@@ -1,0 +1,176 @@
+#include "core/log_rewriter.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "core/type_compat.h"
+#include "cq/gaifman.h"
+#include "cq/splitting.h"
+#include "ndl/transforms.h"
+#include "util/logging.h"
+
+namespace owlqr {
+
+namespace {
+
+// One subtree D of the recursive splitting (the set D with predecessor
+// relation of Section 3.2).
+struct Subtree {
+  std::vector<int> nodes;          // Decomposition-tree nodes, sorted.
+  int sigma = -1;                  // Splitting node sigma(D).
+  std::vector<int> children;       // Indices of the D' with D' < D.
+  std::vector<int> boundary_vars;  // The variable set dD, sorted.
+  std::vector<int> answer_vars;    // x_D, in answer order.
+};
+
+class LogRewriterImpl {
+ public:
+  LogRewriterImpl(RewritingContext* ctx, const ConjunctiveQuery& query,
+                  const TreeDecomposition& td)
+      : ctx_(*ctx), query_(query), td_(td), program_(query.vocabulary()) {}
+
+  NdlProgram Run() {
+    OWLQR_CHECK_MSG(ctx_.depth() != WordGraph::kInfiniteDepth,
+                    "Log rewriting requires a finite-depth ontology");
+    all_words_ = ctx_.words().AllWordsUpTo(ctx_.depth());
+    decomposition_tree_.Resize(td_.num_nodes());
+    for (int t = 0; t < td_.num_nodes(); ++t) {
+      for (int u : td_.adjacency[t]) {
+        if (t < u) decomposition_tree_.AddEdge(t, u);
+      }
+    }
+    std::vector<int> all_nodes(td_.num_nodes());
+    for (int i = 0; i < td_.num_nodes(); ++i) all_nodes[i] = i;
+    int root = BuildSubtree(all_nodes);
+
+    int goal = GetPredicate(root, TypeMap());
+    program_.SetGoal(goal);
+    EnsureSafety(&program_);
+    PruneProgram(&program_);
+    return std::move(program_);
+  }
+
+ private:
+  // Builds the Subtree record for node set `nodes` (connected, deg <= 2) and
+  // recursively for its split components.  Returns the registry index.
+  int BuildSubtree(std::vector<int> nodes) {
+    Subtree subtree;
+    subtree.nodes = nodes;
+
+    // Boundary variables: lambda(t) /\ lambda(t') for boundary t in D and
+    // neighbours t' outside D.
+    std::set<int> in_d(nodes.begin(), nodes.end());
+    std::set<int> boundary;
+    for (int t : nodes) {
+      for (int u : decomposition_tree_.adjacency[t]) {
+        if (in_d.count(u) > 0) continue;
+        for (int v : td_.bags[t]) {
+          if (std::binary_search(td_.bags[u].begin(), td_.bags[u].end(), v)) {
+            boundary.insert(v);
+          }
+        }
+      }
+    }
+    subtree.boundary_vars.assign(boundary.begin(), boundary.end());
+
+    // x_D: answer variables occurring in q_D.  We take all variables of D's
+    // bags — a superset of the atom variables that also covers degenerate
+    // isolated variables (bound through the active domain by EnsureSafety).
+    std::set<int> vars_in_d;
+    for (int t : nodes) {
+      vars_in_d.insert(td_.bags[t].begin(), td_.bags[t].end());
+    }
+    for (int x : query_.answer_vars()) {
+      if (vars_in_d.count(x) > 0) subtree.answer_vars.push_back(x);
+    }
+
+    if (nodes.size() == 1) {
+      subtree.sigma = nodes[0];
+    } else {
+      subtree.sigma = FindLemma10Splitter(decomposition_tree_, nodes);
+      for (std::vector<int>& comp :
+           SubsetComponents(decomposition_tree_, nodes, subtree.sigma)) {
+        subtree.children.push_back(BuildSubtree(std::move(comp)));
+      }
+    }
+    registry_.push_back(std::move(subtree));
+    return static_cast<int>(registry_.size()) - 1;
+  }
+
+  // Predicate G^w_D; generates its clauses on first request.
+  int GetPredicate(int d, const TypeMap& w) {
+    auto key = std::make_pair(d, w);
+    auto it = memo_.find(key);
+    if (it != memo_.end()) return it->second;
+    const Subtree& subtree = registry_[d];
+    std::string name =
+        "G_D" + std::to_string(d) + "[" +
+        w.Name(ctx_.words(), *query_.vocabulary()) + "]";
+    int arity = static_cast<int>(subtree.boundary_vars.size() +
+                                 subtree.answer_vars.size());
+    int pred = program_.AddIdbPredicate(name, arity);
+    // Parameter positions: the answer-variable arguments (both the x_D block
+    // and boundary variables that happen to be answer variables).
+    std::vector<bool> params;
+    for (int v : subtree.boundary_vars) params.push_back(query_.IsAnswerVar(v));
+    for (size_t i = 0; i < subtree.answer_vars.size(); ++i) params.push_back(true);
+    program_.mutable_predicate(pred).parameter_positions = std::move(params);
+    memo_.emplace(key, pred);
+
+    const std::vector<int>& bag = td_.bags[subtree.sigma];
+    EnumerateCompatibleTypes(
+        ctx_, query_, bag, all_words_, w, [&](const TypeMap& s) {
+          NdlClause clause;
+          clause.head.predicate = pred;
+          for (int v : subtree.boundary_vars) {
+            clause.head.args.push_back(Term::Var(v));
+          }
+          for (int v : subtree.answer_vars) {
+            clause.head.args.push_back(Term::Var(v));
+          }
+          EmitTypeAtoms(ctx_, query_, s, bag, &program_, &clause.body);
+          TypeMap merged = TypeMap::Union(s, w);
+          for (int child : subtree.children) {
+            const Subtree& cs = registry_[child];
+            TypeMap cw = merged.Restrict(cs.boundary_vars);
+            int child_pred = GetPredicate(child, cw);
+            NdlAtom atom;
+            atom.predicate = child_pred;
+            for (int v : cs.boundary_vars) atom.args.push_back(Term::Var(v));
+            for (int v : cs.answer_vars) atom.args.push_back(Term::Var(v));
+            clause.body.push_back(std::move(atom));
+          }
+          program_.AddClause(std::move(clause));
+        });
+    return pred;
+  }
+
+  RewritingContext& ctx_;
+  const ConjunctiveQuery& query_;
+  const TreeDecomposition& td_;
+  NdlProgram program_;
+  SimpleTree decomposition_tree_;
+  std::vector<int> all_words_;
+  std::vector<Subtree> registry_;
+  std::map<std::pair<int, TypeMap>, int> memo_;
+};
+
+}  // namespace
+
+NdlProgram LogRewrite(RewritingContext* ctx, const ConjunctiveQuery& query,
+                      const TreeDecomposition& decomposition) {
+  OWLQR_CHECK_MSG(GaifmanGraph(query).IsConnected(),
+                  "LogRewrite requires a connected query");
+  OWLQR_CHECK(decomposition.num_nodes() > 0);
+  return LogRewriterImpl(ctx, query, decomposition).Run();
+}
+
+NdlProgram LogRewrite(RewritingContext* ctx, const ConjunctiveQuery& query) {
+  GaifmanGraph graph(query);
+  TreeDecomposition td = graph.IsTree() ? DecomposeTreeQuery(query, graph)
+                                        : MinFillDecomposition(query);
+  return LogRewrite(ctx, query, td);
+}
+
+}  // namespace owlqr

@@ -1,0 +1,29 @@
+#ifndef OWLQR_CORE_LOG_REWRITER_H_
+#define OWLQR_CORE_LOG_REWRITER_H_
+
+#include "core/rewriting_context.h"
+#include "cq/cq.h"
+#include "cq/tree_decomposition.h"
+#include "ndl/program.h"
+
+namespace owlqr {
+
+// The Log rewriting of Section 3.2 for OMQ(d, t, inf): ontologies of finite
+// depth d with CQs of treewidth <= t.  Splits the tree decomposition
+// recursively by Lemma 10 and introduces one IDB predicate G^w_D per subtree
+// D and boundary type w.  The resulting NDL query is skinny-reducible: it has
+// logarithmic skinny depth and width <= 3(t+1), and evaluates in LOGCFL.
+//
+// The returned program is a rewriting over *complete* data instances; apply
+// StarTransform for arbitrary instances.  Requires a connected query and a
+// finite-depth ontology.
+NdlProgram LogRewrite(RewritingContext* ctx, const ConjunctiveQuery& query,
+                      const TreeDecomposition& decomposition);
+
+// Convenience overload using the natural decomposition for tree-shaped
+// queries and the min-fill decomposition otherwise.
+NdlProgram LogRewrite(RewritingContext* ctx, const ConjunctiveQuery& query);
+
+}  // namespace owlqr
+
+#endif  // OWLQR_CORE_LOG_REWRITER_H_

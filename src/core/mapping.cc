@@ -1,0 +1,189 @@
+#include "core/mapping.h"
+
+#include <functional>
+#include <map>
+#include <set>
+
+#include "util/logging.h"
+
+namespace owlqr {
+
+void GavMapping::Validate(const MappingRule& rule) const {
+  std::set<int> body_vars;
+  for (const MappingAtom& atom : rule.body) {
+    OWLQR_CHECK(atom.table >= 0 && atom.table < tables_->num_tables());
+    OWLQR_CHECK(static_cast<int>(atom.args.size()) ==
+                tables_->TableArity(atom.table));
+    for (const Term& t : atom.args) {
+      if (!t.is_constant) body_vars.insert(t.value);
+    }
+  }
+  for (int v : rule.head_vars) {
+    OWLQR_CHECK_MSG(body_vars.count(v) > 0,
+                    "mapping head variable must occur in the body");
+  }
+}
+
+void GavMapping::AddConceptRule(int concept_id, int head_var,
+                                std::vector<MappingAtom> body) {
+  MappingRule rule;
+  rule.is_concept = true;
+  rule.symbol = concept_id;
+  rule.head_vars = {head_var};
+  rule.body = std::move(body);
+  Validate(rule);
+  rules_.push_back(std::move(rule));
+}
+
+void GavMapping::AddRoleRule(int predicate_id, int head_var0, int head_var1,
+                             std::vector<MappingAtom> body) {
+  MappingRule rule;
+  rule.is_concept = false;
+  rule.symbol = predicate_id;
+  rule.head_vars = {head_var0, head_var1};
+  rule.body = std::move(body);
+  Validate(rule);
+  rules_.push_back(std::move(rule));
+}
+
+namespace {
+
+// Enumerates all assignments of a rule's variables satisfying its body over
+// the tables; calls `emit` with the (variable -> individual) map.
+void EnumerateRuleMatches(
+    const MappingRule& rule, const TableStore& tables,
+    const std::function<void(const std::map<int, int>&)>& emit) {
+  std::map<int, int> binding;
+  std::function<void(size_t)> recurse = [&](size_t atom_index) {
+    if (atom_index == rule.body.size()) {
+      emit(binding);
+      return;
+    }
+    const MappingAtom& atom = rule.body[atom_index];
+    for (const std::vector<int>& row : tables.Rows(atom.table)) {
+      std::vector<int> bound_here;
+      bool ok = true;
+      for (size_t i = 0; i < atom.args.size() && ok; ++i) {
+        const Term& t = atom.args[i];
+        if (t.is_constant) {
+          ok = t.value == row[i];
+        } else {
+          auto it = binding.find(t.value);
+          if (it != binding.end()) {
+            ok = it->second == row[i];
+          } else {
+            binding.emplace(t.value, row[i]);
+            bound_here.push_back(t.value);
+          }
+        }
+      }
+      if (ok) recurse(atom_index + 1);
+      for (int v : bound_here) binding.erase(v);
+    }
+  };
+  recurse(0);
+}
+
+}  // namespace
+
+DataInstance MaterializeMapping(const GavMapping& mapping,
+                                const TableStore& tables) {
+  DataInstance out(mapping.vocabulary());
+  for (const MappingRule& rule : mapping.rules()) {
+    EnumerateRuleMatches(rule, tables, [&](const std::map<int, int>& b) {
+      if (rule.is_concept) {
+        out.AddConceptAssertion(rule.symbol, b.at(rule.head_vars[0]));
+      } else {
+        out.AddRoleAssertion(rule.symbol, b.at(rule.head_vars[0]),
+                             b.at(rule.head_vars[1]));
+      }
+    });
+  }
+  return out;
+}
+
+NdlProgram UnfoldThroughMapping(const NdlProgram& program,
+                                const GavMapping& mapping) {
+  const TableStore& tables = *mapping.tables();
+  NdlProgram out(program.vocabulary());
+  // The virtual active domain: individuals of M(D).
+  int madom = out.AddIdbPredicate("_madom", 1);
+
+  std::vector<int> pred_map(program.num_predicates());
+  std::set<int> mapped_preds;  // Fresh IDBs standing for ontology EDBs.
+  for (int p = 0; p < program.num_predicates(); ++p) {
+    const PredicateInfo& info = program.predicate(p);
+    switch (info.kind) {
+      case PredicateKind::kIdb: {
+        int q = out.AddIdbPredicate(info.name, info.arity);
+        out.mutable_predicate(q).parameter_positions = info.parameter_positions;
+        pred_map[p] = q;
+        break;
+      }
+      case PredicateKind::kConceptEdb:
+      case PredicateKind::kRoleEdb:
+        pred_map[p] = out.AddIdbPredicate(info.name + "~M", info.arity);
+        mapped_preds.insert(p);
+        break;
+      case PredicateKind::kTableEdb:
+        pred_map[p] = out.AddTablePredicate(info.name, info.arity,
+                                            info.external_id);
+        break;
+      case PredicateKind::kEquality:
+        pred_map[p] = out.EqualityPredicate();
+        break;
+      case PredicateKind::kAdom:
+        pred_map[p] = madom;
+        break;
+    }
+  }
+  for (const NdlClause& clause : program.clauses()) {
+    NdlClause c;
+    c.head = {pred_map[clause.head.predicate], clause.head.args};
+    for (const NdlAtom& atom : clause.body) {
+      c.body.push_back({pred_map[atom.predicate], atom.args});
+    }
+    out.AddClause(std::move(c));
+  }
+  if (program.goal() >= 0) out.SetGoal(pred_map[program.goal()]);
+
+  // Defining clauses from the mapping rules.
+  auto rule_body_atoms = [&](const MappingRule& rule) {
+    std::vector<NdlAtom> body;
+    for (const MappingAtom& atom : rule.body) {
+      NdlAtom a;
+      a.predicate = out.AddTablePredicate(tables.TableName(atom.table),
+                                          tables.TableArity(atom.table),
+                                          atom.table);
+      a.args = atom.args;
+      body.push_back(std::move(a));
+    }
+    return body;
+  };
+  for (int p : mapped_preds) {
+    const PredicateInfo& info = program.predicate(p);
+    for (const MappingRule& rule : mapping.rules()) {
+      if (rule.is_concept != (info.kind == PredicateKind::kConceptEdb)) {
+        continue;
+      }
+      if (rule.symbol != info.external_id) continue;
+      NdlClause c;
+      c.head.predicate = pred_map[p];
+      for (int v : rule.head_vars) c.head.args.push_back(Term::Var(v));
+      c.body = rule_body_atoms(rule);
+      out.AddClause(std::move(c));
+    }
+  }
+  // _madom: every individual mentioned by some mapped atom.
+  for (const MappingRule& rule : mapping.rules()) {
+    for (int v : rule.head_vars) {
+      NdlClause c;
+      c.head = {madom, {Term::Var(v)}};
+      c.body = rule_body_atoms(rule);
+      out.AddClause(std::move(c));
+    }
+  }
+  return out;
+}
+
+}  // namespace owlqr

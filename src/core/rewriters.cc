@@ -1,0 +1,168 @@
+#include "core/rewriters.h"
+
+#include <map>
+
+#include "core/lin_rewriter.h"
+#include "core/log_rewriter.h"
+#include "core/tw_rewriter.h"
+#include "cq/gaifman.h"
+#include "ndl/transforms.h"
+#include "util/logging.h"
+
+namespace owlqr {
+
+const char* RewriterName(RewriterKind kind) {
+  switch (kind) {
+    case RewriterKind::kLog:
+      return "Log";
+    case RewriterKind::kLin:
+      return "Lin";
+    case RewriterKind::kTw:
+      return "Tw";
+    case RewriterKind::kTwStar:
+      return "Tw*";
+    case RewriterKind::kUcq:
+      return "UCQ";
+    case RewriterKind::kPrestoLike:
+      return "PrestoLike";
+  }
+  return "?";
+}
+
+int MergeProgram(NdlProgram* dst, const NdlProgram& src,
+                 const std::string& prefix) {
+  std::vector<int> pred_map(src.num_predicates());
+  for (int p = 0; p < src.num_predicates(); ++p) {
+    const PredicateInfo& info = src.predicate(p);
+    switch (info.kind) {
+      case PredicateKind::kIdb: {
+        int q = dst->AddIdbPredicate(prefix + info.name, info.arity);
+        dst->mutable_predicate(q).parameter_positions =
+            info.parameter_positions;
+        pred_map[p] = q;
+        break;
+      }
+      case PredicateKind::kConceptEdb:
+        pred_map[p] = dst->AddConceptPredicate(info.external_id);
+        break;
+      case PredicateKind::kRoleEdb:
+        pred_map[p] = dst->AddRolePredicate(info.external_id);
+        break;
+      case PredicateKind::kTableEdb:
+        pred_map[p] = dst->AddTablePredicate(info.name, info.arity,
+                                             info.external_id);
+        break;
+      case PredicateKind::kEquality:
+        pred_map[p] = dst->EqualityPredicate();
+        break;
+      case PredicateKind::kAdom:
+        pred_map[p] = dst->AdomPredicate();
+        break;
+    }
+  }
+  for (const NdlClause& clause : src.clauses()) {
+    NdlClause c;
+    c.head = {pred_map[clause.head.predicate], clause.head.args};
+    for (const NdlAtom& atom : clause.body) {
+      c.body.push_back({pred_map[atom.predicate], atom.args});
+    }
+    dst->AddClause(std::move(c));
+  }
+  return src.goal() >= 0 ? pred_map[src.goal()] : -1;
+}
+
+namespace {
+
+NdlProgram RewriteConnected(RewritingContext* ctx,
+                            const ConjunctiveQuery& query, RewriterKind kind,
+                            const RewriteOptions& options) {
+  switch (kind) {
+    case RewriterKind::kLog:
+      return LogRewrite(ctx, query);
+    case RewriterKind::kLin:
+      return LinRewrite(ctx, query);
+    case RewriterKind::kTw:
+      return TwRewrite(ctx, query);
+    case RewriterKind::kTwStar: {
+      NdlProgram program = TwRewrite(ctx, query);
+      InlineSingleUsePredicates(&program);
+      return program;
+    }
+    case RewriterKind::kUcq:
+      return UcqRewrite(ctx, query, options.baseline, options.truncated);
+    case RewriterKind::kPrestoLike:
+      return PrestoLikeRewrite(ctx, query, options.baseline,
+                               options.truncated);
+  }
+  OWLQR_CHECK(false);
+  return NdlProgram(query.vocabulary());
+}
+
+}  // namespace
+
+NdlProgram RewriteOmq(RewritingContext* ctx, const ConjunctiveQuery& query,
+                      RewriterKind kind, const RewriteOptions& options) {
+  GaifmanGraph graph(query);
+  NdlProgram complete_program(query.vocabulary());
+  if (graph.IsConnected() && query.num_vars() > 0) {
+    complete_program = RewriteConnected(ctx, query, kind, options);
+  } else {
+    // Rewrite each connected component separately and conjoin the goals.
+    std::vector<std::vector<int>> components = graph.Components();
+    NdlProgram merged(query.vocabulary());
+    NdlClause top;
+    std::vector<Term> goal_args;
+    for (int x : query.answer_vars()) goal_args.push_back(Term::Var(x));
+    int goal = merged.AddIdbPredicate(
+        "G", static_cast<int>(goal_args.size()));
+    merged.mutable_predicate(goal).parameter_positions.assign(
+        goal_args.size(), true);
+    top.head = {goal, goal_args};
+    for (size_t c = 0; c < components.size(); ++c) {
+      // Build the component sub-CQ with its own variable numbering.
+      ConjunctiveQuery sub(query.vocabulary());
+      std::map<int, int> var_map;  // Original var -> sub var.
+      std::vector<int> original_answer_order;
+      for (int v : components[c]) {
+        var_map[v] = sub.AddVariable(query.VarName(v));
+      }
+      for (int x : query.answer_vars()) {
+        if (var_map.count(x) > 0) {
+          sub.MarkAnswerVariable(var_map[x]);
+          original_answer_order.push_back(x);
+        }
+      }
+      for (const CqAtom& atom : query.atoms()) {
+        if (var_map.count(atom.arg0) == 0) continue;
+        if (atom.kind == CqAtom::Kind::kUnary) {
+          sub.AddUnaryAtom(atom.symbol, var_map[atom.arg0]);
+        } else {
+          sub.AddBinaryAtom(atom.symbol, var_map[atom.arg0],
+                            var_map[atom.arg1]);
+        }
+      }
+      NdlProgram sub_program = RewriteConnected(ctx, sub, kind, options);
+      int sub_goal = MergeProgram(&merged, sub_program,
+                                  "c" + std::to_string(c) + "_");
+      NdlAtom atom;
+      atom.predicate = sub_goal;
+      for (int x : original_answer_order) atom.args.push_back(Term::Var(x));
+      top.body.push_back(std::move(atom));
+    }
+    merged.AddClause(std::move(top));
+    merged.SetGoal(goal);
+    EnsureSafety(&merged);
+    complete_program = std::move(merged);
+  }
+
+  if (!options.arbitrary_instances) return complete_program;
+  // The component-conjoining top clause is not linear, so Lemma 3 only
+  // applies to connected Lin rewritings.
+  if (kind == RewriterKind::kLin && complete_program.IsLinear()) {
+    return LinearStarTransform(complete_program, ctx->tbox(),
+                               ctx->saturation());
+  }
+  return StarTransform(complete_program, ctx->tbox(), ctx->saturation());
+}
+
+}  // namespace owlqr

@@ -1,0 +1,44 @@
+#ifndef OWLQR_CORE_REWRITERS_H_
+#define OWLQR_CORE_REWRITERS_H_
+
+#include <string>
+
+#include "core/rewriting_context.h"
+#include "core/ucq_rewriter.h"
+#include "cq/cq.h"
+#include "ndl/program.h"
+
+namespace owlqr {
+
+// The rewriting algorithms compared in the paper's experiments (Section 6):
+// the paper's Log (3.2), Lin (3.3), Tw (3.4), the inlined Tw* variant
+// (Appendix D.4), and the two baseline stand-ins (UCQ ~ Rapid/Clipper,
+// PrestoLike ~ Presto).
+enum class RewriterKind { kLog, kLin, kTw, kTwStar, kUcq, kPrestoLike };
+
+const char* RewriterName(RewriterKind kind);
+
+struct RewriteOptions {
+  // Produce a rewriting over arbitrary data instances (applies the *
+  // transformation, or Lemma 3 for Lin) instead of complete ones.
+  bool arbitrary_instances = false;
+  BaselineOptions baseline;
+  bool* truncated = nullptr;  // Set for the baselines when capped.
+};
+
+// Rewrites the OMQ (ctx->tbox(), query) with the chosen algorithm.
+// Disconnected queries are handled by rewriting each connected component and
+// conjoining the component goals.  Aborts if the query shape or the ontology
+// depth does not fit the algorithm's class (e.g. Lin/Tw need tree-shaped
+// CQs; Log/Lin need finite depth).
+NdlProgram RewriteOmq(RewritingContext* ctx, const ConjunctiveQuery& query,
+                      RewriterKind kind, const RewriteOptions& options = {});
+
+// Merges `src` into `dst`, prefixing IDB predicate names with `prefix`.
+// Returns the predicate in `dst` corresponding to src's goal.
+int MergeProgram(NdlProgram* dst, const NdlProgram& src,
+                 const std::string& prefix);
+
+}  // namespace owlqr
+
+#endif  // OWLQR_CORE_REWRITERS_H_

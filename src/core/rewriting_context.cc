@@ -1,0 +1,15 @@
+#include "core/rewriting_context.h"
+
+#include "util/logging.h"
+
+namespace owlqr {
+
+RewritingContext::RewritingContext(const TBox& tbox)
+    : tbox_(tbox),
+      saturation_(tbox),
+      word_graph_(tbox, saturation_),
+      words_(&word_graph_) {
+  OWLQR_CHECK_MSG(tbox.normalized(), "rewriters require a normalized TBox");
+}
+
+}  // namespace owlqr

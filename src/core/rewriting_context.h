@@ -1,0 +1,39 @@
+#ifndef OWLQR_CORE_REWRITING_CONTEXT_H_
+#define OWLQR_CORE_REWRITING_CONTEXT_H_
+
+#include "ontology/saturation.h"
+#include "ontology/tbox.h"
+#include "ontology/word_graph.h"
+
+namespace owlqr {
+
+// Precomputed reasoning state shared by all rewriters of one ontology:
+// entailment closure, the W_T graph and the word interning table.
+//
+// The TBox must be normalized and must outlive the context.
+class RewritingContext {
+ public:
+  explicit RewritingContext(const TBox& tbox);
+
+  RewritingContext(const RewritingContext&) = delete;
+  RewritingContext& operator=(const RewritingContext&) = delete;
+
+  const TBox& tbox() const { return tbox_; }
+  const Saturation& saturation() const { return saturation_; }
+  const WordGraph& word_graph() const { return word_graph_; }
+  WordTable& words() { return words_; }
+  const WordTable& words() const { return words_; }
+
+  // Ontology depth (WordGraph::kInfiniteDepth if infinite).
+  int depth() const { return word_graph_.depth(); }
+
+ private:
+  const TBox& tbox_;
+  Saturation saturation_;
+  WordGraph word_graph_;
+  WordTable words_;
+};
+
+}  // namespace owlqr
+
+#endif  // OWLQR_CORE_REWRITING_CONTEXT_H_

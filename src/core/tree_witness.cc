@@ -1,0 +1,217 @@
+#include "core/tree_witness.h"
+
+#include <algorithm>
+#include <set>
+
+#include "util/logging.h"
+
+namespace owlqr {
+
+TreeWitnessEnumerator::TreeWitnessEnumerator(RewritingContext* ctx,
+                                             const ConjunctiveQuery& query)
+    : ctx_(ctx), query_(query) {
+  seed_individual_ =
+      query.vocabulary()->InternIndividual("_tw_root");
+}
+
+const CanonicalModel& TreeWitnessEnumerator::ModelFor(RoleId rho) {
+  auto it = models_.find(rho);
+  if (it != models_.end()) return *it->second;
+  DataInstance data(query_.vocabulary());
+  int exists_concept = ctx_->tbox().ExistsConcept(rho);
+  OWLQR_CHECK(exists_concept >= 0);
+  data.AddConceptAssertion(exists_concept, seed_individual_);
+  int depth = query_.num_vars() + 1;
+  auto model = std::make_unique<CanonicalModel>(
+      ctx_->tbox(), ctx_->saturation(), ctx_->word_graph(), data, depth);
+  const CanonicalModel& ref = *model;
+  models_.emplace(rho, std::move(model));
+  return ref;
+}
+
+namespace {
+
+// True iff the atom holds under the (total on its variables) assignment.
+bool AtomHolds(const CqAtom& atom, const std::vector<int>& assignment,
+               const CanonicalModel& model) {
+  if (atom.kind == CqAtom::Kind::kUnary) {
+    return model.HasConcept(assignment[atom.arg0], atom.symbol);
+  }
+  return model.HasRole(RoleOf(atom.symbol), assignment[atom.arg0],
+                       assignment[atom.arg1]);
+}
+
+}  // namespace
+
+void TreeWitnessEnumerator::Search(
+    const std::vector<int>& atom_indices, const std::vector<int>& answer_vars,
+    const CanonicalModel& model, std::vector<int>* assignment,
+    std::map<std::vector<int>, std::vector<RoleId>>* found, RoleId rho) {
+  int root = model.ElementOfIndividual(seed_individual_);
+  // Find an obligation: an atom touching a null-assigned variable with some
+  // variable unassigned, or (verification) fully assigned with a null.
+  for (int ai : atom_indices) {
+    const CqAtom& atom = query_.atoms()[ai];
+    std::vector<int> vars = {atom.arg0};
+    if (atom.kind == CqAtom::Kind::kBinary && atom.arg1 != atom.arg0) {
+      vars.push_back(atom.arg1);
+    }
+    bool touches_null = false;
+    int open = -1;
+    for (int v : vars) {
+      int e = (*assignment)[v];
+      if (e >= 0 && !model.IsIndividual(e)) touches_null = true;
+      if (e < 0) open = v;
+    }
+    if (!touches_null) continue;
+    if (open < 0) {
+      if (!AtomHolds(atom, *assignment, model)) return;  // Dead branch.
+      continue;
+    }
+    // Branch on the open variable of this obligation.
+    std::vector<int> candidates;
+    if (atom.kind == CqAtom::Kind::kUnary) {
+      // Cannot happen: unary atoms have one variable, which is the null one.
+      OWLQR_CHECK(false);
+    } else {
+      RoleId role = RoleOf(atom.symbol);
+      if ((*assignment)[atom.arg0] >= 0) {
+        candidates = model.RoleSuccessors(role, (*assignment)[atom.arg0]);
+      } else {
+        candidates =
+            model.RoleSuccessors(Inverse(role), (*assignment)[atom.arg1]);
+      }
+    }
+    bool open_is_answer =
+        std::binary_search(answer_vars.begin(), answer_vars.end(), open);
+    for (int candidate : candidates) {
+      if (open_is_answer && candidate != root) continue;
+      (*assignment)[open] = candidate;
+      // Verify unary atoms and self-loops on `open` if it became a null.
+      bool ok = true;
+      if (!model.IsIndividual(candidate)) {
+        for (int aj : atom_indices) {
+          const CqAtom& other = query_.atoms()[aj];
+          if (other.kind == CqAtom::Kind::kUnary && other.arg0 == open) {
+            ok = ok && AtomHolds(other, *assignment, model);
+          } else if (other.kind == CqAtom::Kind::kBinary &&
+                     other.arg0 == open && other.arg1 == open) {
+            ok = ok && AtomHolds(other, *assignment, model);
+          }
+        }
+      }
+      if (ok) Search(atom_indices, answer_vars, model, assignment, found, rho);
+      (*assignment)[open] = -1;
+    }
+    return;  // All extensions of this obligation explored.
+  }
+  // No obligations left: every atom touching a null is fully mapped and
+  // holds.  Record the witness.
+  std::vector<int> ti;
+  for (int v = 0; v < query_.num_vars(); ++v) {
+    if ((*assignment)[v] >= 0 && !model.IsIndividual((*assignment)[v])) {
+      ti.push_back(v);
+    }
+  }
+  if (ti.empty()) return;
+  std::vector<RoleId>& gens = (*found)[ti];
+  if (std::find(gens.begin(), gens.end(), rho) == gens.end()) {
+    gens.push_back(rho);
+  }
+}
+
+std::vector<TreeWitness> TreeWitnessEnumerator::Enumerate(
+    const std::vector<int>& atom_indices, const std::vector<int>& answer_vars,
+    int required_var, bool include_detached) {
+  std::map<std::vector<int>, std::vector<RoleId>> found;
+  // Seed variables: all existential variables of the subquery.  Even with a
+  // required ti-variable we must seed every variable, because the required
+  // one may sit deeper than the depth-1 seeds below; the requirement is
+  // enforced by the final filter.
+  std::vector<int> seeds;
+  {
+    std::set<int> vars;
+    for (int ai : atom_indices) {
+      const CqAtom& atom = query_.atoms()[ai];
+      vars.insert(atom.arg0);
+      if (atom.kind == CqAtom::Kind::kBinary) vars.insert(atom.arg1);
+    }
+    for (int v : vars) {
+      if (!std::binary_search(answer_vars.begin(), answer_vars.end(), v)) {
+        seeds.push_back(v);
+      }
+    }
+  }
+  // Seeding: for the witnesses we emit (tr != {}), some atom connects a
+  // tr-variable (mapped to the root) to a ti-variable, which therefore sits
+  // at a *depth-1* null; seeding every variable at every depth-1 null is
+  // complete and avoids materialising deep branching models.  Detached
+  // witnesses (tr = {}) can be shifted so that their minimal element is a
+  // representative null, so those are added as extra seeds when requested.
+  for (RoleId rho : ctx_->tbox().roles()) {
+    if (ctx_->tbox().ExistsConcept(rho) < 0) continue;
+    const CanonicalModel& model = ModelFor(rho);
+    std::vector<int> seed_elements = model.DepthOneNulls();
+    if (include_detached) {
+      for (int e : model.RepresentativeNulls()) seed_elements.push_back(e);
+      std::sort(seed_elements.begin(), seed_elements.end());
+      seed_elements.erase(
+          std::unique(seed_elements.begin(), seed_elements.end()),
+          seed_elements.end());
+    }
+    for (int seed : seeds) {
+      if (std::binary_search(answer_vars.begin(), answer_vars.end(), seed)) {
+        continue;
+      }
+      std::vector<int> assignment(query_.num_vars(), -1);
+      for (int e : seed_elements) {
+        assignment[seed] = e;
+        // Check unary atoms and self-loops on the seed.
+        bool ok = true;
+        for (int ai : atom_indices) {
+          const CqAtom& atom = query_.atoms()[ai];
+          bool on_seed =
+              (atom.kind == CqAtom::Kind::kUnary && atom.arg0 == seed) ||
+              (atom.kind == CqAtom::Kind::kBinary && atom.arg0 == seed &&
+               atom.arg1 == seed);
+          if (on_seed) ok = ok && AtomHolds(atom, assignment, model);
+        }
+        if (ok) {
+          Search(atom_indices, answer_vars, model, &assignment, &found, rho);
+        }
+        assignment[seed] = -1;
+      }
+    }
+  }
+
+  std::vector<TreeWitness> witnesses;
+  for (auto& [ti, generators] : found) {
+    if (required_var >= 0 &&
+        !std::binary_search(ti.begin(), ti.end(), required_var)) {
+      continue;
+    }
+    TreeWitness tw;
+    tw.ti = ti;
+    tw.generators = std::move(generators);
+    std::set<int> tr;
+    for (int ai : atom_indices) {
+      const CqAtom& atom = query_.atoms()[ai];
+      bool touches = std::binary_search(ti.begin(), ti.end(), atom.arg0) ||
+                     (atom.kind == CqAtom::Kind::kBinary &&
+                      std::binary_search(ti.begin(), ti.end(), atom.arg1));
+      if (!touches) continue;
+      tw.atoms.push_back(ai);
+      for (int v : {atom.arg0, atom.arg1}) {
+        if (v >= 0 && !std::binary_search(ti.begin(), ti.end(), v)) {
+          tr.insert(v);
+        }
+      }
+    }
+    tw.tr.assign(tr.begin(), tr.end());
+    if (tw.tr.empty() && !include_detached) continue;
+    witnesses.push_back(std::move(tw));
+  }
+  return witnesses;
+}
+
+}  // namespace owlqr

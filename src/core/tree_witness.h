@@ -1,0 +1,59 @@
+#ifndef OWLQR_CORE_TREE_WITNESS_H_
+#define OWLQR_CORE_TREE_WITNESS_H_
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "chase/canonical_model.h"
+#include "core/rewriting_context.h"
+#include "cq/cq.h"
+
+namespace owlqr {
+
+// A tree witness t = (tr, ti) for an OMQ (Section 3.4): ti is a nonempty set
+// of existential variables that can be mapped to labelled nulls of the
+// canonical model of {A_rho(a)}, tr the remaining variables of the covered
+// atoms (mapped to the root a).  `generators` lists every rho witnessing it.
+struct TreeWitness {
+  std::vector<int> ti;          // Sorted.
+  std::vector<int> tr;          // Sorted.
+  std::vector<int> atoms;       // q_t: indices of covered atoms, sorted.
+  std::vector<RoleId> generators;
+};
+
+// Enumerates tree witnesses of (T, q) restricted to the atom set
+// `atom_indices` and the answer-variable set `answer_vars` (variables that
+// must not enter ti).  If `required_var` >= 0, only witnesses with
+// required_var in ti are produced.  Witnesses with tr = {} are skipped unless
+// `include_detached` is set.
+//
+// Canonical models C_{T, {A_rho(a)}} are built once per rho and cached in
+// this enumerator; reuse one instance across subqueries of the same OMQ.
+class TreeWitnessEnumerator {
+ public:
+  TreeWitnessEnumerator(RewritingContext* ctx, const ConjunctiveQuery& query);
+
+  std::vector<TreeWitness> Enumerate(const std::vector<int>& atom_indices,
+                                     const std::vector<int>& answer_vars,
+                                     int required_var,
+                                     bool include_detached = false);
+
+ private:
+  const CanonicalModel& ModelFor(RoleId rho);
+  void Search(const std::vector<int>& atom_indices,
+              const std::vector<int>& answer_vars,
+              const CanonicalModel& model, std::vector<int>* assignment,
+              std::map<std::vector<int>, std::vector<RoleId>>* found,
+              RoleId rho);
+
+  RewritingContext* ctx_;
+  const ConjunctiveQuery& query_;
+  std::map<RoleId, std::unique_ptr<CanonicalModel>> models_;
+  std::unique_ptr<DataInstance> seed_data_;  // Reused template individual.
+  int seed_individual_ = -1;
+};
+
+}  // namespace owlqr
+
+#endif  // OWLQR_CORE_TREE_WITNESS_H_

@@ -1,0 +1,334 @@
+#include "core/tw_rewriter.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <set>
+
+#include "chase/homomorphism.h"
+#include "core/tree_witness.h"
+#include "cq/gaifman.h"
+#include "cq/splitting.h"
+#include "ndl/transforms.h"
+#include "util/logging.h"
+
+namespace owlqr {
+
+namespace {
+
+// A subquery of the decomposition: a subset of the original atoms plus its
+// answer variables (original answer variables and promoted split/root vars).
+struct SubQuery {
+  std::vector<int> atoms;        // Sorted atom indices.
+  std::vector<int> answer_vars;  // Sorted variable ids.
+
+  bool operator<(const SubQuery& o) const {
+    return std::tie(atoms, answer_vars) < std::tie(o.atoms, o.answer_vars);
+  }
+};
+
+class TwRewriterImpl {
+ public:
+  TwRewriterImpl(RewritingContext* ctx, const ConjunctiveQuery& query)
+      : ctx_(*ctx),
+        query_(query),
+        program_(query.vocabulary()),
+        witnesses_(ctx, query) {}
+
+  NdlProgram Run() {
+    SubQuery top;
+    for (size_t i = 0; i < query_.atoms().size(); ++i) {
+      top.atoms.push_back(static_cast<int>(i));
+    }
+    top.answer_vars = query_.answer_vars();
+    std::sort(top.answer_vars.begin(), top.answer_vars.end());
+
+    int goal = GetPredicate(top);
+    // For Boolean queries, add G <- A(x) for every unary predicate A with
+    // T, {A(a)} |= q (fully-anonymous matches).
+    if (query_.IsBoolean()) {
+      for (int concept_id = 0;
+           concept_id < query_.vocabulary()->num_concepts(); ++concept_id) {
+        if (!EntailedFromSingleton(concept_id)) continue;
+        NdlClause clause;
+        clause.head = {goal, {}};
+        clause.body.push_back(
+            {program_.AddConceptPredicate(concept_id), {Term::Var(0)}});
+        program_.AddClause(std::move(clause));
+      }
+    }
+    program_.SetGoal(goal);
+    EnsureSafety(&program_);
+    PruneProgram(&program_);
+    return std::move(program_);
+  }
+
+ private:
+  // Variables of a subquery, sorted.
+  std::vector<int> VarsOf(const SubQuery& sq) const {
+    std::set<int> vars;
+    for (int ai : sq.atoms) {
+      const CqAtom& atom = query_.atoms()[ai];
+      vars.insert(atom.arg0);
+      if (atom.kind == CqAtom::Kind::kBinary) vars.insert(atom.arg1);
+    }
+    return {vars.begin(), vars.end()};
+  }
+
+  // T, {A(a)} |= q_ (the full Boolean query)?
+  bool EntailedFromSingleton(int concept_id) {
+    DataInstance data(query_.vocabulary());
+    data.AddConceptAssertion(concept_id,
+                             query_.vocabulary()->InternIndividual("_tw_root"));
+    CanonicalModel model(ctx_.tbox(), ctx_.saturation(), ctx_.word_graph(),
+                         data, query_.num_vars() + 1);
+    return HomomorphismSearch(query_, model).Exists();
+  }
+
+  // Connected components (by shared variables) of an atom set.
+  std::vector<std::vector<int>> AtomComponents(
+      const std::vector<int>& atoms) const {
+    std::map<int, std::vector<int>> var_to_atoms;
+    for (int ai : atoms) {
+      const CqAtom& atom = query_.atoms()[ai];
+      var_to_atoms[atom.arg0].push_back(ai);
+      if (atom.kind == CqAtom::Kind::kBinary) {
+        var_to_atoms[atom.arg1].push_back(ai);
+      }
+    }
+    std::set<int> unseen(atoms.begin(), atoms.end());
+    std::vector<std::vector<int>> components;
+    while (!unseen.empty()) {
+      std::vector<int> stack = {*unseen.begin()};
+      unseen.erase(unseen.begin());
+      std::vector<int> component;
+      while (!stack.empty()) {
+        int ai = stack.back();
+        stack.pop_back();
+        component.push_back(ai);
+        const CqAtom& atom = query_.atoms()[ai];
+        for (int v : {atom.arg0, atom.arg1}) {
+          if (v < 0) continue;
+          for (int aj : var_to_atoms[v]) {
+            if (unseen.erase(aj) > 0) stack.push_back(aj);
+          }
+        }
+      }
+      std::sort(component.begin(), component.end());
+      components.push_back(std::move(component));
+    }
+    return components;
+  }
+
+  int GetPredicate(const SubQuery& sq) {
+    auto it = memo_.find(sq);
+    if (it != memo_.end()) return it->second;
+    std::string name = "Gq" + std::to_string(memo_.size());
+    int pred = program_.AddIdbPredicate(
+        name, static_cast<int>(sq.answer_vars.size()));
+    std::vector<bool> params;
+    for (int v : sq.answer_vars) params.push_back(query_.IsAnswerVar(v));
+    program_.mutable_predicate(pred).parameter_positions = std::move(params);
+    memo_.emplace(sq, pred);
+
+    std::vector<int> vars = VarsOf(sq);
+    std::vector<int> existential;
+    for (int v : vars) {
+      if (!std::binary_search(sq.answer_vars.begin(), sq.answer_vars.end(),
+                              v)) {
+        existential.push_back(v);
+      }
+    }
+
+    auto head_atom = [&]() {
+      NdlAtom head;
+      head.predicate = pred;
+      for (int v : sq.answer_vars) head.args.push_back(Term::Var(v));
+      return head;
+    };
+    auto edb_atom = [&](const CqAtom& atom) {
+      if (atom.kind == CqAtom::Kind::kUnary) {
+        return NdlAtom{program_.AddConceptPredicate(atom.symbol),
+                       {Term::Var(atom.arg0)}};
+      }
+      return NdlAtom{program_.AddRolePredicate(atom.symbol),
+                     {Term::Var(atom.arg0), Term::Var(atom.arg1)}};
+    };
+
+    if (existential.empty()) {
+      // Base case: Gq(x) <- q(x).
+      NdlClause clause;
+      clause.head = head_atom();
+      for (int ai : sq.atoms) {
+        clause.body.push_back(edb_atom(query_.atoms()[ai]));
+      }
+      program_.AddClause(std::move(clause));
+      return pred;
+    }
+
+    // Choose the splitting variable z_q (Lemma 14); for two-variable
+    // subqueries it must be existential.
+    int zq;
+    if (vars.size() == 2) {
+      zq = existential[0];
+    } else {
+      // Centroid of the Gaifman tree of the subquery.
+      std::map<int, int> compact;
+      for (size_t i = 0; i < vars.size(); ++i) compact[vars[i]] = i;
+      SimpleTree tree;
+      tree.Resize(static_cast<int>(vars.size()));
+      std::set<std::pair<int, int>> edges;
+      for (int ai : sq.atoms) {
+        const CqAtom& atom = query_.atoms()[ai];
+        if (atom.kind != CqAtom::Kind::kBinary || atom.arg0 == atom.arg1) {
+          continue;
+        }
+        int u = compact[atom.arg0], v = compact[atom.arg1];
+        if (edges.insert({std::min(u, v), std::max(u, v)}).second) {
+          tree.AddEdge(u, v);
+        }
+      }
+      zq = vars[TreeCentroid(tree)];
+    }
+
+    // Decomposition clause: Gq(x) <- atoms on zq alone & Gq_i(x_i).
+    {
+      NdlClause clause;
+      clause.head = head_atom();
+      std::set<int> used_atoms;
+      for (int ai : sq.atoms) {
+        const CqAtom& atom = query_.atoms()[ai];
+        bool only_zq =
+            atom.arg0 == zq &&
+            (atom.kind == CqAtom::Kind::kUnary || atom.arg1 == zq);
+        if (only_zq) {
+          clause.body.push_back(edb_atom(atom));
+          used_atoms.insert(ai);
+        }
+      }
+      // Neighbour subqueries: components of the subquery without zq, plus
+      // the edges to zq.
+      std::map<int, std::vector<int>> component_atoms;  // keyed by rep var.
+      // Union-find over variables excluding zq.
+      std::map<int, int> parent;
+      std::function<int(int)> find = [&](int v) -> int {
+        auto pit = parent.find(v);
+        if (pit == parent.end() || pit->second == v) {
+          parent[v] = v;
+          return v;
+        }
+        return parent[v] = find(pit->second);
+      };
+      for (int ai : sq.atoms) {
+        const CqAtom& atom = query_.atoms()[ai];
+        if (atom.kind != CqAtom::Kind::kBinary) continue;
+        if (atom.arg0 == zq || atom.arg1 == zq) continue;
+        parent[find(atom.arg0)] = find(atom.arg1);
+      }
+      for (int ai : sq.atoms) {
+        if (used_atoms.count(ai) > 0) continue;
+        const CqAtom& atom = query_.atoms()[ai];
+        int anchor;
+        if (atom.kind == CqAtom::Kind::kBinary &&
+            (atom.arg0 == zq || atom.arg1 == zq)) {
+          anchor = find(atom.arg0 == zq ? atom.arg1 : atom.arg0);
+        } else {
+          anchor = find(atom.arg0);
+        }
+        component_atoms[anchor].push_back(ai);
+      }
+      for (auto& [anchor, atoms] : component_atoms) {
+        SubQuery child;
+        std::sort(atoms.begin(), atoms.end());
+        child.atoms = atoms;
+        std::set<int> child_vars;
+        for (int ai : atoms) {
+          const CqAtom& atom = query_.atoms()[ai];
+          child_vars.insert(atom.arg0);
+          if (atom.kind == CqAtom::Kind::kBinary) {
+            child_vars.insert(atom.arg1);
+          }
+        }
+        for (int v : child_vars) {
+          if (v == zq ||
+              std::binary_search(sq.answer_vars.begin(), sq.answer_vars.end(),
+                                 v)) {
+            child.answer_vars.push_back(v);
+          }
+        }
+        int child_pred = GetPredicate(child);
+        NdlAtom atom;
+        atom.predicate = child_pred;
+        for (int v : child.answer_vars) atom.args.push_back(Term::Var(v));
+        clause.body.push_back(std::move(atom));
+      }
+      program_.AddClause(std::move(clause));
+    }
+
+    // Tree-witness clauses: one per witness t with zq in ti, tr != {}, and
+    // per generating role.
+    for (const TreeWitness& tw :
+         witnesses_.Enumerate(sq.atoms, sq.answer_vars, zq)) {
+      // Connected components of the remaining atoms.
+      std::vector<int> rest;
+      std::set_difference(sq.atoms.begin(), sq.atoms.end(), tw.atoms.begin(),
+                          tw.atoms.end(), std::back_inserter(rest));
+      std::vector<NdlAtom> child_atoms;
+      for (const std::vector<int>& comp : AtomComponents(rest)) {
+        SubQuery child;
+        child.atoms = comp;
+        std::set<int> child_vars;
+        for (int ai : comp) {
+          const CqAtom& atom = query_.atoms()[ai];
+          child_vars.insert(atom.arg0);
+          if (atom.kind == CqAtom::Kind::kBinary) {
+            child_vars.insert(atom.arg1);
+          }
+        }
+        for (int v : child_vars) {
+          if (std::binary_search(tw.tr.begin(), tw.tr.end(), v) ||
+              std::binary_search(sq.answer_vars.begin(), sq.answer_vars.end(),
+                                 v)) {
+            child.answer_vars.push_back(v);
+          }
+        }
+        int child_pred = GetPredicate(child);
+        NdlAtom atom;
+        atom.predicate = child_pred;
+        for (int v : child.answer_vars) atom.args.push_back(Term::Var(v));
+        child_atoms.push_back(std::move(atom));
+      }
+      int z0 = tw.tr[0];
+      for (RoleId rho : tw.generators) {
+        int exists_concept = ctx_.tbox().ExistsConcept(rho);
+        NdlClause clause;
+        clause.head = head_atom();
+        clause.body.push_back(
+            {program_.AddConceptPredicate(exists_concept), {Term::Var(z0)}});
+        for (size_t i = 1; i < tw.tr.size(); ++i) {
+          clause.body.push_back({program_.EqualityPredicate(),
+                                 {Term::Var(tw.tr[i]), Term::Var(z0)}});
+        }
+        for (const NdlAtom& atom : child_atoms) clause.body.push_back(atom);
+        program_.AddClause(std::move(clause));
+      }
+    }
+    return pred;
+  }
+
+  RewritingContext& ctx_;
+  const ConjunctiveQuery& query_;
+  NdlProgram program_;
+  TreeWitnessEnumerator witnesses_;
+  std::map<SubQuery, int> memo_;
+};
+
+}  // namespace
+
+NdlProgram TwRewrite(RewritingContext* ctx, const ConjunctiveQuery& query) {
+  GaifmanGraph graph(query);
+  OWLQR_CHECK_MSG(graph.IsTree(), "Tw rewriting requires a tree-shaped CQ");
+  return TwRewriterImpl(ctx, query).Run();
+}
+
+}  // namespace owlqr

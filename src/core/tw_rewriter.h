@@ -1,0 +1,24 @@
+#ifndef OWLQR_CORE_TW_REWRITER_H_
+#define OWLQR_CORE_TW_REWRITER_H_
+
+#include "core/rewriting_context.h"
+#include "cq/cq.h"
+#include "ndl/program.h"
+
+namespace owlqr {
+
+// The Tw rewriting of Section 3.4 for OMQ(inf, 1, l): arbitrary ontologies
+// with tree-shaped CQs with at most l leaves.  Recursively splits the query
+// at a centroid variable z_q (Lemma 14); for each subquery it emits a
+// decomposition clause plus one clause per tree witness containing z_q.  The
+// resulting NDL query has logarithmic depth and width <= l + 1, and evaluates
+// in LOGCFL.
+//
+// Works for ontologies of any (including infinite) depth.  The returned
+// program is a rewriting over complete data instances; apply StarTransform
+// for arbitrary instances.  Requires a connected tree-shaped query.
+NdlProgram TwRewrite(RewritingContext* ctx, const ConjunctiveQuery& query);
+
+}  // namespace owlqr
+
+#endif  // OWLQR_CORE_TW_REWRITER_H_

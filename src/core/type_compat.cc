@@ -1,0 +1,138 @@
+#include "core/type_compat.h"
+
+#include <algorithm>
+#include <set>
+
+namespace owlqr {
+
+bool UnaryAtomCompatible(const RewritingContext& ctx, int concept_id, int wz) {
+  if (wz == WordTable::kEpsilon) return true;  // Checked by the data atoms.
+  return ctx.saturation().InverseExistsImpliesConcept(
+      ctx.words().LastRole(wz), concept_id);
+}
+
+bool BinaryAtomCompatible(const RewritingContext& ctx, int predicate_id,
+                          int wy, int wz) {
+  const WordTable& words = ctx.words();
+  RoleId p = RoleOf(predicate_id);
+  // (i) Both epsilon: checked by the data atoms of At.
+  if (wy == WordTable::kEpsilon && wz == WordTable::kEpsilon) return true;
+  // (ii) Same element and a reflexive P.
+  if (wy == wz && ctx.saturation().Reflexive(p)) return true;
+  // (iii) A tree edge covered by P: z = y.rho with rho <= P, or y = z.rho
+  // with rho <= P^- (i.e. rho(z, y) entails P(y, z)).
+  if (wz != WordTable::kEpsilon && words.Parent(wz) == wy &&
+      ctx.saturation().SubRole(words.LastRole(wz), p)) {
+    return true;
+  }
+  if (wy != WordTable::kEpsilon && words.Parent(wy) == wz &&
+      ctx.saturation().SubRole(words.LastRole(wy), Inverse(p))) {
+    return true;
+  }
+  return false;
+}
+
+bool TypeCompatible(const RewritingContext& ctx, const ConjunctiveQuery& query,
+                    const TypeMap& type, const std::vector<int>& dom) {
+  auto in_dom = [&dom](int v) {
+    return std::find(dom.begin(), dom.end(), v) != dom.end();
+  };
+  for (int z : dom) {
+    if (query.IsAnswerVar(z) && type.Get(z) != WordTable::kEpsilon) {
+      return false;
+    }
+  }
+  for (const CqAtom& atom : query.atoms()) {
+    if (atom.kind == CqAtom::Kind::kUnary) {
+      if (!in_dom(atom.arg0)) continue;
+      if (!UnaryAtomCompatible(ctx, atom.symbol, type.Get(atom.arg0))) {
+        return false;
+      }
+    } else {
+      if (!in_dom(atom.arg0) || !in_dom(atom.arg1)) continue;
+      if (!BinaryAtomCompatible(ctx, atom.symbol, type.Get(atom.arg0),
+                                type.Get(atom.arg1))) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+void EmitTypeAtoms(const RewritingContext& ctx, const ConjunctiveQuery& query,
+                   const TypeMap& type, const std::vector<int>& dom,
+                   NdlProgram* out, std::vector<NdlAtom>* body) {
+  auto in_dom = [&dom](int v) {
+    return std::find(dom.begin(), dom.end(), v) != dom.end();
+  };
+  std::set<std::pair<int, std::pair<int, int>>> emitted;
+  auto push1 = [&](int predicate, int v0) {
+    if (emitted.insert({predicate, {v0, -1}}).second) {
+      body->push_back({predicate, {Term::Var(v0)}});
+    }
+  };
+  auto push2 = [&](int predicate, int v0, int v1) {
+    if (emitted.insert({predicate, {v0, v1}}).second) {
+      body->push_back({predicate, {Term::Var(v0), Term::Var(v1)}});
+    }
+  };
+  for (const CqAtom& atom : query.atoms()) {
+    if (atom.kind == CqAtom::Kind::kUnary) {
+      if (!in_dom(atom.arg0)) continue;
+      if (type.Get(atom.arg0) == WordTable::kEpsilon) {
+        push1(out->AddConceptPredicate(atom.symbol), atom.arg0);
+      }
+    } else {
+      if (!in_dom(atom.arg0) || !in_dom(atom.arg1)) continue;
+      int wy = type.Get(atom.arg0);
+      int wz = type.Get(atom.arg1);
+      if (wy == WordTable::kEpsilon && wz == WordTable::kEpsilon) {
+        push2(out->AddRolePredicate(atom.symbol), atom.arg0, atom.arg1);
+      } else if (atom.arg0 != atom.arg1) {
+        push2(out->EqualityPredicate(), atom.arg0, atom.arg1);
+      }
+    }
+  }
+  // (c) A_rho(z) for non-epsilon words: the base individual must entail
+  // exists rho for the first letter rho.
+  for (int z : dom) {
+    int w = type.Get(z);
+    if (w == WordTable::kEpsilon || w < 0) continue;
+    int exists_concept = ctx.tbox().ExistsConcept(ctx.words().FirstRole(w));
+    push1(out->AddConceptPredicate(exists_concept), z);
+  }
+}
+
+void EnumerateCompatibleTypes(
+    const RewritingContext& ctx, const ConjunctiveQuery& query,
+    const std::vector<int>& vars, const std::vector<int>& all_words,
+    const TypeMap& constraint,
+    const std::function<void(const TypeMap&)>& yield) {
+  TypeMap current;
+  std::function<void(size_t)> recurse = [&](size_t i) {
+    if (i == vars.size()) {
+      if (TypeCompatible(ctx, query, current, vars)) yield(current);
+      return;
+    }
+    int v = vars[i];
+    int forced = constraint.Get(v);
+    if (forced >= 0) {
+      current.Set(v, forced);
+      recurse(i + 1);
+      return;
+    }
+    if (query.IsAnswerVar(v)) {
+      current.Set(v, WordTable::kEpsilon);
+      recurse(i + 1);
+      return;
+    }
+    for (int w : all_words) {
+      current.Set(v, w);
+      recurse(i + 1);
+    }
+  };
+  recurse(0);
+  (void)yield;
+}
+
+}  // namespace owlqr

@@ -1,0 +1,50 @@
+#ifndef OWLQR_CORE_TYPE_COMPAT_H_
+#define OWLQR_CORE_TYPE_COMPAT_H_
+
+#include <functional>
+#include <vector>
+
+#include "core/rewriting_context.h"
+#include "core/type_map.h"
+#include "cq/cq.h"
+#include "ndl/program.h"
+
+namespace owlqr {
+
+// Can a unary atom A(z) be satisfied when z is mapped according to word `wz`
+// (epsilon = an individual, checked by the data atoms of At)?
+bool UnaryAtomCompatible(const RewritingContext& ctx, int concept_id, int wz);
+
+// Can a binary atom P(y, z) be satisfied when y, z are mapped to the words
+// wy, wz under a common individual (conditions (i)-(iii) of Section 3.2)?
+bool BinaryAtomCompatible(const RewritingContext& ctx, int predicate_id,
+                          int wy, int wz);
+
+// Checks the full compatibility of `type` with the variable set `dom` (all
+// in the domain of `type`): answer variables map to epsilon, and every atom
+// of `query` within dom passes the unary/binary conditions.
+bool TypeCompatible(const RewritingContext& ctx, const ConjunctiveQuery& query,
+                    const TypeMap& type, const std::vector<int>& dom);
+
+// Emits the conjunction At^type over the variables `dom` into `body`
+// (atoms (a)-(c) of Section 3.2):
+//   (a) data atoms for all-epsilon atoms of the query within dom,
+//   (b) equalities y = z for binary atoms with a non-epsilon endpoint,
+//   (c) A_rho(z) for z with type(z) = rho.w.
+void EmitTypeAtoms(const RewritingContext& ctx, const ConjunctiveQuery& query,
+                   const TypeMap& type, const std::vector<int>& dom,
+                   NdlProgram* out, std::vector<NdlAtom>* body);
+
+// Enumerates all total types over `vars` with words of length <= max_length
+// that are compatible (TypeCompatible) and agree with `constraint` on its
+// domain.  Calls `yield` for each.
+void EnumerateCompatibleTypes(const RewritingContext& ctx,
+                              const ConjunctiveQuery& query,
+                              const std::vector<int>& vars,
+                              const std::vector<int>& all_words,
+                              const TypeMap& constraint,
+                              const std::function<void(const TypeMap&)>& yield);
+
+}  // namespace owlqr
+
+#endif  // OWLQR_CORE_TYPE_COMPAT_H_

@@ -1,0 +1,98 @@
+#ifndef OWLQR_CORE_TYPE_MAP_H_
+#define OWLQR_CORE_TYPE_MAP_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ontology/word_graph.h"
+
+namespace owlqr {
+
+// A type (Sections 3.2/3.3): a partial map from query variables to words of
+// W_T.  Variables mapped to WordTable::kEpsilon stand for individuals;
+// variables not in the domain are unconstrained.  Stored as a sorted
+// (variable, word) list, so TypeMap values are directly comparable and usable
+// as map keys.
+class TypeMap {
+ public:
+  TypeMap() = default;
+
+  // Returns the word for `var`, or -1 if var is not in the domain.
+  int Get(int var) const {
+    for (const auto& [v, w] : entries_) {
+      if (v == var) return w;
+    }
+    return -1;
+  }
+
+  bool InDomain(int var) const { return Get(var) >= 0; }
+
+  // Sets var -> word (overwrites).
+  void Set(int var, int word) {
+    for (auto& [v, w] : entries_) {
+      if (v == var) {
+        w = word;
+        return;
+      }
+    }
+    entries_.emplace_back(var, word);
+    for (size_t i = entries_.size(); i > 1; --i) {
+      if (entries_[i - 1].first < entries_[i - 2].first) {
+        std::swap(entries_[i - 1], entries_[i - 2]);
+      } else {
+        break;
+      }
+    }
+  }
+
+  // The restriction of this map to `vars`; every var must be in the domain.
+  TypeMap Restrict(const std::vector<int>& vars) const {
+    TypeMap out;
+    for (int v : vars) {
+      int w = Get(v);
+      if (w >= 0) out.Set(v, w);
+    }
+    return out;
+  }
+
+  // The union of two maps with disjoint-or-agreeing domains; agreement is the
+  // caller's responsibility (later entries win on clash).
+  static TypeMap Union(const TypeMap& a, const TypeMap& b) {
+    TypeMap out = a;
+    for (const auto& [v, w] : b.entries_) out.Set(v, w);
+    return out;
+  }
+
+  // True if the maps agree on every variable in both domains.
+  bool AgreesWith(const TypeMap& other) const {
+    for (const auto& [v, w] : entries_) {
+      int ow = other.Get(v);
+      if (ow >= 0 && ow != w) return false;
+    }
+    return true;
+  }
+
+  const std::vector<std::pair<int, int>>& entries() const { return entries_; }
+  size_t size() const { return entries_.size(); }
+
+  bool operator==(const TypeMap& o) const { return entries_ == o.entries_; }
+  bool operator<(const TypeMap& o) const { return entries_ < o.entries_; }
+
+  // A short stable name fragment for predicate naming.
+  std::string Name(const WordTable& words, const Vocabulary& vocab) const {
+    std::string out;
+    for (const auto& [v, w] : entries_) {
+      if (!out.empty()) out += ',';
+      out += std::to_string(v) + ">" + words.Name(w, vocab);
+    }
+    return out.empty() ? "e" : out;
+  }
+
+ private:
+  std::vector<std::pair<int, int>> entries_;  // Sorted by variable.
+};
+
+}  // namespace owlqr
+
+#endif  // OWLQR_CORE_TYPE_MAP_H_

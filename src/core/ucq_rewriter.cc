@@ -1,0 +1,272 @@
+#include "core/ucq_rewriter.h"
+
+#include <algorithm>
+#include <set>
+
+#include "chase/homomorphism.h"
+#include "core/tree_witness.h"
+#include "ndl/transforms.h"
+#include "util/logging.h"
+
+namespace owlqr {
+
+namespace {
+
+bool AtomsIntersect(const std::vector<int>& a, const std::vector<int>& b) {
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == b[j]) return true;
+    if (a[i] < b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return false;
+}
+
+class UcqRewriterImpl {
+ public:
+  UcqRewriterImpl(RewritingContext* ctx, const ConjunctiveQuery& query,
+                  const BaselineOptions& options)
+      : ctx_(*ctx),
+        query_(query),
+        options_(options),
+        program_(query.vocabulary()),
+        witnesses_(ctx, query) {}
+
+  NdlProgram Run(bool* truncated) {
+    truncated_ = false;
+    goal_ = program_.AddIdbPredicate(
+        "G", static_cast<int>(query_.answer_vars().size()));
+    program_.mutable_predicate(goal_).parameter_positions.assign(
+        query_.answer_vars().size(), true);
+
+    std::vector<int> all_atoms(query_.atoms().size());
+    for (size_t i = 0; i < all_atoms.size(); ++i) {
+      all_atoms[i] = static_cast<int>(i);
+    }
+    std::vector<int> answer_vars = query_.answer_vars();
+    std::sort(answer_vars.begin(), answer_vars.end());
+    all_witnesses_ =
+        witnesses_.Enumerate(all_atoms, answer_vars, /*required_var=*/-1);
+
+    std::vector<int> chosen;
+    EmitSubsets(0, &chosen);
+
+    // Fully-anonymous matches of Boolean queries.
+    if (query_.IsBoolean()) {
+      for (int concept_id = 0;
+           concept_id < query_.vocabulary()->num_concepts(); ++concept_id) {
+        DataInstance data(query_.vocabulary());
+        data.AddConceptAssertion(
+            concept_id, query_.vocabulary()->InternIndividual("_tw_root"));
+        CanonicalModel model(ctx_.tbox(), ctx_.saturation(), ctx_.word_graph(),
+                             data, query_.num_vars() + 1);
+        if (!HomomorphismSearch(query_, model).Exists()) continue;
+        NdlClause clause;
+        clause.head = {goal_, {}};
+        clause.body.push_back(
+            {program_.AddConceptPredicate(concept_id), {Term::Var(0)}});
+        program_.AddClause(std::move(clause));
+      }
+    }
+    program_.SetGoal(goal_);
+    EnsureSafety(&program_);
+    if (truncated != nullptr) *truncated = truncated_;
+    return std::move(program_);
+  }
+
+ private:
+  // Enumerates independent witness subsets; for each, emits one clause per
+  // combination of generators.
+  void EmitSubsets(size_t next, std::vector<int>* chosen) {
+    if (truncated_) return;
+    if (next == all_witnesses_.size()) {
+      EmitClausesFor(*chosen);
+      return;
+    }
+    // Without witness `next`.
+    EmitSubsets(next + 1, chosen);
+    // With it, if independent of the current choice.
+    for (int c : *chosen) {
+      if (AtomsIntersect(all_witnesses_[c].atoms,
+                         all_witnesses_[next].atoms)) {
+        return;
+      }
+    }
+    chosen->push_back(static_cast<int>(next));
+    EmitSubsets(next + 1, chosen);
+    chosen->pop_back();
+  }
+
+  void EmitClausesFor(const std::vector<int>& chosen) {
+    // Uncovered atoms.
+    std::set<int> covered;
+    for (int c : chosen) {
+      covered.insert(all_witnesses_[c].atoms.begin(),
+                     all_witnesses_[c].atoms.end());
+    }
+    std::vector<NdlAtom> base_body;
+    for (size_t i = 0; i < query_.atoms().size(); ++i) {
+      if (covered.count(static_cast<int>(i)) > 0) continue;
+      const CqAtom& atom = query_.atoms()[i];
+      if (atom.kind == CqAtom::Kind::kUnary) {
+        base_body.push_back({program_.AddConceptPredicate(atom.symbol),
+                             {Term::Var(atom.arg0)}});
+      } else {
+        base_body.push_back({program_.AddRolePredicate(atom.symbol),
+                             {Term::Var(atom.arg0), Term::Var(atom.arg1)}});
+      }
+    }
+    // One clause per combination of generators.
+    std::vector<size_t> generator_index(chosen.size(), 0);
+    while (true) {
+      if (program_.num_clauses() >= options_.max_clauses) {
+        truncated_ = true;
+        return;
+      }
+      NdlClause clause;
+      clause.head.predicate = goal_;
+      for (int x : query_.answer_vars()) {
+        clause.head.args.push_back(Term::Var(x));
+      }
+      clause.body = base_body;
+      for (size_t k = 0; k < chosen.size(); ++k) {
+        const TreeWitness& tw = all_witnesses_[chosen[k]];
+        RoleId rho = tw.generators[generator_index[k]];
+        int z0 = tw.tr[0];
+        clause.body.push_back(
+            {program_.AddConceptPredicate(ctx_.tbox().ExistsConcept(rho)),
+             {Term::Var(z0)}});
+        for (size_t i = 1; i < tw.tr.size(); ++i) {
+          clause.body.push_back({program_.EqualityPredicate(),
+                                 {Term::Var(tw.tr[i]), Term::Var(z0)}});
+        }
+      }
+      program_.AddClause(std::move(clause));
+      // Advance the generator combination.
+      size_t k = 0;
+      while (k < chosen.size()) {
+        if (++generator_index[k] <
+            all_witnesses_[chosen[k]].generators.size()) {
+          break;
+        }
+        generator_index[k] = 0;
+        ++k;
+      }
+      if (k == chosen.size()) break;
+    }
+  }
+
+  RewritingContext& ctx_;
+  const ConjunctiveQuery& query_;
+  BaselineOptions options_;
+  NdlProgram program_;
+  TreeWitnessEnumerator witnesses_;
+  std::vector<TreeWitness> all_witnesses_;
+  int goal_ = -1;
+  bool truncated_ = false;
+};
+
+}  // namespace
+
+NdlProgram UcqRewrite(RewritingContext* ctx, const ConjunctiveQuery& query,
+                      const BaselineOptions& options, bool* truncated) {
+  return UcqRewriterImpl(ctx, query, options).Run(truncated);
+}
+
+NdlProgram PrestoLikeRewrite(RewritingContext* ctx,
+                             const ConjunctiveQuery& query,
+                             const BaselineOptions& options, bool* truncated) {
+  NdlProgram ucq = UcqRewrite(ctx, query, options, truncated);
+  // Decompose every disjunct into a left-deep chain of auxiliary predicates,
+  // one atom absorbed per step (the Presto "eliminate one variable at a
+  // time" style, without cross-disjunct sharing).
+  NdlProgram out(query.vocabulary());
+  std::vector<int> pred_map(ucq.num_predicates());
+  for (int p = 0; p < ucq.num_predicates(); ++p) {
+    const PredicateInfo& info = ucq.predicate(p);
+    switch (info.kind) {
+      case PredicateKind::kIdb: {
+        int q = out.AddIdbPredicate(info.name, info.arity);
+        out.mutable_predicate(q).parameter_positions = info.parameter_positions;
+        pred_map[p] = q;
+        break;
+      }
+      case PredicateKind::kConceptEdb:
+        pred_map[p] = out.AddConceptPredicate(info.external_id);
+        break;
+      case PredicateKind::kRoleEdb:
+        pred_map[p] = out.AddRolePredicate(info.external_id);
+        break;
+      case PredicateKind::kTableEdb:
+        pred_map[p] = out.AddTablePredicate(info.name, info.arity,
+                                            info.external_id);
+        break;
+      case PredicateKind::kEquality:
+        pred_map[p] = out.EqualityPredicate();
+        break;
+      case PredicateKind::kAdom:
+        pred_map[p] = out.AdomPredicate();
+        break;
+    }
+  }
+  out.SetGoal(pred_map[ucq.goal()]);
+  int chain_id = 0;
+  for (const NdlClause& clause : ucq.clauses()) {
+    if (clause.body.size() <= 2) {
+      NdlClause c;
+      c.head = {pred_map[clause.head.predicate], clause.head.args};
+      for (const NdlAtom& atom : clause.body) {
+        c.body.push_back({pred_map[atom.predicate], atom.args});
+      }
+      out.AddClause(std::move(c));
+      continue;
+    }
+    std::string base = "_pr" + std::to_string(chain_id++);
+    // Vars needed after step i: head vars + vars of atoms > i.
+    std::set<int> needed;
+    for (const Term& t : clause.head.args) {
+      if (!t.is_constant) needed.insert(t.value);
+    }
+    NdlAtom previous{-1, {}};
+    std::set<int> carried;
+    for (size_t i = 0; i + 1 < clause.body.size(); ++i) {
+      const NdlAtom& atom = clause.body[i];
+      for (const Term& t : atom.args) {
+        if (!t.is_constant) carried.insert(t.value);
+      }
+      std::set<int> later = needed;
+      for (size_t j = i + 1; j < clause.body.size(); ++j) {
+        for (const Term& t : clause.body[j].args) {
+          if (!t.is_constant) later.insert(t.value);
+        }
+      }
+      std::vector<Term> args;
+      for (int v : carried) {
+        if (later.count(v) > 0) args.push_back(Term::Var(v));
+      }
+      int pred = out.AddIdbPredicate(base + "_" + std::to_string(i),
+                                     static_cast<int>(args.size()));
+      NdlClause step;
+      step.head = {pred, args};
+      if (previous.predicate >= 0) step.body.push_back(previous);
+      step.body.push_back({pred_map[atom.predicate], atom.args});
+      out.AddClause(std::move(step));
+      previous = {pred, args};
+      carried.clear();
+      for (const Term& t : args) carried.insert(t.value);
+    }
+    NdlClause last;
+    last.head = {pred_map[clause.head.predicate], clause.head.args};
+    last.body.push_back(previous);
+    last.body.push_back({pred_map[clause.body.back().predicate],
+                         clause.body.back().args});
+    out.AddClause(std::move(last));
+  }
+  EnsureSafety(&out);
+  return out;
+}
+
+}  // namespace owlqr

@@ -1,0 +1,37 @@
+#ifndef OWLQR_CORE_UCQ_REWRITER_H_
+#define OWLQR_CORE_UCQ_REWRITER_H_
+
+#include "core/rewriting_context.h"
+#include "cq/cq.h"
+#include "ndl/program.h"
+
+namespace owlqr {
+
+struct BaselineOptions {
+  // Stop emitting clauses beyond this bound (mimics the timeouts of the
+  // third-party engines on long queries); `truncated` reports whether the
+  // bound was hit, in which case the program is not a complete rewriting.
+  long max_clauses = 1'000'000;
+};
+
+// Baseline 1: the classical tree-witness UCQ rewriting (the PerfectRef-style
+// output produced by engines such as Rapid and Clipper on these inputs).
+// One clause per independent set of tree witnesses per choice of generators;
+// exponential in the number of non-conflicting witnesses.  Sound and
+// complete over complete data instances (combine with StarTransform for
+// arbitrary ones).
+NdlProgram UcqRewrite(RewritingContext* ctx, const ConjunctiveQuery& query,
+                      const BaselineOptions& options = {},
+                      bool* truncated = nullptr);
+
+// Baseline 2: a Presto-style NDL rewriting: the UCQ above with every
+// disjunct decomposed into a chain of auxiliary predicates that eliminate
+// one atom at a time (no cross-disjunct sharing).
+NdlProgram PrestoLikeRewrite(RewritingContext* ctx,
+                             const ConjunctiveQuery& query,
+                             const BaselineOptions& options = {},
+                             bool* truncated = nullptr);
+
+}  // namespace owlqr
+
+#endif  // OWLQR_CORE_UCQ_REWRITER_H_

@@ -1,0 +1,86 @@
+#include "cq/cq.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace owlqr {
+
+int ConjunctiveQuery::AddVariable(std::string_view name) {
+  int existing = FindVariable(name);
+  if (existing >= 0) return existing;
+  var_names_.emplace_back(name);
+  return num_vars() - 1;
+}
+
+void ConjunctiveQuery::MarkAnswerVariable(int var) {
+  OWLQR_CHECK(var >= 0 && var < num_vars());
+  if (!IsAnswerVar(var)) answer_vars_.push_back(var);
+}
+
+void ConjunctiveQuery::AddUnaryAtom(int concept_id, int var) {
+  OWLQR_CHECK(var >= 0 && var < num_vars());
+  atoms_.push_back(CqAtom::Unary(concept_id, var));
+}
+
+void ConjunctiveQuery::AddBinaryAtom(int predicate_id, int u, int v) {
+  OWLQR_CHECK(u >= 0 && u < num_vars() && v >= 0 && v < num_vars());
+  atoms_.push_back(CqAtom::Binary(predicate_id, u, v));
+}
+
+void ConjunctiveQuery::AddUnary(std::string_view concept_name,
+                                std::string_view var) {
+  AddUnaryAtom(vocabulary_->InternConcept(concept_name), AddVariable(var));
+}
+
+void ConjunctiveQuery::AddBinary(std::string_view predicate_name,
+                                 std::string_view u, std::string_view v) {
+  int pu = AddVariable(u);
+  int pv = AddVariable(v);
+  AddBinaryAtom(vocabulary_->InternPredicate(predicate_name), pu, pv);
+}
+
+int ConjunctiveQuery::FindVariable(std::string_view name) const {
+  for (int i = 0; i < num_vars(); ++i) {
+    if (var_names_[i] == name) return i;
+  }
+  return -1;
+}
+
+bool ConjunctiveQuery::IsAnswerVar(int var) const {
+  return std::find(answer_vars_.begin(), answer_vars_.end(), var) !=
+         answer_vars_.end();
+}
+
+std::vector<CqAtom> ConjunctiveQuery::AtomsOn(int var) const {
+  std::vector<CqAtom> out;
+  for (const CqAtom& atom : atoms_) {
+    if (atom.arg0 == var || (atom.kind == CqAtom::Kind::kBinary &&
+                             atom.arg1 == var)) {
+      out.push_back(atom);
+    }
+  }
+  return out;
+}
+
+std::string ConjunctiveQuery::ToString() const {
+  std::string out = "q(";
+  for (size_t i = 0; i < answer_vars_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += var_names_[answer_vars_[i]];
+  }
+  out += ") :- ";
+  for (size_t i = 0; i < atoms_.size(); ++i) {
+    if (i > 0) out += ", ";
+    const CqAtom& a = atoms_[i];
+    if (a.kind == CqAtom::Kind::kUnary) {
+      out += vocabulary_->ConceptName(a.symbol) + "(" + var_names_[a.arg0] + ")";
+    } else {
+      out += vocabulary_->PredicateName(a.symbol) + "(" + var_names_[a.arg0] +
+             ", " + var_names_[a.arg1] + ")";
+    }
+  }
+  return out;
+}
+
+}  // namespace owlqr

@@ -1,0 +1,83 @@
+#ifndef OWLQR_CQ_CQ_H_
+#define OWLQR_CQ_CQ_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ontology/vocabulary.h"
+
+namespace owlqr {
+
+// One atom of a conjunctive query: A(x) or P(x, y), where A is a concept id
+// and P a (binary) predicate id of the shared Vocabulary.  Constants are not
+// allowed in CQs (as in the paper, w.l.o.g.).
+struct CqAtom {
+  enum class Kind { kUnary, kBinary };
+
+  Kind kind;
+  int symbol;  // Concept id (kUnary) or predicate id (kBinary).
+  int arg0;
+  int arg1;  // Unused for kUnary.
+
+  static CqAtom Unary(int concept_id, int var) {
+    return {Kind::kUnary, concept_id, var, -1};
+  }
+  static CqAtom Binary(int predicate_id, int u, int v) {
+    return {Kind::kBinary, predicate_id, u, v};
+  }
+
+  bool operator==(const CqAtom& o) const {
+    return kind == o.kind && symbol == o.symbol && arg0 == o.arg0 &&
+           arg1 == o.arg1;
+  }
+};
+
+// A conjunctive query q(x) = exists y phi(x, y).  Variables are dense ids
+// 0..num_vars()-1 with printable names; answer variables are a subset in a
+// fixed answer order.
+class ConjunctiveQuery {
+ public:
+  explicit ConjunctiveQuery(Vocabulary* vocabulary)
+      : vocabulary_(vocabulary) {}
+
+  Vocabulary* vocabulary() const { return vocabulary_; }
+
+  // Returns the id of the (new or existing) variable called `name`.
+  int AddVariable(std::string_view name);
+  // Marks an existing variable as an answer variable (idempotent); the order
+  // of first marking defines the answer-tuple order.
+  void MarkAnswerVariable(int var);
+
+  void AddUnaryAtom(int concept_id, int var);
+  void AddBinaryAtom(int predicate_id, int u, int v);
+
+  // Convenience by-name builders (intern in the vocabulary / variable table).
+  void AddUnary(std::string_view concept_name, std::string_view var);
+  void AddBinary(std::string_view predicate_name, std::string_view u,
+                 std::string_view v);
+
+  int num_vars() const { return static_cast<int>(var_names_.size()); }
+  const std::string& VarName(int var) const { return var_names_[var]; }
+  int FindVariable(std::string_view name) const;
+
+  const std::vector<CqAtom>& atoms() const { return atoms_; }
+  const std::vector<int>& answer_vars() const { return answer_vars_; }
+  bool IsAnswerVar(int var) const;
+  bool IsBoolean() const { return answer_vars_.empty(); }
+
+  // All unary/binary atoms mentioning `var`.
+  std::vector<CqAtom> AtomsOn(int var) const;
+
+  std::string ToString() const;
+
+ private:
+  Vocabulary* vocabulary_;  // Not owned.
+  std::vector<std::string> var_names_;
+  std::vector<int> answer_vars_;
+  std::vector<CqAtom> atoms_;
+};
+
+}  // namespace owlqr
+
+#endif  // OWLQR_CQ_CQ_H_

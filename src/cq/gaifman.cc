@@ -1,0 +1,96 @@
+#include "cq/gaifman.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace owlqr {
+
+GaifmanGraph::GaifmanGraph(const ConjunctiveQuery& query) {
+  adjacency_.assign(query.num_vars(), {});
+  for (const CqAtom& atom : query.atoms()) {
+    if (atom.kind != CqAtom::Kind::kBinary || atom.arg0 == atom.arg1) continue;
+    adjacency_[atom.arg0].push_back(atom.arg1);
+    adjacency_[atom.arg1].push_back(atom.arg0);
+  }
+  for (std::vector<int>& nbrs : adjacency_) {
+    std::sort(nbrs.begin(), nbrs.end());
+    nbrs.erase(std::unique(nbrs.begin(), nbrs.end()), nbrs.end());
+  }
+  for (const std::vector<int>& nbrs : adjacency_) {
+    num_edges_ += static_cast<int>(nbrs.size());
+  }
+  num_edges_ /= 2;
+}
+
+bool GaifmanGraph::HasEdge(int u, int v) const {
+  const std::vector<int>& nbrs = adjacency_[u];
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+bool GaifmanGraph::IsConnected() const {
+  if (num_vertices() == 0) return true;
+  return static_cast<int>(Components().size()) <= 1;
+}
+
+bool GaifmanGraph::IsTree() const {
+  return IsConnected() && num_edges_ == num_vertices() - 1;
+}
+
+int GaifmanGraph::NumLeaves() const {
+  if (num_vertices() == 1) return 1;
+  int leaves = 0;
+  for (int v = 0; v < num_vertices(); ++v) {
+    if (Degree(v) <= 1) ++leaves;
+  }
+  return leaves;
+}
+
+std::vector<std::vector<int>> GaifmanGraph::Components() const {
+  std::vector<std::vector<int>> components;
+  std::vector<bool> seen(num_vertices(), false);
+  for (int start = 0; start < num_vertices(); ++start) {
+    if (seen[start]) continue;
+    std::vector<int> component;
+    std::queue<int> queue;
+    queue.push(start);
+    seen[start] = true;
+    while (!queue.empty()) {
+      int u = queue.front();
+      queue.pop();
+      component.push_back(u);
+      for (int v : adjacency_[u]) {
+        if (!seen[v]) {
+          seen[v] = true;
+          queue.push(v);
+        }
+      }
+    }
+    std::sort(component.begin(), component.end());
+    components.push_back(std::move(component));
+  }
+  return components;
+}
+
+std::vector<std::vector<int>> GaifmanGraph::BfsLayers(int root) const {
+  std::vector<std::vector<int>> layers;
+  std::vector<int> dist(num_vertices(), -1);
+  dist[root] = 0;
+  std::vector<int> frontier = {root};
+  while (!frontier.empty()) {
+    layers.push_back(frontier);
+    std::vector<int> next;
+    for (int u : frontier) {
+      for (int v : adjacency_[u]) {
+        if (dist[v] < 0) {
+          dist[v] = dist[u] + 1;
+          next.push_back(v);
+        }
+      }
+    }
+    std::sort(next.begin(), next.end());
+    frontier = std::move(next);
+  }
+  return layers;
+}
+
+}  // namespace owlqr

@@ -1,0 +1,45 @@
+#ifndef OWLQR_CQ_GAIFMAN_H_
+#define OWLQR_CQ_GAIFMAN_H_
+
+#include <vector>
+
+#include "cq/cq.h"
+
+namespace owlqr {
+
+// The Gaifman graph of a CQ: vertices are the variables, and {u, v} is an
+// edge iff some binary atom P(u, v) or P(v, u) with u != v occurs in the
+// query (self-loops do not contribute edges).
+class GaifmanGraph {
+ public:
+  explicit GaifmanGraph(const ConjunctiveQuery& query);
+
+  int num_vertices() const { return static_cast<int>(adjacency_.size()); }
+  const std::vector<int>& Neighbors(int v) const { return adjacency_[v]; }
+  int Degree(int v) const { return static_cast<int>(adjacency_[v].size()); }
+  bool HasEdge(int u, int v) const;
+  int num_edges() const { return num_edges_; }
+
+  bool IsConnected() const;
+  // Tree: connected and |E| = |V| - 1 (single vertex counts as a tree).
+  bool IsTree() const;
+  // Leaves of a tree: vertices of degree <= 1.  A single-vertex query has one
+  // leaf; a linear query (paper terminology) is a tree with two leaves.
+  int NumLeaves() const;
+  bool IsLinear() const { return IsTree() && NumLeaves() <= 2; }
+
+  // Vertex sets of the connected components, in discovery order.
+  std::vector<std::vector<int>> Components() const;
+
+  // BFS layers from `root`: result[d] lists the vertices at distance d.
+  // Unreachable vertices are omitted.
+  std::vector<std::vector<int>> BfsLayers(int root) const;
+
+ private:
+  std::vector<std::vector<int>> adjacency_;
+  int num_edges_ = 0;
+};
+
+}  // namespace owlqr
+
+#endif  // OWLQR_CQ_GAIFMAN_H_

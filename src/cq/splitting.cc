@@ -1,0 +1,130 @@
+#include "cq/splitting.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/logging.h"
+
+namespace owlqr {
+
+namespace {
+
+std::vector<char> Membership(int n, const std::vector<int>& subset) {
+  std::vector<char> in(n, 0);
+  for (int v : subset) in[v] = 1;
+  return in;
+}
+
+}  // namespace
+
+std::vector<std::vector<int>> SubsetComponents(const SimpleTree& tree,
+                                               const std::vector<int>& subset,
+                                               int removed) {
+  std::vector<char> in = Membership(tree.n(), subset);
+  if (removed >= 0) in[removed] = 0;
+  std::vector<char> seen(tree.n(), 0);
+  std::vector<std::vector<int>> components;
+  for (int start : subset) {
+    if (!in[start] || seen[start]) continue;
+    std::vector<int> component;
+    std::queue<int> queue;
+    queue.push(start);
+    seen[start] = 1;
+    while (!queue.empty()) {
+      int u = queue.front();
+      queue.pop();
+      component.push_back(u);
+      for (int v : tree.adjacency[u]) {
+        if (in[v] && !seen[v]) {
+          seen[v] = 1;
+          queue.push(v);
+        }
+      }
+    }
+    std::sort(component.begin(), component.end());
+    components.push_back(std::move(component));
+  }
+  return components;
+}
+
+std::vector<int> BoundaryNodes(const SimpleTree& tree,
+                               const std::vector<int>& component) {
+  std::vector<char> in = Membership(tree.n(), component);
+  std::vector<int> boundary;
+  for (int u : component) {
+    for (int v : tree.adjacency[u]) {
+      if (!in[v]) {
+        boundary.push_back(u);
+        break;
+      }
+    }
+  }
+  return boundary;
+}
+
+int SubtreeCentroid(const SimpleTree& tree, const std::vector<int>& subset) {
+  OWLQR_CHECK(!subset.empty());
+  int n = static_cast<int>(subset.size());
+  int best = -1;
+  int best_max = n + 1;
+  for (int candidate : subset) {
+    int max_comp = 0;
+    for (const std::vector<int>& comp :
+         SubsetComponents(tree, subset, candidate)) {
+      max_comp = std::max(max_comp, static_cast<int>(comp.size()));
+    }
+    if (max_comp < best_max) {
+      best_max = max_comp;
+      best = candidate;
+    }
+  }
+  OWLQR_CHECK(2 * best_max <= n + 1);  // Lemma 14 guarantee (<= ceil(n/2)).
+  return best;
+}
+
+int TreeCentroid(const SimpleTree& tree) {
+  std::vector<int> all(tree.n());
+  for (int i = 0; i < tree.n(); ++i) all[i] = i;
+  return SubtreeCentroid(tree, all);
+}
+
+int FindLemma10Splitter(const SimpleTree& tree, const std::vector<int>& d) {
+  OWLQR_CHECK(!d.empty());
+  int n = static_cast<int>(d.size());
+  if (n == 1) return d[0];
+  int best = -1;
+  int best_max = -1;
+  for (int candidate : d) {
+    std::vector<std::vector<int>> comps = SubsetComponents(tree, d, candidate);
+    int oversize = 0;  // Components with size > n/2.
+    bool ok = true;
+    int max_comp = 0;
+    for (const std::vector<int>& comp : comps) {
+      int size = static_cast<int>(comp.size());
+      max_comp = std::max(max_comp, size);
+      int deg = static_cast<int>(BoundaryNodes(tree, comp).size());
+      if (deg > 2) {
+        ok = false;
+        break;
+      }
+      if (2 * size > n) {
+        ++oversize;
+        // The single oversize component must have degree <= 1 and be smaller
+        // than n - 1.
+        if (deg > 1 || size >= n - 1) {
+          ok = false;
+          break;
+        }
+      }
+    }
+    if (!ok || oversize > 1) continue;
+    if (best < 0 || max_comp < best_max) {
+      best = candidate;
+      best_max = max_comp;
+    }
+  }
+  OWLQR_CHECK_MSG(best >= 0, "Lemma 10 splitter not found (deg(D) > 2?)");
+  return best;
+}
+
+}  // namespace owlqr

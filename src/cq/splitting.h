@@ -1,0 +1,47 @@
+#ifndef OWLQR_CQ_SPLITTING_H_
+#define OWLQR_CQ_SPLITTING_H_
+
+#include <vector>
+
+namespace owlqr {
+
+// Plain undirected tree over nodes 0..n-1, used for the splitting lemmas.
+struct SimpleTree {
+  std::vector<std::vector<int>> adjacency;
+
+  int n() const { return static_cast<int>(adjacency.size()); }
+  void Resize(int nodes) { adjacency.assign(nodes, {}); }
+  void AddEdge(int a, int b) {
+    adjacency[a].push_back(b);
+    adjacency[b].push_back(a);
+  }
+};
+
+// Lemma 14: a node of `tree` restricted to the connected node subset `subset`
+// whose removal splits the subset into components of size <= ceil(|subset|/2)
+// (in fact, the returned centroid achieves <= floor(|subset|/2)).
+int SubtreeCentroid(const SimpleTree& tree, const std::vector<int>& subset);
+
+// Centroid of the whole tree.
+int TreeCentroid(const SimpleTree& tree);
+
+// Connected components of `subset` \ {removed} in the induced subgraph,
+// each sorted ascending.
+std::vector<std::vector<int>> SubsetComponents(const SimpleTree& tree,
+                                               const std::vector<int>& subset,
+                                               int removed);
+
+// Boundary nodes of the connected subset `component`: nodes with a tree edge
+// leaving the subset (Section 3.2).
+std::vector<int> BoundaryNodes(const SimpleTree& tree,
+                               const std::vector<int>& component);
+
+// Lemma 10: given a connected subset D of the tree with deg(D) <= 2, returns
+// a node t in D splitting D into subtrees of size <= |D|/2 and degree <= 2
+// plus possibly one subtree of size < |D|-1 and degree 1.  Aborts if no node
+// qualifies (which Lemma 10 rules out).
+int FindLemma10Splitter(const SimpleTree& tree, const std::vector<int>& d);
+
+}  // namespace owlqr
+
+#endif  // OWLQR_CQ_SPLITTING_H_

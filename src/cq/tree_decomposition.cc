@@ -1,0 +1,310 @@
+#include "cq/tree_decomposition.h"
+
+#include <algorithm>
+#include <map>
+#include <queue>
+#include <set>
+
+#include "util/logging.h"
+
+namespace owlqr {
+
+int TreeDecomposition::AddBag(std::vector<int> bag) {
+  std::sort(bag.begin(), bag.end());
+  bag.erase(std::unique(bag.begin(), bag.end()), bag.end());
+  bags.push_back(std::move(bag));
+  adjacency.emplace_back();
+  return num_nodes() - 1;
+}
+
+void TreeDecomposition::AddEdge(int s, int t) {
+  adjacency[s].push_back(t);
+  adjacency[t].push_back(s);
+}
+
+int TreeDecomposition::width() const {
+  int w = 0;
+  for (const std::vector<int>& bag : bags) {
+    w = std::max(w, static_cast<int>(bag.size()) - 1);
+  }
+  return w;
+}
+
+bool TreeDecomposition::Validate(const ConjunctiveQuery& query) const {
+  if (num_nodes() == 0) return query.num_vars() == 0;
+  // The decomposition graph must be a tree.
+  int edges = 0;
+  for (const std::vector<int>& nbrs : adjacency) {
+    edges += static_cast<int>(nbrs.size());
+  }
+  edges /= 2;
+  if (edges != num_nodes() - 1) return false;
+  std::vector<bool> seen(num_nodes(), false);
+  std::queue<int> queue;
+  queue.push(0);
+  seen[0] = true;
+  int reached = 0;
+  while (!queue.empty()) {
+    int t = queue.front();
+    queue.pop();
+    ++reached;
+    for (int u : adjacency[t]) {
+      if (!seen[u]) {
+        seen[u] = true;
+        queue.push(u);
+      }
+    }
+  }
+  if (reached != num_nodes()) return false;
+
+  auto bag_contains = [&](int t, int v) {
+    return std::binary_search(bags[t].begin(), bags[t].end(), v);
+  };
+  // Every atom's variable set lies in some bag (this subsumes variable
+  // coverage since every variable occurs in an atom or is covered below).
+  for (const CqAtom& atom : query.atoms()) {
+    bool covered = false;
+    for (int t = 0; t < num_nodes() && !covered; ++t) {
+      covered = bag_contains(t, atom.arg0) &&
+                (atom.kind == CqAtom::Kind::kUnary || bag_contains(t, atom.arg1));
+    }
+    if (!covered) return false;
+  }
+  for (int v = 0; v < query.num_vars(); ++v) {
+    // Coverage and connectivity of occurrence.
+    std::vector<int> holders;
+    for (int t = 0; t < num_nodes(); ++t) {
+      if (bag_contains(t, v)) holders.push_back(t);
+    }
+    if (holders.empty()) return false;
+    std::set<int> holder_set(holders.begin(), holders.end());
+    std::set<int> visited;
+    std::queue<int> bfs;
+    bfs.push(holders[0]);
+    visited.insert(holders[0]);
+    while (!bfs.empty()) {
+      int t = bfs.front();
+      bfs.pop();
+      for (int u : adjacency[t]) {
+        if (holder_set.count(u) > 0 && visited.insert(u).second) bfs.push(u);
+      }
+    }
+    if (visited.size() != holder_set.size()) return false;
+  }
+  return true;
+}
+
+TreeDecomposition DecomposeTreeQuery(const ConjunctiveQuery& query,
+                                     const GaifmanGraph& graph) {
+  (void)query;  // The decomposition is determined by the Gaifman graph.
+  OWLQR_CHECK_MSG(graph.IsTree(), "query Gaifman graph must be a tree");
+  TreeDecomposition td;
+  int n = graph.num_vertices();
+  if (n == 0) return td;
+  if (n == 1) {
+    td.AddBag({0});
+    return td;
+  }
+  // Root the tree at 0; one bag {parent(v), v} per non-root vertex.
+  std::vector<int> parent(n, -1);
+  std::vector<int> order;
+  std::vector<bool> seen(n, false);
+  std::queue<int> queue;
+  queue.push(0);
+  seen[0] = true;
+  while (!queue.empty()) {
+    int u = queue.front();
+    queue.pop();
+    order.push_back(u);
+    for (int v : graph.Neighbors(u)) {
+      if (!seen[v]) {
+        seen[v] = true;
+        parent[v] = u;
+        queue.push(v);
+      }
+    }
+  }
+  std::vector<int> bag_of(n, -1);  // Bag index for non-root vertex v.
+  for (int v : order) {
+    if (parent[v] < 0) continue;
+    bag_of[v] = td.AddBag({parent[v], v});
+  }
+  int root_hub = -1;
+  for (int v : order) {
+    if (parent[v] < 0) continue;
+    if (parent[v] == 0) {
+      // Children of the root form a star (their bags share the root var).
+      if (root_hub < 0) {
+        root_hub = bag_of[v];
+      } else {
+        td.AddEdge(root_hub, bag_of[v]);
+      }
+    } else {
+      td.AddEdge(bag_of[v], bag_of[parent[v]]);
+    }
+  }
+  return td;
+}
+
+namespace {
+
+// Builds the "moral"-style graph for elimination: one clique per atom (for
+// binary atoms, an edge).
+std::vector<std::set<int>> BuildEliminationGraph(const ConjunctiveQuery& q) {
+  std::vector<std::set<int>> adj(q.num_vars());
+  for (const CqAtom& atom : q.atoms()) {
+    if (atom.kind == CqAtom::Kind::kBinary && atom.arg0 != atom.arg1) {
+      adj[atom.arg0].insert(atom.arg1);
+      adj[atom.arg1].insert(atom.arg0);
+    }
+  }
+  return adj;
+}
+
+TreeDecomposition DecompositionFromOrder(const ConjunctiveQuery& query,
+                                         const std::vector<int>& order) {
+  int n = query.num_vars();
+  std::vector<std::set<int>> adj = BuildEliminationGraph(query);
+  std::vector<int> position(n);
+  for (int i = 0; i < n; ++i) position[order[i]] = i;
+
+  TreeDecomposition td;
+  std::vector<int> bag_of(n, -1);
+  std::vector<std::vector<int>> bag_vars(n);
+  for (int i = 0; i < n; ++i) {
+    int v = order[i];
+    std::vector<int> bag = {v};
+    for (int u : adj[v]) bag.push_back(u);
+    bag_vars[i] = bag;
+    bag_of[v] = td.AddBag(bag);
+    // Connect the neighbors into a clique and remove v.
+    std::vector<int> nbrs(adj[v].begin(), adj[v].end());
+    for (size_t a = 0; a < nbrs.size(); ++a) {
+      adj[nbrs[a]].erase(v);
+      for (size_t b = a + 1; b < nbrs.size(); ++b) {
+        adj[nbrs[a]].insert(nbrs[b]);
+        adj[nbrs[b]].insert(nbrs[a]);
+      }
+    }
+  }
+  // Connect bag i to the bag of the earliest-eliminated remaining neighbor.
+  for (int i = 0; i < n; ++i) {
+    int v = order[i];
+    int best = -1;
+    for (int u : bag_vars[i]) {
+      if (u == v) continue;
+      if (best < 0 || position[u] < position[best]) best = u;
+    }
+    if (best >= 0) {
+      td.AddEdge(bag_of[v], bag_of[best]);
+    } else if (i + 1 < n) {
+      td.AddEdge(bag_of[v], bag_of[order[i + 1]]);  // Keep the tree connected.
+    }
+  }
+  return td;
+}
+
+}  // namespace
+
+TreeDecomposition MinFillDecomposition(const ConjunctiveQuery& query) {
+  int n = query.num_vars();
+  if (n == 0) return TreeDecomposition();
+  std::vector<std::set<int>> adj = BuildEliminationGraph(query);
+  std::vector<bool> eliminated(n, false);
+  std::vector<int> order;
+  for (int step = 0; step < n; ++step) {
+    int best = -1;
+    long best_fill = -1;
+    for (int v = 0; v < n; ++v) {
+      if (eliminated[v]) continue;
+      long fill = 0;
+      std::vector<int> nbrs(adj[v].begin(), adj[v].end());
+      for (size_t a = 0; a < nbrs.size(); ++a) {
+        for (size_t b = a + 1; b < nbrs.size(); ++b) {
+          if (adj[nbrs[a]].count(nbrs[b]) == 0) ++fill;
+        }
+      }
+      if (best < 0 || fill < best_fill) {
+        best = v;
+        best_fill = fill;
+      }
+    }
+    order.push_back(best);
+    eliminated[best] = true;
+    std::vector<int> nbrs(adj[best].begin(), adj[best].end());
+    for (size_t a = 0; a < nbrs.size(); ++a) {
+      adj[nbrs[a]].erase(best);
+      for (size_t b = a + 1; b < nbrs.size(); ++b) {
+        adj[nbrs[a]].insert(nbrs[b]);
+        adj[nbrs[b]].insert(nbrs[a]);
+      }
+    }
+    adj[best].clear();
+  }
+  return DecompositionFromOrder(query, order);
+}
+
+namespace {
+
+// Depth-first search for an elimination order of width <= max_width.
+bool SearchOrder(std::vector<std::set<int>>& adj, std::vector<bool>& done,
+                 int remaining, int max_width, std::vector<int>* order,
+                 std::set<std::vector<bool>>* visited) {
+  if (remaining == 0) return true;
+  if (visited->count(done) > 0) return false;
+  int n = static_cast<int>(adj.size());
+  for (int v = 0; v < n; ++v) {
+    if (done[v] || static_cast<int>(adj[v].size()) > max_width) continue;
+    // Eliminate v.
+    std::vector<int> nbrs(adj[v].begin(), adj[v].end());
+    std::vector<std::pair<int, int>> added;
+    for (size_t a = 0; a < nbrs.size(); ++a) {
+      adj[nbrs[a]].erase(v);
+      for (size_t b = a + 1; b < nbrs.size(); ++b) {
+        if (adj[nbrs[a]].insert(nbrs[b]).second) {
+          adj[nbrs[b]].insert(nbrs[a]);
+          added.emplace_back(nbrs[a], nbrs[b]);
+        }
+      }
+    }
+    done[v] = true;
+    order->push_back(v);
+    if (SearchOrder(adj, done, remaining - 1, max_width, order, visited)) {
+      return true;
+    }
+    // Undo.
+    order->pop_back();
+    done[v] = false;
+    for (auto [a, b] : added) {
+      adj[a].erase(b);
+      adj[b].erase(a);
+    }
+    for (int u : nbrs) adj[u].insert(v);
+  }
+  visited->insert(done);
+  return false;
+}
+
+}  // namespace
+
+std::optional<TreeDecomposition> ExactDecomposition(
+    const ConjunctiveQuery& query, int max_width) {
+  int n = query.num_vars();
+  if (n == 0) return TreeDecomposition();
+  std::vector<std::set<int>> adj = BuildEliminationGraph(query);
+  std::vector<bool> done(n, false);
+  std::vector<int> order;
+  std::set<std::vector<bool>> visited;
+  if (!SearchOrder(adj, done, n, max_width, &order, &visited)) {
+    return std::nullopt;
+  }
+  return DecompositionFromOrder(query, order);
+}
+
+int ExactTreewidth(const ConjunctiveQuery& query) {
+  for (int w = 0;; ++w) {
+    if (ExactDecomposition(query, w).has_value()) return w;
+  }
+}
+
+}  // namespace owlqr

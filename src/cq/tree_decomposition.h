@@ -1,0 +1,52 @@
+#ifndef OWLQR_CQ_TREE_DECOMPOSITION_H_
+#define OWLQR_CQ_TREE_DECOMPOSITION_H_
+
+#include <optional>
+#include <vector>
+
+#include "cq/cq.h"
+#include "cq/gaifman.h"
+
+namespace owlqr {
+
+// A tree decomposition (T, lambda) of a CQ's Gaifman graph.  Nodes are dense
+// indices; `bags[t]` is the sorted variable set lambda(t) and `adjacency`
+// describes the (undirected) tree T.
+struct TreeDecomposition {
+  std::vector<std::vector<int>> bags;
+  std::vector<std::vector<int>> adjacency;
+
+  int num_nodes() const { return static_cast<int>(bags.size()); }
+  int AddBag(std::vector<int> bag);
+  void AddEdge(int s, int t);
+
+  // max |bag| - 1.
+  int width() const;
+
+  // Checks the three tree-decomposition conditions against `query` (every
+  // variable covered, every atom's variables inside some bag, connectivity of
+  // occurrence) and that the decomposition graph is a tree.
+  bool Validate(const ConjunctiveQuery& query) const;
+};
+
+// The natural width-1 decomposition of a connected tree-shaped query: one bag
+// per Gaifman edge (Example 8).  Requires graph.IsTree().
+TreeDecomposition DecomposeTreeQuery(const ConjunctiveQuery& query,
+                                     const GaifmanGraph& graph);
+
+// Min-fill heuristic decomposition; valid for any query, width may exceed the
+// true treewidth.
+TreeDecomposition MinFillDecomposition(const ConjunctiveQuery& query);
+
+// Branch-and-bound decomposition of width <= max_width, or nullopt if the
+// treewidth exceeds max_width.  Exponential: meant for queries with at most
+// ~20 variables.
+std::optional<TreeDecomposition> ExactDecomposition(
+    const ConjunctiveQuery& query, int max_width);
+
+// Exact treewidth via ExactDecomposition (iterative deepening).
+int ExactTreewidth(const ConjunctiveQuery& query);
+
+}  // namespace owlqr
+
+#endif  // OWLQR_CQ_TREE_DECOMPOSITION_H_

@@ -1,0 +1,62 @@
+#include "data/completion.h"
+
+#include <set>
+
+namespace owlqr {
+
+DataInstance CompleteInstance(const DataInstance& instance, const TBox& tbox,
+                              const Saturation& saturation) {
+  (void)tbox;
+  Vocabulary* vocab = instance.vocabulary();
+  DataInstance out(vocab);
+  for (int a : instance.individuals()) out.AddIndividual(a);
+
+  // Basic concepts known to hold at each individual.
+  std::map<int, std::set<int>> held_concepts;  // individual -> concept nodes.
+  std::vector<int> top_supers =
+      saturation.AtomicSuperConcepts(BasicConcept::Top());
+
+  auto add_entailed = [&](int individual, const BasicConcept& basic) {
+    for (int c : saturation.AtomicSuperConcepts(basic)) {
+      out.AddConceptAssertion(c, individual);
+    }
+  };
+
+  for (int a : instance.individuals()) {
+    for (int c : top_supers) out.AddConceptAssertion(c, a);
+  }
+  for (int concept_id : instance.ActiveConcepts()) {
+    for (int a : instance.ConceptMembers(concept_id)) {
+      out.AddConceptAssertion(concept_id, a);
+      add_entailed(a, BasicConcept::Atomic(concept_id));
+    }
+  }
+  for (int predicate_id : instance.ActivePredicates()) {
+    RoleId forward = RoleOf(predicate_id, false);
+    for (auto [a, b] : instance.RolePairs(predicate_id)) {
+      // Role-inclusion consequences.
+      for (RoleId super : saturation.SuperRoles(forward)) {
+        out.AddRoleAssertionForRole(super, a, b);
+      }
+      // Existential consequences at both ends.
+      add_entailed(a, BasicConcept::Exists(forward));
+      add_entailed(b, BasicConcept::Exists(Inverse(forward)));
+    }
+  }
+  // Reflexivity: P(a, a) for every individual and reflexive P.
+  for (RoleId rho : saturation.ReflexiveRoles()) {
+    if (IsInverse(rho)) continue;
+    for (int a : instance.individuals()) {
+      out.AddRoleAssertion(PredicateOf(rho), a, a);
+    }
+  }
+  return out;
+}
+
+bool IsComplete(const DataInstance& instance, const TBox& tbox,
+                const Saturation& saturation) {
+  DataInstance completed = CompleteInstance(instance, tbox, saturation);
+  return completed.NumAtoms() == instance.NumAtoms();
+}
+
+}  // namespace owlqr

@@ -1,0 +1,22 @@
+#ifndef OWLQR_DATA_COMPLETION_H_
+#define OWLQR_DATA_COMPLETION_H_
+
+#include "data/data_instance.h"
+#include "ontology/saturation.h"
+#include "ontology/tbox.h"
+
+namespace owlqr {
+
+// Returns the completion of `instance` for the (normalized, bottom-free)
+// ontology: the least instance containing `instance` that is complete, i.e.
+// contains every ground atom S(a) with T, A |= S(a) over ind(A).
+DataInstance CompleteInstance(const DataInstance& instance, const TBox& tbox,
+                              const Saturation& saturation);
+
+// True iff `instance` is complete for the ontology.
+bool IsComplete(const DataInstance& instance, const TBox& tbox,
+                const Saturation& saturation);
+
+}  // namespace owlqr
+
+#endif  // OWLQR_DATA_COMPLETION_H_

@@ -1,0 +1,128 @@
+#include "data/data_instance.h"
+
+#include <algorithm>
+
+namespace owlqr {
+
+void DataInstance::AddIndividual(int individual) {
+  if (individual_set_.insert(individual).second) {
+    individuals_.insert(
+        std::lower_bound(individuals_.begin(), individuals_.end(), individual),
+        individual);
+  }
+}
+
+int DataInstance::AddIndividual(std::string_view name) {
+  int id = vocabulary_->InternIndividual(name);
+  AddIndividual(id);
+  return id;
+}
+
+void DataInstance::AddConceptAssertion(int concept_id, int individual) {
+  AddIndividual(individual);
+  if (unary_sets_[concept_id].insert(individual).second) {
+    unary_[concept_id].push_back(individual);
+  }
+}
+
+void DataInstance::AddRoleAssertion(int predicate_id, int subject,
+                                    int object) {
+  AddIndividual(subject);
+  AddIndividual(object);
+  if (binary_sets_[predicate_id].insert({subject, object}).second) {
+    binary_[predicate_id].emplace_back(subject, object);
+  }
+}
+
+void DataInstance::AddRoleAssertionForRole(RoleId role, int a, int b) {
+  if (IsInverse(role)) {
+    AddRoleAssertion(PredicateOf(role), b, a);
+  } else {
+    AddRoleAssertion(PredicateOf(role), a, b);
+  }
+}
+
+void DataInstance::Assert(std::string_view concept_name,
+                          std::string_view individual) {
+  AddConceptAssertion(vocabulary_->InternConcept(concept_name),
+                      vocabulary_->InternIndividual(individual));
+}
+
+void DataInstance::Assert(std::string_view predicate_name,
+                          std::string_view subject, std::string_view object) {
+  AddRoleAssertion(vocabulary_->InternPredicate(predicate_name),
+                   vocabulary_->InternIndividual(subject),
+                   vocabulary_->InternIndividual(object));
+}
+
+bool DataInstance::HasConceptAssertion(int concept_id, int individual) const {
+  auto it = unary_sets_.find(concept_id);
+  return it != unary_sets_.end() && it->second.count(individual) > 0;
+}
+
+bool DataInstance::HasRoleAssertion(int predicate_id, int subject,
+                                    int object) const {
+  auto it = binary_sets_.find(predicate_id);
+  return it != binary_sets_.end() && it->second.count({subject, object}) > 0;
+}
+
+bool DataInstance::HasRoleAssertionForRole(RoleId role, int a, int b) const {
+  return IsInverse(role) ? HasRoleAssertion(PredicateOf(role), b, a)
+                         : HasRoleAssertion(PredicateOf(role), a, b);
+}
+
+const std::vector<int>& DataInstance::ConceptMembers(int concept_id) const {
+  static const std::vector<int> kEmpty;
+  auto it = unary_.find(concept_id);
+  return it == unary_.end() ? kEmpty : it->second;
+}
+
+const std::vector<std::pair<int, int>>& DataInstance::RolePairs(
+    int predicate_id) const {
+  static const std::vector<std::pair<int, int>> kEmpty;
+  auto it = binary_.find(predicate_id);
+  return it == binary_.end() ? kEmpty : it->second;
+}
+
+std::vector<int> DataInstance::ActiveConcepts() const {
+  std::vector<int> out;
+  for (const auto& [concept_id, members] : unary_) {
+    if (!members.empty()) out.push_back(concept_id);
+  }
+  return out;
+}
+
+std::vector<int> DataInstance::ActivePredicates() const {
+  std::vector<int> out;
+  for (const auto& [predicate_id, pairs] : binary_) {
+    if (!pairs.empty()) out.push_back(predicate_id);
+  }
+  return out;
+}
+
+long DataInstance::NumAtoms() const {
+  long n = 0;
+  for (const auto& [concept_id, members] : unary_) n += members.size();
+  for (const auto& [predicate_id, pairs] : binary_) n += pairs.size();
+  return n;
+}
+
+std::string DataInstance::ToString() const {
+  std::string out;
+  for (const auto& [concept_id, members] : unary_) {
+    for (int a : members) {
+      out += vocabulary_->ConceptName(concept_id) + "(" +
+             vocabulary_->IndividualName(a) + ").\n";
+    }
+  }
+  for (const auto& [predicate_id, pairs] : binary_) {
+    for (auto [a, b] : pairs) {
+      out += vocabulary_->PredicateName(predicate_id) + "(" +
+             vocabulary_->IndividualName(a) + ", " +
+             vocabulary_->IndividualName(b) + ").\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace owlqr

@@ -1,0 +1,71 @@
+#ifndef OWLQR_DATA_DATA_INSTANCE_H_
+#define OWLQR_DATA_DATA_INSTANCE_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "ontology/role.h"
+#include "ontology/vocabulary.h"
+
+namespace owlqr {
+
+// A data instance (ABox): a finite set of unary ground atoms A(a) and binary
+// ground atoms P(a, b).  Individuals are vocabulary individual ids; ind(A) is
+// the set of individuals occurring in the instance (or explicitly added).
+class DataInstance {
+ public:
+  explicit DataInstance(Vocabulary* vocabulary) : vocabulary_(vocabulary) {}
+
+  Vocabulary* vocabulary() const { return vocabulary_; }
+
+  // Ensures `individual` is in ind(A) even without any atom on it.
+  void AddIndividual(int individual);
+  int AddIndividual(std::string_view name);
+
+  void AddConceptAssertion(int concept_id, int individual);
+  void AddRoleAssertion(int predicate_id, int subject, int object);
+  // rho(a, b): adds P(a, b) or P(b, a) depending on the role direction.
+  void AddRoleAssertionForRole(RoleId role, int a, int b);
+
+  // By-name convenience builders.
+  void Assert(std::string_view concept_name, std::string_view individual);
+  void Assert(std::string_view predicate_name, std::string_view subject,
+              std::string_view object);
+
+  bool HasConceptAssertion(int concept_id, int individual) const;
+  bool HasRoleAssertion(int predicate_id, int subject, int object) const;
+  // rho(a, b) in the sense of the paper's notation.
+  bool HasRoleAssertionForRole(RoleId role, int a, int b) const;
+
+  const std::vector<int>& individuals() const { return individuals_; }
+  int num_individuals() const { return static_cast<int>(individuals_.size()); }
+
+  // Sorted, deduplicated fact lists (empty for unknown symbols).
+  const std::vector<int>& ConceptMembers(int concept_id) const;
+  const std::vector<std::pair<int, int>>& RolePairs(int predicate_id) const;
+
+  // All concepts/predicates with at least one fact.
+  std::vector<int> ActiveConcepts() const;
+  std::vector<int> ActivePredicates() const;
+
+  long NumAtoms() const;
+
+  std::string ToString() const;
+
+ private:
+  Vocabulary* vocabulary_;  // Not owned.
+  std::vector<int> individuals_;  // Sorted.
+  std::set<int> individual_set_;
+  std::map<int, std::vector<int>> unary_;  // concept -> sorted members.
+  std::map<int, std::set<int>> unary_sets_;
+  std::map<int, std::vector<std::pair<int, int>>> binary_;
+  std::map<int, std::set<std::pair<int, int>>> binary_sets_;
+};
+
+}  // namespace owlqr
+
+#endif  // OWLQR_DATA_DATA_INSTANCE_H_

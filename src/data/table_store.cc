@@ -1,0 +1,61 @@
+#include "data/table_store.h"
+
+#include <algorithm>
+#include <set>
+
+#include "util/logging.h"
+
+namespace owlqr {
+
+int TableStore::AddTable(std::string_view name, int arity) {
+  auto it = by_name_.find(std::string(name));
+  if (it != by_name_.end()) {
+    OWLQR_CHECK_MSG(arities_[it->second] == arity,
+                    "table re-declared with a different arity");
+    return it->second;
+  }
+  names_.emplace_back(name);
+  arities_.push_back(arity);
+  rows_.emplace_back();
+  int id = num_tables() - 1;
+  by_name_.emplace(names_.back(), id);
+  return id;
+}
+
+int TableStore::FindTable(std::string_view name) const {
+  auto it = by_name_.find(std::string(name));
+  return it == by_name_.end() ? -1 : it->second;
+}
+
+void TableStore::AddRow(int table, std::vector<int> row) {
+  OWLQR_CHECK(table >= 0 && table < num_tables());
+  OWLQR_CHECK(static_cast<int>(row.size()) == arities_[table]);
+  rows_[table].push_back(std::move(row));
+}
+
+void TableStore::AddRow(std::string_view table_name,
+                        const std::vector<std::string>& row) {
+  int table = AddTable(table_name, static_cast<int>(row.size()));
+  std::vector<int> ids;
+  ids.reserve(row.size());
+  for (const std::string& cell : row) {
+    ids.push_back(vocabulary_->InternIndividual(cell));
+  }
+  AddRow(table, std::move(ids));
+}
+
+std::vector<int> TableStore::ActiveDomain() const {
+  std::set<int> domain;
+  for (const auto& table : rows_) {
+    for (const auto& row : table) domain.insert(row.begin(), row.end());
+  }
+  return {domain.begin(), domain.end()};
+}
+
+long TableStore::NumRows() const {
+  long n = 0;
+  for (const auto& table : rows_) n += static_cast<long>(table.size());
+  return n;
+}
+
+}  // namespace owlqr

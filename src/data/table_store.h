@@ -1,0 +1,54 @@
+#ifndef OWLQR_DATA_TABLE_STORE_H_
+#define OWLQR_DATA_TABLE_STORE_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ontology/vocabulary.h"
+
+namespace owlqr {
+
+// A relational source database for the OBDA mapping layer: named tables of
+// arbitrary arity whose cells are vocabulary individuals.  This is the "D"
+// in the paper's introduction, connected to the ontology vocabulary by a
+// GAV mapping M (core/mapping.h).
+class TableStore {
+ public:
+  explicit TableStore(Vocabulary* vocabulary) : vocabulary_(vocabulary) {}
+
+  Vocabulary* vocabulary() const { return vocabulary_; }
+
+  // Declares (or finds) a table; re-declaring with a different arity aborts.
+  int AddTable(std::string_view name, int arity);
+  int FindTable(std::string_view name) const;
+  const std::string& TableName(int table) const { return names_[table]; }
+  int TableArity(int table) const { return arities_[table]; }
+  int num_tables() const { return static_cast<int>(names_.size()); }
+
+  void AddRow(int table, std::vector<int> row);
+  // Convenience: individuals by name.
+  void AddRow(std::string_view table_name,
+              const std::vector<std::string>& row);
+
+  const std::vector<std::vector<int>>& Rows(int table) const {
+    return rows_[table];
+  }
+
+  // All individuals occurring in any cell, sorted (the active domain of D).
+  std::vector<int> ActiveDomain() const;
+
+  long NumRows() const;
+
+ private:
+  Vocabulary* vocabulary_;  // Not owned.
+  std::vector<std::string> names_;
+  std::vector<int> arities_;
+  std::vector<std::vector<std::vector<int>>> rows_;
+  std::map<std::string, int> by_name_;
+};
+
+}  // namespace owlqr
+
+#endif  // OWLQR_DATA_TABLE_STORE_H_

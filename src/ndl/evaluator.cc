@@ -1,0 +1,422 @@
+#include "ndl/evaluator.h"
+
+#include <algorithm>
+#include <set>
+#include <thread>
+
+#include "util/logging.h"
+
+namespace owlqr {
+
+namespace {
+
+constexpr size_t kHashSeed = 0x9e3779b97f4a7c15ULL;
+
+size_t Mix(size_t h, size_t v) {
+  h ^= v + kHashSeed + (h << 6) + (h >> 2);
+  return h;
+}
+
+}  // namespace
+
+size_t Evaluator::HashTuple(const std::vector<int>& tuple) {
+  size_t h = 1469598103934665603ULL;
+  for (int v : tuple) h = Mix(h, static_cast<size_t>(v) + 1);
+  return h;
+}
+
+size_t Evaluator::HashKey(const std::vector<int>& key) { return HashTuple(key); }
+
+bool Evaluator::Rows::Insert(const std::vector<int>& tuple) {
+  size_t h = HashTuple(tuple);
+  std::vector<int>& bucket = buckets[h];
+  for (int row : bucket) {
+    if (tuples[row] == tuple) return false;
+  }
+  bucket.push_back(static_cast<int>(tuples.size()));
+  tuples.push_back(tuple);
+  return true;
+}
+
+Evaluator::Evaluator(const NdlProgram& program, const DataInstance& data,
+                     const EvaluatorLimits& limits)
+    : program_(program), data_(data), limits_(limits) {
+  OWLQR_CHECK_MSG(program.IsNonrecursive(), "program must be nonrecursive");
+  relations_.resize(program.num_predicates());
+}
+
+Evaluator::Evaluator(const NdlProgram& program, const DataInstance& data,
+                     const TableStore& tables, const EvaluatorLimits& limits)
+    : program_(program), data_(data), tables_(&tables), limits_(limits) {
+  OWLQR_CHECK_MSG(program.IsNonrecursive(), "program must be nonrecursive");
+  relations_.resize(program.num_predicates());
+}
+
+const std::vector<int>& Evaluator::ActiveDomain() {
+  if (!active_domain_computed_) {
+    active_domain_ = data_.individuals();
+    if (tables_ != nullptr) {
+      for (int ind : tables_->ActiveDomain()) active_domain_.push_back(ind);
+      std::sort(active_domain_.begin(), active_domain_.end());
+      active_domain_.erase(
+          std::unique(active_domain_.begin(), active_domain_.end()),
+          active_domain_.end());
+    }
+    active_domain_computed_ = true;
+  }
+  return active_domain_;
+}
+
+const Evaluator::Rows& Evaluator::EdbRows(int predicate) {
+  Rows& rows = relations_[predicate];
+  if (rows.materialized) return rows;
+  const PredicateInfo& info = program_.predicate(predicate);
+  switch (info.kind) {
+    case PredicateKind::kConceptEdb:
+      for (int a : data_.ConceptMembers(info.external_id)) {
+        rows.Insert({a});
+      }
+      break;
+    case PredicateKind::kRoleEdb:
+      for (auto [a, b] : data_.RolePairs(info.external_id)) {
+        rows.Insert({a, b});
+      }
+      break;
+    case PredicateKind::kTableEdb:
+      OWLQR_CHECK_MSG(tables_ != nullptr,
+                      "program uses table predicates but no TableStore given");
+      for (const std::vector<int>& row : tables_->Rows(info.external_id)) {
+        rows.Insert(row);
+      }
+      break;
+    case PredicateKind::kAdom:
+      for (int a : ActiveDomain()) rows.Insert({a});
+      break;
+    default:
+      OWLQR_CHECK_MSG(false, "EdbRows on IDB/equality predicate");
+  }
+  rows.materialized = true;
+  return rows;
+}
+
+const Evaluator::Index& Evaluator::GetIndex(int predicate, unsigned mask) {
+  std::lock_guard<std::mutex> lock(index_mutex_);
+  auto key = std::make_pair(predicate, mask);
+  auto it = indexes_.find(key);
+  if (it != indexes_.end()) return it->second;
+  const Rows& rows = program_.IsIdb(predicate) ? relations_[predicate]
+                                               : EdbRows(predicate);
+  Index index;
+  std::vector<int> key_values;
+  for (size_t row = 0; row < rows.tuples.size(); ++row) {
+    key_values.clear();
+    const std::vector<int>& tuple = rows.tuples[row];
+    for (size_t i = 0; i < tuple.size(); ++i) {
+      if (mask & (1u << i)) key_values.push_back(tuple[i]);
+    }
+    index[HashKey(key_values)].push_back(static_cast<int>(row));
+  }
+  return indexes_.emplace(key, std::move(index)).first->second;
+}
+
+void Evaluator::Materialize(int predicate) {
+  Rows& rows = relations_[predicate];
+  if (rows.materialized) return;
+  if (!program_.IsIdb(predicate)) {
+    EdbRows(predicate);
+    return;
+  }
+  // Materialise dependencies first (the program is acyclic).
+  for (int ci : program_.ClausesFor(predicate)) {
+    for (const NdlAtom& atom : program_.clause(ci).body) {
+      if (program_.IsIdb(atom.predicate) && atom.predicate != predicate) {
+        Materialize(atom.predicate);
+      }
+    }
+  }
+  for (int ci : program_.ClausesFor(predicate)) {
+    EvaluateClause(program_.clause(ci), &rows);
+  }
+  rows.materialized = true;
+}
+
+void Evaluator::EvaluateClause(const NdlClause& clause, Rows* out) {
+  // Static greedy atom order: simulate which variables become bound.
+  std::vector<bool> used(clause.body.size(), false);
+  std::vector<bool> bound;
+  auto var_bound = [&bound](const Term& t) {
+    return t.is_constant ||
+           (t.value < static_cast<int>(bound.size()) && bound[t.value]);
+  };
+  int num_vars = 0;
+  for (const NdlAtom& atom : clause.body) {
+    for (const Term& t : atom.args) {
+      if (!t.is_constant) num_vars = std::max(num_vars, t.value + 1);
+    }
+  }
+  for (const Term& t : clause.head.args) {
+    if (!t.is_constant) num_vars = std::max(num_vars, t.value + 1);
+  }
+  bound.assign(num_vars, false);
+
+  std::vector<int> order;
+  for (size_t step = 0; step < clause.body.size(); ++step) {
+    int best = -1;
+    double best_score = 0;
+    for (size_t i = 0; i < clause.body.size(); ++i) {
+      if (used[i]) continue;
+      const NdlAtom& atom = clause.body[i];
+      const PredicateKind kind = program_.predicate(atom.predicate).kind;
+      int bound_args = 0;
+      for (const Term& t : atom.args) {
+        if (var_bound(t)) ++bound_args;
+      }
+      bool all_bound = bound_args == static_cast<int>(atom.args.size());
+      double score;
+      if (kind == PredicateKind::kEquality) {
+        score = bound_args >= 1 ? 1e9 : -2e9;
+      } else if (kind == PredicateKind::kAdom) {
+        score = all_bound ? 1e8 : -1e9;
+      } else {
+        size_t size = program_.IsIdb(atom.predicate)
+                          ? relations_[atom.predicate].tuples.size()
+                          : EdbRows(atom.predicate).tuples.size();
+        score = 1e6 * bound_args + (all_bound ? 5e8 : 0) -
+                static_cast<double>(size) * 1e-3;
+      }
+      if (best < 0 || score > best_score) {
+        best = static_cast<int>(i);
+        best_score = score;
+      }
+    }
+    used[best] = true;
+    order.push_back(best);
+    for (const Term& t : clause.body[best].args) {
+      if (!t.is_constant) bound[t.value] = true;
+    }
+  }
+
+  std::vector<int> binding(num_vars, -1);
+  Join(clause, order, 0, &binding, out);
+}
+
+void Evaluator::Join(const NdlClause& clause, const std::vector<int>& order,
+                     size_t next, std::vector<int>* binding, Rows* out) {
+  if (aborted_.load(std::memory_order_relaxed)) return;
+  if (next == order.size()) {
+    std::vector<int> tuple;
+    tuple.reserve(clause.head.args.size());
+    for (const Term& t : clause.head.args) {
+      if (t.is_constant) {
+        tuple.push_back(t.value);
+      } else {
+        OWLQR_CHECK_MSG((*binding)[t.value] >= 0, "unsafe clause head");
+        tuple.push_back((*binding)[t.value]);
+      }
+    }
+    if (out->Insert(tuple)) {
+      long tuples = idb_tuples_.fetch_add(1, std::memory_order_relaxed) + 1;
+      if (limits_.max_generated_tuples > 0 &&
+          tuples > limits_.max_generated_tuples) {
+        aborted_.store(true, std::memory_order_relaxed);
+      }
+    }
+    long work = work_.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (limits_.max_work > 0 && work > limits_.max_work) {
+      aborted_.store(true, std::memory_order_relaxed);
+    }
+    return;
+  }
+
+  const NdlAtom& atom = clause.body[order[next]];
+  const PredicateKind kind = program_.predicate(atom.predicate).kind;
+  auto term_value = [&](const Term& t) {
+    return t.is_constant ? t.value : (*binding)[t.value];
+  };
+
+  if (kind == PredicateKind::kEquality) {
+    int a = term_value(atom.args[0]);
+    int b = term_value(atom.args[1]);
+    if (a >= 0 && b >= 0) {
+      if (a == b) Join(clause, order, next + 1, binding, out);
+      return;
+    }
+    if (a >= 0 || b >= 0) {
+      int value = a >= 0 ? a : b;
+      const Term& open = a >= 0 ? atom.args[1] : atom.args[0];
+      (*binding)[open.value] = value;
+      Join(clause, order, next + 1, binding, out);
+      (*binding)[open.value] = -1;
+      return;
+    }
+    // Both open: enumerate the active domain (rare; kept for completeness).
+    for (int ind : ActiveDomain()) {
+      (*binding)[atom.args[0].value] = ind;
+      (*binding)[atom.args[1].value] = ind;
+      Join(clause, order, next + 1, binding, out);
+      (*binding)[atom.args[0].value] = -1;
+      (*binding)[atom.args[1].value] = -1;
+    }
+    return;
+  }
+
+  if (kind == PredicateKind::kAdom) {
+    int a = term_value(atom.args[0]);
+    const std::vector<int>& adom = ActiveDomain();
+    if (a >= 0) {
+      if (std::binary_search(adom.begin(), adom.end(), a)) {
+        Join(clause, order, next + 1, binding, out);
+      }
+      return;
+    }
+    for (int ind : adom) {
+      (*binding)[atom.args[0].value] = ind;
+      Join(clause, order, next + 1, binding, out);
+      (*binding)[atom.args[0].value] = -1;
+    }
+    return;
+  }
+
+  // Regular (IDB or EDB) atom.
+  const Rows& rows = program_.IsIdb(atom.predicate)
+                         ? relations_[atom.predicate]
+                         : EdbRows(atom.predicate);
+  unsigned mask = 0;
+  std::vector<int> key;
+  for (size_t i = 0; i < atom.args.size(); ++i) {
+    int v = term_value(atom.args[i]);
+    if (v >= 0) {
+      mask |= (1u << i);
+      key.push_back(v);
+    }
+  }
+
+  auto try_row = [&](const std::vector<int>& tuple) {
+    std::vector<int> newly_bound;
+    bool ok = true;
+    for (size_t i = 0; i < atom.args.size() && ok; ++i) {
+      const Term& t = atom.args[i];
+      int current = term_value(t);
+      if (current >= 0) {
+        ok = current == tuple[i];
+      } else {
+        (*binding)[t.value] = tuple[i];
+        newly_bound.push_back(t.value);
+      }
+    }
+    if (ok) Join(clause, order, next + 1, binding, out);
+    for (int v : newly_bound) (*binding)[v] = -1;
+  };
+
+  if (mask == 0) {
+    for (const std::vector<int>& tuple : rows.tuples) try_row(tuple);
+    return;
+  }
+  const Index& index = GetIndex(atom.predicate, mask);
+  auto it = index.find(HashKey(key));
+  if (it == index.end()) return;
+  for (int row : it->second) try_row(rows.tuples[row]);
+}
+
+std::vector<std::vector<int>> Evaluator::Evaluate(EvaluationStats* stats) {
+  OWLQR_CHECK_MSG(program_.goal() >= 0, "program has no goal predicate");
+  Materialize(program_.goal());
+  std::vector<std::vector<int>> answers = relations_[program_.goal()].tuples;
+  std::sort(answers.begin(), answers.end());
+  if (stats != nullptr) {
+    stats->generated_tuples = 0;
+    stats->predicates_evaluated = 0;
+    stats->aborted = aborted_.load();
+    for (int p = 0; p < program_.num_predicates(); ++p) {
+      if (program_.IsIdb(p) && relations_[p].materialized) {
+        stats->generated_tuples +=
+            static_cast<long>(relations_[p].tuples.size());
+        ++stats->predicates_evaluated;
+      }
+    }
+    stats->goal_tuples = static_cast<long>(answers.size());
+  }
+  return answers;
+}
+
+const std::vector<std::vector<int>>& Evaluator::Relation(int predicate) {
+  Materialize(predicate);
+  return relations_[predicate].tuples;
+}
+
+std::vector<std::vector<int>> Evaluator::EvaluateParallel(
+    int num_threads, EvaluationStats* stats) {
+  OWLQR_CHECK_MSG(program_.goal() >= 0, "program has no goal predicate");
+  if (num_threads <= 1) return Evaluate(stats);
+
+  // Predicates the goal depends on.
+  std::set<int> reachable = {program_.goal()};
+  std::vector<int> stack = {program_.goal()};
+  while (!stack.empty()) {
+    int p = stack.back();
+    stack.pop_back();
+    for (int ci : program_.ClausesFor(p)) {
+      for (const NdlAtom& atom : program_.clause(ci).body) {
+        if (program_.IsIdb(atom.predicate) &&
+            reachable.insert(atom.predicate).second) {
+          stack.push_back(atom.predicate);
+        }
+      }
+    }
+  }
+  // Pre-materialise every EDB relation the program touches (serially), so
+  // worker threads only read them.
+  for (const NdlClause& clause : program_.clauses()) {
+    for (const NdlAtom& atom : clause.body) {
+      PredicateKind kind = program_.predicate(atom.predicate).kind;
+      if (kind == PredicateKind::kConceptEdb ||
+          kind == PredicateKind::kRoleEdb || kind == PredicateKind::kAdom) {
+        EdbRows(atom.predicate);
+      }
+    }
+  }
+  for (const std::vector<int>& level : program_.TopologicalLevels()) {
+    std::vector<int> todo;
+    for (int p : level) {
+      if (reachable.count(p) > 0 && !relations_[p].materialized) {
+        todo.push_back(p);
+      }
+    }
+    if (todo.empty()) continue;
+    int workers = std::min<int>(num_threads, static_cast<int>(todo.size()));
+    std::atomic<size_t> next{0};
+    auto work = [&] {
+      while (true) {
+        size_t i = next.fetch_add(1);
+        if (i >= todo.size()) return;
+        int p = todo[i];
+        for (int ci : program_.ClausesFor(p)) {
+          EvaluateClause(program_.clause(ci), &relations_[p]);
+        }
+        relations_[p].materialized = true;
+      }
+    };
+    std::vector<std::thread> threads;
+    for (int t = 0; t < workers; ++t) threads.emplace_back(work);
+    for (std::thread& t : threads) t.join();
+  }
+
+  std::vector<std::vector<int>> answers = relations_[program_.goal()].tuples;
+  std::sort(answers.begin(), answers.end());
+  if (stats != nullptr) {
+    stats->generated_tuples = 0;
+    stats->predicates_evaluated = 0;
+    stats->aborted = aborted_.load();
+    for (int p = 0; p < program_.num_predicates(); ++p) {
+      if (program_.IsIdb(p) && relations_[p].materialized) {
+        stats->generated_tuples +=
+            static_cast<long>(relations_[p].tuples.size());
+        ++stats->predicates_evaluated;
+      }
+    }
+    stats->goal_tuples = static_cast<long>(answers.size());
+  }
+  return answers;
+}
+
+}  // namespace owlqr

@@ -1,0 +1,110 @@
+#ifndef OWLQR_NDL_EVALUATOR_H_
+#define OWLQR_NDL_EVALUATOR_H_
+
+#include <atomic>
+#include <map>
+#include <mutex>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "data/data_instance.h"
+#include "data/table_store.h"
+#include "ndl/program.h"
+
+namespace owlqr {
+
+struct EvaluationStats {
+  // Total tuples materialised across all evaluated IDB predicates (the
+  // "generated tuples" column of the paper's Tables 3-5).
+  long generated_tuples = 0;
+  long goal_tuples = 0;
+  int predicates_evaluated = 0;
+  // True if evaluation stopped early because the tuple budget was exhausted
+  // (the bench harness's analogue of the paper's evaluation timeouts).
+  bool aborted = false;
+};
+
+struct EvaluatorLimits {
+  // Stop materialising once this many IDB tuples exist (<= 0: unlimited).
+  long max_generated_tuples = 0;
+  // Stop after this many join emissions, counting duplicates (<= 0:
+  // unlimited).  Guards against clauses that churn on duplicate tuples
+  // without growing any relation.
+  long max_work = 0;
+};
+
+// Bottom-up evaluator for nonrecursive datalog over a data instance.
+//
+// IDB predicates are materialised in dependence order; each clause is
+// evaluated with a backtracking join over its body using lazily built hash
+// indexes per (predicate, bound-position mask).  Equality is a built-in over
+// ind(A); TOP is the active domain.  The evaluator assumes (and checks) that
+// the program is nonrecursive.
+class Evaluator {
+ public:
+  Evaluator(const NdlProgram& program, const DataInstance& data,
+            const EvaluatorLimits& limits = {});
+  // With a source database for kTableEdb predicates (the mapping layer);
+  // the active domain is then ind(data) united with the tables' cells.
+  Evaluator(const NdlProgram& program, const DataInstance& data,
+            const TableStore& tables, const EvaluatorLimits& limits = {});
+
+  // Materialises everything the goal depends on and returns the goal
+  // relation, sorted lexicographically.
+  std::vector<std::vector<int>> Evaluate(EvaluationStats* stats = nullptr);
+
+  // Like Evaluate, but materialises the predicates of each dependence level
+  // concurrently with `num_threads` worker threads (the levels of
+  // NdlProgram::TopologicalLevels are mutually independent).  num_threads
+  // <= 1 falls back to the sequential path.
+  std::vector<std::vector<int>> EvaluateParallel(
+      int num_threads, EvaluationStats* stats = nullptr);
+
+  // Materialises (if needed) and returns one predicate's relation.
+  const std::vector<std::vector<int>>& Relation(int predicate);
+
+ private:
+  struct Rows {
+    std::vector<std::vector<int>> tuples;
+    // Hash -> indices of tuples with that hash (collisions compared fully).
+    std::unordered_map<size_t, std::vector<int>> buckets;
+    bool materialized = false;
+
+    bool Insert(const std::vector<int>& tuple);
+  };
+
+  // Hash index on the positions set in `mask` (bit i = position i bound).
+  using Index = std::unordered_map<size_t, std::vector<int>>;
+
+  void Materialize(int predicate);
+  void EvaluateClause(const NdlClause& clause, Rows* out);
+  // Recursive join over clause.body in the order `atom_order`.
+  void Join(const NdlClause& clause, const std::vector<int>& atom_order,
+            size_t next, std::vector<int>* binding, Rows* out);
+  const Index& GetIndex(int predicate, unsigned mask);
+  const Rows& EdbRows(int predicate);
+
+  static size_t HashTuple(const std::vector<int>& tuple);
+  static size_t HashKey(const std::vector<int>& key);
+
+  const std::vector<int>& ActiveDomain();
+
+  const NdlProgram& program_;
+  const DataInstance& data_;
+  const TableStore* tables_ = nullptr;  // Not owned; may be null.
+  std::vector<int> active_domain_;
+  bool active_domain_computed_ = false;
+  EvaluatorLimits limits_;
+  std::atomic<long> idb_tuples_{0};
+  std::atomic<long> work_{0};
+  std::atomic<bool> aborted_{false};
+  std::mutex index_mutex_;  // Guards indexes_ (and EDB materialisation)
+                            // during parallel evaluation.
+  std::vector<Rows> relations_;
+  std::map<std::pair<int, unsigned>, Index> indexes_;
+};
+
+}  // namespace owlqr
+
+#endif  // OWLQR_NDL_EVALUATOR_H_

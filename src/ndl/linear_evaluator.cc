@@ -1,0 +1,224 @@
+#include "ndl/linear_evaluator.h"
+
+#include <functional>
+#include <map>
+#include <queue>
+#include <set>
+
+#include "util/logging.h"
+
+namespace owlqr {
+
+LinearReachabilityEvaluator::LinearReachabilityEvaluator(
+    const NdlProgram& program, const DataInstance& data)
+    : program_(program), data_(data) {
+  OWLQR_CHECK_MSG(program.IsLinear(),
+                  "LinearReachabilityEvaluator requires a linear program");
+  OWLQR_CHECK(program.goal() >= 0);
+}
+
+namespace {
+
+using GroundAtom = std::pair<int, std::vector<int>>;
+
+// Propagates the goal's parameter positions through the program: for each
+// predicate, which argument positions hold which answer component (-1 for
+// non-parameters).  Follows the ordered-NDL conditions (Section 3.1).
+std::map<int, std::vector<int>> ParameterAnswerIndex(
+    const NdlProgram& program) {
+  std::map<int, std::vector<int>> result;
+  const PredicateInfo& goal = program.predicate(program.goal());
+  std::vector<int> goal_map(goal.arity, -1);
+  int next = 0;
+  for (int i = 0; i < goal.arity; ++i) {
+    if (i < static_cast<int>(goal.parameter_positions.size()) &&
+        goal.parameter_positions[i]) {
+      goal_map[i] = next++;
+    }
+  }
+  result[program.goal()] = goal_map;
+  // Repeatedly propagate head -> body until stable (the dependence graph is
+  // acyclic, so |predicates| rounds suffice).
+  for (int round = 0; round < program.num_predicates(); ++round) {
+    bool changed = false;
+    for (const NdlClause& clause : program.clauses()) {
+      auto it = result.find(clause.head.predicate);
+      if (it == result.end()) continue;
+      // Map clause variables at parameter positions to answer components.
+      std::map<int, int> var_answer;
+      for (size_t i = 0; i < clause.head.args.size(); ++i) {
+        if (it->second[i] >= 0 && !clause.head.args[i].is_constant) {
+          var_answer[clause.head.args[i].value] = it->second[i];
+        }
+      }
+      for (const NdlAtom& atom : clause.body) {
+        if (!program.IsIdb(atom.predicate)) continue;
+        const PredicateInfo& info = program.predicate(atom.predicate);
+        auto [entry, inserted] = result.try_emplace(
+            atom.predicate, std::vector<int>(info.arity, -1));
+        if (inserted) changed = true;  // Newly reachable predicate.
+        std::vector<int>& map = entry->second;
+        for (size_t i = 0; i < atom.args.size(); ++i) {
+          if (i < info.parameter_positions.size() &&
+              info.parameter_positions[i] && !atom.args[i].is_constant) {
+            auto va = var_answer.find(atom.args[i].value);
+            if (va != var_answer.end() && map[i] != va->second) {
+              map[i] = va->second;
+              changed = true;
+            }
+          }
+        }
+      }
+    }
+    if (!changed) break;
+  }
+  return result;
+}
+
+}  // namespace
+
+bool LinearReachabilityEvaluator::Decide(const std::vector<int>& answer) {
+  const PredicateInfo& goal = program_.predicate(program_.goal());
+  OWLQR_CHECK(static_cast<int>(answer.size()) ==
+              static_cast<int>(goal.arity));
+  std::map<int, std::vector<int>> param_maps = ParameterAnswerIndex(program_);
+
+  // The grounding graph: vertices are ground IDB atoms; edges[v] lists the
+  // heads derivable from v; sources are heads of IDB-free clauses.
+  std::map<GroundAtom, std::vector<GroundAtom>> edges;
+  std::vector<GroundAtom> sources;
+  num_vertices_ = 0;
+  num_edges_ = 0;
+
+  const std::vector<int>& adom = data_.individuals();
+  for (const NdlClause& clause : program_.clauses()) {
+    // Bind parameter variables of this clause from the head's answer map.
+    auto pm = param_maps.find(clause.head.predicate);
+    if (pm == param_maps.end()) continue;  // Unreachable from the goal.
+    std::map<int, int> binding;            // Clause var -> constant.
+    bool consistent = true;
+    for (size_t i = 0; i < clause.head.args.size(); ++i) {
+      if (pm->second[i] < 0) continue;
+      int value = answer[pm->second[i]];
+      const Term& t = clause.head.args[i];
+      if (t.is_constant) {
+        consistent = consistent && t.value == value;
+      } else {
+        auto [it, inserted] = binding.emplace(t.value, value);
+        consistent = consistent && it->second == value;
+      }
+    }
+    if (!consistent) continue;
+
+    // Split the body.
+    const NdlAtom* idb = nullptr;
+    std::vector<const NdlAtom*> side;
+    for (const NdlAtom& atom : clause.body) {
+      if (program_.IsIdb(atom.predicate)) {
+        idb = &atom;
+      } else {
+        side.push_back(&atom);
+      }
+    }
+    // All variables that must be ground: head vars + IDB atom vars + side
+    // condition vars.
+    std::set<int> vars;
+    auto collect = [&vars](const NdlAtom& atom) {
+      for (const Term& t : atom.args) {
+        if (!t.is_constant) vars.insert(t.value);
+      }
+    };
+    collect(clause.head);
+    for (const NdlAtom* atom : side) collect(*atom);
+    if (idb != nullptr) collect(*idb);
+    std::vector<int> var_list(vars.begin(), vars.end());
+
+    // Enumerate groundings by backtracking over the variables, checking the
+    // side conditions once fully ground (the width bound keeps this
+    // polynomial; practical sizes stay small).
+    std::function<void(size_t, std::map<int, int>&)> enumerate =
+        [&](size_t next, std::map<int, int>& b) {
+          if (next == var_list.size()) {
+            auto value = [&](const Term& t) {
+              return t.is_constant ? t.value : b.at(t.value);
+            };
+            for (const NdlAtom* atom : side) {
+              const PredicateInfo& info = program_.predicate(atom->predicate);
+              switch (info.kind) {
+                case PredicateKind::kConceptEdb:
+                  if (!data_.HasConceptAssertion(info.external_id,
+                                                 value(atom->args[0]))) {
+                    return;
+                  }
+                  break;
+                case PredicateKind::kRoleEdb:
+                  if (!data_.HasRoleAssertion(info.external_id,
+                                              value(atom->args[0]),
+                                              value(atom->args[1]))) {
+                    return;
+                  }
+                  break;
+                case PredicateKind::kEquality:
+                  if (value(atom->args[0]) != value(atom->args[1])) return;
+                  break;
+                case PredicateKind::kAdom:
+                  break;  // All constants are in the active domain.
+                default:
+                  OWLQR_CHECK(false);
+              }
+            }
+            GroundAtom head{clause.head.predicate, {}};
+            for (const Term& t : clause.head.args) {
+              head.second.push_back(value(t));
+            }
+            if (idb == nullptr) {
+              sources.push_back(head);
+            } else {
+              GroundAtom from{idb->predicate, {}};
+              for (const Term& t : idb->args) {
+                from.second.push_back(value(t));
+              }
+              edges[from].push_back(head);
+              ++num_edges_;
+            }
+            return;
+          }
+          int v = var_list[next];
+          if (b.count(v) > 0) {
+            enumerate(next + 1, b);
+            return;
+          }
+          for (int c : adom) {
+            b[v] = c;
+            enumerate(next + 1, b);
+            b.erase(v);
+          }
+        };
+    enumerate(0, binding);
+  }
+
+  // BFS from the sources.
+  GroundAtom target{program_.goal(), answer};
+  std::set<GroundAtom> seen;
+  std::queue<GroundAtom> queue;
+  for (const GroundAtom& s : sources) {
+    if (seen.insert(s).second) queue.push(s);
+  }
+  while (!queue.empty()) {
+    GroundAtom v = queue.front();
+    queue.pop();
+    if (v == target) {
+      num_vertices_ = static_cast<long>(seen.size());
+      return true;
+    }
+    auto it = edges.find(v);
+    if (it == edges.end()) continue;
+    for (const GroundAtom& w : it->second) {
+      if (seen.insert(w).second) queue.push(w);
+    }
+  }
+  num_vertices_ = static_cast<long>(seen.size());
+  return false;
+}
+
+}  // namespace owlqr

@@ -1,0 +1,42 @@
+#ifndef OWLQR_NDL_LINEAR_EVALUATOR_H_
+#define OWLQR_NDL_LINEAR_EVALUATOR_H_
+
+#include <vector>
+
+#include "data/data_instance.h"
+#include "ndl/program.h"
+
+namespace owlqr {
+
+// The Theorem 2 evaluation procedure for *linear* NDL queries: deciding
+// Pi, A |= G(a) reduces to reachability in the grounding graph G whose
+// vertices are ground IDB atoms and whose edges are clause applications
+// with their EDB side conditions satisfied in A.  Reachability is the NL
+// part; this implementation materialises the graph explicitly (polynomial
+// in |A|^w per the theorem) and runs BFS.
+//
+// Intended as a faithful algorithmic artifact and a differential oracle for
+// the bottom-up Evaluator; use Evaluator for production workloads.
+class LinearReachabilityEvaluator {
+ public:
+  // Requires program.IsLinear() and a goal predicate.
+  LinearReachabilityEvaluator(const NdlProgram& program,
+                              const DataInstance& data);
+
+  // Pi, A |= G(answer)?
+  bool Decide(const std::vector<int>& answer);
+
+  // Statistics of the grounding graph built by the last Decide call.
+  long num_vertices() const { return num_vertices_; }
+  long num_edges() const { return num_edges_; }
+
+ private:
+  const NdlProgram& program_;
+  const DataInstance& data_;
+  long num_vertices_ = 0;
+  long num_edges_ = 0;
+};
+
+}  // namespace owlqr
+
+#endif  // OWLQR_NDL_LINEAR_EVALUATOR_H_

@@ -1,0 +1,112 @@
+#include "ndl/optimize.h"
+
+#include <map>
+
+#include "ndl/transforms.h"
+
+namespace owlqr {
+
+int DropEmptyPredicateClauses(NdlProgram* program, const DataInstance& data) {
+  std::vector<NdlClause> kept;
+  int removed = 0;
+  for (const NdlClause& clause : program->clauses()) {
+    bool dead = false;
+    for (const NdlAtom& atom : clause.body) {
+      const PredicateInfo& info = program->predicate(atom.predicate);
+      if (info.kind == PredicateKind::kConceptEdb &&
+          data.ConceptMembers(info.external_id).empty()) {
+        dead = true;
+      } else if (info.kind == PredicateKind::kRoleEdb &&
+                 data.RolePairs(info.external_id).empty()) {
+        dead = true;
+      }
+    }
+    if (dead) {
+      ++removed;
+    } else {
+      kept.push_back(clause);
+    }
+  }
+  program->ReplaceClauses(std::move(kept));
+  removed += PruneProgram(program);
+  return removed;
+}
+
+namespace {
+
+// Tries to extend the substitution theta (D-variable -> C-term) so that
+// theta(d_term) == c_term.
+bool UnifyOneWay(const Term& d_term, const Term& c_term,
+                 std::map<int, Term>* theta) {
+  if (d_term.is_constant) return d_term == c_term;
+  auto it = theta->find(d_term.value);
+  if (it != theta->end()) return it->second == c_term;
+  theta->emplace(d_term.value, c_term);
+  return true;
+}
+
+// Matches D's body atoms into C's body (one-way, injective on atoms not
+// required) extending theta; backtracking over candidate targets.
+bool MatchBody(const std::vector<NdlAtom>& d_body,
+               const std::vector<NdlAtom>& c_body, size_t next,
+               std::map<int, Term> theta) {
+  if (next == d_body.size()) return true;
+  const NdlAtom& d_atom = d_body[next];
+  for (const NdlAtom& c_atom : c_body) {
+    if (c_atom.predicate != d_atom.predicate) continue;
+    std::map<int, Term> extended = theta;
+    bool ok = true;
+    for (size_t i = 0; i < d_atom.args.size() && ok; ++i) {
+      ok = UnifyOneWay(d_atom.args[i], c_atom.args[i], &extended);
+    }
+    if (ok && MatchBody(d_body, c_body, next + 1, std::move(extended))) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// True iff clause D subsumes clause C (same head predicate assumed):
+// exists theta with theta(D.head) = C.head and theta(D.body) a subset of
+// C.body.  Then C is redundant.
+bool Subsumes(const NdlClause& d, const NdlClause& c) {
+  std::map<int, Term> theta;
+  for (size_t i = 0; i < d.head.args.size(); ++i) {
+    if (!UnifyOneWay(d.head.args[i], c.head.args[i], &theta)) return false;
+  }
+  return MatchBody(d.body, c.body, 0, std::move(theta));
+}
+
+}  // namespace
+
+int RemoveSubsumedClauses(NdlProgram* program) {
+  const std::vector<NdlClause>& clauses = program->clauses();
+  int n = program->num_clauses();
+  std::vector<bool> removed(n, false);
+  for (int i = 0; i < n; ++i) {
+    if (removed[i]) continue;
+    for (int j = i + 1; j < n; ++j) {
+      if (removed[j]) continue;
+      if (clauses[i].head.predicate != clauses[j].head.predicate) continue;
+      if (Subsumes(clauses[i], clauses[j])) {
+        removed[j] = true;  // Keeps the earlier clause on mutual subsumption.
+      } else if (Subsumes(clauses[j], clauses[i])) {
+        removed[i] = true;
+        break;
+      }
+    }
+  }
+  std::vector<NdlClause> kept;
+  int count = 0;
+  for (int i = 0; i < n; ++i) {
+    if (removed[i]) {
+      ++count;
+    } else {
+      kept.push_back(clauses[i]);
+    }
+  }
+  program->ReplaceClauses(std::move(kept));
+  return count;
+}
+
+}  // namespace owlqr

@@ -1,0 +1,27 @@
+#ifndef OWLQR_NDL_OPTIMIZE_H_
+#define OWLQR_NDL_OPTIMIZE_H_
+
+#include "data/data_instance.h"
+#include "ndl/program.h"
+
+namespace owlqr {
+
+// Rewriting optimisations discussed in Section 6: removing redundant rules
+// and subqueries (Rosati & Almatelli; Gottlob et al.) and exploiting the
+// emptiness of predicates (Venetis et al.).
+
+// Removes clauses that mention an EDB predicate with an empty extension in
+// `data` (they can never fire), then prunes cascading dead predicates.
+// The result is only equivalent over data instances with the same empty
+// predicates.  Returns the number of removed clauses.
+int DropEmptyPredicateClauses(NdlProgram* program, const DataInstance& data);
+
+// Removes clauses subsumed by another clause with the same head predicate:
+// clause C is subsumed by D if some homomorphism maps D's body into C's body
+// while preserving head arguments (then C's results are a subset of D's).
+// Sound over all data instances.  Returns the number of removed clauses.
+int RemoveSubsumedClauses(NdlProgram* program);
+
+}  // namespace owlqr
+
+#endif  // OWLQR_NDL_OPTIMIZE_H_

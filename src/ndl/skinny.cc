@@ -1,0 +1,245 @@
+#include "ndl/skinny.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <set>
+
+#include "ndl/transforms.h"
+#include "util/logging.h"
+
+namespace owlqr {
+
+std::vector<long> ComputeWeightFunction(const NdlProgram& program) {
+  std::vector<long> nu(program.num_predicates(), 0);
+  for (int p : program.TopologicalOrder()) {
+    long best = 1;
+    for (int ci : program.ClausesFor(p)) {
+      long sum = 0;
+      for (const NdlAtom& atom : program.clause(ci).body) {
+        sum += nu[atom.predicate];
+        sum = std::min(sum, kWeightCap);
+      }
+      best = std::max(best, sum);
+    }
+    nu[p] = best;
+  }
+  return nu;
+}
+
+int SkinnyDepth(const NdlProgram& program) {
+  std::vector<long> nu = ComputeWeightFunction(program);
+  long goal_weight = program.goal() >= 0 ? std::max(1L, nu[program.goal()]) : 1;
+  int e_pi = std::max(1, program.MaxEdbAtomsPerClause());
+  double sd = 2.0 * program.Depth() +
+              std::log2(static_cast<double>(goal_weight)) +
+              std::log2(static_cast<double>(e_pi));
+  return static_cast<int>(std::ceil(sd));
+}
+
+namespace {
+
+// Variables that must be exposed by an intermediate predicate covering
+// `covered` (atom indices of `body`): variables shared with the rest of the
+// clause or with the head.
+std::vector<Term> NeededVars(const NdlClause& clause,
+                             const std::vector<int>& covered) {
+  std::set<int> inside;
+  for (int i : covered) {
+    for (const Term& t : clause.body[i].args) {
+      if (!t.is_constant) inside.insert(t.value);
+    }
+  }
+  std::set<int> outside;
+  for (const Term& t : clause.head.args) {
+    if (!t.is_constant) outside.insert(t.value);
+  }
+  std::set<int> covered_set(covered.begin(), covered.end());
+  for (size_t i = 0; i < clause.body.size(); ++i) {
+    if (covered_set.count(static_cast<int>(i)) > 0) continue;
+    for (const Term& t : clause.body[i].args) {
+      if (!t.is_constant) outside.insert(t.value);
+    }
+  }
+  std::vector<Term> out;
+  for (int v : inside) {
+    if (outside.count(v) > 0) out.push_back(Term::Var(v));
+  }
+  return out;
+}
+
+struct TreeShapeNode {
+  // Leaf: body atom index (>= 0); internal: -1 with two children.
+  int atom = -1;
+  int left = -1;
+  int right = -1;
+};
+
+// Collects the atom indices under node `n`.
+void CollectAtoms(const std::vector<TreeShapeNode>& nodes, int n,
+                  std::vector<int>* out) {
+  if (nodes[n].atom >= 0) {
+    out->push_back(nodes[n].atom);
+    return;
+  }
+  CollectAtoms(nodes, nodes[n].left, out);
+  CollectAtoms(nodes, nodes[n].right, out);
+}
+
+// Emits binarised clauses for the subtree rooted at `n`; returns the atom
+// standing for that subtree.
+NdlAtom EmitSubtree(NdlProgram* out, const NdlClause& clause,
+                    const std::vector<TreeShapeNode>& nodes, int n,
+                    const std::string& base, int* counter) {
+  if (nodes[n].atom >= 0) return clause.body[nodes[n].atom];
+  NdlAtom left =
+      EmitSubtree(out, clause, nodes, nodes[n].left, base, counter);
+  NdlAtom right =
+      EmitSubtree(out, clause, nodes, nodes[n].right, base, counter);
+  std::vector<int> covered;
+  CollectAtoms(nodes, n, &covered);
+  std::vector<Term> args = NeededVars(clause, covered);
+  int pred = out->AddIdbPredicate(base + "_" + std::to_string((*counter)++),
+                                  static_cast<int>(args.size()));
+  NdlClause c;
+  c.head = {pred, args};
+  c.body.push_back(std::move(left));
+  c.body.push_back(std::move(right));
+  out->AddClause(std::move(c));
+  return {pred, args};
+}
+
+// Balanced binary tree over `atoms` (indices into clause body).
+int BuildBalanced(const std::vector<int>& atoms, size_t lo, size_t hi,
+                  std::vector<TreeShapeNode>* nodes) {
+  if (hi - lo == 1) {
+    nodes->push_back({atoms[lo], -1, -1});
+    return static_cast<int>(nodes->size()) - 1;
+  }
+  size_t mid = lo + (hi - lo) / 2;
+  int left = BuildBalanced(atoms, lo, mid, nodes);
+  int right = BuildBalanced(atoms, mid, hi, nodes);
+  nodes->push_back({-1, left, right});
+  return static_cast<int>(nodes->size()) - 1;
+}
+
+// Huffman tree over `atoms` with the given weights (higher weight = closer
+// to the root).
+int BuildHuffman(const std::vector<int>& atoms,
+                 const std::vector<long>& weights,
+                 std::vector<TreeShapeNode>* nodes) {
+  using Entry = std::pair<long, int>;  // (weight, node index).
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap;
+  for (size_t i = 0; i < atoms.size(); ++i) {
+    nodes->push_back({atoms[i], -1, -1});
+    heap.push({std::max(1L, weights[i]),
+               static_cast<int>(nodes->size()) - 1});
+  }
+  while (heap.size() > 1) {
+    auto [w1, n1] = heap.top();
+    heap.pop();
+    auto [w2, n2] = heap.top();
+    heap.pop();
+    nodes->push_back({-1, n1, n2});
+    heap.push({std::min(w1 + w2, kWeightCap),
+               static_cast<int>(nodes->size()) - 1});
+  }
+  return heap.top().second;
+}
+
+}  // namespace
+
+NdlProgram SkinnyTransform(const NdlProgram& program) {
+  std::vector<long> nu = ComputeWeightFunction(program);
+  NdlProgram out(program.vocabulary());
+  // Copy the predicate table (ids must survive, clauses reference them).
+  std::vector<int> pred_map(program.num_predicates());
+  for (int p = 0; p < program.num_predicates(); ++p) {
+    const PredicateInfo& info = program.predicate(p);
+    switch (info.kind) {
+      case PredicateKind::kIdb: {
+        int q = out.AddIdbPredicate(info.name, info.arity);
+        out.mutable_predicate(q).parameter_positions = info.parameter_positions;
+        pred_map[p] = q;
+        break;
+      }
+      case PredicateKind::kConceptEdb:
+        pred_map[p] = out.AddConceptPredicate(info.external_id);
+        break;
+      case PredicateKind::kRoleEdb:
+        pred_map[p] = out.AddRolePredicate(info.external_id);
+        break;
+      case PredicateKind::kTableEdb:
+        pred_map[p] = out.AddTablePredicate(info.name, info.arity,
+                                            info.external_id);
+        break;
+      case PredicateKind::kEquality:
+        pred_map[p] = out.EqualityPredicate();
+        break;
+      case PredicateKind::kAdom:
+        pred_map[p] = out.AdomPredicate();
+        break;
+    }
+  }
+  if (program.goal() >= 0) out.SetGoal(pred_map[program.goal()]);
+
+  int clause_counter = 0;
+  for (const NdlClause& original : program.clauses()) {
+    // Remap predicates first.
+    NdlClause clause;
+    clause.head = {pred_map[original.head.predicate], original.head.args};
+    for (const NdlAtom& atom : original.body) {
+      clause.body.push_back({pred_map[atom.predicate], atom.args});
+    }
+    if (clause.body.size() <= 2) {
+      out.AddClause(std::move(clause));
+      ++clause_counter;
+      continue;
+    }
+    std::string base = "_sk" + std::to_string(clause_counter++);
+    // Partition into EDB and IDB atom indices.
+    std::vector<int> edb_atoms;
+    std::vector<int> idb_atoms;
+    std::vector<long> idb_weights;
+    for (size_t i = 0; i < clause.body.size(); ++i) {
+      if (out.IsIdb(clause.body[i].predicate)) {
+        idb_atoms.push_back(static_cast<int>(i));
+        // nu in terms of the original program's predicate ids.
+        idb_weights.push_back(nu[original.body[i].predicate]);
+      } else {
+        edb_atoms.push_back(static_cast<int>(i));
+      }
+    }
+    std::vector<NdlAtom> top_level;
+    if (!edb_atoms.empty()) {
+      if (edb_atoms.size() == 1) {
+        top_level.push_back(clause.body[edb_atoms[0]]);
+      } else {
+        std::vector<TreeShapeNode> nodes;
+        int root = BuildBalanced(edb_atoms, 0, edb_atoms.size(), &nodes);
+        int counter = 0;
+        top_level.push_back(
+            EmitSubtree(&out, clause, nodes, root, base + "E", &counter));
+      }
+    }
+    if (!idb_atoms.empty()) {
+      if (idb_atoms.size() == 1) {
+        top_level.push_back(clause.body[idb_atoms[0]]);
+      } else {
+        std::vector<TreeShapeNode> nodes;
+        int root = BuildHuffman(idb_atoms, idb_weights, &nodes);
+        int counter = 0;
+        top_level.push_back(
+            EmitSubtree(&out, clause, nodes, root, base + "I", &counter));
+      }
+    }
+    NdlClause final_clause;
+    final_clause.head = clause.head;
+    final_clause.body = std::move(top_level);
+    out.AddClause(std::move(final_clause));
+  }
+  EnsureSafety(&out);
+  return out;
+}
+
+}  // namespace owlqr

@@ -1,0 +1,30 @@
+#ifndef OWLQR_NDL_SKINNY_H_
+#define OWLQR_NDL_SKINNY_H_
+
+#include <vector>
+
+#include "ndl/program.h"
+
+namespace owlqr {
+
+// The minimal weight function nu of Section 3.1.2: nu(EDB) = 0 and
+// nu(Q) = max(1, max over clauses Q <- P_1 ... P_k of sum nu(P_i)).
+// Values saturate at kWeightCap for pathological programs.
+std::vector<long> ComputeWeightFunction(const NdlProgram& program);
+
+inline constexpr long kWeightCap = 1L << 60;
+
+// The skinny depth sd(Pi, G) = 2 d(Pi, G) + log2 nu(G) + log2 e_Pi
+// (Lemma 5), rounded up.
+int SkinnyDepth(const NdlProgram& program);
+
+// Lemma 5: an equivalent skinny program (every clause body has at most two
+// atoms) of size O(|Pi|^2), width <= w(Pi, G) and depth <= sd(Pi, G).
+// Clauses are first split into EDB and IDB components; EDB components are
+// binarised by a balanced tree, IDB components by a Huffman tree over the
+// weight function.
+NdlProgram SkinnyTransform(const NdlProgram& program);
+
+}  // namespace owlqr
+
+#endif  // OWLQR_NDL_SKINNY_H_

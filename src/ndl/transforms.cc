@@ -1,0 +1,476 @@
+#include "ndl/transforms.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "util/logging.h"
+
+namespace owlqr {
+
+int PruneProgram(NdlProgram* program) {
+  int removed = 0;
+  bool changed = true;
+  std::vector<NdlClause> clauses = program->clauses();
+  while (changed) {
+    changed = false;
+    std::set<int> defined;
+    for (const NdlClause& c : clauses) defined.insert(c.head.predicate);
+    std::vector<NdlClause> kept;
+    for (NdlClause& c : clauses) {
+      bool ok = true;
+      for (const NdlAtom& atom : c.body) {
+        if (program->IsIdb(atom.predicate) &&
+            defined.count(atom.predicate) == 0) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) {
+        kept.push_back(std::move(c));
+      } else {
+        ++removed;
+        changed = true;
+      }
+    }
+    clauses = std::move(kept);
+  }
+  // Reachability from the goal.
+  if (program->goal() >= 0) {
+    std::set<int> reachable = {program->goal()};
+    bool grew = true;
+    while (grew) {
+      grew = false;
+      for (const NdlClause& c : clauses) {
+        if (reachable.count(c.head.predicate) == 0) continue;
+        for (const NdlAtom& atom : c.body) {
+          if (program->IsIdb(atom.predicate) &&
+              reachable.insert(atom.predicate).second) {
+            grew = true;
+          }
+        }
+      }
+    }
+    std::vector<NdlClause> kept;
+    for (NdlClause& c : clauses) {
+      if (reachable.count(c.head.predicate) > 0) {
+        kept.push_back(std::move(c));
+      } else {
+        ++removed;
+      }
+    }
+    clauses = std::move(kept);
+  }
+  program->ReplaceClauses(std::move(clauses));
+  return removed;
+}
+
+int EnsureSafety(NdlProgram* program) {
+  int added = 0;
+  std::vector<NdlClause> clauses = program->clauses();
+  int adom = -1;
+  for (NdlClause& c : clauses) {
+    std::set<int> body_vars;
+    for (const NdlAtom& atom : c.body) {
+      for (const Term& t : atom.args) {
+        if (!t.is_constant) body_vars.insert(t.value);
+      }
+    }
+    for (const Term& t : c.head.args) {
+      if (t.is_constant || body_vars.count(t.value) > 0) continue;
+      if (adom < 0) adom = program->AdomPredicate();
+      c.body.push_back({adom, {t}});
+      body_vars.insert(t.value);
+      ++added;
+    }
+  }
+  program->ReplaceClauses(std::move(clauses));
+  return added;
+}
+
+namespace {
+
+// Atom rho(x, y) over the raw EDB predicates of `out`.
+NdlAtom RoleEdbAtom(NdlProgram* out, RoleId rho, Term x, Term y) {
+  int pred = out->AddRolePredicate(PredicateOf(rho));
+  if (IsInverse(rho)) std::swap(x, y);
+  return {pred, {x, y}};
+}
+
+// Copies predicate `p` of `in` into `out`, starring concept/role EDBs.
+// Returns the predicate id in `out`.
+int MapPredicateStarred(const NdlProgram& in, NdlProgram* out, int p) {
+  const PredicateInfo& info = in.predicate(p);
+  switch (info.kind) {
+    case PredicateKind::kIdb: {
+      int q = out->AddIdbPredicate(info.name, info.arity);
+      out->mutable_predicate(q).parameter_positions = info.parameter_positions;
+      return q;
+    }
+    case PredicateKind::kConceptEdb:
+      return out->AddIdbPredicate(info.name + "*", 1);
+    case PredicateKind::kRoleEdb:
+      return out->AddIdbPredicate(info.name + "*", 2);
+    case PredicateKind::kTableEdb:
+      return out->AddTablePredicate(info.name, info.arity, info.external_id);
+    case PredicateKind::kEquality:
+      return out->EqualityPredicate();
+    case PredicateKind::kAdom:
+      return out->AdomPredicate();
+  }
+  return -1;
+}
+
+}  // namespace
+
+NdlProgram StarTransform(const NdlProgram& program, const TBox& tbox,
+                         const Saturation& saturation) {
+  NdlProgram out(program.vocabulary());
+  std::vector<int> pred_map(program.num_predicates());
+  for (int p = 0; p < program.num_predicates(); ++p) {
+    pred_map[p] = MapPredicateStarred(program, &out, p);
+  }
+  for (const NdlClause& clause : program.clauses()) {
+    NdlClause c;
+    c.head = {pred_map[clause.head.predicate], clause.head.args};
+    for (const NdlAtom& atom : clause.body) {
+      c.body.push_back({pred_map[atom.predicate], atom.args});
+    }
+    out.AddClause(std::move(c));
+  }
+  if (program.goal() >= 0) out.SetGoal(pred_map[program.goal()]);
+
+  // Defining clauses for the starred predicates.
+  Term x = Term::Var(0), y = Term::Var(1);
+  for (int p = 0; p < program.num_predicates(); ++p) {
+    const PredicateInfo& info = program.predicate(p);
+    if (info.kind == PredicateKind::kConceptEdb) {
+      int star = pred_map[p];
+      BasicConcept target = BasicConcept::Atomic(info.external_id);
+      // A*(x) <- B(x), including the trivial B = A.
+      {
+        NdlClause c;
+        c.head = {star, {x}};
+        c.body.push_back({out.AddConceptPredicate(info.external_id), {x}});
+        out.AddClause(std::move(c));
+      }
+      for (int b = 0; b < saturation.num_snapshot_concepts(); ++b) {
+        if (b == info.external_id) continue;
+        if (!saturation.SubConcept(BasicConcept::Atomic(b), target)) continue;
+        NdlClause c;
+        c.head = {star, {x}};
+        c.body.push_back({out.AddConceptPredicate(b), {x}});
+        out.AddClause(std::move(c));
+      }
+      // A*(x) <- rho(x, y) whenever exists rho <= A.
+      for (RoleId rho = 0; rho < saturation.num_snapshot_roles(); ++rho) {
+        if (!saturation.SubConcept(BasicConcept::Exists(rho), target)) continue;
+        NdlClause c;
+        c.head = {star, {x}};
+        c.body.push_back(RoleEdbAtom(&out, rho, x, y));
+        out.AddClause(std::move(c));
+      }
+      // A*(x) <- TOP(x) whenever TOP <= A.
+      if (saturation.SubConcept(BasicConcept::Top(), target)) {
+        NdlClause c;
+        c.head = {star, {x}};
+        c.body.push_back({out.AdomPredicate(), {x}});
+        out.AddClause(std::move(c));
+      }
+    } else if (info.kind == PredicateKind::kRoleEdb) {
+      int star = pred_map[p];
+      RoleId target = RoleOf(info.external_id);
+      for (RoleId rho = 0; rho < saturation.num_snapshot_roles(); ++rho) {
+        if (!saturation.SubRole(rho, target)) continue;
+        NdlClause c;
+        c.head = {star, {x, y}};
+        c.body.push_back(RoleEdbAtom(&out, rho, x, y));
+        out.AddClause(std::move(c));
+      }
+      if (static_cast<int>(target) >= saturation.num_snapshot_roles()) {
+        // Role unknown to the ontology: only the trivial clause.
+        NdlClause c;
+        c.head = {star, {x, y}};
+        c.body.push_back(RoleEdbAtom(&out, target, x, y));
+        out.AddClause(std::move(c));
+      }
+      if (saturation.Reflexive(target)) {
+        NdlClause c;
+        c.head = {star, {x, x}};
+        c.body.push_back({out.AdomPredicate(), {x}});
+        out.AddClause(std::move(c));
+      }
+    }
+  }
+  (void)tbox;
+  return out;
+}
+
+NdlProgram LinearStarTransform(const NdlProgram& program, const TBox& tbox,
+                               const Saturation& saturation) {
+  (void)tbox;
+  OWLQR_CHECK_MSG(program.IsLinear(), "LinearStarTransform requires linearity");
+  NdlProgram out(program.vocabulary());
+  // IDB predicates keep their names; EDB atoms are replaced inline by their
+  // entailment-closure variants, so EDB predicates stay EDB.
+  std::vector<int> pred_map(program.num_predicates(), -1);
+  for (int p = 0; p < program.num_predicates(); ++p) {
+    const PredicateInfo& info = program.predicate(p);
+    switch (info.kind) {
+      case PredicateKind::kIdb: {
+        int q = out.AddIdbPredicate(info.name, info.arity);
+        out.mutable_predicate(q).parameter_positions = info.parameter_positions;
+        pred_map[p] = q;
+        break;
+      }
+      case PredicateKind::kConceptEdb:
+        pred_map[p] = out.AddConceptPredicate(info.external_id);
+        break;
+      case PredicateKind::kRoleEdb:
+        pred_map[p] = out.AddRolePredicate(info.external_id);
+        break;
+      case PredicateKind::kTableEdb:
+        pred_map[p] = out.AddTablePredicate(info.name, info.arity,
+                                            info.external_id);
+        break;
+      case PredicateKind::kEquality:
+        pred_map[p] = out.EqualityPredicate();
+        break;
+      case PredicateKind::kAdom:
+        pred_map[p] = out.AdomPredicate();
+        break;
+    }
+  }
+  if (program.goal() >= 0) out.SetGoal(pred_map[program.goal()]);
+
+  int chain_counter = 0;
+  for (const NdlClause& clause : program.clauses()) {
+    // Partition the body.
+    const NdlAtom* idb = nullptr;
+    std::vector<NdlAtom> eq_or_adom;
+    std::vector<NdlAtom> edb;
+    for (const NdlAtom& atom : clause.body) {
+      PredicateKind kind = program.predicate(atom.predicate).kind;
+      if (kind == PredicateKind::kIdb) {
+        idb = &atom;
+      } else if (kind == PredicateKind::kEquality ||
+                 kind == PredicateKind::kAdom) {
+        eq_or_adom.push_back(atom);
+      } else {
+        edb.push_back(atom);
+      }
+    }
+
+    // Fresh variables must not collide with any existing variable id.
+    int next_var = 0;
+    for (const Term& t : clause.head.args) {
+      if (!t.is_constant) next_var = std::max(next_var, t.value + 1);
+    }
+    for (const NdlAtom& atom : clause.body) {
+      for (const Term& t : atom.args) {
+        if (!t.is_constant) next_var = std::max(next_var, t.value + 1);
+      }
+    }
+
+    // Variables accumulated so far along the chain.
+    std::set<int> carried;
+    NdlAtom previous;  // Q_{i-1}(z_{i-1}); empty predicate if none yet.
+    previous.predicate = -1;
+    if (idb != nullptr) {
+      previous = {pred_map[idb->predicate], idb->args};
+      for (const Term& t : idb->args) {
+        if (!t.is_constant) carried.insert(t.value);
+      }
+    }
+
+    std::string base =
+        "_lin" + std::to_string(chain_counter++) + "_" +
+        program.predicate(clause.head.predicate).name;
+    for (size_t i = 0; i < edb.size(); ++i) {
+      const NdlAtom& e = edb[i];
+      // New carried set: old + this atom's (original) variables.
+      for (const Term& t : e.args) {
+        if (!t.is_constant) carried.insert(t.value);
+      }
+      std::vector<Term> z;
+      for (int v : carried) z.push_back(Term::Var(v));
+      int qi = out.AddIdbPredicate(base + "_" + std::to_string(i),
+                                   static_cast<int>(z.size()));
+      const PredicateInfo& einfo = program.predicate(e.predicate);
+      auto emit = [&](NdlAtom variant) {
+        NdlClause c;
+        c.head = {qi, z};
+        if (previous.predicate >= 0) c.body.push_back(previous);
+        c.body.push_back(std::move(variant));
+        out.AddClause(std::move(c));
+      };
+      if (einfo.kind == PredicateKind::kConceptEdb) {
+        BasicConcept target = BasicConcept::Atomic(einfo.external_id);
+        emit({out.AddConceptPredicate(einfo.external_id), e.args});
+        for (int b = 0; b < saturation.num_snapshot_concepts(); ++b) {
+          if (b == einfo.external_id) continue;
+          if (!saturation.SubConcept(BasicConcept::Atomic(b), target)) continue;
+          emit({out.AddConceptPredicate(b), e.args});
+        }
+        for (RoleId rho = 0; rho < saturation.num_snapshot_roles(); ++rho) {
+          // T |= exists y rho(y, x) -> A(x), variant rho(y_i, z).
+          if (!saturation.SubConcept(BasicConcept::Exists(rho), target)) {
+            continue;
+          }
+          Term fresh = Term::Var(next_var++);
+          emit(RoleEdbAtom(&out, rho, e.args[0], fresh));
+        }
+        if (saturation.SubConcept(BasicConcept::Top(), target)) {
+          emit({out.AdomPredicate(), e.args});
+        }
+      } else {  // Role EDB atom.
+        RoleId target = RoleOf(einfo.external_id);
+        bool trivial_emitted = false;
+        for (RoleId rho = 0; rho < saturation.num_snapshot_roles(); ++rho) {
+          if (!saturation.SubRole(rho, target)) continue;
+          if (rho == target) trivial_emitted = true;
+          emit(RoleEdbAtom(&out, rho, e.args[0], e.args[1]));
+        }
+        if (!trivial_emitted) {
+          emit(RoleEdbAtom(&out, target, e.args[0], e.args[1]));
+        }
+        if (saturation.Reflexive(target)) {
+          NdlClause c;
+          c.head = {qi, z};
+          if (previous.predicate >= 0) c.body.push_back(previous);
+          c.body.push_back({out.EqualityPredicate(), {e.args[0], e.args[1]}});
+          c.body.push_back({out.AdomPredicate(), {e.args[0]}});
+          out.AddClause(std::move(c));
+        }
+      }
+      previous = {qi, z};
+    }
+
+    // Final clause: Q(z) <- Q_n(z_n) & EQ (& adom atoms).
+    NdlClause final_clause;
+    final_clause.head = {pred_map[clause.head.predicate], clause.head.args};
+    if (previous.predicate >= 0) final_clause.body.push_back(previous);
+    for (NdlAtom& atom : eq_or_adom) {
+      final_clause.body.push_back({pred_map[atom.predicate], atom.args});
+    }
+    out.AddClause(std::move(final_clause));
+  }
+  EnsureSafety(&out);
+  return out;
+}
+
+namespace {
+
+// Replaces `target->body[atom_index]` (an atom of `defining.head.predicate`)
+// by the (renamed) body of `defining`, adding equality atoms for repeated or
+// constant head arguments.
+void UnfoldAtom(const NdlClause& defining, NdlClause* target,
+                size_t atom_index, int equality_pred) {
+  NdlAtom occurrence = target->body[atom_index];
+  int offset = 0;
+  for (const Term& t : occurrence.args) {
+    if (!t.is_constant) offset = std::max(offset, t.value + 1);
+  }
+  for (const Term& t : target->head.args) {
+    if (!t.is_constant) offset = std::max(offset, t.value + 1);
+  }
+  for (const NdlAtom& atom : target->body) {
+    for (const Term& t : atom.args) {
+      if (!t.is_constant) offset = std::max(offset, t.value + 1);
+    }
+  }
+  // Substitution for the defining clause's variables.
+  std::map<int, Term> subst;
+  std::vector<NdlAtom> extra_equalities;
+  for (size_t i = 0; i < defining.head.args.size(); ++i) {
+    const Term& h = defining.head.args[i];
+    const Term& t = occurrence.args[i];
+    if (h.is_constant) {
+      extra_equalities.push_back({equality_pred, {h, t}});
+      continue;
+    }
+    auto it = subst.find(h.value);
+    if (it == subst.end()) {
+      subst.emplace(h.value, t);
+    } else if (!(it->second == t)) {
+      extra_equalities.push_back({equality_pred, {it->second, t}});
+    }
+  }
+  auto map_term = [&subst, &offset](const Term& t) -> Term {
+    if (t.is_constant) return t;
+    auto it = subst.find(t.value);
+    if (it != subst.end()) return it->second;
+    Term fresh = Term::Var(offset++);
+    subst.emplace(t.value, fresh);
+    return fresh;
+  };
+  std::vector<NdlAtom> new_body;
+  for (size_t i = 0; i < target->body.size(); ++i) {
+    if (i == atom_index) {
+      for (const NdlAtom& atom : defining.body) {
+        NdlAtom mapped;
+        mapped.predicate = atom.predicate;
+        for (const Term& t : atom.args) mapped.args.push_back(map_term(t));
+        new_body.push_back(std::move(mapped));
+      }
+      for (const NdlAtom& eq : extra_equalities) new_body.push_back(eq);
+    } else {
+      new_body.push_back(target->body[i]);
+    }
+  }
+  target->body = std::move(new_body);
+}
+
+}  // namespace
+
+int InlineSingleUsePredicates(NdlProgram* program, int max_occurrences) {
+  int inlined = 0;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    std::vector<NdlClause> clauses = program->clauses();
+    std::map<int, int> def_count;
+    std::map<int, int> use_count;
+    for (const NdlClause& c : clauses) {
+      ++def_count[c.head.predicate];
+      for (const NdlAtom& atom : c.body) {
+        if (program->IsIdb(atom.predicate)) ++use_count[atom.predicate];
+      }
+    }
+    for (const auto& [pred, defs] : def_count) {
+      if (pred == program->goal() || defs != 1) continue;
+      int uses = use_count.count(pred) > 0 ? use_count[pred] : 0;
+      if (uses == 0 || uses > max_occurrences) continue;
+      // Find the defining clause.
+      const NdlClause* defining = nullptr;
+      for (const NdlClause& c : clauses) {
+        if (c.head.predicate == pred) defining = &c;
+      }
+      NdlClause def_copy = *defining;
+      std::vector<NdlClause> next;
+      for (NdlClause& c : clauses) {
+        if (c.head.predicate == pred) continue;  // Drop the definition.
+        // Inline every occurrence (re-scanning after each unfold).
+        bool again = true;
+        while (again) {
+          again = false;
+          for (size_t i = 0; i < c.body.size(); ++i) {
+            if (c.body[i].predicate == pred) {
+              UnfoldAtom(def_copy, &c, i, program->EqualityPredicate());
+              again = true;
+              break;
+            }
+          }
+        }
+        next.push_back(std::move(c));
+      }
+      program->ReplaceClauses(std::move(next));
+      ++inlined;
+      changed = true;
+      break;  // Recompute counts from scratch.
+    }
+  }
+  return inlined;
+}
+
+}  // namespace owlqr

@@ -1,0 +1,45 @@
+#ifndef OWLQR_NDL_TRANSFORMS_H_
+#define OWLQR_NDL_TRANSFORMS_H_
+
+#include "ndl/program.h"
+#include "ontology/saturation.h"
+#include "ontology/tbox.h"
+
+namespace owlqr {
+
+// Removes clauses whose body references an IDB predicate without defining
+// clauses (to fixpoint), then clauses whose head predicate is unreachable
+// from the goal.  Returns the number of removed clauses.
+int PruneProgram(NdlProgram* program);
+
+// Makes every clause safe by appending TOP(v) (active-domain) atoms for head
+// variables that do not occur in the body.  Returns the number of atoms
+// added.
+int EnsureSafety(NdlProgram* program);
+
+// The paper's * transformation (Section 2): converts an NDL-rewriting over
+// complete data instances into one over arbitrary data instances by replacing
+// every concept/role EDB predicate S with an IDB predicate S* defined from
+// the entailment closure:
+//   A*(x)  <- tau(x)      if T |= tau(x) -> A(x)
+//   P*(x,y) <- rho(x,y)   if T |= rho(x,y) -> P(x,y)
+//   P*(x,x) <- TOP(x)     if T |= P(x,x)
+NdlProgram StarTransform(const NdlProgram& program, const TBox& tbox,
+                         const Saturation& saturation);
+
+// Lemma 3: the linearity-preserving variant of the * transformation.  For
+// each clause Q(z) <- I & EQ & E_1 & ... & E_n (I the at-most-one IDB atom,
+// EQ the equality atoms), produces a chain of clauses that absorbs one EDB
+// atom at a time, each replaced by one of its entailment-closure variants.
+// The width grows by at most 1.  Requires program.IsLinear().
+NdlProgram LinearStarTransform(const NdlProgram& program, const TBox& tbox,
+                               const Saturation& saturation);
+
+// The Tw* optimisation (Appendix D.4): repeatedly inlines IDB predicates that
+// are defined by a single clause and occur at most `max_occurrences` times in
+// clause bodies.  Returns the number of predicates inlined.
+int InlineSingleUsePredicates(NdlProgram* program, int max_occurrences = 2);
+
+}  // namespace owlqr
+
+#endif  // OWLQR_NDL_TRANSFORMS_H_

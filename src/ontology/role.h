@@ -1,0 +1,26 @@
+#ifndef OWLQR_ONTOLOGY_ROLE_H_
+#define OWLQR_ONTOLOGY_ROLE_H_
+
+namespace owlqr {
+
+// A role is a binary predicate P or its inverse P^-.  Roles are encoded as
+// dense integers: role 2*p is the predicate with id p used "forwards", and
+// role 2*p + 1 is its inverse.  With this encoding (P^-)^- == P holds by
+// construction.
+using RoleId = int;
+
+constexpr RoleId kNoRole = -1;
+
+inline RoleId RoleOf(int predicate, bool inverse = false) {
+  return 2 * predicate + (inverse ? 1 : 0);
+}
+
+inline RoleId Inverse(RoleId role) { return role ^ 1; }
+
+inline bool IsInverse(RoleId role) { return (role & 1) != 0; }
+
+inline int PredicateOf(RoleId role) { return role >> 1; }
+
+}  // namespace owlqr
+
+#endif  // OWLQR_ONTOLOGY_ROLE_H_

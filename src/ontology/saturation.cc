@@ -1,0 +1,150 @@
+#include "ontology/saturation.h"
+
+#include <queue>
+
+namespace owlqr {
+
+namespace {
+
+// Transitive closure (not reflexive) of the adjacency matrix `adj`, in place.
+void TransitiveClosure(std::vector<std::vector<bool>>* adj) {
+  int n = static_cast<int>(adj->size());
+  // BFS from every node; graphs here are small (|vocabulary| sized).
+  for (int s = 0; s < n; ++s) {
+    std::vector<bool> seen(n, false);
+    std::queue<int> queue;
+    for (int v = 0; v < n; ++v) {
+      if ((*adj)[s][v] && !seen[v]) {
+        seen[v] = true;
+        queue.push(v);
+      }
+    }
+    while (!queue.empty()) {
+      int u = queue.front();
+      queue.pop();
+      for (int v = 0; v < n; ++v) {
+        if ((*adj)[u][v] && !seen[v]) {
+          seen[v] = true;
+          queue.push(v);
+        }
+      }
+    }
+    for (int v = 0; v < n; ++v) (*adj)[s][v] = seen[v];
+  }
+}
+
+}  // namespace
+
+Saturation::Saturation(const TBox& tbox) {
+  const Vocabulary& vocab = *tbox.vocabulary();
+  num_concepts_ = vocab.num_concepts();
+  num_roles_ = vocab.num_roles();
+  num_nodes_ = 1 + num_concepts_ + num_roles_;
+
+  // --- Role closure -------------------------------------------------------
+  role_closure_.assign(num_roles_, std::vector<bool>(num_roles_, false));
+  for (const RoleInclusion& ri : tbox.role_inclusions()) {
+    role_closure_[ri.lhs][ri.rhs] = true;
+    role_closure_[Inverse(ri.lhs)][Inverse(ri.rhs)] = true;
+  }
+  TransitiveClosure(&role_closure_);
+
+  // --- Reflexivity closure ------------------------------------------------
+  // rho is reflexive iff some stated-reflexive sigma has sigma <= rho or
+  // sigma^- <= rho (note sigma(x,x) and sigma^-(x,x) coincide).
+  reflexive_.assign(num_roles_, false);
+  for (RoleId sigma : tbox.reflexive_roles()) {
+    for (RoleId rho = 0; rho < num_roles_; ++rho) {
+      if (rho == sigma || rho == Inverse(sigma) ||
+          role_closure_[sigma][rho] || role_closure_[Inverse(sigma)][rho]) {
+        reflexive_[rho] = true;
+      }
+    }
+  }
+
+  // --- Concept closure ----------------------------------------------------
+  concept_closure_.assign(num_nodes_, std::vector<bool>(num_nodes_, false));
+  auto node = [this](const BasicConcept& c) { return ConceptNode(c); };
+  for (const ConceptInclusion& ci : tbox.concept_inclusions()) {
+    concept_closure_[node(ci.lhs)][node(ci.rhs)] = true;
+  }
+  // Everything entails TOP.
+  for (int u = 0; u < num_nodes_; ++u) concept_closure_[u][0] = true;
+  // rho <= rho' gives Erho <= Erho'.
+  for (RoleId a = 0; a < num_roles_; ++a) {
+    for (RoleId b = 0; b < num_roles_; ++b) {
+      if (role_closure_[a][b]) {
+        concept_closure_[node(BasicConcept::Exists(a))]
+                        [node(BasicConcept::Exists(b))] = true;
+      }
+    }
+  }
+  // Reflexive rho gives TOP <= Erho (every element has a rho-loop).
+  for (RoleId rho = 0; rho < num_roles_; ++rho) {
+    if (reflexive_[rho]) {
+      concept_closure_[0][node(BasicConcept::Exists(rho))] = true;
+    }
+  }
+  TransitiveClosure(&concept_closure_);
+}
+
+int Saturation::ConceptNode(const BasicConcept& c) const {
+  switch (c.kind) {
+    case BasicConcept::Kind::kTop:
+      return 0;
+    case BasicConcept::Kind::kAtomic:
+      return c.id < num_concepts_ ? 1 + c.id : -1;
+    case BasicConcept::Kind::kExists:
+      return c.id < num_roles_ ? 1 + num_concepts_ + c.id : -1;
+  }
+  return -1;
+}
+
+bool Saturation::SubRole(RoleId sub, RoleId sup) const {
+  if (sub == sup) return true;
+  if (sub >= num_roles_ || sup >= num_roles_) return false;
+  return role_closure_[sub][sup];
+}
+
+bool Saturation::Reflexive(RoleId role) const {
+  return role < num_roles_ && reflexive_[role];
+}
+
+bool Saturation::SubConcept(BasicConcept sub, BasicConcept sup) const {
+  if (sub == sup) return true;
+  if (sup.kind == BasicConcept::Kind::kTop) return true;
+  int u = ConceptNode(sub);
+  int v = ConceptNode(sup);
+  if (u < 0 || v < 0) return false;  // Post-snapshot symbol: only trivial.
+  return concept_closure_[u][v];
+}
+
+std::vector<RoleId> Saturation::SuperRoles(RoleId a) const {
+  std::vector<RoleId> out;
+  for (RoleId b = 0; b < num_roles_; ++b) {
+    if (SubRole(a, b)) out.push_back(b);
+  }
+  if (a >= num_roles_) out.push_back(a);  // Trivial only.
+  return out;
+}
+
+std::vector<int> Saturation::AtomicSuperConcepts(BasicConcept sub) const {
+  std::vector<int> out;
+  for (int c = 0; c < num_concepts_; ++c) {
+    if (SubConcept(sub, BasicConcept::Atomic(c))) out.push_back(c);
+  }
+  if (sub.kind == BasicConcept::Kind::kAtomic && sub.id >= num_concepts_) {
+    out.push_back(sub.id);
+  }
+  return out;
+}
+
+std::vector<RoleId> Saturation::ReflexiveRoles() const {
+  std::vector<RoleId> out;
+  for (RoleId r = 0; r < num_roles_; ++r) {
+    if (reflexive_[r]) out.push_back(r);
+  }
+  return out;
+}
+
+}  // namespace owlqr

@@ -1,0 +1,70 @@
+#ifndef OWLQR_ONTOLOGY_SATURATION_H_
+#define OWLQR_ONTOLOGY_SATURATION_H_
+
+#include <vector>
+
+#include "ontology/tbox.h"
+
+namespace owlqr {
+
+// Precomputed entailment closure of a TBox (a snapshot: symbols interned in
+// the vocabulary after construction are treated as fresh, i.e. only trivially
+// entailed).
+//
+// Answers the entailment questions used throughout the paper:
+//   SubRole(a, b)        T |= a(x,y) -> b(x,y)
+//   RoleToInverse(a, b)  T |= a(x,y) -> b(y,x)
+//   Reflexive(a)         T |= a(x,x)
+//   SubConcept(c, d)     T |= c(x) -> d(x)
+//
+// The closure implements the (complete, for the !-free fragment) DL-Lite_R
+// derivation rules: reflexive-transitive role inclusions closed under
+// inverses, exists-monotonicity (rho <= rho' gives Erho <= Erho'), and
+// TOP <= Erho for reflexive rho.
+class Saturation {
+ public:
+  explicit Saturation(const TBox& tbox);
+
+  bool SubRole(RoleId sub, RoleId sup) const;
+  bool RoleToInverse(RoleId sub, RoleId sup) const {
+    return SubRole(sub, Inverse(sup));
+  }
+  bool Reflexive(RoleId role) const;
+  bool SubConcept(BasicConcept sub, BasicConcept sup) const;
+
+  // T |= exists y rho(y, x) -> A(x), the form used in canonical models.
+  bool InverseExistsImpliesConcept(RoleId rho, int concept_id) const {
+    return SubConcept(BasicConcept::Exists(Inverse(rho)),
+                      BasicConcept::Atomic(concept_id));
+  }
+
+  // All roles b with SubRole(a, b), including a itself.
+  std::vector<RoleId> SuperRoles(RoleId a) const;
+  // All atomic concepts entailed by `sub` (used by ABox completion).
+  std::vector<int> AtomicSuperConcepts(BasicConcept sub) const;
+  // All reflexive roles.
+  std::vector<RoleId> ReflexiveRoles() const;
+
+  int num_snapshot_concepts() const { return num_concepts_; }
+  int num_snapshot_roles() const { return num_roles_; }
+
+ private:
+  int ConceptNode(const BasicConcept& c) const;  // -1 if out of snapshot.
+  bool Reaches(int from, int to) const {
+    return from == to || concept_closure_[from][to];
+  }
+
+  int num_concepts_;
+  int num_roles_;
+  int num_nodes_;  // 1 (TOP) + num_concepts_ + num_roles_.
+
+  // role_closure_[a][b]: a strictly-or-trivially derivable sub-role of b.
+  std::vector<std::vector<bool>> role_closure_;
+  std::vector<bool> reflexive_;
+  // concept_closure_[u][v]: node u entails node v (reflexivity implicit).
+  std::vector<std::vector<bool>> concept_closure_;
+};
+
+}  // namespace owlqr
+
+#endif  // OWLQR_ONTOLOGY_SATURATION_H_

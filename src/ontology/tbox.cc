@@ -1,0 +1,110 @@
+#include "ontology/tbox.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace owlqr {
+
+void TBox::MentionConcept(const BasicConcept& c) {
+  if (c.kind == BasicConcept::Kind::kExists) MentionRole(c.id);
+}
+
+void TBox::MentionRole(RoleId role) {
+  int pred = PredicateOf(role);
+  if (mentioned_predicates_.insert(pred).second) {
+    roles_.push_back(RoleOf(pred, false));
+    roles_.push_back(RoleOf(pred, true));
+    std::sort(roles_.begin(), roles_.end());
+    // New roles need fresh A_rho concepts before the rewriters may run.
+    normalized_ = false;
+  }
+}
+
+void TBox::AddConceptInclusion(BasicConcept lhs, BasicConcept rhs) {
+  MentionConcept(lhs);
+  MentionConcept(rhs);
+  concept_inclusions_.push_back({lhs, rhs});
+}
+
+void TBox::AddRoleInclusion(RoleId lhs, RoleId rhs) {
+  MentionRole(lhs);
+  MentionRole(rhs);
+  role_inclusions_.push_back({lhs, rhs});
+}
+
+void TBox::AddReflexivity(RoleId role) {
+  MentionRole(role);
+  reflexivity_.push_back(role);
+}
+
+void TBox::AddConceptDisjointness(BasicConcept lhs, BasicConcept rhs) {
+  MentionConcept(lhs);
+  MentionConcept(rhs);
+  concept_disjointness_.push_back({lhs, rhs});
+}
+
+void TBox::AddRoleDisjointness(RoleId lhs, RoleId rhs) {
+  MentionRole(lhs);
+  MentionRole(rhs);
+  role_disjointness_.push_back({lhs, rhs});
+}
+
+void TBox::AddIrreflexivity(RoleId role) {
+  MentionRole(role);
+  irreflexivity_.push_back(role);
+}
+
+void TBox::AddAtomicInclusion(std::string_view sub, std::string_view sup) {
+  AddConceptInclusion(BasicConcept::Atomic(vocabulary_->InternConcept(sub)),
+                      BasicConcept::Atomic(vocabulary_->InternConcept(sup)));
+}
+
+void TBox::AddExistsRhs(std::string_view sub_concept, std::string_view role,
+                        bool inverse) {
+  AddConceptInclusion(
+      BasicConcept::Atomic(vocabulary_->InternConcept(sub_concept)),
+      BasicConcept::Exists(RoleOf(vocabulary_->InternPredicate(role), inverse)));
+}
+
+void TBox::AddExistsLhs(std::string_view role, std::string_view sup_concept,
+                        bool inverse) {
+  AddConceptInclusion(
+      BasicConcept::Exists(RoleOf(vocabulary_->InternPredicate(role), inverse)),
+      BasicConcept::Atomic(vocabulary_->InternConcept(sup_concept)));
+}
+
+void TBox::Normalize() {
+  if (normalized_) return;
+  for (RoleId role : roles_) {
+    if (exists_concept_.count(role) > 0) continue;
+    std::string name = "A[" + vocabulary_->RoleName(role) + "]";
+    int concept_id = vocabulary_->InternConcept(name);
+    exists_concept_[role] = concept_id;
+    exists_concept_inverse_[concept_id] = role;
+    concept_inclusions_.push_back(
+        {BasicConcept::Atomic(concept_id), BasicConcept::Exists(role)});
+    concept_inclusions_.push_back(
+        {BasicConcept::Exists(role), BasicConcept::Atomic(concept_id)});
+  }
+  normalized_ = true;
+}
+
+int TBox::ExistsConcept(RoleId role) const {
+  OWLQR_CHECK_MSG(normalized_, "TBox::Normalize() must be called first");
+  auto it = exists_concept_.find(role);
+  return it == exists_concept_.end() ? -1 : it->second;
+}
+
+RoleId TBox::RoleOfExistsConcept(int concept_id) const {
+  auto it = exists_concept_inverse_.find(concept_id);
+  return it == exists_concept_inverse_.end() ? kNoRole : it->second;
+}
+
+int TBox::NumAxioms() const {
+  return static_cast<int>(concept_inclusions_.size() + role_inclusions_.size() +
+                          reflexivity_.size() + concept_disjointness_.size() +
+                          role_disjointness_.size() + irreflexivity_.size());
+}
+
+}  // namespace owlqr

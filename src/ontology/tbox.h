@@ -1,0 +1,151 @@
+#ifndef OWLQR_ONTOLOGY_TBOX_H_
+#define OWLQR_ONTOLOGY_TBOX_H_
+
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "ontology/role.h"
+#include "ontology/vocabulary.h"
+
+namespace owlqr {
+
+// A basic concept of OWL 2 QL:  tau ::= TOP | A(x) | exists y rho(x, y).
+struct BasicConcept {
+  enum class Kind { kTop, kAtomic, kExists };
+
+  Kind kind = Kind::kTop;
+  // Concept id for kAtomic, RoleId for kExists, unused for kTop.
+  int id = 0;
+
+  static BasicConcept Top() { return {Kind::kTop, 0}; }
+  static BasicConcept Atomic(int concept_id) {
+    return {Kind::kAtomic, concept_id};
+  }
+  static BasicConcept Exists(RoleId role) { return {Kind::kExists, role}; }
+
+  bool operator==(const BasicConcept& other) const {
+    return kind == other.kind && id == other.id;
+  }
+};
+
+struct ConceptInclusion {
+  BasicConcept lhs;
+  BasicConcept rhs;
+};
+
+struct RoleInclusion {
+  RoleId lhs;
+  RoleId rhs;
+};
+
+struct ConceptDisjointness {
+  BasicConcept lhs;
+  BasicConcept rhs;
+};
+
+struct RoleDisjointness {
+  RoleId lhs;
+  RoleId rhs;
+};
+
+// An OWL 2 QL ontology (description-logic TBox) over a shared Vocabulary.
+//
+// Axiom forms (Section 2 of the paper):
+//   tau(x) -> tau'(x)                  concept inclusion
+//   tau(x) & tau'(x) -> false          concept disjointness
+//   rho(x,y) -> rho'(x,y)              role inclusion
+//   rho(x,y) & rho'(x,y) -> false      role disjointness
+//   rho(x,x)                           reflexivity
+//   rho(x,x) -> false                  irreflexivity
+//
+// After `Normalize()` the ontology is in the paper's normal form: for every
+// role rho occurring in the TBox, a fresh concept A_rho with
+// A_rho(x) <-> exists y rho(x,y) has been introduced, retrievable via
+// `ExistsConcept(rho)`.  The rewriters require a normalized TBox.
+class TBox {
+ public:
+  explicit TBox(Vocabulary* vocabulary) : vocabulary_(vocabulary) {}
+
+  Vocabulary* vocabulary() const { return vocabulary_; }
+
+  void AddConceptInclusion(BasicConcept lhs, BasicConcept rhs);
+  void AddRoleInclusion(RoleId lhs, RoleId rhs);
+  void AddReflexivity(RoleId role);
+  void AddConceptDisjointness(BasicConcept lhs, BasicConcept rhs);
+  void AddRoleDisjointness(RoleId lhs, RoleId rhs);
+  void AddIrreflexivity(RoleId role);
+
+  // Convenience wrappers that intern names in the vocabulary.
+  void AddAtomicInclusion(std::string_view sub, std::string_view sup);
+  // sub_concept(x) -> exists y role(x, y); `inverse` flips the role.
+  void AddExistsRhs(std::string_view sub_concept, std::string_view role,
+                    bool inverse = false);
+  // exists y role(x, y) -> sup_concept(x); `inverse` flips the role.
+  void AddExistsLhs(std::string_view role, std::string_view sup_concept,
+                    bool inverse = false);
+
+  // Brings the TBox into normal form; idempotent.  Call after all axioms
+  // referencing new roles have been added (adding further axioms with fresh
+  // roles requires calling Normalize() again).
+  void Normalize();
+  bool normalized() const { return normalized_; }
+
+  // The concept A_rho with A_rho <-> exists rho.  Requires `normalized()` and
+  // that rho occurs in the TBox.  Returns -1 for roles not in the TBox.
+  int ExistsConcept(RoleId role) const;
+  // Inverse mapping: the role rho such that `concept_id` is A_rho, or kNoRole.
+  RoleId RoleOfExistsConcept(int concept_id) const;
+
+  // All roles occurring in the TBox, closed under inverse (the set R_T).
+  const std::vector<RoleId>& roles() const { return roles_; }
+  bool MentionsRole(RoleId role) const {
+    return mentioned_predicates_.count(PredicateOf(role)) > 0;
+  }
+
+  const std::vector<ConceptInclusion>& concept_inclusions() const {
+    return concept_inclusions_;
+  }
+  const std::vector<RoleInclusion>& role_inclusions() const {
+    return role_inclusions_;
+  }
+  const std::vector<RoleId>& reflexive_roles() const {
+    return reflexivity_;
+  }
+  const std::vector<ConceptDisjointness>& concept_disjointness() const {
+    return concept_disjointness_;
+  }
+  const std::vector<RoleDisjointness>& role_disjointness() const {
+    return role_disjointness_;
+  }
+  const std::vector<RoleId>& irreflexive_roles() const {
+    return irreflexivity_;
+  }
+
+  // Number of axioms (a rough |T| measure used in size accounting).
+  int NumAxioms() const;
+
+ private:
+  void MentionConcept(const BasicConcept& c);
+  void MentionRole(RoleId role);
+
+  Vocabulary* vocabulary_;  // Not owned.
+  std::vector<ConceptInclusion> concept_inclusions_;
+  std::vector<RoleInclusion> role_inclusions_;
+  std::vector<RoleId> reflexivity_;
+  std::vector<ConceptDisjointness> concept_disjointness_;
+  std::vector<RoleDisjointness> role_disjointness_;
+  std::vector<RoleId> irreflexivity_;
+
+  std::set<int> mentioned_predicates_;
+  std::vector<RoleId> roles_;  // Sorted; both directions of each predicate.
+  bool normalized_ = false;
+  std::unordered_map<RoleId, int> exists_concept_;   // rho -> A_rho.
+  std::unordered_map<int, RoleId> exists_concept_inverse_;
+};
+
+}  // namespace owlqr
+
+#endif  // OWLQR_ONTOLOGY_TBOX_H_

@@ -1,0 +1,59 @@
+#ifndef OWLQR_ONTOLOGY_VOCABULARY_H_
+#define OWLQR_ONTOLOGY_VOCABULARY_H_
+
+#include <string>
+#include <string_view>
+
+#include "ontology/role.h"
+#include "util/interner.h"
+
+namespace owlqr {
+
+// Shared symbol space for a whole OBDA scenario: unary predicates (concept
+// names), binary predicates (role names) and individual constants.
+//
+// Ontologies, queries and data instances reference symbols by id only; a
+// Vocabulary is needed to create symbols and to print.  One Vocabulary is
+// typically shared by everything in a scenario.
+class Vocabulary {
+ public:
+  Vocabulary() = default;
+
+  // Vocabularies are identity objects shared by pointer; copying one would
+  // silently fork the symbol space.
+  Vocabulary(const Vocabulary&) = delete;
+  Vocabulary& operator=(const Vocabulary&) = delete;
+
+  int InternConcept(std::string_view name) { return concepts_.Intern(name); }
+  int InternPredicate(std::string_view name) { return predicates_.Intern(name); }
+  int InternIndividual(std::string_view name) { return individuals_.Intern(name); }
+
+  int FindConcept(std::string_view name) const { return concepts_.Find(name); }
+  int FindPredicate(std::string_view name) const { return predicates_.Find(name); }
+  int FindIndividual(std::string_view name) const { return individuals_.Find(name); }
+
+  const std::string& ConceptName(int id) const { return concepts_.Name(id); }
+  const std::string& PredicateName(int id) const { return predicates_.Name(id); }
+  const std::string& IndividualName(int id) const { return individuals_.Name(id); }
+
+  // "P" for forward roles, "P-" for inverses.
+  std::string RoleName(RoleId role) const {
+    std::string name = predicates_.Name(PredicateOf(role));
+    if (IsInverse(role)) name += '-';
+    return name;
+  }
+
+  int num_concepts() const { return concepts_.size(); }
+  int num_predicates() const { return predicates_.size(); }
+  int num_roles() const { return 2 * predicates_.size(); }
+  int num_individuals() const { return individuals_.size(); }
+
+ private:
+  Interner concepts_;
+  Interner predicates_;
+  Interner individuals_;
+};
+
+}  // namespace owlqr
+
+#endif  // OWLQR_ONTOLOGY_VOCABULARY_H_

@@ -1,0 +1,137 @@
+#include "ontology/word_graph.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "util/logging.h"
+
+namespace owlqr {
+
+WordGraph::WordGraph(const TBox& tbox, const Saturation& saturation) {
+  for (RoleId role : tbox.roles()) {
+    if (!saturation.Reflexive(role)) nodes_.push_back(role);
+  }
+  for (RoleId a : nodes_) {
+    std::vector<RoleId>& succ = successors_[a];
+    for (RoleId b : nodes_) {
+      if (saturation.SubConcept(BasicConcept::Exists(Inverse(a)),
+                                BasicConcept::Exists(b)) &&
+          !saturation.SubRole(a, Inverse(b))) {
+        succ.push_back(b);
+      }
+    }
+  }
+
+  // Longest path via DFS with cycle detection (colors: 0 new, 1 on stack,
+  // 2 done).  depth_[v] = longest path starting at v, in nodes.
+  std::map<RoleId, int> color;
+  std::map<RoleId, int> longest;
+  bool cyclic = false;
+  std::function<int(RoleId)> dfs = [&](RoleId v) -> int {
+    if (cyclic) return 0;
+    auto it = color.find(v);
+    if (it != color.end()) {
+      if (it->second == 1) {
+        cyclic = true;
+        return 0;
+      }
+      return longest[v];
+    }
+    color[v] = 1;
+    int best = 1;
+    for (RoleId w : successors_[v]) {
+      best = std::max(best, 1 + dfs(w));
+      if (cyclic) break;
+    }
+    color[v] = 2;
+    longest[v] = best;
+    return best;
+  };
+  for (RoleId v : nodes_) {
+    depth_ = std::max(depth_, dfs(v));
+    if (cyclic) {
+      depth_ = kInfiniteDepth;
+      break;
+    }
+  }
+}
+
+bool WordGraph::IsNode(RoleId role) const {
+  return successors_.count(role) > 0;
+}
+
+const std::vector<RoleId>& WordGraph::Successors(RoleId role) const {
+  static const std::vector<RoleId> kEmpty;
+  auto it = successors_.find(role);
+  return it == successors_.end() ? kEmpty : it->second;
+}
+
+bool WordGraph::HasEdge(RoleId a, RoleId b) const {
+  const std::vector<RoleId>& succ = Successors(a);
+  return std::find(succ.begin(), succ.end(), b) != succ.end();
+}
+
+WordTable::WordTable(const WordGraph* graph) : graph_(graph) {
+  entries_.push_back({/*parent=*/-1, kNoRole, kNoRole, 0});  // epsilon.
+}
+
+int WordTable::Extend(int word, RoleId role) {
+  OWLQR_CHECK(word >= 0 && word < size());
+  if (!graph_->IsNode(role)) return -1;
+  if (word != kEpsilon && !graph_->HasEdge(LastRole(word), role)) return -1;
+  auto key = std::make_pair(word, role);
+  auto it = index_.find(key);
+  if (it != index_.end()) return it->second;
+  int id = size();
+  RoleId first = (word == kEpsilon) ? role : FirstRole(word);
+  entries_.push_back({word, role, first, Length(word) + 1});
+  index_.emplace(key, id);
+  return id;
+}
+
+std::vector<int> WordTable::AllWordsUpTo(int max_length, int limit) {
+  std::vector<int> result;
+  result.push_back(kEpsilon);
+  std::vector<int> frontier = {kEpsilon};
+  for (int len = 1; len <= max_length; ++len) {
+    std::vector<int> next;
+    for (int w : frontier) {
+      const std::vector<RoleId>& candidates =
+          (w == kEpsilon) ? graph_->nodes() : graph_->Successors(LastRole(w));
+      for (RoleId role : candidates) {
+        int ext = Extend(w, role);
+        if (ext >= 0) {
+          next.push_back(ext);
+          OWLQR_CHECK_MSG(static_cast<int>(result.size()) < limit,
+                          "W_T enumeration limit exceeded");
+        }
+      }
+    }
+    // Extend() dedups, but the same word may be pushed twice in one level.
+    std::sort(next.begin(), next.end());
+    next.erase(std::unique(next.begin(), next.end()), next.end());
+    result.insert(result.end(), next.begin(), next.end());
+    frontier = std::move(next);
+    if (frontier.empty()) break;
+  }
+  return result;
+}
+
+std::vector<RoleId> WordTable::Roles(int word) const {
+  std::vector<RoleId> out;
+  for (int w = word; w != kEpsilon; w = Parent(w)) out.push_back(LastRole(w));
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+std::string WordTable::Name(int word, const Vocabulary& vocabulary) const {
+  if (word == kEpsilon) return "eps";
+  std::string out;
+  for (RoleId r : Roles(word)) {
+    if (!out.empty()) out += '.';
+    out += vocabulary.RoleName(r);
+  }
+  return out;
+}
+
+}  // namespace owlqr

@@ -1,0 +1,85 @@
+#ifndef OWLQR_ONTOLOGY_WORD_GRAPH_H_
+#define OWLQR_ONTOLOGY_WORD_GRAPH_H_
+
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ontology/saturation.h"
+#include "ontology/tbox.h"
+
+namespace owlqr {
+
+// The digraph whose paths are exactly the words of W_T (Section 2).
+//
+// Nodes are the non-reflexive roles of R_T.  There is an edge rho -> rho' iff
+//   T |= exists x rho(x,y) -> exists z rho'(y,z)   (i.e. E(rho^-) <= E(rho'))
+// and not T |= rho(x,y) -> rho'(y,x)               (i.e. not rho <= (rho')^-).
+// A word rho_1 ... rho_n is in W_T iff every rho_i is a node and every
+// consecutive pair is an edge.  The ontology depth is the longest path length
+// (number of nodes on it), or kInfiniteDepth if the graph has a cycle.
+class WordGraph {
+ public:
+  static constexpr int kInfiniteDepth = std::numeric_limits<int>::max();
+
+  WordGraph(const TBox& tbox, const Saturation& saturation);
+
+  // Ontology depth d: max length of a word in W_T; 0 if W_T is empty;
+  // kInfiniteDepth if W_T is infinite.
+  int depth() const { return depth_; }
+
+  const std::vector<RoleId>& nodes() const { return nodes_; }
+  bool IsNode(RoleId role) const;
+  const std::vector<RoleId>& Successors(RoleId role) const;
+  bool HasEdge(RoleId a, RoleId b) const;
+
+ private:
+  std::vector<RoleId> nodes_;
+  std::map<RoleId, std::vector<RoleId>> successors_;
+  int depth_ = 0;
+};
+
+// Interning table for words of W_T.  Word 0 is the empty word epsilon; other
+// words are represented as (parent word, last role) pairs, so extending and
+// comparing words is O(1).
+class WordTable {
+ public:
+  static constexpr int kEpsilon = 0;
+
+  explicit WordTable(const WordGraph* graph);
+
+  // Interns word + role; returns -1 if the extension is not a valid W_T word.
+  int Extend(int word, RoleId role);
+
+  int Parent(int word) const { return entries_[word].parent; }
+  RoleId LastRole(int word) const { return entries_[word].last_role; }
+  RoleId FirstRole(int word) const { return entries_[word].first_role; }
+  int Length(int word) const { return entries_[word].length; }
+  int size() const { return static_cast<int>(entries_.size()); }
+
+  // Interns and returns all words of length <= max_length (epsilon included).
+  // Aborts if more than `limit` words would be created.
+  std::vector<int> AllWordsUpTo(int max_length, int limit = 1 << 20);
+
+  // Roles of the word from first to last.
+  std::vector<RoleId> Roles(int word) const;
+
+  std::string Name(int word, const Vocabulary& vocabulary) const;
+
+ private:
+  struct Entry {
+    int parent;
+    RoleId last_role;
+    RoleId first_role;
+    int length;
+  };
+
+  const WordGraph* graph_;  // Not owned.
+  std::vector<Entry> entries_;
+  std::map<std::pair<int, RoleId>, int> index_;
+};
+
+}  // namespace owlqr
+
+#endif  // OWLQR_ONTOLOGY_WORD_GRAPH_H_

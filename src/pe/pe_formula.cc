@@ -1,0 +1,390 @@
+#include "pe/pe_formula.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <set>
+
+#include "util/logging.h"
+
+namespace owlqr {
+
+int PeFormula::AddConceptAtom(int concept_id, int var) {
+  nodes_.push_back({Kind::kConceptAtom, concept_id, {var}, {}});
+  return num_nodes() - 1;
+}
+
+int PeFormula::AddRoleAtom(int predicate_id, int var0, int var1) {
+  nodes_.push_back({Kind::kRoleAtom, predicate_id, {var0, var1}, {}});
+  return num_nodes() - 1;
+}
+
+int PeFormula::AddEquality(int var0, int var1) {
+  nodes_.push_back({Kind::kEquality, -1, {var0, var1}, {}});
+  return num_nodes() - 1;
+}
+
+int PeFormula::AddAnd(std::vector<int> children, std::vector<int> schema) {
+  nodes_.push_back({Kind::kAnd, -1, std::move(schema), std::move(children)});
+  return num_nodes() - 1;
+}
+
+int PeFormula::AddOr(std::vector<int> children, std::vector<int> schema) {
+  nodes_.push_back({Kind::kOr, -1, std::move(schema), std::move(children)});
+  return num_nodes() - 1;
+}
+
+void PeFormula::SetRoot(int node, std::vector<int> answer_vars) {
+  root_ = node;
+  answer_vars_ = std::move(answer_vars);
+}
+
+long PeFormula::Size() const {
+  long size = 0;
+  for (const Node& node : nodes_) {
+    switch (node.kind) {
+      case Kind::kConceptAtom:
+        size += 2;
+        break;
+      case Kind::kRoleAtom:
+      case Kind::kEquality:
+        size += 3;
+        break;
+      case Kind::kAnd:
+      case Kind::kOr:
+        size += 1;
+        break;
+    }
+  }
+  return size;
+}
+
+int PeFormula::AlternationDepth() const {
+  if (root_ < 0) return 0;
+  std::function<int(int)> blocks = [&](int n) -> int {
+    const Node& node = nodes_[n];
+    if (node.kind != Kind::kAnd && node.kind != Kind::kOr) return 0;
+    int best = 1;
+    for (int c : node.children) {
+      const Node& child = nodes_[c];
+      int b = blocks(c);
+      if (child.kind == Kind::kAnd || child.kind == Kind::kOr) {
+        best = std::max(best, child.kind == node.kind ? b : b + 1);
+      }
+    }
+    return best;
+  };
+  return blocks(root_);
+}
+
+std::string PeFormula::ToString(const Vocabulary& vocabulary) const {
+  std::function<std::string(int)> print = [&](int n) -> std::string {
+    const Node& node = nodes_[n];
+    auto var = [](int v) { return "v" + std::to_string(v); };
+    switch (node.kind) {
+      case Kind::kConceptAtom:
+        return vocabulary.ConceptName(node.symbol) + "(" + var(node.vars[0]) +
+               ")";
+      case Kind::kRoleAtom:
+        return vocabulary.PredicateName(node.symbol) + "(" +
+               var(node.vars[0]) + ", " + var(node.vars[1]) + ")";
+      case Kind::kEquality:
+        return var(node.vars[0]) + " = " + var(node.vars[1]);
+      case Kind::kAnd:
+      case Kind::kOr: {
+        std::string sep = node.kind == Kind::kAnd ? " & " : " | ";
+        std::string out = "(";
+        for (size_t i = 0; i < node.children.size(); ++i) {
+          if (i > 0) out += sep;
+          out += print(node.children[i]);
+        }
+        return out + ")";
+      }
+    }
+    return "?";
+  };
+  return root_ < 0 ? "" : print(root_);
+}
+
+namespace {
+
+class Unfolder {
+ public:
+  Unfolder(const NdlProgram& program, long max_nodes)
+      : program_(program), max_nodes_(max_nodes) {}
+
+  PeFormula Run(bool* truncated) {
+    OWLQR_CHECK(program_.goal() >= 0);
+    const PredicateInfo& goal = program_.predicate(program_.goal());
+    std::vector<int> args;
+    for (int i = 0; i < goal.arity; ++i) args.push_back(next_var_++);
+    int root = ExpandIdb(program_.goal(), args);
+    formula_.SetRoot(root, args);
+    if (truncated != nullptr) *truncated = truncated_;
+    return std::move(formula_);
+  }
+
+ private:
+  // Builds the Or-of-clauses formula for `pred` instantiated with `args`.
+  int ExpandIdb(int pred, const std::vector<int>& args) {
+    std::vector<int> disjuncts;
+    for (int ci : program_.ClausesFor(pred)) {
+      if (truncated_) break;
+      disjuncts.push_back(ExpandClause(program_.clause(ci), args));
+    }
+    return formula_.AddOr(std::move(disjuncts), args);
+  }
+
+  int ExpandClause(const NdlClause& clause, const std::vector<int>& args) {
+    // Substitution from clause variables to global PE variables.
+    std::map<int, int> subst;
+    std::vector<int> conjuncts;
+    for (size_t i = 0; i < clause.head.args.size(); ++i) {
+      const Term& t = clause.head.args[i];
+      OWLQR_CHECK_MSG(!t.is_constant, "constants in heads are not supported");
+      auto [it, inserted] = subst.emplace(t.value, args[i]);
+      if (!inserted && it->second != args[i]) {
+        // Repeated head variable: equate the two interface positions.
+        conjuncts.push_back(formula_.AddEquality(it->second, args[i]));
+      }
+    }
+    auto map_term = [&](const Term& t) {
+      OWLQR_CHECK_MSG(!t.is_constant, "constants are not supported in PE");
+      auto [it, inserted] = subst.emplace(t.value, next_var_);
+      if (inserted) ++next_var_;
+      return it->second;
+    };
+    for (const NdlAtom& atom : clause.body) {
+      if (formula_.num_nodes() > max_nodes_) {
+        truncated_ = true;
+        break;
+      }
+      const PredicateInfo& info = program_.predicate(atom.predicate);
+      switch (info.kind) {
+        case PredicateKind::kConceptEdb:
+          conjuncts.push_back(formula_.AddConceptAtom(
+              info.external_id, map_term(atom.args[0])));
+          break;
+        case PredicateKind::kRoleEdb:
+          conjuncts.push_back(formula_.AddRoleAtom(info.external_id,
+                                                   map_term(atom.args[0]),
+                                                   map_term(atom.args[1])));
+          break;
+        case PredicateKind::kEquality:
+          conjuncts.push_back(formula_.AddEquality(map_term(atom.args[0]),
+                                                   map_term(atom.args[1])));
+          break;
+        case PredicateKind::kAdom: {
+          int v = map_term(atom.args[0]);
+          conjuncts.push_back(formula_.AddEquality(v, v));
+          break;
+        }
+        case PredicateKind::kTableEdb:
+          OWLQR_CHECK_MSG(false,
+                          "PE formulas range over the ontology vocabulary; "
+                          "unfold through the mapping first");
+          break;
+        case PredicateKind::kIdb: {
+          std::vector<int> call_args;
+          for (const Term& t : atom.args) call_args.push_back(map_term(t));
+          conjuncts.push_back(ExpandIdb(atom.predicate, call_args));
+          break;
+        }
+      }
+    }
+    return formula_.AddAnd(std::move(conjuncts), args);
+  }
+
+  const NdlProgram& program_;
+  long max_nodes_;
+  PeFormula formula_;
+  int next_var_ = 0;
+  bool truncated_ = false;
+};
+
+long SaturatingAdd(long a, long b) {
+  return std::min(kPeSizeCap, a + std::min(kPeSizeCap - a, b));
+}
+
+}  // namespace
+
+PeFormula UnfoldToPe(const NdlProgram& program, long max_nodes,
+                     bool* truncated) {
+  return Unfolder(program, max_nodes).Run(truncated);
+}
+
+long UnfoldedPeSize(const NdlProgram& program) {
+  OWLQR_CHECK(program.goal() >= 0);
+  std::vector<long> size(program.num_predicates(), 0);
+  for (int p : program.TopologicalOrder()) {
+    long total = 1;  // The Or node.
+    for (int ci : program.ClausesFor(p)) {
+      long clause_size = 1;  // The And node.
+      for (const NdlAtom& atom : program.clause(ci).body) {
+        const PredicateInfo& info = program.predicate(atom.predicate);
+        long contribution;
+        if (info.kind == PredicateKind::kIdb) {
+          contribution = size[atom.predicate];
+        } else {
+          contribution = 1 + static_cast<long>(atom.args.size());
+        }
+        clause_size = SaturatingAdd(clause_size, contribution);
+      }
+      total = SaturatingAdd(total, clause_size);
+    }
+    size[p] = total;
+  }
+  return size[program.goal()];
+}
+
+namespace {
+
+struct Relation {
+  std::vector<int> schema;  // PE variable per column.
+  std::vector<std::vector<int>> tuples;
+};
+
+Relation Project(const Relation& rel, const std::vector<int>& schema,
+                 const std::vector<int>& adom) {
+  // Column of each target variable in `rel`, or -1 (then extended over the
+  // active domain — only needed for unsafe subformulas).
+  std::vector<int> source(schema.size(), -1);
+  bool needs_extension = false;
+  for (size_t i = 0; i < schema.size(); ++i) {
+    for (size_t j = 0; j < rel.schema.size(); ++j) {
+      if (rel.schema[j] == schema[i]) source[i] = static_cast<int>(j);
+    }
+    if (source[i] < 0) needs_extension = true;
+  }
+  Relation out;
+  out.schema = schema;
+  std::set<std::vector<int>> seen;
+  std::function<void(const std::vector<int>&, std::vector<int>&, size_t)>
+      emit = [&](const std::vector<int>& tuple, std::vector<int>& acc,
+                 size_t i) {
+        if (i == schema.size()) {
+          if (seen.insert(acc).second) out.tuples.push_back(acc);
+          return;
+        }
+        if (source[i] >= 0) {
+          acc.push_back(tuple[source[i]]);
+          emit(tuple, acc, i + 1);
+          acc.pop_back();
+        } else {
+          for (int a : adom) {
+            acc.push_back(a);
+            emit(tuple, acc, i + 1);
+            acc.pop_back();
+          }
+        }
+      };
+  (void)needs_extension;
+  for (const std::vector<int>& tuple : rel.tuples) {
+    std::vector<int> acc;
+    emit(tuple, acc, 0);
+  }
+  return out;
+}
+
+Relation Join(const Relation& a, const Relation& b) {
+  // Shared columns.
+  std::vector<std::pair<int, int>> shared;  // (col in a, col in b).
+  std::vector<int> b_extra;                 // Columns of b not in a.
+  for (size_t j = 0; j < b.schema.size(); ++j) {
+    bool found = false;
+    for (size_t i = 0; i < a.schema.size(); ++i) {
+      if (a.schema[i] == b.schema[j]) {
+        shared.emplace_back(static_cast<int>(i), static_cast<int>(j));
+        found = true;
+        break;
+      }
+    }
+    if (!found) b_extra.push_back(static_cast<int>(j));
+  }
+  Relation out;
+  out.schema = a.schema;
+  for (int j : b_extra) out.schema.push_back(b.schema[j]);
+  // Hash b by its shared columns.
+  std::map<std::vector<int>, std::vector<int>> index;
+  for (size_t row = 0; row < b.tuples.size(); ++row) {
+    std::vector<int> key;
+    for (auto [ia, jb] : shared) key.push_back(b.tuples[row][jb]);
+    index[key].push_back(static_cast<int>(row));
+  }
+  for (const std::vector<int>& ta : a.tuples) {
+    std::vector<int> key;
+    for (auto [ia, jb] : shared) key.push_back(ta[ia]);
+    auto it = index.find(key);
+    if (it == index.end()) continue;
+    for (int row : it->second) {
+      std::vector<int> tuple = ta;
+      for (int j : b_extra) tuple.push_back(b.tuples[row][j]);
+      out.tuples.push_back(std::move(tuple));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::vector<int>> EvaluatePe(const PeFormula& formula,
+                                         const DataInstance& data) {
+  const std::vector<int>& adom = data.individuals();
+  std::function<Relation(int)> eval = [&](int n) -> Relation {
+    const PeFormula::Node& node = formula.node(n);
+    Relation rel;
+    switch (node.kind) {
+      case PeFormula::Kind::kConceptAtom:
+        rel.schema = {node.vars[0]};
+        for (int a : data.ConceptMembers(node.symbol)) rel.tuples.push_back({a});
+        return rel;
+      case PeFormula::Kind::kRoleAtom:
+        if (node.vars[0] == node.vars[1]) {
+          rel.schema = {node.vars[0]};
+          for (auto [a, b] : data.RolePairs(node.symbol)) {
+            if (a == b) rel.tuples.push_back({a});
+          }
+        } else {
+          rel.schema = {node.vars[0], node.vars[1]};
+          for (auto [a, b] : data.RolePairs(node.symbol)) {
+            rel.tuples.push_back({a, b});
+          }
+        }
+        return rel;
+      case PeFormula::Kind::kEquality:
+        if (node.vars[0] == node.vars[1]) {
+          rel.schema = {node.vars[0]};
+          for (int a : adom) rel.tuples.push_back({a});
+        } else {
+          rel.schema = {node.vars[0], node.vars[1]};
+          for (int a : adom) rel.tuples.push_back({a, a});
+        }
+        return rel;
+      case PeFormula::Kind::kAnd: {
+        rel.schema = {};
+        rel.tuples = {{}};
+        for (int c : node.children) rel = Join(rel, eval(c));
+        return Project(rel, node.vars, adom);
+      }
+      case PeFormula::Kind::kOr: {
+        std::set<std::vector<int>> seen;
+        rel.schema = node.vars;
+        for (int c : node.children) {
+          Relation child = Project(eval(c), node.vars, adom);
+          for (std::vector<int>& t : child.tuples) {
+            if (seen.insert(t).second) rel.tuples.push_back(std::move(t));
+          }
+        }
+        return rel;
+      }
+    }
+    return rel;
+  };
+  if (formula.root() < 0) return {};
+  Relation result =
+      Project(eval(formula.root()), formula.answer_vars(), adom);
+  std::sort(result.tuples.begin(), result.tuples.end());
+  return result.tuples;
+}
+
+}  // namespace owlqr

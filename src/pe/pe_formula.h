@@ -1,0 +1,77 @@
+#ifndef OWLQR_PE_PE_FORMULA_H_
+#define OWLQR_PE_PE_FORMULA_H_
+
+#include <string>
+#include <vector>
+
+#include "data/data_instance.h"
+#include "ndl/program.h"
+
+namespace owlqr {
+
+// A positive existential (PE) formula in prenex form: a {and, or}-tree over
+// concept atoms, role atoms and equalities.  Variables are global ids; the
+// formula's answer variables are free, everything else is implicitly
+// existentially quantified.  Every inner node carries a schema — the
+// variables it exposes to its parent (for Or nodes these are the interface
+// variables shared by all disjuncts, which is the shape produced by
+// unfolding nonrecursive datalog).
+class PeFormula {
+ public:
+  enum class Kind { kConceptAtom, kRoleAtom, kEquality, kAnd, kOr };
+
+  struct Node {
+    Kind kind;
+    int symbol = -1;            // Concept / predicate id for atoms.
+    std::vector<int> vars;      // Atom arguments, or the inner-node schema.
+    std::vector<int> children;  // For kAnd / kOr.
+  };
+
+  int AddConceptAtom(int concept_id, int var);
+  int AddRoleAtom(int predicate_id, int var0, int var1);
+  int AddEquality(int var0, int var1);
+  int AddAnd(std::vector<int> children, std::vector<int> schema);
+  int AddOr(std::vector<int> children, std::vector<int> schema);
+
+  void SetRoot(int node, std::vector<int> answer_vars);
+  int root() const { return root_; }
+  const Node& node(int i) const { return nodes_[i]; }
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  const std::vector<int>& answer_vars() const { return answer_vars_; }
+
+  // |phi|: number of symbols (atoms count 1 + arity; and/or count 1).
+  long Size() const;
+  // The Pi_k measure of Section 2: the maximal number of and/or alternation
+  // blocks on a root-to-leaf path.
+  int AlternationDepth() const;
+
+  std::string ToString(const Vocabulary& vocabulary) const;
+
+ private:
+  std::vector<Node> nodes_;
+  int root_ = -1;
+  std::vector<int> answer_vars_;
+};
+
+// Unfolds an NDL query into an equivalent PE formula by replacing IDB atoms
+// with the disjunction of their (renamed) clause bodies.  The formula tree
+// can be exponentially larger than the program — that is the Figure 1(b)
+// succinctness gap.  Unfolding stops and sets `truncated` once `max_nodes`
+// is exceeded.
+PeFormula UnfoldToPe(const NdlProgram& program, long max_nodes = 1 << 22,
+                     bool* truncated = nullptr);
+
+// The exact unfolded PE size, computed by dynamic programming without
+// materialising the formula (saturates at kPeSizeCap).
+inline constexpr long kPeSizeCap = 1L << 60;
+long UnfoldedPeSize(const NdlProgram& program);
+
+// Evaluates a PE formula over a data instance; returns the sorted answer
+// tuples.  Bottom-up relational evaluation — intended for cross-validation
+// on small instances.
+std::vector<std::vector<int>> EvaluatePe(const PeFormula& formula,
+                                         const DataInstance& data);
+
+}  // namespace owlqr
+
+#endif  // OWLQR_PE_PE_FORMULA_H_

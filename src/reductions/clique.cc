@@ -1,0 +1,132 @@
+#include "reductions/clique.h"
+
+#include <functional>
+#include <string>
+
+#include "util/logging.h"
+
+namespace owlqr {
+
+CliqueOmq MakeCliqueOmq(Vocabulary* vocab, const PartitionedGraph& g) {
+  int m = g.num_vertices;       // M in the paper.
+  int p = g.num_partitions;
+  OWLQR_CHECK(m >= 1 && p >= 2);
+  OWLQR_CHECK(static_cast<int>(g.partition_of.size()) == m + 1);
+  auto tbox = std::make_unique<TBox>(vocab);
+  int s_pred = vocab->InternPredicate("S");
+  int y_pred = vocab->InternPredicate("Y");
+  int u_pred = vocab->InternPredicate("U");
+  int a_concept = vocab->InternConcept("A");
+  int b_concept = vocab->InternConcept("B");
+
+  // Roles L^k_j for block positions k = 1..2M and vertices j = 1..M; vertex
+  // v_j owns positions 2j-1 and 2j of each block.
+  auto l_role = [&](int k, int j) {
+    return RoleOf(vocab->InternPredicate("L_" + std::to_string(k) + "_" +
+                                         std::to_string(j)));
+  };
+  for (int j = 1; j <= m; ++j) {
+    // Branch starts: A <= exists L^1_j for v_j in V_1.
+    if (g.partition_of[j] == 1) {
+      tbox->AddConceptInclusion(BasicConcept::Atomic(a_concept),
+                                BasicConcept::Exists(l_role(1, j)));
+    }
+    // Chains within a block.
+    for (int k = 1; k < 2 * m; ++k) {
+      tbox->AddConceptInclusion(BasicConcept::Exists(Inverse(l_role(k, j))),
+                                BasicConcept::Exists(l_role(k + 1, j)));
+    }
+    // Block transitions: end of v_j's block starts v_j''s block for the next
+    // partition.
+    if (g.partition_of[j] < p) {
+      for (int jp = 1; jp <= m; ++jp) {
+        if (g.partition_of[jp] == g.partition_of[j] + 1) {
+          tbox->AddConceptInclusion(
+              BasicConcept::Exists(Inverse(l_role(2 * m, j))),
+              BasicConcept::Exists(l_role(1, jp)));
+        }
+      }
+    }
+    // End of the p-th block is marked B.
+    if (g.partition_of[j] == p) {
+      tbox->AddConceptInclusion(BasicConcept::Exists(Inverse(l_role(2 * m, j))),
+                                BasicConcept::Atomic(b_concept));
+    }
+    for (int k = 1; k <= 2 * m; ++k) {
+      // The selected vertex marks its own positions with S; the positions of
+      // its neighbours with Y; every position is a U-step (all pointing from
+      // child to parent: L(x,y) -> X(y,x) is L <= X^-).
+      if (k == 2 * j - 1 || k == 2 * j) {
+        tbox->AddRoleInclusion(l_role(k, j), RoleOf(s_pred, true));
+      }
+      for (int jp = 1; jp <= m; ++jp) {
+        if (!g.HasEdge(j, jp)) continue;
+        if (k == 2 * jp - 1 || k == 2 * jp) {
+          tbox->AddRoleInclusion(l_role(k, j), RoleOf(y_pred, true));
+        }
+      }
+      tbox->AddRoleInclusion(l_role(k, j), RoleOf(u_pred, true));
+    }
+  }
+  // B <= exists PB with PB <= U and PB <= U^- (the padding pendant).
+  RoleId pb = RoleOf(vocab->InternPredicate("PB"));
+  tbox->AddConceptInclusion(BasicConcept::Atomic(b_concept),
+                            BasicConcept::Exists(pb));
+  tbox->AddRoleInclusion(pb, RoleOf(u_pred));
+  tbox->AddRoleInclusion(pb, RoleOf(u_pred, true));
+  tbox->Normalize();
+
+  // The query: B(y) and, for 1 <= i < p, a branch
+  //   (U^{2M-2} (Y Y U^{2M-2})^i S S)(y, z_i).
+  ConjunctiveQuery query(vocab);
+  int y = query.AddVariable("y");
+  query.AddUnaryAtom(b_concept, y);
+  for (int i = 1; i < p; ++i) {
+    int prev = y;
+    int counter = 0;
+    auto step = [&](int predicate) {
+      int next = query.AddVariable("w_" + std::to_string(i) + "_" +
+                                   std::to_string(counter++));
+      query.AddBinaryAtom(predicate, prev, next);
+      prev = next;
+    };
+    for (int t = 0; t < 2 * m - 2; ++t) step(u_pred);
+    for (int rep = 0; rep < i; ++rep) {
+      step(y_pred);
+      step(y_pred);
+      for (int t = 0; t < 2 * m - 2; ++t) step(u_pred);
+    }
+    step(s_pred);
+    step(s_pred);
+  }
+
+  DataInstance data(vocab);
+  data.AddConceptAssertion(a_concept, vocab->InternIndividual("a"));
+  CliqueOmq out{std::move(tbox), std::move(query), std::move(data)};
+  return out;
+}
+
+bool HasPartitionedClique(const PartitionedGraph& g) {
+  std::vector<std::vector<int>> classes(g.num_partitions + 1);
+  for (int v = 1; v <= g.num_vertices; ++v) {
+    classes[g.partition_of[v]].push_back(v);
+  }
+  std::vector<int> chosen;
+  std::function<bool(int)> pick = [&](int cls) -> bool {
+    if (cls > g.num_partitions) return true;
+    for (int v : classes[cls]) {
+      bool ok = true;
+      for (int u : chosen) {
+        if (!g.HasEdge(u, v)) ok = false;
+      }
+      if (!ok) continue;
+      chosen.push_back(v);
+      if (pick(cls + 1)) return true;
+      chosen.pop_back();
+    }
+    return false;
+  };
+  return pick(1);
+}
+
+}  // namespace owlqr

@@ -1,0 +1,44 @@
+#ifndef OWLQR_REDUCTIONS_CLIQUE_H_
+#define OWLQR_REDUCTIONS_CLIQUE_H_
+
+#include <memory>
+#include <vector>
+
+#include "cq/cq.h"
+#include "data/data_instance.h"
+#include "ontology/tbox.h"
+
+namespace owlqr {
+
+// A graph with vertices 1..num_vertices partitioned into classes 1..p.
+struct PartitionedGraph {
+  int num_vertices = 0;
+  int num_partitions = 0;
+  std::vector<int> partition_of;             // 1-based; index 0 unused.
+  std::vector<std::pair<int, int>> edges;    // Undirected.
+
+  bool HasEdge(int u, int v) const {
+    for (auto [a, b] : edges) {
+      if ((a == u && b == v) || (a == v && b == u)) return true;
+    }
+    return false;
+  }
+};
+
+// The Theorem 16 reduction (W[1]-hardness of pLeaves-TreeOMQ): an OMQ
+// (T_G, q_G) with a tree-shaped Boolean CQ with p leaves such that
+// T_G, {A(a)} |= q_G iff G has a clique with one vertex per partition.
+struct CliqueOmq {
+  std::unique_ptr<TBox> tbox;
+  ConjunctiveQuery query;
+  DataInstance data;  // {A(a)}.
+};
+
+CliqueOmq MakeCliqueOmq(Vocabulary* vocab, const PartitionedGraph& g);
+
+// Brute-force reference: does G have a clique with one vertex per partition?
+bool HasPartitionedClique(const PartitionedGraph& g);
+
+}  // namespace owlqr
+
+#endif  // OWLQR_REDUCTIONS_CLIQUE_H_

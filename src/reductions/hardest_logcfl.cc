@@ -1,0 +1,245 @@
+#include "reductions/hardest_logcfl.h"
+
+#include <functional>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace owlqr {
+
+namespace {
+
+// Character classes of Sigma.  The base alphabet Sigma_0 = {a, b, c, d}
+// stands for {a1, b1, a2, b2}.
+bool IsBase(char c) { return c == 'a' || c == 'b' || c == 'c' || c == 'd'; }
+
+// Readable predicate-name fragment per character.
+std::string CharName(char c) {
+  switch (c) {
+    case 'a':
+      return "a1";
+    case 'b':
+      return "b1";
+    case 'c':
+      return "a2";
+    case 'd':
+      return "b2";
+    case '[':
+      return "ob";
+    case ']':
+      return "cb";
+    case '#':
+      return "hash";
+  }
+  OWLQR_CHECK_MSG(false, "invalid Sigma character");
+  return "";
+}
+
+}  // namespace
+
+bool IsValidSigmaWord(std::string_view word) {
+  for (char c : word) {
+    if (!IsBase(c) && c != '[' && c != ']' && c != '#') return false;
+  }
+  return true;
+}
+
+bool IsBlockFormed(std::string_view word) {
+  if (word.empty() || word.front() != '[' || word.back() != ']') return false;
+  bool inside = false;
+  int content = 0;
+  for (size_t i = 0; i < word.size(); ++i) {
+    char c = word[i];
+    if (c == '[') {
+      if (inside) return false;  // No '[' before the matching ']'.
+      // Each non-final ']' must be followed immediately by '[': equivalently
+      // '[' occurs at the start or right after ']'.
+      if (i > 0 && word[i - 1] != ']') return false;
+      inside = true;
+      content = 0;
+    } else if (c == ']') {
+      if (!inside || content == 0) return false;
+      inside = false;
+    } else {
+      if (!inside) return false;
+      ++content;
+    }
+  }
+  return !inside;
+}
+
+bool InBaseLanguage(std::string_view word) {
+  std::vector<char> stack;
+  for (char c : word) {
+    switch (c) {
+      case 'a':
+      case 'c':
+        stack.push_back(c);
+        break;
+      case 'b':
+        if (stack.empty() || stack.back() != 'a') return false;
+        stack.pop_back();
+        break;
+      case 'd':
+        if (stack.empty() || stack.back() != 'c') return false;
+        stack.pop_back();
+        break;
+      default:
+        return false;
+    }
+  }
+  return stack.empty();
+}
+
+bool InHardestLanguage(std::string_view word) {
+  if (!IsValidSigmaWord(word) || !IsBlockFormed(word)) return false;
+  // Parse blocks into their '#'-separated choices.
+  std::vector<std::vector<std::string>> blocks;
+  size_t i = 0;
+  while (i < word.size()) {
+    OWLQR_CHECK(word[i] == '[');
+    size_t close = word.find(']', i);
+    std::string_view content = word.substr(i + 1, close - i - 1);
+    std::vector<std::string> choices;
+    std::string current;
+    for (char c : content) {
+      if (c == '#') {
+        choices.push_back(current);
+        current.clear();
+      } else {
+        current.push_back(c);
+      }
+    }
+    choices.push_back(current);
+    blocks.push_back(std::move(choices));
+    i = close + 1;
+  }
+  // Brute force over one choice per block.
+  std::string chosen;
+  std::function<bool(size_t)> pick = [&](size_t block) -> bool {
+    if (block == blocks.size()) return InBaseLanguage(chosen);
+    for (const std::string& choice : blocks[block]) {
+      size_t len = chosen.size();
+      chosen += choice;
+      if (pick(block + 1)) return true;
+      chosen.resize(len);
+    }
+    return false;
+  };
+  return pick(0);
+}
+
+std::unique_ptr<TBox> MakeTDoubleDagger(Vocabulary* vocab) {
+  auto tbox = std::make_unique<TBox>(vocab);
+  auto atomic = [&](const char* name) {
+    return BasicConcept::Atomic(vocab->InternConcept(name));
+  };
+  auto role = [&](const std::string& name) {
+    return RoleOf(vocab->InternPredicate(name));
+  };
+  auto r_of = [&](char c) { return role("R_" + CharName(c)); };
+  auto s_of = [&](char c) { return role("S_" + CharName(c)); };
+  auto exists = [](RoleId r) { return BasicConcept::Exists(r); };
+
+  // (16) A <= D.
+  tbox->AddConceptInclusion(atomic("A"), atomic("D"));
+  // (11) D -> exists y (R_ai(x,y) & S_bi(y,x) & exists z (S_ai(y,z) &
+  //                    R_bi(z,y) & D(z))), for i = 1, 2.
+  const char kOpens[2] = {'a', 'c'};
+  const char kCloses[2] = {'b', 'd'};
+  for (int i = 0; i < 2; ++i) {
+    RoleId w = role(std::string("w") + std::to_string(i + 1));
+    RoleId u = role(std::string("u") + std::to_string(i + 1));
+    tbox->AddConceptInclusion(atomic("D"), exists(w));
+    tbox->AddRoleInclusion(w, r_of(kOpens[i]));
+    tbox->AddRoleInclusion(w, Inverse(s_of(kCloses[i])));
+    tbox->AddConceptInclusion(exists(Inverse(w)), exists(u));
+    tbox->AddRoleInclusion(u, s_of(kOpens[i]));
+    tbox->AddRoleInclusion(u, Inverse(r_of(kCloses[i])));
+    tbox->AddConceptInclusion(exists(Inverse(u)), atomic("D"));
+  }
+  // (17) D -> exists y (R_[(x,y) & S_[(y,x)).
+  {
+    RoleId g = role("g1");
+    tbox->AddConceptInclusion(atomic("D"), exists(g));
+    tbox->AddRoleInclusion(g, r_of('['));
+    tbox->AddRoleInclusion(g, Inverse(s_of('[')));
+  }
+  // (18) D -> exists y (R_[(x,y) & S_#(y,x) & exists z (S_[(y,z) &
+  //                    R_#(z,y) & F(z))).
+  {
+    RoleId g2 = role("g2");
+    RoleId g3 = role("g3");
+    tbox->AddConceptInclusion(atomic("D"), exists(g2));
+    tbox->AddRoleInclusion(g2, r_of('['));
+    tbox->AddRoleInclusion(g2, Inverse(s_of('#')));
+    tbox->AddConceptInclusion(exists(Inverse(g2)), exists(g3));
+    tbox->AddRoleInclusion(g3, s_of('['));
+    tbox->AddRoleInclusion(g3, Inverse(r_of('#')));
+    tbox->AddConceptInclusion(exists(Inverse(g3)), atomic("F"));
+  }
+  // (19) D -> exists y (R_](x,y) & S_](y,x)).
+  {
+    RoleId g = role("g4");
+    tbox->AddConceptInclusion(atomic("D"), exists(g));
+    tbox->AddRoleInclusion(g, r_of(']'));
+    tbox->AddRoleInclusion(g, Inverse(s_of(']')));
+  }
+  // (20) D -> exists y (R_#(x,y) & S_](y,x) & exists z (S_#(y,z) &
+  //                    R_](z,y) & F(z))).
+  {
+    RoleId g5 = role("g5");
+    RoleId g6 = role("g6");
+    tbox->AddConceptInclusion(atomic("D"), exists(g5));
+    tbox->AddRoleInclusion(g5, r_of('#'));
+    tbox->AddRoleInclusion(g5, Inverse(s_of(']')));
+    tbox->AddConceptInclusion(exists(Inverse(g5)), exists(g6));
+    tbox->AddRoleInclusion(g6, s_of('#'));
+    tbox->AddRoleInclusion(g6, Inverse(r_of(']')));
+    tbox->AddConceptInclusion(exists(Inverse(g6)), atomic("F"));
+  }
+  // (21) F -> exists y (R_c(x,y) & S_c(y,x)) for c in Sigma_0 union {#}.
+  for (char c : {'a', 'b', 'c', 'd', '#'}) {
+    RoleId g = role(std::string("g7_") + CharName(c));
+    tbox->AddConceptInclusion(atomic("F"), exists(g));
+    tbox->AddRoleInclusion(g, r_of(c));
+    tbox->AddRoleInclusion(g, Inverse(s_of(c)));
+  }
+  // The error concept E has no axioms: queries containing it are false.
+  vocab->InternConcept("E");
+  tbox->Normalize();
+  return tbox;
+}
+
+ConjunctiveQuery MakeWordQuery(Vocabulary* vocab, std::string_view word) {
+  OWLQR_CHECK(IsValidSigmaWord(word));
+  ConjunctiveQuery query(vocab);
+  int a_concept = vocab->InternConcept("A");
+  int u = query.AddVariable("u0");
+  query.AddUnaryAtom(a_concept, u);
+  for (size_t i = 0; i < word.size(); ++i) {
+    int v = query.AddVariable("v" + std::to_string(i));
+    int next = query.AddVariable("u" + std::to_string(i + 1));
+    query.AddBinaryAtom(
+        vocab->InternPredicate("R_" + CharName(word[i])), u, v);
+    query.AddBinaryAtom(
+        vocab->InternPredicate("S_" + CharName(word[i])), v, next);
+    u = next;
+  }
+  if (IsBlockFormed(word)) {
+    query.AddUnaryAtom(a_concept, u);
+  } else {
+    query.AddUnaryAtom(vocab->InternConcept("E"), u);
+  }
+  return query;
+}
+
+DataInstance MakeWordData(Vocabulary* vocab) {
+  DataInstance data(vocab);
+  int a = vocab->InternIndividual("a");
+  data.AddConceptAssertion(vocab->InternConcept("A"), a);
+  data.AddConceptAssertion(vocab->InternConcept("D"), a);
+  return data;
+}
+
+}  // namespace owlqr

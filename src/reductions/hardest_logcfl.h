@@ -1,0 +1,46 @@
+#ifndef OWLQR_REDUCTIONS_HARDEST_LOGCFL_H_
+#define OWLQR_REDUCTIONS_HARDEST_LOGCFL_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "cq/cq.h"
+#include "data/data_instance.h"
+#include "ontology/tbox.h"
+
+namespace owlqr {
+
+// The Theorem 22 reduction (LOGCFL-hardness of linear OMQ answering for
+// query complexity): the fixed ontology T-double-dagger plus a logspace
+// transducer from words over Sigma = {a1, b1, a2, b2, [, ], #} to linear
+// Boolean CQs q_w with T, {A(a)} |= q_w iff w is in Greibach's hardest
+// LOGCFL language L.
+
+// Words use the characters: 'a','b' (pair 1), 'c','d' (pair 2: a2, b2),
+// '[', ']', '#'.
+bool IsValidSigmaWord(std::string_view word);
+
+// Block-formed per Section C.4.
+bool IsBlockFormed(std::string_view word);
+
+// Membership in the base language B0 (the two-pair Dyck language).
+bool InBaseLanguage(std::string_view word);
+
+// Membership in the hardest language L (brute force over block choices;
+// meant for test-sized words).
+bool InHardestLanguage(std::string_view word);
+
+std::unique_ptr<TBox> MakeTDoubleDagger(Vocabulary* vocab);
+
+// The transducer: word -> linear Boolean CQ q_w.  Non-block-formed words map
+// to a query containing the error concept E (false over T, {A(a)}).
+ConjunctiveQuery MakeWordQuery(Vocabulary* vocab, std::string_view word);
+
+// The data instance {A(a), D(a)} (A <= D is axiom (16); the D-assertion is
+// implied, but harmless to assert).
+DataInstance MakeWordData(Vocabulary* vocab);
+
+}  // namespace owlqr
+
+#endif  // OWLQR_REDUCTIONS_HARDEST_LOGCFL_H_

@@ -1,0 +1,118 @@
+#include "reductions/hitting_set.h"
+
+#include <functional>
+#include <string>
+
+#include "util/logging.h"
+
+namespace owlqr {
+
+namespace {
+
+std::string Sub(const std::string& base, int a, int b) {
+  return base + "_" + std::to_string(a) + "_" + std::to_string(b);
+}
+
+}  // namespace
+
+HittingSetOmq MakeHittingSetOmq(Vocabulary* vocab, const Hypergraph& h,
+                                int k) {
+  OWLQR_CHECK(k >= 1);
+  int n = h.num_vertices;
+  int m = static_cast<int>(h.edges.size());
+  auto tbox = std::make_unique<TBox>(vocab);
+  int p = vocab->InternPredicate("P");
+
+  auto v_concept = [&](int level, int i) {
+    return vocab->InternConcept(Sub("V", level, i));
+  };
+  auto e_concept = [&](int level, int j) {
+    return vocab->InternConcept(Sub("E", level, j));
+  };
+
+  // Level axioms: V^{l-1}_i <= exists v^l_{i'} for 0 <= i < i' <= n, where
+  // the auxiliary role v^l_{i'} satisfies v^l_{i'}(x,z) -> P(z,x) and
+  // exists (v^l_{i'})^- <= V^l_{i'}.
+  for (int l = 1; l <= k; ++l) {
+    for (int ip = 1; ip <= n; ++ip) {
+      RoleId upsilon = RoleOf(vocab->InternPredicate(Sub("ups", l, ip)));
+      tbox->AddRoleInclusion(upsilon, RoleOf(p, /*inverse=*/true));
+      tbox->AddConceptInclusion(BasicConcept::Exists(Inverse(upsilon)),
+                                BasicConcept::Atomic(v_concept(l, ip)));
+      for (int i = 0; i < ip; ++i) {
+        // V^0_i exists only for i = 0, but the unused inclusions are inert.
+        tbox->AddConceptInclusion(BasicConcept::Atomic(v_concept(l - 1, i)),
+                                  BasicConcept::Exists(upsilon));
+      }
+    }
+  }
+  // Membership markers: V^l_i <= E^l_j for v_i in e_j.
+  for (int l = 1; l <= k; ++l) {
+    for (int j = 0; j < m; ++j) {
+      for (int vertex : h.edges[j]) {
+        tbox->AddConceptInclusion(BasicConcept::Atomic(v_concept(l, vertex)),
+                                  BasicConcept::Atomic(e_concept(l, j)));
+      }
+    }
+  }
+  // Pendants: E^l_j <= exists eta^l_j with eta^l_j <= P and
+  // exists (eta^l_j)^- <= E^{l-1}_j.
+  for (int l = 1; l <= k; ++l) {
+    for (int j = 0; j < m; ++j) {
+      RoleId eta = RoleOf(vocab->InternPredicate(Sub("eta", l, j)));
+      tbox->AddConceptInclusion(BasicConcept::Atomic(e_concept(l, j)),
+                                BasicConcept::Exists(eta));
+      tbox->AddRoleInclusion(eta, RoleOf(p));
+      tbox->AddConceptInclusion(BasicConcept::Exists(Inverse(eta)),
+                                BasicConcept::Atomic(e_concept(l - 1, j)));
+    }
+  }
+  tbox->Normalize();
+
+  // The star-shaped Boolean CQ: one ray per hyperedge.
+  ConjunctiveQuery query(vocab);
+  int y = query.AddVariable("y");
+  for (int j = 0; j < m; ++j) {
+    int prev = y;
+    for (int l = k - 1; l >= 0; --l) {
+      int z = query.AddVariable("z_" + std::to_string(l) + "_" +
+                                std::to_string(j));
+      query.AddBinaryAtom(p, prev, z);
+      prev = z;
+    }
+    query.AddUnaryAtom(e_concept(0, j), prev);
+  }
+
+  DataInstance data(vocab);
+  data.AddConceptAssertion(v_concept(0, 0), vocab->InternIndividual("a"));
+
+  HittingSetOmq out{std::move(tbox), std::move(query), std::move(data)};
+  return out;
+}
+
+bool HasHittingSet(const Hypergraph& h, int k) {
+  std::vector<int> chosen;
+  std::function<bool(int, int)> pick = [&](int start, int remaining) -> bool {
+    if (remaining == 0) {
+      for (const std::vector<int>& edge : h.edges) {
+        bool hit = false;
+        for (int v : edge) {
+          for (int c : chosen) {
+            if (c == v) hit = true;
+          }
+        }
+        if (!hit) return false;
+      }
+      return true;
+    }
+    for (int v = start; v <= h.num_vertices; ++v) {
+      chosen.push_back(v);
+      if (pick(v + 1, remaining - 1)) return true;
+      chosen.pop_back();
+    }
+    return false;
+  };
+  return pick(1, k);
+}
+
+}  // namespace owlqr

@@ -1,0 +1,35 @@
+#ifndef OWLQR_REDUCTIONS_HITTING_SET_H_
+#define OWLQR_REDUCTIONS_HITTING_SET_H_
+
+#include <memory>
+#include <vector>
+
+#include "cq/cq.h"
+#include "data/data_instance.h"
+#include "ontology/tbox.h"
+
+namespace owlqr {
+
+// A hypergraph with vertices 1..num_vertices and hyperedges over them.
+struct Hypergraph {
+  int num_vertices = 0;
+  std::vector<std::vector<int>> edges;
+};
+
+// The Theorem 15 reduction (W[2]-hardness of pDepth-TreeOMQ): an OMQ
+// (T^k_H, q^k_H) with a depth-Theta(k) ontology and a star-shaped Boolean CQ
+// such that T^k_H, {V^0_0(a)} |= q^k_H iff H has a hitting set of size k.
+struct HittingSetOmq {
+  std::unique_ptr<TBox> tbox;
+  ConjunctiveQuery query;
+  DataInstance data;  // {V^0_0(a)}.
+};
+
+HittingSetOmq MakeHittingSetOmq(Vocabulary* vocab, const Hypergraph& h, int k);
+
+// Brute-force reference: does H have a hitting set of size exactly k?
+bool HasHittingSet(const Hypergraph& h, int k);
+
+}  // namespace owlqr
+
+#endif  // OWLQR_REDUCTIONS_HITTING_SET_H_

@@ -1,0 +1,125 @@
+#include "reductions/pe_trees.h"
+
+#include "util/logging.h"
+
+namespace owlqr {
+
+PeFormula MakeTheorem21PeQuery(Vocabulary* vocab, const Cnf& phi) {
+  int m = static_cast<int>(phi.clauses.size());
+  int ell = 0;
+  while ((1 << ell) < m) ++ell;
+  OWLQR_CHECK_MSG((1 << ell) == m && ell >= 2,
+                  "need a power-of-two clause count >= 4");
+  for (const std::vector<int>& clause : phi.clauses) {
+    OWLQR_CHECK_MSG(clause.size() == 3, "clauses must have 3 literals");
+  }
+  OWLQR_CHECK_MSG(!IsSatisfiable(phi),
+                  "Theorem 28 requires an unsatisfiable base CNF");
+  int p_plus = vocab->InternPredicate("P+");
+  int p_minus = vocab->InternPredicate("P-");
+  int b0 = vocab->InternConcept("B0");
+
+  PeFormula pe;
+  int next_var = 0;
+  int x = next_var++;  // The answer variable (the tree root).
+
+  // Variables x_j (positive literal) and x'_j (negative literal) per
+  // propositional variable.
+  std::vector<int> pos_var(phi.num_vars + 1), neg_var(phi.num_vars + 1);
+  for (int j = 1; j <= phi.num_vars; ++j) {
+    pos_var[j] = next_var++;
+    neg_var[j] = next_var++;
+  }
+  auto literal_var = [&](int literal) {
+    return literal > 0 ? pos_var[literal] : neg_var[-literal];
+  };
+  // P+-(a, b) = P-(a,b) | P+(a,b).
+  auto p_any = [&](int a, int b) {
+    return pe.AddOr({pe.AddRoleAtom(p_minus, a, b),
+                     pe.AddRoleAtom(p_plus, a, b)},
+                    {a, b});
+  };
+
+  std::vector<int> conjuncts;
+
+  // r: one path per clause leaf, following the bits of i (MSB first, as in
+  // MakeTreeInstance).
+  std::vector<int> z(m);
+  for (int i = 0; i < m; ++i) {
+    int prev = x;
+    for (int l = 0; l < ell; ++l) {
+      int node = next_var++;
+      bool bit = (i >> (ell - 1 - l)) & 1;
+      conjuncts.push_back(pe.AddRoleAtom(bit ? p_plus : p_minus, prev, node));
+      prev = node;
+    }
+    z[i] = prev;
+  }
+
+  // s: per propositional variable, a path x -> u^1 -> ... -> u^{ell-1} and
+  // the two-way choice of which of (x_j, x'_j) is the B0 leaf below
+  // u^{ell-1}; the other one sits above it (= u^{ell-2}), hence is an inner
+  // node and never B0.
+  for (int j = 1; j <= phi.num_vars; ++j) {
+    int prev = x;
+    for (int l = 1; l <= ell - 1; ++l) {
+      int node = next_var++;
+      conjuncts.push_back(p_any(prev, node));
+      prev = node;
+    }
+    int u = prev;  // u^{ell-1}.
+    int xj = pos_var[j];
+    int xnj = neg_var[j];
+    int choice_pos = pe.AddAnd(
+        {p_any(u, xj), p_any(xnj, u), pe.AddConceptAtom(b0, xj)},
+        {u, xj, xnj});
+    int choice_neg = pe.AddAnd(
+        {p_any(u, xnj), p_any(xj, u), pe.AddConceptAtom(b0, xnj)},
+        {u, xj, xnj});
+    conjuncts.push_back(pe.AddOr({choice_pos, choice_neg}, {u, xj, xnj}));
+  }
+
+  // t: per clause, removed (B0 on its leaf) or satisfied by a true literal.
+  for (int i = 0; i < m; ++i) {
+    std::vector<int> options = {pe.AddConceptAtom(b0, z[i])};
+    std::vector<int> schema = {z[i]};
+    for (int literal : phi.clauses[i]) {
+      int v = literal_var(literal);
+      options.push_back(pe.AddConceptAtom(b0, v));
+      bool present = false;
+      for (int s : schema) present = present || s == v;
+      if (!present) schema.push_back(v);
+    }
+    conjuncts.push_back(pe.AddOr(std::move(options), std::move(schema)));
+  }
+
+  int root = pe.AddAnd(std::move(conjuncts), {x});
+  pe.SetRoot(root, {x});
+  return pe;
+}
+
+Cnf MakeAllClausesCnf(int k) {
+  OWLQR_CHECK(k >= 1);
+  Cnf phi;
+  phi.num_vars = k;
+  std::vector<int> literals;
+  for (int v = 1; v <= k; ++v) {
+    literals.push_back(v);
+    literals.push_back(-v);
+  }
+  // All 3-multisets of literals (order-insensitive).
+  int n = static_cast<int>(literals.size());
+  for (int a = 0; a < n; ++a) {
+    for (int b = a; b < n; ++b) {
+      for (int c = b; c < n; ++c) {
+        phi.clauses.push_back({literals[a], literals[b], literals[c]});
+      }
+    }
+  }
+  while ((phi.clauses.size() & (phi.clauses.size() - 1)) != 0) {
+    phi.clauses.push_back(phi.clauses[0]);
+  }
+  return phi;
+}
+
+}  // namespace owlqr

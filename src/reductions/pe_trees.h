@@ -1,0 +1,35 @@
+#ifndef OWLQR_REDUCTIONS_PE_TREES_H_
+#define OWLQR_REDUCTIONS_PE_TREES_H_
+
+#include "pe/pe_formula.h"
+#include "reductions/sat.h"
+
+namespace owlqr {
+
+// The Theorem 28 construction (proof of Theorem 21: evaluating PE-queries
+// over the tree instances A^alpha_m is NP-hard): a PE query q_m(x) of
+// polynomial size such that, for every alpha,
+//     A^alpha_m |= q_m(a)   iff   phi minus the alpha-marked clauses is
+//                                 satisfiable.
+//
+// q_m(x) = exists z (r & s & t):
+//   r   anchors one variable z_i on every leaf (the clause leaves),
+//   s   places, per propositional variable j, the pair (x_j, x'_j) so that
+//       exactly one of them is a B0 leaf (the truth assignment),
+//   t   demands B0(z_i) (clause removed) or a true literal per clause.
+//
+// Requires: every clause has exactly 3 literals (repeat literals to pad),
+// the number of clauses is a power of two >= 4, and phi itself is
+// UNSATISFIABLE (the theorem instantiates phi with the all-clauses CNF
+// phi_k below; with a satisfiable phi, alpha = 0 provides no B0 leaf for
+// the s-subquery even though f_phi(0) = 1).
+PeFormula MakeTheorem21PeQuery(Vocabulary* vocab, const Cnf& phi);
+
+// The CNF phi_k of Theorem 28: all 3-literal clauses over k variables
+// (unsatisfiable), padded with repeats of its first clause to the next
+// power of two.
+Cnf MakeAllClausesCnf(int k);
+
+}  // namespace owlqr
+
+#endif  // OWLQR_REDUCTIONS_PE_TREES_H_

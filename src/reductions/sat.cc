@@ -1,0 +1,209 @@
+#include "reductions/sat.h"
+
+#include <cmath>
+#include <string>
+
+#include "util/logging.h"
+
+namespace owlqr {
+
+std::unique_ptr<TBox> MakeTDagger(Vocabulary* vocab) {
+  auto tbox = std::make_unique<TBox>(vocab);
+  int a = vocab->InternConcept("A");
+  int b_plus = vocab->InternConcept("B+");
+  int b_minus = vocab->InternConcept("B-");
+  int b0 = vocab->InternConcept("B0");
+  RoleId p_plus = RoleOf(vocab->InternPredicate("P+"));
+  RoleId p_minus = RoleOf(vocab->InternPredicate("P-"));
+  RoleId p0 = RoleOf(vocab->InternPredicate("P0"));
+  RoleId ups_plus = RoleOf(vocab->InternPredicate("ups+"));
+  RoleId ups_minus = RoleOf(vocab->InternPredicate("ups-"));
+  RoleId eta_plus = RoleOf(vocab->InternPredicate("eta+"));
+  RoleId eta_minus = RoleOf(vocab->InternPredicate("eta-"));
+  RoleId eta0 = RoleOf(vocab->InternPredicate("eta0"));
+
+  auto atomic = [](int c) { return BasicConcept::Atomic(c); };
+  auto exists = [](RoleId r) { return BasicConcept::Exists(r); };
+
+  // A(x) -> exists y (P+(y,x) & P0(y,x) & B-(y) & A(y)) via ups+.
+  tbox->AddConceptInclusion(atomic(a), exists(ups_plus));
+  tbox->AddRoleInclusion(ups_plus, Inverse(p_plus));
+  tbox->AddRoleInclusion(ups_plus, Inverse(p0));
+  tbox->AddConceptInclusion(exists(Inverse(ups_plus)), atomic(b_minus));
+  tbox->AddConceptInclusion(exists(Inverse(ups_plus)), atomic(a));
+  // B-(y) -> exists x' (P-(y,x') & B0(x')) via eta-.
+  tbox->AddConceptInclusion(atomic(b_minus), exists(eta_minus));
+  tbox->AddRoleInclusion(eta_minus, p_minus);
+  tbox->AddConceptInclusion(exists(Inverse(eta_minus)), atomic(b0));
+  // A(x) -> exists y (P-(y,x) & P0(y,x) & B+(y) & A(y)) via ups-.
+  tbox->AddConceptInclusion(atomic(a), exists(ups_minus));
+  tbox->AddRoleInclusion(ups_minus, Inverse(p_minus));
+  tbox->AddRoleInclusion(ups_minus, Inverse(p0));
+  tbox->AddConceptInclusion(exists(Inverse(ups_minus)), atomic(b_plus));
+  tbox->AddConceptInclusion(exists(Inverse(ups_minus)), atomic(a));
+  // B+(y) -> exists x' (P+(y,x') & B0(x')) via eta+.
+  tbox->AddConceptInclusion(atomic(b_plus), exists(eta_plus));
+  tbox->AddRoleInclusion(eta_plus, p_plus);
+  tbox->AddConceptInclusion(exists(Inverse(eta_plus)), atomic(b0));
+  // B0(x) -> exists y (P+(x,y) & P-(x,y) & P0(x,y) & B0(y)) via eta0.
+  tbox->AddConceptInclusion(atomic(b0), exists(eta0));
+  tbox->AddRoleInclusion(eta0, p_plus);
+  tbox->AddRoleInclusion(eta0, p_minus);
+  tbox->AddRoleInclusion(eta0, p0);
+  tbox->AddConceptInclusion(exists(Inverse(eta0)), atomic(b0));
+  tbox->Normalize();
+  return tbox;
+}
+
+namespace {
+
+// The literal predicate for variable `var` (1-based) in clause `clause`.
+int RayPredicate(Vocabulary* vocab, const Cnf& phi, int clause, int var) {
+  for (int lit : phi.clauses[clause]) {
+    if (lit == var) return vocab->InternPredicate("P+");
+    if (lit == -var) return vocab->InternPredicate("P-");
+  }
+  return vocab->InternPredicate("P0");
+}
+
+}  // namespace
+
+ConjunctiveQuery MakeSatQuery(Vocabulary* vocab, const TBox& t_dagger,
+                              const Cnf& phi) {
+  (void)t_dagger;
+  ConjunctiveQuery query(vocab);
+  int y = query.AddVariable("y");
+  query.AddUnaryAtom(vocab->InternConcept("A"), y);
+  int b0 = vocab->InternConcept("B0");
+  for (size_t j = 0; j < phi.clauses.size(); ++j) {
+    int prev = y;  // z^k_j = y.
+    for (int l = phi.num_vars; l >= 1; --l) {
+      int z = query.AddVariable("z_" + std::to_string(l - 1) + "_" +
+                                std::to_string(j));
+      query.AddBinaryAtom(RayPredicate(vocab, phi, static_cast<int>(j), l),
+                          prev, z);
+      prev = z;
+    }
+    query.AddUnaryAtom(b0, prev);
+  }
+  return query;
+}
+
+DataInstance MakeSatData(Vocabulary* vocab) {
+  DataInstance data(vocab);
+  data.AddConceptAssertion(vocab->InternConcept("A"),
+                           vocab->InternIndividual("a"));
+  return data;
+}
+
+bool IsSatisfiable(const Cnf& phi) {
+  OWLQR_CHECK(phi.num_vars <= 20);
+  for (unsigned mask = 0; mask < (1u << phi.num_vars); ++mask) {
+    bool all = true;
+    for (const std::vector<int>& clause : phi.clauses) {
+      bool sat = false;
+      for (int lit : clause) {
+        int v = std::abs(lit) - 1;
+        bool value = (mask >> v) & 1;
+        if ((lit > 0) == value) sat = true;
+      }
+      if (!sat) {
+        all = false;
+        break;
+      }
+    }
+    if (all) return true;
+  }
+  return false;
+}
+
+ConjunctiveQuery MakeSatQueryBar(Vocabulary* vocab, const TBox& t_dagger,
+                                 const Cnf& phi) {
+  (void)t_dagger;
+  int m = static_cast<int>(phi.clauses.size());
+  int ell = 0;
+  while ((1 << ell) < m) ++ell;
+  OWLQR_CHECK_MSG((1 << ell) == m, "q-bar needs a power-of-two clause count");
+
+  ConjunctiveQuery query(vocab);
+  int x = query.AddVariable("x");
+  query.MarkAnswerVariable(x);
+  int p0 = vocab->InternPredicate("P0");
+  int p_plus = vocab->InternPredicate("P+");
+  int p_minus = vocab->InternPredicate("P-");
+  int b0 = vocab->InternConcept("B0");
+  // P0(y^1, x), ..., P0(y^k, y^{k-1}); y = y^k.
+  int prev = x;
+  for (int l = 1; l <= phi.num_vars; ++l) {
+    int yl = query.AddVariable("y" + std::to_string(l));
+    query.AddBinaryAtom(p0, yl, prev);
+    prev = yl;
+  }
+  int y = prev;
+  for (int j = 0; j < m; ++j) {
+    // The clause ray as in q_phi (z^k_j = y down to z^0_j) ...
+    int ray = y;
+    for (int l = phi.num_vars; l >= 1; --l) {
+      int z = query.AddVariable("z_" + std::to_string(l - 1) + "_" +
+                                std::to_string(j));
+      query.AddBinaryAtom(RayPredicate(vocab, phi, j, l), ray, z);
+      ray = z;
+    }
+    // ... continued into the data tree by the binary address of j.
+    for (int l = 0; l < ell; ++l) {
+      int z = query.AddVariable("zm_" + std::to_string(l + 1) + "_" +
+                                std::to_string(j));
+      // Most-significant bit first: the tree instance addresses leaf j by
+      // its binary expansion read from the root.
+      bool bit = (j >> (ell - 1 - l)) & 1;
+      query.AddBinaryAtom(bit ? p_plus : p_minus, ray, z);
+      ray = z;
+    }
+    query.AddUnaryAtom(b0, ray);
+  }
+  return query;
+}
+
+DataInstance MakeTreeInstance(Vocabulary* vocab,
+                              const std::vector<bool>& alpha) {
+  int m = static_cast<int>(alpha.size());
+  int ell = 0;
+  while ((1 << ell) < m) ++ell;
+  OWLQR_CHECK_MSG((1 << ell) == m, "alpha length must be a power of two");
+  DataInstance data(vocab);
+  int p_plus = vocab->InternPredicate("P+");
+  int p_minus = vocab->InternPredicate("P-");
+  int b0 = vocab->InternConcept("B0");
+  int a_concept = vocab->InternConcept("A");
+
+  // Nodes are addressed by (depth, index).
+  auto node = [&](int depth, int index) {
+    if (depth == 0) return vocab->InternIndividual("a");
+    return vocab->InternIndividual("t_" + std::to_string(depth) + "_" +
+                                   std::to_string(index));
+  };
+  data.AddConceptAssertion(a_concept, node(0, 0));
+  for (int depth = 0; depth < ell; ++depth) {
+    for (int index = 0; index < (1 << depth); ++index) {
+      data.AddRoleAssertion(p_minus, node(depth, index),
+                            node(depth + 1, 2 * index));
+      data.AddRoleAssertion(p_plus, node(depth, index),
+                            node(depth + 1, 2 * index + 1));
+    }
+  }
+  for (int i = 0; i < m; ++i) {
+    if (alpha[i]) data.AddConceptAssertion(b0, node(ell, i));
+  }
+  return data;
+}
+
+bool MonotoneSatFunction(const Cnf& phi, const std::vector<bool>& alpha) {
+  Cnf reduced;
+  reduced.num_vars = phi.num_vars;
+  for (size_t j = 0; j < phi.clauses.size(); ++j) {
+    if (!alpha[j]) reduced.clauses.push_back(phi.clauses[j]);
+  }
+  return IsSatisfiable(reduced);
+}
+
+}  // namespace owlqr

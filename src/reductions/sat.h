@@ -1,0 +1,54 @@
+#ifndef OWLQR_REDUCTIONS_SAT_H_
+#define OWLQR_REDUCTIONS_SAT_H_
+
+#include <memory>
+#include <vector>
+
+#include "cq/cq.h"
+#include "data/data_instance.h"
+#include "ontology/tbox.h"
+
+namespace owlqr {
+
+// A CNF over variables 1..num_vars; literals are +v / -v.
+struct Cnf {
+  int num_vars = 0;
+  std::vector<std::vector<int>> clauses;
+};
+
+// The fixed infinite-depth ontology T-dagger of Theorem 17 (NP-hardness of
+// tree-shaped OMQ answering for query complexity).  The ontology does not
+// depend on the formula.
+std::unique_ptr<TBox> MakeTDagger(Vocabulary* vocab);
+
+// The star-shaped Boolean CQ q_phi of Theorem 17: T-dagger, {A(a)} |= q_phi
+// iff phi is satisfiable.
+ConjunctiveQuery MakeSatQuery(Vocabulary* vocab, const TBox& t_dagger,
+                              const Cnf& phi);
+
+// The data instance {A(a)}.
+DataInstance MakeSatData(Vocabulary* vocab);
+
+// Brute-force SAT reference.
+bool IsSatisfiable(const Cnf& phi);
+
+// --- Theorem 20 machinery -------------------------------------------------
+
+// The modified query q-bar_phi(x) with one answer variable (requires the
+// number of clauses to be a power of two).
+ConjunctiveQuery MakeSatQueryBar(Vocabulary* vocab, const TBox& t_dagger,
+                                 const Cnf& phi);
+
+// The data instance A^alpha_m: a full binary tree of depth log2(m) over P-
+// (left) and P+ (right) with A at the root `a` and B0 at leaf i iff
+// alpha[i] is true.
+DataInstance MakeTreeInstance(Vocabulary* vocab,
+                              const std::vector<bool>& alpha);
+
+// f_phi(alpha) = 1 iff phi minus the clauses with alpha_i = 1 is
+// satisfiable (Lemma 26 reference).
+bool MonotoneSatFunction(const Cnf& phi, const std::vector<bool>& alpha);
+
+}  // namespace owlqr
+
+#endif  // OWLQR_REDUCTIONS_SAT_H_

@@ -1,0 +1,189 @@
+#include "syntax/mapping_parser.h"
+
+#include <cctype>
+#include <map>
+#include <vector>
+
+#include "util/strings.h"
+
+namespace owlqr {
+
+namespace {
+
+struct RawAtom {
+  std::string name;
+  std::vector<std::string> args;  // Quoted constants keep a leading '\"'.
+};
+
+// Parses name(arg, ...) where quoted arguments are marked with a leading
+// double quote in the result.
+bool ParseRawAtom(std::string_view text, size_t* pos, RawAtom* atom,
+                  std::string* error) {
+  atom->name.clear();
+  atom->args.clear();
+  while (*pos < text.size() &&
+         std::isspace(static_cast<unsigned char>(text[*pos]))) {
+    ++*pos;
+  }
+  while (*pos < text.size() && text[*pos] != '(' && text[*pos] != ',' &&
+         !std::isspace(static_cast<unsigned char>(text[*pos]))) {
+    atom->name.push_back(text[(*pos)++]);
+  }
+  if (atom->name.empty()) {
+    *error = "expected an atom";
+    return false;
+  }
+  if (*pos >= text.size() || text[*pos] != '(') {
+    *error = "expected '(' after " + atom->name;
+    return false;
+  }
+  ++*pos;
+  while (true) {
+    while (*pos < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[*pos]))) {
+      ++*pos;
+    }
+    if (*pos >= text.size()) {
+      *error = "unterminated atom " + atom->name;
+      return false;
+    }
+    char c = text[*pos];
+    if (c == ')') {
+      ++*pos;
+      return true;
+    }
+    if (c == '"' || c == '\'') {
+      char quote = c;
+      ++*pos;
+      std::string value = "\"";
+      while (*pos < text.size() && text[*pos] != quote) {
+        value.push_back(text[(*pos)++]);
+      }
+      if (*pos >= text.size()) {
+        *error = "unterminated string in " + atom->name;
+        return false;
+      }
+      ++*pos;  // Closing quote.
+      atom->args.push_back(value);
+    } else {
+      std::string value;
+      while (*pos < text.size() && text[*pos] != ',' && text[*pos] != ')' &&
+             !std::isspace(static_cast<unsigned char>(text[*pos]))) {
+        value.push_back(text[(*pos)++]);
+      }
+      if (value.empty()) {
+        *error = "empty argument in " + atom->name;
+        return false;
+      }
+      atom->args.push_back(value);
+    }
+    while (*pos < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[*pos]))) {
+      ++*pos;
+    }
+    if (*pos < text.size() && text[*pos] == ',') ++*pos;
+  }
+}
+
+}  // namespace
+
+bool ParseMapping(std::string_view text, GavMapping* mapping,
+                  std::string* error) {
+  Vocabulary* vocab = mapping->vocabulary();
+  TableStore* tables = mapping->tables();
+  int line_number = 0;
+  for (const std::string& raw_line : Split(text, '\n')) {
+    ++line_number;
+    std::string_view line = StripWhitespace(raw_line);
+    if (!line.empty()) {
+      size_t hash = line.find('#');
+      if (hash != std::string_view::npos) line = line.substr(0, hash);
+      line = StripWhitespace(line);
+    }
+    if (line.empty()) continue;
+    auto fail = [&](const std::string& message) {
+      *error = "line " + std::to_string(line_number) + ": " + message;
+      return false;
+    };
+    size_t arrow = line.find("<-");
+    if (arrow == std::string_view::npos) return fail("expected '<-'");
+
+    RawAtom head;
+    {
+      size_t pos = 0;
+      if (!ParseRawAtom(line.substr(0, arrow), &pos, &head, error)) {
+        return fail(*error);
+      }
+    }
+    if (head.args.empty() || head.args.size() > 2) {
+      return fail("mapping heads must be unary or binary");
+    }
+    // Head arguments must be plain variables.
+    std::map<std::string, int> rule_vars;
+    auto var_id = [&](const std::string& name) {
+      auto [it, inserted] =
+          rule_vars.emplace(name, static_cast<int>(rule_vars.size()));
+      return it->second;
+    };
+    std::vector<int> head_vars;
+    for (const std::string& arg : head.args) {
+      if (!arg.empty() && arg[0] == '"') {
+        return fail("head arguments must be variables");
+      }
+      head_vars.push_back(var_id(arg));
+    }
+
+    std::vector<MappingAtom> body;
+    std::string_view body_text = line.substr(arrow + 2);
+    size_t pos = 0;
+    while (true) {
+      while (pos < body_text.size() &&
+             (std::isspace(static_cast<unsigned char>(body_text[pos])) ||
+              body_text[pos] == ',' || body_text[pos] == '.')) {
+        ++pos;
+      }
+      if (pos >= body_text.size()) break;
+      RawAtom atom;
+      if (!ParseRawAtom(body_text, &pos, &atom, error)) return fail(*error);
+      int existing = tables->FindTable(atom.name);
+      if (existing >= 0 &&
+          tables->TableArity(existing) != static_cast<int>(atom.args.size())) {
+        return fail("table " + atom.name + " used with inconsistent arity");
+      }
+      MappingAtom mapped;
+      mapped.table =
+          tables->AddTable(atom.name, static_cast<int>(atom.args.size()));
+      for (const std::string& arg : atom.args) {
+        if (!arg.empty() && arg[0] == '"') {
+          mapped.args.push_back(
+              Term::Const(vocab->InternIndividual(arg.substr(1))));
+        } else {
+          mapped.args.push_back(Term::Var(var_id(arg)));
+        }
+      }
+      body.push_back(std::move(mapped));
+    }
+    if (body.empty()) return fail("mapping rules need a nonempty body");
+    // Every head variable must be bound by the body.
+    for (int v : head_vars) {
+      bool bound = false;
+      for (const MappingAtom& atom : body) {
+        for (const Term& t : atom.args) {
+          bound = bound || (!t.is_constant && t.value == v);
+        }
+      }
+      if (!bound) return fail("head variable unbound in the body");
+    }
+
+    if (head.args.size() == 1) {
+      mapping->AddConceptRule(vocab->InternConcept(head.name), head_vars[0],
+                              std::move(body));
+    } else {
+      mapping->AddRoleRule(vocab->InternPredicate(head.name), head_vars[0],
+                           head_vars[1], std::move(body));
+    }
+  }
+  return true;
+}
+
+}  // namespace owlqr

@@ -1,0 +1,27 @@
+#ifndef OWLQR_SYNTAX_MAPPING_PARSER_H_
+#define OWLQR_SYNTAX_MAPPING_PARSER_H_
+
+#include <string>
+#include <string_view>
+
+#include "core/mapping.h"
+
+namespace owlqr {
+
+// Text syntax for GAV mappings ('#' comments):
+//
+//   Professor(x) <- staff(x, "professor")
+//   Dean(x)      <- staff(x, "dean")
+//   teaches(x, y) <- courses(y, x), active(y)
+//
+// Heads are unary (concept) or binary (role) atoms over the ontology
+// vocabulary; bodies are comma-separated atoms over source tables.  Table
+// names and arities are inferred from use (declared in `mapping->tables()`).
+// Unquoted arguments are rule variables; quoted ones ("..." or '...') are
+// individual constants acting as filters.
+bool ParseMapping(std::string_view text, GavMapping* mapping,
+                  std::string* error);
+
+}  // namespace owlqr
+
+#endif  // OWLQR_SYNTAX_MAPPING_PARSER_H_

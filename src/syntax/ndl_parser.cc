@@ -1,0 +1,188 @@
+#include "syntax/ndl_parser.h"
+
+#include <cctype>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "util/strings.h"
+
+namespace owlqr {
+
+namespace {
+
+
+struct TextAtom {
+  std::string name;
+  std::vector<std::string> args;
+};
+
+// Parses "name(arg, ...)" (name may be "=" or contain brackets with commas,
+// so the name is everything up to the *last* '(' before a balanced arg
+// list... in practice our names never contain parentheses, so the first '('
+// terminates the name).
+bool ParseOneAtom(std::string_view text, size_t* pos, TextAtom* atom,
+                  std::string* error) {
+  atom->name.clear();
+  atom->args.clear();
+  while (*pos < text.size() &&
+         std::isspace(static_cast<unsigned char>(text[*pos]))) {
+    ++*pos;
+  }
+  while (*pos < text.size() && text[*pos] != '(' &&
+         !std::isspace(static_cast<unsigned char>(text[*pos]))) {
+    atom->name.push_back(text[(*pos)++]);
+  }
+  if (atom->name.empty()) {
+    *error = "expected an atom";
+    return false;
+  }
+  if (*pos >= text.size() || text[*pos] != '(') {
+    *error = "expected '(' after " + atom->name;
+    return false;
+  }
+  ++*pos;
+  std::string current;
+  while (*pos < text.size()) {
+    char c = text[(*pos)++];
+    if (c == ',' || c == ')') {
+      std::string arg(StripWhitespace(current));
+      current.clear();
+      if (!arg.empty()) atom->args.push_back(arg);
+      if (c == ')') return true;
+      if (arg.empty()) {
+        *error = "empty argument in " + atom->name;
+        return false;
+      }
+    } else {
+      current.push_back(c);
+    }
+  }
+  *error = "unterminated atom " + atom->name;
+  return false;
+}
+
+bool ParseAtomList(std::string_view text, std::vector<TextAtom>* atoms,
+                   std::string* error) {
+  size_t pos = 0;
+  while (true) {
+    while (pos < text.size() &&
+           (std::isspace(static_cast<unsigned char>(text[pos])) ||
+            text[pos] == '&')) {
+      ++pos;
+    }
+    if (pos >= text.size()) return true;
+    TextAtom atom;
+    if (!ParseOneAtom(text, &pos, &atom, error)) return false;
+    atoms->push_back(std::move(atom));
+  }
+}
+
+}  // namespace
+
+std::optional<NdlProgram> ParseNdlProgram(std::string_view text,
+                                          Vocabulary* vocabulary,
+                                          std::string* error) {
+  struct TextClause {
+    TextAtom head;
+    std::vector<TextAtom> body;
+  };
+  std::vector<TextClause> clauses;
+  std::string goal_name;
+
+  int line_number = 0;
+  for (const std::string& raw_line : Split(text, '\n')) {
+    ++line_number;
+    std::string_view line = StripWhitespace(raw_line);
+    if (line.empty() || line[0] == '#') continue;
+    auto fail = [&](const std::string& message) {
+      *error = "line " + std::to_string(line_number) + ": " + message;
+      return std::nullopt;
+    };
+    if (StartsWith(line, "goal:")) {
+      goal_name = std::string(StripWhitespace(line.substr(5)));
+      continue;
+    }
+    size_t arrow = line.find("<-");
+    if (arrow == std::string_view::npos) {
+      return fail("expected '<-'");
+    }
+    TextClause clause;
+    {
+      size_t pos = 0;
+      if (!ParseOneAtom(line.substr(0, arrow), &pos, &clause.head, error)) {
+        return fail(*error);
+      }
+    }
+    if (!ParseAtomList(line.substr(arrow + 2), &clause.body, error)) {
+      return fail(*error);
+    }
+    clauses.push_back(std::move(clause));
+  }
+
+  // Pass 1: head names are IDB.
+  std::set<std::string> idb_names;
+  for (const TextClause& c : clauses) idb_names.insert(c.head.name);
+  if (!goal_name.empty()) idb_names.insert(goal_name);
+
+  NdlProgram program(vocabulary);
+  std::map<std::string, int> var_ids;  // Global names; clauses re-map below.
+  auto resolve = [&](const TextAtom& atom) -> int {
+    if (atom.name == "=") return program.EqualityPredicate();
+    if (atom.name == "TOP") return program.AdomPredicate();
+    if (idb_names.count(atom.name) > 0) {
+      return program.AddIdbPredicate(atom.name,
+                                     static_cast<int>(atom.args.size()));
+    }
+    if (atom.args.size() == 1) {
+      return program.AddConceptPredicate(
+          vocabulary->InternConcept(atom.name));
+    }
+    return program.AddRolePredicate(vocabulary->InternPredicate(atom.name));
+  };
+
+  for (const TextClause& c : clauses) {
+    std::map<std::string, int> clause_vars;
+    auto term = [&](const std::string& arg) -> Term {
+      if (arg.size() >= 2 && arg[0] == 'v' &&
+          std::isdigit(static_cast<unsigned char>(arg[1]))) {
+        bool numeric = true;
+        for (size_t i = 1; i < arg.size(); ++i) {
+          numeric = numeric && std::isdigit(static_cast<unsigned char>(arg[i]));
+        }
+        if (numeric) {
+          auto [it, inserted] =
+              clause_vars.emplace(arg, static_cast<int>(clause_vars.size()));
+          return Term::Var(it->second);
+        }
+      }
+      return Term::Const(vocabulary->InternIndividual(arg));
+    };
+    NdlClause clause;
+    clause.head.predicate = resolve(c.head);
+    for (const std::string& arg : c.head.args) {
+      clause.head.args.push_back(term(arg));
+    }
+    for (const TextAtom& atom : c.body) {
+      NdlAtom body_atom;
+      body_atom.predicate = resolve(atom);
+      for (const std::string& arg : atom.args) {
+        body_atom.args.push_back(term(arg));
+      }
+      clause.body.push_back(std::move(body_atom));
+    }
+    program.AddClause(std::move(clause));
+  }
+  if (!goal_name.empty()) {
+    for (int p = 0; p < program.num_predicates(); ++p) {
+      if (program.predicate(p).name == goal_name) program.SetGoal(p);
+    }
+    if (program.goal() < 0) {
+      *error = "goal predicate " + goal_name + " has no clauses";
+      return std::nullopt;
+    }
+  }
+  return program;
+}
+
+}  // namespace owlqr

@@ -1,0 +1,29 @@
+#ifndef OWLQR_SYNTAX_NDL_PARSER_H_
+#define OWLQR_SYNTAX_NDL_PARSER_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "ndl/program.h"
+
+namespace owlqr {
+
+// Parses the NdlProgram::ToString() format back into a program:
+//
+//   goal: G
+//   G(v0, v1) <- R(v0, v2) & H(v2, v1)
+//   H(v0, v1) <- S(v0, v1) & =(v0, v1) & TOP(v0)
+//
+// Terms "v<N>" are variables; anything else is an individual constant.
+// Predicate kinds are resolved as follows: a name occurring in some clause
+// head is IDB; otherwise a unary name is a concept EDB and a binary name a
+// role EDB (interned into the vocabulary); "=" is equality and "TOP" the
+// active domain.
+std::optional<NdlProgram> ParseNdlProgram(std::string_view text,
+                                          Vocabulary* vocabulary,
+                                          std::string* error);
+
+}  // namespace owlqr
+
+#endif  // OWLQR_SYNTAX_NDL_PARSER_H_

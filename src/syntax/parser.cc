@@ -1,0 +1,320 @@
+#include "syntax/parser.h"
+
+#include <cctype>
+#include <sstream>
+#include <vector>
+
+#include "util/strings.h"
+
+namespace owlqr {
+
+namespace {
+
+bool IsNameChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+         c == '[' || c == ']' || c == '+' || c == '#';
+}
+
+std::vector<std::string> Tokenize(std::string_view line) {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (char c : line) {
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      if (!current.empty()) {
+        tokens.push_back(current);
+        current.clear();
+      }
+    } else {
+      current.push_back(c);
+    }
+  }
+  if (!current.empty()) tokens.push_back(current);
+  return tokens;
+}
+
+// Parses a role token "name" or "name-".
+RoleId ParseRoleToken(const std::string& token, Vocabulary* vocab) {
+  bool inverse = !token.empty() && token.back() == '-';
+  std::string name = inverse ? token.substr(0, token.size() - 1) : token;
+  return RoleOf(vocab->InternPredicate(name), inverse);
+}
+
+// Parses "TOP", "Name" or the two tokens "EX role".
+bool ParseConceptExpr(const std::vector<std::string>& tokens, size_t* pos,
+                      Vocabulary* vocab, BasicConcept* out,
+                      std::string* error) {
+  if (*pos >= tokens.size()) {
+    *error = "expected a concept expression";
+    return false;
+  }
+  const std::string& head = tokens[*pos];
+  if (head == "TOP") {
+    *out = BasicConcept::Top();
+    ++*pos;
+    return true;
+  }
+  if (head == "EX") {
+    if (*pos + 1 >= tokens.size()) {
+      *error = "EX must be followed by a role";
+      return false;
+    }
+    *out = BasicConcept::Exists(ParseRoleToken(tokens[*pos + 1], vocab));
+    *pos += 2;
+    return true;
+  }
+  *out = BasicConcept::Atomic(vocab->InternConcept(head));
+  ++*pos;
+  return true;
+}
+
+std::string_view StripComment(std::string_view line) {
+  size_t hash = line.find('#');
+  // '#' may legitimately occur inside bracketed names like A[P-]; treat a
+  // '#' preceded by whitespace or at the start as a comment marker.
+  while (hash != std::string_view::npos) {
+    if (hash == 0 || std::isspace(static_cast<unsigned char>(line[hash - 1]))) {
+      return line.substr(0, hash);
+    }
+    hash = line.find('#', hash + 1);
+  }
+  return line;
+}
+
+}  // namespace
+
+bool ParseTBox(std::string_view text, TBox* tbox, std::string* error) {
+  Vocabulary* vocab = tbox->vocabulary();
+  int line_number = 0;
+  for (const std::string& raw_line : Split(text, '\n')) {
+    ++line_number;
+    std::string_view line = StripWhitespace(StripComment(raw_line));
+    if (line.empty()) continue;
+    std::vector<std::string> tokens = Tokenize(line);
+    auto fail = [&](const std::string& message) {
+      std::ostringstream os;
+      os << "line " << line_number << ": " << message;
+      *error = os.str();
+      return false;
+    };
+    const std::string& head = tokens[0];
+    if (head == "REFLEXIVE" || head == "IRREFLEXIVE") {
+      if (tokens.size() != 2) return fail(head + " takes one role");
+      RoleId role = ParseRoleToken(tokens[1], vocab);
+      if (head == "REFLEXIVE") {
+        tbox->AddReflexivity(role);
+      } else {
+        tbox->AddIrreflexivity(role);
+      }
+      continue;
+    }
+    if (head == "DISJOINT") {
+      size_t pos = 1;
+      BasicConcept lhs, rhs;
+      if (!ParseConceptExpr(tokens, &pos, vocab, &lhs, error) ||
+          !ParseConceptExpr(tokens, &pos, vocab, &rhs, error)) {
+        return fail(*error);
+      }
+      if (pos != tokens.size()) return fail("trailing tokens after DISJOINT");
+      tbox->AddConceptDisjointness(lhs, rhs);
+      continue;
+    }
+    if (head == "DISJOINT-ROLES") {
+      if (tokens.size() != 3) return fail("DISJOINT-ROLES takes two roles");
+      tbox->AddRoleDisjointness(ParseRoleToken(tokens[1], vocab),
+                                ParseRoleToken(tokens[2], vocab));
+      continue;
+    }
+    // Role inclusion: "rho SUBR rho'" (trailing '-' marks an inverse).
+    if (tokens.size() == 3 && tokens[1] == "SUBR") {
+      tbox->AddRoleInclusion(ParseRoleToken(tokens[0], vocab),
+                             ParseRoleToken(tokens[2], vocab));
+      continue;
+    }
+    // Concept inclusion: <expr> SUB <expr>.
+    size_t pos = 0;
+    BasicConcept lhs, rhs;
+    if (!ParseConceptExpr(tokens, &pos, vocab, &lhs, error)) {
+      return fail(*error);
+    }
+    if (pos >= tokens.size() || tokens[pos] != "SUB") {
+      return fail("expected SUB after the left-hand side");
+    }
+    ++pos;
+    if (!ParseConceptExpr(tokens, &pos, vocab, &rhs, error)) {
+      return fail(*error);
+    }
+    if (pos != tokens.size()) return fail("trailing tokens");
+    tbox->AddConceptInclusion(lhs, rhs);
+  }
+  return true;
+}
+
+namespace {
+
+// Parses "name(arg, ...)" starting at *pos; advances past the atom.
+bool ParseAtomText(std::string_view text, size_t* pos, std::string* name,
+                   std::vector<std::string>* args, std::string* error) {
+  name->clear();
+  args->clear();
+  while (*pos < text.size() &&
+         std::isspace(static_cast<unsigned char>(text[*pos]))) {
+    ++*pos;
+  }
+  while (*pos < text.size() && IsNameChar(text[*pos])) {
+    name->push_back(text[(*pos)++]);
+  }
+  if (name->empty()) {
+    *error = "expected a predicate name";
+    return false;
+  }
+  if (*pos >= text.size() || text[*pos] != '(') {
+    *error = "expected '(' after " + *name;
+    return false;
+  }
+  ++*pos;
+  std::string current;
+  while (*pos < text.size()) {
+    char c = text[(*pos)++];
+    if (c == ',' || c == ')') {
+      std::string arg(StripWhitespace(current));
+      if (c == ')' && arg.empty() && args->empty()) {
+        return true;  // Zero-argument head, e.g. a Boolean query "q()".
+      }
+      if (arg.empty()) {
+        *error = "empty argument in " + *name;
+        return false;
+      }
+      args->push_back(arg);
+      current.clear();
+      if (c == ')') return true;
+    } else {
+      current.push_back(c);
+    }
+  }
+  *error = "unterminated atom " + *name;
+  return false;
+}
+
+void SkipSeparators(std::string_view text, size_t* pos) {
+  while (*pos < text.size() &&
+         (std::isspace(static_cast<unsigned char>(text[*pos])) ||
+          text[*pos] == ',' || text[*pos] == '.')) {
+    ++*pos;
+  }
+}
+
+}  // namespace
+
+std::optional<ConjunctiveQuery> ParseQuery(std::string_view text,
+                                           Vocabulary* vocabulary,
+                                           std::string* error) {
+  size_t turnstile = text.find(":-");
+  if (turnstile == std::string_view::npos) {
+    *error = "expected ':-'";
+    return std::nullopt;
+  }
+  ConjunctiveQuery query(vocabulary);
+  {
+    size_t pos = 0;
+    std::string name;
+    std::vector<std::string> args;
+    std::string_view head = text.substr(0, turnstile);
+    if (!ParseAtomText(head, &pos, &name, &args, error)) return std::nullopt;
+    for (const std::string& arg : args) {
+      query.MarkAnswerVariable(query.AddVariable(arg));
+    }
+  }
+  std::string_view body = text.substr(turnstile + 2);
+  size_t pos = 0;
+  SkipSeparators(body, &pos);
+  while (pos < body.size()) {
+    std::string name;
+    std::vector<std::string> args;
+    if (!ParseAtomText(body, &pos, &name, &args, error)) return std::nullopt;
+    if (args.size() == 1) {
+      query.AddUnaryAtom(vocabulary->InternConcept(name),
+                         query.AddVariable(args[0]));
+    } else if (args.size() == 2) {
+      int u = query.AddVariable(args[0]);
+      int v = query.AddVariable(args[1]);
+      query.AddBinaryAtom(vocabulary->InternPredicate(name), u, v);
+    } else {
+      *error = "atom " + name + " must be unary or binary";
+      return std::nullopt;
+    }
+    SkipSeparators(body, &pos);
+  }
+  return query;
+}
+
+bool ParseData(std::string_view text, DataInstance* data, std::string* error) {
+  Vocabulary* vocab = data->vocabulary();
+  for (const std::string& raw_line : Split(text, '\n')) {
+    std::string_view line = StripWhitespace(StripComment(raw_line));
+    size_t pos = 0;
+    SkipSeparators(line, &pos);
+    while (pos < line.size()) {
+      std::string name;
+      std::vector<std::string> args;
+      if (!ParseAtomText(line, &pos, &name, &args, error)) return false;
+      if (args.size() == 1) {
+        data->AddConceptAssertion(vocab->InternConcept(name),
+                                  vocab->InternIndividual(args[0]));
+      } else if (args.size() == 2) {
+        data->AddRoleAssertion(vocab->InternPredicate(name),
+                               vocab->InternIndividual(args[0]),
+                               vocab->InternIndividual(args[1]));
+      } else {
+        *error = "fact " + name + " must be unary or binary";
+        return false;
+      }
+      SkipSeparators(line, &pos);
+    }
+  }
+  return true;
+}
+
+namespace {
+
+std::string ConceptExprToString(const BasicConcept& c, const Vocabulary& v) {
+  switch (c.kind) {
+    case BasicConcept::Kind::kTop:
+      return "TOP";
+    case BasicConcept::Kind::kAtomic:
+      return v.ConceptName(c.id);
+    case BasicConcept::Kind::kExists:
+      return "EX " + v.RoleName(c.id);
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string TBoxToString(const TBox& tbox) {
+  const Vocabulary& v = *tbox.vocabulary();
+  std::string out;
+  for (const ConceptInclusion& ci : tbox.concept_inclusions()) {
+    out += ConceptExprToString(ci.lhs, v) + " SUB " +
+           ConceptExprToString(ci.rhs, v) + "\n";
+  }
+  for (const RoleInclusion& ri : tbox.role_inclusions()) {
+    out += v.RoleName(ri.lhs) + " SUBR " + v.RoleName(ri.rhs) + "\n";
+  }
+  for (RoleId r : tbox.reflexive_roles()) {
+    out += "REFLEXIVE " + v.RoleName(r) + "\n";
+  }
+  for (const ConceptDisjointness& cd : tbox.concept_disjointness()) {
+    out += "DISJOINT " + ConceptExprToString(cd.lhs, v) + " " +
+           ConceptExprToString(cd.rhs, v) + "\n";
+  }
+  for (const RoleDisjointness& rd : tbox.role_disjointness()) {
+    out += "DISJOINT-ROLES " + v.RoleName(rd.lhs) + " " +
+           v.RoleName(rd.rhs) + "\n";
+  }
+  for (RoleId r : tbox.irreflexive_roles()) {
+    out += "IRREFLEXIVE " + v.RoleName(r) + "\n";
+  }
+  return out;
+}
+
+}  // namespace owlqr

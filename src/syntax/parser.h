@@ -1,0 +1,51 @@
+#ifndef OWLQR_SYNTAX_PARSER_H_
+#define OWLQR_SYNTAX_PARSER_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "cq/cq.h"
+#include "data/data_instance.h"
+#include "ontology/tbox.h"
+
+namespace owlqr {
+
+// Line-based ontology syntax ('#' starts a comment):
+//
+//   Manager SUB Employee            concept inclusion
+//   Employee SUB EX worksFor        A <= exists worksFor
+//   EX worksFor- SUB Project        exists worksFor^- <= Project
+//   TOP SUB EX partOf               top on the left-hand side
+//   manages SUBR worksFor           role inclusion (trailing '-' = inverse)
+//   REFLEXIVE knows
+//   DISJOINT Manager Intern
+//   DISJOINT-ROLES manages reports-
+//   IRREFLEXIVE manages
+//
+// On success appends the axioms to `tbox` (call tbox->Normalize() before
+// rewriting); on failure returns false and describes the problem in `error`.
+bool ParseTBox(std::string_view text, TBox* tbox, std::string* error);
+
+// Conjunctive query syntax:
+//
+//   q(x, y) :- worksFor(x, z), Manager(z), knows(z, y)
+//
+// Unary atoms are concept atoms, binary atoms are role atoms.  Variables in
+// the head are the answer variables.
+std::optional<ConjunctiveQuery> ParseQuery(std::string_view text,
+                                           Vocabulary* vocabulary,
+                                           std::string* error);
+
+// Data syntax (one fact per line, '.' optional, '#' comments):
+//
+//   Manager(ann).  worksFor(bob, crm).
+bool ParseData(std::string_view text, DataInstance* data, std::string* error);
+
+// Round-trip printer for ontologies in the ParseTBox syntax (normalization
+// axioms included once normalized).
+std::string TBoxToString(const TBox& tbox);
+
+}  // namespace owlqr
+
+#endif  // OWLQR_SYNTAX_PARSER_H_

@@ -1,0 +1,252 @@
+#include "syntax/sql_export.h"
+
+#include <cctype>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace owlqr {
+
+namespace {
+
+// Sanitises an arbitrary predicate name into a unique SQL identifier.
+class NameTable {
+ public:
+  std::string For(const std::string& prefix, int key,
+                  const std::string& name) {
+    auto it = assigned_.find({prefix, key});
+    if (it != assigned_.end()) return it->second;
+    std::string base = prefix;
+    for (char c : name) {
+      base.push_back(std::isalnum(static_cast<unsigned char>(c))
+                         ? static_cast<char>(std::tolower(
+                               static_cast<unsigned char>(c)))
+                         : '_');
+    }
+    std::string candidate = base;
+    int suffix = 1;
+    while (!used_.insert(candidate).second) {
+      candidate = base + "_" + std::to_string(suffix++);
+    }
+    assigned_[{prefix, key}] = candidate;
+    return candidate;
+  }
+
+ private:
+  std::map<std::pair<std::string, int>, std::string> assigned_;
+  std::set<std::string> used_;
+};
+
+std::string Quote(const std::string& text) {
+  std::string out = "'";
+  for (char c : text) {
+    out.push_back(c);
+    if (c == '\'') out.push_back('\'');
+  }
+  out += "'";
+  return out;
+}
+
+std::vector<std::string> ColumnNames(int arity, PredicateKind kind) {
+  if (kind == PredicateKind::kConceptEdb) return {"ind"};
+  if (kind == PredicateKind::kRoleEdb) return {"s", "o"};
+  std::vector<std::string> cols;
+  for (int i = 0; i < arity; ++i) cols.push_back("a" + std::to_string(i));
+  return cols;
+}
+
+}  // namespace
+
+SqlExport ExportSql(const NdlProgram& program) {
+  OWLQR_CHECK(program.IsNonrecursive());
+  const Vocabulary& vocab = *program.vocabulary();
+  NameTable names;
+  SqlExport out;
+
+  // Table/view name per predicate.
+  std::vector<std::string> sql_name(program.num_predicates());
+  for (int p = 0; p < program.num_predicates(); ++p) {
+    const PredicateInfo& info = program.predicate(p);
+    switch (info.kind) {
+      case PredicateKind::kIdb:
+        sql_name[p] = names.For("v_", p, info.name);
+        break;
+      case PredicateKind::kConceptEdb:
+        sql_name[p] = names.For("c_", p, info.name);
+        break;
+      case PredicateKind::kRoleEdb:
+        sql_name[p] = names.For("r_", p, info.name);
+        break;
+      case PredicateKind::kTableEdb:
+        sql_name[p] = names.For("t_", p, info.name);
+        break;
+      case PredicateKind::kEquality:
+      case PredicateKind::kAdom:
+        break;  // Built-ins; no table.
+    }
+  }
+
+  // Base tables + the adom view over them.
+  std::vector<std::string> adom_selects;
+  for (int p = 0; p < program.num_predicates(); ++p) {
+    const PredicateInfo& info = program.predicate(p);
+    if (info.kind != PredicateKind::kConceptEdb &&
+        info.kind != PredicateKind::kRoleEdb &&
+        info.kind != PredicateKind::kTableEdb) {
+      continue;
+    }
+    std::vector<std::string> cols = ColumnNames(info.arity, info.kind);
+    out.create_tables += "CREATE TABLE " + sql_name[p] + "(";
+    for (size_t i = 0; i < cols.size(); ++i) {
+      if (i > 0) out.create_tables += ", ";
+      out.create_tables += cols[i] + " TEXT";
+    }
+    out.create_tables += ");\n";
+    for (const std::string& col : cols) {
+      adom_selects.push_back("SELECT " + col + " AS ind FROM " + sql_name[p]);
+    }
+  }
+  out.create_views += "CREATE VIEW adom(ind) AS\n  ";
+  if (adom_selects.empty()) {
+    out.create_views += "SELECT NULL WHERE 0";
+  } else {
+    for (size_t i = 0; i < adom_selects.size(); ++i) {
+      if (i > 0) out.create_views += "\n  UNION ";
+      out.create_views += adom_selects[i];
+    }
+  }
+  out.create_views += ";\n";
+
+  // One view per IDB predicate, dependencies first.
+  for (int p : program.TopologicalOrder()) {
+    const PredicateInfo& info = program.predicate(p);
+    std::vector<std::string> head_cols;
+    for (int i = 0; i < info.arity; ++i) {
+      head_cols.push_back("a" + std::to_string(i));
+    }
+    std::string view = "CREATE VIEW " + sql_name[p] + "(";
+    if (info.arity == 0) {
+      view += "tt";  // 0-ary predicates: a single marker column.
+    } else {
+      for (size_t i = 0; i < head_cols.size(); ++i) {
+        if (i > 0) view += ", ";
+        view += head_cols[i];
+      }
+    }
+    view += ") AS\n";
+    bool first_clause = true;
+    for (int ci : program.ClausesFor(p)) {
+      const NdlClause& clause = program.clause(ci);
+      if (!first_clause) view += "  UNION\n";
+      first_clause = false;
+
+      // FROM items and the first source column per variable.
+      std::vector<std::string> from_items;
+      std::map<int, std::string> var_column;
+      std::vector<std::string> where;
+      std::vector<const NdlAtom*> equalities;
+      int alias = 0;
+      auto add_source = [&](const std::string& relation,
+                            const std::vector<std::string>& cols,
+                            const NdlAtom& atom) {
+        std::string a = "x" + std::to_string(alias++);
+        from_items.push_back(relation + " AS " + a);
+        for (size_t i = 0; i < atom.args.size(); ++i) {
+          std::string col = a + "." + cols[i];
+          const Term& t = atom.args[i];
+          if (t.is_constant) {
+            where.push_back(col + " = " + Quote(vocab.IndividualName(t.value)));
+          } else {
+            auto [it, inserted] = var_column.emplace(t.value, col);
+            if (!inserted) where.push_back(col + " = " + it->second);
+          }
+        }
+      };
+      for (const NdlAtom& atom : clause.body) {
+        const PredicateInfo& ainfo = program.predicate(atom.predicate);
+        switch (ainfo.kind) {
+          case PredicateKind::kEquality:
+            equalities.push_back(&atom);
+            break;
+          case PredicateKind::kAdom:
+            add_source("adom", {"ind"}, atom);
+            break;
+          case PredicateKind::kIdb:
+            add_source(sql_name[atom.predicate],
+                       ainfo.arity == 0 ? std::vector<std::string>{}
+                                        : ColumnNames(ainfo.arity,
+                                                      PredicateKind::kIdb),
+                       atom);
+            break;
+          default:
+            add_source(sql_name[atom.predicate],
+                       ColumnNames(ainfo.arity, ainfo.kind), atom);
+            break;
+        }
+      }
+      // Equality atoms: anchor unsourced variables on adom, then compare.
+      auto term_expr = [&](const Term& t) -> std::string {
+        if (t.is_constant) return Quote(vocab.IndividualName(t.value));
+        auto it = var_column.find(t.value);
+        if (it != var_column.end()) return it->second;
+        std::string a = "x" + std::to_string(alias++);
+        from_items.push_back("adom AS " + a);
+        var_column.emplace(t.value, a + ".ind");
+        return a + ".ind";
+      };
+      for (const NdlAtom* eq : equalities) {
+        std::string lhs = term_expr(eq->args[0]);
+        std::string rhs = term_expr(eq->args[1]);
+        where.push_back(lhs + " = " + rhs);
+      }
+      // Head columns for IDB atoms with arity 0 (marker) handled below.
+      view += "  SELECT ";
+      if (info.arity == 0) {
+        view += "1 AS tt";
+      } else {
+        for (size_t i = 0; i < clause.head.args.size(); ++i) {
+          if (i > 0) view += ", ";
+          const Term& t = clause.head.args[i];
+          view += term_expr(t) + " AS " + head_cols[i];
+        }
+      }
+      if (!from_items.empty()) {
+        view += "\n  FROM ";
+        for (size_t i = 0; i < from_items.size(); ++i) {
+          if (i > 0) view += ", ";
+          view += from_items[i];
+        }
+      }
+      if (!where.empty()) {
+        view += "\n  WHERE ";
+        for (size_t i = 0; i < where.size(); ++i) {
+          if (i > 0) view += " AND ";
+          view += where[i];
+        }
+      }
+      view += "\n";
+    }
+    if (first_clause) {
+      // No clauses: an empty view of the right shape.
+      view += "  SELECT ";
+      if (info.arity == 0) {
+        view += "1 AS tt";
+      } else {
+        for (size_t i = 0; i < head_cols.size(); ++i) {
+          if (i > 0) view += ", ";
+          view += "NULL AS " + head_cols[i];
+        }
+      }
+      view += " WHERE 0\n";
+    }
+    view += ";\n";
+    out.create_views += view;
+  }
+  OWLQR_CHECK(program.goal() >= 0);
+  out.goal_view = sql_name[program.goal()];
+  return out;
+}
+
+}  // namespace owlqr

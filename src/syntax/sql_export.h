@@ -1,0 +1,33 @@
+#ifndef OWLQR_SYNTAX_SQL_EXPORT_H_
+#define OWLQR_SYNTAX_SQL_EXPORT_H_
+
+#include <string>
+
+#include "ndl/program.h"
+
+namespace owlqr {
+
+// Section 6 asks "whether our rewritings can be efficiently implemented
+// using views in standard DBMSs".  This exporter turns an NDL program into
+// plain SQL (SQLite dialect): one view per IDB predicate, in dependence
+// order, over a simple base-table schema:
+//
+//   concept C      ->  TABLE c_<name>(ind)
+//   role P         ->  TABLE r_<name>(s, o)
+//   source table T ->  TABLE t_<name>(a0, ..)
+//   active domain  ->  VIEW adom(ind)  (union of all base-table columns)
+//
+// Each clause becomes a SELECT with the join/equality conditions in WHERE;
+// a predicate's clauses are UNIONed (set semantics = datalog semantics).
+// The goal predicate's view is `goal_view`.
+struct SqlExport {
+  std::string create_tables;  // DDL for the base tables used.
+  std::string create_views;   // Views in dependence order (adom included).
+  std::string goal_view;      // Name of the goal predicate's view.
+};
+
+SqlExport ExportSql(const NdlProgram& program);
+
+}  // namespace owlqr
+
+#endif  // OWLQR_SYNTAX_SQL_EXPORT_H_

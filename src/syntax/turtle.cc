@@ -1,0 +1,176 @@
+#include "syntax/turtle.h"
+
+#include <cctype>
+#include <vector>
+
+#include "util/strings.h"
+
+namespace owlqr {
+
+namespace {
+
+struct Token {
+  enum class Kind { kName, kA, kDot, kSemicolon, kComma, kDirective, kEnd };
+  Kind kind;
+  std::string text;  // Local name for kName, directive text for kDirective.
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) {}
+
+  Token Next(std::string* error) {
+    SkipSpaceAndComments();
+    if (pos_ >= text_.size()) return {Token::Kind::kEnd, ""};
+    char c = text_[pos_];
+    if (c == '.') {
+      ++pos_;
+      return {Token::Kind::kDot, "."};
+    }
+    if (c == ';') {
+      ++pos_;
+      return {Token::Kind::kSemicolon, ";"};
+    }
+    if (c == ',') {
+      ++pos_;
+      return {Token::Kind::kComma, ","};
+    }
+    if (c == '@') {
+      size_t start = pos_;
+      while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+      return {Token::Kind::kDirective,
+              std::string(text_.substr(start, pos_ - start))};
+    }
+    if (c == '<') {
+      size_t end = text_.find('>', pos_);
+      if (end == std::string_view::npos) {
+        *error = "unterminated IRI";
+        return {Token::Kind::kEnd, ""};
+      }
+      std::string_view iri = text_.substr(pos_ + 1, end - pos_ - 1);
+      pos_ = end + 1;
+      return {Token::Kind::kName, LocalName(iri)};
+    }
+    if (c == '"') {
+      *error = "literals are not supported in this Turtle subset";
+      return {Token::Kind::kEnd, ""};
+    }
+    // Prefixed name or the 'a' keyword.
+    size_t start = pos_;
+    while (pos_ < text_.size() && !std::isspace(static_cast<unsigned char>(
+                                      text_[pos_])) &&
+           text_[pos_] != ';' && text_[pos_] != ',' &&
+           !(text_[pos_] == '.' && IsTripleTerminator(pos_))) {
+      ++pos_;
+    }
+    std::string_view word = text_.substr(start, pos_ - start);
+    if (word == "a") return {Token::Kind::kA, "a"};
+    return {Token::Kind::kName, LocalName(word)};
+  }
+
+ private:
+  // A '.' terminates a triple only when followed by whitespace/EOF (so that
+  // names like v1.2 would not be split; conservative).
+  bool IsTripleTerminator(size_t dot) const {
+    return dot + 1 >= text_.size() ||
+           std::isspace(static_cast<unsigned char>(text_[dot + 1]));
+  }
+
+  void SkipSpaceAndComments() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '#') {
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+      } else {
+        return;
+      }
+    }
+  }
+
+  static std::string LocalName(std::string_view qualified) {
+    size_t cut = qualified.find_last_of("/#:");
+    if (cut == std::string_view::npos) return std::string(qualified);
+    return std::string(qualified.substr(cut + 1));
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+bool ParseTurtle(std::string_view text, DataInstance* data,
+                 std::string* error) {
+  Vocabulary* vocab = data->vocabulary();
+  Lexer lexer(text);
+  while (true) {
+    Token token = lexer.Next(error);
+    if (!error->empty()) return false;
+    if (token.kind == Token::Kind::kEnd) return true;
+    if (token.kind == Token::Kind::kDirective) continue;  // @prefix / @base.
+    if (token.kind != Token::Kind::kName) {
+      *error = "expected a subject, got '" + token.text + "'";
+      return false;
+    }
+    int subject = vocab->InternIndividual(token.text);
+    // Predicate lists separated by ';', object lists by ','.
+    while (true) {
+      Token predicate = lexer.Next(error);
+      if (!error->empty()) return false;
+      bool is_type = predicate.kind == Token::Kind::kA;
+      if (!is_type && predicate.kind != Token::Kind::kName) {
+        *error = "expected a predicate after subject";
+        return false;
+      }
+      while (true) {
+        Token object = lexer.Next(error);
+        if (!error->empty()) return false;
+        if (object.kind != Token::Kind::kName) {
+          *error = "expected an object";
+          return false;
+        }
+        if (is_type) {
+          data->AddConceptAssertion(vocab->InternConcept(object.text),
+                                    subject);
+        } else {
+          data->AddRoleAssertion(vocab->InternPredicate(predicate.text),
+                                 subject,
+                                 vocab->InternIndividual(object.text));
+        }
+        Token sep = lexer.Next(error);
+        if (!error->empty()) return false;
+        if (sep.kind == Token::Kind::kComma) continue;
+        if (sep.kind == Token::Kind::kSemicolon) break;
+        if (sep.kind == Token::Kind::kDot) {
+          goto next_subject;
+        }
+        *error = "expected '.', ';' or ',' after an object";
+        return false;
+      }
+    }
+  next_subject:;
+  }
+}
+
+std::string WriteTurtle(const DataInstance& data) {
+  const Vocabulary& vocab = *data.vocabulary();
+  std::string out = "@prefix : <http://owlqr.example.org/> .\n";
+  for (int concept_id : data.ActiveConcepts()) {
+    for (int a : data.ConceptMembers(concept_id)) {
+      out += ":" + vocab.IndividualName(a) + " a :" +
+             vocab.ConceptName(concept_id) + " .\n";
+    }
+  }
+  for (int predicate : data.ActivePredicates()) {
+    for (auto [s, o] : data.RolePairs(predicate)) {
+      out += ":" + vocab.IndividualName(s) + " :" +
+             vocab.PredicateName(predicate) + " :" +
+             vocab.IndividualName(o) + " .\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace owlqr

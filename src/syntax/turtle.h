@@ -1,0 +1,33 @@
+#ifndef OWLQR_SYNTAX_TURTLE_H_
+#define OWLQR_SYNTAX_TURTLE_H_
+
+#include <string>
+#include <string_view>
+
+#include "data/data_instance.h"
+
+namespace owlqr {
+
+// A small Turtle subset — enough to exchange ABoxes as .ttl files the way
+// the paper's experiments did:
+//
+//   @prefix : <http://example.org/> .
+//   :ann a :Professor .
+//   :ann :teaches :algebra .
+//   :bob a :Professor ; :teaches :logic .
+//
+// Supported: @prefix/@base directives (recorded and otherwise ignored;
+// names resolve to their local part), prefixed names, <IRI>s (local part
+// after the last '/', '#' or ':'), the 'a' keyword for concept assertions,
+// ';' predicate lists and ',' object lists, '#' comments.  Literals are not
+// supported (ABoxes here are unary/binary atoms over individuals).
+bool ParseTurtle(std::string_view text, DataInstance* data,
+                 std::string* error);
+
+// Serialises a data instance in the subset above (one triple per line,
+// default ':' prefix).
+std::string WriteTurtle(const DataInstance& data);
+
+}  // namespace owlqr
+
+#endif  // OWLQR_SYNTAX_TURTLE_H_

@@ -1,0 +1,87 @@
+#include "util/dot.h"
+
+#include <algorithm>
+#include <queue>
+#include <set>
+
+namespace owlqr {
+
+namespace {
+
+std::string Escape(const std::string& text) {
+  std::string out;
+  for (char c : text) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string DependenceGraphToDot(const NdlProgram& program,
+                                 bool include_edb) {
+  std::string out = "digraph dependence {\n  rankdir=BT;\n";
+  for (int p = 0; p < program.num_predicates(); ++p) {
+    const PredicateInfo& info = program.predicate(p);
+    if (info.kind == PredicateKind::kIdb) {
+      std::string attrs = "shape=ellipse";
+      if (p == program.goal()) attrs += ", style=bold";
+      out += "  p" + std::to_string(p) + " [label=\"" + Escape(info.name) +
+             "\", " + attrs + "];\n";
+    } else if (include_edb) {
+      out += "  p" + std::to_string(p) + " [label=\"" + Escape(info.name) +
+             "\", shape=box, style=dashed];\n";
+    }
+  }
+  std::set<std::pair<int, int>> edges;
+  for (const NdlClause& clause : program.clauses()) {
+    for (const NdlAtom& atom : clause.body) {
+      if (!include_edb && !program.IsIdb(atom.predicate)) continue;
+      edges.insert({clause.head.predicate, atom.predicate});
+    }
+  }
+  for (auto [from, to] : edges) {
+    out += "  p" + std::to_string(from) + " -> p" + std::to_string(to) +
+           ";\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+std::string CanonicalModelToDot(const CanonicalModel& model,
+                                const Vocabulary& vocabulary,
+                                int max_elements) {
+  std::string out = "digraph canonical_model {\n  rankdir=TB;\n";
+  std::queue<int> queue;
+  std::set<int> visited;
+  for (int e = 0; e < model.num_individuals(); ++e) {
+    queue.push(e);
+    visited.insert(e);
+  }
+  while (!queue.empty() && static_cast<int>(visited.size()) <= max_elements) {
+    int e = queue.front();
+    queue.pop();
+    const CanonicalModel::Element& elem = model.element(e);
+    if (elem.parent < 0) {
+      out += "  e" + std::to_string(e) + " [label=\"" +
+             Escape(vocabulary.IndividualName(elem.individual)) +
+             "\", shape=box];\n";
+    } else {
+      out += "  e" + std::to_string(e) + " [label=\"..." +
+             Escape(vocabulary.RoleName(elem.last_role)) +
+             "\", shape=ellipse, style=dashed];\n";
+      out += "  e" + std::to_string(elem.parent) + " -> e" +
+             std::to_string(e) + " [label=\"" +
+             Escape(vocabulary.RoleName(elem.last_role)) + "\"];\n";
+    }
+    for (int child : model.Children(e)) {
+      if (static_cast<int>(visited.size()) > max_elements) break;
+      if (visited.insert(child).second) queue.push(child);
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace owlqr

@@ -1,0 +1,27 @@
+#ifndef OWLQR_UTIL_DOT_H_
+#define OWLQR_UTIL_DOT_H_
+
+#include <string>
+
+#include "chase/canonical_model.h"
+#include "ndl/program.h"
+
+namespace owlqr {
+
+// Graphviz exports for debugging and documentation.
+
+// The dependence graph of an NDL program: one node per IDB predicate
+// (EDB predicates as boxes when `include_edb`), edges head -> body.
+std::string DependenceGraphToDot(const NdlProgram& program,
+                                 bool include_edb = false);
+
+// A canonical-model prefix: individuals as boxes, labelled nulls as
+// ellipses, tree edges annotated with their role.  Materialises (lazily) at
+// most `max_elements` elements.
+std::string CanonicalModelToDot(const CanonicalModel& model,
+                                const Vocabulary& vocabulary,
+                                int max_elements = 200);
+
+}  // namespace owlqr
+
+#endif  // OWLQR_UTIL_DOT_H_

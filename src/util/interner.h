@@ -1,0 +1,49 @@
+#ifndef OWLQR_UTIL_INTERNER_H_
+#define OWLQR_UTIL_INTERNER_H_
+
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace owlqr {
+
+// Bidirectional mapping between strings and dense integer ids.
+//
+// Ids are assigned in insertion order starting from 0.  The table owns the
+// strings; `Name()` references remain valid until the Interner is destroyed
+// (names are stored in a deque, so growth never moves them).
+class Interner {
+ public:
+  Interner() = default;
+
+  // Returns the id for `name`, inserting it if not present.
+  int Intern(std::string_view name) {
+    auto it = ids_.find(std::string(name));
+    if (it != ids_.end()) return it->second;
+    int id = static_cast<int>(names_.size());
+    names_.emplace_back(name);
+    ids_.emplace(names_.back(), id);
+    return id;
+  }
+
+  // Returns the id for `name`, or -1 if it has never been interned.
+  int Find(std::string_view name) const {
+    auto it = ids_.find(std::string(name));
+    return it == ids_.end() ? -1 : it->second;
+  }
+
+  bool Contains(std::string_view name) const { return Find(name) >= 0; }
+
+  const std::string& Name(int id) const { return names_[id]; }
+
+  int size() const { return static_cast<int>(names_.size()); }
+
+ private:
+  std::deque<std::string> names_;
+  std::unordered_map<std::string, int> ids_;
+};
+
+}  // namespace owlqr
+
+#endif  // OWLQR_UTIL_INTERNER_H_

@@ -1,0 +1,29 @@
+#ifndef OWLQR_UTIL_LOGGING_H_
+#define OWLQR_UTIL_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// Internal invariant checking.  The library does not use exceptions; violated
+// preconditions abort with a source location.  These checks guard programmer
+// errors (API misuse), not data errors, which are reported through return
+// values.
+#define OWLQR_CHECK(cond)                                                   \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "OWLQR_CHECK failed at %s:%d: %s\n", __FILE__,   \
+                   __LINE__, #cond);                                        \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#define OWLQR_CHECK_MSG(cond, msg)                                          \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "OWLQR_CHECK failed at %s:%d: %s (%s)\n",        \
+                   __FILE__, __LINE__, #cond, msg);                         \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#endif  // OWLQR_UTIL_LOGGING_H_

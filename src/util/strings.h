@@ -1,0 +1,40 @@
+#ifndef OWLQR_UTIL_STRINGS_H_
+#define OWLQR_UTIL_STRINGS_H_
+
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace owlqr {
+
+// Joins the elements of `parts` with `sep` between consecutive elements.
+template <typename Container>
+std::string Join(const Container& parts, std::string_view sep) {
+  std::string out;
+  bool first = true;
+  for (const auto& p : parts) {
+    if (!first) out.append(sep);
+    first = false;
+    std::ostringstream os;
+    os << p;
+    out += os.str();
+  }
+  return out;
+}
+
+// Splits `text` on `sep`, keeping empty fields.
+std::vector<std::string> Split(std::string_view text, char sep);
+
+// Removes leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view text);
+
+// True if `text` starts with `prefix`.
+inline bool StartsWith(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() &&
+         text.substr(0, prefix.size()) == prefix;
+}
+
+}  // namespace owlqr
+
+#endif  // OWLQR_UTIL_STRINGS_H_

@@ -1,0 +1,96 @@
+#include "workloads/paper_workloads.h"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+
+#include "util/logging.h"
+
+namespace owlqr {
+
+std::unique_ptr<TBox> MakeExample11TBox(Vocabulary* vocab) {
+  auto tbox = std::make_unique<TBox>(vocab);
+  int p = vocab->InternPredicate("P");
+  int r = vocab->InternPredicate("R");
+  int s = vocab->InternPredicate("S");
+  tbox->AddRoleInclusion(RoleOf(p), RoleOf(s));
+  tbox->AddRoleInclusion(RoleOf(p), RoleOf(r, /*inverse=*/true));
+  tbox->Normalize();
+  return tbox;
+}
+
+ConjunctiveQuery SequenceQuery(Vocabulary* vocab, std::string_view word) {
+  OWLQR_CHECK(!word.empty());
+  ConjunctiveQuery query(vocab);
+  for (size_t i = 0; i < word.size(); ++i) {
+    OWLQR_CHECK_MSG(word[i] == 'R' || word[i] == 'S',
+                    "sequence words use the alphabet {R, S}");
+    query.AddBinary(std::string(1, word[i]), "x" + std::to_string(i),
+                    "x" + std::to_string(i + 1));
+  }
+  query.MarkAnswerVariable(query.FindVariable("x0"));
+  query.MarkAnswerVariable(
+      query.FindVariable("x" + std::to_string(word.size())));
+  return query;
+}
+
+std::vector<DatasetConfig> Table2Configs(double scale) {
+  // V, p, q per Table 2; the seed fixes the instance.
+  std::vector<DatasetConfig> configs = {
+      {"1", 1000, 0.050, 0.050, 20170001},
+      {"2", 5000, 0.002, 0.004, 20170002},
+      {"3", 10000, 0.002, 0.004, 20170003},
+      {"4", 20000, 0.002, 0.010, 20170004},
+  };
+  if (scale != 1.0) {
+    for (DatasetConfig& c : configs) {
+      int scaled = std::max(16, static_cast<int>(c.num_vertices * scale));
+      // Keep the average degree V*p and expected label count V*q.
+      c.edge_probability *= static_cast<double>(c.num_vertices) / scaled;
+      c.edge_probability = std::min(1.0, c.edge_probability);
+      c.num_vertices = scaled;
+    }
+  }
+  return configs;
+}
+
+DataInstance GenerateDataset(Vocabulary* vocab, const TBox& tbox,
+                             const DatasetConfig& config) {
+  DataInstance data(vocab);
+  std::mt19937_64 rng(config.seed);
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  int r_pred = vocab->InternPredicate("R");
+  int a_p = tbox.ExistsConcept(RoleOf(vocab->InternPredicate("P")));
+  int a_p_inv = tbox.ExistsConcept(RoleOf(vocab->InternPredicate("P"), true));
+  OWLQR_CHECK(a_p >= 0 && a_p_inv >= 0);
+
+  int n = config.num_vertices;
+  std::vector<int> vertices(n);
+  for (int i = 0; i < n; ++i) {
+    vertices[i] = data.AddIndividual(config.name + "_v" + std::to_string(i));
+  }
+  // Expected number of directed edges: n * (n-1) * p.  Sampling that many
+  // random ordered pairs (deduplicated by the instance) is accurate for the
+  // sparse regimes of Table 2 and much faster than the pairwise loop.
+  double expected =
+      static_cast<double>(n) * (n - 1) * config.edge_probability;
+  long edges = static_cast<long>(std::llround(expected));
+  std::uniform_int_distribution<int> pick(0, n - 1);
+  for (long e = 0; e < edges; ++e) {
+    int u = pick(rng);
+    int v = pick(rng);
+    if (u == v) continue;
+    data.AddRoleAssertion(r_pred, vertices[u], vertices[v]);
+  }
+  for (int i = 0; i < n; ++i) {
+    if (unit(rng) < config.label_probability) {
+      data.AddConceptAssertion(a_p, vertices[i]);
+    }
+    if (unit(rng) < config.label_probability) {
+      data.AddConceptAssertion(a_p_inv, vertices[i]);
+    }
+  }
+  return data;
+}
+
+}  // namespace owlqr

@@ -1,0 +1,54 @@
+#ifndef OWLQR_WORKLOADS_PAPER_WORKLOADS_H_
+#define OWLQR_WORKLOADS_PAPER_WORKLOADS_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cq/cq.h"
+#include "data/data_instance.h"
+#include "ontology/tbox.h"
+
+namespace owlqr {
+
+// The experimental workload of Section 6 / Appendix D: the Example 11
+// ontology with linear queries drawn from {R, S}* words, plus the Table 2
+// Erdos-Renyi datasets.
+
+// The three query sequences of Figure 2 / Table 1.
+inline constexpr const char* kSequence1 = "RRSRSRSRRSRRSSR";
+inline constexpr const char* kSequence2 = "SRRRRRSRSRRRRRR";
+inline constexpr const char* kSequence3 = "SRRSSRSRSRRSRRS";
+
+// Builds the Example 11 ontology (normalized) into `vocab`:
+//   P(x,y) -> S(x,y),  P(x,y) -> R(y,x),  A_rho <-> exists rho.
+std::unique_ptr<TBox> MakeExample11TBox(Vocabulary* vocab);
+
+// The linear CQ q(x0, xn) whose i-th atom is word[i](x_i, x_{i+1}); both
+// endpoints are answer variables (Example 8 is SequenceQuery("RSRRSRR")).
+ConjunctiveQuery SequenceQuery(Vocabulary* vocab, std::string_view word);
+
+// Table 2 dataset configurations.
+struct DatasetConfig {
+  std::string name;
+  int num_vertices;
+  double edge_probability;   // p: probability of an R-edge.
+  double label_probability;  // q: probability of A[P] / A[P-] per vertex.
+  uint64_t seed;
+};
+
+// The four Table 2 configurations scaled by `scale` in [0, 1] (vertex counts
+// multiplied by scale; probabilities rescaled to keep the average degree).
+std::vector<DatasetConfig> Table2Configs(double scale = 1.0);
+
+// Generates a dataset per Appendix D.2: directed R-edges with probability p,
+// and the witness-triggering concepts A[P], A[P-] each with probability q
+// per vertex.  Deterministic in `seed`.
+DataInstance GenerateDataset(Vocabulary* vocab, const TBox& tbox,
+                             const DatasetConfig& config);
+
+}  // namespace owlqr
+
+#endif  // OWLQR_WORKLOADS_PAPER_WORKLOADS_H_

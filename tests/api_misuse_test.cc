@@ -1,0 +1,76 @@
+// Failure-injection tests: misusing the API must abort with a clear check
+// message rather than silently producing wrong rewritings.
+
+#include <gtest/gtest.h>
+
+#include "core/rewriters.h"
+#include "ndl/linear_evaluator.h"
+#include "workloads/paper_workloads.h"
+
+namespace owlqr {
+namespace {
+
+using ApiMisuseDeathTest = ::testing::Test;
+
+TEST(ApiMisuseDeathTest, RewritersRequireNormalizedTBox) {
+  Vocabulary vocab;
+  TBox tbox(&vocab);
+  tbox.AddExistsRhs("A", "P");
+  // Normalize() deliberately not called.
+  EXPECT_DEATH({ RewritingContext ctx(tbox); }, "normalized");
+}
+
+TEST(ApiMisuseDeathTest, LinRejectsCyclicQueries) {
+  Vocabulary vocab;
+  auto tbox = MakeExample11TBox(&vocab);
+  RewritingContext ctx(*tbox);
+  ConjunctiveQuery q(&vocab);
+  q.AddBinary("R", "x", "y");
+  q.AddBinary("R", "y", "z");
+  q.AddBinary("R", "z", "x");
+  EXPECT_DEATH(RewriteOmq(&ctx, q, RewriterKind::kLin), "tree-shaped");
+  EXPECT_DEATH(RewriteOmq(&ctx, q, RewriterKind::kTw), "tree-shaped");
+}
+
+TEST(ApiMisuseDeathTest, LinAndLogRequireFiniteDepth) {
+  Vocabulary vocab;
+  TBox tbox(&vocab);
+  RoleId p = RoleOf(vocab.InternPredicate("P"));
+  tbox.AddExistsRhs("A", "P");
+  tbox.AddConceptInclusion(BasicConcept::Exists(Inverse(p)),
+                           BasicConcept::Exists(p));
+  tbox.Normalize();
+  RewritingContext ctx(tbox);
+  ConjunctiveQuery q(&vocab);
+  q.AddBinary("P", "x", "y");
+  q.MarkAnswerVariable(q.FindVariable("x"));
+  EXPECT_DEATH(RewriteOmq(&ctx, q, RewriterKind::kLin), "finite-depth");
+  EXPECT_DEATH(RewriteOmq(&ctx, q, RewriterKind::kLog), "finite-depth");
+  // Tw is fine on infinite-depth ontologies.
+  NdlProgram tw = RewriteOmq(&ctx, q, RewriterKind::kTw);
+  EXPECT_GT(tw.num_clauses(), 0);
+}
+
+TEST(ApiMisuseDeathTest, LinearEvaluatorRejectsNonLinearPrograms) {
+  Vocabulary vocab;
+  auto tbox = MakeExample11TBox(&vocab);
+  RewritingContext ctx(*tbox);
+  ConjunctiveQuery q = SequenceQuery(&vocab, "RSR");
+  NdlProgram log_program = RewriteOmq(&ctx, q, RewriterKind::kLog);
+  DataInstance data(&vocab);
+  if (!log_program.IsLinear()) {
+    EXPECT_DEATH(LinearReachabilityEvaluator(log_program, data), "linear");
+  }
+}
+
+TEST(ApiMisuseDeathTest, ClauseArityChecked) {
+  Vocabulary vocab;
+  NdlProgram program(&vocab);
+  int g = program.AddIdbPredicate("G", 2);
+  NdlClause c;
+  c.head = {g, {Term::Var(0)}};  // Arity mismatch.
+  EXPECT_DEATH(program.AddClause(std::move(c)), "");
+}
+
+}  // namespace
+}  // namespace owlqr

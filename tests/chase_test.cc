@@ -1,0 +1,346 @@
+#include <gtest/gtest.h>
+
+#include "chase/canonical_model.h"
+#include "chase/certain_answers.h"
+#include "chase/homomorphism.h"
+#include "data/completion.h"
+#include "ontology/word_graph.h"
+
+namespace owlqr {
+namespace {
+
+struct Scenario {
+  Vocabulary vocab;
+  TBox tbox{&vocab};
+};
+
+// Example 11 ontology.
+void BuildExample11(Scenario* s) {
+  int p = s->vocab.InternPredicate("P");
+  int r = s->vocab.InternPredicate("R");
+  int ss = s->vocab.InternPredicate("S");
+  s->tbox.AddRoleInclusion(RoleOf(p), RoleOf(ss));
+  s->tbox.AddRoleInclusion(RoleOf(p), RoleOf(r, true));
+  s->tbox.Normalize();
+}
+
+TEST(CompletionTest, RoleAndExistentialConsequences) {
+  Scenario s;
+  BuildExample11(&s);
+  Saturation sat(s.tbox);
+  DataInstance data(&s.vocab);
+  data.Assert("P", "a", "b");
+  DataInstance completed = CompleteInstance(data, s.tbox, sat);
+  int p = s.vocab.FindPredicate("P");
+  int r = s.vocab.FindPredicate("R");
+  int ss = s.vocab.FindPredicate("S");
+  int a = s.vocab.FindIndividual("a");
+  int b = s.vocab.FindIndividual("b");
+  EXPECT_TRUE(completed.HasRoleAssertion(p, a, b));
+  EXPECT_TRUE(completed.HasRoleAssertion(ss, a, b));
+  EXPECT_TRUE(completed.HasRoleAssertion(r, b, a));
+  EXPECT_FALSE(completed.HasRoleAssertion(r, a, b));
+  // Existential concepts: A[P](a), A[P-](b), A[S](a), A[R](b), ...
+  EXPECT_TRUE(completed.HasConceptAssertion(
+      s.tbox.ExistsConcept(RoleOf(p)), a));
+  EXPECT_TRUE(completed.HasConceptAssertion(
+      s.tbox.ExistsConcept(RoleOf(p, true)), b));
+  EXPECT_TRUE(completed.HasConceptAssertion(
+      s.tbox.ExistsConcept(RoleOf(ss)), a));
+  EXPECT_TRUE(completed.HasConceptAssertion(
+      s.tbox.ExistsConcept(RoleOf(r)), b));
+  EXPECT_FALSE(completed.HasConceptAssertion(
+      s.tbox.ExistsConcept(RoleOf(p)), b));
+  EXPECT_TRUE(IsComplete(completed, s.tbox, sat));
+  EXPECT_FALSE(IsComplete(data, s.tbox, sat));
+}
+
+TEST(CompletionTest, AtomicHierarchy) {
+  Scenario s;
+  s.tbox.AddAtomicInclusion("Manager", "Employee");
+  s.tbox.AddAtomicInclusion("Employee", "Person");
+  s.tbox.Normalize();
+  Saturation sat(s.tbox);
+  DataInstance data(&s.vocab);
+  data.Assert("Manager", "m");
+  DataInstance completed = CompleteInstance(data, s.tbox, sat);
+  int m = s.vocab.FindIndividual("m");
+  EXPECT_TRUE(completed.HasConceptAssertion(s.vocab.FindConcept("Person"), m));
+  EXPECT_TRUE(
+      completed.HasConceptAssertion(s.vocab.FindConcept("Employee"), m));
+}
+
+TEST(CompletionTest, Reflexivity) {
+  Scenario s;
+  int p = s.vocab.InternPredicate("Knows");
+  s.tbox.AddReflexivity(RoleOf(p));
+  s.tbox.Normalize();
+  Saturation sat(s.tbox);
+  DataInstance data(&s.vocab);
+  data.Assert("A", "a");
+  DataInstance completed = CompleteInstance(data, s.tbox, sat);
+  int a = s.vocab.FindIndividual("a");
+  EXPECT_TRUE(completed.HasRoleAssertion(p, a, a));
+}
+
+TEST(CanonicalModelTest, Example11TreeShape) {
+  Scenario s;
+  BuildExample11(&s);
+  Saturation sat(s.tbox);
+  WordGraph graph(s.tbox, sat);
+  DataInstance data(&s.vocab);
+  // A[P](a): a has an anonymous P-successor.
+  int a_p = s.tbox.ExistsConcept(RoleOf(s.vocab.FindPredicate("P")));
+  int a = data.AddIndividual("a");
+  data.AddConceptAssertion(a_p, a);
+
+  CanonicalModel model(s.tbox, sat, graph, data, /*max_depth=*/3);
+  int ea = model.ElementOfIndividual(a);
+  ASSERT_GE(ea, 0);
+  // Depth 1: the paper's chase creates a witness for every *entailed*
+  // existential, so A[P](a) yields the nulls a.P, a.S (A[P] <= exists S) and
+  // a.R- (A[P] <= exists R-).
+  ASSERT_EQ(model.Children(ea).size(), 3u);
+  RoleId p = RoleOf(s.vocab.FindPredicate("P"));
+  RoleId r = RoleOf(s.vocab.FindPredicate("R"));
+  RoleId ss = RoleOf(s.vocab.FindPredicate("S"));
+  int null_ap = -1;
+  for (int child : model.Children(ea)) {
+    if (model.element(child).last_role == p) null_ap = child;
+  }
+  ASSERT_GE(null_ap, 0);
+  EXPECT_FALSE(model.IsIndividual(null_ap));
+  // P(a, aP), S(a, aP), R(aP, a).
+  EXPECT_TRUE(model.HasRole(p, ea, null_ap));
+  EXPECT_TRUE(model.HasRole(ss, ea, null_ap));
+  EXPECT_TRUE(model.HasRole(r, null_ap, ea));
+  EXPECT_FALSE(model.HasRole(r, ea, null_ap));
+  // Depth 1 ontology: the null has no children.
+  EXPECT_TRUE(model.Children(null_ap).empty());
+  // Concept membership at the null: A[P-] holds (it is a P-successor).
+  EXPECT_TRUE(model.HasConcept(null_ap,
+                               s.tbox.ExistsConcept(Inverse(p))));
+  EXPECT_FALSE(model.HasConcept(null_ap, a_p));
+  // RoleSuccessors from a via S: a.P (P <= S) and a.S.
+  auto s_succ = model.RoleSuccessors(ss, ea);
+  EXPECT_EQ(s_succ.size(), 2u);
+  EXPECT_TRUE(std::find(s_succ.begin(), s_succ.end(), null_ap) != s_succ.end());
+  // Via R-: a.P (P <= R-) and a.R-.
+  auto r_succ = model.RoleSuccessors(Inverse(r), ea);
+  EXPECT_EQ(r_succ.size(), 2u);
+  EXPECT_TRUE(std::find(r_succ.begin(), r_succ.end(), null_ap) != r_succ.end());
+}
+
+TEST(CanonicalModelTest, InfiniteDepthTruncated) {
+  Scenario s;
+  RoleId p = RoleOf(s.vocab.InternPredicate("P"));
+  s.tbox.AddExistsRhs("A", "P");
+  s.tbox.AddConceptInclusion(BasicConcept::Exists(Inverse(p)),
+                             BasicConcept::Exists(p));
+  s.tbox.Normalize();
+  Saturation sat(s.tbox);
+  WordGraph graph(s.tbox, sat);
+  EXPECT_EQ(graph.depth(), WordGraph::kInfiniteDepth);
+
+  DataInstance data(&s.vocab);
+  data.Assert("A", "a");
+  CanonicalModel model(s.tbox, sat, graph, data, /*max_depth=*/4);
+  // A chain a -> aP -> aPP -> ... of length 4.
+  int e = model.ElementOfIndividual(s.vocab.FindIndividual("a"));
+  for (int depth = 1; depth <= 4; ++depth) {
+    ASSERT_EQ(model.Children(e).size(), 1u) << "depth " << depth;
+    e = model.Children(e)[0];
+    EXPECT_EQ(model.element(e).depth, depth);
+  }
+  EXPECT_TRUE(model.Children(e).empty());
+}
+
+TEST(HomomorphismTest, LinearQueryOverData) {
+  Scenario s;
+  BuildExample11(&s);
+  Saturation sat(s.tbox);
+  WordGraph graph(s.tbox, sat);
+  DataInstance data(&s.vocab);
+  data.Assert("R", "a", "b");
+  data.Assert("S", "b", "c");
+  CanonicalModel model(s.tbox, sat, graph, data, 2);
+
+  ConjunctiveQuery q(&s.vocab);
+  q.AddBinary("R", "x", "y");
+  q.AddBinary("S", "y", "z");
+  q.MarkAnswerVariable(q.FindVariable("x"));
+  q.MarkAnswerVariable(q.FindVariable("z"));
+  HomomorphismSearch search(q, model);
+  auto answers = search.AllAnswers();
+  ASSERT_EQ(answers.size(), 1u);
+  EXPECT_EQ(answers[0][0], s.vocab.FindIndividual("a"));
+  EXPECT_EQ(answers[0][1], s.vocab.FindIndividual("c"));
+}
+
+TEST(HomomorphismTest, MatchIntoAnonymousPart) {
+  Scenario s;
+  BuildExample11(&s);
+  Saturation sat(s.tbox);
+  WordGraph graph(s.tbox, sat);
+  DataInstance data(&s.vocab);
+  data.Assert("P", "a", "b");  // Gives A[P](a): anonymous P-successor too.
+
+  CanonicalModel model(s.tbox, sat, graph, data, 3);
+  // q(x) = exists y, z: S(x, y) & R(y, x): satisfied with y -> a.P.
+  ConjunctiveQuery q(&s.vocab);
+  q.AddBinary("S", "x", "y");
+  q.AddBinary("R", "y", "x");
+  q.MarkAnswerVariable(q.FindVariable("x"));
+  HomomorphismSearch search(q, model);
+  auto answers = search.AllAnswers();
+  ASSERT_EQ(answers.size(), 1u);
+  EXPECT_EQ(answers[0][0], s.vocab.FindIndividual("a"));
+}
+
+TEST(CertainAnswersTest, BooleanQueryWithExistentials) {
+  Scenario s;
+  s.tbox.AddExistsRhs("Professor", "teaches");
+  s.tbox.AddExistsLhs("teaches", "Course", true);
+  s.tbox.Normalize();
+  DataInstance data(&s.vocab);
+  data.Assert("Professor", "ann");
+
+  // exists x, y: teaches(x, y) & Course(y).
+  ConjunctiveQuery q(&s.vocab);
+  q.AddBinary("teaches", "x", "y");
+  q.AddUnary("Course", "y");
+  auto result = ComputeCertainAnswers(s.tbox, q, data);
+  ASSERT_TRUE(result.consistent);
+  ASSERT_EQ(result.answers.size(), 1u);  // Boolean "yes".
+
+  // With an answer variable x, the certain answer is ann.
+  ConjunctiveQuery q2(&s.vocab);
+  q2.AddBinary("teaches", "x", "y");
+  q2.AddUnary("Course", "y");
+  q2.MarkAnswerVariable(q2.FindVariable("x"));
+  auto result2 = ComputeCertainAnswers(s.tbox, q2, data);
+  ASSERT_EQ(result2.answers.size(), 1u);
+  EXPECT_EQ(result2.answers[0][0], s.vocab.FindIndividual("ann"));
+  EXPECT_TRUE(IsCertainAnswer(s.tbox, q2, data,
+                              {s.vocab.FindIndividual("ann")}));
+
+  // But y has no certain binding (it is a labelled null).
+  ConjunctiveQuery q3(&s.vocab);
+  q3.AddBinary("teaches", "x", "y");
+  q3.MarkAnswerVariable(q3.FindVariable("y"));
+  auto result3 = ComputeCertainAnswers(s.tbox, q3, data);
+  EXPECT_TRUE(result3.answers.empty());
+}
+
+TEST(CertainAnswersTest, InfiniteDepthOntology) {
+  Scenario s;
+  RoleId p = RoleOf(s.vocab.InternPredicate("P"));
+  s.tbox.AddExistsRhs("A", "P");
+  s.tbox.AddConceptInclusion(BasicConcept::Exists(Inverse(p)),
+                             BasicConcept::Exists(p));
+  s.tbox.Normalize();
+  DataInstance data(&s.vocab);
+  data.Assert("A", "a");
+  // A P-chain of any fixed length is certain.
+  ConjunctiveQuery q(&s.vocab);
+  q.AddBinary("P", "x0", "x1");
+  q.AddBinary("P", "x1", "x2");
+  q.AddBinary("P", "x2", "x3");
+  q.AddBinary("P", "x3", "x4");
+  q.MarkAnswerVariable(q.FindVariable("x0"));
+  auto result = ComputeCertainAnswers(s.tbox, q, data);
+  ASSERT_EQ(result.answers.size(), 1u);
+  EXPECT_EQ(result.answers[0][0], s.vocab.FindIndividual("a"));
+}
+
+TEST(ConsistencyTest, DisjointnessViolations) {
+  Scenario s;
+  int male = s.vocab.InternConcept("Male");
+  int female = s.vocab.InternConcept("Female");
+  s.tbox.AddConceptDisjointness(BasicConcept::Atomic(male),
+                                BasicConcept::Atomic(female));
+  s.tbox.Normalize();
+  DataInstance ok(&s.vocab);
+  ok.Assert("Male", "a");
+  ok.Assert("Female", "b");
+  EXPECT_TRUE(IsConsistent(s.tbox, ok));
+
+  DataInstance bad(&s.vocab);
+  bad.Assert("Male", "a");
+  bad.Assert("Female", "a");
+  EXPECT_FALSE(IsConsistent(s.tbox, bad));
+}
+
+TEST(ConsistencyTest, DerivedClash) {
+  Scenario s;
+  // Dog <= Animal, disjoint(Animal, Plant); Dog+Plant clashes indirectly.
+  s.tbox.AddAtomicInclusion("Dog", "Animal");
+  s.tbox.AddConceptDisjointness(
+      BasicConcept::Atomic(s.vocab.InternConcept("Animal")),
+      BasicConcept::Atomic(s.vocab.InternConcept("Plant")));
+  s.tbox.Normalize();
+  DataInstance bad(&s.vocab);
+  bad.Assert("Dog", "x");
+  bad.Assert("Plant", "x");
+  EXPECT_FALSE(IsConsistent(s.tbox, bad));
+}
+
+TEST(ConsistencyTest, IrreflexivityAndRoleDisjointness) {
+  Scenario s;
+  int p = s.vocab.InternPredicate("P");
+  int q = s.vocab.InternPredicate("Q");
+  s.tbox.AddIrreflexivity(RoleOf(p));
+  s.tbox.AddRoleDisjointness(RoleOf(p), RoleOf(q));
+  s.tbox.Normalize();
+  DataInstance ok(&s.vocab);
+  ok.Assert("P", "a", "b");
+  ok.Assert("Q", "b", "a");
+  EXPECT_TRUE(IsConsistent(s.tbox, ok));
+
+  DataInstance loop(&s.vocab);
+  loop.Assert("P", "a", "a");
+  EXPECT_FALSE(IsConsistent(s.tbox, loop));
+
+  DataInstance overlap(&s.vocab);
+  overlap.Assert("P", "a", "b");
+  overlap.Assert("Q", "a", "b");
+  EXPECT_FALSE(IsConsistent(s.tbox, overlap));
+}
+
+}  // namespace
+}  // namespace owlqr
+
+namespace owlqr {
+namespace {
+
+TEST(CanonicalModelTest, RepresentativeNullsOnePerLetter) {
+  // Depth-3 chain: letters P1, P2, P3 at depths 1, 2, 3.
+  Vocabulary vocab;
+  TBox tbox(&vocab);
+  tbox.AddExistsRhs("A", "P1");
+  tbox.AddConceptInclusion(
+      BasicConcept::Exists(RoleOf(vocab.FindPredicate("P1"), true)),
+      BasicConcept::Exists(RoleOf(vocab.InternPredicate("P2"))));
+  tbox.AddConceptInclusion(
+      BasicConcept::Exists(RoleOf(vocab.FindPredicate("P2"), true)),
+      BasicConcept::Exists(RoleOf(vocab.InternPredicate("P3"))));
+  tbox.Normalize();
+  Saturation sat(tbox);
+  WordGraph graph(tbox, sat);
+  DataInstance data(&vocab);
+  data.Assert("A", "a");
+  data.Assert("A", "b");  // Two individuals; representatives stay one/letter.
+  CanonicalModel model(tbox, sat, graph, data, 10);
+  std::set<RoleId> letters;
+  int max_depth = 0;
+  for (int e : model.RepresentativeNulls()) {
+    EXPECT_TRUE(letters.insert(model.element(e).last_role).second)
+        << "duplicate letter representative";
+    max_depth = std::max(max_depth, model.element(e).depth);
+  }
+  EXPECT_EQ(letters.size(), 3u);  // P1, P2, P3 (inverses are not generated).
+  EXPECT_LE(max_depth, 3);        // Each at its shallowest occurrence.
+}
+
+}  // namespace
+}  // namespace owlqr

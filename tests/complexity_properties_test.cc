@@ -1,0 +1,85 @@
+// Quantitative checks of the paper's structural theorems on actual rewriter
+// output, across every prefix of the three sequences (ontology depth d = 1,
+// treewidth t = 1, leaves l = 2):
+//   Theorem 12: Lin is a linear NDL program of width <= 2l.
+//   Theorem 9 (via Lemma 5): Log has width <= 3(t+1) and skinny depth
+//     O(log |Q|) — i.e. the class is skinny-reducible.
+//   Theorem 13 (via Lemma 14): Tw has logarithmic depth and width ~ l + 1
+//     (our subquery interfaces may carry one extra variable).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/rewriters.h"
+#include "ndl/skinny.h"
+#include "workloads/paper_workloads.h"
+
+namespace owlqr {
+namespace {
+
+struct BoundsCase {
+  int sequence;
+  int length;
+};
+
+class StructuralBounds : public ::testing::TestWithParam<BoundsCase> {};
+
+TEST_P(StructuralBounds, TheoremBoundsHold) {
+  const BoundsCase& param = GetParam();
+  const char* words[3] = {kSequence1, kSequence2, kSequence3};
+  Vocabulary vocab;
+  auto tbox = MakeExample11TBox(&vocab);
+  RewritingContext ctx(*tbox);
+  std::string word(words[param.sequence], 0,
+                   static_cast<size_t>(param.length));
+  ConjunctiveQuery query = SequenceQuery(&vocab, word);
+  constexpr int kLeaves = 2;     // l.
+  constexpr int kTreewidth = 1;  // t.
+
+  // Theorem 12: linear NDL of width <= 2l, polynomially many clauses.
+  {
+    NdlProgram lin = RewriteOmq(&ctx, query, RewriterKind::kLin);
+    EXPECT_TRUE(lin.IsLinear());
+    EXPECT_LE(lin.Width(), 2 * kLeaves);
+    EXPECT_LE(lin.num_clauses(), 10 * param.length + 10);
+  }
+  // Theorem 9: width <= 3(t+1); skinny depth <= 6 log |Q| (we allow the
+  // constant the paper's Section 3.2 computes).
+  {
+    NdlProgram log_p = RewriteOmq(&ctx, query, RewriterKind::kLog);
+    EXPECT_LE(log_p.Width(), 3 * (kTreewidth + 1));
+    double omq_size =
+        static_cast<double>(tbox->NumAxioms() + 3 * param.length);
+    EXPECT_LE(SkinnyDepth(log_p), 6.0 * std::log2(omq_size) + 6.0);
+    // The skinny transform realises the bound.
+    NdlProgram skinny = SkinnyTransform(log_p);
+    EXPECT_TRUE(skinny.IsSkinny());
+    EXPECT_LE(skinny.Depth(), SkinnyDepth(log_p));
+  }
+  // Theorem 13: depth <= log |q| + O(1); width <= l + 2.
+  {
+    NdlProgram tw = RewriteOmq(&ctx, query, RewriterKind::kTw);
+    EXPECT_LE(tw.Depth(),
+              static_cast<int>(std::ceil(std::log2(param.length + 1))) + 2);
+    EXPECT_LE(tw.Width(), kLeaves + 2);
+  }
+}
+
+std::vector<BoundsCase> AllCases() {
+  std::vector<BoundsCase> cases;
+  for (int s = 0; s < 3; ++s) {
+    for (int l = 1; l <= 15; ++l) cases.push_back({s, l});
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPrefixes, StructuralBounds, ::testing::ValuesIn(AllCases()),
+    [](const ::testing::TestParamInfo<BoundsCase>& info) {
+      return "seq" + std::to_string(info.param.sequence + 1) + "_len" +
+             std::to_string(info.param.length);
+    });
+
+}  // namespace
+}  // namespace owlqr

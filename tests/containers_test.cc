@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include "data/data_instance.h"
+#include "data/table_store.h"
+#include "ndl/program.h"
+#include "ontology/tbox.h"
+
+namespace owlqr {
+namespace {
+
+TEST(VocabularyTest, SeparateSymbolSpaces) {
+  Vocabulary vocab;
+  int c = vocab.InternConcept("X");
+  int p = vocab.InternPredicate("X");
+  int i = vocab.InternIndividual("X");
+  EXPECT_EQ(c, 0);
+  EXPECT_EQ(p, 0);
+  EXPECT_EQ(i, 0);  // Same name, three independent id spaces.
+  EXPECT_EQ(vocab.RoleName(RoleOf(p)), "X");
+  EXPECT_EQ(vocab.RoleName(RoleOf(p, true)), "X-");
+  EXPECT_EQ(vocab.num_roles(), 2);
+}
+
+TEST(DataInstanceTest, DeduplicationAndIndividualTracking) {
+  Vocabulary vocab;
+  DataInstance data(&vocab);
+  data.Assert("A", "a");
+  data.Assert("A", "a");
+  data.Assert("R", "a", "b");
+  data.Assert("R", "a", "b");
+  EXPECT_EQ(data.NumAtoms(), 2);
+  EXPECT_EQ(data.num_individuals(), 2);
+  // Individuals can exist without atoms.
+  data.AddIndividual("lonely");
+  EXPECT_EQ(data.num_individuals(), 3);
+  EXPECT_EQ(data.NumAtoms(), 2);
+  // Sorted individual list.
+  for (size_t i = 1; i < data.individuals().size(); ++i) {
+    EXPECT_LT(data.individuals()[i - 1], data.individuals()[i]);
+  }
+}
+
+TEST(DataInstanceTest, RoleDirectionHelpers) {
+  Vocabulary vocab;
+  DataInstance data(&vocab);
+  int p = vocab.InternPredicate("P");
+  int a = vocab.InternIndividual("a");
+  int b = vocab.InternIndividual("b");
+  data.AddRoleAssertionForRole(RoleOf(p, /*inverse=*/true), a, b);
+  // P^-(a, b) means P(b, a).
+  EXPECT_TRUE(data.HasRoleAssertion(p, b, a));
+  EXPECT_TRUE(data.HasRoleAssertionForRole(RoleOf(p, true), a, b));
+  EXPECT_FALSE(data.HasRoleAssertion(p, a, b));
+}
+
+TEST(TableStoreTest, TablesAndActiveDomain) {
+  Vocabulary vocab;
+  TableStore tables(&vocab);
+  int t = tables.AddTable("emp", 3);
+  EXPECT_EQ(tables.AddTable("emp", 3), t);  // Idempotent.
+  tables.AddRow("emp", {"a", "b", "c"});
+  tables.AddRow("emp", {"a", "b", "d"});
+  EXPECT_EQ(tables.NumRows(), 2);
+  EXPECT_EQ(tables.TableArity(t), 3);
+  EXPECT_EQ(tables.ActiveDomain().size(), 4u);
+  EXPECT_EQ(tables.FindTable("missing"), -1);
+}
+
+TEST(NdlProgramTest, SizeInSymbolsAndToString) {
+  Vocabulary vocab;
+  NdlProgram program(&vocab);
+  int r = program.AddRolePredicate(vocab.InternPredicate("R"));
+  int g = program.AddIdbPredicate("G", 1);
+  NdlClause c;
+  c.head = {g, {Term::Var(0)}};
+  c.body.push_back({r, {Term::Var(0), Term::Var(1)}});
+  program.AddClause(std::move(c));
+  program.SetGoal(g);
+  // Head 1+1 symbols, body atom 1+2.
+  EXPECT_EQ(program.SizeInSymbols(), 5);
+  std::string text = program.ToString();
+  EXPECT_NE(text.find("goal: G"), std::string::npos);
+  EXPECT_NE(text.find("G(v0) <- R(v0, v1)"), std::string::npos);
+}
+
+TEST(TBoxTest, ConvenienceBuilders) {
+  Vocabulary vocab;
+  TBox tbox(&vocab);
+  tbox.AddExistsRhs("A", "P", /*inverse=*/true);
+  tbox.AddExistsLhs("P", "B");
+  ASSERT_EQ(tbox.concept_inclusions().size(), 2u);
+  EXPECT_EQ(tbox.concept_inclusions()[0].rhs.kind,
+            BasicConcept::Kind::kExists);
+  EXPECT_TRUE(IsInverse(tbox.concept_inclusions()[0].rhs.id));
+  EXPECT_EQ(tbox.concept_inclusions()[1].lhs.kind,
+            BasicConcept::Kind::kExists);
+  EXPECT_FALSE(IsInverse(tbox.concept_inclusions()[1].lhs.id));
+  EXPECT_TRUE(tbox.MentionsRole(RoleOf(vocab.FindPredicate("P"))));
+  EXPECT_FALSE(tbox.MentionsRole(RoleOf(vocab.InternPredicate("Q"))));
+}
+
+}  // namespace
+}  // namespace owlqr

@@ -1,0 +1,233 @@
+#include <gtest/gtest.h>
+
+#include "cq/cq.h"
+#include "cq/gaifman.h"
+#include "cq/splitting.h"
+#include "cq/tree_decomposition.h"
+
+namespace owlqr {
+namespace {
+
+// The linear CQ of Example 8: q(x0, x7) with atom word R S R R S R R.
+ConjunctiveQuery Example8(Vocabulary* vocab) {
+  ConjunctiveQuery q(vocab);
+  const char* word = "RSRRSRR";
+  for (int i = 0; i < 7; ++i) {
+    std::string u = "x" + std::to_string(i);
+    std::string v = "x" + std::to_string(i + 1);
+    q.AddBinary(std::string(1, word[i]), u, v);
+  }
+  q.MarkAnswerVariable(q.FindVariable("x0"));
+  q.MarkAnswerVariable(q.FindVariable("x7"));
+  return q;
+}
+
+TEST(CqTest, BasicConstruction) {
+  Vocabulary vocab;
+  ConjunctiveQuery q = Example8(&vocab);
+  EXPECT_EQ(q.num_vars(), 8);
+  EXPECT_EQ(q.atoms().size(), 7u);
+  EXPECT_EQ(q.answer_vars().size(), 2u);
+  EXPECT_TRUE(q.IsAnswerVar(q.FindVariable("x0")));
+  EXPECT_FALSE(q.IsAnswerVar(q.FindVariable("x3")));
+  EXPECT_FALSE(q.IsBoolean());
+  EXPECT_EQ(q.AtomsOn(q.FindVariable("x3")).size(), 2u);
+}
+
+TEST(GaifmanTest, LinearQueryIsTreeWithTwoLeaves) {
+  Vocabulary vocab;
+  ConjunctiveQuery q = Example8(&vocab);
+  GaifmanGraph g(q);
+  EXPECT_TRUE(g.IsConnected());
+  EXPECT_TRUE(g.IsTree());
+  EXPECT_TRUE(g.IsLinear());
+  EXPECT_EQ(g.NumLeaves(), 2);
+  EXPECT_EQ(g.num_edges(), 7);
+}
+
+TEST(GaifmanTest, StarQueryLeaves) {
+  Vocabulary vocab;
+  ConjunctiveQuery q(&vocab);
+  q.AddBinary("P", "c", "l1");
+  q.AddBinary("P", "c", "l2");
+  q.AddBinary("P", "c", "l3");
+  GaifmanGraph g(q);
+  EXPECT_TRUE(g.IsTree());
+  EXPECT_EQ(g.NumLeaves(), 3);
+  EXPECT_FALSE(g.IsLinear());
+}
+
+TEST(GaifmanTest, SelfLoopIsNotAnEdge) {
+  Vocabulary vocab;
+  ConjunctiveQuery q(&vocab);
+  q.AddBinary("P", "x", "x");
+  q.AddBinary("R", "x", "y");
+  GaifmanGraph g(q);
+  EXPECT_TRUE(g.IsTree());
+  EXPECT_EQ(g.num_edges(), 1);
+}
+
+TEST(GaifmanTest, CycleIsNotATree) {
+  Vocabulary vocab;
+  ConjunctiveQuery q(&vocab);
+  q.AddBinary("P", "x", "y");
+  q.AddBinary("P", "y", "z");
+  q.AddBinary("P", "z", "x");
+  GaifmanGraph g(q);
+  EXPECT_TRUE(g.IsConnected());
+  EXPECT_FALSE(g.IsTree());
+}
+
+TEST(GaifmanTest, ComponentsOfDisconnectedQuery) {
+  Vocabulary vocab;
+  ConjunctiveQuery q(&vocab);
+  q.AddBinary("P", "a", "b");
+  q.AddBinary("P", "c", "d");
+  q.AddUnary("A", "e");
+  GaifmanGraph g(q);
+  EXPECT_FALSE(g.IsConnected());
+  EXPECT_EQ(g.Components().size(), 3u);
+}
+
+TEST(GaifmanTest, BfsLayersOfChain) {
+  Vocabulary vocab;
+  ConjunctiveQuery q = Example8(&vocab);
+  GaifmanGraph g(q);
+  auto layers = g.BfsLayers(q.FindVariable("x0"));
+  ASSERT_EQ(layers.size(), 8u);
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_EQ(layers[i].size(), 1u);
+    EXPECT_EQ(layers[i][0], q.FindVariable("x" + std::to_string(i)));
+  }
+}
+
+TEST(TreeDecompositionTest, TreeQueryDecomposition) {
+  Vocabulary vocab;
+  ConjunctiveQuery q = Example8(&vocab);
+  GaifmanGraph g(q);
+  TreeDecomposition td = DecomposeTreeQuery(q, g);
+  EXPECT_EQ(td.num_nodes(), 7);
+  EXPECT_EQ(td.width(), 1);
+  EXPECT_TRUE(td.Validate(q));
+}
+
+TEST(TreeDecompositionTest, StarQueryDecomposition) {
+  Vocabulary vocab;
+  ConjunctiveQuery q(&vocab);
+  for (int i = 0; i < 5; ++i) {
+    q.AddBinary("P", "c", "l" + std::to_string(i));
+  }
+  GaifmanGraph g(q);
+  TreeDecomposition td = DecomposeTreeQuery(q, g);
+  EXPECT_EQ(td.width(), 1);
+  EXPECT_TRUE(td.Validate(q));
+}
+
+TEST(TreeDecompositionTest, MinFillOnCycle) {
+  Vocabulary vocab;
+  ConjunctiveQuery q(&vocab);
+  q.AddBinary("P", "x", "y");
+  q.AddBinary("P", "y", "z");
+  q.AddBinary("P", "z", "w");
+  q.AddBinary("P", "w", "x");
+  TreeDecomposition td = MinFillDecomposition(q);
+  EXPECT_TRUE(td.Validate(q));
+  EXPECT_EQ(td.width(), 2);  // Treewidth of a 4-cycle.
+}
+
+TEST(TreeDecompositionTest, ExactTreewidthValues) {
+  Vocabulary vocab;
+  {
+    ConjunctiveQuery chain(&vocab);
+    chain.AddBinary("P", "a", "b");
+    chain.AddBinary("P", "b", "c");
+    EXPECT_EQ(ExactTreewidth(chain), 1);
+  }
+  {
+    ConjunctiveQuery cycle(&vocab);
+    cycle.AddBinary("P", "x", "y");
+    cycle.AddBinary("P", "y", "z");
+    cycle.AddBinary("P", "z", "x");
+    EXPECT_EQ(ExactTreewidth(cycle), 2);
+  }
+  {
+    // K4 has treewidth 3.
+    ConjunctiveQuery k4(&vocab);
+    const char* names[] = {"a", "b", "c", "d"};
+    for (int i = 0; i < 4; ++i) {
+      for (int j = i + 1; j < 4; ++j) {
+        k4.AddBinary("P", names[i], names[j]);
+      }
+    }
+    EXPECT_EQ(ExactTreewidth(k4), 3);
+    EXPECT_FALSE(ExactDecomposition(k4, 2).has_value());
+    auto td = ExactDecomposition(k4, 3);
+    ASSERT_TRUE(td.has_value());
+    EXPECT_TRUE(td->Validate(k4));
+  }
+}
+
+TEST(SplittingTest, CentroidOfChain) {
+  SimpleTree tree;
+  tree.Resize(7);
+  for (int i = 0; i < 6; ++i) tree.AddEdge(i, i + 1);
+  int c = TreeCentroid(tree);
+  EXPECT_EQ(c, 3);
+}
+
+TEST(SplittingTest, SubsetComponents) {
+  SimpleTree tree;
+  tree.Resize(7);
+  for (int i = 0; i < 6; ++i) tree.AddEdge(i, i + 1);
+  std::vector<int> subset = {1, 2, 3, 4, 5};
+  auto comps = SubsetComponents(tree, subset, 3);
+  ASSERT_EQ(comps.size(), 2u);
+  EXPECT_EQ(comps[0], (std::vector<int>{1, 2}));
+  EXPECT_EQ(comps[1], (std::vector<int>{4, 5}));
+}
+
+TEST(SplittingTest, BoundaryNodes) {
+  SimpleTree tree;
+  tree.Resize(7);
+  for (int i = 0; i < 6; ++i) tree.AddEdge(i, i + 1);
+  std::vector<int> comp = {2, 3, 4};
+  auto boundary = BoundaryNodes(tree, comp);
+  EXPECT_EQ(boundary, (std::vector<int>{2, 4}));
+}
+
+TEST(SplittingTest, Lemma10OnChainWholeTree) {
+  SimpleTree tree;
+  tree.Resize(8);
+  for (int i = 0; i < 7; ++i) tree.AddEdge(i, i + 1);
+  std::vector<int> d = {0, 1, 2, 3, 4, 5, 6, 7};
+  int t = FindLemma10Splitter(tree, d);
+  auto comps = SubsetComponents(tree, d, t);
+  for (const auto& comp : comps) {
+    EXPECT_LE(2 * comp.size(), d.size());
+    EXPECT_LE(BoundaryNodes(tree, comp).size(), 2u);
+  }
+}
+
+TEST(SplittingTest, Lemma10RespectsDegreeTwoSubtrees) {
+  // A "caterpillar": a path with a big pendant subtree in the middle.
+  SimpleTree tree;
+  tree.Resize(10);
+  for (int i = 0; i < 5; ++i) tree.AddEdge(i, i + 1);  // Path 0..5.
+  tree.AddEdge(2, 6);
+  tree.AddEdge(6, 7);
+  tree.AddEdge(7, 8);
+  tree.AddEdge(8, 9);
+  // D = the path 0..5; its boundary towards the pendant is node 2.
+  std::vector<int> d = {0, 1, 2, 3, 4, 5};
+  int t = FindLemma10Splitter(tree, d);
+  auto comps = SubsetComponents(tree, d, t);
+  int oversize = 0;
+  for (const auto& comp : comps) {
+    EXPECT_LE(BoundaryNodes(tree, comp).size(), 2u);
+    if (2 * comp.size() > d.size()) ++oversize;
+  }
+  EXPECT_LE(oversize, 1);
+}
+
+}  // namespace
+}  // namespace owlqr

@@ -1,0 +1,61 @@
+#include <gtest/gtest.h>
+
+#include "chase/canonical_model.h"
+#include "core/rewriters.h"
+#include "util/dot.h"
+#include "workloads/paper_workloads.h"
+
+namespace owlqr {
+namespace {
+
+TEST(DotTest, DependenceGraph) {
+  Vocabulary vocab;
+  auto tbox = MakeExample11TBox(&vocab);
+  RewritingContext ctx(*tbox);
+  ConjunctiveQuery q = SequenceQuery(&vocab, "RSR");
+  NdlProgram program = RewriteOmq(&ctx, q, RewriterKind::kTw);
+  std::string dot = DependenceGraphToDot(program);
+  EXPECT_NE(dot.find("digraph dependence"), std::string::npos);
+  EXPECT_NE(dot.find("->"), std::string::npos);
+  // EDB boxes only when requested.
+  EXPECT_EQ(dot.find("shape=box"), std::string::npos);
+  std::string with_edb = DependenceGraphToDot(program, /*include_edb=*/true);
+  EXPECT_NE(with_edb.find("shape=box"), std::string::npos);
+  EXPECT_GT(with_edb.size(), dot.size());
+}
+
+TEST(DotTest, CanonicalModel) {
+  Vocabulary vocab;
+  auto tbox = MakeExample11TBox(&vocab);
+  Saturation sat(*tbox);
+  WordGraph graph(*tbox, sat);
+  DataInstance data(&vocab);
+  int a_p = tbox->ExistsConcept(RoleOf(vocab.FindPredicate("P")));
+  data.AddConceptAssertion(a_p, data.AddIndividual("a"));
+  CanonicalModel model(*tbox, sat, graph, data, 3);
+  std::string dot = CanonicalModelToDot(model, vocab);
+  EXPECT_NE(dot.find("\"a\""), std::string::npos);
+  EXPECT_NE(dot.find("style=dashed"), std::string::npos);  // A null.
+  EXPECT_NE(dot.find("label=\"P\""), std::string::npos);   // A tree edge.
+}
+
+TEST(DotTest, ElementCapRespected) {
+  // An infinite-depth ontology: the export must stop at the cap.
+  Vocabulary vocab;
+  TBox tbox(&vocab);
+  RoleId p = RoleOf(vocab.InternPredicate("P"));
+  tbox.AddExistsRhs("A", "P");
+  tbox.AddConceptInclusion(BasicConcept::Exists(Inverse(p)),
+                           BasicConcept::Exists(p));
+  tbox.Normalize();
+  Saturation sat(tbox);
+  WordGraph graph(tbox, sat);
+  DataInstance data(&vocab);
+  data.Assert("A", "a");
+  CanonicalModel model(tbox, sat, graph, data, 1000);
+  std::string dot = CanonicalModelToDot(model, vocab, /*max_elements=*/10);
+  EXPECT_LE(model.num_elements(), 30);  // Laziness kept it small.
+}
+
+}  // namespace
+}  // namespace owlqr

@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include "data/data_instance.h"
+#include "ndl/evaluator.h"
+#include "ndl/program.h"
+
+namespace owlqr {
+namespace {
+
+// G(x, y) <- R(x, u) & R(u, y): quadratically many results on a dense R.
+NdlProgram JoinProgram(Vocabulary* vocab) {
+  NdlProgram program(vocab);
+  int r = program.AddRolePredicate(vocab->InternPredicate("R"));
+  int g = program.AddIdbPredicate("G", 2);
+  NdlClause c;
+  c.head = {g, {Term::Var(0), Term::Var(1)}};
+  c.body.push_back({r, {Term::Var(0), Term::Var(2)}});
+  c.body.push_back({r, {Term::Var(2), Term::Var(1)}});
+  program.AddClause(std::move(c));
+  program.SetGoal(g);
+  return program;
+}
+
+DataInstance DenseGraph(Vocabulary* vocab, int n) {
+  DataInstance data(vocab);
+  int r = vocab->InternPredicate("R");
+  std::vector<int> inds;
+  for (int i = 0; i < n; ++i) {
+    inds.push_back(data.AddIndividual("v" + std::to_string(i)));
+  }
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      if (i != j) data.AddRoleAssertion(r, inds[i], inds[j]);
+    }
+  }
+  return data;
+}
+
+TEST(EvaluatorLimitsTest, BudgetAborts) {
+  Vocabulary vocab;
+  NdlProgram program = JoinProgram(&vocab);
+  DataInstance data = DenseGraph(&vocab, 30);  // 900 result tuples.
+  EvaluatorLimits limits;
+  limits.max_generated_tuples = 100;
+  Evaluator eval(program, data, limits);
+  EvaluationStats stats;
+  auto answers = eval.Evaluate(&stats);
+  EXPECT_TRUE(stats.aborted);
+  EXPECT_LE(stats.generated_tuples, 102);
+  EXPECT_LT(answers.size(), 900u);
+}
+
+TEST(EvaluatorLimitsTest, NoBudgetCompletes) {
+  Vocabulary vocab;
+  NdlProgram program = JoinProgram(&vocab);
+  DataInstance data = DenseGraph(&vocab, 20);
+  Evaluator eval(program, data);
+  EvaluationStats stats;
+  auto answers = eval.Evaluate(&stats);
+  EXPECT_FALSE(stats.aborted);
+  EXPECT_EQ(answers.size(), 400u);  // All pairs incl. (v, v) via a middle.
+}
+
+TEST(EvaluatorLimitsTest, BudgetLargerThanResultIsHarmless) {
+  Vocabulary vocab;
+  NdlProgram program = JoinProgram(&vocab);
+  DataInstance data = DenseGraph(&vocab, 10);
+  EvaluatorLimits limits;
+  limits.max_generated_tuples = 1'000'000;
+  Evaluator eval(program, data, limits);
+  EvaluationStats stats;
+  auto answers = eval.Evaluate(&stats);
+  EXPECT_FALSE(stats.aborted);
+  EXPECT_EQ(answers.size(), 100u);
+}
+
+}  // namespace
+}  // namespace owlqr

@@ -1,0 +1,45 @@
+// Pins the exact clause counts of all six rewritings on the Figure 2 /
+// Table 1 workload (sequence 1).  These are the headline numbers of
+// EXPERIMENTS.md; any change to a rewriter that silently alters its output
+// shape shows up here first.
+
+#include <gtest/gtest.h>
+
+#include "core/rewriters.h"
+#include "workloads/paper_workloads.h"
+
+namespace owlqr {
+namespace {
+
+TEST(Fig2RegressionTest, Sequence1ClauseCounts) {
+  // Rows: prefix lengths 1..15; columns: UCQ, PrestoLike, Lin, Log, Tw, Tw*.
+  const int kExpected[15][6] = {
+      {1, 1, 3, 1, 1, 1},          {1, 1, 4, 2, 3, 1},
+      {2, 6, 7, 5, 6, 3},          {3, 12, 10, 8, 9, 4},
+      {5, 25, 13, 12, 12, 6},      {8, 48, 16, 17, 16, 8},
+      {13, 91, 19, 20, 21, 13},    {21, 168, 22, 23, 26, 18},
+      {21, 189, 23, 27, 30, 22},   {42, 420, 26, 32, 33, 22},
+      {63, 693, 29, 35, 34, 22},   {63, 756, 30, 37, 42, 31},
+      {126, 1638, 33, 47, 49, 34}, {126, 1764, 34, 47, 53, 40},
+      {252, 3780, 37, 46, 51, 36},
+  };
+  const RewriterKind kKinds[6] = {
+      RewriterKind::kUcq, RewriterKind::kPrestoLike, RewriterKind::kLin,
+      RewriterKind::kLog, RewriterKind::kTw,          RewriterKind::kTwStar};
+
+  Vocabulary vocab;
+  auto tbox = MakeExample11TBox(&vocab);
+  RewritingContext ctx(*tbox);
+  for (int length = 1; length <= 15; ++length) {
+    ConjunctiveQuery query =
+        SequenceQuery(&vocab, std::string(kSequence1, length));
+    for (int k = 0; k < 6; ++k) {
+      NdlProgram program = RewriteOmq(&ctx, query, kKinds[k]);
+      EXPECT_EQ(program.num_clauses(), kExpected[length - 1][k])
+          << "len " << length << " " << RewriterName(kKinds[k]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace owlqr

@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include "core/omq.h"
+#include "workloads/paper_workloads.h"
+
+namespace owlqr {
+namespace {
+
+TEST(OmqProfileTest, Example8IsInAllThreeClasses) {
+  Vocabulary vocab;
+  auto tbox = MakeExample11TBox(&vocab);
+  RewritingContext ctx(*tbox);
+  ConjunctiveQuery q = SequenceQuery(&vocab, "RSRRSRR");
+  OmqProfile profile = ProfileOmq(ctx, q);
+  EXPECT_EQ(profile.ontology_depth, 1);
+  EXPECT_TRUE(profile.tree_shaped);
+  EXPECT_EQ(profile.num_leaves, 2);
+  EXPECT_EQ(profile.treewidth, 1);
+  EXPECT_TRUE(profile.InOmqDT());
+  EXPECT_TRUE(profile.InOmqDL());
+  EXPECT_TRUE(profile.InOmqL());
+  EXPECT_EQ(profile.Complexity(), ComplexityClass::kNl);
+  EXPECT_EQ(profile.RecommendedRewriter(), RewriterKind::kLin);
+  EXPECT_NE(profile.ToString().find("NL"), std::string::npos);
+}
+
+TEST(OmqProfileTest, InfiniteDepthTreeQuery) {
+  Vocabulary vocab;
+  TBox tbox(&vocab);
+  RoleId p = RoleOf(vocab.InternPredicate("P"));
+  tbox.AddExistsRhs("A", "P");
+  tbox.AddConceptInclusion(BasicConcept::Exists(Inverse(p)),
+                           BasicConcept::Exists(p));
+  tbox.Normalize();
+  RewritingContext ctx(tbox);
+  ConjunctiveQuery q(&vocab);
+  q.AddBinary("P", "x", "y");
+  q.AddBinary("P", "y", "z");
+  OmqProfile profile = ProfileOmq(ctx, q);
+  EXPECT_FALSE(profile.finite_depth());
+  EXPECT_TRUE(profile.InOmqL());
+  EXPECT_FALSE(profile.InOmqDL());
+  EXPECT_EQ(profile.Complexity(), ComplexityClass::kLogCfl);
+  EXPECT_EQ(profile.RecommendedRewriter(), RewriterKind::kTw);
+}
+
+TEST(OmqProfileTest, CyclicQueryFiniteDepth) {
+  Vocabulary vocab;
+  auto tbox = MakeExample11TBox(&vocab);
+  RewritingContext ctx(*tbox);
+  ConjunctiveQuery q(&vocab);
+  q.AddBinary("R", "x", "y");
+  q.AddBinary("R", "y", "z");
+  q.AddBinary("R", "z", "x");
+  OmqProfile profile = ProfileOmq(ctx, q);
+  EXPECT_FALSE(profile.tree_shaped);
+  EXPECT_EQ(profile.treewidth, 2);
+  EXPECT_TRUE(profile.treewidth_exact);
+  EXPECT_EQ(profile.Complexity(), ComplexityClass::kLogCfl);
+  EXPECT_EQ(profile.RecommendedRewriter(), RewriterKind::kLog);
+}
+
+TEST(OmqProfileTest, WorstCaseIsNp) {
+  Vocabulary vocab;
+  TBox tbox(&vocab);
+  RoleId p = RoleOf(vocab.InternPredicate("P"));
+  tbox.AddConceptInclusion(BasicConcept::Exists(Inverse(p)),
+                           BasicConcept::Exists(p));
+  tbox.Normalize();
+  RewritingContext ctx(tbox);
+  ConjunctiveQuery q(&vocab);
+  q.AddBinary("P", "x", "y");
+  q.AddBinary("P", "y", "z");
+  q.AddBinary("P", "z", "x");
+  OmqProfile profile = ProfileOmq(ctx, q);
+  EXPECT_EQ(profile.Complexity(), ComplexityClass::kNp);
+  EXPECT_EQ(profile.RecommendedRewriter(), RewriterKind::kUcq);
+}
+
+}  // namespace
+}  // namespace owlqr

@@ -1,0 +1,234 @@
+#include <gtest/gtest.h>
+
+#include "ontology/role.h"
+#include "ontology/saturation.h"
+#include "ontology/tbox.h"
+#include "ontology/vocabulary.h"
+#include "ontology/word_graph.h"
+
+namespace owlqr {
+namespace {
+
+// The ontology of Example 11:
+//   P(x,y) -> S(x,y),   P(x,y) -> R(y,x),
+// plus normalization (A_rho <-> exists rho for every role).
+TBox Example11(Vocabulary* vocab) {
+  TBox tbox(vocab);
+  int p = vocab->InternPredicate("P");
+  int r = vocab->InternPredicate("R");
+  int s = vocab->InternPredicate("S");
+  tbox.AddRoleInclusion(RoleOf(p), RoleOf(s));
+  tbox.AddRoleInclusion(RoleOf(p), RoleOf(r, /*inverse=*/true));
+  tbox.Normalize();
+  return tbox;
+}
+
+TEST(RoleTest, InverseIsInvolutive) {
+  RoleId p = RoleOf(3);
+  EXPECT_EQ(Inverse(Inverse(p)), p);
+  EXPECT_TRUE(IsInverse(Inverse(p)));
+  EXPECT_FALSE(IsInverse(p));
+  EXPECT_EQ(PredicateOf(Inverse(p)), 3);
+}
+
+TEST(TBoxTest, NormalizeCreatesExistsConcepts) {
+  Vocabulary vocab;
+  TBox tbox = Example11(&vocab);
+  int p = vocab.FindPredicate("P");
+  ASSERT_GE(p, 0);
+  EXPECT_GE(tbox.ExistsConcept(RoleOf(p)), 0);
+  EXPECT_GE(tbox.ExistsConcept(RoleOf(p, true)), 0);
+  EXPECT_NE(tbox.ExistsConcept(RoleOf(p)), tbox.ExistsConcept(RoleOf(p, true)));
+  // Round trip.
+  int a_p = tbox.ExistsConcept(RoleOf(p));
+  EXPECT_EQ(tbox.RoleOfExistsConcept(a_p), RoleOf(p));
+}
+
+TEST(TBoxTest, NormalizeIsIdempotent) {
+  Vocabulary vocab;
+  TBox tbox = Example11(&vocab);
+  int axioms = tbox.NumAxioms();
+  tbox.Normalize();
+  EXPECT_EQ(tbox.NumAxioms(), axioms);
+}
+
+TEST(TBoxTest, RolesClosedUnderInverse) {
+  Vocabulary vocab;
+  TBox tbox = Example11(&vocab);
+  EXPECT_EQ(tbox.roles().size(), 6u);  // P, P-, R, R-, S, S-.
+}
+
+TEST(SaturationTest, RoleInclusionClosure) {
+  Vocabulary vocab;
+  TBox tbox = Example11(&vocab);
+  Saturation sat(tbox);
+  RoleId p = RoleOf(vocab.FindPredicate("P"));
+  RoleId r = RoleOf(vocab.FindPredicate("R"));
+  RoleId s = RoleOf(vocab.FindPredicate("S"));
+  EXPECT_TRUE(sat.SubRole(p, s));
+  EXPECT_TRUE(sat.SubRole(p, Inverse(r)));
+  EXPECT_TRUE(sat.SubRole(Inverse(p), Inverse(s)));
+  EXPECT_TRUE(sat.SubRole(Inverse(p), r));
+  EXPECT_FALSE(sat.SubRole(s, p));
+  EXPECT_FALSE(sat.SubRole(r, s));
+  // T |= P(x,y) -> R(y,x).
+  EXPECT_TRUE(sat.RoleToInverse(p, r));
+  EXPECT_FALSE(sat.RoleToInverse(p, s));
+}
+
+TEST(SaturationTest, TransitiveRoleInclusions) {
+  Vocabulary vocab;
+  TBox tbox(&vocab);
+  int p = vocab.InternPredicate("P");
+  int q = vocab.InternPredicate("Q");
+  int r = vocab.InternPredicate("R");
+  tbox.AddRoleInclusion(RoleOf(p), RoleOf(q, true));
+  tbox.AddRoleInclusion(RoleOf(q), RoleOf(r));
+  tbox.Normalize();
+  Saturation sat(tbox);
+  // P <= Q^- and Q <= R give Q^- <= R^- and so P <= R^-.
+  EXPECT_TRUE(sat.SubRole(RoleOf(p), RoleOf(r, true)));
+  EXPECT_FALSE(sat.SubRole(RoleOf(p), RoleOf(r)));
+}
+
+TEST(SaturationTest, ConceptClosureThroughExists) {
+  Vocabulary vocab;
+  TBox tbox(&vocab);
+  // A <= exists P, exists P^- <= B, P <= S.
+  tbox.AddExistsRhs("A", "P");
+  tbox.AddExistsLhs("P", "B", /*inverse=*/true);
+  tbox.AddRoleInclusion(RoleOf(vocab.InternPredicate("P")),
+                        RoleOf(vocab.InternPredicate("S")));
+  tbox.Normalize();
+  Saturation sat(tbox);
+  int a = vocab.FindConcept("A");
+  int b = vocab.FindConcept("B");
+  RoleId p = RoleOf(vocab.FindPredicate("P"));
+  RoleId s = RoleOf(vocab.FindPredicate("S"));
+  // A <= exists P <= exists S.
+  EXPECT_TRUE(sat.SubConcept(BasicConcept::Atomic(a), BasicConcept::Exists(p)));
+  EXPECT_TRUE(sat.SubConcept(BasicConcept::Atomic(a), BasicConcept::Exists(s)));
+  EXPECT_TRUE(sat.InverseExistsImpliesConcept(p, b));
+  EXPECT_FALSE(sat.InverseExistsImpliesConcept(s, b));
+  EXPECT_FALSE(sat.SubConcept(BasicConcept::Atomic(b), BasicConcept::Atomic(a)));
+  // Everything entails TOP.
+  EXPECT_TRUE(sat.SubConcept(BasicConcept::Atomic(a), BasicConcept::Top()));
+}
+
+TEST(SaturationTest, ReflexivityClosure) {
+  Vocabulary vocab;
+  TBox tbox(&vocab);
+  int p = vocab.InternPredicate("P");
+  int q = vocab.InternPredicate("Q");
+  tbox.AddReflexivity(RoleOf(p));
+  tbox.AddRoleInclusion(RoleOf(p), RoleOf(q));
+  tbox.Normalize();
+  Saturation sat(tbox);
+  EXPECT_TRUE(sat.Reflexive(RoleOf(p)));
+  EXPECT_TRUE(sat.Reflexive(RoleOf(p, true)));
+  EXPECT_TRUE(sat.Reflexive(RoleOf(q)));
+  // TOP <= exists Q for a reflexive Q.
+  EXPECT_TRUE(sat.SubConcept(BasicConcept::Top(),
+                             BasicConcept::Exists(RoleOf(q))));
+}
+
+TEST(WordGraphTest, Example11HasDepthOne) {
+  Vocabulary vocab;
+  TBox tbox = Example11(&vocab);
+  Saturation sat(tbox);
+  WordGraph graph(tbox, sat);
+  EXPECT_EQ(graph.depth(), 1);
+  EXPECT_EQ(graph.nodes().size(), 6u);
+}
+
+TEST(WordGraphTest, DepthZeroOntology) {
+  Vocabulary vocab;
+  TBox tbox(&vocab);
+  tbox.AddAtomicInclusion("A", "B");
+  tbox.Normalize();
+  Saturation sat(tbox);
+  WordGraph graph(tbox, sat);
+  EXPECT_EQ(graph.depth(), 0);
+  EXPECT_TRUE(graph.nodes().empty());
+}
+
+TEST(WordGraphTest, ChainOntologyDepth) {
+  Vocabulary vocab;
+  TBox tbox(&vocab);
+  // A <= exists P1, exists P1^- <= exists P2, exists P2^- <= exists P3.
+  tbox.AddExistsRhs("A", "P1");
+  tbox.AddConceptInclusion(
+      BasicConcept::Exists(RoleOf(vocab.InternPredicate("P1"), true)),
+      BasicConcept::Exists(RoleOf(vocab.InternPredicate("P2"))));
+  tbox.AddConceptInclusion(
+      BasicConcept::Exists(RoleOf(vocab.InternPredicate("P2"), true)),
+      BasicConcept::Exists(RoleOf(vocab.InternPredicate("P3"))));
+  tbox.Normalize();
+  Saturation sat(tbox);
+  WordGraph graph(tbox, sat);
+  EXPECT_EQ(graph.depth(), 3);  // P1.P2.P3.
+}
+
+TEST(WordGraphTest, InfiniteDepthDetected) {
+  Vocabulary vocab;
+  TBox tbox(&vocab);
+  // exists P^- <= exists P: infinite chain.
+  RoleId p = RoleOf(vocab.InternPredicate("P"));
+  tbox.AddConceptInclusion(BasicConcept::Exists(Inverse(p)),
+                           BasicConcept::Exists(p));
+  tbox.Normalize();
+  Saturation sat(tbox);
+  WordGraph graph(tbox, sat);
+  EXPECT_EQ(graph.depth(), WordGraph::kInfiniteDepth);
+}
+
+TEST(WordGraphTest, InverseEntailmentSuppressesEdge) {
+  Vocabulary vocab;
+  TBox tbox(&vocab);
+  // exists P^- <= exists P^-: trivially true, but the W_T condition
+  // T |/= P(x,y) -> P^-(y,x) fails only if P <= P; edge P -> P^- requires
+  // not (P <= (P^-)^-) = not (P <= P), which is false, so no edge.
+  RoleId p = RoleOf(vocab.InternPredicate("P"));
+  tbox.AddConceptInclusion(BasicConcept::Exists(p), BasicConcept::Atomic(
+      vocab.InternConcept("Dom")));
+  tbox.Normalize();
+  Saturation sat(tbox);
+  WordGraph graph(tbox, sat);
+  EXPECT_FALSE(graph.HasEdge(p, Inverse(p)));
+  EXPECT_EQ(graph.depth(), 1);  // Normalization words of length 1 only.
+}
+
+TEST(WordTableTest, InterningAndEnumeration) {
+  Vocabulary vocab;
+  TBox tbox(&vocab);
+  tbox.AddExistsRhs("A", "P1");
+  tbox.AddConceptInclusion(
+      BasicConcept::Exists(RoleOf(vocab.InternPredicate("P1"), true)),
+      BasicConcept::Exists(RoleOf(vocab.InternPredicate("P2"))));
+  tbox.Normalize();
+  Saturation sat(tbox);
+  WordGraph graph(tbox, sat);
+  WordTable words(&graph);
+  RoleId p1 = RoleOf(vocab.FindPredicate("P1"));
+  RoleId p2 = RoleOf(vocab.FindPredicate("P2"));
+  int w1 = words.Extend(WordTable::kEpsilon, p1);
+  ASSERT_GE(w1, 0);
+  int w12 = words.Extend(w1, p2);
+  ASSERT_GE(w12, 0);
+  EXPECT_EQ(words.Extend(w1, p2), w12);  // Interned.
+  EXPECT_EQ(words.Length(w12), 2);
+  EXPECT_EQ(words.FirstRole(w12), p1);
+  EXPECT_EQ(words.LastRole(w12), p2);
+  EXPECT_EQ(words.Parent(w12), w1);
+  // P2 cannot follow P2.
+  EXPECT_EQ(words.Extend(w12, p2), -1);
+
+  std::vector<int> all = words.AllWordsUpTo(2);
+  // epsilon + all length-1 nodes + valid length-2 words.
+  EXPECT_GE(all.size(), 3u);
+  EXPECT_EQ(all[0], WordTable::kEpsilon);
+  EXPECT_EQ(words.Name(w12, vocab), "P1.P2");
+}
+
+}  // namespace
+}  // namespace owlqr

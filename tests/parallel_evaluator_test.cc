@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/rewriters.h"
+#include "ndl/evaluator.h"
+#include "workloads/paper_workloads.h"
+
+namespace owlqr {
+namespace {
+
+TEST(TopologicalLevelsTest, LevelsAreDependenceRanks) {
+  Vocabulary vocab;
+  NdlProgram program(&vocab);
+  int r = program.AddRolePredicate(vocab.InternPredicate("R"));
+  int a = program.AddIdbPredicate("A1", 2);
+  int b = program.AddIdbPredicate("B1", 2);
+  int g = program.AddIdbPredicate("G", 2);
+  for (int pred : {a, b}) {
+    NdlClause c;
+    c.head = {pred, {Term::Var(0), Term::Var(1)}};
+    c.body.push_back({r, {Term::Var(0), Term::Var(1)}});
+    program.AddClause(std::move(c));
+  }
+  NdlClause c;
+  c.head = {g, {Term::Var(0), Term::Var(1)}};
+  c.body.push_back({a, {Term::Var(0), Term::Var(2)}});
+  c.body.push_back({b, {Term::Var(2), Term::Var(1)}});
+  program.AddClause(std::move(c));
+  program.SetGoal(g);
+
+  auto levels = program.TopologicalLevels();
+  ASSERT_EQ(levels.size(), 2u);
+  EXPECT_EQ(levels[0].size(), 2u);  // A1 and B1 are independent.
+  EXPECT_EQ(levels[1], std::vector<int>{g});
+}
+
+class ParallelAgreement : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParallelAgreement, ParallelMatchesSequential) {
+  int threads = GetParam();
+  Vocabulary vocab;
+  auto tbox = MakeExample11TBox(&vocab);
+  RewritingContext ctx(*tbox);
+  std::mt19937_64 rng(500 + threads);
+  DatasetConfig config{"p", 80, 0.1, 0.1, 99};
+  DataInstance data = GenerateDataset(&vocab, *tbox, config);
+
+  for (int seq = 0; seq < 3; ++seq) {
+    std::string word(std::vector<const char*>{kSequence1, kSequence2, kSequence3}[seq], 0, 8);
+    ConjunctiveQuery q = SequenceQuery(&vocab, word);
+    for (RewriterKind kind :
+         {RewriterKind::kLog, RewriterKind::kTw, RewriterKind::kUcq}) {
+      RewriteOptions options;
+      options.arbitrary_instances = true;
+      NdlProgram program = RewriteOmq(&ctx, q, kind, options);
+      Evaluator sequential(program, data);
+      EvaluationStats s1;
+      auto expected = sequential.Evaluate(&s1);
+      Evaluator parallel(program, data);
+      EvaluationStats s2;
+      auto actual = parallel.EvaluateParallel(threads, &s2);
+      EXPECT_EQ(actual, expected)
+          << RewriterName(kind) << " seq " << seq << " threads " << threads;
+      EXPECT_EQ(s1.goal_tuples, s2.goal_tuples);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, ParallelAgreement,
+                         ::testing::Values(1, 2, 4, 8));
+
+}  // namespace
+}  // namespace owlqr

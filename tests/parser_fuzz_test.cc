@@ -1,0 +1,90 @@
+// Robustness: all text parsers must reject garbage cleanly (error message,
+// no crash, no partial-state corruption that breaks later use).
+
+#include <gtest/gtest.h>
+
+#include "syntax/mapping_parser.h"
+#include "syntax/ndl_parser.h"
+#include "syntax/parser.h"
+
+namespace owlqr {
+namespace {
+
+const char* kGarbage[] = {
+    "",
+    "   \n\t\n",
+    "((((",
+    "SUB SUB SUB",
+    "EX EX EX",
+    "A SUB",
+    "<- <-",
+    "q( :- )",
+    "q(x) :- ,,,",
+    "goal:",
+    "goal: \n <- ",
+    "DISJOINT",
+    "REFLEXIVE P Q R",
+    "a(b(c(d)))",
+    "P(x) <- ')",
+    "\x01\x02\x03",
+    "q(x) :- R(x, y), ",
+    "name_with_(paren <- t(x)",
+};
+
+TEST(ParserFuzzTest, TBoxParserNeverCrashes) {
+  for (const char* input : kGarbage) {
+    Vocabulary vocab;
+    TBox tbox(&vocab);
+    std::string error;
+    ParseTBox(input, &tbox, &error);  // Outcome irrelevant.
+  }
+}
+
+TEST(ParserFuzzTest, QueryParserNeverCrashes) {
+  for (const char* input : kGarbage) {
+    Vocabulary vocab;
+    std::string error;
+    ParseQuery(input, &vocab, &error);
+  }
+}
+
+TEST(ParserFuzzTest, DataParserNeverCrashes) {
+  for (const char* input : kGarbage) {
+    Vocabulary vocab;
+    DataInstance data(&vocab);
+    std::string error;
+    ParseData(input, &data, &error);
+  }
+}
+
+TEST(ParserFuzzTest, NdlParserNeverCrashes) {
+  for (const char* input : kGarbage) {
+    Vocabulary vocab;
+    std::string error;
+    ParseNdlProgram(input, &vocab, &error);
+  }
+}
+
+TEST(ParserFuzzTest, MappingParserNeverCrashes) {
+  for (const char* input : kGarbage) {
+    Vocabulary vocab;
+    TableStore tables(&vocab);
+    GavMapping mapping(&vocab, &tables);
+    std::string error;
+    ParseMapping(input, &mapping, &error);
+  }
+}
+
+TEST(ParserFuzzTest, VocabularyUsableAfterFailedParse) {
+  Vocabulary vocab;
+  TBox tbox(&vocab);
+  std::string error;
+  ParseTBox("A SUB EX", &tbox, &error);  // Fails mid-line.
+  // The vocabulary and TBox remain usable.
+  ASSERT_TRUE(ParseTBox("A SUB B", &tbox, &error)) << error;
+  tbox.Normalize();
+  EXPECT_GE(tbox.NumAxioms(), 1);
+}
+
+}  // namespace
+}  // namespace owlqr

@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include "chase/certain_answers.h"
+#include "core/rewriters.h"
+#include "ndl/evaluator.h"
+#include "pe/pe_formula.h"
+#include "workloads/paper_workloads.h"
+
+namespace owlqr {
+namespace {
+
+TEST(PeFormulaTest, SizeAndAlternation) {
+  PeFormula pe;
+  int a = pe.AddConceptAtom(0, 0);
+  int r = pe.AddRoleAtom(0, 0, 1);
+  int inner_or = pe.AddOr({a, r}, {0});
+  int b = pe.AddConceptAtom(1, 0);
+  int root = pe.AddAnd({inner_or, b}, {0});
+  pe.SetRoot(root, {0});
+  // And(Or(A, R), B): two alternation blocks.
+  EXPECT_EQ(pe.AlternationDepth(), 2);
+  EXPECT_EQ(pe.Size(), 2 + 3 + 1 + 2 + 1);
+}
+
+TEST(PeFormulaTest, UnfoldSizeMatchesDp) {
+  Vocabulary vocab;
+  auto tbox = MakeExample11TBox(&vocab);
+  RewritingContext ctx(*tbox);
+  for (int len : {3, 5, 7}) {
+    ConjunctiveQuery q = SequenceQuery(&vocab, std::string(kSequence1, len));
+    NdlProgram lin = RewriteOmq(&ctx, q, RewriterKind::kLin);
+    bool truncated = false;
+    PeFormula pe = UnfoldToPe(lin, /*max_nodes=*/1 << 22, &truncated);
+    ASSERT_FALSE(truncated);
+    // The DP size counts exactly the materialised nodes' symbols.
+    EXPECT_EQ(pe.Size(), UnfoldedPeSize(lin)) << "len " << len;
+  }
+}
+
+TEST(PeFormulaTest, UnfoldedEvaluationAgrees) {
+  Vocabulary vocab;
+  auto tbox = MakeExample11TBox(&vocab);
+  RewritingContext ctx(*tbox);
+  ConjunctiveQuery q = SequenceQuery(&vocab, "RSR");
+  DataInstance data(&vocab);
+  data.Assert("R", "a", "b");
+  data.Assert("P", "b", "c");
+  data.Assert("R", "b", "d");
+
+  auto reference = ComputeCertainAnswers(*tbox, q, data);
+  for (RewriterKind kind : {RewriterKind::kLin, RewriterKind::kLog,
+                            RewriterKind::kTw, RewriterKind::kUcq}) {
+    RewriteOptions options;
+    options.arbitrary_instances = true;
+    NdlProgram program = RewriteOmq(&ctx, q, kind, options);
+    bool truncated = false;
+    PeFormula pe = UnfoldToPe(program, 1 << 22, &truncated);
+    ASSERT_FALSE(truncated);
+    EXPECT_EQ(EvaluatePe(pe, data), reference.answers)
+        << RewriterName(kind) << " PE unfolding";
+  }
+}
+
+TEST(PeFormulaTest, UcqUnfoldIsPi2) {
+  // The UCQ rewriting is an Or of Ands: alternation depth 2 (a
+  // Sigma_2 formula; its PE matrix is the DNF).
+  Vocabulary vocab;
+  auto tbox = MakeExample11TBox(&vocab);
+  RewritingContext ctx(*tbox);
+  ConjunctiveQuery q = SequenceQuery(&vocab, "RSRRSRR");
+  NdlProgram ucq = RewriteOmq(&ctx, q, RewriterKind::kUcq);
+  PeFormula pe = UnfoldToPe(ucq);
+  EXPECT_EQ(pe.AlternationDepth(), 2);
+}
+
+TEST(PeFormulaTest, SuccinctnessGapGrows) {
+  // Figure 1(b) illustration: the NDL rewriting stays linear in the query,
+  // while its PE unfolding grows much faster (the rewriting reuses shared
+  // subprograms which unfolding must duplicate).
+  Vocabulary vocab;
+  auto tbox = MakeExample11TBox(&vocab);
+  RewritingContext ctx(*tbox);
+  long previous_ratio = 0;
+  for (int len : {5, 10, 15}) {
+    ConjunctiveQuery q = SequenceQuery(&vocab, std::string(kSequence1, len));
+    NdlProgram lin = RewriteOmq(&ctx, q, RewriterKind::kLin);
+    long ndl_size = lin.SizeInSymbols();
+    long pe_size = UnfoldedPeSize(lin);
+    long ratio = pe_size / std::max(1L, ndl_size);
+    EXPECT_GE(ratio, previous_ratio) << "len " << len;
+    previous_ratio = ratio;
+  }
+  EXPECT_GT(previous_ratio, 1);
+}
+
+TEST(PeFormulaTest, TruncationReported) {
+  Vocabulary vocab;
+  auto tbox = MakeExample11TBox(&vocab);
+  RewritingContext ctx(*tbox);
+  ConjunctiveQuery q = SequenceQuery(&vocab, kSequence1);
+  NdlProgram log_program = RewriteOmq(&ctx, q, RewriterKind::kLog);
+  bool truncated = false;
+  PeFormula pe = UnfoldToPe(log_program, /*max_nodes=*/32, &truncated);
+  EXPECT_TRUE(truncated);
+  EXPECT_LE(pe.num_nodes(), 64);
+}
+
+}  // namespace
+}  // namespace owlqr

@@ -1,0 +1,64 @@
+#include <gtest/gtest.h>
+
+#include "reductions/pe_trees.h"
+
+namespace owlqr {
+namespace {
+
+// Theorem 28 / Lemma 26 style check: A^alpha_m |= q_m(a) iff the CNF minus
+// the alpha-marked clauses is satisfiable — over every alpha.
+void CheckAllAlphas(const Cnf& phi) {
+  Vocabulary vocab;
+  PeFormula query = MakeTheorem21PeQuery(&vocab, phi);
+  int m = static_cast<int>(phi.clauses.size());
+  for (unsigned mask = 0; mask < (1u << m); ++mask) {
+    std::vector<bool> alpha(m);
+    for (int i = 0; i < m; ++i) alpha[i] = (mask >> i) & 1;
+    DataInstance data = MakeTreeInstance(&vocab, alpha);
+    auto answers = EvaluatePe(query, data);
+    bool holds = false;
+    int a = vocab.FindIndividual("a");
+    for (const auto& tuple : answers) holds = holds || tuple[0] == a;
+    EXPECT_EQ(holds, MonotoneSatFunction(phi, alpha)) << "mask " << mask;
+  }
+}
+
+TEST(PeTreesTest, TwoVariableFourClauses) {
+  // Clauses padded to 3 literals: p1, !p1, p2, (!p1 | !p2).
+  Cnf phi{2,
+          {{1, 1, 1}, {-1, -1, -1}, {2, 2, 2}, {-1, -2, -2}}};
+  CheckAllAlphas(phi);
+}
+
+TEST(PeTreesTest, MixedClauses) {
+  // Unsatisfiable base CNF (as Theorem 28 requires): p2, !p2 both present.
+  Cnf phi{3, {{1, 2, 3}, {2, 2, 2}, {-2, -2, -2}, {-3, -3, -3}}};
+  ASSERT_FALSE(IsSatisfiable(phi));
+  CheckAllAlphas(phi);
+}
+
+TEST(PeTreesTest, AllClausesCnf) {
+  Cnf phi = MakeAllClausesCnf(2);
+  EXPECT_FALSE(IsSatisfiable(phi));
+  EXPECT_EQ(phi.clauses.size() & (phi.clauses.size() - 1), 0u);
+  for (const auto& clause : phi.clauses) EXPECT_EQ(clause.size(), 3u);
+}
+
+TEST(PeTreesTest, QuerySizeIsPolynomial) {
+  // The construction is polynomial: size grows roughly linearly in the
+  // number of clauses (ell = log m deep paths).
+  Vocabulary vocab;
+  Cnf small{2, {{1, 1, 1}, {-1, -1, -1}, {2, 2, 2}, {-2, -2, -2}}};
+  Cnf large{2, {}};
+  for (int i = 0; i < 8; ++i) {
+    large.clauses.push_back({1, 1, 1});
+    large.clauses.push_back({-1, -1, -1});
+  }
+  PeFormula q_small = MakeTheorem21PeQuery(&vocab, small);
+  PeFormula q_large = MakeTheorem21PeQuery(&vocab, large);
+  EXPECT_LT(q_large.Size(), 16 * q_small.Size());
+  EXPECT_GE(q_large.AlternationDepth(), 2);
+}
+
+}  // namespace
+}  // namespace owlqr

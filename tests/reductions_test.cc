@@ -1,0 +1,207 @@
+#include <gtest/gtest.h>
+
+#include "chase/certain_answers.h"
+#include "reductions/clique.h"
+#include "reductions/hardest_logcfl.h"
+#include "reductions/hitting_set.h"
+#include "reductions/sat.h"
+
+namespace owlqr {
+namespace {
+
+// --- Theorem 15: hitting set ------------------------------------------------
+
+bool HittingSetOmqHolds(const Hypergraph& h, int k) {
+  Vocabulary vocab;
+  HittingSetOmq omq = MakeHittingSetOmq(&vocab, h, k);
+  return IsCertainAnswer(*omq.tbox, omq.query, omq.data, {});
+}
+
+TEST(HittingSetReduction, PositiveInstances) {
+  // Example from the paper: V = {1,2,3}, e1 = {1,3}, e2 = {2,3}, e3 = {1,2}.
+  Hypergraph h{3, {{1, 3}, {2, 3}, {1, 2}}};
+  ASSERT_TRUE(HasHittingSet(h, 2));
+  EXPECT_TRUE(HittingSetOmqHolds(h, 2));
+}
+
+TEST(HittingSetReduction, NegativeInstances) {
+  // A triangle of pairwise-disjoint edges cannot be hit by one vertex.
+  Hypergraph h{3, {{1, 3}, {2, 3}, {1, 2}}};
+  ASSERT_FALSE(HasHittingSet(h, 1));
+  EXPECT_FALSE(HittingSetOmqHolds(h, 1));
+}
+
+TEST(HittingSetReduction, SingleVertexHits) {
+  Hypergraph h{3, {{2}, {2, 3}}};
+  ASSERT_TRUE(HasHittingSet(h, 1));
+  EXPECT_TRUE(HittingSetOmqHolds(h, 1));
+}
+
+TEST(HittingSetReduction, RandomAgreement) {
+  // Sweep all hypergraphs with 3 vertices and 2 fixed-shape edges.
+  for (int mask1 = 1; mask1 < 8; ++mask1) {
+    for (int mask2 = 1; mask2 < 8; ++mask2) {
+      Hypergraph h;
+      h.num_vertices = 3;
+      for (int mask : {mask1, mask2}) {
+        std::vector<int> edge;
+        for (int v = 1; v <= 3; ++v) {
+          if (mask & (1 << (v - 1))) edge.push_back(v);
+        }
+        h.edges.push_back(edge);
+      }
+      for (int k = 1; k <= 2; ++k) {
+        EXPECT_EQ(HittingSetOmqHolds(h, k), HasHittingSet(h, k))
+            << "masks " << mask1 << "," << mask2 << " k=" << k;
+      }
+    }
+  }
+}
+
+// --- Theorem 16: partitioned clique ----------------------------------------
+
+bool CliqueOmqHolds(const PartitionedGraph& g) {
+  Vocabulary vocab;
+  CliqueOmq omq = MakeCliqueOmq(&vocab, g);
+  return IsCertainAnswer(*omq.tbox, omq.query, omq.data, {});
+}
+
+TEST(CliqueReduction, PaperExample) {
+  // p = 3, V1 = {v1, v2}, V2 = {v3}, V3 = {v4, v5},
+  // E = {{v1,v3}, {v3,v5}}: clique {v1?,...}: v1-v3 edge, v3-v5 edge, but
+  // v1-v5 missing, so no partitioned clique.
+  PartitionedGraph g;
+  g.num_vertices = 5;
+  g.num_partitions = 3;
+  g.partition_of = {0, 1, 1, 2, 3, 3};
+  g.edges = {{1, 3}, {3, 5}};
+  ASSERT_FALSE(HasPartitionedClique(g));
+  EXPECT_FALSE(CliqueOmqHolds(g));
+  // Adding {v1, v5} completes the clique {v1, v3, v5}.
+  g.edges.push_back({1, 5});
+  ASSERT_TRUE(HasPartitionedClique(g));
+  EXPECT_TRUE(CliqueOmqHolds(g));
+}
+
+TEST(CliqueReduction, TwoPartitions) {
+  PartitionedGraph g;
+  g.num_vertices = 3;
+  g.num_partitions = 2;
+  g.partition_of = {0, 1, 1, 2};
+  g.edges = {{2, 3}};
+  ASSERT_TRUE(HasPartitionedClique(g));
+  EXPECT_TRUE(CliqueOmqHolds(g));
+
+  PartitionedGraph g2 = g;
+  g2.edges = {{1, 2}};  // Within V1: useless.
+  ASSERT_FALSE(HasPartitionedClique(g2));
+  EXPECT_FALSE(CliqueOmqHolds(g2));
+}
+
+// --- Theorem 17: SAT with the fixed ontology T-dagger -----------------------
+
+bool SatOmqHolds(const Cnf& phi) {
+  Vocabulary vocab;
+  auto tbox = MakeTDagger(&vocab);
+  ConjunctiveQuery query = MakeSatQuery(&vocab, *tbox, phi);
+  DataInstance data = MakeSatData(&vocab);
+  return IsCertainAnswer(*tbox, query, data, {});
+}
+
+TEST(SatReduction, PaperExample) {
+  // phi = (p1 | p2) & !p1: satisfiable with p1 = 0, p2 = 1.
+  Cnf phi{2, {{1, 2}, {-1}}};
+  ASSERT_TRUE(IsSatisfiable(phi));
+  EXPECT_TRUE(SatOmqHolds(phi));
+}
+
+TEST(SatReduction, Unsatisfiable) {
+  Cnf phi{1, {{1}, {-1}}};
+  ASSERT_FALSE(IsSatisfiable(phi));
+  EXPECT_FALSE(SatOmqHolds(phi));
+}
+
+TEST(SatReduction, SweepTwoVariableFormulas) {
+  // All CNFs over 2 variables with 2 clauses drawn from the 8 nonempty
+  // clauses over {p1, p2}.
+  std::vector<std::vector<int>> clause_pool = {
+      {1}, {-1}, {2}, {-2}, {1, 2}, {1, -2}, {-1, 2}, {-1, -2}};
+  for (size_t i = 0; i < clause_pool.size(); ++i) {
+    for (size_t j = i; j < clause_pool.size(); ++j) {
+      Cnf phi{2, {clause_pool[i], clause_pool[j]}};
+      EXPECT_EQ(SatOmqHolds(phi), IsSatisfiable(phi))
+          << "clauses " << i << "," << j;
+    }
+  }
+}
+
+// --- Theorem 20 / Lemma 26: q-bar over tree instances -----------------------
+
+TEST(SatReduction, Lemma26MonotoneFunction) {
+  Vocabulary vocab;
+  auto tbox = MakeTDagger(&vocab);
+  // phi with 2 variables and 4 clauses (power of two).
+  Cnf phi{2, {{1}, {-1}, {2}, {-1, -2}}};
+  ConjunctiveQuery query = MakeSatQueryBar(&vocab, *tbox, phi);
+  for (unsigned mask = 0; mask < 16; ++mask) {
+    std::vector<bool> alpha(4);
+    for (int i = 0; i < 4; ++i) alpha[i] = (mask >> i) & 1;
+    DataInstance data = MakeTreeInstance(&vocab, alpha);
+    bool expected = MonotoneSatFunction(phi, alpha);
+    bool actual = IsCertainAnswer(*tbox, query, data,
+                                  {vocab.FindIndividual("a")});
+    EXPECT_EQ(actual, expected) << "alpha mask " << mask;
+  }
+}
+
+// --- Theorem 22: the hardest LOGCFL language --------------------------------
+
+TEST(HardestLanguage, BaseLanguage) {
+  EXPECT_TRUE(InBaseLanguage(""));
+  EXPECT_TRUE(InBaseLanguage("ab"));
+  EXPECT_TRUE(InBaseLanguage("acdb"));
+  EXPECT_TRUE(InBaseLanguage("abcd"));
+  EXPECT_FALSE(InBaseLanguage("ad"));
+  EXPECT_FALSE(InBaseLanguage("ba"));
+  EXPECT_FALSE(InBaseLanguage("a"));
+}
+
+TEST(HardestLanguage, BlockFormed) {
+  EXPECT_TRUE(IsBlockFormed("[ab]"));
+  EXPECT_TRUE(IsBlockFormed("[a#b][c]"));
+  EXPECT_FALSE(IsBlockFormed("ab"));
+  EXPECT_FALSE(IsBlockFormed("[]"));
+  EXPECT_FALSE(IsBlockFormed("[a]["));
+  EXPECT_FALSE(IsBlockFormed("[a]b[c]"));
+  EXPECT_FALSE(IsBlockFormed("[[a]]"));
+}
+
+TEST(HardestLanguage, PaperExamples) {
+  // (12) - (15) with a1 a2 b2 b1 spelled acdb.
+  EXPECT_FALSE(InHardestLanguage("[ac#db]"));
+  EXPECT_TRUE(InHardestLanguage("[ac#db][db]"));
+  EXPECT_FALSE(InHardestLanguage("[ac#db][ab]"));
+  EXPECT_TRUE(InHardestLanguage("[#ac#db][ab]"));
+}
+
+class HardestLanguageOmq : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(HardestLanguageOmq, OmqAgreesWithLanguage) {
+  std::string word = GetParam();
+  Vocabulary vocab;
+  auto tbox = MakeTDoubleDagger(&vocab);
+  ConjunctiveQuery query = MakeWordQuery(&vocab, word);
+  DataInstance data = MakeWordData(&vocab);
+  EXPECT_EQ(IsCertainAnswer(*tbox, query, data, {}),
+            InHardestLanguage(word))
+      << word;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Words, HardestLanguageOmq,
+    ::testing::Values("[ab]", "[ba]", "[a#b]", "[ac#db]", "[ac#db][db]",
+                      "[ac#db][ab]", "[#ac#db][ab]", "[#]", "[a][b]",
+                      "[cd]", "[c][d]", "ab", "[ab"));
+
+}  // namespace
+}  // namespace owlqr

@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include "chase/certain_answers.h"
+#include "syntax/parser.h"
+
+namespace owlqr {
+namespace {
+
+TEST(ParserTest, TBoxRoundTrip) {
+  Vocabulary vocab;
+  TBox tbox(&vocab);
+  std::string error;
+  ASSERT_TRUE(ParseTBox(R"(
+      # a small org ontology
+      Manager SUB Employee
+      Employee SUB EX worksFor
+      EX worksFor- SUB Project
+      TOP SUB Thing
+      manages SUBR worksFor
+      reports- SUBR worksFor
+      REFLEXIVE knows
+      DISJOINT Manager Intern
+      DISJOINT-ROLES manages reports-
+      IRREFLEXIVE manages
+  )",
+                        &tbox, &error))
+      << error;
+  EXPECT_EQ(tbox.concept_inclusions().size(), 4u);
+  EXPECT_EQ(tbox.role_inclusions().size(), 2u);
+  EXPECT_EQ(tbox.reflexive_roles().size(), 1u);
+  EXPECT_EQ(tbox.concept_disjointness().size(), 1u);
+  EXPECT_EQ(tbox.role_disjointness().size(), 1u);
+  EXPECT_EQ(tbox.irreflexive_roles().size(), 1u);
+  EXPECT_TRUE(tbox.role_inclusions()[1].lhs ==
+              RoleOf(vocab.FindPredicate("reports"), true));
+
+  // Round trip: re-parse the printed form.
+  std::string printed = TBoxToString(tbox);
+  Vocabulary vocab2;
+  TBox tbox2(&vocab2);
+  ASSERT_TRUE(ParseTBox(printed, &tbox2, &error)) << error;
+  EXPECT_EQ(tbox2.NumAxioms(), tbox.NumAxioms());
+}
+
+TEST(ParserTest, TBoxErrors) {
+  Vocabulary vocab;
+  TBox tbox(&vocab);
+  std::string error;
+  EXPECT_FALSE(ParseTBox("Manager Employee", &tbox, &error));
+  EXPECT_NE(error.find("line 1"), std::string::npos);
+  EXPECT_FALSE(ParseTBox("A SUB EX", &tbox, &error));
+  EXPECT_FALSE(ParseTBox("REFLEXIVE", &tbox, &error));
+  EXPECT_FALSE(ParseTBox("A SUB B C", &tbox, &error));
+}
+
+TEST(ParserTest, QueryParsing) {
+  Vocabulary vocab;
+  std::string error;
+  auto query = ParseQuery(
+      "q(x, y) :- worksFor(x, z), Manager(z), knows(z, y)", &vocab, &error);
+  ASSERT_TRUE(query.has_value()) << error;
+  EXPECT_EQ(query->num_vars(), 3);
+  EXPECT_EQ(query->atoms().size(), 3u);
+  EXPECT_EQ(query->answer_vars().size(), 2u);
+  EXPECT_TRUE(query->IsAnswerVar(query->FindVariable("x")));
+  EXPECT_FALSE(query->IsAnswerVar(query->FindVariable("z")));
+  EXPECT_GE(vocab.FindConcept("Manager"), 0);
+  EXPECT_GE(vocab.FindPredicate("knows"), 0);
+}
+
+TEST(ParserTest, BooleanQuery) {
+  Vocabulary vocab;
+  std::string error;
+  auto query = ParseQuery("q() :- A(x), R(x, y)", &vocab, &error);
+  ASSERT_TRUE(query.has_value()) << error;
+  EXPECT_TRUE(query->IsBoolean());
+}
+
+TEST(ParserTest, QueryErrors) {
+  Vocabulary vocab;
+  std::string error;
+  EXPECT_FALSE(ParseQuery("q(x) R(x, y)", &vocab, &error).has_value());
+  EXPECT_FALSE(ParseQuery("q(x) :- R(x, y, z)", &vocab, &error).has_value());
+  EXPECT_FALSE(ParseQuery("q(x) :- R(x", &vocab, &error).has_value());
+}
+
+TEST(ParserTest, DataParsing) {
+  Vocabulary vocab;
+  DataInstance data(&vocab);
+  std::string error;
+  ASSERT_TRUE(ParseData(R"(
+      Manager(ann).  worksFor(bob, crm).
+      knows(ann, bob)
+      # comment line
+  )",
+                        &data, &error))
+      << error;
+  EXPECT_EQ(data.NumAtoms(), 3);
+  EXPECT_EQ(data.num_individuals(), 3);
+  EXPECT_TRUE(data.HasConceptAssertion(vocab.FindConcept("Manager"),
+                                       vocab.FindIndividual("ann")));
+}
+
+TEST(ParserTest, EndToEndPipeline) {
+  // Parse an ontology, query and data; answer through the reference engine.
+  Vocabulary vocab;
+  TBox tbox(&vocab);
+  std::string error;
+  ASSERT_TRUE(ParseTBox(R"(
+      Professor SUB EX teaches
+      EX teaches- SUB Course
+  )",
+                        &tbox, &error))
+      << error;
+  tbox.Normalize();
+  auto query =
+      ParseQuery("q(x) :- teaches(x, y), Course(y)", &vocab, &error);
+  ASSERT_TRUE(query.has_value()) << error;
+  DataInstance data(&vocab);
+  ASSERT_TRUE(ParseData("Professor(ann). teaches(bob, algebra).", &data,
+                        &error))
+      << error;
+  auto result = ComputeCertainAnswers(tbox, *query, data);
+  ASSERT_TRUE(result.consistent);
+  ASSERT_EQ(result.answers.size(), 2u);  // ann (anonymous course) and bob.
+}
+
+}  // namespace
+}  // namespace owlqr

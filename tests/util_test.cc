@@ -1,0 +1,62 @@
+#include <gtest/gtest.h>
+
+#include "util/interner.h"
+#include "util/strings.h"
+
+namespace owlqr {
+namespace {
+
+TEST(InternerTest, AssignsDenseIdsInOrder) {
+  Interner interner;
+  EXPECT_EQ(interner.Intern("alpha"), 0);
+  EXPECT_EQ(interner.Intern("beta"), 1);
+  EXPECT_EQ(interner.Intern("alpha"), 0);  // Idempotent.
+  EXPECT_EQ(interner.size(), 2);
+  EXPECT_EQ(interner.Name(1), "beta");
+  EXPECT_EQ(interner.Find("gamma"), -1);
+  EXPECT_FALSE(interner.Contains("gamma"));
+  EXPECT_TRUE(interner.Contains("alpha"));
+}
+
+TEST(InternerTest, EmptyAndOddNames) {
+  Interner interner;
+  EXPECT_EQ(interner.Intern(""), 0);
+  EXPECT_EQ(interner.Intern("A[P-]"), 1);
+  EXPECT_EQ(interner.Intern("name with spaces"), 2);
+  EXPECT_EQ(interner.Find("A[P-]"), 1);
+}
+
+TEST(InternerTest, NamesStableAcrossGrowth) {
+  Interner interner;
+  interner.Intern("first");
+  const std::string& ref = interner.Name(0);
+  for (int i = 0; i < 1000; ++i) {
+    interner.Intern("n" + std::to_string(i));
+  }
+  EXPECT_EQ(ref, "first");  // References survive rehashing.
+}
+
+TEST(StringsTest, Split) {
+  EXPECT_EQ(Split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(Split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(Split(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(StringsTest, StripWhitespace) {
+  EXPECT_EQ(StripWhitespace("  x  "), "x");
+  EXPECT_EQ(StripWhitespace("\t\n"), "");
+  EXPECT_EQ(StripWhitespace("a b"), "a b");
+  EXPECT_EQ(StripWhitespace(""), "");
+}
+
+TEST(StringsTest, JoinAndStartsWith) {
+  std::vector<int> xs = {1, 2, 3};
+  EXPECT_EQ(Join(xs, ", "), "1, 2, 3");
+  EXPECT_EQ(Join(std::vector<int>{}, ","), "");
+  EXPECT_TRUE(StartsWith("goal: G", "goal:"));
+  EXPECT_FALSE(StartsWith("go", "goal:"));
+}
+
+}  // namespace
+}  // namespace owlqr

@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include "cq/gaifman.h"
+#include "workloads/paper_workloads.h"
+
+namespace owlqr {
+namespace {
+
+TEST(WorkloadsTest, SequencesMatchThePaper) {
+  EXPECT_STREQ(kSequence1, "RRSRSRSRRSRRSSR");
+  EXPECT_STREQ(kSequence2, "SRRRRRSRSRRRRRR");
+  EXPECT_STREQ(kSequence3, "SRRSSRSRSRRSRRS");
+  EXPECT_EQ(std::string(kSequence1).size(), 15u);
+}
+
+TEST(WorkloadsTest, SequenceQueryShape) {
+  Vocabulary vocab;
+  for (int len = 1; len <= 15; ++len) {
+    ConjunctiveQuery q = SequenceQuery(&vocab, std::string(kSequence1, len));
+    EXPECT_EQ(q.atoms().size(), static_cast<size_t>(len));
+    EXPECT_EQ(q.num_vars(), len + 1);
+    EXPECT_EQ(q.answer_vars().size(), 2u);
+    GaifmanGraph g(q);
+    EXPECT_TRUE(g.IsLinear());
+  }
+}
+
+TEST(WorkloadsTest, DatasetGenerationIsDeterministic) {
+  Vocabulary vocab;
+  auto tbox = MakeExample11TBox(&vocab);
+  auto configs = Table2Configs(0.05);
+  DataInstance d1 = GenerateDataset(&vocab, *tbox, configs[0]);
+  DataInstance d2 = GenerateDataset(&vocab, *tbox, configs[0]);
+  EXPECT_EQ(d1.NumAtoms(), d2.NumAtoms());
+  EXPECT_EQ(d1.num_individuals(), d2.num_individuals());
+}
+
+TEST(WorkloadsTest, DatasetStatisticsMatchConfig) {
+  Vocabulary vocab;
+  auto tbox = MakeExample11TBox(&vocab);
+  auto configs = Table2Configs(/*scale=*/0.2);
+  // Dataset 1 scaled: V = 200 with average degree ~50 preserved.
+  const DatasetConfig& c = configs[0];
+  EXPECT_EQ(c.num_vertices, 200);
+  DataInstance data = GenerateDataset(&vocab, *tbox, c);
+  EXPECT_EQ(data.num_individuals(), 200);
+  long edges = static_cast<long>(
+      data.RolePairs(vocab.FindPredicate("R")).size());
+  double degree = static_cast<double>(edges) / data.num_individuals();
+  EXPECT_GT(degree, 35.0);
+  EXPECT_LT(degree, 55.0);
+  // Witness-triggering labels present.
+  int a_p = tbox->ExistsConcept(RoleOf(vocab.FindPredicate("P")));
+  EXPECT_FALSE(data.ConceptMembers(a_p).empty());
+  // No S or P edges: the paper's datasets only contain R.
+  EXPECT_TRUE(data.RolePairs(vocab.FindPredicate("S")).empty());
+  EXPECT_TRUE(data.RolePairs(vocab.FindPredicate("P")).empty());
+}
+
+TEST(WorkloadsTest, FullScaleConfigsMatchTable2) {
+  auto configs = Table2Configs(1.0);
+  ASSERT_EQ(configs.size(), 4u);
+  EXPECT_EQ(configs[0].num_vertices, 1000);
+  EXPECT_DOUBLE_EQ(configs[0].edge_probability, 0.050);
+  EXPECT_DOUBLE_EQ(configs[0].label_probability, 0.050);
+  EXPECT_EQ(configs[3].num_vertices, 20000);
+  EXPECT_DOUBLE_EQ(configs[3].edge_probability, 0.002);
+  EXPECT_DOUBLE_EQ(configs[3].label_probability, 0.010);
+}
+
+}  // namespace
+}  // namespace owlqr
