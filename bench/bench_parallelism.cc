@@ -52,6 +52,12 @@ void BM_Parallelism(benchmark::State& state) {
   state.counters["IdbPredicates"] = static_cast<double>(total);
   state.counters["GeneratedTuples"] =
       static_cast<double>(stats.generated_tuples);
+  state.counters["IndexBuilds"] = static_cast<double>(stats.index_builds);
+  double slowest_level_ms = 0;
+  for (double ms : stats.level_wall_ms) {
+    slowest_level_ms = std::max(slowest_level_ms, ms);
+  }
+  state.counters["SlowestLevelMs"] = slowest_level_ms;
   state.SetLabel(std::string(RewriterName(kind)) + " " + word + " t" +
                  std::to_string(threads));
 }

@@ -11,49 +11,110 @@ namespace owlqr {
 namespace {
 
 constexpr size_t kHashSeed = 0x9e3779b97f4a7c15ULL;
+// How often (in join emissions) the wall-clock deadline is polled.
+constexpr long kDeadlineCheckInterval = 1024;
 
 size_t Mix(size_t h, size_t v) {
   h ^= v + kHashSeed + (h << 6) + (h >> 2);
   return h;
 }
 
-}  // namespace
-
-size_t Evaluator::HashTuple(const std::vector<int>& tuple) {
-  size_t h = 1469598103934665603ULL;
-  for (int v : tuple) h = Mix(h, static_cast<size_t>(v) + 1);
+// murmur3 finaliser: the open-addressing dedup table masks the *low* bits
+// of the hash, so they must avalanche (Mix alone clusters badly on the
+// dense sequential ids a vocabulary produces).
+size_t FinalMix(size_t h) {
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  h *= 0xc4ceb9fe1a85ec53ULL;
+  h ^= h >> 33;
   return h;
 }
 
-size_t Evaluator::HashKey(const std::vector<int>& key) { return HashTuple(key); }
+}  // namespace
 
-bool Evaluator::Rows::Insert(const std::vector<int>& tuple) {
-  size_t h = HashTuple(tuple);
-  std::vector<int>& bucket = buckets[h];
-  for (int row : bucket) {
-    if (tuples[row] == tuple) return false;
+size_t Evaluator::HashTuple(const int* tuple, int arity) {
+  size_t h = 1469598103934665603ULL;
+  for (int i = 0; i < arity; ++i) {
+    h = Mix(h, static_cast<size_t>(tuple[i]) + 1);
   }
-  bucket.push_back(static_cast<int>(tuples.size()));
-  tuples.push_back(tuple);
+  return FinalMix(h);
+}
+
+bool Evaluator::Rows::Insert(const int* tuple) {
+  if (arity == 0) {
+    // The zero-ary relation holds at most the empty tuple.
+    if (num_rows_ > 0) return false;
+    num_rows_ = 1;
+    return true;
+  }
+  if ((num_rows_ + 1) * 2 > slots_.size()) Grow();
+  size_t mask = slots_.size() - 1;
+  size_t pos = HashTuple(tuple, arity) & mask;
+  while (slots_[pos] != 0) {
+    const int* existing = row(slots_[pos] - 1);
+    if (std::equal(tuple, tuple + arity, existing)) return false;
+    pos = (pos + 1) & mask;
+  }
+  slots_[pos] = static_cast<uint32_t>(num_rows_ + 1);
+  cells.insert(cells.end(), tuple, tuple + arity);
+  ++num_rows_;
   return true;
+}
+
+void Evaluator::Rows::Grow() {
+  size_t capacity = slots_.empty() ? 64 : slots_.size() * 2;
+  slots_.assign(capacity, 0);
+  size_t mask = capacity - 1;
+  for (size_t r = 0; r < num_rows_; ++r) {
+    size_t pos = HashTuple(row(r), arity) & mask;
+    while (slots_[pos] != 0) pos = (pos + 1) & mask;
+    slots_[pos] = static_cast<uint32_t>(r + 1);
+  }
+}
+
+std::vector<std::vector<int>> Evaluator::Rows::ToTuples() const {
+  std::vector<std::vector<int>> out;
+  out.reserve(num_rows_);
+  for (size_t r = 0; r < num_rows_; ++r) {
+    out.emplace_back(row(r), row(r) + arity);
+  }
+  return out;
 }
 
 Evaluator::Evaluator(const NdlProgram& program, const DataInstance& data,
                      const EvaluatorLimits& limits)
     : program_(program), data_(data), limits_(limits) {
-  OWLQR_CHECK_MSG(program.IsNonrecursive(), "program must be nonrecursive");
-  relations_.resize(program.num_predicates());
+  Init();
 }
 
 Evaluator::Evaluator(const NdlProgram& program, const DataInstance& data,
                      const TableStore& tables, const EvaluatorLimits& limits)
     : program_(program), data_(data), tables_(&tables), limits_(limits) {
-  OWLQR_CHECK_MSG(program.IsNonrecursive(), "program must be nonrecursive");
-  relations_.resize(program.num_predicates());
+  Init();
+}
+
+Evaluator::~Evaluator() = default;
+
+void Evaluator::Init() {
+  OWLQR_CHECK_MSG(program_.IsNonrecursive(), "program must be nonrecursive");
+  preds_.reserve(program_.num_predicates());
+  for (int p = 0; p < program_.num_predicates(); ++p) {
+    preds_.push_back(std::make_unique<PredicateState>());
+    preds_.back()->rows.arity = program_.predicate(p).arity;
+  }
+}
+
+void Evaluator::StartClock() {
+  has_deadline_ = limits_.deadline_ms > 0;
+  if (has_deadline_) {
+    deadline_ = std::chrono::steady_clock::now() +
+                std::chrono::milliseconds(limits_.deadline_ms);
+  }
 }
 
 const std::vector<int>& Evaluator::ActiveDomain() {
-  if (!active_domain_computed_) {
+  std::call_once(active_domain_once_, [this] {
     active_domain_ = data_.individuals();
     if (tables_ != nullptr) {
       for (int ind : tables_->ActiveDomain()) active_domain_.push_back(ind);
@@ -62,65 +123,80 @@ const std::vector<int>& Evaluator::ActiveDomain() {
           std::unique(active_domain_.begin(), active_domain_.end()),
           active_domain_.end());
     }
-    active_domain_computed_ = true;
-  }
+  });
   return active_domain_;
 }
 
 const Evaluator::Rows& Evaluator::EdbRows(int predicate) {
-  Rows& rows = relations_[predicate];
-  if (rows.materialized) return rows;
-  const PredicateInfo& info = program_.predicate(predicate);
-  switch (info.kind) {
-    case PredicateKind::kConceptEdb:
-      for (int a : data_.ConceptMembers(info.external_id)) {
-        rows.Insert({a});
-      }
-      break;
-    case PredicateKind::kRoleEdb:
-      for (auto [a, b] : data_.RolePairs(info.external_id)) {
-        rows.Insert({a, b});
-      }
-      break;
-    case PredicateKind::kTableEdb:
-      OWLQR_CHECK_MSG(tables_ != nullptr,
-                      "program uses table predicates but no TableStore given");
-      for (const std::vector<int>& row : tables_->Rows(info.external_id)) {
-        rows.Insert(row);
-      }
-      break;
-    case PredicateKind::kAdom:
-      for (int a : ActiveDomain()) rows.Insert({a});
-      break;
-    default:
-      OWLQR_CHECK_MSG(false, "EdbRows on IDB/equality predicate");
-  }
-  rows.materialized = true;
-  return rows;
+  PredicateState& state = *preds_[predicate];
+  std::call_once(state.edb_once, [this, predicate, &state] {
+    Rows& rows = state.rows;
+    const PredicateInfo& info = program_.predicate(predicate);
+    switch (info.kind) {
+      case PredicateKind::kConceptEdb:
+        for (int a : data_.ConceptMembers(info.external_id)) {
+          rows.Insert(&a);
+        }
+        break;
+      case PredicateKind::kRoleEdb:
+        for (auto [a, b] : data_.RolePairs(info.external_id)) {
+          int pair[2] = {a, b};
+          rows.Insert(pair);
+        }
+        break;
+      case PredicateKind::kTableEdb:
+        OWLQR_CHECK_MSG(
+            tables_ != nullptr,
+            "program uses table predicates but no TableStore given");
+        for (const std::vector<int>& row : tables_->Rows(info.external_id)) {
+          rows.Insert(row.data());
+        }
+        break;
+      case PredicateKind::kAdom:
+        for (int a : ActiveDomain()) rows.Insert(&a);
+        break;
+      default:
+        OWLQR_CHECK_MSG(false, "EdbRows on IDB/equality predicate");
+    }
+    rows.materialized = true;
+  });
+  return state.rows;
+}
+
+const Evaluator::Rows& Evaluator::RowsFor(int predicate) {
+  return program_.IsIdb(predicate) ? preds_[predicate]->rows
+                                   : EdbRows(predicate);
 }
 
 const Evaluator::Index& Evaluator::GetIndex(int predicate, unsigned mask) {
-  std::lock_guard<std::mutex> lock(index_mutex_);
-  auto key = std::make_pair(predicate, mask);
-  auto it = indexes_.find(key);
-  if (it != indexes_.end()) return it->second;
-  const Rows& rows = program_.IsIdb(predicate) ? relations_[predicate]
-                                               : EdbRows(predicate);
-  Index index;
-  std::vector<int> key_values;
-  for (size_t row = 0; row < rows.tuples.size(); ++row) {
-    key_values.clear();
-    const std::vector<int>& tuple = rows.tuples[row];
-    for (size_t i = 0; i < tuple.size(); ++i) {
-      if (mask & (1u << i)) key_values.push_back(tuple[i]);
-    }
-    index[HashKey(key_values)].push_back(static_cast<int>(row));
+  PredicateState& state = *preds_[predicate];
+  IndexSlot* slot;
+  {
+    std::lock_guard<std::mutex> lock(state.slot_mutex);
+    std::unique_ptr<IndexSlot>& entry = state.slots[mask];
+    if (entry == nullptr) entry = std::make_unique<IndexSlot>();
+    slot = entry.get();
   }
-  return indexes_.emplace(key, std::move(index)).first->second;
+  std::call_once(slot->built, [this, predicate, mask, slot] {
+    const Rows& rows = RowsFor(predicate);
+    std::vector<int> key_values;
+    for (size_t r = 0; r < rows.size(); ++r) {
+      key_values.clear();
+      const int* tuple = rows.row(r);
+      for (int i = 0; i < rows.arity; ++i) {
+        if (mask & (1u << i)) key_values.push_back(tuple[i]);
+      }
+      slot->index[HashTuple(key_values.data(),
+                            static_cast<int>(key_values.size()))]
+          .push_back(static_cast<uint32_t>(r));
+    }
+    index_builds_.fetch_add(1, std::memory_order_relaxed);
+  });
+  return slot->index;
 }
 
 void Evaluator::Materialize(int predicate) {
-  Rows& rows = relations_[predicate];
+  Rows& rows = preds_[predicate]->rows;
   if (rows.materialized) return;
   if (!program_.IsIdb(predicate)) {
     EdbRows(predicate);
@@ -141,6 +217,7 @@ void Evaluator::Materialize(int predicate) {
 }
 
 void Evaluator::EvaluateClause(const NdlClause& clause, Rows* out) {
+  if (aborted_.load(std::memory_order_relaxed)) return;
   // Static greedy atom order: simulate which variables become bound.
   std::vector<bool> used(clause.body.size(), false);
   std::vector<bool> bound;
@@ -159,7 +236,9 @@ void Evaluator::EvaluateClause(const NdlClause& clause, Rows* out) {
   }
   bound.assign(num_vars, false);
 
-  std::vector<int> order;
+  ClausePlan plan;
+  plan.clause = &clause;
+  plan.steps.reserve(clause.body.size());
   for (size_t step = 0; step < clause.body.size(); ++step) {
     int best = -1;
     double best_score = 0;
@@ -178,9 +257,7 @@ void Evaluator::EvaluateClause(const NdlClause& clause, Rows* out) {
       } else if (kind == PredicateKind::kAdom) {
         score = all_bound ? 1e8 : -1e9;
       } else {
-        size_t size = program_.IsIdb(atom.predicate)
-                          ? relations_[atom.predicate].tuples.size()
-                          : EdbRows(atom.predicate).tuples.size();
+        size_t size = RowsFor(atom.predicate).size();
         score = 1e6 * bound_args + (all_bound ? 5e8 : 0) -
                 static_cast<double>(size) * 1e-3;
       }
@@ -190,62 +267,105 @@ void Evaluator::EvaluateClause(const NdlClause& clause, Rows* out) {
       }
     }
     used[best] = true;
-    order.push_back(best);
-    for (const Term& t : clause.body[best].args) {
+
+    // Plan the chosen atom against the statically known bound set.  A term
+    // is bound at runtime iff it is bound here: constants always, and
+    // variables exactly when an earlier atom of the order binds them.
+    const NdlAtom& atom = clause.body[best];
+    AtomStep& atom_step = plan.steps.emplace_back();
+    atom_step.atom = &atom;
+    atom_step.kind = program_.predicate(atom.predicate).kind;
+    if (atom_step.kind != PredicateKind::kEquality &&
+        atom_step.kind != PredicateKind::kAdom) {
+      atom_step.rows = &RowsFor(atom.predicate);
+      auto binds_var = [&atom_step](int v) {
+        for (const auto& [pos, var] : atom_step.bind) {
+          if (var == v) return true;
+        }
+        return false;
+      };
+      for (size_t i = 0; i < atom.args.size(); ++i) {
+        const Term& t = atom.args[i];
+        if (var_bound(t)) {
+          atom_step.mask |= (1u << i);
+          atom_step.key_positions.push_back(static_cast<int>(i));
+          // Indexed probes match by hash only; verify the value.
+          atom_step.check_positions.push_back(static_cast<int>(i));
+        } else if (!binds_var(t.value)) {
+          // First occurrence of an open variable in this atom: bind it.
+          atom_step.bind.emplace_back(static_cast<int>(i), t.value);
+        } else {
+          // Repeated open variable: check against the binding just made.
+          atom_step.check_positions.push_back(static_cast<int>(i));
+        }
+      }
+    }
+    for (const Term& t : atom.args) {
       if (!t.is_constant) bound[t.value] = true;
     }
   }
 
+  plan.head_tuple.resize(clause.head.args.size());
   std::vector<int> binding(num_vars, -1);
-  Join(clause, order, 0, &binding, out);
+  Join(&plan, 0, &binding, out);
 }
 
-void Evaluator::Join(const NdlClause& clause, const std::vector<int>& order,
-                     size_t next, std::vector<int>* binding, Rows* out) {
-  if (aborted_.load(std::memory_order_relaxed)) return;
-  if (next == order.size()) {
-    std::vector<int> tuple;
-    tuple.reserve(clause.head.args.size());
-    for (const Term& t : clause.head.args) {
-      if (t.is_constant) {
-        tuple.push_back(t.value);
-      } else {
-        OWLQR_CHECK_MSG((*binding)[t.value] >= 0, "unsafe clause head");
-        tuple.push_back((*binding)[t.value]);
-      }
+void Evaluator::Emit(ClausePlan* plan, const std::vector<int>& binding,
+                     Rows* out) {
+  const NdlClause& clause = *plan->clause;
+  for (size_t i = 0; i < clause.head.args.size(); ++i) {
+    const Term& t = clause.head.args[i];
+    if (t.is_constant) {
+      plan->head_tuple[i] = t.value;
+    } else {
+      OWLQR_CHECK_MSG(binding[t.value] >= 0, "unsafe clause head");
+      plan->head_tuple[i] = binding[t.value];
     }
-    if (out->Insert(tuple)) {
-      long tuples = idb_tuples_.fetch_add(1, std::memory_order_relaxed) + 1;
-      if (limits_.max_generated_tuples > 0 &&
-          tuples > limits_.max_generated_tuples) {
-        aborted_.store(true, std::memory_order_relaxed);
-      }
-    }
-    long work = work_.fetch_add(1, std::memory_order_relaxed) + 1;
-    if (limits_.max_work > 0 && work > limits_.max_work) {
+  }
+  if (out->Insert(plan->head_tuple.data())) {
+    long tuples = idb_tuples_.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (limits_.max_generated_tuples > 0 &&
+        tuples > limits_.max_generated_tuples) {
       aborted_.store(true, std::memory_order_relaxed);
     }
+  }
+  long work = work_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (limits_.max_work > 0 && work > limits_.max_work) {
+    aborted_.store(true, std::memory_order_relaxed);
+  }
+  if (has_deadline_ && work % kDeadlineCheckInterval == 0 &&
+      std::chrono::steady_clock::now() >= deadline_) {
+    deadline_exceeded_.store(true, std::memory_order_relaxed);
+    aborted_.store(true, std::memory_order_relaxed);
+  }
+}
+
+void Evaluator::Join(ClausePlan* plan, size_t next, std::vector<int>* binding,
+                     Rows* out) {
+  if (aborted_.load(std::memory_order_relaxed)) return;
+  if (next == plan->steps.size()) {
+    Emit(plan, *binding, out);
     return;
   }
 
-  const NdlAtom& atom = clause.body[order[next]];
-  const PredicateKind kind = program_.predicate(atom.predicate).kind;
+  AtomStep& step = plan->steps[next];
+  const NdlAtom& atom = *step.atom;
   auto term_value = [&](const Term& t) {
     return t.is_constant ? t.value : (*binding)[t.value];
   };
 
-  if (kind == PredicateKind::kEquality) {
+  if (step.kind == PredicateKind::kEquality) {
     int a = term_value(atom.args[0]);
     int b = term_value(atom.args[1]);
     if (a >= 0 && b >= 0) {
-      if (a == b) Join(clause, order, next + 1, binding, out);
+      if (a == b) Join(plan, next + 1, binding, out);
       return;
     }
     if (a >= 0 || b >= 0) {
       int value = a >= 0 ? a : b;
       const Term& open = a >= 0 ? atom.args[1] : atom.args[0];
       (*binding)[open.value] = value;
-      Join(clause, order, next + 1, binding, out);
+      Join(plan, next + 1, binding, out);
       (*binding)[open.value] = -1;
       return;
     }
@@ -253,101 +373,108 @@ void Evaluator::Join(const NdlClause& clause, const std::vector<int>& order,
     for (int ind : ActiveDomain()) {
       (*binding)[atom.args[0].value] = ind;
       (*binding)[atom.args[1].value] = ind;
-      Join(clause, order, next + 1, binding, out);
+      Join(plan, next + 1, binding, out);
       (*binding)[atom.args[0].value] = -1;
       (*binding)[atom.args[1].value] = -1;
     }
     return;
   }
 
-  if (kind == PredicateKind::kAdom) {
+  if (step.kind == PredicateKind::kAdom) {
     int a = term_value(atom.args[0]);
     const std::vector<int>& adom = ActiveDomain();
     if (a >= 0) {
       if (std::binary_search(adom.begin(), adom.end(), a)) {
-        Join(clause, order, next + 1, binding, out);
+        Join(plan, next + 1, binding, out);
       }
       return;
     }
     for (int ind : adom) {
       (*binding)[atom.args[0].value] = ind;
-      Join(clause, order, next + 1, binding, out);
+      Join(plan, next + 1, binding, out);
       (*binding)[atom.args[0].value] = -1;
     }
     return;
   }
 
-  // Regular (IDB or EDB) atom.
-  const Rows& rows = program_.IsIdb(atom.predicate)
-                         ? relations_[atom.predicate]
-                         : EdbRows(atom.predicate);
-  unsigned mask = 0;
-  std::vector<int> key;
-  for (size_t i = 0; i < atom.args.size(); ++i) {
-    int v = term_value(atom.args[i]);
-    if (v >= 0) {
-      mask |= (1u << i);
-      key.push_back(v);
+  // Regular (IDB or EDB) atom: scan or probe, bind the open positions,
+  // verify the checked positions against the candidate row.
+  const Rows& rows = *step.rows;
+  auto try_row = [&](const int* tuple) {
+    for (const auto& [pos, var] : step.bind) {
+      (*binding)[var] = tuple[pos];
     }
-  }
-
-  auto try_row = [&](const std::vector<int>& tuple) {
-    std::vector<int> newly_bound;
     bool ok = true;
-    for (size_t i = 0; i < atom.args.size() && ok; ++i) {
-      const Term& t = atom.args[i];
-      int current = term_value(t);
-      if (current >= 0) {
-        ok = current == tuple[i];
-      } else {
-        (*binding)[t.value] = tuple[i];
-        newly_bound.push_back(t.value);
+    for (int pos : step.check_positions) {
+      if (term_value(atom.args[pos]) != tuple[pos]) {
+        ok = false;
+        break;
       }
     }
-    if (ok) Join(clause, order, next + 1, binding, out);
-    for (int v : newly_bound) (*binding)[v] = -1;
+    if (ok) Join(plan, next + 1, binding, out);
+    for (const auto& [pos, var] : step.bind) (*binding)[var] = -1;
   };
 
-  if (mask == 0) {
-    for (const std::vector<int>& tuple : rows.tuples) try_row(tuple);
+  if (step.mask == 0) {
+    for (size_t r = 0; r < rows.size(); ++r) try_row(rows.row(r));
     return;
   }
-  const Index& index = GetIndex(atom.predicate, mask);
-  auto it = index.find(HashKey(key));
-  if (it == index.end()) return;
-  for (int row : it->second) try_row(rows.tuples[row]);
+  if (step.index == nullptr) {
+    // Fetched lazily so clauses that fail before probing never build it;
+    // cached in the (clause-local) plan so each probe is one hash lookup.
+    step.index = &GetIndex(atom.predicate, step.mask);
+  }
+  step.key_buffer.clear();
+  for (int pos : step.key_positions) {
+    step.key_buffer.push_back(term_value(atom.args[pos]));
+  }
+  auto it = step.index->find(HashTuple(
+      step.key_buffer.data(), static_cast<int>(step.key_buffer.size())));
+  if (it == step.index->end()) return;
+  for (uint32_t r : it->second) try_row(rows.row(r));
+}
+
+void Evaluator::FillStats(const std::vector<std::vector<int>>& answers,
+                          EvaluationStats* stats) const {
+  stats->generated_tuples = 0;
+  stats->predicates_evaluated = 0;
+  stats->aborted = aborted_.load();
+  stats->deadline_exceeded = deadline_exceeded_.load();
+  stats->index_builds = index_builds_.load();
+  stats->predicate_tuples.assign(program_.num_predicates(), 0);
+  for (int p = 0; p < program_.num_predicates(); ++p) {
+    if (program_.IsIdb(p) && preds_[p]->rows.materialized) {
+      long count = static_cast<long>(preds_[p]->rows.size());
+      stats->predicate_tuples[p] = count;
+      stats->generated_tuples += count;
+      ++stats->predicates_evaluated;
+    }
+  }
+  stats->goal_tuples = static_cast<long>(answers.size());
+  stats->level_wall_ms = level_wall_ms_;
 }
 
 std::vector<std::vector<int>> Evaluator::Evaluate(EvaluationStats* stats) {
   OWLQR_CHECK_MSG(program_.goal() >= 0, "program has no goal predicate");
+  StartClock();
   Materialize(program_.goal());
-  std::vector<std::vector<int>> answers = relations_[program_.goal()].tuples;
+  std::vector<std::vector<int>> answers =
+      preds_[program_.goal()]->rows.ToTuples();
   std::sort(answers.begin(), answers.end());
-  if (stats != nullptr) {
-    stats->generated_tuples = 0;
-    stats->predicates_evaluated = 0;
-    stats->aborted = aborted_.load();
-    for (int p = 0; p < program_.num_predicates(); ++p) {
-      if (program_.IsIdb(p) && relations_[p].materialized) {
-        stats->generated_tuples +=
-            static_cast<long>(relations_[p].tuples.size());
-        ++stats->predicates_evaluated;
-      }
-    }
-    stats->goal_tuples = static_cast<long>(answers.size());
-  }
+  if (stats != nullptr) FillStats(answers, stats);
   return answers;
 }
 
-const std::vector<std::vector<int>>& Evaluator::Relation(int predicate) {
+std::vector<std::vector<int>> Evaluator::Relation(int predicate) {
   Materialize(predicate);
-  return relations_[predicate].tuples;
+  return preds_[predicate]->rows.ToTuples();
 }
 
 std::vector<std::vector<int>> Evaluator::EvaluateParallel(
     int num_threads, EvaluationStats* stats) {
   OWLQR_CHECK_MSG(program_.goal() >= 0, "program has no goal predicate");
   if (num_threads <= 1) return Evaluate(stats);
+  StartClock();
 
   // Predicates the goal depends on.
   std::set<int> reachable = {program_.goal()};
@@ -364,58 +491,59 @@ std::vector<std::vector<int>> Evaluator::EvaluateParallel(
       }
     }
   }
-  // Pre-materialise every EDB relation the program touches (serially), so
-  // worker threads only read them.
+  // Freeze everything workers may read lazily: the active domain (used by
+  // equality and adom atoms) and every EDB relation of any kind, including
+  // table EDBs from the mapping layer.
+  ActiveDomain();
   for (const NdlClause& clause : program_.clauses()) {
     for (const NdlAtom& atom : clause.body) {
       PredicateKind kind = program_.predicate(atom.predicate).kind;
       if (kind == PredicateKind::kConceptEdb ||
-          kind == PredicateKind::kRoleEdb || kind == PredicateKind::kAdom) {
+          kind == PredicateKind::kRoleEdb ||
+          kind == PredicateKind::kTableEdb || kind == PredicateKind::kAdom) {
         EdbRows(atom.predicate);
       }
     }
   }
+  level_wall_ms_.clear();
   for (const std::vector<int>& level : program_.TopologicalLevels()) {
     std::vector<int> todo;
     for (int p : level) {
-      if (reachable.count(p) > 0 && !relations_[p].materialized) {
+      if (reachable.count(p) > 0 && !preds_[p]->rows.materialized) {
         todo.push_back(p);
       }
     }
     if (todo.empty()) continue;
+    auto level_start = std::chrono::steady_clock::now();
     int workers = std::min<int>(num_threads, static_cast<int>(todo.size()));
     std::atomic<size_t> next{0};
+    // Single-writer invariant: each claimed predicate's Rows is written by
+    // exactly one worker; all other relations touched are frozen lower
+    // levels or pre-materialised EDBs.
     auto work = [&] {
       while (true) {
         size_t i = next.fetch_add(1);
         if (i >= todo.size()) return;
         int p = todo[i];
         for (int ci : program_.ClausesFor(p)) {
-          EvaluateClause(program_.clause(ci), &relations_[p]);
+          EvaluateClause(program_.clause(ci), &preds_[p]->rows);
         }
-        relations_[p].materialized = true;
+        preds_[p]->rows.materialized = true;
       }
     };
     std::vector<std::thread> threads;
     for (int t = 0; t < workers; ++t) threads.emplace_back(work);
     for (std::thread& t : threads) t.join();
+    level_wall_ms_.push_back(
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - level_start)
+            .count());
   }
 
-  std::vector<std::vector<int>> answers = relations_[program_.goal()].tuples;
+  std::vector<std::vector<int>> answers =
+      preds_[program_.goal()]->rows.ToTuples();
   std::sort(answers.begin(), answers.end());
-  if (stats != nullptr) {
-    stats->generated_tuples = 0;
-    stats->predicates_evaluated = 0;
-    stats->aborted = aborted_.load();
-    for (int p = 0; p < program_.num_predicates(); ++p) {
-      if (program_.IsIdb(p) && relations_[p].materialized) {
-        stats->generated_tuples +=
-            static_cast<long>(relations_[p].tuples.size());
-        ++stats->predicates_evaluated;
-      }
-    }
-    stats->goal_tuples = static_cast<long>(answers.size());
-  }
+  if (stats != nullptr) FillStats(answers, stats);
   return answers;
 }
 

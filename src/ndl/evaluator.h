@@ -2,10 +2,11 @@
 #define OWLQR_NDL_EVALUATOR_H_
 
 #include <atomic>
-#include <map>
+#include <chrono>
+#include <cstdint>
+#include <memory>
 #include <mutex>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "data/data_instance.h"
@@ -20,9 +21,18 @@ struct EvaluationStats {
   long generated_tuples = 0;
   long goal_tuples = 0;
   int predicates_evaluated = 0;
-  // True if evaluation stopped early because the tuple budget was exhausted
-  // (the bench harness's analogue of the paper's evaluation timeouts).
+  // True if evaluation stopped early because a limit was exhausted (the
+  // bench harness's analogue of the paper's evaluation timeouts).
   bool aborted = false;
+  // True iff the abort was caused by EvaluatorLimits::deadline_ms.
+  bool deadline_exceeded = false;
+  // Number of (predicate, bound-position mask) hash indexes built.
+  long index_builds = 0;
+  // Per-predicate materialised tuple counts, indexed by predicate id
+  // (zero for EDB and unevaluated predicates).
+  std::vector<long> predicate_tuples;
+  // Parallel path only: wall time per dependence level, in milliseconds.
+  std::vector<double> level_wall_ms;
 };
 
 struct EvaluatorLimits {
@@ -32,6 +42,10 @@ struct EvaluatorLimits {
   // unlimited).  Guards against clauses that churn on duplicate tuples
   // without growing any relation.
   long max_work = 0;
+  // Wall-clock deadline from the start of Evaluate / EvaluateParallel, in
+  // milliseconds (<= 0: unlimited).  The faithful stand-in for the paper's
+  // 999 s evaluation timeout.
+  long deadline_ms = 0;
 };
 
 // Bottom-up evaluator for nonrecursive datalog over a data instance.
@@ -41,6 +55,21 @@ struct EvaluatorLimits {
 // indexes per (predicate, bound-position mask).  Equality is a built-in over
 // ind(A); TOP is the active domain.  The evaluator assumes (and checks) that
 // the program is nonrecursive.
+//
+// Storage is a flat arena per predicate (one contiguous int vector with the
+// predicate's arity as stride) with an open-addressing hash set for
+// deduplication, so the hot insert path performs no per-tuple heap
+// allocation.  Hash indexes live in per-predicate slots, each built at most
+// once under a std::once_flag, so concurrent indexed lookups on different
+// predicates never contend and lookups on the same predicate contend only
+// until the index exists.
+//
+// Parallel evaluation (EvaluateParallel) materialises the predicates of each
+// dependence level concurrently.  Its safety invariant is single-writer per
+// level: every EDB relation (including table EDBs) and the active domain are
+// materialised eagerly before workers start, each worker writes only the
+// relations of the predicates it owns, and all reads are of frozen
+// lower-level relations or of indexes built under a once-flag.
 class Evaluator {
  public:
   Evaluator(const NdlProgram& program, const DataInstance& data,
@@ -49,6 +78,10 @@ class Evaluator {
   // the active domain is then ind(data) united with the tables' cells.
   Evaluator(const NdlProgram& program, const DataInstance& data,
             const TableStore& tables, const EvaluatorLimits& limits = {});
+  ~Evaluator();
+
+  Evaluator(const Evaluator&) = delete;
+  Evaluator& operator=(const Evaluator&) = delete;
 
   // Materialises everything the goal depends on and returns the goal
   // relation, sorted lexicographically.
@@ -62,31 +95,83 @@ class Evaluator {
       int num_threads, EvaluationStats* stats = nullptr);
 
   // Materialises (if needed) and returns one predicate's relation.
-  const std::vector<std::vector<int>>& Relation(int predicate);
+  std::vector<std::vector<int>> Relation(int predicate);
 
  private:
+  // One predicate's extension: a flat row-major arena of `arity`-strided
+  // cells plus an open-addressing dedup table (slot = row index + 1).
   struct Rows {
-    std::vector<std::vector<int>> tuples;
-    // Hash -> indices of tuples with that hash (collisions compared fully).
-    std::unordered_map<size_t, std::vector<int>> buckets;
+    int arity = 0;
+    std::vector<int> cells;
     bool materialized = false;
 
-    bool Insert(const std::vector<int>& tuple);
+    size_t size() const { return num_rows_; }
+    const int* row(size_t r) const {
+      return cells.data() + r * static_cast<size_t>(arity);
+    }
+    // Inserts `tuple` (arity ints) if new; returns whether it was new.
+    bool Insert(const int* tuple);
+
+    std::vector<std::vector<int>> ToTuples() const;
+
+   private:
+    void Grow();
+
+    size_t num_rows_ = 0;
+    std::vector<uint32_t> slots_;  // Power-of-two sized; 0 = empty.
   };
 
-  // Hash index on the positions set in `mask` (bit i = position i bound).
-  using Index = std::unordered_map<size_t, std::vector<int>>;
+  // Hash index on the positions set in `mask` (bit i = position i bound):
+  // key hash -> rows whose key matches (collisions compared by the caller).
+  using Index = std::unordered_map<size_t, std::vector<uint32_t>>;
 
+  struct IndexSlot {
+    std::once_flag built;
+    Index index;
+  };
+
+  struct PredicateState {
+    Rows rows;
+    std::once_flag edb_once;          // Guards EDB materialisation.
+    std::mutex slot_mutex;            // Guards the shape of `slots`.
+    std::unordered_map<unsigned, std::unique_ptr<IndexSlot>> slots;
+  };
+
+  // Per-atom join plan computed once per clause evaluation: the static
+  // bound-position mask, the resolved relation/index, and the argument
+  // positions to bind or to check against the current binding.
+  struct AtomStep {
+    const NdlAtom* atom = nullptr;
+    PredicateKind kind = PredicateKind::kIdb;
+    const Rows* rows = nullptr;            // Regular atoms only.
+    const Index* index = nullptr;          // Fetched lazily when mask != 0.
+    unsigned mask = 0;
+    std::vector<int> key_positions;        // Statically bound positions.
+    std::vector<std::pair<int, int>> bind; // (position, variable) to bind.
+    std::vector<int> check_positions;      // Positions verified by value.
+    std::vector<int> key_buffer;           // Reused across probes.
+  };
+
+  struct ClausePlan {
+    const NdlClause* clause = nullptr;
+    std::vector<AtomStep> steps;
+    std::vector<int> head_tuple;           // Reused emission buffer.
+  };
+
+  void Init();
+  void StartClock();
   void Materialize(int predicate);
   void EvaluateClause(const NdlClause& clause, Rows* out);
-  // Recursive join over clause.body in the order `atom_order`.
-  void Join(const NdlClause& clause, const std::vector<int>& atom_order,
-            size_t next, std::vector<int>* binding, Rows* out);
+  void Join(ClausePlan* plan, size_t next, std::vector<int>* binding,
+            Rows* out);
+  void Emit(ClausePlan* plan, const std::vector<int>& binding, Rows* out);
   const Index& GetIndex(int predicate, unsigned mask);
   const Rows& EdbRows(int predicate);
+  const Rows& RowsFor(int predicate);
+  void FillStats(const std::vector<std::vector<int>>& answers,
+                 EvaluationStats* stats) const;
 
-  static size_t HashTuple(const std::vector<int>& tuple);
-  static size_t HashKey(const std::vector<int>& key);
+  static size_t HashTuple(const int* tuple, int arity);
 
   const std::vector<int>& ActiveDomain();
 
@@ -94,15 +179,17 @@ class Evaluator {
   const DataInstance& data_;
   const TableStore* tables_ = nullptr;  // Not owned; may be null.
   std::vector<int> active_domain_;
-  bool active_domain_computed_ = false;
+  std::once_flag active_domain_once_;
   EvaluatorLimits limits_;
+  std::chrono::steady_clock::time_point deadline_;
+  bool has_deadline_ = false;
   std::atomic<long> idb_tuples_{0};
   std::atomic<long> work_{0};
+  std::atomic<long> index_builds_{0};
   std::atomic<bool> aborted_{false};
-  std::mutex index_mutex_;  // Guards indexes_ (and EDB materialisation)
-                            // during parallel evaluation.
-  std::vector<Rows> relations_;
-  std::map<std::pair<int, unsigned>, Index> indexes_;
+  std::atomic<bool> deadline_exceeded_{false};
+  std::vector<std::unique_ptr<PredicateState>> preds_;
+  std::vector<double> level_wall_ms_;
 };
 
 }  // namespace owlqr

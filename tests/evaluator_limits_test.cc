@@ -61,6 +61,62 @@ TEST(EvaluatorLimitsTest, NoBudgetCompletes) {
   EXPECT_EQ(answers.size(), 400u);  // All pairs incl. (v, v) via a middle.
 }
 
+TEST(EvaluatorLimitsTest, DeadlineAborts) {
+  Vocabulary vocab;
+  // G(x, y) <- R(x, u) & R(u, v) & R(v, y): ~40^4 join emissions, far more
+  // than a few milliseconds of work.
+  NdlProgram program(&vocab);
+  int r = program.AddRolePredicate(vocab.InternPredicate("R"));
+  int g = program.AddIdbPredicate("G", 2);
+  NdlClause c;
+  c.head = {g, {Term::Var(0), Term::Var(1)}};
+  c.body.push_back({r, {Term::Var(0), Term::Var(2)}});
+  c.body.push_back({r, {Term::Var(2), Term::Var(3)}});
+  c.body.push_back({r, {Term::Var(3), Term::Var(1)}});
+  program.AddClause(std::move(c));
+  program.SetGoal(g);
+  DataInstance data = DenseGraph(&vocab, 40);
+  EvaluatorLimits limits;
+  limits.deadline_ms = 5;
+  Evaluator eval(program, data, limits);
+  EvaluationStats stats;
+  eval.Evaluate(&stats);
+  EXPECT_TRUE(stats.aborted);
+  EXPECT_TRUE(stats.deadline_exceeded);
+}
+
+TEST(EvaluatorLimitsTest, GenerousDeadlineCompletes) {
+  Vocabulary vocab;
+  NdlProgram program = JoinProgram(&vocab);
+  DataInstance data = DenseGraph(&vocab, 10);
+  EvaluatorLimits limits;
+  limits.deadline_ms = 60'000;
+  Evaluator eval(program, data, limits);
+  EvaluationStats stats;
+  auto answers = eval.Evaluate(&stats);
+  EXPECT_FALSE(stats.aborted);
+  EXPECT_FALSE(stats.deadline_exceeded);
+  EXPECT_EQ(answers.size(), 100u);
+}
+
+TEST(EvaluatorLimitsTest, PerPredicateStats) {
+  Vocabulary vocab;
+  NdlProgram program = JoinProgram(&vocab);
+  DataInstance data = DenseGraph(&vocab, 10);
+  Evaluator eval(program, data);
+  EvaluationStats stats;
+  auto answers = eval.Evaluate(&stats);
+  ASSERT_EQ(stats.predicate_tuples.size(),
+            static_cast<size_t>(program.num_predicates()));
+  long sum = 0;
+  for (long n : stats.predicate_tuples) sum += n;
+  EXPECT_EQ(sum, stats.generated_tuples);
+  EXPECT_EQ(stats.predicate_tuples[program.goal()],
+            static_cast<long>(answers.size()));
+  // The two-atom self-join builds at least one index over R.
+  EXPECT_GE(stats.index_builds, 1);
+}
+
 TEST(EvaluatorLimitsTest, BudgetLargerThanResultIsHarmless) {
   Vocabulary vocab;
   NdlProgram program = JoinProgram(&vocab);
