@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_inline.dir/bench_ablation_inline.cc.o"
+  "CMakeFiles/bench_ablation_inline.dir/bench_ablation_inline.cc.o.d"
+  "bench_ablation_inline"
+  "bench_ablation_inline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_inline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_skinny.dir/bench_ablation_skinny.cc.o"
+  "CMakeFiles/bench_ablation_skinny.dir/bench_ablation_skinny.cc.o.d"
+  "bench_ablation_skinny"
+  "bench_ablation_skinny.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_skinny.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

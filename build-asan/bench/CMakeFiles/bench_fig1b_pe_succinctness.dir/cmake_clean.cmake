@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1b_pe_succinctness.dir/bench_fig1b_pe_succinctness.cc.o"
+  "CMakeFiles/bench_fig1b_pe_succinctness.dir/bench_fig1b_pe_succinctness.cc.o.d"
+  "bench_fig1b_pe_succinctness"
+  "bench_fig1b_pe_succinctness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1b_pe_succinctness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

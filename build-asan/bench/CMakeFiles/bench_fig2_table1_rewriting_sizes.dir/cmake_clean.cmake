@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_table1_rewriting_sizes.dir/bench_fig2_table1_rewriting_sizes.cc.o"
+  "CMakeFiles/bench_fig2_table1_rewriting_sizes.dir/bench_fig2_table1_rewriting_sizes.cc.o.d"
+  "bench_fig2_table1_rewriting_sizes"
+  "bench_fig2_table1_rewriting_sizes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_table1_rewriting_sizes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

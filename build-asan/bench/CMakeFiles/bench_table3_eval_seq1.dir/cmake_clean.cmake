@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_eval_seq1.dir/bench_table3_eval_seq1.cc.o"
+  "CMakeFiles/bench_table3_eval_seq1.dir/bench_table3_eval_seq1.cc.o.d"
+  "bench_table3_eval_seq1"
+  "bench_table3_eval_seq1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_eval_seq1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_generate_datasets.dir/generate_datasets.cpp.o"
+  "CMakeFiles/example_generate_datasets.dir/generate_datasets.cpp.o.d"
+  "example_generate_datasets"
+  "example_generate_datasets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_generate_datasets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_obda_mapping.dir/obda_mapping.cpp.o"
+  "CMakeFiles/example_obda_mapping.dir/obda_mapping.cpp.o.d"
+  "example_obda_mapping"
+  "example_obda_mapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_obda_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_owlqr_cli.dir/owlqr_cli.cpp.o"
+  "CMakeFiles/example_owlqr_cli.dir/owlqr_cli.cpp.o.d"
+  "example_owlqr_cli"
+  "example_owlqr_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_owlqr_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

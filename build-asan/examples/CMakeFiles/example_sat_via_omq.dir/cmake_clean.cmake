@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_sat_via_omq.dir/sat_via_omq.cpp.o"
+  "CMakeFiles/example_sat_via_omq.dir/sat_via_omq.cpp.o.d"
+  "example_sat_via_omq"
+  "example_sat_via_omq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_sat_via_omq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

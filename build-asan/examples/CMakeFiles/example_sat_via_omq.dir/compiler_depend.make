@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for example_sat_via_omq.
+# This may be replaced when dependencies are built.

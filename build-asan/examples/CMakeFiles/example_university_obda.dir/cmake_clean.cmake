@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_university_obda.dir/university_obda.cpp.o"
+  "CMakeFiles/example_university_obda.dir/university_obda.cpp.o.d"
+  "example_university_obda"
+  "example_university_obda.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_university_obda.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_university_obda.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,63 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/chase/canonical_model.cc" "src/CMakeFiles/owlqr.dir/chase/canonical_model.cc.o" "gcc" "src/CMakeFiles/owlqr.dir/chase/canonical_model.cc.o.d"
+  "/root/repo/src/chase/certain_answers.cc" "src/CMakeFiles/owlqr.dir/chase/certain_answers.cc.o" "gcc" "src/CMakeFiles/owlqr.dir/chase/certain_answers.cc.o.d"
+  "/root/repo/src/chase/homomorphism.cc" "src/CMakeFiles/owlqr.dir/chase/homomorphism.cc.o" "gcc" "src/CMakeFiles/owlqr.dir/chase/homomorphism.cc.o.d"
+  "/root/repo/src/core/cost_model.cc" "src/CMakeFiles/owlqr.dir/core/cost_model.cc.o" "gcc" "src/CMakeFiles/owlqr.dir/core/cost_model.cc.o.d"
+  "/root/repo/src/core/inconsistency_guard.cc" "src/CMakeFiles/owlqr.dir/core/inconsistency_guard.cc.o" "gcc" "src/CMakeFiles/owlqr.dir/core/inconsistency_guard.cc.o.d"
+  "/root/repo/src/core/lin_rewriter.cc" "src/CMakeFiles/owlqr.dir/core/lin_rewriter.cc.o" "gcc" "src/CMakeFiles/owlqr.dir/core/lin_rewriter.cc.o.d"
+  "/root/repo/src/core/log_rewriter.cc" "src/CMakeFiles/owlqr.dir/core/log_rewriter.cc.o" "gcc" "src/CMakeFiles/owlqr.dir/core/log_rewriter.cc.o.d"
+  "/root/repo/src/core/mapping.cc" "src/CMakeFiles/owlqr.dir/core/mapping.cc.o" "gcc" "src/CMakeFiles/owlqr.dir/core/mapping.cc.o.d"
+  "/root/repo/src/core/omq.cc" "src/CMakeFiles/owlqr.dir/core/omq.cc.o" "gcc" "src/CMakeFiles/owlqr.dir/core/omq.cc.o.d"
+  "/root/repo/src/core/rewriters.cc" "src/CMakeFiles/owlqr.dir/core/rewriters.cc.o" "gcc" "src/CMakeFiles/owlqr.dir/core/rewriters.cc.o.d"
+  "/root/repo/src/core/rewriting_context.cc" "src/CMakeFiles/owlqr.dir/core/rewriting_context.cc.o" "gcc" "src/CMakeFiles/owlqr.dir/core/rewriting_context.cc.o.d"
+  "/root/repo/src/core/tree_witness.cc" "src/CMakeFiles/owlqr.dir/core/tree_witness.cc.o" "gcc" "src/CMakeFiles/owlqr.dir/core/tree_witness.cc.o.d"
+  "/root/repo/src/core/tw_rewriter.cc" "src/CMakeFiles/owlqr.dir/core/tw_rewriter.cc.o" "gcc" "src/CMakeFiles/owlqr.dir/core/tw_rewriter.cc.o.d"
+  "/root/repo/src/core/type_compat.cc" "src/CMakeFiles/owlqr.dir/core/type_compat.cc.o" "gcc" "src/CMakeFiles/owlqr.dir/core/type_compat.cc.o.d"
+  "/root/repo/src/core/ucq_rewriter.cc" "src/CMakeFiles/owlqr.dir/core/ucq_rewriter.cc.o" "gcc" "src/CMakeFiles/owlqr.dir/core/ucq_rewriter.cc.o.d"
+  "/root/repo/src/cq/cq.cc" "src/CMakeFiles/owlqr.dir/cq/cq.cc.o" "gcc" "src/CMakeFiles/owlqr.dir/cq/cq.cc.o.d"
+  "/root/repo/src/cq/gaifman.cc" "src/CMakeFiles/owlqr.dir/cq/gaifman.cc.o" "gcc" "src/CMakeFiles/owlqr.dir/cq/gaifman.cc.o.d"
+  "/root/repo/src/cq/splitting.cc" "src/CMakeFiles/owlqr.dir/cq/splitting.cc.o" "gcc" "src/CMakeFiles/owlqr.dir/cq/splitting.cc.o.d"
+  "/root/repo/src/cq/tree_decomposition.cc" "src/CMakeFiles/owlqr.dir/cq/tree_decomposition.cc.o" "gcc" "src/CMakeFiles/owlqr.dir/cq/tree_decomposition.cc.o.d"
+  "/root/repo/src/data/completion.cc" "src/CMakeFiles/owlqr.dir/data/completion.cc.o" "gcc" "src/CMakeFiles/owlqr.dir/data/completion.cc.o.d"
+  "/root/repo/src/data/data_instance.cc" "src/CMakeFiles/owlqr.dir/data/data_instance.cc.o" "gcc" "src/CMakeFiles/owlqr.dir/data/data_instance.cc.o.d"
+  "/root/repo/src/data/table_store.cc" "src/CMakeFiles/owlqr.dir/data/table_store.cc.o" "gcc" "src/CMakeFiles/owlqr.dir/data/table_store.cc.o.d"
+  "/root/repo/src/ndl/evaluator.cc" "src/CMakeFiles/owlqr.dir/ndl/evaluator.cc.o" "gcc" "src/CMakeFiles/owlqr.dir/ndl/evaluator.cc.o.d"
+  "/root/repo/src/ndl/linear_evaluator.cc" "src/CMakeFiles/owlqr.dir/ndl/linear_evaluator.cc.o" "gcc" "src/CMakeFiles/owlqr.dir/ndl/linear_evaluator.cc.o.d"
+  "/root/repo/src/ndl/optimize.cc" "src/CMakeFiles/owlqr.dir/ndl/optimize.cc.o" "gcc" "src/CMakeFiles/owlqr.dir/ndl/optimize.cc.o.d"
+  "/root/repo/src/ndl/program.cc" "src/CMakeFiles/owlqr.dir/ndl/program.cc.o" "gcc" "src/CMakeFiles/owlqr.dir/ndl/program.cc.o.d"
+  "/root/repo/src/ndl/skinny.cc" "src/CMakeFiles/owlqr.dir/ndl/skinny.cc.o" "gcc" "src/CMakeFiles/owlqr.dir/ndl/skinny.cc.o.d"
+  "/root/repo/src/ndl/transforms.cc" "src/CMakeFiles/owlqr.dir/ndl/transforms.cc.o" "gcc" "src/CMakeFiles/owlqr.dir/ndl/transforms.cc.o.d"
+  "/root/repo/src/ontology/saturation.cc" "src/CMakeFiles/owlqr.dir/ontology/saturation.cc.o" "gcc" "src/CMakeFiles/owlqr.dir/ontology/saturation.cc.o.d"
+  "/root/repo/src/ontology/tbox.cc" "src/CMakeFiles/owlqr.dir/ontology/tbox.cc.o" "gcc" "src/CMakeFiles/owlqr.dir/ontology/tbox.cc.o.d"
+  "/root/repo/src/ontology/word_graph.cc" "src/CMakeFiles/owlqr.dir/ontology/word_graph.cc.o" "gcc" "src/CMakeFiles/owlqr.dir/ontology/word_graph.cc.o.d"
+  "/root/repo/src/pe/pe_formula.cc" "src/CMakeFiles/owlqr.dir/pe/pe_formula.cc.o" "gcc" "src/CMakeFiles/owlqr.dir/pe/pe_formula.cc.o.d"
+  "/root/repo/src/reductions/clique.cc" "src/CMakeFiles/owlqr.dir/reductions/clique.cc.o" "gcc" "src/CMakeFiles/owlqr.dir/reductions/clique.cc.o.d"
+  "/root/repo/src/reductions/hardest_logcfl.cc" "src/CMakeFiles/owlqr.dir/reductions/hardest_logcfl.cc.o" "gcc" "src/CMakeFiles/owlqr.dir/reductions/hardest_logcfl.cc.o.d"
+  "/root/repo/src/reductions/hitting_set.cc" "src/CMakeFiles/owlqr.dir/reductions/hitting_set.cc.o" "gcc" "src/CMakeFiles/owlqr.dir/reductions/hitting_set.cc.o.d"
+  "/root/repo/src/reductions/pe_trees.cc" "src/CMakeFiles/owlqr.dir/reductions/pe_trees.cc.o" "gcc" "src/CMakeFiles/owlqr.dir/reductions/pe_trees.cc.o.d"
+  "/root/repo/src/reductions/sat.cc" "src/CMakeFiles/owlqr.dir/reductions/sat.cc.o" "gcc" "src/CMakeFiles/owlqr.dir/reductions/sat.cc.o.d"
+  "/root/repo/src/syntax/mapping_parser.cc" "src/CMakeFiles/owlqr.dir/syntax/mapping_parser.cc.o" "gcc" "src/CMakeFiles/owlqr.dir/syntax/mapping_parser.cc.o.d"
+  "/root/repo/src/syntax/ndl_parser.cc" "src/CMakeFiles/owlqr.dir/syntax/ndl_parser.cc.o" "gcc" "src/CMakeFiles/owlqr.dir/syntax/ndl_parser.cc.o.d"
+  "/root/repo/src/syntax/parser.cc" "src/CMakeFiles/owlqr.dir/syntax/parser.cc.o" "gcc" "src/CMakeFiles/owlqr.dir/syntax/parser.cc.o.d"
+  "/root/repo/src/syntax/sql_export.cc" "src/CMakeFiles/owlqr.dir/syntax/sql_export.cc.o" "gcc" "src/CMakeFiles/owlqr.dir/syntax/sql_export.cc.o.d"
+  "/root/repo/src/syntax/turtle.cc" "src/CMakeFiles/owlqr.dir/syntax/turtle.cc.o" "gcc" "src/CMakeFiles/owlqr.dir/syntax/turtle.cc.o.d"
+  "/root/repo/src/util/dot.cc" "src/CMakeFiles/owlqr.dir/util/dot.cc.o" "gcc" "src/CMakeFiles/owlqr.dir/util/dot.cc.o.d"
+  "/root/repo/src/util/strings.cc" "src/CMakeFiles/owlqr.dir/util/strings.cc.o" "gcc" "src/CMakeFiles/owlqr.dir/util/strings.cc.o.d"
+  "/root/repo/src/workloads/paper_workloads.cc" "src/CMakeFiles/owlqr.dir/workloads/paper_workloads.cc.o" "gcc" "src/CMakeFiles/owlqr.dir/workloads/paper_workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

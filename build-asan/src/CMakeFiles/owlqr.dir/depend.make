@@ -1,0 +1,2 @@
+# Empty dependencies file for owlqr.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/owlqr_sanitize_tests.dir/evaluator_limits_test.cc.o"
+  "CMakeFiles/owlqr_sanitize_tests.dir/evaluator_limits_test.cc.o.d"
+  "CMakeFiles/owlqr_sanitize_tests.dir/parallel_evaluator_test.cc.o"
+  "CMakeFiles/owlqr_sanitize_tests.dir/parallel_evaluator_test.cc.o.d"
+  "owlqr_sanitize_tests"
+  "owlqr_sanitize_tests.pdb"
+  "owlqr_sanitize_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/owlqr_sanitize_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

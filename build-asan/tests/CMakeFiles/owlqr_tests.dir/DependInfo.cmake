@@ -1,0 +1,53 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/api_misuse_test.cc" "tests/CMakeFiles/owlqr_tests.dir/api_misuse_test.cc.o" "gcc" "tests/CMakeFiles/owlqr_tests.dir/api_misuse_test.cc.o.d"
+  "/root/repo/tests/chase_test.cc" "tests/CMakeFiles/owlqr_tests.dir/chase_test.cc.o" "gcc" "tests/CMakeFiles/owlqr_tests.dir/chase_test.cc.o.d"
+  "/root/repo/tests/complexity_properties_test.cc" "tests/CMakeFiles/owlqr_tests.dir/complexity_properties_test.cc.o" "gcc" "tests/CMakeFiles/owlqr_tests.dir/complexity_properties_test.cc.o.d"
+  "/root/repo/tests/containers_test.cc" "tests/CMakeFiles/owlqr_tests.dir/containers_test.cc.o" "gcc" "tests/CMakeFiles/owlqr_tests.dir/containers_test.cc.o.d"
+  "/root/repo/tests/cost_model_test.cc" "tests/CMakeFiles/owlqr_tests.dir/cost_model_test.cc.o" "gcc" "tests/CMakeFiles/owlqr_tests.dir/cost_model_test.cc.o.d"
+  "/root/repo/tests/cq_test.cc" "tests/CMakeFiles/owlqr_tests.dir/cq_test.cc.o" "gcc" "tests/CMakeFiles/owlqr_tests.dir/cq_test.cc.o.d"
+  "/root/repo/tests/dot_test.cc" "tests/CMakeFiles/owlqr_tests.dir/dot_test.cc.o" "gcc" "tests/CMakeFiles/owlqr_tests.dir/dot_test.cc.o.d"
+  "/root/repo/tests/evaluator_differential_test.cc" "tests/CMakeFiles/owlqr_tests.dir/evaluator_differential_test.cc.o" "gcc" "tests/CMakeFiles/owlqr_tests.dir/evaluator_differential_test.cc.o.d"
+  "/root/repo/tests/evaluator_limits_test.cc" "tests/CMakeFiles/owlqr_tests.dir/evaluator_limits_test.cc.o" "gcc" "tests/CMakeFiles/owlqr_tests.dir/evaluator_limits_test.cc.o.d"
+  "/root/repo/tests/fig2_regression_test.cc" "tests/CMakeFiles/owlqr_tests.dir/fig2_regression_test.cc.o" "gcc" "tests/CMakeFiles/owlqr_tests.dir/fig2_regression_test.cc.o.d"
+  "/root/repo/tests/inconsistency_guard_test.cc" "tests/CMakeFiles/owlqr_tests.dir/inconsistency_guard_test.cc.o" "gcc" "tests/CMakeFiles/owlqr_tests.dir/inconsistency_guard_test.cc.o.d"
+  "/root/repo/tests/linear_evaluator_test.cc" "tests/CMakeFiles/owlqr_tests.dir/linear_evaluator_test.cc.o" "gcc" "tests/CMakeFiles/owlqr_tests.dir/linear_evaluator_test.cc.o.d"
+  "/root/repo/tests/log_cyclic_test.cc" "tests/CMakeFiles/owlqr_tests.dir/log_cyclic_test.cc.o" "gcc" "tests/CMakeFiles/owlqr_tests.dir/log_cyclic_test.cc.o.d"
+  "/root/repo/tests/mapping_parser_test.cc" "tests/CMakeFiles/owlqr_tests.dir/mapping_parser_test.cc.o" "gcc" "tests/CMakeFiles/owlqr_tests.dir/mapping_parser_test.cc.o.d"
+  "/root/repo/tests/mapping_test.cc" "tests/CMakeFiles/owlqr_tests.dir/mapping_test.cc.o" "gcc" "tests/CMakeFiles/owlqr_tests.dir/mapping_test.cc.o.d"
+  "/root/repo/tests/ndl_parser_test.cc" "tests/CMakeFiles/owlqr_tests.dir/ndl_parser_test.cc.o" "gcc" "tests/CMakeFiles/owlqr_tests.dir/ndl_parser_test.cc.o.d"
+  "/root/repo/tests/ndl_test.cc" "tests/CMakeFiles/owlqr_tests.dir/ndl_test.cc.o" "gcc" "tests/CMakeFiles/owlqr_tests.dir/ndl_test.cc.o.d"
+  "/root/repo/tests/omq_test.cc" "tests/CMakeFiles/owlqr_tests.dir/omq_test.cc.o" "gcc" "tests/CMakeFiles/owlqr_tests.dir/omq_test.cc.o.d"
+  "/root/repo/tests/ontology_test.cc" "tests/CMakeFiles/owlqr_tests.dir/ontology_test.cc.o" "gcc" "tests/CMakeFiles/owlqr_tests.dir/ontology_test.cc.o.d"
+  "/root/repo/tests/optimize_test.cc" "tests/CMakeFiles/owlqr_tests.dir/optimize_test.cc.o" "gcc" "tests/CMakeFiles/owlqr_tests.dir/optimize_test.cc.o.d"
+  "/root/repo/tests/parallel_evaluator_test.cc" "tests/CMakeFiles/owlqr_tests.dir/parallel_evaluator_test.cc.o" "gcc" "tests/CMakeFiles/owlqr_tests.dir/parallel_evaluator_test.cc.o.d"
+  "/root/repo/tests/parser_fuzz_test.cc" "tests/CMakeFiles/owlqr_tests.dir/parser_fuzz_test.cc.o" "gcc" "tests/CMakeFiles/owlqr_tests.dir/parser_fuzz_test.cc.o.d"
+  "/root/repo/tests/pe_test.cc" "tests/CMakeFiles/owlqr_tests.dir/pe_test.cc.o" "gcc" "tests/CMakeFiles/owlqr_tests.dir/pe_test.cc.o.d"
+  "/root/repo/tests/pe_trees_test.cc" "tests/CMakeFiles/owlqr_tests.dir/pe_trees_test.cc.o" "gcc" "tests/CMakeFiles/owlqr_tests.dir/pe_trees_test.cc.o.d"
+  "/root/repo/tests/reductions_test.cc" "tests/CMakeFiles/owlqr_tests.dir/reductions_test.cc.o" "gcc" "tests/CMakeFiles/owlqr_tests.dir/reductions_test.cc.o.d"
+  "/root/repo/tests/rewriter_test.cc" "tests/CMakeFiles/owlqr_tests.dir/rewriter_test.cc.o" "gcc" "tests/CMakeFiles/owlqr_tests.dir/rewriter_test.cc.o.d"
+  "/root/repo/tests/sequence_sweep_test.cc" "tests/CMakeFiles/owlqr_tests.dir/sequence_sweep_test.cc.o" "gcc" "tests/CMakeFiles/owlqr_tests.dir/sequence_sweep_test.cc.o.d"
+  "/root/repo/tests/sql_export_test.cc" "tests/CMakeFiles/owlqr_tests.dir/sql_export_test.cc.o" "gcc" "tests/CMakeFiles/owlqr_tests.dir/sql_export_test.cc.o.d"
+  "/root/repo/tests/syntax_test.cc" "tests/CMakeFiles/owlqr_tests.dir/syntax_test.cc.o" "gcc" "tests/CMakeFiles/owlqr_tests.dir/syntax_test.cc.o.d"
+  "/root/repo/tests/transforms_test.cc" "tests/CMakeFiles/owlqr_tests.dir/transforms_test.cc.o" "gcc" "tests/CMakeFiles/owlqr_tests.dir/transforms_test.cc.o.d"
+  "/root/repo/tests/tree_witness_test.cc" "tests/CMakeFiles/owlqr_tests.dir/tree_witness_test.cc.o" "gcc" "tests/CMakeFiles/owlqr_tests.dir/tree_witness_test.cc.o.d"
+  "/root/repo/tests/turtle_test.cc" "tests/CMakeFiles/owlqr_tests.dir/turtle_test.cc.o" "gcc" "tests/CMakeFiles/owlqr_tests.dir/turtle_test.cc.o.d"
+  "/root/repo/tests/util_test.cc" "tests/CMakeFiles/owlqr_tests.dir/util_test.cc.o" "gcc" "tests/CMakeFiles/owlqr_tests.dir/util_test.cc.o.d"
+  "/root/repo/tests/workloads_test.cc" "tests/CMakeFiles/owlqr_tests.dir/workloads_test.cc.o" "gcc" "tests/CMakeFiles/owlqr_tests.dir/workloads_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/CMakeFiles/owlqr.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
