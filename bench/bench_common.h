@@ -51,6 +51,16 @@ inline long TupleBudget() {
   return env != nullptr ? std::atol(env) : 2'000'000L;
 }
 
+// Per-stage tracing for the table benches: when enabled (the default), each
+// cell installs a MetricsRegistry and reports rewrite / transform /
+// index-build / join timings as extra benchmark counters, so a
+// --benchmark_format=json run is self-profiling.  Set OWLQR_TRACE=0 for the
+// untraced configuration used in overhead comparisons.
+inline bool TraceEnabled() {
+  const char* env = std::getenv("OWLQR_TRACE");
+  return env == nullptr || std::atoi(env) != 0;
+}
+
 }  // namespace bench
 }  // namespace owlqr
 

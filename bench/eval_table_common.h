@@ -10,10 +10,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <map>
 
 #include "bench_common.h"
 #include "ndl/evaluator.h"
+#include "util/metrics.h"
 
 namespace owlqr {
 namespace bench {
@@ -41,7 +43,17 @@ inline void BM_EvalCell(benchmark::State& state) {
   options.arbitrary_instances = true;
   bool truncated = false;
   options.truncated = &truncated;
+
+  // Per-stage trace of this cell (rewrite included); see TraceEnabled().
+  MetricsRegistry metrics;
+  const bool trace = TraceEnabled();
+  if (trace) MetricsRegistry::SetGlobal(&metrics);
+
+  auto rewrite_start = std::chrono::steady_clock::now();
   NdlProgram program = RewriteOmq(s.ctx.get(), query, kind, options);
+  double rewrite_ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - rewrite_start)
+                          .count();
   const DataInstance& data = CachedDataset(dataset);
 
   EvaluationStats stats;
@@ -58,6 +70,35 @@ inline void BM_EvalCell(benchmark::State& state) {
       static_cast<double>(stats.generated_tuples);
   state.counters["Clauses"] = static_cast<double>(program.num_clauses());
   state.counters["Aborted"] = stats.aborted || truncated ? 1 : 0;
+  state.counters["RewriteMs"] = rewrite_ms;
+  if (trace) {
+    MetricsRegistry::SetGlobal(nullptr);
+    double transform_ms = 0;
+    double join_ms = 0;
+    double edb_ms = 0;
+    for (const MetricsRegistry::Span& span : metrics.spans()) {
+      // Only the top-level transforms the table rewrites use (nested
+      // safety/prune spans would double-count).
+      if (span.name == "transform/star" ||
+          span.name == "transform/linear-star") {
+        transform_ms += span.duration_ms;
+      } else if (span.name == "evaluate/join") {
+        join_ms += span.duration_ms;
+      } else if (span.name == "evaluate/edb") {
+        edb_ms += span.duration_ms;
+      }
+    }
+    MetricsRegistry::TimerStats index = metrics.timer(
+        "evaluator/index_build_ms");
+    state.counters["TransformMs"] = transform_ms;
+    state.counters["IndexBuildMs"] = index.sum;
+    state.counters["JoinMs"] = join_ms;
+    state.counters["EdbMs"] = edb_ms;
+    state.counters["JoinEmissions"] =
+        static_cast<double>(metrics.counter("evaluator/join_emissions"));
+    state.counters["DedupNewTuples"] =
+        static_cast<double>(metrics.counter("evaluator/new_tuples"));
+  }
   state.SetLabel(std::string(RewriterName(kind)) + " " + word + " ds" +
                  std::to_string(dataset + 1));
 }

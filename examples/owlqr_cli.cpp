@@ -3,6 +3,7 @@
 //
 //   $ ./example_owlqr_cli ONTOLOGY QUERY [DATA] [--rewriter=KIND]
 //                         [--print-rewriting] [--sql] [--complete-instances]
+//                         [--trace-json=PATH]
 //
 //   ONTOLOGY  file in the ParseTBox syntax (see src/syntax/parser.h)
 //   QUERY     file with one query:  q(x) :- R(x, y), A(y)
@@ -10,6 +11,9 @@
 //   KIND      lin | log | tw | twstar | ucq | presto | auto   (default auto;
 //             auto picks by the paper's Figure 1 classes and, when data is
 //             given, by the Section 6 cost model)
+//
+// --trace-json=PATH records a structured trace of the run (per-stage spans,
+// counters, timers; see DESIGN.md section 7) and writes it to PATH as JSON.
 //
 // Example:
 //   ./example_owlqr_cli onto.txt query.txt data.txt --rewriter=lin
@@ -26,6 +30,7 @@
 #include "ndl/evaluator.h"
 #include "syntax/parser.h"
 #include "syntax/sql_export.h"
+#include "util/metrics.h"
 
 namespace {
 
@@ -46,6 +51,7 @@ int main(int argc, char** argv) {
   const char* query_path = nullptr;
   const char* data_path = nullptr;
   std::string rewriter = "auto";
+  std::string trace_json_path;
   bool print_rewriting = false;
   bool print_sql = false;
   bool complete_instances = false;
@@ -53,6 +59,8 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--rewriter=", 11) == 0) {
       rewriter = argv[i] + 11;
+    } else if (std::strncmp(argv[i], "--trace-json=", 13) == 0) {
+      trace_json_path = argv[i] + 13;
     } else if (std::strcmp(argv[i], "--print-rewriting") == 0) {
       print_rewriting = true;
     } else if (std::strcmp(argv[i], "--sql") == 0) {
@@ -73,14 +81,21 @@ int main(int argc, char** argv) {
   if (ontology_path == nullptr || query_path == nullptr) {
     std::fprintf(stderr,
                  "usage: %s ONTOLOGY QUERY [DATA] [--rewriter=KIND] "
-                 "[--print-rewriting] [--complete-instances]\n",
+                 "[--print-rewriting] [--complete-instances] "
+                 "[--trace-json=PATH]\n",
                  argv[0]);
     return 2;
   }
 
+  // Install the trace collector before any pipeline stage runs so the
+  // rewrite/transform/evaluate spans all land in one registry.
+  MetricsRegistry metrics;
+  if (!trace_json_path.empty()) MetricsRegistry::SetGlobal(&metrics);
+
   std::string text, error;
   Vocabulary vocab;
   TBox tbox(&vocab);
+  size_t parse_span = trace_json_path.empty() ? 0 : metrics.BeginSpan("parse");
   if (!ReadFile(ontology_path, &text)) {
     std::fprintf(stderr, "cannot read %s\n", ontology_path);
     return 1;
@@ -113,6 +128,8 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
+
+  if (!trace_json_path.empty()) metrics.EndSpan(parse_span);
 
   RewritingContext ctx(tbox);
   OmqProfile profile = ProfileOmq(ctx, *query);
@@ -177,6 +194,15 @@ int main(int argc, char** argv) {
     }
     std::fprintf(stderr, "%ld answers, %ld tuples materialised\n",
                  stats.goal_tuples, stats.generated_tuples);
+  }
+  if (!trace_json_path.empty()) {
+    MetricsRegistry::SetGlobal(nullptr);
+    if (!metrics.WriteJsonFile(trace_json_path)) {
+      std::fprintf(stderr, "cannot write trace to %s\n",
+                   trace_json_path.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "trace written to %s\n", trace_json_path.c_str());
   }
   return 0;
 }

@@ -8,6 +8,7 @@
 #include "cq/gaifman.h"
 #include "ndl/transforms.h"
 #include "util/logging.h"
+#include "util/metrics.h"
 
 namespace owlqr {
 
@@ -160,7 +161,10 @@ class LinRewriterImpl {
 
 NdlProgram LinRewrite(RewritingContext* ctx, const ConjunctiveQuery& query,
                       int root) {
-  return LinRewriterImpl(ctx, query, root).Run();
+  OWLQR_NAMED_SPAN(span, "rewrite/lin");
+  NdlProgram program = LinRewriterImpl(ctx, query, root).Run();
+  span.Attr("clauses", program.num_clauses());
+  return program;
 }
 
 }  // namespace owlqr

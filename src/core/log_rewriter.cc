@@ -9,6 +9,7 @@
 #include "cq/splitting.h"
 #include "ndl/transforms.h"
 #include "util/logging.h"
+#include "util/metrics.h"
 
 namespace owlqr {
 
@@ -163,7 +164,10 @@ NdlProgram LogRewrite(RewritingContext* ctx, const ConjunctiveQuery& query,
   OWLQR_CHECK_MSG(GaifmanGraph(query).IsConnected(),
                   "LogRewrite requires a connected query");
   OWLQR_CHECK(decomposition.num_nodes() > 0);
-  return LogRewriterImpl(ctx, query, decomposition).Run();
+  OWLQR_NAMED_SPAN(span, "rewrite/log");
+  NdlProgram program = LogRewriterImpl(ctx, query, decomposition).Run();
+  span.Attr("clauses", program.num_clauses());
+  return program;
 }
 
 NdlProgram LogRewrite(RewritingContext* ctx, const ConjunctiveQuery& query) {

@@ -8,6 +8,7 @@
 #include "cq/gaifman.h"
 #include "ndl/transforms.h"
 #include "util/logging.h"
+#include "util/metrics.h"
 
 namespace owlqr {
 
@@ -102,6 +103,8 @@ NdlProgram RewriteConnected(RewritingContext* ctx,
 
 NdlProgram RewriteOmq(RewritingContext* ctx, const ConjunctiveQuery& query,
                       RewriterKind kind, const RewriteOptions& options) {
+  OWLQR_NAMED_SPAN(span, "rewrite");
+  span.Attr("kind", static_cast<long>(kind));
   GaifmanGraph graph(query);
   NdlProgram complete_program(query.vocabulary());
   if (graph.IsConnected() && query.num_vars() > 0) {

@@ -11,6 +11,7 @@
 #include "cq/splitting.h"
 #include "ndl/transforms.h"
 #include "util/logging.h"
+#include "util/metrics.h"
 
 namespace owlqr {
 
@@ -328,7 +329,10 @@ class TwRewriterImpl {
 NdlProgram TwRewrite(RewritingContext* ctx, const ConjunctiveQuery& query) {
   GaifmanGraph graph(query);
   OWLQR_CHECK_MSG(graph.IsTree(), "Tw rewriting requires a tree-shaped CQ");
-  return TwRewriterImpl(ctx, query).Run();
+  OWLQR_NAMED_SPAN(span, "rewrite/tw");
+  NdlProgram program = TwRewriterImpl(ctx, query).Run();
+  span.Attr("clauses", program.num_clauses());
+  return program;
 }
 
 }  // namespace owlqr

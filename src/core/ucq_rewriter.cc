@@ -7,6 +7,7 @@
 #include "core/tree_witness.h"
 #include "ndl/transforms.h"
 #include "util/logging.h"
+#include "util/metrics.h"
 
 namespace owlqr {
 
@@ -173,12 +174,16 @@ class UcqRewriterImpl {
 
 NdlProgram UcqRewrite(RewritingContext* ctx, const ConjunctiveQuery& query,
                       const BaselineOptions& options, bool* truncated) {
-  return UcqRewriterImpl(ctx, query, options).Run(truncated);
+  OWLQR_NAMED_SPAN(span, "rewrite/ucq");
+  NdlProgram program = UcqRewriterImpl(ctx, query, options).Run(truncated);
+  span.Attr("clauses", program.num_clauses());
+  return program;
 }
 
 NdlProgram PrestoLikeRewrite(RewritingContext* ctx,
                              const ConjunctiveQuery& query,
                              const BaselineOptions& options, bool* truncated) {
+  OWLQR_NAMED_SPAN(span, "rewrite/presto");
   NdlProgram ucq = UcqRewrite(ctx, query, options, truncated);
   // Decompose every disjunct into a left-deep chain of auxiliary predicates,
   // one atom absorbed per step (the Presto "eliminate one variable at a
@@ -266,6 +271,7 @@ NdlProgram PrestoLikeRewrite(RewritingContext* ctx,
     out.AddClause(std::move(last));
   }
   EnsureSafety(&out);
+  span.Attr("clauses", out.num_clauses());
   return out;
 }
 

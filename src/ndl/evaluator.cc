@@ -5,14 +5,24 @@
 #include <thread>
 
 #include "util/logging.h"
+#include "util/metrics.h"
 
 namespace owlqr {
 
 namespace {
 
 constexpr size_t kHashSeed = 0x9e3779b97f4a7c15ULL;
-// How often (in join emissions) the wall-clock deadline is polled.
+// How often (in join emissions, EDB rows, or index-build rows) the
+// wall-clock deadline is polled.  Power of two: the poll sites test
+// `count & (interval - 1)`.
 constexpr long kDeadlineCheckInterval = 1024;
+// Slot values are row id + 1 stored in 32 bits, so the last representable
+// row id is 2^32 - 2; inserting beyond that would silently truncate and
+// corrupt deduplication.
+constexpr size_t kMaxRowsPerRelation = 0xFFFFFFFEull;
+// Crossing this row count bumps evaluator/rows_near_overflow so capacity
+// headroom shows up in traces long before the hard check fires.
+constexpr size_t kRowsNearOverflow = 1ull << 31;
 
 size_t Mix(size_t h, size_t v) {
   h ^= v + kHashSeed + (h << 6) + (h >> 2);
@@ -56,9 +66,14 @@ bool Evaluator::Rows::Insert(const int* tuple) {
     if (std::equal(tuple, tuple + arity, existing)) return false;
     pos = (pos + 1) & mask;
   }
+  OWLQR_CHECK_MSG(num_rows_ < kMaxRowsPerRelation,
+                  "relation exceeds 2^32-2 rows; 32-bit dedup slots would "
+                  "truncate");
   slots_[pos] = static_cast<uint32_t>(num_rows_ + 1);
   cells.insert(cells.end(), tuple, tuple + arity);
-  ++num_rows_;
+  if (++num_rows_ == kRowsNearOverflow) {
+    OWLQR_COUNT("evaluator/rows_near_overflow", 1);
+  }
   return true;
 }
 
@@ -113,6 +128,14 @@ void Evaluator::StartClock() {
   }
 }
 
+bool Evaluator::DeadlineExpired() {
+  if (!has_deadline_) return false;
+  if (std::chrono::steady_clock::now() < deadline_) return false;
+  deadline_exceeded_.store(true, std::memory_order_relaxed);
+  aborted_.store(true, std::memory_order_relaxed);
+  return true;
+}
+
 const std::vector<int>& Evaluator::ActiveDomain() {
   std::call_once(active_domain_once_, [this] {
     active_domain_ = data_.individuals();
@@ -130,18 +153,29 @@ const std::vector<int>& Evaluator::ActiveDomain() {
 const Evaluator::Rows& Evaluator::EdbRows(int predicate) {
   PredicateState& state = *preds_[predicate];
   std::call_once(state.edb_once, [this, predicate, &state] {
+    OWLQR_NAMED_SPAN(span, "evaluate/edb");
     Rows& rows = state.rows;
     const PredicateInfo& info = program_.predicate(predicate);
+    // Deadline poll shared by the materialisation loops below: an
+    // adversarially wide EDB must not blow past deadline_ms just because no
+    // join emission happens while it streams in.
+    long scanned = 0;
+    auto expired = [this, &scanned] {
+      return (++scanned & (kDeadlineCheckInterval - 1)) == 0 &&
+             DeadlineExpired();
+    };
     switch (info.kind) {
       case PredicateKind::kConceptEdb:
         for (int a : data_.ConceptMembers(info.external_id)) {
           rows.Insert(&a);
+          if (expired()) break;
         }
         break;
       case PredicateKind::kRoleEdb:
         for (auto [a, b] : data_.RolePairs(info.external_id)) {
           int pair[2] = {a, b};
           rows.Insert(pair);
+          if (expired()) break;
         }
         break;
       case PredicateKind::kTableEdb:
@@ -150,15 +184,22 @@ const Evaluator::Rows& Evaluator::EdbRows(int predicate) {
             "program uses table predicates but no TableStore given");
         for (const std::vector<int>& row : tables_->Rows(info.external_id)) {
           rows.Insert(row.data());
+          if (expired()) break;
         }
         break;
       case PredicateKind::kAdom:
-        for (int a : ActiveDomain()) rows.Insert(&a);
+        for (int a : ActiveDomain()) {
+          rows.Insert(&a);
+          if (expired()) break;
+        }
         break;
       default:
         OWLQR_CHECK_MSG(false, "EdbRows on IDB/equality predicate");
     }
     rows.materialized = true;
+    span.Attr("predicate", predicate);
+    span.Attr("rows", static_cast<long>(rows.size()));
+    OWLQR_COUNT("evaluator/edb_rows", static_cast<long>(rows.size()));
   });
   return state.rows;
 }
@@ -178,9 +219,20 @@ const Evaluator::Index& Evaluator::GetIndex(int predicate, unsigned mask) {
     slot = entry.get();
   }
   std::call_once(slot->built, [this, predicate, mask, slot] {
+    OWLQR_NAMED_SPAN(span, "evaluate/index-build");
+    const bool metrics = OWLQR_METRICS_ENABLED();
+    const auto build_start = metrics ? std::chrono::steady_clock::now()
+                                     : std::chrono::steady_clock::time_point();
     const Rows& rows = RowsFor(predicate);
     std::vector<int> key_values;
     for (size_t r = 0; r < rows.size(); ++r) {
+      // A single huge index build must honour the deadline too; an aborted
+      // build leaves a partial index, which is fine because aborted_ stops
+      // every consumer before it trusts the results.
+      if ((r & (kDeadlineCheckInterval - 1)) == kDeadlineCheckInterval - 1 &&
+          DeadlineExpired()) {
+        break;
+      }
       key_values.clear();
       const int* tuple = rows.row(r);
       for (int i = 0; i < rows.arity; ++i) {
@@ -191,6 +243,16 @@ const Evaluator::Index& Evaluator::GetIndex(int predicate, unsigned mask) {
           .push_back(static_cast<uint32_t>(r));
     }
     index_builds_.fetch_add(1, std::memory_order_relaxed);
+    span.Attr("predicate", predicate);
+    span.Attr("mask", static_cast<long>(mask));
+    span.Attr("rows", static_cast<long>(rows.size()));
+    if (metrics) {
+      // Per-(predicate, mask) build time folded into one min/max/sum timer.
+      double build_ms = std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - build_start)
+                            .count();
+      OWLQR_RECORD("evaluator/index_build_ms", build_ms);
+    }
   });
   return slot->index;
 }
@@ -307,7 +369,20 @@ void Evaluator::EvaluateClause(const NdlClause& clause, Rows* out) {
 
   plan.head_tuple.resize(clause.head.args.size());
   std::vector<int> binding(num_vars, -1);
-  Join(&plan, 0, &binding, out);
+  if (MetricsRegistry* metrics = MetricsRegistry::Global()) {
+    ScopedSpan span(metrics, "evaluate/join");
+    Join(&plan, 0, &binding, out);
+    span.Attr("head", clause.head.predicate);
+    span.Attr("emissions", plan.emissions);
+    span.Attr("new_tuples", plan.new_tuples);
+    // Totals feed the dedup hit rate: new_tuples / join_emissions.
+    metrics->Count("evaluator/join_emissions", plan.emissions);
+    metrics->Count("evaluator/new_tuples", plan.new_tuples);
+    metrics->Record("evaluator/clause_emissions",
+                    static_cast<double>(plan.emissions));
+  } else {
+    Join(&plan, 0, &binding, out);
+  }
 }
 
 void Evaluator::Emit(ClausePlan* plan, const std::vector<int>& binding,
@@ -323,20 +398,23 @@ void Evaluator::Emit(ClausePlan* plan, const std::vector<int>& binding,
     }
   }
   if (out->Insert(plan->head_tuple.data())) {
+    ++plan->new_tuples;
     long tuples = idb_tuples_.fetch_add(1, std::memory_order_relaxed) + 1;
     if (limits_.max_generated_tuples > 0 &&
         tuples > limits_.max_generated_tuples) {
       aborted_.store(true, std::memory_order_relaxed);
     }
   }
+  ++plan->emissions;
   long work = work_.fetch_add(1, std::memory_order_relaxed) + 1;
   if (limits_.max_work > 0 && work > limits_.max_work) {
     aborted_.store(true, std::memory_order_relaxed);
   }
-  if (has_deadline_ && work % kDeadlineCheckInterval == 0 &&
-      std::chrono::steady_clock::now() >= deadline_) {
-    deadline_exceeded_.store(true, std::memory_order_relaxed);
-    aborted_.store(true, std::memory_order_relaxed);
+  // Test has_deadline_ first: the common no-deadline case must stay one
+  // predictable branch on this hot path (work >= 1, so the mask test is an
+  // exact substitute for the modulo).
+  if (has_deadline_ && (work & (kDeadlineCheckInterval - 1)) == 0) {
+    DeadlineExpired();
   }
 }
 
@@ -423,6 +501,9 @@ void Evaluator::Join(ClausePlan* plan, size_t next, std::vector<int>* binding,
     // Fetched lazily so clauses that fail before probing never build it;
     // cached in the (clause-local) plan so each probe is one hash lookup.
     step.index = &GetIndex(atom.predicate, step.mask);
+    // The build itself may have exhausted the deadline (leaving a partial
+    // index); do not probe it in that case.
+    if (aborted_.load(std::memory_order_relaxed)) return;
   }
   step.key_buffer.clear();
   for (int pos : step.key_positions) {
@@ -456,12 +537,16 @@ void Evaluator::FillStats(const std::vector<std::vector<int>>& answers,
 
 std::vector<std::vector<int>> Evaluator::Evaluate(EvaluationStats* stats) {
   OWLQR_CHECK_MSG(program_.goal() >= 0, "program has no goal predicate");
+  OWLQR_NAMED_SPAN(span, "evaluate");
   StartClock();
   Materialize(program_.goal());
   std::vector<std::vector<int>> answers =
       preds_[program_.goal()]->rows.ToTuples();
   std::sort(answers.begin(), answers.end());
   if (stats != nullptr) FillStats(answers, stats);
+  span.Attr("goal_tuples", static_cast<long>(answers.size()));
+  span.Attr("generated_tuples", idb_tuples_.load(std::memory_order_relaxed));
+  span.Attr("aborted", aborted_.load() ? 1 : 0);
   return answers;
 }
 
@@ -474,6 +559,8 @@ std::vector<std::vector<int>> Evaluator::EvaluateParallel(
     int num_threads, EvaluationStats* stats) {
   OWLQR_CHECK_MSG(program_.goal() >= 0, "program has no goal predicate");
   if (num_threads <= 1) return Evaluate(stats);
+  OWLQR_NAMED_SPAN(span, "evaluate/parallel");
+  span.Attr("threads", num_threads);
   StartClock();
 
   // Predicates the goal depends on.
@@ -538,12 +625,16 @@ std::vector<std::vector<int>> Evaluator::EvaluateParallel(
         std::chrono::duration<double, std::milli>(
             std::chrono::steady_clock::now() - level_start)
             .count());
+    OWLQR_RECORD("evaluator/level_wall_ms", level_wall_ms_.back());
   }
 
   std::vector<std::vector<int>> answers =
       preds_[program_.goal()]->rows.ToTuples();
   std::sort(answers.begin(), answers.end());
   if (stats != nullptr) FillStats(answers, stats);
+  span.Attr("goal_tuples", static_cast<long>(answers.size()));
+  span.Attr("generated_tuples", idb_tuples_.load(std::memory_order_relaxed));
+  span.Attr("aborted", aborted_.load() ? 1 : 0);
   return answers;
 }
 

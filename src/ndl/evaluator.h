@@ -156,10 +156,20 @@ class Evaluator {
     const NdlClause* clause = nullptr;
     std::vector<AtomStep> steps;
     std::vector<int> head_tuple;           // Reused emission buffer.
+    // Plain per-clause tallies (flushed to the metrics registry, if one is
+    // installed, after the clause finishes; kept local so the join inner
+    // loop never takes the registry lock).
+    long emissions = 0;
+    long new_tuples = 0;
   };
 
   void Init();
   void StartClock();
+  // Polls the wall-clock deadline; on expiry sets deadline_exceeded_ and
+  // aborted_ and returns true.  Called from the join emission path and from
+  // the EDB-materialisation and index-build loops, so a single oversized
+  // relation cannot blow past EvaluatorLimits::deadline_ms.
+  bool DeadlineExpired();
   void Materialize(int predicate);
   void EvaluateClause(const NdlClause& clause, Rows* out);
   void Join(ClausePlan* plan, size_t next, std::vector<int>* binding,

@@ -6,6 +6,7 @@
 #include <set>
 
 #include "util/logging.h"
+#include "util/metrics.h"
 
 namespace owlqr {
 
@@ -39,7 +40,9 @@ std::map<int, std::vector<int>> ParameterAnswerIndex(
   result[program.goal()] = goal_map;
   // Repeatedly propagate head -> body until stable (the dependence graph is
   // acyclic, so |predicates| rounds suffice).
+  int rounds = 0;
   for (int round = 0; round < program.num_predicates(); ++round) {
+    ++rounds;
     bool changed = false;
     for (const NdlClause& clause : program.clauses()) {
       auto it = result.find(clause.head.predicate);
@@ -72,12 +75,15 @@ std::map<int, std::vector<int>> ParameterAnswerIndex(
     }
     if (!changed) break;
   }
+  // Per-pass count of the parameter-propagation fixpoint.
+  OWLQR_RECORD("linear-eval/param_rounds", static_cast<double>(rounds));
   return result;
 }
 
 }  // namespace
 
 bool LinearReachabilityEvaluator::Decide(const std::vector<int>& answer) {
+  OWLQR_NAMED_SPAN(span, "linear-eval/decide");
   const PredicateInfo& goal = program_.predicate(program_.goal());
   OWLQR_CHECK(static_cast<int>(answer.size()) ==
               static_cast<int>(goal.arity));
@@ -204,11 +210,17 @@ bool LinearReachabilityEvaluator::Decide(const std::vector<int>& answer) {
   for (const GroundAtom& s : sources) {
     if (seen.insert(s).second) queue.push(s);
   }
+  long bfs_pops = 0;
   while (!queue.empty()) {
     GroundAtom v = queue.front();
     queue.pop();
+    ++bfs_pops;
     if (v == target) {
       num_vertices_ = static_cast<long>(seen.size());
+      span.Attr("vertices", num_vertices_);
+      span.Attr("edges", num_edges_);
+      span.Attr("bfs_pops", bfs_pops);
+      span.Attr("reached", 1);
       return true;
     }
     auto it = edges.find(v);
@@ -218,6 +230,10 @@ bool LinearReachabilityEvaluator::Decide(const std::vector<int>& answer) {
     }
   }
   num_vertices_ = static_cast<long>(seen.size());
+  span.Attr("vertices", num_vertices_);
+  span.Attr("edges", num_edges_);
+  span.Attr("bfs_pops", bfs_pops);
+  span.Attr("reached", 0);
   return false;
 }
 

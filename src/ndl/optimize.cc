@@ -3,10 +3,12 @@
 #include <map>
 
 #include "ndl/transforms.h"
+#include "util/metrics.h"
 
 namespace owlqr {
 
 int DropEmptyPredicateClauses(NdlProgram* program, const DataInstance& data) {
+  OWLQR_NAMED_SPAN(span, "transform/drop-empty");
   std::vector<NdlClause> kept;
   int removed = 0;
   for (const NdlClause& clause : program->clauses()) {
@@ -29,6 +31,7 @@ int DropEmptyPredicateClauses(NdlProgram* program, const DataInstance& data) {
   }
   program->ReplaceClauses(std::move(kept));
   removed += PruneProgram(program);
+  span.Attr("removed", removed);
   return removed;
 }
 
@@ -80,6 +83,7 @@ bool Subsumes(const NdlClause& d, const NdlClause& c) {
 }  // namespace
 
 int RemoveSubsumedClauses(NdlProgram* program) {
+  OWLQR_NAMED_SPAN(span, "transform/subsumption");
   const std::vector<NdlClause>& clauses = program->clauses();
   int n = program->num_clauses();
   std::vector<bool> removed(n, false);
@@ -106,6 +110,7 @@ int RemoveSubsumedClauses(NdlProgram* program) {
     }
   }
   program->ReplaceClauses(std::move(kept));
+  span.Attr("removed", count);
   return count;
 }
 

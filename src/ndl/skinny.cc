@@ -7,6 +7,7 @@
 
 #include "ndl/transforms.h"
 #include "util/logging.h"
+#include "util/metrics.h"
 
 namespace owlqr {
 
@@ -150,6 +151,7 @@ int BuildHuffman(const std::vector<int>& atoms,
 }  // namespace
 
 NdlProgram SkinnyTransform(const NdlProgram& program) {
+  OWLQR_NAMED_SPAN(span, "transform/skinny");
   std::vector<long> nu = ComputeWeightFunction(program);
   NdlProgram out(program.vocabulary());
   // Copy the predicate table (ids must survive, clauses reference them).
@@ -239,6 +241,7 @@ NdlProgram SkinnyTransform(const NdlProgram& program) {
     out.AddClause(std::move(final_clause));
   }
   EnsureSafety(&out);
+  span.Attr("clauses", out.num_clauses());
   return out;
 }
 

@@ -5,10 +5,12 @@
 #include <set>
 
 #include "util/logging.h"
+#include "util/metrics.h"
 
 namespace owlqr {
 
 int PruneProgram(NdlProgram* program) {
+  OWLQR_NAMED_SPAN(span, "transform/prune");
   int removed = 0;
   bool changed = true;
   std::vector<NdlClause> clauses = program->clauses();
@@ -62,10 +64,12 @@ int PruneProgram(NdlProgram* program) {
     clauses = std::move(kept);
   }
   program->ReplaceClauses(std::move(clauses));
+  span.Attr("removed", removed);
   return removed;
 }
 
 int EnsureSafety(NdlProgram* program) {
+  OWLQR_NAMED_SPAN(span, "transform/safety");
   int added = 0;
   std::vector<NdlClause> clauses = program->clauses();
   int adom = -1;
@@ -85,6 +89,7 @@ int EnsureSafety(NdlProgram* program) {
     }
   }
   program->ReplaceClauses(std::move(clauses));
+  span.Attr("added", added);
   return added;
 }
 
@@ -125,6 +130,7 @@ int MapPredicateStarred(const NdlProgram& in, NdlProgram* out, int p) {
 
 NdlProgram StarTransform(const NdlProgram& program, const TBox& tbox,
                          const Saturation& saturation) {
+  OWLQR_NAMED_SPAN(span, "transform/star");
   NdlProgram out(program.vocabulary());
   std::vector<int> pred_map(program.num_predicates());
   for (int p = 0; p < program.num_predicates(); ++p) {
@@ -203,6 +209,7 @@ NdlProgram StarTransform(const NdlProgram& program, const TBox& tbox,
     }
   }
   (void)tbox;
+  span.Attr("clauses", out.num_clauses());
   return out;
 }
 
@@ -210,6 +217,7 @@ NdlProgram LinearStarTransform(const NdlProgram& program, const TBox& tbox,
                                const Saturation& saturation) {
   (void)tbox;
   OWLQR_CHECK_MSG(program.IsLinear(), "LinearStarTransform requires linearity");
+  OWLQR_NAMED_SPAN(span, "transform/linear-star");
   NdlProgram out(program.vocabulary());
   // IDB predicates keep their names; EDB atoms are replaced inline by their
   // entailment-closure variants, so EDB predicates stay EDB.
@@ -356,6 +364,7 @@ NdlProgram LinearStarTransform(const NdlProgram& program, const TBox& tbox,
     out.AddClause(std::move(final_clause));
   }
   EnsureSafety(&out);
+  span.Attr("clauses", out.num_clauses());
   return out;
 }
 
@@ -424,6 +433,7 @@ void UnfoldAtom(const NdlClause& defining, NdlClause* target,
 }  // namespace
 
 int InlineSingleUsePredicates(NdlProgram* program, int max_occurrences) {
+  OWLQR_NAMED_SPAN(span, "transform/inline");
   int inlined = 0;
   bool changed = true;
   while (changed) {
@@ -470,6 +480,7 @@ int InlineSingleUsePredicates(NdlProgram* program, int max_occurrences) {
       break;  // Recompute counts from scratch.
     }
   }
+  span.Attr("inlined", inlined);
   return inlined;
 }
 

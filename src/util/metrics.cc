@@ -1,0 +1,211 @@
+#include "util/metrics.h"
+
+#include <cstdio>
+#include <functional>
+#include <thread>
+
+namespace owlqr {
+
+namespace {
+
+std::atomic<MetricsRegistry*> g_registry{nullptr};
+
+// Per-thread span nesting depth (purely presentational; a trace viewer
+// indents by it).
+thread_local int tls_span_depth = 0;
+
+unsigned long ThisThreadId() {
+  return static_cast<unsigned long>(
+      std::hash<std::thread::id>{}(std::this_thread::get_id()));
+}
+
+// JSON string escaping for metric names (our own literals, but a malformed
+// trace file is worse than a few branches here).
+void AppendEscaped(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendDouble(std::string* out, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  *out += buf;
+}
+
+}  // namespace
+
+MetricsRegistry::MetricsRegistry() : epoch_(Clock::now()) {}
+
+MetricsRegistry* MetricsRegistry::Global() {
+  return g_registry.load(std::memory_order_acquire);
+}
+
+void MetricsRegistry::SetGlobal(MetricsRegistry* registry) {
+  g_registry.store(registry, std::memory_order_release);
+}
+
+void MetricsRegistry::Count(const std::string& name, long delta) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  counters_[name] += delta;
+}
+
+void MetricsRegistry::Record(const std::string& name, double value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  TimerStats& t = timers_[name];
+  if (t.count == 0 || value < t.min) t.min = value;
+  if (t.count == 0 || value > t.max) t.max = value;
+  t.sum += value;
+  ++t.count;
+}
+
+size_t MetricsRegistry::BeginSpan(const std::string& name) {
+  Clock::time_point now = Clock::now();
+  std::lock_guard<std::mutex> lock(mutex_);
+  size_t token = spans_.size();
+  Span& span = spans_.emplace_back();
+  span.name = name;
+  span.start_ms =
+      std::chrono::duration<double, std::milli>(now - epoch_).count();
+  span.depth = tls_span_depth++;
+  span.thread = ThisThreadId();
+  span_starts_.push_back(now);
+  return token;
+}
+
+void MetricsRegistry::EndSpan(size_t token) {
+  Clock::time_point now = Clock::now();
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (token >= spans_.size()) return;
+  spans_[token].duration_ms =
+      std::chrono::duration<double, std::milli>(now - span_starts_[token])
+          .count();
+  --tls_span_depth;
+}
+
+void MetricsRegistry::SpanAttr(size_t token, const std::string& key,
+                               long value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (token >= spans_.size()) return;
+  spans_[token].attrs.emplace_back(key, value);
+}
+
+long MetricsRegistry::counter(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  return it != counters_.end() ? it->second : 0;
+}
+
+MetricsRegistry::TimerStats MetricsRegistry::timer(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = timers_.find(name);
+  return it != timers_.end() ? it->second : TimerStats{};
+}
+
+std::map<std::string, long> MetricsRegistry::counters() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return counters_;
+}
+
+std::vector<MetricsRegistry::Span> MetricsRegistry::spans() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return spans_;
+}
+
+double MetricsRegistry::ElapsedMs() const {
+  return std::chrono::duration<double, std::milli>(Clock::now() - epoch_)
+      .count();
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : counters_) {
+    if (!first) out += ",";
+    out += "\n    ";
+    AppendEscaped(&out, name);
+    out += ": " + std::to_string(value);
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"timers\": {";
+  first = true;
+  for (const auto& [name, t] : timers_) {
+    if (!first) out += ",";
+    out += "\n    ";
+    AppendEscaped(&out, name);
+    out += ": {\"count\": " + std::to_string(t.count) + ", \"sum\": ";
+    AppendDouble(&out, t.sum);
+    out += ", \"min\": ";
+    AppendDouble(&out, t.min);
+    out += ", \"max\": ";
+    AppendDouble(&out, t.max);
+    out += "}";
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"spans\": [";
+  first = true;
+  for (const Span& span : spans_) {
+    if (!first) out += ",";
+    out += "\n    {\"name\": ";
+    AppendEscaped(&out, span.name);
+    out += ", \"start_ms\": ";
+    AppendDouble(&out, span.start_ms);
+    out += ", \"duration_ms\": ";
+    AppendDouble(&out, span.duration_ms);
+    out += ", \"depth\": " + std::to_string(span.depth);
+    out += ", \"thread\": " + std::to_string(span.thread);
+    if (!span.attrs.empty()) {
+      out += ", \"attrs\": {";
+      bool first_attr = true;
+      for (const auto& [key, value] : span.attrs) {
+        if (!first_attr) out += ", ";
+        AppendEscaped(&out, key);
+        out += ": " + std::to_string(value);
+        first_attr = false;
+      }
+      out += "}";
+    }
+    out += "}";
+    first = false;
+  }
+  out += first ? "]\n}\n" : "\n  ]\n}\n";
+  return out;
+}
+
+bool MetricsRegistry::WriteJsonFile(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::string json = ToJson();
+  size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  int rc = std::fclose(f);
+  return written == json.size() && rc == 0;
+}
+
+}  // namespace owlqr

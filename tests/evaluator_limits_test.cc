@@ -130,5 +130,92 @@ TEST(EvaluatorLimitsTest, BudgetLargerThanResultIsHarmless) {
   EXPECT_EQ(answers.size(), 100u);
 }
 
+// G(x) <- A(x) & R(x, y) over a data instance where A holds one individual
+// and R is adversarially wide (every edge points into one hub).  The join
+// emits a single tuple, so the deadline can only be caught inside the EDB
+// materialisation / index-build loops — the paths a per-emission poll never
+// reaches.  Regression test for the pre-fix evaluator, which polled the
+// deadline only every 1024 join emissions and blew far past deadline_ms
+// here.
+TEST(EvaluatorLimitsTest, DeadlineHonouredDuringIndexBuildOnWideEdb) {
+  Vocabulary vocab;
+  NdlProgram program(&vocab);
+  int a = program.AddConceptPredicate(vocab.InternConcept("A"));
+  int r = program.AddRolePredicate(vocab.InternPredicate("R"));
+  int g = program.AddIdbPredicate("G", 1);
+  NdlClause c;
+  c.head = {g, {Term::Var(0)}};
+  c.body.push_back({a, {Term::Var(0)}});
+  c.body.push_back({r, {Term::Var(0), Term::Var(1)}});
+  program.AddClause(std::move(c));
+  program.SetGoal(g);
+
+  DataInstance data(&vocab);
+  int concept_a = vocab.InternConcept("A");
+  int role_r = vocab.InternPredicate("R");
+  int hub = data.AddIndividual("hub");
+  constexpr int kSpokes = 500'000;
+  for (int i = 0; i < kSpokes; ++i) {
+    int s = data.AddIndividual("s" + std::to_string(i));
+    data.AddRoleAssertion(role_r, s, hub);
+    if (i == 0) data.AddConceptAssertion(concept_a, s);
+  }
+
+  EvaluatorLimits limits;
+  limits.deadline_ms = 1;  // Materialising 500k rows takes well over 1 ms.
+  Evaluator eval(program, data, limits);
+  EvaluationStats stats;
+  eval.Evaluate(&stats);
+  EXPECT_TRUE(stats.aborted);
+  EXPECT_TRUE(stats.deadline_exceeded);
+}
+
+// The limits machinery and the stats fields must behave identically on the
+// sequential and the parallel path.
+TEST(EvaluatorLimitsTest, SequentialAndParallelStatsAgree) {
+  Vocabulary vocab;
+  NdlProgram program = JoinProgram(&vocab);
+  DataInstance data = DenseGraph(&vocab, 20);
+
+  EvaluationStats seq_stats;
+  auto seq_answers =
+      Evaluator(program, data).Evaluate(&seq_stats);
+  EvaluationStats par_stats;
+  auto par_answers =
+      Evaluator(program, data).EvaluateParallel(4, &par_stats);
+
+  EXPECT_EQ(seq_answers, par_answers);
+  EXPECT_EQ(seq_stats.generated_tuples, par_stats.generated_tuples);
+  EXPECT_EQ(seq_stats.goal_tuples, par_stats.goal_tuples);
+  EXPECT_EQ(seq_stats.predicates_evaluated, par_stats.predicates_evaluated);
+  EXPECT_EQ(seq_stats.index_builds, par_stats.index_builds);
+  EXPECT_EQ(seq_stats.predicate_tuples, par_stats.predicate_tuples);
+  EXPECT_FALSE(seq_stats.aborted);
+  EXPECT_FALSE(par_stats.aborted);
+  EXPECT_FALSE(seq_stats.deadline_exceeded);
+  EXPECT_FALSE(par_stats.deadline_exceeded);
+}
+
+TEST(EvaluatorLimitsTest, SequentialAndParallelAbortFlagsAgree) {
+  Vocabulary vocab;
+  NdlProgram program = JoinProgram(&vocab);
+  DataInstance data = DenseGraph(&vocab, 30);
+  EvaluatorLimits limits;
+  limits.max_generated_tuples = 100;
+
+  EvaluationStats seq_stats;
+  Evaluator(program, data, limits).Evaluate(&seq_stats);
+  EvaluationStats par_stats;
+  Evaluator(program, data, limits).EvaluateParallel(4, &par_stats);
+
+  // Tuple counts differ under an abort (workers race to the budget), but
+  // the flags and the stats shape must agree.
+  EXPECT_TRUE(seq_stats.aborted);
+  EXPECT_TRUE(par_stats.aborted);
+  EXPECT_FALSE(seq_stats.deadline_exceeded);
+  EXPECT_FALSE(par_stats.deadline_exceeded);
+  EXPECT_EQ(seq_stats.predicate_tuples.size(), par_stats.predicate_tuples.size());
+}
+
 }  // namespace
 }  // namespace owlqr

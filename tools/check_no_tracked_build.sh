@@ -1,0 +1,24 @@
+#!/bin/sh
+# Fails when generated build trees are tracked by git (the PR 1 regression:
+# 807 files under build-asan/ and build-tsan/ were committed).  Run from the
+# repository root; registered as the ctest test `hygiene/no_tracked_build`.
+set -u
+
+cd "$(dirname "$0")/.." || exit 1
+
+if ! git rev-parse --is-inside-work-tree >/dev/null 2>&1; then
+  echo "not a git checkout; skipping tracked-build-artifact check"
+  exit 0
+fi
+
+tracked=$(git ls-files | grep -E '^build' || true)
+if [ -n "$tracked" ]; then
+  count=$(printf '%s\n' "$tracked" | wc -l)
+  echo "FAIL: $count generated build file(s) tracked by git:"
+  printf '%s\n' "$tracked" | head -10
+  echo "(run: git rm -r --cached <dir> and keep build*/ in .gitignore)"
+  exit 1
+fi
+
+echo "OK: no tracked build artifacts"
+exit 0

@@ -1,0 +1,79 @@
+#!/bin/sh
+# Smoke-checks the --trace-json flag end to end: runs the CLI on a tiny
+# quickstart-sized OMQ, then verifies the emitted trace parses as JSON and
+# contains the per-stage span names (rewrite, transform, index-build, join).
+# Usage: check_trace_json.sh <path-to-example_owlqr_cli>
+# Registered as the ctest test `hygiene/trace_json`.
+set -u
+
+CLI="${1:?usage: check_trace_json.sh <path-to-example_owlqr_cli>}"
+
+tmp=$(mktemp -d) || exit 1
+trap 'rm -rf "$tmp"' EXIT
+
+cat > "$tmp/onto.txt" <<'EOF'
+Professor SUB EX teaches
+EX teaches- SUB Course
+lectures SUBR teaches
+Dean SUB Professor
+EOF
+
+cat > "$tmp/query.txt" <<'EOF'
+q(x) :- teaches(x, y), Course(y)
+EOF
+
+cat > "$tmp/data.txt" <<'EOF'
+Professor(ann).
+Dean(dana).
+lectures(bob, algebra).
+EOF
+
+"$CLI" "$tmp/onto.txt" "$tmp/query.txt" "$tmp/data.txt" --rewriter=tw \
+    "--trace-json=$tmp/trace.json" > "$tmp/answers.txt" 2> "$tmp/stderr.txt"
+status=$?
+if [ "$status" -ne 0 ]; then
+  echo "FAIL: CLI exited with $status"
+  cat "$tmp/stderr.txt"
+  exit 1
+fi
+
+python3 - "$tmp/trace.json" <<'EOF'
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    trace = json.load(f)
+
+for key in ("counters", "timers", "spans"):
+    assert key in trace, f"trace missing top-level key {key!r}"
+
+names = {span["name"] for span in trace["spans"]}
+required = {
+    "parse",
+    "rewrite",
+    "rewrite/tw",
+    "transform/star",
+    "evaluate",
+    "evaluate/edb",
+    "evaluate/index-build",
+    "evaluate/join",
+}
+missing = required - names
+assert not missing, f"trace missing spans: {sorted(missing)}; got {sorted(names)}"
+
+for span in trace["spans"]:
+    assert span["duration_ms"] >= 0, f"unclosed span {span['name']!r}"
+
+assert trace["counters"].get("evaluator/join_emissions", 0) > 0, \
+    "evaluator/join_emissions not recorded"
+assert trace["timers"].get("evaluator/index_build_ms", {}).get("count", 0) > 0, \
+    "evaluator/index_build_ms not recorded"
+print("OK: trace JSON parses and contains per-stage spans:", len(names), "names")
+EOF
+status=$?
+if [ "$status" -ne 0 ]; then
+  echo "FAIL: trace JSON validation failed"
+  cat "$tmp/trace.json"
+  exit 1
+fi
+exit 0
