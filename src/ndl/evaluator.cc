@@ -1,7 +1,8 @@
 #include "ndl/evaluator.h"
 
 #include <algorithm>
-#include <set>
+#include <cstdlib>
+#include <numeric>
 #include <thread>
 
 #include "util/logging.h"
@@ -12,9 +13,10 @@ namespace owlqr {
 namespace {
 
 constexpr size_t kHashSeed = 0x9e3779b97f4a7c15ULL;
-// How often (in join emissions, EDB rows, or index-build rows) the
-// wall-clock deadline is polled.  Power of two: the poll sites test
-// `count & (interval - 1)`.
+// How often (in join emissions, EDB rows, index-build rows, or merged shard
+// rows) the wall-clock deadline is polled.  The scan loops test
+// `count & (interval - 1)` (hence power of two); the join emission path
+// uses it as the ceiling of JoinContext::flush_countdown.
 constexpr long kDeadlineCheckInterval = 1024;
 // Slot values are row id + 1 stored in 32 bits, so the last representable
 // row id is 2^32 - 2; inserting beyond that would silently truncate and
@@ -41,15 +43,68 @@ size_t FinalMix(size_t h) {
   return h;
 }
 
+constexpr size_t kFnvBasis = 1469598103934665603ULL;
+
+// The tuple hash, with the loop dispatched on arity so the ubiquitous
+// small cases (concepts are unary; roles, equality keys and most IDB
+// predicates binary) inline fully at the call sites in the insert and
+// probe hot paths.  All arms compute the identical value.
+inline size_t HashN(const int* tuple, int arity) {
+  switch (arity) {
+    case 1:
+      return FinalMix(Mix(kFnvBasis, static_cast<size_t>(tuple[0]) + 1));
+    case 2:
+      return FinalMix(Mix(Mix(kFnvBasis, static_cast<size_t>(tuple[0]) + 1),
+                          static_cast<size_t>(tuple[1]) + 1));
+    default: {
+      size_t h = kFnvBasis;
+      for (int i = 0; i < arity; ++i) {
+        h = Mix(h, static_cast<size_t>(tuple[i]) + 1);
+      }
+      return FinalMix(h);
+    }
+  }
+}
+
 }  // namespace
 
 size_t Evaluator::HashTuple(const int* tuple, int arity) {
-  size_t h = 1469598103934665603ULL;
-  for (int i = 0; i < arity; ++i) {
-    h = Mix(h, static_cast<size_t>(tuple[i]) + 1);
-  }
-  return FinalMix(h);
+  return HashN(tuple, arity);
 }
+
+Evaluator::Rows::SlotBuffer::SlotBuffer(size_t n)
+    : data(static_cast<SmallSlot*>(std::calloc(n, sizeof(SmallSlot)))),
+      size(n) {
+  OWLQR_CHECK_MSG(n == 0 || data != nullptr, "dedup table allocation failed");
+}
+
+Evaluator::Rows::SlotBuffer& Evaluator::Rows::SlotBuffer::operator=(
+    SlotBuffer&& o) noexcept {
+  if (this != &o) {
+    std::free(data);
+    data = o.data;
+    size = o.size;
+    o.data = nullptr;
+    o.size = 0;
+  }
+  return *this;
+}
+
+Evaluator::Rows::SlotBuffer::~SlotBuffer() { std::free(data); }
+
+namespace {
+
+// Packs an arity-1 or arity-2 tuple into the inline dedup key.  Bit-casts
+// through uint32_t so negative ints round-trip.
+inline uint64_t PackSmall(const int* tuple, int arity) {
+  uint64_t key = static_cast<uint32_t>(tuple[0]);
+  if (arity == 2) {
+    key = (key << 32) | static_cast<uint32_t>(tuple[1]);
+  }
+  return key;
+}
+
+}  // namespace
 
 bool Evaluator::Rows::Insert(const int* tuple) {
   if (arity == 0) {
@@ -58,9 +113,36 @@ bool Evaluator::Rows::Insert(const int* tuple) {
     num_rows_ = 1;
     return true;
   }
-  if ((num_rows_ + 1) * 2 > slots_.size()) Grow();
+  return arity <= 2 ? InsertSmall(tuple) : InsertWide(tuple);
+}
+
+bool Evaluator::Rows::InsertSmall(const int* tuple) {
+  if ((num_rows_ + 1) * 2 > small_.size) GrowSmall();
+  size_t mask = small_.size - 1;
+  uint64_t key = PackSmall(tuple, arity);
+  size_t hash = HashN(tuple, arity);
+  size_t pos = hash & mask;
+  while (small_[pos].id != 0) {
+    if (small_[pos].key == key) return false;
+    pos = (pos + 1) & mask;
+  }
+  OWLQR_CHECK_MSG(num_rows_ < kMaxRowsPerRelation,
+                  "relation exceeds 2^32-2 rows; 32-bit dedup slots would "
+                  "truncate");
+  small_[pos].key = key;
+  small_[pos].id = static_cast<uint32_t>(num_rows_ + 1);
+  small_[pos].hash32 = static_cast<uint32_t>(hash);
+  cells.insert(cells.end(), tuple, tuple + arity);
+  if (++num_rows_ == kRowsNearOverflow) {
+    OWLQR_COUNT("evaluator/rows_near_overflow", 1);
+  }
+  return true;
+}
+
+bool Evaluator::Rows::InsertWide(const int* tuple) {
+  if ((num_rows_ + 1) * 2 > slots_.size()) GrowWide();
   size_t mask = slots_.size() - 1;
-  size_t pos = HashTuple(tuple, arity) & mask;
+  size_t pos = HashN(tuple, arity) & mask;
   while (slots_[pos] != 0) {
     const int* existing = row(slots_[pos] - 1);
     if (std::equal(tuple, tuple + arity, existing)) return false;
@@ -77,12 +159,42 @@ bool Evaluator::Rows::Insert(const int* tuple) {
   return true;
 }
 
-void Evaluator::Rows::Grow() {
+void Evaluator::Rows::RehashSmall(size_t capacity) {
+  SlotBuffer old = std::move(small_);
+  small_ = SlotBuffer(capacity);
+  size_t mask = capacity - 1;
+  for (size_t i = 0; i < old.size; ++i) {
+    const SmallSlot& slot = old[i];
+    if (slot.id == 0) continue;
+    size_t pos = slot.hash32 & mask;
+    while (small_[pos].id != 0) pos = (pos + 1) & mask;
+    small_[pos] = slot;
+  }
+}
+
+void Evaluator::Rows::GrowSmall() {
+  RehashSmall(small_.size == 0 ? 64 : small_.size * 2);
+}
+
+void Evaluator::Rows::Reserve(size_t expected_rows) {
+  if (arity < 1 || arity > 2) return;  // Wide relations are rare; skip.
+  // Bound the hint so a selective join over a huge driver cannot turn the
+  // estimate into an allocation: at most 2^16 slots (1 MiB of SmallSlots);
+  // a relation that truly outgrows that resumes doubling from there.
+  constexpr size_t kMaxReserveSlots = 1ull << 16;
+  size_t needed = expected_rows * 2;  // Keep load factor <= 1/2.
+  if (needed > kMaxReserveSlots) needed = kMaxReserveSlots;
+  size_t capacity = 64;
+  while (capacity < needed) capacity <<= 1;
+  if (capacity > small_.size) RehashSmall(capacity);
+}
+
+void Evaluator::Rows::GrowWide() {
   size_t capacity = slots_.empty() ? 64 : slots_.size() * 2;
   slots_.assign(capacity, 0);
   size_t mask = capacity - 1;
   for (size_t r = 0; r < num_rows_; ++r) {
-    size_t pos = HashTuple(row(r), arity) & mask;
+    size_t pos = HashN(row(r), arity) & mask;
     while (slots_[pos] != 0) pos = (pos + 1) & mask;
     slots_[pos] = static_cast<uint32_t>(r + 1);
   }
@@ -92,6 +204,22 @@ std::vector<std::vector<int>> Evaluator::Rows::ToTuples() const {
   std::vector<std::vector<int>> out;
   out.reserve(num_rows_);
   for (size_t r = 0; r < num_rows_; ++r) {
+    out.emplace_back(row(r), row(r) + arity);
+  }
+  return out;
+}
+
+std::vector<std::vector<int>> Evaluator::Rows::ToSortedTuples() const {
+  std::vector<uint32_t> order(num_rows_);
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(), [this](uint32_t a, uint32_t b) {
+    const int* ra = row(a);
+    const int* rb = row(b);
+    return std::lexicographical_compare(ra, ra + arity, rb, rb + arity);
+  });
+  std::vector<std::vector<int>> out;
+  out.reserve(num_rows_);
+  for (uint32_t r : order) {
     out.emplace_back(row(r), row(r) + arity);
   }
   return out;
@@ -160,9 +288,13 @@ const Evaluator::Rows& Evaluator::EdbRows(int predicate) {
     // adversarially wide EDB must not blow past deadline_ms just because no
     // join emission happens while it streams in.
     long scanned = 0;
-    auto expired = [this, &scanned] {
-      return (++scanned & (kDeadlineCheckInterval - 1)) == 0 &&
-             DeadlineExpired();
+    bool cut_short = false;
+    auto expired = [this, &scanned, &cut_short] {
+      if ((++scanned & (kDeadlineCheckInterval - 1)) == 0 &&
+          DeadlineExpired()) {
+        cut_short = true;
+      }
+      return cut_short;
     };
     switch (info.kind) {
       case PredicateKind::kConceptEdb:
@@ -196,7 +328,12 @@ const Evaluator::Rows& Evaluator::EdbRows(int predicate) {
       default:
         OWLQR_CHECK_MSG(false, "EdbRows on IDB/equality predicate");
     }
+    // A deadline abort mid-stream leaves a silently incomplete extension;
+    // record the partiality (the once_flag means it will never be retried)
+    // so FillStats can surface it alongside aborted/deadline_exceeded.
     rows.materialized = true;
+    rows.partial = cut_short;
+    if (cut_short) OWLQR_COUNT("evaluator/partial_edbs", 1);
     span.Attr("predicate", predicate);
     span.Attr("rows", static_cast<long>(rows.size()));
     OWLQR_COUNT("evaluator/edb_rows", static_cast<long>(rows.size()));
@@ -224,6 +361,16 @@ const Evaluator::Index& Evaluator::GetIndex(int predicate, unsigned mask) {
     const auto build_start = metrics ? std::chrono::steady_clock::now()
                                      : std::chrono::steady_clock::time_point();
     const Rows& rows = RowsFor(predicate);
+    Index& index = slot->index;
+    size_t capacity = 64;
+    while (capacity < rows.size() * 2) capacity <<= 1;
+    index.mask = capacity - 1;
+    index.hashes.assign(capacity, 0);
+    index.starts.assign(capacity, 0);
+    index.ends.assign(capacity, 0);
+    // Pass 1: claim a slot per distinct key hash and count its rows.
+    std::vector<uint32_t> row_hash;
+    row_hash.reserve(rows.size());
     std::vector<int> key_values;
     for (size_t r = 0; r < rows.size(); ++r) {
       // A single huge index build must honour the deadline too; an aborted
@@ -238,9 +385,32 @@ const Evaluator::Index& Evaluator::GetIndex(int predicate, unsigned mask) {
       for (int i = 0; i < rows.arity; ++i) {
         if (mask & (1u << i)) key_values.push_back(tuple[i]);
       }
-      slot->index[HashTuple(key_values.data(),
-                            static_cast<int>(key_values.size()))]
-          .push_back(static_cast<uint32_t>(r));
+      uint32_t h = static_cast<uint32_t>(HashN(
+          key_values.data(), static_cast<int>(key_values.size())));
+      if (h == 0) h = 1;
+      row_hash.push_back(h);
+      size_t pos = h & index.mask;
+      while (index.hashes[pos] != 0 && index.hashes[pos] != h) {
+        pos = (pos + 1) & index.mask;
+      }
+      index.hashes[pos] = h;
+      ++index.ends[pos];
+    }
+    // Pass 2: prefix-sum the counts into per-key ranges, then scatter the
+    // row ids; `ends` advances back to one-past-last as rows land.
+    uint32_t cursor = 0;
+    for (size_t pos = 0; pos < capacity; ++pos) {
+      if (index.hashes[pos] == 0) continue;
+      index.starts[pos] = cursor;
+      cursor += index.ends[pos];
+      index.ends[pos] = index.starts[pos];
+    }
+    index.ids.resize(cursor);
+    for (size_t r = 0; r < row_hash.size(); ++r) {
+      uint32_t h = row_hash[r];
+      size_t pos = h & index.mask;
+      while (index.hashes[pos] != h) pos = (pos + 1) & index.mask;
+      index.ids[index.ends[pos]++] = static_cast<uint32_t>(r);
     }
     index_builds_.fetch_add(1, std::memory_order_relaxed);
     span.Attr("predicate", predicate);
@@ -278,8 +448,7 @@ void Evaluator::Materialize(int predicate) {
   rows.materialized = true;
 }
 
-void Evaluator::EvaluateClause(const NdlClause& clause, Rows* out) {
-  if (aborted_.load(std::memory_order_relaxed)) return;
+Evaluator::ClausePlan Evaluator::BuildPlan(const NdlClause& clause) {
   // Static greedy atom order: simulate which variables become bound.
   std::vector<bool> used(clause.body.size(), false);
   std::vector<bool> bound;
@@ -298,8 +467,20 @@ void Evaluator::EvaluateClause(const NdlClause& clause, Rows* out) {
   }
   bound.assign(num_vars, false);
 
+  // The inner loop's term code: a binding slot for variables, -(value + 1)
+  // for constants (individual ids are non-negative, so the ranges are
+  // disjoint).
+  auto code_of = [](const Term& t) {
+    if (t.is_constant) {
+      OWLQR_CHECK_MSG(t.value >= 0, "negative constant in clause");
+      return -t.value - 1;
+    }
+    return t.value;
+  };
+
   ClausePlan plan;
   plan.clause = &clause;
+  plan.num_vars = num_vars;
   plan.steps.reserve(clause.body.size());
   for (size_t step = 0; step < clause.body.size(); ++step) {
     int best = -1;
@@ -350,15 +531,15 @@ void Evaluator::EvaluateClause(const NdlClause& clause, Rows* out) {
         const Term& t = atom.args[i];
         if (var_bound(t)) {
           atom_step.mask |= (1u << i);
-          atom_step.key_positions.push_back(static_cast<int>(i));
+          atom_step.key_code.push_back(code_of(t));
           // Indexed probes match by hash only; verify the value.
-          atom_step.check_positions.push_back(static_cast<int>(i));
+          atom_step.checks.emplace_back(static_cast<int>(i), code_of(t));
         } else if (!binds_var(t.value)) {
           // First occurrence of an open variable in this atom: bind it.
           atom_step.bind.emplace_back(static_cast<int>(i), t.value);
         } else {
           // Repeated open variable: check against the binding just made.
-          atom_step.check_positions.push_back(static_cast<int>(i));
+          atom_step.checks.emplace_back(static_cast<int>(i), code_of(t));
         }
       }
     }
@@ -366,96 +547,158 @@ void Evaluator::EvaluateClause(const NdlClause& clause, Rows* out) {
       if (!t.is_constant) bound[t.value] = true;
     }
   }
+  // Compile the head recipe and check safety here, once per clause, instead
+  // of branching on Terms and re-validating on every emission: a variable
+  // is bound at emission depth exactly when some step binds it, which is
+  // what `bound` now records.
+  plan.head_code.reserve(clause.head.args.size());
+  for (const Term& t : clause.head.args) {
+    OWLQR_CHECK_MSG(t.is_constant || bound[t.value], "unsafe clause head");
+    plan.head_code.push_back(code_of(t));
+  }
+  plan.splittable = !plan.steps.empty() && plan.steps[0].rows != nullptr &&
+                    plan.steps[0].mask == 0;
+  return plan;
+}
 
-  plan.head_tuple.resize(clause.head.args.size());
-  std::vector<int> binding(num_vars, -1);
-  if (MetricsRegistry* metrics = MetricsRegistry::Global()) {
-    ScopedSpan span(metrics, "evaluate/join");
-    Join(&plan, 0, &binding, out);
-    span.Attr("head", clause.head.predicate);
-    span.Attr("emissions", plan.emissions);
-    span.Attr("new_tuples", plan.new_tuples);
-    // Totals feed the dedup hit rate: new_tuples / join_emissions.
-    metrics->Count("evaluator/join_emissions", plan.emissions);
-    metrics->Count("evaluator/new_tuples", plan.new_tuples);
-    metrics->Record("evaluator/clause_emissions",
-                    static_cast<double>(plan.emissions));
-  } else {
-    Join(&plan, 0, &binding, out);
+void Evaluator::RunJoin(const ClausePlan& plan, JoinContext* ctx,
+                        Rows* out) {
+  ctx->binding.assign(plan.num_vars, -1);
+  ctx->head_tuple.resize(plan.clause->head.args.size());
+  ctx->index.assign(plan.steps.size(), nullptr);
+  if (!plan.steps.empty() && plan.steps[0].rows != nullptr &&
+      plan.steps[0].mask == 0) {
+    // A scan-driven clause usually emits on the order of its driver range;
+    // hint the dedup table so it skips the doubling cascade (Reserve bounds
+    // the hint, so selective clauses cannot over-allocate).
+    size_t end = std::min(plan.steps[0].rows->size(), ctx->driver_end);
+    if (end > ctx->driver_begin) {
+      out->Reserve(out->size() + (end - ctx->driver_begin));
+    }
+  }
+  Join(plan, 0, ctx, out);
+  // Settle the residual tallies so the evaluator-wide counters (and the
+  // fan-out owner's shard accounting) see every emission of this run.
+  if (ctx->unflushed_emissions != 0 || ctx->unflushed_new != 0) {
+    FlushLimits(ctx);
   }
 }
 
-void Evaluator::Emit(ClausePlan* plan, const std::vector<int>& binding,
-                     Rows* out) {
-  const NdlClause& clause = *plan->clause;
-  for (size_t i = 0; i < clause.head.args.size(); ++i) {
-    const Term& t = clause.head.args[i];
-    if (t.is_constant) {
-      plan->head_tuple[i] = t.value;
-    } else {
-      OWLQR_CHECK_MSG(binding[t.value] >= 0, "unsafe clause head");
-      plan->head_tuple[i] = binding[t.value];
-    }
+void Evaluator::EvaluateClause(const NdlClause& clause, Rows* out) {
+  if (aborted_.load(std::memory_order_relaxed)) return;
+  ClausePlan plan = BuildPlan(clause);
+  JoinContext ctx;
+  if (MetricsRegistry* metrics = MetricsRegistry::Global()) {
+    ScopedSpan span(metrics, "evaluate/join");
+    RunJoin(plan, &ctx, out);
+    span.Attr("head", clause.head.predicate);
+    span.Attr("emissions", ctx.emissions);
+    span.Attr("new_tuples", ctx.new_tuples);
+    // Totals feed the dedup hit rate: new_tuples / join_emissions.
+    metrics->Count("evaluator/join_emissions", ctx.emissions);
+    metrics->Count("evaluator/new_tuples", ctx.new_tuples);
+    metrics->Record("evaluator/clause_emissions",
+                    static_cast<double>(ctx.emissions));
+  } else {
+    RunJoin(plan, &ctx, out);
   }
-  if (out->Insert(plan->head_tuple.data())) {
-    ++plan->new_tuples;
-    long tuples = idb_tuples_.fetch_add(1, std::memory_order_relaxed) + 1;
-    if (limits_.max_generated_tuples > 0 &&
-        tuples > limits_.max_generated_tuples) {
-      aborted_.store(true, std::memory_order_relaxed);
-    }
+}
+
+bool Evaluator::Emit(const ClausePlan& plan, JoinContext* ctx, Rows* out) {
+  const int* binding = ctx->binding.data();
+  for (size_t i = 0; i < plan.head_code.size(); ++i) {
+    int code = plan.head_code[i];
+    ctx->head_tuple[i] = code >= 0 ? binding[code] : -code - 1;
   }
-  ++plan->emissions;
-  long work = work_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (out->Insert(ctx->head_tuple.data())) {
+    ++ctx->new_tuples;
+    ++ctx->unflushed_new;
+  }
+  ++ctx->emissions;
+  ++ctx->unflushed_emissions;
+  // The hot path touches no shared cache line; FlushLimits re-arms the
+  // countdown so limits are still enforced on exactly the emission that
+  // exceeds them.
+  if (--ctx->flush_countdown <= 0) return FlushLimits(ctx);
+  return true;
+}
+
+bool Evaluator::FlushLimits(JoinContext* ctx) {
+  long work = work_.fetch_add(ctx->unflushed_emissions,
+                              std::memory_order_relaxed) +
+              ctx->unflushed_emissions;
+  ctx->unflushed_emissions = 0;
+  long tuples;
+  if (ctx->unflushed_new != 0) {
+    tuples = idb_tuples_.fetch_add(ctx->unflushed_new,
+                                   std::memory_order_relaxed) +
+             ctx->unflushed_new;
+    ctx->unflushed_new = 0;
+  } else {
+    tuples = idb_tuples_.load(std::memory_order_relaxed);
+  }
   if (limits_.max_work > 0 && work > limits_.max_work) {
     aborted_.store(true, std::memory_order_relaxed);
   }
-  // Test has_deadline_ first: the common no-deadline case must stay one
-  // predictable branch on this hot path (work >= 1, so the mask test is an
-  // exact substitute for the modulo).
-  if (has_deadline_ && (work & (kDeadlineCheckInterval - 1)) == 0) {
-    DeadlineExpired();
+  if (limits_.max_generated_tuples > 0 &&
+      tuples > limits_.max_generated_tuples) {
+    aborted_.store(true, std::memory_order_relaxed);
   }
+  if (has_deadline_) DeadlineExpired();
+  if (aborted_.load(std::memory_order_relaxed)) return false;
+  // Re-arm: flush again no later than the emission that could exceed the
+  // nearest limit (new tuples <= emissions, so an emission-based countdown
+  // is a conservative bound for the tuple limit too), and at least every
+  // kDeadlineCheckInterval emissions so deadline polls and cross-worker
+  // aborts are observed promptly.
+  long countdown = kDeadlineCheckInterval;
+  if (limits_.max_work > 0) {
+    countdown = std::min(countdown, limits_.max_work - work + 1);
+  }
+  if (limits_.max_generated_tuples > 0) {
+    countdown =
+        std::min(countdown, limits_.max_generated_tuples - tuples + 1);
+  }
+  ctx->flush_countdown = std::max<long>(countdown, 1);
+  return true;
 }
 
-void Evaluator::Join(ClausePlan* plan, size_t next, std::vector<int>* binding,
+bool Evaluator::Join(const ClausePlan& plan, size_t next, JoinContext* ctx,
                      Rows* out) {
-  if (aborted_.load(std::memory_order_relaxed)) return;
-  if (next == plan->steps.size()) {
-    Emit(plan, *binding, out);
-    return;
-  }
+  if (next == plan.steps.size()) return Emit(plan, ctx, out);
 
-  AtomStep& step = plan->steps[next];
+  const AtomStep& step = plan.steps[next];
   const NdlAtom& atom = *step.atom;
+  std::vector<int>& binding = ctx->binding;
   auto term_value = [&](const Term& t) {
-    return t.is_constant ? t.value : (*binding)[t.value];
+    return t.is_constant ? t.value : binding[t.value];
   };
 
   if (step.kind == PredicateKind::kEquality) {
     int a = term_value(atom.args[0]);
     int b = term_value(atom.args[1]);
     if (a >= 0 && b >= 0) {
-      if (a == b) Join(plan, next + 1, binding, out);
-      return;
+      if (a == b) return Join(plan, next + 1, ctx, out);
+      return true;
     }
     if (a >= 0 || b >= 0) {
       int value = a >= 0 ? a : b;
       const Term& open = a >= 0 ? atom.args[1] : atom.args[0];
-      (*binding)[open.value] = value;
-      Join(plan, next + 1, binding, out);
-      (*binding)[open.value] = -1;
-      return;
+      binding[open.value] = value;
+      bool keep_going = Join(plan, next + 1, ctx, out);
+      binding[open.value] = -1;
+      return keep_going;
     }
     // Both open: enumerate the active domain (rare; kept for completeness).
     for (int ind : ActiveDomain()) {
-      (*binding)[atom.args[0].value] = ind;
-      (*binding)[atom.args[1].value] = ind;
-      Join(plan, next + 1, binding, out);
-      (*binding)[atom.args[0].value] = -1;
-      (*binding)[atom.args[1].value] = -1;
+      binding[atom.args[0].value] = ind;
+      binding[atom.args[1].value] = ind;
+      bool keep_going = Join(plan, next + 1, ctx, out);
+      binding[atom.args[0].value] = -1;
+      binding[atom.args[1].value] = -1;
+      if (!keep_going) return false;
     }
-    return;
+    return true;
   }
 
   if (step.kind == PredicateKind::kAdom) {
@@ -463,57 +706,335 @@ void Evaluator::Join(ClausePlan* plan, size_t next, std::vector<int>* binding,
     const std::vector<int>& adom = ActiveDomain();
     if (a >= 0) {
       if (std::binary_search(adom.begin(), adom.end(), a)) {
-        Join(plan, next + 1, binding, out);
+        return Join(plan, next + 1, ctx, out);
       }
-      return;
+      return true;
     }
     for (int ind : adom) {
-      (*binding)[atom.args[0].value] = ind;
-      Join(plan, next + 1, binding, out);
-      (*binding)[atom.args[0].value] = -1;
+      binding[atom.args[0].value] = ind;
+      bool keep_going = Join(plan, next + 1, ctx, out);
+      binding[atom.args[0].value] = -1;
+      if (!keep_going) return false;
     }
-    return;
+    return true;
   }
 
   // Regular (IDB or EDB) atom: scan or probe, bind the open positions,
   // verify the checked positions against the candidate row.
   const Rows& rows = *step.rows;
+  // On the last step a matching row goes straight to Emit; the extra
+  // recursion level would only re-test `next == steps.size()` per candidate.
+  const bool last = next + 1 == plan.steps.size();
   auto try_row = [&](const int* tuple) {
     for (const auto& [pos, var] : step.bind) {
-      (*binding)[var] = tuple[pos];
+      binding[var] = tuple[pos];
     }
     bool ok = true;
-    for (int pos : step.check_positions) {
-      if (term_value(atom.args[pos]) != tuple[pos]) {
+    for (const auto& [pos, code] : step.checks) {
+      int value = code >= 0 ? binding[code] : -code - 1;
+      if (value != tuple[pos]) {
         ok = false;
         break;
       }
     }
-    if (ok) Join(plan, next + 1, binding, out);
-    for (const auto& [pos, var] : step.bind) (*binding)[var] = -1;
+    bool keep_going =
+        ok ? (last ? Emit(plan, ctx, out) : Join(plan, next + 1, ctx, out))
+           : true;
+    for (const auto& [pos, var] : step.bind) binding[var] = -1;
+    return keep_going;
   };
 
   if (step.mask == 0) {
-    for (size_t r = 0; r < rows.size(); ++r) try_row(rows.row(r));
-    return;
+    size_t begin = 0;
+    size_t end = rows.size();
+    if (next == 0) {
+      // The driver scan honours the context's row range (the whole relation
+      // by default, one morsel under a fan-out).
+      begin = ctx->driver_begin;
+      end = std::min(end, ctx->driver_end);
+    }
+    for (size_t r = begin; r < end; ++r) {
+      // One relaxed load per driver row keeps abort latency low even when a
+      // long stretch of rows emits nothing (and so never reaches a flush).
+      if (next == 0 && aborted_.load(std::memory_order_relaxed)) return false;
+      if (!try_row(rows.row(r))) return false;
+    }
+    return true;
   }
-  if (step.index == nullptr) {
+  const Index*& index = ctx->index[next];
+  if (index == nullptr) {
     // Fetched lazily so clauses that fail before probing never build it;
-    // cached in the (clause-local) plan so each probe is one hash lookup.
-    step.index = &GetIndex(atom.predicate, step.mask);
+    // cached in the (context-local) slot so each probe is one hash lookup.
+    index = &GetIndex(atom.predicate, step.mask);
     // The build itself may have exhausted the deadline (leaving a partial
     // index); do not probe it in that case.
-    if (aborted_.load(std::memory_order_relaxed)) return;
+    if (aborted_.load(std::memory_order_relaxed)) return false;
   }
-  step.key_buffer.clear();
-  for (int pos : step.key_positions) {
-    step.key_buffer.push_back(term_value(atom.args[pos]));
+  // Key values on the stack for the common short keys (no vector size
+  // bookkeeping per probe); the context buffer covers wide keys.
+  int key_stack[8];
+  const int* key;
+  int key_len = static_cast<int>(step.key_code.size());
+  if (key_len <= 8) {
+    for (int i = 0; i < key_len; ++i) {
+      int code = step.key_code[i];
+      key_stack[i] = code >= 0 ? binding[code] : -code - 1;
+    }
+    key = key_stack;
+  } else {
+    ctx->key_buffer.clear();
+    for (int code : step.key_code) {
+      ctx->key_buffer.push_back(code >= 0 ? binding[code] : -code - 1);
+    }
+    key = ctx->key_buffer.data();
   }
-  auto it = step.index->find(HashTuple(
-      step.key_buffer.data(), static_cast<int>(step.key_buffer.size())));
-  if (it == step.index->end()) return;
-  for (uint32_t r : it->second) try_row(rows.row(r));
+  auto [first, end] = index->Find(HashN(key, key_len));
+  for (; first != end; ++first) {
+    if (first + 1 != end) {
+      // Candidate rows land all over the arena; fetching the next one while
+      // this one joins hides most of that latency.
+      __builtin_prefetch(rows.row(first[1]));
+    }
+    if (!try_row(rows.row(*first))) return false;
+  }
+  return true;
 }
+
+// --- Dependency-DAG scheduler + intra-clause morsel parallelism ----------
+
+void Evaluator::RunMorsels(MorselBatch* batch, int worker_id) {
+  JoinContext ctx;
+  Rows* shard = &batch->shards[worker_id];
+  while (true) {
+    size_t begin =
+        batch->cursor.fetch_add(batch->rows_per_morsel,
+                                std::memory_order_relaxed);
+    if (begin >= batch->driver_rows) break;
+    ctx.driver_begin = begin;
+    ctx.driver_end = std::min(begin + batch->rows_per_morsel,
+                              batch->driver_rows);
+    RunJoin(*batch->plan, &ctx, shard);
+    // Settle the tallies into this worker's slot (single writer per slot)
+    // BEFORE the completed increment below: the owner sums the slots as
+    // soon as the last morsel's release lands, so a write after it would
+    // race with that read.
+    batch->emissions[worker_id] += ctx.emissions;
+    batch->new_tuples[worker_id] += ctx.new_tuples;
+    ctx.emissions = 0;
+    ctx.new_tuples = 0;
+    morsels_.fetch_add(1, std::memory_order_relaxed);
+    size_t done = batch->completed.fetch_add(1, std::memory_order_acq_rel) + 1;
+    if (done == batch->num_morsels) {
+      // Lock/unlock pairs with the owner's predicate check so the final
+      // notification cannot slip between its check and its wait.
+      std::lock_guard<std::mutex> lock(batch->mu);
+      batch->cv.notify_all();
+    }
+  }
+}
+
+long Evaluator::MergeShards(MorselBatch* batch, Rows* out) {
+  long inserted = 0;
+  long scanned = 0;
+  size_t shard_rows = 0;
+  for (const Rows& shard : batch->shards) shard_rows += shard.size();
+  out->Reserve(out->size() + shard_rows);
+  for (const Rows& shard : batch->shards) {
+    for (size_t r = 0; r < shard.size(); ++r) {
+      if (out->Insert(shard.row(r))) ++inserted;
+      // A huge merge must honour the deadline like every other loop; an
+      // aborted merge leaves the relation partial, which is fine because
+      // aborted_ stops every consumer before it trusts the results.
+      if ((++scanned & (kDeadlineCheckInterval - 1)) == 0 &&
+          DeadlineExpired()) {
+        return inserted;
+      }
+    }
+  }
+  return inserted;
+}
+
+void Evaluator::RunClauseFanOut(Scheduler* sched, const ClausePlan& plan,
+                                int worker_id, int num_workers, Rows* out) {
+  MorselBatch batch;
+  batch.plan = &plan;
+  batch.driver_rows = plan.steps[0].rows->size();
+  batch.rows_per_morsel = static_cast<size_t>(limits_.morsel_rows);
+  batch.num_morsels =
+      (batch.driver_rows + batch.rows_per_morsel - 1) / batch.rows_per_morsel;
+  batch.shards.resize(num_workers);
+  for (Rows& shard : batch.shards) shard.arity = out->arity;
+  batch.emissions.assign(num_workers, 0);
+  batch.new_tuples.assign(num_workers, 0);
+
+  OWLQR_NAMED_SPAN(span, "evaluate/join");
+  {
+    std::lock_guard<std::mutex> lock(sched->mu);
+    sched->batches.push_back(&batch);
+  }
+  sched->cv.notify_all();
+  // The owner claims morsels alongside the helpers until the cursor is
+  // exhausted ...
+  RunMorsels(&batch, worker_id);
+  {
+    std::lock_guard<std::mutex> lock(sched->mu);
+    auto it = std::find(sched->batches.begin(), sched->batches.end(), &batch);
+    if (it != sched->batches.end()) sched->batches.erase(it);
+  }
+  // ... then waits for helpers still inside the batch — both those joining
+  // their last morsel (completed) and those that entered only to find the
+  // cursor exhausted (helpers).  The batch (and the plan it points into)
+  // stays alive on this frame until no other worker can touch it.
+  {
+    std::unique_lock<std::mutex> lock(batch.mu);
+    batch.cv.wait(lock, [&batch] {
+      return batch.completed.load(std::memory_order_acquire) ==
+                 batch.num_morsels &&
+             batch.helpers.load(std::memory_order_relaxed) == 0;
+    });
+  }
+  // Single merge writer: only the owner touches the canonical Rows, so the
+  // single-writer-per-relation invariant survives the fan-out.
+  long inserted = MergeShards(&batch, out);
+  morsel_batches_.fetch_add(1, std::memory_order_relaxed);
+  long emissions = 0;
+  long shard_new = 0;
+  for (long e : batch.emissions) emissions += e;
+  for (long n : batch.new_tuples) shard_new += n;
+  // Tuples new within a shard but duplicated across shards were counted by
+  // Emit; settle idb_tuples_ to the canonical (merged) count.
+  if (shard_new > inserted) {
+    idb_tuples_.fetch_sub(shard_new - inserted, std::memory_order_relaxed);
+  }
+  span.Attr("head", plan.clause->head.predicate);
+  span.Attr("emissions", emissions);
+  span.Attr("new_tuples", inserted);
+  span.Attr("morsels", static_cast<long>(batch.num_morsels));
+  OWLQR_COUNT("evaluator/join_emissions", emissions);
+  OWLQR_COUNT("evaluator/new_tuples", inserted);
+  OWLQR_RECORD("evaluator/clause_emissions", static_cast<double>(emissions));
+}
+
+void Evaluator::RunPredicateTask(Scheduler* sched, int predicate,
+                                 int worker_id, int num_workers) {
+  const bool metrics = OWLQR_METRICS_ENABLED();
+  const auto task_start = std::chrono::steady_clock::now();
+  Rows& out = preds_[predicate]->rows;
+  for (int ci : program_.ClausesFor(predicate)) {
+    if (aborted_.load(std::memory_order_relaxed)) break;
+    const NdlClause& clause = program_.clause(ci);
+    ClausePlan plan = BuildPlan(clause);
+    bool fan_out = false;
+    if (limits_.morsel_rows > 0 && plan.splittable &&
+        plan.steps[0].rows->size() >
+            static_cast<size_t>(limits_.morsel_rows)) {
+      // Split only when the ready queue would leave workers idle: either
+      // some already block on the queue, or there are fewer ready tasks
+      // than the other workers could drain.
+      std::lock_guard<std::mutex> lock(sched->mu);
+      fan_out = sched->idle > 0 ||
+                sched->ready.size() + 1 < static_cast<size_t>(num_workers);
+    }
+    if (fan_out) {
+      RunClauseFanOut(sched, plan, worker_id, num_workers, &out);
+    } else if (MetricsRegistry* registry = MetricsRegistry::Global()) {
+      ScopedSpan span(registry, "evaluate/join");
+      JoinContext ctx;
+      RunJoin(plan, &ctx, &out);
+      span.Attr("head", clause.head.predicate);
+      span.Attr("emissions", ctx.emissions);
+      span.Attr("new_tuples", ctx.new_tuples);
+      registry->Count("evaluator/join_emissions", ctx.emissions);
+      registry->Count("evaluator/new_tuples", ctx.new_tuples);
+      registry->Record("evaluator/clause_emissions",
+                       static_cast<double>(ctx.emissions));
+    } else {
+      JoinContext ctx;
+      RunJoin(plan, &ctx, &out);
+    }
+  }
+  out.materialized = true;
+  scheduler_tasks_.fetch_add(1, std::memory_order_relaxed);
+  double task_ms = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - task_start)
+                       .count();
+  if (metrics) OWLQR_RECORD("evaluator/task_wall_ms", task_ms);
+
+  // Finish the task: release dependents whose last dependency this was, and
+  // wake everyone on the last task overall.
+  std::vector<int> newly_ready;
+  for (int q : sched->dependents[predicate]) {
+    if (sched->remaining[q].fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      newly_ready.push_back(q);
+    }
+  }
+  bool done;
+  {
+    std::lock_guard<std::mutex> lock(sched->mu);
+    slowest_task_ms_ = std::max(slowest_task_ms_, task_ms);
+    for (int q : newly_ready) sched->ready.push_back(q);
+    done = --sched->pending == 0;
+    if (done) sched->done = true;
+  }
+  // Wake only as many workers as there is new work for; a notify_all here
+  // stampedes every idle worker at once (they requeue on the mutex just to
+  // find one task).  Completion still wakes everyone so all workers exit.
+  if (done) {
+    sched->cv.notify_all();
+  } else if (newly_ready.size() == 1) {
+    sched->cv.notify_one();
+  } else if (!newly_ready.empty()) {
+    sched->cv.notify_all();
+  }
+}
+
+void Evaluator::SchedulerWorker(Scheduler* sched, int worker_id,
+                                int num_workers) {
+  std::unique_lock<std::mutex> lock(sched->mu);
+  while (true) {
+    if (!sched->ready.empty()) {
+      int predicate = sched->ready.front();
+      sched->ready.pop_front();
+      lock.unlock();
+      RunPredicateTask(sched, predicate, worker_id, num_workers);
+      lock.lock();
+      continue;
+    }
+    MorselBatch* batch = nullptr;
+    while (!sched->batches.empty()) {
+      MorselBatch* candidate = sched->batches.back();
+      if (candidate->cursor.load(std::memory_order_relaxed) >=
+          candidate->driver_rows) {
+        // Fully claimed; drop it (the owner also erases on completion).
+        sched->batches.pop_back();
+        continue;
+      }
+      batch = candidate;
+      break;
+    }
+    if (batch != nullptr) {
+      // Registered under sched->mu, before the batch pointer escapes this
+      // critical section: the owner's completion wait includes `helpers`,
+      // so the batch outlives even a helper that claims no morsel.
+      batch->helpers.fetch_add(1, std::memory_order_relaxed);
+      lock.unlock();
+      RunMorsels(batch, worker_id);
+      {
+        std::lock_guard<std::mutex> batch_lock(batch->mu);
+        batch->helpers.fetch_sub(1, std::memory_order_relaxed);
+        batch->cv.notify_all();
+      }
+      lock.lock();
+      continue;
+    }
+    if (sched->done) return;
+    ++sched->idle;
+    sched->cv.wait(lock);
+    --sched->idle;
+  }
+}
+
+// -------------------------------------------------------------------------
 
 void Evaluator::FillStats(const std::vector<std::vector<int>>& answers,
                           EvaluationStats* stats) const {
@@ -522,17 +1043,26 @@ void Evaluator::FillStats(const std::vector<std::vector<int>>& answers,
   stats->aborted = aborted_.load();
   stats->deadline_exceeded = deadline_exceeded_.load();
   stats->index_builds = index_builds_.load();
+  stats->partial_edbs = 0;
   stats->predicate_tuples.assign(program_.num_predicates(), 0);
   for (int p = 0; p < program_.num_predicates(); ++p) {
-    if (program_.IsIdb(p) && preds_[p]->rows.materialized) {
-      long count = static_cast<long>(preds_[p]->rows.size());
-      stats->predicate_tuples[p] = count;
-      stats->generated_tuples += count;
-      ++stats->predicates_evaluated;
+    const Rows& rows = preds_[p]->rows;
+    if (program_.IsIdb(p)) {
+      if (rows.materialized) {
+        long count = static_cast<long>(rows.size());
+        stats->predicate_tuples[p] = count;
+        stats->generated_tuples += count;
+        ++stats->predicates_evaluated;
+      }
+    } else if (rows.partial) {
+      ++stats->partial_edbs;
     }
   }
   stats->goal_tuples = static_cast<long>(answers.size());
-  stats->level_wall_ms = level_wall_ms_;
+  stats->scheduler_tasks = scheduler_tasks_.load();
+  stats->morsel_batches = morsel_batches_.load();
+  stats->morsels = morsels_.load();
+  stats->slowest_task_ms = slowest_task_ms_;
 }
 
 std::vector<std::vector<int>> Evaluator::Evaluate(EvaluationStats* stats) {
@@ -541,8 +1071,7 @@ std::vector<std::vector<int>> Evaluator::Evaluate(EvaluationStats* stats) {
   StartClock();
   Materialize(program_.goal());
   std::vector<std::vector<int>> answers =
-      preds_[program_.goal()]->rows.ToTuples();
-  std::sort(answers.begin(), answers.end());
+      preds_[program_.goal()]->rows.ToSortedTuples();
   if (stats != nullptr) FillStats(answers, stats);
   span.Attr("goal_tuples", static_cast<long>(answers.size()));
   span.Attr("generated_tuples", idb_tuples_.load(std::memory_order_relaxed));
@@ -563,24 +1092,28 @@ std::vector<std::vector<int>> Evaluator::EvaluateParallel(
   span.Attr("threads", num_threads);
   StartClock();
 
-  // Predicates the goal depends on.
-  std::set<int> reachable = {program_.goal()};
+  // IDB predicates the goal depends on, over the program's cached
+  // dependency adjacency (a flat seen-array; no per-call tree allocations).
+  const std::vector<std::vector<int>>& deps = program_.IdbDependencies();
+  std::vector<char> reachable(program_.num_predicates(), 0);
+  reachable[program_.goal()] = 1;
   std::vector<int> stack = {program_.goal()};
   while (!stack.empty()) {
     int p = stack.back();
     stack.pop_back();
-    for (int ci : program_.ClausesFor(p)) {
-      for (const NdlAtom& atom : program_.clause(ci).body) {
-        if (program_.IsIdb(atom.predicate) &&
-            reachable.insert(atom.predicate).second) {
-          stack.push_back(atom.predicate);
-        }
+    for (int q : deps[p]) {
+      if (!reachable[q]) {
+        reachable[q] = 1;
+        stack.push_back(q);
       }
     }
   }
-  // Freeze everything workers may read lazily: the active domain (used by
-  // equality and adom atoms) and every EDB relation of any kind, including
-  // table EDBs from the mapping layer.
+  // Freeze everything workers may read lazily: the program's clause index
+  // (any ClausesFor call builds all of it; concurrent first calls from
+  // worker tasks would race), the active domain (used by equality and adom
+  // atoms), and every EDB relation of any kind, including table EDBs from
+  // the mapping layer.
+  program_.ClausesFor(program_.goal());
   ActiveDomain();
   for (const NdlClause& clause : program_.clauses()) {
     for (const NdlAtom& atom : clause.body) {
@@ -592,49 +1125,71 @@ std::vector<std::vector<int>> Evaluator::EvaluateParallel(
       }
     }
   }
-  level_wall_ms_.clear();
-  for (const std::vector<int>& level : program_.TopologicalLevels()) {
-    std::vector<int> todo;
-    for (int p : level) {
-      if (reachable.count(p) > 0 && !preds_[p]->rows.materialized) {
-        todo.push_back(p);
+
+  // Build the task DAG: one task per reachable unmaterialised IDB
+  // predicate, an atomic remaining-dependency counter each, and reverse
+  // edges so a finishing task can release its dependents.
+  Scheduler sched;
+  const int n = program_.num_predicates();
+  sched.remaining = std::make_unique<std::atomic<int>[]>(n);
+  sched.dependents.assign(n, {});
+  std::vector<char> is_task(n, 0);
+  std::vector<int> tasks;
+  for (int p = 0; p < n; ++p) {
+    sched.remaining[p].store(0, std::memory_order_relaxed);
+    if (reachable[p] && program_.IsIdb(p) && !preds_[p]->rows.materialized) {
+      is_task[p] = 1;
+      tasks.push_back(p);
+    }
+  }
+  for (int p : tasks) {
+    int need = 0;
+    for (int q : deps[p]) {
+      if (is_task[q]) {
+        ++need;
+        sched.dependents[q].push_back(p);
       }
     }
-    if (todo.empty()) continue;
-    auto level_start = std::chrono::steady_clock::now();
-    int workers = std::min<int>(num_threads, static_cast<int>(todo.size()));
-    std::atomic<size_t> next{0};
-    // Single-writer invariant: each claimed predicate's Rows is written by
-    // exactly one worker; all other relations touched are frozen lower
-    // levels or pre-materialised EDBs.
-    auto work = [&] {
-      while (true) {
-        size_t i = next.fetch_add(1);
-        if (i >= todo.size()) return;
-        int p = todo[i];
-        for (int ci : program_.ClausesFor(p)) {
-          EvaluateClause(program_.clause(ci), &preds_[p]->rows);
-        }
-        preds_[p]->rows.materialized = true;
-      }
-    };
+    sched.remaining[p].store(need, std::memory_order_relaxed);
+    if (need == 0) sched.ready.push_back(p);
+  }
+  sched.pending = static_cast<int>(tasks.size());
+  sched.done = tasks.empty();
+
+  // CPU-bound workers beyond the core count only add context-switch and
+  // wakeup overhead, so cap the pool at the hardware concurrency (floor 2:
+  // a parallel run stays genuinely concurrent even on one core, e.g. for
+  // the sanitizer tests).  Counters and results are worker-count agnostic.
+  int num_workers = num_threads;
+  unsigned hardware = std::thread::hardware_concurrency();
+  if (hardware > 0) {
+    num_workers =
+        std::min(num_threads, std::max(2, static_cast<int>(hardware)));
+  }
+  span.Attr("workers", num_workers);
+
+  if (!tasks.empty()) {
     std::vector<std::thread> threads;
-    for (int t = 0; t < workers; ++t) threads.emplace_back(work);
+    threads.reserve(num_workers);
+    for (int t = 0; t < num_workers; ++t) {
+      threads.emplace_back(
+          [this, &sched, t, num_workers] {
+            SchedulerWorker(&sched, t, num_workers);
+          });
+    }
     for (std::thread& t : threads) t.join();
-    level_wall_ms_.push_back(
-        std::chrono::duration<double, std::milli>(
-            std::chrono::steady_clock::now() - level_start)
-            .count());
-    OWLQR_RECORD("evaluator/level_wall_ms", level_wall_ms_.back());
   }
 
   std::vector<std::vector<int>> answers =
-      preds_[program_.goal()]->rows.ToTuples();
-  std::sort(answers.begin(), answers.end());
+      preds_[program_.goal()]->rows.ToSortedTuples();
   if (stats != nullptr) FillStats(answers, stats);
   span.Attr("goal_tuples", static_cast<long>(answers.size()));
   span.Attr("generated_tuples", idb_tuples_.load(std::memory_order_relaxed));
   span.Attr("aborted", aborted_.load() ? 1 : 0);
+  span.Attr("tasks", scheduler_tasks_.load(std::memory_order_relaxed));
+  span.Attr("morsel_batches",
+            morsel_batches_.load(std::memory_order_relaxed));
+  span.Attr("morsels", morsels_.load(std::memory_order_relaxed));
   return answers;
 }
 

@@ -3,7 +3,10 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
+#include <limits>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
@@ -26,13 +29,22 @@ struct EvaluationStats {
   bool aborted = false;
   // True iff the abort was caused by EvaluatorLimits::deadline_ms.
   bool deadline_exceeded = false;
+  // EDB relations whose materialisation was cut short by the deadline; when
+  // nonzero, `aborted` and `deadline_exceeded` are set too.
+  int partial_edbs = 0;
   // Number of (predicate, bound-position mask) hash indexes built.
   long index_builds = 0;
   // Per-predicate materialised tuple counts, indexed by predicate id
   // (zero for EDB and unevaluated predicates).
   std::vector<long> predicate_tuples;
-  // Parallel path only: wall time per dependence level, in milliseconds.
-  std::vector<double> level_wall_ms;
+  // Parallel (DAG scheduler) path only: predicate tasks run by workers,
+  // intra-clause morsel fan-outs, morsels executed, and the wall time of
+  // the slowest single predicate task (the critical-path floor a perfectly
+  // parallel schedule cannot beat).
+  long scheduler_tasks = 0;
+  long morsel_batches = 0;
+  long morsels = 0;
+  double slowest_task_ms = 0;
 };
 
 struct EvaluatorLimits {
@@ -46,6 +58,11 @@ struct EvaluatorLimits {
   // milliseconds (<= 0: unlimited).  The faithful stand-in for the paper's
   // 999 s evaluation timeout.
   long deadline_ms = 0;
+  // Intra-clause (morsel) parallelism threshold for EvaluateParallel: when
+  // the scheduler would otherwise leave workers idle and a clause's driver
+  // atom scans more than this many rows, the scan is split into morsels of
+  // this size and fanned out across workers (<= 0 disables splitting).
+  long morsel_rows = 2048;
 };
 
 // Bottom-up evaluator for nonrecursive datalog over a data instance.
@@ -64,12 +81,19 @@ struct EvaluatorLimits {
 // predicates never contend and lookups on the same predicate contend only
 // until the index exists.
 //
-// Parallel evaluation (EvaluateParallel) materialises the predicates of each
-// dependence level concurrently.  Its safety invariant is single-writer per
-// level: every EDB relation (including table EDBs) and the active domain are
-// materialised eagerly before workers start, each worker writes only the
-// relations of the predicates it owns, and all reads are of frozen
-// lower-level relations or of indexes built under a once-flag.
+// Parallel evaluation (EvaluateParallel) is barrier-free: every IDB
+// predicate the goal depends on becomes a task with an atomic
+// remaining-dependency counter, workers pull ready tasks from a shared
+// queue, and a predicate is enqueued the moment its last dependency
+// finishes.  When ready tasks would leave workers idle, a clause whose
+// driver atom scans more than EvaluatorLimits::morsel_rows rows is split
+// into morsels evaluated concurrently into per-worker Rows shards and then
+// merged (see DESIGN.md section 7).  The safety invariant is single writer
+// per relation: every EDB relation (including table EDBs) and the active
+// domain are materialised eagerly before workers start, each shard is
+// written by exactly one worker, the task owner alone merges shards into
+// the predicate's canonical Rows, and all other reads are of frozen
+// dependency relations or of indexes built under a once-flag.
 class Evaluator {
  public:
   Evaluator(const NdlProgram& program, const DataInstance& data,
@@ -87,10 +111,12 @@ class Evaluator {
   // relation, sorted lexicographically.
   std::vector<std::vector<int>> Evaluate(EvaluationStats* stats = nullptr);
 
-  // Like Evaluate, but materialises the predicates of each dependence level
-  // concurrently with `num_threads` worker threads (the levels of
-  // NdlProgram::TopologicalLevels are mutually independent).  num_threads
-  // <= 1 falls back to the sequential path.
+  // Like Evaluate, but runs the dependency-DAG scheduler with `num_threads`
+  // worker threads (see the class comment).  num_threads <= 1 falls back to
+  // the sequential path; larger counts are capped at the hardware
+  // concurrency (floor 2), since extra CPU-bound workers only add
+  // scheduling overhead.  Answers and counters do not depend on the worker
+  // count.
   std::vector<std::vector<int>> EvaluateParallel(
       int num_threads, EvaluationStats* stats = nullptr);
 
@@ -104,6 +130,9 @@ class Evaluator {
     int arity = 0;
     std::vector<int> cells;
     bool materialized = false;
+    // True when a deadline abort stopped materialisation partway: the rows
+    // present are valid, but the extension is incomplete.
+    bool partial = false;
 
     size_t size() const { return num_rows_; }
     const int* row(size_t r) const {
@@ -111,19 +140,97 @@ class Evaluator {
     }
     // Inserts `tuple` (arity ints) if new; returns whether it was new.
     bool Insert(const int* tuple);
+    // Hint that the relation will reach about `expected_rows` rows: sizes
+    // the dedup table once instead of growing through the doubling cascade
+    // (bounded, so a wildly selective join cannot over-allocate; a relation
+    // that outgrows the hint just resumes doubling).
+    void Reserve(size_t expected_rows);
 
     std::vector<std::vector<int>> ToTuples() const;
+    // ToTuples() in lexicographic order, sorting row indices over the flat
+    // arena and materialising the per-tuple vectors once (the sorted output
+    // is byte-identical to sorting ToTuples(), without the intermediate
+    // copy-then-shuffle of arity-sized heap vectors).
+    std::vector<std::vector<int>> ToSortedTuples() const;
 
    private:
-    void Grow();
+    // Dedup entry for arity <= 2 (every concept, role and rewriting-
+    // produced predicate): the tuple packed beside the row id, so the
+    // duplicate check reads one slot instead of chasing from the slot
+    // table into the cells arena, and rehashing touches neither the arena
+    // nor the hash function (the low hash bits ride in what would be
+    // padding; they cover any table below 2^32 slots, and a larger one
+    // merely clusters, it does not break the probe sequence).
+    struct SmallSlot {
+      uint64_t key = 0;
+      uint32_t id = 0;      // Row index + 1; 0 = empty.
+      uint32_t hash32 = 0;  // Low 32 bits of the tuple hash.
+    };
+
+    // Zero-initialised slot array allocated with calloc: for the table
+    // sizes a Reserve hint creates, the allocator hands back lazily zeroed
+    // pages, so sizing a big table does not pay an eager memset over slots
+    // that may never be touched (a std::vector fill would).
+    struct SlotBuffer {
+      SlotBuffer() = default;
+      explicit SlotBuffer(size_t n);
+      SlotBuffer(SlotBuffer&& o) noexcept : data(o.data), size(o.size) {
+        o.data = nullptr;
+        o.size = 0;
+      }
+      SlotBuffer& operator=(SlotBuffer&& o) noexcept;
+      ~SlotBuffer();
+
+      SmallSlot& operator[](size_t i) { return data[i]; }
+      const SmallSlot& operator[](size_t i) const { return data[i]; }
+
+      SmallSlot* data = nullptr;
+      size_t size = 0;
+    };
+
+    bool InsertSmall(const int* tuple);
+    bool InsertWide(const int* tuple);
+    void RehashSmall(size_t capacity);
+    void GrowSmall();
+    void GrowWide();
 
     size_t num_rows_ = 0;
-    std::vector<uint32_t> slots_;  // Power-of-two sized; 0 = empty.
+    std::vector<uint32_t> slots_;     // Arity >= 3; power of two; 0 = empty.
+    SlotBuffer small_;                // Arity 1-2; power-of-two sized.
   };
 
   // Hash index on the positions set in `mask` (bit i = position i bound):
   // key hash -> rows whose key matches (collisions compared by the caller).
-  using Index = std::unordered_map<size_t, std::vector<uint32_t>>;
+  // Flat open-addressing table over power-of-two slots with the row ids of
+  // each key contiguous in `ids` (CSR layout): a probe is one scan of the
+  // flat `hashes` array plus a contiguous candidate range, with none of the
+  // per-bucket pointer chasing of a node-based map.
+  // Keys are matched by the low 32 hash bits only (0 remapped to 1 as the
+  // empty marker) — sound because index consumers already treat a hash
+  // match as a candidate and verify the key positions against the row.
+  struct Index {
+    size_t mask = 0;                // slots - 1.
+    std::vector<uint32_t> hashes;   // 0 = empty slot.
+    std::vector<uint32_t> starts;   // Slot -> first candidate in `ids`.
+    std::vector<uint32_t> ends;     // Slot -> one past the last candidate.
+    std::vector<uint32_t> ids;      // Row ids, grouped by key, row order.
+
+    // Candidates for `h` as a [first, last) range (nullptrs when absent).
+    std::pair<const uint32_t*, const uint32_t*> Find(size_t h) const {
+      if (hashes.empty()) return {nullptr, nullptr};
+      uint32_t want = static_cast<uint32_t>(h);
+      if (want == 0) want = 1;
+      size_t pos = want & mask;
+      while (true) {
+        uint32_t stored = hashes[pos];
+        if (stored == want) {
+          return {ids.data() + starts[pos], ids.data() + ends[pos]};
+        }
+        if (stored == 0) return {nullptr, nullptr};
+        pos = (pos + 1) & mask;
+      }
+    }
+  };
 
   struct IndexSlot {
     std::once_flag built;
@@ -137,44 +244,137 @@ class Evaluator {
     std::unordered_map<unsigned, std::unique_ptr<IndexSlot>> slots;
   };
 
-  // Per-atom join plan computed once per clause evaluation: the static
-  // bound-position mask, the resolved relation/index, and the argument
-  // positions to bind or to check against the current binding.
+  // Per-atom join plan: the static bound-position mask, the resolved
+  // relation, and the argument positions to bind or to check against the
+  // current binding.  Immutable once built, so a plan can be shared
+  // read-only across morsel workers; all run-time state lives in
+  // JoinContext.
+  //
+  // Terms the inner loop reads are pre-compiled into codes so the per-row
+  // work never touches a Term again: code >= 0 names a binding slot,
+  // code < 0 encodes the constant -(code + 1).
   struct AtomStep {
     const NdlAtom* atom = nullptr;
     PredicateKind kind = PredicateKind::kIdb;
     const Rows* rows = nullptr;            // Regular atoms only.
-    const Index* index = nullptr;          // Fetched lazily when mask != 0.
     unsigned mask = 0;
-    std::vector<int> key_positions;        // Statically bound positions.
+    std::vector<int> key_code;             // Key values, in position order.
     std::vector<std::pair<int, int>> bind; // (position, variable) to bind.
-    std::vector<int> check_positions;      // Positions verified by value.
-    std::vector<int> key_buffer;           // Reused across probes.
+    std::vector<std::pair<int, int>> checks;  // (position, code) to verify.
   };
 
+  // Built once per clause evaluation (after the clause's dependencies are
+  // materialised, so the greedy atom order sees real relation sizes) and
+  // shared read-only by every worker joining the same fan-out.
   struct ClausePlan {
     const NdlClause* clause = nullptr;
     std::vector<AtomStep> steps;
+    int num_vars = 0;
+    // Head emission recipe, one code per head position (same encoding as
+    // AtomStep).  Clause safety (every head variable bound by the body) is
+    // checked once when this is built, not per emission.
+    std::vector<int> head_code;
+    // True when step 0 is a full scan of a regular relation, i.e. its row
+    // range is splittable into morsels.
+    bool splittable = false;
+  };
+
+  // Mutable state of one join execution; one per worker per fan-out, so the
+  // shared ClausePlan stays read-only.
+  struct JoinContext {
+    std::vector<int> binding;
     std::vector<int> head_tuple;           // Reused emission buffer.
-    // Plain per-clause tallies (flushed to the metrics registry, if one is
-    // installed, after the clause finishes; kept local so the join inner
-    // loop never takes the registry lock).
+    std::vector<int> key_buffer;           // Reused across probes.
+    std::vector<const Index*> index;       // Per-step lazily fetched cache.
+    // Row range of the driver (step 0) scan; the full relation by default,
+    // one morsel when fanned out.
+    size_t driver_begin = 0;
+    size_t driver_end = std::numeric_limits<size_t>::max();
+    // Plain tallies (flushed to the metrics registry, if one is installed,
+    // after the clause finishes; kept local so the join inner loop never
+    // takes the registry lock).
     long emissions = 0;
     long new_tuples = 0;
+    // Emissions/new tuples not yet added to the evaluator-wide atomic
+    // counters.  The inner loop increments plain ints and calls FlushLimits
+    // when `flush_countdown` runs out; the countdown is sized so no limit
+    // can be overshot (see FlushLimits), which keeps limit enforcement
+    // exact while the hot path performs no atomic read-modify-write.
+    long unflushed_emissions = 0;
+    long unflushed_new = 0;
+    long flush_countdown = 0;  // 0 forces a flush on the first emission.
+  };
+
+  // One intra-clause fan-out: workers claim morsels (driver row ranges) off
+  // the atomic cursor and join them into their own Rows shard; the owner
+  // waits for `completed` to reach `num_morsels` AND `helpers` to drop to
+  // zero, then merges the shards.  The helper count covers the stragglers
+  // `completed` cannot: a worker that entered the batch but found the
+  // cursor already exhausted still reads the batch fields, so the owner
+  // must not destroy the (stack-allocated) batch under it.
+  struct MorselBatch {
+    const ClausePlan* plan = nullptr;
+    size_t driver_rows = 0;
+    size_t rows_per_morsel = 0;
+    size_t num_morsels = 0;
+    std::atomic<size_t> cursor{0};     // Next unclaimed driver row.
+    std::atomic<size_t> completed{0};  // Morsels fully joined.
+    std::atomic<int> helpers{0};       // Workers currently inside the batch.
+    std::vector<Rows> shards;          // One per worker id (single writer).
+    std::vector<long> emissions;       // Per worker id.
+    std::vector<long> new_tuples;
+    std::mutex mu;
+    std::condition_variable cv;        // Owner waits for completion.
+  };
+
+  // Shared state of one EvaluateParallel run: the dependency DAG (atomic
+  // remaining-dependency counters plus reverse edges), the ready queue, and
+  // the open morsel fan-outs idle workers can join.
+  struct Scheduler {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<int> ready;                  // Predicates ready to run.
+    std::vector<MorselBatch*> batches;      // Fan-outs with unclaimed work.
+    std::unique_ptr<std::atomic<int>[]> remaining;
+    std::vector<std::vector<int>> dependents;
+    int pending = 0;  // Tasks not yet finished (guarded by mu).
+    int idle = 0;     // Workers blocked on cv (guarded by mu).
+    bool done = false;
   };
 
   void Init();
   void StartClock();
   // Polls the wall-clock deadline; on expiry sets deadline_exceeded_ and
   // aborted_ and returns true.  Called from the join emission path and from
-  // the EDB-materialisation and index-build loops, so a single oversized
-  // relation cannot blow past EvaluatorLimits::deadline_ms.
+  // the EDB-materialisation, index-build and shard-merge loops, so a single
+  // oversized relation cannot blow past EvaluatorLimits::deadline_ms.
   bool DeadlineExpired();
   void Materialize(int predicate);
+  ClausePlan BuildPlan(const NdlClause& clause);
+  // Runs the join of `plan` into `out` over the context's driver range,
+  // resetting the context's per-run buffers (but not its tallies).
+  void RunJoin(const ClausePlan& plan, JoinContext* ctx, Rows* out);
   void EvaluateClause(const NdlClause& clause, Rows* out);
-  void Join(ClausePlan* plan, size_t next, std::vector<int>* binding,
+  // Join/Emit return false to unwind the whole backtracking join after an
+  // abort (limit exhausted, deadline expired, or another worker aborted);
+  // the hot path carries the signal in the return value instead of
+  // re-reading aborted_ at every recursion level.
+  bool Join(const ClausePlan& plan, size_t next, JoinContext* ctx,
             Rows* out);
-  void Emit(ClausePlan* plan, const std::vector<int>& binding, Rows* out);
+  bool Emit(const ClausePlan& plan, JoinContext* ctx, Rows* out);
+  // Adds the context's unflushed tallies to the evaluator-wide atomic
+  // counters, enforces max_work / max_generated_tuples exactly, polls the
+  // deadline, and re-arms the countdown to min(kDeadlineCheckInterval,
+  // distance to the nearest limit).  Returns false iff evaluation aborted.
+  bool FlushLimits(JoinContext* ctx);
+  // DAG-scheduler internals (see DESIGN.md section 7).
+  void SchedulerWorker(Scheduler* sched, int worker_id, int num_workers);
+  void RunPredicateTask(Scheduler* sched, int predicate, int worker_id,
+                        int num_workers);
+  void RunClauseFanOut(Scheduler* sched, const ClausePlan& plan,
+                       int worker_id, int num_workers, Rows* out);
+  void RunMorsels(MorselBatch* batch, int worker_id);
+  long MergeShards(MorselBatch* batch, Rows* out);
   const Index& GetIndex(int predicate, unsigned mask);
   const Rows& EdbRows(int predicate);
   const Rows& RowsFor(int predicate);
@@ -198,8 +398,11 @@ class Evaluator {
   std::atomic<long> index_builds_{0};
   std::atomic<bool> aborted_{false};
   std::atomic<bool> deadline_exceeded_{false};
+  std::atomic<long> scheduler_tasks_{0};
+  std::atomic<long> morsel_batches_{0};
+  std::atomic<long> morsels_{0};
+  double slowest_task_ms_ = 0;  // Written under the scheduler mutex.
   std::vector<std::unique_ptr<PredicateState>> preds_;
-  std::vector<double> level_wall_ms_;
 };
 
 }  // namespace owlqr

@@ -119,7 +119,7 @@ void NdlProgram::AddClause(NdlClause clause) {
                 predicates_[atom.predicate].arity);
   }
   clauses_.push_back(std::move(clause));
-  clause_index_valid_ = false;
+  InvalidateAnalyses();
 }
 
 const std::vector<int>& NdlProgram::ClausesFor(int p) const {
@@ -129,7 +129,13 @@ const std::vector<int>& NdlProgram::ClausesFor(int p) const {
 
 void NdlProgram::ReplaceClauses(std::vector<NdlClause> clauses) {
   clauses_ = std::move(clauses);
+  InvalidateAnalyses();
+}
+
+void NdlProgram::InvalidateAnalyses() {
   clause_index_valid_ = false;
+  topo_order_valid_ = false;
+  idb_deps_valid_ = false;
 }
 
 void NdlProgram::BuildClauseIndex() const {
@@ -196,8 +202,36 @@ std::vector<int> NdlProgram::TopologicalOrder() const {
   return order;
 }
 
+const std::vector<int>& NdlProgram::CachedTopologicalOrder() const {
+  if (!topo_order_valid_) {
+    topo_order_ = TopologicalOrder();
+    topo_order_valid_ = true;
+  }
+  return topo_order_;
+}
+
+const std::vector<std::vector<int>>& NdlProgram::IdbDependencies() const {
+  if (!idb_deps_valid_) {
+    idb_deps_.assign(num_predicates(), {});
+    for (const NdlClause& clause : clauses_) {
+      for (const NdlAtom& atom : clause.body) {
+        if (IsIdb(atom.predicate) &&
+            atom.predicate != clause.head.predicate) {
+          idb_deps_[clause.head.predicate].push_back(atom.predicate);
+        }
+      }
+    }
+    for (std::vector<int>& d : idb_deps_) {
+      std::sort(d.begin(), d.end());
+      d.erase(std::unique(d.begin(), d.end()), d.end());
+    }
+    idb_deps_valid_ = true;
+  }
+  return idb_deps_;
+}
+
 std::vector<std::vector<int>> NdlProgram::TopologicalLevels() const {
-  std::vector<int> order = TopologicalOrder();
+  const std::vector<int>& order = CachedTopologicalOrder();
   std::vector<int> level(num_predicates(), 0);
   int max_level = -1;
   std::vector<std::vector<int>> levels;

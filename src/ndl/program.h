@@ -103,6 +103,15 @@ class NdlProgram {
   // IDB predicates in dependency order (dependencies first).  Requires
   // nonrecursiveness.
   std::vector<int> TopologicalOrder() const;
+  // TopologicalOrder() computed once and cached until the clause list
+  // changes.  Like the other lazy caches, the first call must not race with
+  // concurrent use; compute it before sharing the program across threads.
+  const std::vector<int>& CachedTopologicalOrder() const;
+  // The dependence adjacency restricted to IDB predicates: dep[p] = the
+  // distinct IDB predicates occurring in the bodies of p's clauses (self
+  // edges dropped; empty for non-IDB p).  This is the edge set the
+  // evaluator's DAG scheduler runs on; cached until the clauses change.
+  const std::vector<std::vector<int>>& IdbDependencies() const;
   // IDB predicates grouped into dependence levels: level k holds predicates
   // whose longest IDB-dependency chain has length k.  Predicates within one
   // level are independent and can be materialised in parallel (the NC-style
@@ -137,9 +146,14 @@ class NdlProgram {
   std::vector<NdlClause> clauses_;
   mutable std::vector<std::vector<int>> clauses_for_;  // Lazy index.
   mutable bool clause_index_valid_ = false;
+  mutable std::vector<int> topo_order_;                // Lazy (see above).
+  mutable bool topo_order_valid_ = false;
+  mutable std::vector<std::vector<int>> idb_deps_;     // Lazy (see above).
+  mutable bool idb_deps_valid_ = false;
   int goal_ = -1;
 
   void BuildClauseIndex() const;
+  void InvalidateAnalyses();
   // Adjacency of the dependence graph restricted to IDB predicates:
   // dep[q] = predicates q depends on.
   std::vector<std::vector<int>> DependenceGraph() const;

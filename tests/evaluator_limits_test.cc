@@ -170,6 +170,61 @@ TEST(EvaluatorLimitsTest, DeadlineHonouredDuringIndexBuildOnWideEdb) {
   EXPECT_TRUE(stats.deadline_exceeded);
 }
 
+// A deadline that trips while an EDB relation is still streaming in leaves
+// that extension silently incomplete; stats.partial_edbs must surface it,
+// and it must only ever appear together with a deadline abort.
+TEST(EvaluatorLimitsTest, PartialEdbReportedOnDeadlineCut) {
+  Vocabulary vocab;
+  NdlProgram program(&vocab);
+  int a = program.AddConceptPredicate(vocab.InternConcept("A"));
+  int r = program.AddRolePredicate(vocab.InternPredicate("R"));
+  int g = program.AddIdbPredicate("G", 1);
+  NdlClause c;
+  c.head = {g, {Term::Var(0)}};
+  c.body.push_back({a, {Term::Var(0)}});
+  c.body.push_back({r, {Term::Var(0), Term::Var(1)}});
+  program.AddClause(std::move(c));
+  program.SetGoal(g);
+
+  DataInstance data(&vocab);
+  int concept_a = vocab.InternConcept("A");
+  int role_r = vocab.InternPredicate("R");
+  int hub = data.AddIndividual("hub");
+  constexpr int kSpokes = 500'000;
+  for (int i = 0; i < kSpokes; ++i) {
+    int s = data.AddIndividual("s" + std::to_string(i));
+    data.AddRoleAssertion(role_r, s, hub);
+    if (i == 0) data.AddConceptAssertion(concept_a, s);
+  }
+
+  EvaluatorLimits limits;
+  limits.deadline_ms = 1;  // Streaming 500k rows takes well over 1 ms.
+  Evaluator eval(program, data, limits);
+  EvaluationStats stats;
+  eval.Evaluate(&stats);
+  EXPECT_TRUE(stats.aborted);
+  EXPECT_TRUE(stats.deadline_exceeded);
+  // The wide role relation is the first thing materialised, so the cut
+  // lands mid-stream and must be recorded.
+  EXPECT_GE(stats.partial_edbs, 1);
+  // The invariant documented on EvaluationStats: a nonzero partial_edbs
+  // implies the deadline-abort flags.
+  if (stats.partial_edbs > 0) {
+    EXPECT_TRUE(stats.aborted);
+    EXPECT_TRUE(stats.deadline_exceeded);
+  }
+}
+
+TEST(EvaluatorLimitsTest, NoPartialEdbsWithoutDeadline) {
+  Vocabulary vocab;
+  NdlProgram program = JoinProgram(&vocab);
+  DataInstance data = DenseGraph(&vocab, 20);
+  EvaluationStats stats;
+  Evaluator(program, data).Evaluate(&stats);
+  EXPECT_FALSE(stats.aborted);
+  EXPECT_EQ(stats.partial_edbs, 0);
+}
+
 // The limits machinery and the stats fields must behave identically on the
 // sequential and the parallel path.
 TEST(EvaluatorLimitsTest, SequentialAndParallelStatsAgree) {

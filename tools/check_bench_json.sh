@@ -1,0 +1,43 @@
+#!/bin/sh
+# Validates committed benchmark baseline JSONs: each file must parse, hold a
+# non-empty "benchmarks" array, and every entry must carry a real_time.  The
+# parallelism baseline must additionally cover both thread counts and report
+# the scheduler counters, so a stale pre-scheduler baseline cannot sneak
+# back in.  Usage: check_bench_json.sh <file.json>...
+# Registered as the ctest test `hygiene/bench_json`.
+set -u
+
+status=0
+for file in "$@"; do
+  if [ ! -f "$file" ]; then
+    echo "FAIL: $file missing (tools/run_bench_baseline.sh regenerates it)"
+    status=1
+    continue
+  fi
+  python3 - "$file" <<'EOF' || status=1
+import json
+import os
+import sys
+
+path = sys.argv[1]
+with open(path) as f:
+    data = json.load(f)
+
+benches = data.get("benchmarks")
+assert isinstance(benches, list) and benches, f"{path}: no benchmarks array"
+for b in benches:
+    assert "name" in b and "real_time" in b, f"{path}: malformed entry {b}"
+
+if os.path.basename(path) == "BENCH_parallelism.json":
+    names = {b["name"] for b in benches}
+    for needle in ("t1", "t4"):
+        assert any(needle in n for n in names), \
+            f"{path}: missing {needle} configurations"
+    sample = next(b for b in benches if "len15" in b["name"])
+    for counter in ("SchedulerTasks", "GeneratedTuples"):
+        assert counter in sample, f"{path}: missing counter {counter}"
+
+print(f"OK: {path}: {len(benches)} benchmark entries")
+EOF
+done
+exit $status
