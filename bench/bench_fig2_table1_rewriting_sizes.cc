@@ -25,10 +25,9 @@ void BM_RewritingSize(benchmark::State& state) {
   long clauses = 0;
   bool truncated = false;
   for (auto _ : state) {
-    RewriteOptions options;
-    options.truncated = &truncated;
-    NdlProgram program = RewriteOmq(s.ctx.get(), query, kind, options);
-    clauses = program.num_clauses();
+    RewriteResult rewritten = RewriteOmqOrError(s.ctx.get(), query, kind);
+    truncated = rewritten.diag.truncated;
+    clauses = rewritten.program.num_clauses();
     benchmark::DoNotOptimize(clauses);
   }
   state.counters["Clauses"] = static_cast<double>(clauses);

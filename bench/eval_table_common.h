@@ -15,6 +15,7 @@
 
 #include "bench_common.h"
 #include "ndl/evaluator.h"
+#include "util/logging.h"
 #include "util/metrics.h"
 
 namespace owlqr {
@@ -41,8 +42,6 @@ inline void BM_EvalCell(benchmark::State& state) {
   ConjunctiveQuery query = SequenceQuery(&s.vocab, word);
   RewriteOptions options;
   options.arbitrary_instances = true;
-  bool truncated = false;
-  options.truncated = &truncated;
 
   // Per-stage trace of this cell (rewrite included); see TraceEnabled().
   MetricsRegistry metrics;
@@ -50,26 +49,31 @@ inline void BM_EvalCell(benchmark::State& state) {
   if (trace) MetricsRegistry::SetGlobal(&metrics);
 
   auto rewrite_start = std::chrono::steady_clock::now();
-  NdlProgram program = RewriteOmq(s.ctx.get(), query, kind, options);
+  RewriteResult rewritten = RewriteOmqOrError(s.ctx.get(), query, kind,
+                                              options);
+  OWLQR_CHECK_MSG(rewritten.ok(), rewritten.status.ToString().c_str());
+  const NdlProgram& program = rewritten.program;
   double rewrite_ms = std::chrono::duration<double, std::milli>(
                           std::chrono::steady_clock::now() - rewrite_start)
                           .count();
   const DataInstance& data = CachedDataset(dataset);
 
-  EvaluationStats stats;
+  ExecuteRequest request;
+  request.limits.max_generated_tuples = TupleBudget();
+  request.limits.max_work = 20 * TupleBudget();
+  ExecuteResult result;
   for (auto _ : state) {
-    EvaluatorLimits limits;
-    limits.max_generated_tuples = TupleBudget();
-    limits.max_work = 20 * TupleBudget();
-    Evaluator eval(program, data, limits);
-    auto answers = eval.Evaluate(&stats);
-    benchmark::DoNotOptimize(answers);
+    Evaluator eval(program, data);
+    result = eval.Run(request);
+    benchmark::DoNotOptimize(result.answers);
   }
+  const EvaluationStats& stats = result.stats;
   state.counters["Answers"] = static_cast<double>(stats.goal_tuples);
   state.counters["GeneratedTuples"] =
       static_cast<double>(stats.generated_tuples);
   state.counters["Clauses"] = static_cast<double>(program.num_clauses());
-  state.counters["Aborted"] = stats.aborted || truncated ? 1 : 0;
+  state.counters["Aborted"] =
+      stats.aborted || rewritten.diag.truncated ? 1 : 0;
   state.counters["RewriteMs"] = rewrite_ms;
   if (trace) {
     MetricsRegistry::SetGlobal(nullptr);

@@ -1,38 +1,66 @@
-// A command-line OBDA tool: rewrite an ontology-mediated query to
-// nonrecursive datalog and (optionally) evaluate it over data.
+// A command-line OBDA tool built on the prepared-OMQ engine: rewrite an
+// ontology-mediated query to nonrecursive datalog and (optionally) evaluate
+// it over data.
 //
-//   $ ./example_owlqr_cli ONTOLOGY QUERY [DATA] [--rewriter=KIND]
-//                         [--print-rewriting] [--sql] [--complete-instances]
-//                         [--trace-json=PATH]
+//   $ ./example_owlqr_cli ONTOLOGY QUERY [DATA] [flags]
+//   $ ./example_owlqr_cli ONTOLOGY --repl [DATA] [flags]
 //
 //   ONTOLOGY  file in the ParseTBox syntax (see src/syntax/parser.h)
 //   QUERY     file with one query:  q(x) :- R(x, y), A(y)
 //   DATA      optional file with facts:  A(a). R(a, b).
-//   KIND      lin | log | tw | twstar | ucq | presto | auto   (default auto;
-//             auto picks by the paper's Figure 1 classes and, when data is
-//             given, by the Section 6 cost model)
 //
-// --trace-json=PATH records a structured trace of the run (per-stage spans,
-// counters, timers; see DESIGN.md section 7) and writes it to PATH as JSON.
+// Flags:
+//   --rewriter=KIND    lin | log | tw | twstar | ucq | presto | auto
+//                      (default auto; auto picks by the paper's Figure 1
+//                      classes and, when data is given, by the Section 6
+//                      cost model)
+//   --threads=N        evaluate with N worker threads (default 1)
+//   --print-rewriting  print the NDL program even when DATA is given
+//   --sql              print the rewriting as SQL views instead
+//   --complete-instances  rewrite for complete instances (no * transform)
+//   --trace-json=PATH  write a structured trace of the run to PATH as JSON
+//                      (per-stage spans, counters, timers; DESIGN.md §7)
+//   --repl             batch mode: read queries from stdin, one per line,
+//                      against one engine (plans are cached across lines);
+//                      lines starting with '+' add facts, e.g.  + A(a).
+//   --help             print this usage and exit
+//
+// Unsupported query shapes are reported as errors (exit 1), never aborts.
 //
 // Example:
 //   ./example_owlqr_cli onto.txt query.txt data.txt --rewriter=lin
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
 
 #include "core/cost_model.h"
 #include "core/omq.h"
-#include "core/rewriters.h"
-#include "ndl/evaluator.h"
+#include "engine/engine.h"
 #include "syntax/parser.h"
 #include "syntax/sql_export.h"
 #include "util/metrics.h"
 
 namespace {
+
+using namespace owlqr;
+
+constexpr char kUsage[] =
+    "usage: %s ONTOLOGY (QUERY | --repl) [DATA] [flags]\n"
+    "flags:\n"
+    "  --rewriter=KIND       lin | log | tw | twstar | ucq | presto | auto\n"
+    "  --threads=N           evaluate with N worker threads\n"
+    "  --print-rewriting     print the NDL program even when DATA is given\n"
+    "  --sql                 print the rewriting as SQL views\n"
+    "  --complete-instances  rewrite for complete data instances\n"
+    "  --trace-json=PATH     write a JSON trace of the run to PATH\n"
+    "  --repl                read queries (and '+ fact.' lines) from stdin\n"
+    "  --help                print this message\n";
 
 bool ReadFile(const char* path, std::string* out) {
   std::ifstream in(path);
@@ -43,10 +71,137 @@ bool ReadFile(const char* path, std::string* out) {
   return true;
 }
 
+// Parses --rewriter=KIND.  Returns false (with a message listing the valid
+// kinds) on an unknown KIND.
+bool ParseRewriterKind(const std::string& name, bool* auto_kind,
+                       RewriterKind* kind) {
+  *auto_kind = false;
+  if (name == "auto") {
+    *auto_kind = true;
+  } else if (name == "lin") {
+    *kind = RewriterKind::kLin;
+  } else if (name == "log") {
+    *kind = RewriterKind::kLog;
+  } else if (name == "tw") {
+    *kind = RewriterKind::kTw;
+  } else if (name == "twstar") {
+    *kind = RewriterKind::kTwStar;
+  } else if (name == "ucq") {
+    *kind = RewriterKind::kUcq;
+  } else if (name == "presto") {
+    *kind = RewriterKind::kPrestoLike;
+  } else {
+    std::fprintf(stderr,
+                 "unknown rewriter '%s'; valid kinds: lin, log, tw, twstar, "
+                 "ucq, presto, auto\n",
+                 name.c_str());
+    return false;
+  }
+  return true;
+}
+
+// Converts a parsed DataInstance into an engine FactBatch (for '+' lines).
+FactBatch ToFactBatch(const DataInstance& delta) {
+  FactBatch batch;
+  for (int concept_id : delta.ActiveConcepts()) {
+    for (int a : delta.ConceptMembers(concept_id)) {
+      batch.concepts.push_back({concept_id, a});
+    }
+  }
+  for (int role_id : delta.ActivePredicates()) {
+    for (auto [a, b] : delta.RolePairs(role_id)) {
+      batch.roles.push_back({role_id, a, b});
+    }
+  }
+  return batch;
+}
+
+void PrintAnswers(const ConjunctiveQuery& query, const ExecuteResult& result,
+                  const Vocabulary& vocab) {
+  for (const auto& tuple : result.answers) {
+    for (size_t i = 0; i < tuple.size(); ++i) {
+      std::printf("%s%s", i > 0 ? "\t" : "",
+                  vocab.IndividualName(tuple[i]).c_str());
+    }
+    std::printf("\n");
+  }
+  if (query.IsBoolean()) {
+    std::printf("%s\n", result.answers.empty() ? "false" : "true");
+  }
+  std::fprintf(stderr, "%ld answers, %ld tuples materialised (snapshot v%llu)\n",
+               result.stats.goal_tuples, result.stats.generated_tuples,
+               static_cast<unsigned long long>(result.snapshot_version));
+}
+
+// One prepare+execute round against the engine; returns false on a prepare
+// error (already printed).
+bool ServeQuery(Engine* engine, const ConjunctiveQuery& query,
+                const PrepareOptions& prepare_options,
+                const ExecuteRequest& request, bool print_rewriting,
+                bool print_sql, bool evaluate) {
+  PrepareResult prepared = engine->Prepare(query, prepare_options);
+  if (!prepared.ok()) {
+    std::fprintf(stderr, "error: %s\n", prepared.status.ToString().c_str());
+    return false;
+  }
+  const NdlProgram& program = prepared.query->program();
+  std::fprintf(stderr, "rewriter: %s (%d clauses, depth %d, width %d)%s\n",
+               RewriterName(prepared.query->kind()), program.num_clauses(),
+               program.Depth(), program.Width(),
+               prepared.cache_hit ? " [cached]" : "");
+  if (print_sql) {
+    SqlExport sql = ExportSql(program);
+    std::printf("%s\n%s\n-- answers: SELECT * FROM %s;\n",
+                sql.create_tables.c_str(), sql.create_views.c_str(),
+                sql.goal_view.c_str());
+  } else if (print_rewriting || !evaluate) {
+    std::printf("%s", program.ToString().c_str());
+  }
+  if (evaluate) {
+    ExecuteResult result = engine->Execute(*prepared.query, request);
+    PrintAnswers(query, result, *engine->vocabulary());
+  }
+  return true;
+}
+
+// --repl: serve queries from stdin line by line.  Lines starting with '+'
+// are fact additions in the ParseData syntax; '#' and blank lines are
+// skipped.  Errors are printed and do not end the session.
+int RunRepl(Engine* engine, const PrepareOptions& prepare_options,
+            const ExecuteRequest& request, bool print_rewriting,
+            bool print_sql) {
+  std::string line, error;
+  while (std::getline(std::cin, line)) {
+    size_t start = line.find_first_not_of(" \t");
+    if (start == std::string::npos || line[start] == '#') continue;
+    if (line[start] == '+') {
+      DataInstance delta(engine->vocabulary());
+      if (!ParseData(line.substr(start + 1), &delta, &error)) {
+        std::fprintf(stderr, "error: %s\n", error.c_str());
+        continue;
+      }
+      uint64_t version = engine->ApplyFacts(ToFactBatch(delta));
+      std::fprintf(stderr, "snapshot v%llu\n",
+                   static_cast<unsigned long long>(version));
+      continue;
+    }
+    auto query = ParseQuery(line, engine->vocabulary(), &error);
+    if (!query.has_value()) {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
+      continue;
+    }
+    ServeQuery(engine, *query, prepare_options, request, print_rewriting,
+               print_sql, /*evaluate=*/true);
+  }
+  PlanCache::Stats stats = engine->cache_stats();
+  std::fprintf(stderr, "plan cache: %ld hits, %ld misses, %ld evictions\n",
+               stats.hits, stats.misses, stats.evictions);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  using namespace owlqr;
   const char* ontology_path = nullptr;
   const char* query_path = nullptr;
   const char* data_path = nullptr;
@@ -55,10 +210,22 @@ int main(int argc, char** argv) {
   bool print_rewriting = false;
   bool print_sql = false;
   bool complete_instances = false;
+  bool repl = false;
+  int threads = 1;
 
   for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], "--rewriter=", 11) == 0) {
+    if (std::strcmp(argv[i], "--help") == 0) {
+      std::printf(kUsage, argv[0]);
+      return 0;
+    } else if (std::strncmp(argv[i], "--rewriter=", 11) == 0) {
       rewriter = argv[i] + 11;
+    } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      threads = std::atoi(argv[i] + 10);
+      if (threads < 1) {
+        std::fprintf(stderr, "--threads needs a positive count, got '%s'\n",
+                     argv[i] + 10);
+        return 2;
+      }
     } else if (std::strncmp(argv[i], "--trace-json=", 13) == 0) {
       trace_json_path = argv[i] + 13;
     } else if (std::strcmp(argv[i], "--print-rewriting") == 0) {
@@ -67,9 +234,15 @@ int main(int argc, char** argv) {
       print_sql = true;
     } else if (std::strcmp(argv[i], "--complete-instances") == 0) {
       complete_instances = true;
+    } else if (std::strcmp(argv[i], "--repl") == 0) {
+      repl = true;
+    } else if (std::strncmp(argv[i], "--", 2) == 0) {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      std::fprintf(stderr, kUsage, argv[0]);
+      return 2;
     } else if (ontology_path == nullptr) {
       ontology_path = argv[i];
-    } else if (query_path == nullptr) {
+    } else if (query_path == nullptr && !repl) {
       query_path = argv[i];
     } else if (data_path == nullptr) {
       data_path = argv[i];
@@ -78,17 +251,20 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
-  if (ontology_path == nullptr || query_path == nullptr) {
-    std::fprintf(stderr,
-                 "usage: %s ONTOLOGY QUERY [DATA] [--rewriter=KIND] "
-                 "[--print-rewriting] [--complete-instances] "
-                 "[--trace-json=PATH]\n",
-                 argv[0]);
+  if (ontology_path == nullptr || (query_path == nullptr && !repl)) {
+    std::fprintf(stderr, kUsage, argv[0]);
+    return 2;
+  }
+
+  PrepareOptions prepare_options;
+  prepare_options.rewrite.arbitrary_instances = !complete_instances;
+  if (!ParseRewriterKind(rewriter, &prepare_options.auto_kind,
+                         &prepare_options.kind)) {
     return 2;
   }
 
   // Install the trace collector before any pipeline stage runs so the
-  // rewrite/transform/evaluate spans all land in one registry.
+  // parse/rewrite/snapshot/evaluate spans all land in one registry.
   MetricsRegistry metrics;
   if (!trace_json_path.empty()) MetricsRegistry::SetGlobal(&metrics);
 
@@ -106,18 +282,21 @@ int main(int argc, char** argv) {
   }
   tbox.Normalize();
 
-  if (!ReadFile(query_path, &text)) {
-    std::fprintf(stderr, "cannot read %s\n", query_path);
-    return 1;
-  }
-  auto query = ParseQuery(text, &vocab, &error);
-  if (!query.has_value()) {
-    std::fprintf(stderr, "%s: %s\n", query_path, error.c_str());
-    return 1;
+  std::optional<ConjunctiveQuery> query;
+  if (query_path != nullptr) {
+    if (!ReadFile(query_path, &text)) {
+      std::fprintf(stderr, "cannot read %s\n", query_path);
+      return 1;
+    }
+    query = ParseQuery(text, &vocab, &error);
+    if (!query.has_value()) {
+      std::fprintf(stderr, "%s: %s\n", query_path, error.c_str());
+      return 1;
+    }
   }
 
   DataInstance data(&vocab);
-  bool have_data = data_path != nullptr;
+  const bool have_data = data_path != nullptr;
   if (have_data) {
     if (!ReadFile(data_path, &text)) {
       std::fprintf(stderr, "cannot read %s\n", data_path);
@@ -131,70 +310,38 @@ int main(int argc, char** argv) {
 
   if (!trace_json_path.empty()) metrics.EndSpan(parse_span);
 
-  RewritingContext ctx(tbox);
-  OmqProfile profile = ProfileOmq(ctx, *query);
-  std::fprintf(stderr, "profile: %s\n", profile.ToString().c_str());
+  // One engine serves every query of this invocation: ontology frozen and
+  // fingerprinted, data snapshotted, plans cached.
+  Engine engine(tbox, data);
 
-  RewriteOptions options;
-  options.arbitrary_instances = !complete_instances;
-  NdlProgram program(&vocab);
-  RewriterKind kind;
-  if (rewriter == "auto") {
-    if (have_data && profile.tree_shaped && profile.finite_depth()) {
-      DataStatistics stats = DataStatistics::FromInstance(data);
-      program = CostBasedRewrite(&ctx, *query, stats, options, &kind);
-    } else {
-      kind = profile.RecommendedRewriter();
-      program = RewriteOmq(&ctx, *query, kind, options);
-    }
+  ExecuteRequest request;
+  request.num_threads = threads;
+
+  int status = 0;
+  if (repl) {
+    status = RunRepl(&engine, prepare_options, request, print_rewriting,
+                     print_sql);
   } else {
-    if (rewriter == "lin") {
-      kind = RewriterKind::kLin;
-    } else if (rewriter == "log") {
-      kind = RewriterKind::kLog;
-    } else if (rewriter == "tw") {
-      kind = RewriterKind::kTw;
-    } else if (rewriter == "twstar") {
-      kind = RewriterKind::kTwStar;
-    } else if (rewriter == "ucq") {
-      kind = RewriterKind::kUcq;
-    } else if (rewriter == "presto") {
-      kind = RewriterKind::kPrestoLike;
-    } else {
-      std::fprintf(stderr, "unknown rewriter: %s\n", rewriter.c_str());
-      return 2;
+    OmqProfile profile = ProfileOmq(engine.context(), *query);
+    std::fprintf(stderr, "profile: %s\n", profile.ToString().c_str());
+    // The cost model refines auto-selection when statistics are available
+    // and more than one optimal rewriter applies.
+    if (prepare_options.auto_kind && have_data && profile.tree_shaped &&
+        profile.finite_depth()) {
+      DataStatistics stats = DataStatistics::FromInstance(data);
+      RewritingContext cost_ctx(engine.tbox());
+      RewriterKind chosen;
+      CostBasedRewrite(&cost_ctx, *query, stats, prepare_options.rewrite,
+                       &chosen);
+      prepare_options.auto_kind = false;
+      prepare_options.kind = chosen;
     }
-    program = RewriteOmq(&ctx, *query, kind, options);
+    if (!ServeQuery(&engine, *query, prepare_options, request,
+                    print_rewriting, print_sql, /*evaluate=*/have_data)) {
+      status = 1;
+    }
   }
-  std::fprintf(stderr, "rewriter: %s (%d clauses, depth %d, width %d)\n",
-               RewriterName(kind), program.num_clauses(), program.Depth(),
-               program.Width());
 
-  if (print_sql) {
-    SqlExport sql = ExportSql(program);
-    std::printf("%s\n%s\n-- answers: SELECT * FROM %s;\n",
-                sql.create_tables.c_str(), sql.create_views.c_str(),
-                sql.goal_view.c_str());
-  } else if (print_rewriting || !have_data) {
-    std::printf("%s", program.ToString().c_str());
-  }
-  if (have_data) {
-    EvaluationStats stats;
-    Evaluator eval(program, data);
-    auto answers = eval.Evaluate(&stats);
-    for (const auto& tuple : answers) {
-      for (size_t i = 0; i < tuple.size(); ++i) {
-        std::printf("%s%s", i > 0 ? "\t" : "",
-                    vocab.IndividualName(tuple[i]).c_str());
-      }
-      std::printf("\n");
-    }
-    if (query->IsBoolean()) {
-      std::printf("%s\n", answers.empty() ? "false" : "true");
-    }
-    std::fprintf(stderr, "%ld answers, %ld tuples materialised\n",
-                 stats.goal_tuples, stats.generated_tuples);
-  }
   if (!trace_json_path.empty()) {
     MetricsRegistry::SetGlobal(nullptr);
     if (!metrics.WriteJsonFile(trace_json_path)) {
@@ -204,5 +351,5 @@ int main(int argc, char** argv) {
     }
     std::fprintf(stderr, "trace written to %s\n", trace_json_path.c_str());
   }
-  return 0;
+  return status;
 }

@@ -1,14 +1,15 @@
 // Quickstart: parse an ontology, a conjunctive query and data from text,
-// rewrite the ontology-mediated query into nonrecursive datalog with each of
-// the paper's algorithms, and evaluate the rewritings.
+// then serve the ontology-mediated query through the prepared-OMQ engine:
+// Prepare compiles (and caches) a nonrecursive-datalog plan, Execute runs it
+// against the engine's shared data snapshot.  Each of the paper's rewriting
+// algorithms is tried; all must agree.
 //
 //   $ ./example_quickstart
 
 #include <cstdio>
 
 #include "chase/certain_answers.h"
-#include "core/rewriters.h"
-#include "ndl/evaluator.h"
+#include "engine/engine.h"
 #include "syntax/parser.h"
 
 int main() {
@@ -51,27 +52,34 @@ int main() {
     return 1;
   }
 
-  // 4. Rewrite and evaluate with each algorithm.  All of them must agree:
-  //    ann and dana have anonymous (existential) courses, bob a named one.
-  RewritingContext ctx(tbox);
+  // 4. One engine owns the (frozen) TBox and an immutable snapshot of the
+  //    data.  Prepare never aborts: an unsupported query shape comes back as
+  //    a Status instead.
+  Engine engine(tbox, data);
   for (RewriterKind kind :
        {RewriterKind::kLin, RewriterKind::kLog, RewriterKind::kTw,
         RewriterKind::kTwStar, RewriterKind::kUcq,
         RewriterKind::kPrestoLike}) {
-    RewriteOptions options;
-    options.arbitrary_instances = true;
-    NdlProgram program = RewriteOmq(&ctx, *query, kind, options);
-    Evaluator eval(program, data);
-    auto answers = eval.Evaluate();
+    PrepareOptions options;
+    options.auto_kind = false;
+    options.kind = kind;
+    PrepareResult prepared = engine.Prepare(*query, options);
+    if (!prepared.ok()) {
+      std::fprintf(stderr, "prepare error: %s\n",
+                   prepared.status.ToString().c_str());
+      return 1;
+    }
+    ExecuteResult result = engine.Execute(*prepared.query);
     std::printf("%-10s (%2d clauses):", RewriterName(kind),
-                program.num_clauses());
-    for (const auto& tuple : answers) {
+                prepared.query->program().num_clauses());
+    for (const auto& tuple : result.answers) {
       std::printf(" %s", vocab.IndividualName(tuple[0]).c_str());
     }
     std::printf("\n");
   }
 
-  // 5. Cross-check against the reference chase engine.
+  // 5. Cross-check against the reference chase engine.  All of them agree:
+  //    ann and dana have anonymous (existential) courses, bob a named one.
   auto reference = ComputeCertainAnswers(tbox, *query, data);
   std::printf("reference :");
   for (const auto& tuple : reference.answers) {
@@ -79,8 +87,34 @@ int main() {
   }
   std::printf("\n");
 
-  // 6. Peek at one rewriting.
-  std::printf("\nThe Lin rewriting (over complete data instances):\n%s",
-              RewriteOmq(&ctx, *query, RewriterKind::kLin).ToString().c_str());
+  // 6. New facts never mutate a snapshot in place: ApplyFacts swaps in a
+  //    copy-on-write successor, and in-flight executions keep reading the
+  //    version they pinned.
+  FactBatch batch;
+  batch.roles.push_back({vocab.InternPredicate("lectures"),
+                         vocab.InternIndividual("carol"),
+                         vocab.InternIndividual("logic")});
+  uint64_t version = engine.ApplyFacts(batch);
+  Status status;
+  ExecuteResult after = engine.Query(*query, ExecuteRequest{}, &status);
+  if (!status.ok()) {
+    std::fprintf(stderr, "query error: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("\nsnapshot v%llu:", static_cast<unsigned long long>(version));
+  for (const auto& tuple : after.answers) {
+    std::printf(" %s", vocab.IndividualName(tuple[0]).c_str());
+  }
+  std::printf("\n");
+
+  // 7. Peek at one cached plan (a second Prepare for the same key is a plan
+  //    cache hit and skips the rewriting pipeline entirely).
+  PrepareOptions lin;
+  lin.auto_kind = false;
+  lin.kind = RewriterKind::kLin;
+  PrepareResult again = engine.Prepare(*query, lin);
+  std::printf("\nThe Lin rewriting (%s):\n%s",
+              again.cache_hit ? "from the plan cache" : "freshly compiled",
+              again.query->program().ToString().c_str());
   return 0;
 }

@@ -1,6 +1,7 @@
 #include "core/rewriters.h"
 
 #include <map>
+#include <utility>
 
 #include "core/lin_rewriter.h"
 #include "core/log_rewriter.h"
@@ -76,7 +77,8 @@ namespace {
 
 NdlProgram RewriteConnected(RewritingContext* ctx,
                             const ConjunctiveQuery& query, RewriterKind kind,
-                            const RewriteOptions& options) {
+                            const RewriteOptions& options,
+                            RewriteDiagnostics* diag) {
   switch (kind) {
     case RewriterKind::kLog:
       return LogRewrite(ctx, query);
@@ -89,29 +91,43 @@ NdlProgram RewriteConnected(RewritingContext* ctx,
       InlineSingleUsePredicates(&program);
       return program;
     }
-    case RewriterKind::kUcq:
-      return UcqRewrite(ctx, query, options.baseline, options.truncated);
-    case RewriterKind::kPrestoLike:
-      return PrestoLikeRewrite(ctx, query, options.baseline,
-                               options.truncated);
+    case RewriterKind::kUcq: {
+      bool truncated = false;
+      NdlProgram program =
+          UcqRewrite(ctx, query, options.baseline, &truncated);
+      diag->truncated |= truncated;
+      return program;
+    }
+    case RewriterKind::kPrestoLike: {
+      bool truncated = false;
+      NdlProgram program =
+          PrestoLikeRewrite(ctx, query, options.baseline, &truncated);
+      diag->truncated |= truncated;
+      return program;
+    }
   }
   OWLQR_CHECK(false);
   return NdlProgram(query.vocabulary());
 }
 
-}  // namespace
-
-NdlProgram RewriteOmq(RewritingContext* ctx, const ConjunctiveQuery& query,
-                      RewriterKind kind, const RewriteOptions& options) {
+// The rewrite pipeline itself; shape validation happens before this (so the
+// sub-rewriters' internal checks never fire through the facade entry point,
+// while the legacy shim reaches them exactly as before).
+NdlProgram RewriteOmqImpl(RewritingContext* ctx,
+                          const ConjunctiveQuery& query, RewriterKind kind,
+                          const RewriteOptions& options,
+                          RewriteDiagnostics* diag) {
   OWLQR_NAMED_SPAN(span, "rewrite");
   span.Attr("kind", static_cast<long>(kind));
   GaifmanGraph graph(query);
   NdlProgram complete_program(query.vocabulary());
   if (graph.IsConnected() && query.num_vars() > 0) {
-    complete_program = RewriteConnected(ctx, query, kind, options);
+    diag->components = 1;
+    complete_program = RewriteConnected(ctx, query, kind, options, diag);
   } else {
     // Rewrite each connected component separately and conjoin the goals.
     std::vector<std::vector<int>> components = graph.Components();
+    diag->components = static_cast<int>(components.size());
     NdlProgram merged(query.vocabulary());
     NdlClause top;
     std::vector<Term> goal_args;
@@ -144,7 +160,8 @@ NdlProgram RewriteOmq(RewritingContext* ctx, const ConjunctiveQuery& query,
                             var_map[atom.arg1]);
         }
       }
-      NdlProgram sub_program = RewriteConnected(ctx, sub, kind, options);
+      NdlProgram sub_program =
+          RewriteConnected(ctx, sub, kind, options, diag);
       int sub_goal = MergeProgram(&merged, sub_program,
                                   "c" + std::to_string(c) + "_");
       NdlAtom atom;
@@ -159,6 +176,7 @@ NdlProgram RewriteOmq(RewritingContext* ctx, const ConjunctiveQuery& query,
   }
 
   if (!options.arbitrary_instances) return complete_program;
+  diag->star_transformed = true;
   // The component-conjoining top clause is not linear, so Lemma 3 only
   // applies to connected Lin rewritings.
   if (kind == RewriterKind::kLin && complete_program.IsLinear()) {
@@ -166,6 +184,63 @@ NdlProgram RewriteOmq(RewritingContext* ctx, const ConjunctiveQuery& query,
                                ctx->saturation());
   }
   return StarTransform(complete_program, ctx->tbox(), ctx->saturation());
+}
+
+}  // namespace
+
+Status ValidateOmqShape(const RewritingContext& ctx,
+                        const ConjunctiveQuery& query, RewriterKind kind) {
+  const bool needs_tree =
+      kind == RewriterKind::kLin || kind == RewriterKind::kTw ||
+      kind == RewriterKind::kTwStar;
+  const bool needs_finite_depth =
+      kind == RewriterKind::kLin || kind == RewriterKind::kLog;
+  if (needs_finite_depth && ctx.depth() == WordGraph::kInfiniteDepth) {
+    return Status::UnsupportedShape(
+        std::string(RewriterName(kind)) +
+        " rewriting requires a finite-depth ontology");
+  }
+  if (needs_tree) {
+    // RewriteOmq rewrites each connected component separately, so the class
+    // constraint is per component: every component must be a tree (edges
+    // within a component = half the sum of its degrees).
+    GaifmanGraph graph(query);
+    for (const std::vector<int>& component : graph.Components()) {
+      int degree_sum = 0;
+      for (int v : component) degree_sum += graph.Degree(v);
+      if (degree_sum / 2 != static_cast<int>(component.size()) - 1) {
+        return Status::UnsupportedShape(
+            std::string(RewriterName(kind)) +
+            " rewriting requires a tree-shaped CQ (a connected component "
+            "of the query has a cycle)");
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+RewriteResult RewriteOmqOrError(RewritingContext* ctx,
+                                const ConjunctiveQuery& query,
+                                RewriterKind kind,
+                                const RewriteOptions& options) {
+  RewriteDiagnostics diag;
+  Status status = ValidateOmqShape(*ctx, query, kind);
+  if (!status.ok()) {
+    return {std::move(status), NdlProgram(query.vocabulary()), diag};
+  }
+  NdlProgram program = RewriteOmqImpl(ctx, query, kind, options, &diag);
+  return {Status::Ok(), std::move(program), diag};
+}
+
+NdlProgram RewriteOmq(RewritingContext* ctx, const ConjunctiveQuery& query,
+                      RewriterKind kind, const RewriteOptions& options) {
+  // The legacy contract: class mismatches abort.  Validation runs up front
+  // so the abort carries the same "tree-shaped" / "finite-depth" messages
+  // the sub-rewriters used to emit.
+  Status status = ValidateOmqShape(*ctx, query, kind);
+  OWLQR_CHECK_MSG(status.ok(), status.message().c_str());
+  RewriteDiagnostics diag;
+  return RewriteOmqImpl(ctx, query, kind, options, &diag);
 }
 
 }  // namespace owlqr

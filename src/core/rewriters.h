@@ -7,6 +7,7 @@
 #include "core/ucq_rewriter.h"
 #include "cq/cq.h"
 #include "ndl/program.h"
+#include "util/status.h"
 
 namespace owlqr {
 
@@ -23,14 +24,55 @@ struct RewriteOptions {
   // transformation, or Lemma 3 for Lin) instead of complete ones.
   bool arbitrary_instances = false;
   BaselineOptions baseline;
-  bool* truncated = nullptr;  // Set for the baselines when capped.
 };
+
+// What a rewrite did, beyond the program it produced.  This replaces the
+// former RewriteOptions::truncated bool* out-param: everything a caller
+// used to fish out through pointers now arrives in one value.
+struct RewriteDiagnostics {
+  // A baseline rewriter (UCQ / PrestoLike) hit its clause cap and the
+  // program covers only a subset of the rewriting.
+  bool truncated = false;
+  // Connected components the CQ was split into (1 for connected queries).
+  int components = 1;
+  // The * transformation (or Lemma 3 for Lin) was applied.
+  bool star_transformed = false;
+};
+
+// A rewrite outcome: `program` is meaningful only when `status.ok()`.
+struct RewriteResult {
+  Status status;
+  NdlProgram program;
+  RewriteDiagnostics diag;
+
+  bool ok() const { return status.ok(); }
+};
+
+// Checks the OMQ (ctx->tbox(), query) against `kind`'s applicability class
+// without rewriting anything: Lin and Tw need every connected component of
+// the CQ to be tree-shaped, Lin and Log need a finite-depth ontology.
+// Returns OK when RewriteOmqOrError would not fail on shape grounds.
+Status ValidateOmqShape(const RewritingContext& ctx,
+                        const ConjunctiveQuery& query, RewriterKind kind);
 
 // Rewrites the OMQ (ctx->tbox(), query) with the chosen algorithm.
 // Disconnected queries are handled by rewriting each connected component and
-// conjoining the component goals.  Aborts if the query shape or the ontology
-// depth does not fit the algorithm's class (e.g. Lin/Tw need tree-shaped
-// CQs; Log/Lin need finite depth).
+// conjoining the component goals.  Queries outside the algorithm's class are
+// reported through the result's status — nothing aborts.
+RewriteResult RewriteOmqOrError(RewritingContext* ctx,
+                                const ConjunctiveQuery& query,
+                                RewriterKind kind,
+                                const RewriteOptions& options = {});
+
+// DEPRECATED legacy entry point: like RewriteOmqOrError but *aborts the
+// process* when the query shape or ontology depth does not fit the
+// algorithm's class, and drops the diagnostics.  Kept so existing examples,
+// tests and benches migrate incrementally; new call sites outside src/core/
+// are rejected by the hygiene check (tools/check_deprecated_api.sh).
+// Define OWLQR_WARN_DEPRECATED to get compiler warnings at call sites.
+#ifdef OWLQR_WARN_DEPRECATED
+[[deprecated("use RewriteOmqOrError")]]
+#endif
 NdlProgram RewriteOmq(RewritingContext* ctx, const ConjunctiveQuery& query,
                       RewriterKind kind, const RewriteOptions& options = {});
 

@@ -1,0 +1,207 @@
+#ifndef OWLQR_DATA_RELATION_H_
+#define OWLQR_DATA_RELATION_H_
+
+// Relation storage shared by the NDL evaluator and the engine's data
+// snapshots: a flat-arena tuple set with open-addressing deduplication
+// (Rows) and the CSR hash index probed by the join inner loop (HashIndex).
+// Both are plain data with no locking of their own; concurrent *reads* of a
+// fully built Rows/HashIndex are safe, and writers must be externally
+// single-threaded (the evaluator's single-writer-per-relation invariant,
+// the snapshot's build-then-freeze lifecycle).
+
+#include <cstdint>
+#include <cstdlib>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace owlqr {
+
+namespace relation_internal {
+
+constexpr size_t kHashSeed = 0x9e3779b97f4a7c15ULL;
+constexpr size_t kFnvBasis = 1469598103934665603ULL;
+
+inline size_t Mix(size_t h, size_t v) {
+  h ^= v + kHashSeed + (h << 6) + (h >> 2);
+  return h;
+}
+
+// murmur3 finaliser: the open-addressing dedup table masks the *low* bits
+// of the hash, so they must avalanche (Mix alone clusters badly on the
+// dense sequential ids a vocabulary produces).
+inline size_t FinalMix(size_t h) {
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  h *= 0xc4ceb9fe1a85ec53ULL;
+  h ^= h >> 33;
+  return h;
+}
+
+}  // namespace relation_internal
+
+// The tuple hash, with the loop dispatched on arity so the ubiquitous small
+// cases (concepts are unary; roles, equality keys and most IDB predicates
+// binary) inline fully at the call sites in the insert and probe hot paths.
+// All arms compute the identical value.
+inline size_t HashTuple(const int* tuple, int arity) {
+  using relation_internal::FinalMix;
+  using relation_internal::kFnvBasis;
+  using relation_internal::Mix;
+  switch (arity) {
+    case 1:
+      return FinalMix(Mix(kFnvBasis, static_cast<size_t>(tuple[0]) + 1));
+    case 2:
+      return FinalMix(Mix(Mix(kFnvBasis, static_cast<size_t>(tuple[0]) + 1),
+                          static_cast<size_t>(tuple[1]) + 1));
+    default: {
+      size_t h = kFnvBasis;
+      for (int i = 0; i < arity; ++i) {
+        h = Mix(h, static_cast<size_t>(tuple[i]) + 1);
+      }
+      return FinalMix(h);
+    }
+  }
+}
+
+// One predicate's extension: a flat row-major arena of `arity`-strided
+// cells plus an open-addressing dedup table (slot = row index + 1).
+struct Rows {
+  int arity = 0;
+  std::vector<int> cells;
+  bool materialized = false;
+  // True when a deadline abort stopped materialisation partway: the rows
+  // present are valid, but the extension is incomplete.
+  bool partial = false;
+
+  Rows() = default;
+  // Deep copy (the copy-on-write step of DataSnapshot::ApplyFacts).
+  Rows(const Rows&) = default;
+  Rows& operator=(const Rows&) = default;
+  Rows(Rows&&) noexcept = default;
+  Rows& operator=(Rows&&) noexcept = default;
+
+  size_t size() const { return num_rows_; }
+  const int* row(size_t r) const {
+    return cells.data() + r * static_cast<size_t>(arity);
+  }
+  // Inserts `tuple` (arity ints) if new; returns whether it was new.
+  bool Insert(const int* tuple);
+  // Hint that the relation will reach about `expected_rows` rows: sizes
+  // the dedup table once instead of growing through the doubling cascade
+  // (bounded, so a wildly selective join cannot over-allocate; a relation
+  // that outgrows the hint just resumes doubling).
+  void Reserve(size_t expected_rows);
+
+  std::vector<std::vector<int>> ToTuples() const;
+  // ToTuples() in lexicographic order, sorting row indices over the flat
+  // arena and materialising the per-tuple vectors once (the sorted output
+  // is byte-identical to sorting ToTuples(), without the intermediate
+  // copy-then-shuffle of arity-sized heap vectors).
+  std::vector<std::vector<int>> ToSortedTuples() const;
+
+ private:
+  // Dedup entry for arity <= 2 (every concept, role and rewriting-
+  // produced predicate): the tuple packed beside the row id, so the
+  // duplicate check reads one slot instead of chasing from the slot
+  // table into the cells arena, and rehashing touches neither the arena
+  // nor the hash function (the low hash bits ride in what would be
+  // padding; they cover any table below 2^32 slots, and a larger one
+  // merely clusters, it does not break the probe sequence).
+  struct SmallSlot {
+    uint64_t key = 0;
+    uint32_t id = 0;      // Row index + 1; 0 = empty.
+    uint32_t hash32 = 0;  // Low 32 bits of the tuple hash.
+  };
+
+  // Zero-initialised slot array allocated with calloc: for the table
+  // sizes a Reserve hint creates, the allocator hands back lazily zeroed
+  // pages, so sizing a big table does not pay an eager memset over slots
+  // that may never be touched (a std::vector fill would).
+  struct SlotBuffer {
+    SlotBuffer() = default;
+    explicit SlotBuffer(size_t n);
+    SlotBuffer(const SlotBuffer& o);
+    SlotBuffer& operator=(const SlotBuffer& o);
+    SlotBuffer(SlotBuffer&& o) noexcept : data(o.data), size(o.size) {
+      o.data = nullptr;
+      o.size = 0;
+    }
+    SlotBuffer& operator=(SlotBuffer&& o) noexcept;
+    ~SlotBuffer();
+
+    SmallSlot& operator[](size_t i) { return data[i]; }
+    const SmallSlot& operator[](size_t i) const { return data[i]; }
+
+    SmallSlot* data = nullptr;
+    size_t size = 0;
+  };
+
+  bool InsertSmall(const int* tuple);
+  bool InsertWide(const int* tuple);
+  void RehashSmall(size_t capacity);
+  void GrowSmall();
+  void GrowWide();
+
+  size_t num_rows_ = 0;
+  std::vector<uint32_t> slots_;     // Arity >= 3; power of two; 0 = empty.
+  SlotBuffer small_;                // Arity 1-2; power-of-two sized.
+};
+
+// Hash index on the positions set in `mask` (bit i = position i bound):
+// key hash -> rows whose key matches (collisions compared by the caller).
+// Flat open-addressing table over power-of-two slots with the row ids of
+// each key contiguous in `ids` (CSR layout): a probe is one scan of the
+// flat `hashes` array plus a contiguous candidate range, with none of the
+// per-bucket pointer chasing of a node-based map.
+// Keys are matched by the low 32 hash bits only (0 remapped to 1 as the
+// empty marker) — sound because index consumers already treat a hash
+// match as a candidate and verify the key positions against the row.
+struct HashIndex {
+  size_t mask = 0;                // slots - 1.
+  std::vector<uint32_t> hashes;   // 0 = empty slot.
+  std::vector<uint32_t> starts;   // Slot -> first candidate in `ids`.
+  std::vector<uint32_t> ends;     // Slot -> one past the last candidate.
+  std::vector<uint32_t> ids;      // Row ids, grouped by key, row order.
+
+  // Candidates for `h` as a [first, last) range (nullptrs when absent).
+  std::pair<const uint32_t*, const uint32_t*> Find(size_t h) const {
+    if (hashes.empty()) return {nullptr, nullptr};
+    uint32_t want = static_cast<uint32_t>(h);
+    if (want == 0) want = 1;
+    size_t pos = want & mask;
+    while (true) {
+      uint32_t stored = hashes[pos];
+      if (stored == want) {
+        return {ids.data() + starts[pos], ids.data() + ends[pos]};
+      }
+      if (stored == 0) return {nullptr, nullptr};
+      pos = (pos + 1) & mask;
+    }
+  }
+};
+
+// A lazily built HashIndex: the once_flag makes concurrent consumers agree
+// on a single build.
+struct IndexSlot {
+  std::once_flag built;
+  HashIndex index;
+};
+
+// Builds the index of `rows` on the key positions in `mask`.  `poll_abort`
+// (nullable) is consulted every kRelationAbortInterval rows; returning true
+// stops the build, leaving a *partial* index — callers that can abort must
+// not let anyone probe a partial index (the evaluator's aborted_ flag does
+// this).  Returns false iff the build was aborted.
+using AbortPoll = bool (*)(void*);
+bool BuildHashIndex(const Rows& rows, unsigned mask, HashIndex* index,
+                    AbortPoll poll_abort = nullptr, void* poll_arg = nullptr);
+
+// How often (in rows) BuildHashIndex polls `poll_abort`; power of two,
+// matching the evaluator's deadline-poll cadence.
+constexpr long kRelationAbortInterval = 1024;
+
+}  // namespace owlqr
+
+#endif  // OWLQR_DATA_RELATION_H_

@@ -1,0 +1,208 @@
+#include "data/snapshot.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "util/metrics.h"
+
+namespace owlqr {
+
+const HashIndex& EdbRelation::Index(unsigned mask, bool* built_now) const {
+  IndexSlot* slot;
+  {
+    std::lock_guard<std::mutex> lock(slot_mutex_);
+    std::unique_ptr<IndexSlot>& entry = slots_[mask];
+    if (entry == nullptr) entry = std::make_unique<IndexSlot>();
+    slot = entry.get();
+  }
+  bool built = false;
+  std::call_once(slot->built, [this, mask, slot, &built] {
+    // Same span/timer names as the evaluator's local index builds: trace
+    // consumers see one "evaluate/index-build" stream regardless of which
+    // cache the build landed in.
+    OWLQR_NAMED_SPAN(span, "evaluate/index-build");
+    const bool metrics = OWLQR_METRICS_ENABLED();
+    const auto build_start = metrics ? std::chrono::steady_clock::now()
+                                     : std::chrono::steady_clock::time_point();
+    // No abort poll: this index outlives the request that triggered it, so
+    // it must be complete no matter the request's deadline.
+    BuildHashIndex(rows_, mask, &slot->index);
+    built = true;
+    span.Attr("mask", static_cast<long>(mask));
+    span.Attr("rows", static_cast<long>(rows_.size()));
+    span.Attr("shared", 1);
+    if (metrics) {
+      double build_ms = std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - build_start)
+                            .count();
+      OWLQR_RECORD("evaluator/index_build_ms", build_ms);
+    }
+  });
+  if (built_now != nullptr) *built_now = built;
+  return slot->index;
+}
+
+namespace {
+
+// The snapshot maps hold shared_ptr<const EdbRelation>; building goes
+// through a mutable pointer that is only handed out before publication.
+std::shared_ptr<EdbRelation> NewRelation(int arity) {
+  return std::make_shared<EdbRelation>(arity);
+}
+
+std::shared_ptr<const EdbRelation> AdomRelation(
+    const std::vector<int>& active_domain) {
+  std::shared_ptr<EdbRelation> rel = NewRelation(1);
+  Rows* rows = rel->mutable_rows();
+  rows->Reserve(active_domain.size());
+  for (int a : active_domain) rows->Insert(&a);
+  return rel;
+}
+
+}  // namespace
+
+std::shared_ptr<const DataSnapshot> DataSnapshot::FromInstance(
+    const DataInstance& data, const TableStore* tables) {
+  OWLQR_NAMED_SPAN(span, "snapshot/build");
+  auto snapshot = std::shared_ptr<DataSnapshot>(new DataSnapshot());
+  // The EDB materialisation stage of the pipeline happens here, once, rather
+  // than lazily inside each evaluation — same trace span name so per-stage
+  // accounting keeps working.
+  OWLQR_NAMED_SPAN(edb_span, "evaluate/edb");
+  for (int concept_id : data.ActiveConcepts()) {
+    std::shared_ptr<EdbRelation> rel = NewRelation(1);
+    Rows* rows = rel->mutable_rows();
+    const auto& members = data.ConceptMembers(concept_id);
+    rows->Reserve(members.size());
+    for (int a : members) rows->Insert(&a);
+    snapshot->num_atoms_ += static_cast<long>(rows->size());
+    snapshot->concepts_.emplace(concept_id, std::move(rel));
+  }
+  for (int role_id : data.ActivePredicates()) {
+    std::shared_ptr<EdbRelation> rel = NewRelation(2);
+    Rows* rows = rel->mutable_rows();
+    const auto& pairs = data.RolePairs(role_id);
+    rows->Reserve(pairs.size());
+    for (auto [a, b] : pairs) {
+      int pair[2] = {a, b};
+      rows->Insert(pair);
+    }
+    snapshot->num_atoms_ += static_cast<long>(rows->size());
+    snapshot->roles_.emplace(role_id, std::move(rel));
+  }
+  snapshot->active_domain_ = data.individuals();
+  if (tables != nullptr) {
+    for (int t = 0; t < tables->num_tables(); ++t) {
+      std::shared_ptr<EdbRelation> rel = NewRelation(tables->TableArity(t));
+      Rows* rows = rel->mutable_rows();
+      const auto& source_rows = tables->Rows(t);
+      rows->Reserve(source_rows.size());
+      for (const std::vector<int>& row : source_rows) {
+        rows->Insert(row.data());
+      }
+      snapshot->tables_.emplace(t, std::move(rel));
+    }
+    for (int ind : tables->ActiveDomain()) {
+      snapshot->active_domain_.push_back(ind);
+    }
+    std::sort(snapshot->active_domain_.begin(),
+              snapshot->active_domain_.end());
+    snapshot->active_domain_.erase(
+        std::unique(snapshot->active_domain_.begin(),
+                    snapshot->active_domain_.end()),
+        snapshot->active_domain_.end());
+  }
+  snapshot->adom_ = AdomRelation(snapshot->active_domain_);
+  span.Attr("atoms", snapshot->num_atoms_);
+  span.Attr("individuals",
+            static_cast<long>(snapshot->active_domain_.size()));
+  return snapshot;
+}
+
+std::shared_ptr<const DataSnapshot> DataSnapshot::WithFacts(
+    const FactBatch& batch) const {
+  OWLQR_NAMED_SPAN(span, "snapshot/apply-facts");
+  auto next = std::shared_ptr<DataSnapshot>(new DataSnapshot());
+  // Share everything by default; the loops below replace only what grows.
+  next->concepts_ = concepts_;
+  next->roles_ = roles_;
+  next->tables_ = tables_;
+  next->active_domain_ = active_domain_;
+  next->num_atoms_ = num_atoms_;
+  next->version_ = version_ + 1;
+
+  // Writable deep copies, made at most once per touched external id.
+  std::unordered_map<int, std::shared_ptr<EdbRelation>> touched_concepts;
+  std::unordered_map<int, std::shared_ptr<EdbRelation>> touched_roles;
+  auto writable = [](auto& touched, auto& map, int id, int arity) {
+    std::shared_ptr<EdbRelation>& rel = touched[id];
+    if (rel == nullptr) {
+      auto it = map.find(id);
+      rel = it == map.end() ? NewRelation(arity)
+                            : std::make_shared<EdbRelation>(*it->second);
+      map[id] = rel;
+    }
+    return rel.get();
+  };
+
+  std::vector<int> new_individuals;
+  auto note_individual = [this, &new_individuals](int ind) {
+    if (!std::binary_search(active_domain_.begin(), active_domain_.end(),
+                            ind)) {
+      new_individuals.push_back(ind);
+    }
+  };
+
+  long added = 0;
+  for (const FactBatch::ConceptFact& fact : batch.concepts) {
+    EdbRelation* rel =
+        writable(touched_concepts, next->concepts_, fact.concept_id, 1);
+    if (rel->mutable_rows()->Insert(&fact.individual)) ++added;
+    note_individual(fact.individual);
+  }
+  for (const FactBatch::RoleFact& fact : batch.roles) {
+    EdbRelation* rel =
+        writable(touched_roles, next->roles_, fact.role_id, 2);
+    int pair[2] = {fact.subject, fact.object};
+    if (rel->mutable_rows()->Insert(pair)) ++added;
+    note_individual(fact.subject);
+    note_individual(fact.object);
+  }
+  next->num_atoms_ += added;
+
+  if (new_individuals.empty()) {
+    // Same active domain, so the (potentially large) TOP relation and the
+    // sorted individual list are shared too.
+    next->adom_ = adom_;
+  } else {
+    for (int ind : new_individuals) next->active_domain_.push_back(ind);
+    std::sort(next->active_domain_.begin(), next->active_domain_.end());
+    next->active_domain_.erase(std::unique(next->active_domain_.begin(),
+                                           next->active_domain_.end()),
+                               next->active_domain_.end());
+    next->adom_ = AdomRelation(next->active_domain_);
+  }
+  span.Attr("version", static_cast<long>(next->version_));
+  span.Attr("added", added);
+  span.Attr("copied_relations",
+            static_cast<long>(touched_concepts.size() + touched_roles.size()));
+  return next;
+}
+
+const EdbRelation* DataSnapshot::Concept(int concept_id) const {
+  auto it = concepts_.find(concept_id);
+  return it == concepts_.end() ? nullptr : it->second.get();
+}
+
+const EdbRelation* DataSnapshot::Role(int role_id) const {
+  auto it = roles_.find(role_id);
+  return it == roles_.end() ? nullptr : it->second.get();
+}
+
+const EdbRelation* DataSnapshot::Table(int table_id) const {
+  auto it = tables_.find(table_id);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+}  // namespace owlqr

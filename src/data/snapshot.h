@@ -1,0 +1,138 @@
+#ifndef OWLQR_DATA_SNAPSHOT_H_
+#define OWLQR_DATA_SNAPSHOT_H_
+
+// Immutable, shareable EDB state for the prepared-OMQ engine.
+//
+// A DataSnapshot freezes one version of the data instance into the exact
+// form the evaluator's hot path consumes: flat Rows arenas per concept /
+// role / source table, the sorted active domain, and a shared per-relation
+// hash-index cache.  Snapshots are handed out as shared_ptr<const
+// DataSnapshot>; an execution pins the version it started on and is
+// unaffected by later updates.  Updates never mutate a snapshot — ApplyFacts
+// goes through WithFacts, which builds a *new* snapshot copy-on-write:
+// untouched relations are shared with the parent (a shared_ptr copy per
+// entry), only relations an update actually grows are deep-copied.
+//
+// Thread-safety: everything here is either immutable after construction or
+// (the index cache) guarded by a once_flag per (relation, mask), so any
+// number of concurrent evaluations may share one snapshot.  Index builds
+// are NOT bounded by per-request deadlines on purpose: a deadline-aborted
+// partial index cached in shared state would silently poison every later
+// query that probes it.
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "data/data_instance.h"
+#include "data/relation.h"
+#include "data/table_store.h"
+
+namespace owlqr {
+
+// One frozen EDB relation plus its lazily built, shared index cache.
+class EdbRelation {
+ public:
+  explicit EdbRelation(int arity) {
+    rows_.arity = arity;
+    rows_.materialized = true;
+  }
+  // Copies the rows but starts a fresh (empty) index cache: the copy is
+  // about to be grown by WithFacts, so the parent's indexes are stale.
+  EdbRelation(const EdbRelation& o) : rows_(o.rows_) {}
+  EdbRelation& operator=(const EdbRelation&) = delete;
+
+  const Rows& rows() const { return rows_; }
+  // Build-phase only: callers must not hand the relation to readers until
+  // they are done inserting.
+  Rows* mutable_rows() { return &rows_; }
+
+  // The hash index on the key positions in `mask`, built on first use and
+  // shared by every execution thereafter.  `built_now` (nullable) reports
+  // whether this call performed the build, so per-request stats can count
+  // only the builds a request actually paid for.
+  const HashIndex& Index(unsigned mask, bool* built_now = nullptr) const;
+
+ private:
+  Rows rows_;
+  mutable std::mutex slot_mutex_;  // Guards the shape of `slots_`.
+  mutable std::unordered_map<unsigned, std::unique_ptr<IndexSlot>> slots_;
+};
+
+// A batch of ABox additions for Engine::ApplyFacts, by vocabulary ids.
+// (Name-based convenience lives with the callers that own a Vocabulary.)
+struct FactBatch {
+  struct ConceptFact {
+    int concept_id = 0;
+    int individual = 0;
+  };
+  struct RoleFact {
+    int role_id = 0;
+    int subject = 0;
+    int object = 0;
+  };
+  std::vector<ConceptFact> concepts;
+  std::vector<RoleFact> roles;
+
+  bool empty() const { return concepts.empty() && roles.empty(); }
+};
+
+class DataSnapshot {
+ public:
+  // Freezes `data` (and, if given, the mapping-layer source tables) into
+  // version 1 of a snapshot chain.
+  static std::shared_ptr<const DataSnapshot> FromInstance(
+      const DataInstance& data, const TableStore* tables = nullptr);
+
+  // The copy-on-write update: a new snapshot whose touched concept / role
+  // relations are deep-copied and grown by `batch`, with every other
+  // relation shared with `this`.  Individuals mentioned by the batch join
+  // the active domain.  `this` is unchanged; executions holding it run on.
+  std::shared_ptr<const DataSnapshot> WithFacts(const FactBatch& batch) const;
+
+  // Monotonically increasing along a WithFacts chain (starts at 1).
+  uint64_t version() const { return version_; }
+
+  // Sorted union of the instance's individuals and the source tables'
+  // cells — the evaluator's ind(A) for equality and TOP atoms.
+  const std::vector<int>& active_domain() const { return active_domain_; }
+  // active_domain() as an arity-1 relation (the TOP predicate's extension).
+  const EdbRelation& adom() const { return *adom_; }
+
+  // Relation lookups by external (vocabulary / table-store) id; null when
+  // the snapshot holds no facts for that id (callers substitute an empty
+  // relation of the right arity).
+  const EdbRelation* Concept(int concept_id) const;
+  const EdbRelation* Role(int role_id) const;
+  const EdbRelation* Table(int table_id) const;
+
+  // Whole-map views, for cost statistics and diagnostics.
+  const std::unordered_map<int, std::shared_ptr<const EdbRelation>>&
+  concepts() const {
+    return concepts_;
+  }
+  const std::unordered_map<int, std::shared_ptr<const EdbRelation>>& roles()
+      const {
+    return roles_;
+  }
+
+  // Total concept + role facts (the |A| of the paper's data complexity).
+  long num_atoms() const { return num_atoms_; }
+
+ private:
+  DataSnapshot() = default;
+
+  std::unordered_map<int, std::shared_ptr<const EdbRelation>> concepts_;
+  std::unordered_map<int, std::shared_ptr<const EdbRelation>> roles_;
+  std::unordered_map<int, std::shared_ptr<const EdbRelation>> tables_;
+  std::shared_ptr<const EdbRelation> adom_;
+  std::vector<int> active_domain_;
+  long num_atoms_ = 0;
+  uint64_t version_ = 1;
+};
+
+}  // namespace owlqr
+
+#endif  // OWLQR_DATA_SNAPSHOT_H_

@@ -1,0 +1,94 @@
+#include "engine/engine.h"
+
+#include <utility>
+
+#include "core/omq.h"
+#include "util/metrics.h"
+
+namespace owlqr {
+
+namespace {
+
+TBox NormalizedCopy(const TBox& tbox) {
+  TBox copy = tbox;
+  copy.Normalize();  // Idempotent.
+  return copy;
+}
+
+}  // namespace
+
+Engine::Engine(const TBox& tbox, const DataInstance& data,
+               const TableStore* tables, const EngineOptions& options)
+    : tbox_(NormalizedCopy(tbox)),
+      ctx_(tbox_),
+      fingerprint_(FingerprintTBox(tbox_)),
+      cache_(options.plan_cache_capacity),
+      snapshot_(DataSnapshot::FromInstance(data, tables)) {}
+
+PrepareResult Engine::Prepare(const ConjunctiveQuery& query,
+                              const PrepareOptions& options) {
+  OWLQR_NAMED_SPAN(span, "engine/prepare");
+  RewriterKind kind = options.kind;
+  if (options.auto_kind) {
+    kind = ProfileOmq(ctx_, query).RecommendedRewriter();
+  }
+  span.Attr("kind", static_cast<long>(kind));
+  const std::string key =
+      MakePlanCacheKey(fingerprint_, query, kind, options.rewrite);
+  if (std::shared_ptr<const PreparedQuery> hit = cache_.Get(key)) {
+    span.Attr("cache_hit", 1);
+    return {Status::Ok(), std::move(hit), true};
+  }
+
+  std::lock_guard<std::mutex> lock(prepare_mutex_);
+  // A concurrent Prepare of the same key may have filled the cache while we
+  // waited for the compile lock.
+  if (std::shared_ptr<const PreparedQuery> hit =
+          cache_.Get(key, /*count_miss=*/false)) {
+    span.Attr("cache_hit", 1);
+    return {Status::Ok(), std::move(hit), true};
+  }
+  span.Attr("cache_hit", 0);
+  RewriteResult rewritten =
+      RewriteOmqOrError(&ctx_, query, kind, options.rewrite);
+  if (!rewritten.ok()) {
+    return {std::move(rewritten.status), nullptr, false};
+  }
+  auto prepared = std::make_shared<const PreparedQuery>(
+      std::move(rewritten.program), kind, rewritten.diag, key);
+  cache_.Put(key, prepared);
+  return {Status::Ok(), std::move(prepared), false};
+}
+
+ExecuteResult Engine::Execute(const PreparedQuery& prepared,
+                              const ExecuteRequest& request) const {
+  OWLQR_NAMED_SPAN(span, "engine/execute");
+  std::shared_ptr<const DataSnapshot> snap = snapshot();  // Pin the version.
+  span.Attr("snapshot_version", static_cast<long>(snap->version()));
+  span.Attr("threads", request.num_threads);
+  Evaluator eval(prepared.program(), std::move(snap));
+  eval.set_join_order_hints(prepared.join_order_hints());
+  return eval.Run(request);
+}
+
+ExecuteResult Engine::Query(const ConjunctiveQuery& query,
+                            const ExecuteRequest& request, Status* status,
+                            const PrepareOptions& prepare_options) {
+  PrepareResult prepared = Prepare(query, prepare_options);
+  if (status != nullptr) *status = prepared.status;
+  if (!prepared.ok()) return {};
+  return Execute(*prepared.query, request);
+}
+
+uint64_t Engine::ApplyFacts(const FactBatch& batch) {
+  std::lock_guard<std::mutex> lock(snapshot_mutex_);
+  snapshot_ = snapshot_->WithFacts(batch);
+  return snapshot_->version();
+}
+
+std::shared_ptr<const DataSnapshot> Engine::snapshot() const {
+  std::lock_guard<std::mutex> lock(snapshot_mutex_);
+  return snapshot_;
+}
+
+}  // namespace owlqr

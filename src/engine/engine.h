@@ -1,0 +1,140 @@
+#ifndef OWLQR_ENGINE_ENGINE_H_
+#define OWLQR_ENGINE_ENGINE_H_
+
+// The prepared-OMQ engine facade: the one object a service embeds.
+//
+// An Engine freezes one ontology (TBox copy + rewriting context + axiom
+// fingerprint) and one live data snapshot, and serves three thread-safe
+// operations:
+//
+//   Prepare(query)       -> shared PreparedQuery, through the LRU plan
+//                           cache: a warm hit returns the compiled plan
+//                           without touching the rewrite pipeline at all
+//                           (no "rewrite" span in traces).
+//   Execute(plan, req)   -> answers + stats, pinned to the snapshot version
+//                           current at call time; per-request limits and
+//                           thread count come in the ExecuteRequest.
+//   ApplyFacts(batch)    -> installs a new copy-on-write snapshot version;
+//                           executions already running keep the old
+//                           version alive via shared_ptr and are unaffected.
+//
+// Nothing here aborts on bad input: Prepare reports unsupported query
+// shapes through PrepareResult::status (see ValidateOmqShape), unlike the
+// deprecated RewriteOmq path.
+//
+// Lifetimes: the Vocabulary passed at construction must outlive the engine
+// (the TBox copy, cached programs and prepared queries all reference it);
+// the TBox and DataInstance arguments are copied/frozen and may be
+// discarded after construction.
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "core/rewriters.h"
+#include "core/rewriting_context.h"
+#include "cq/cq.h"
+#include "data/data_instance.h"
+#include "data/snapshot.h"
+#include "data/table_store.h"
+#include "engine/plan_cache.h"
+#include "ndl/evaluator.h"
+#include "ontology/tbox.h"
+#include "util/status.h"
+
+namespace owlqr {
+
+struct EngineOptions {
+  // Bounded LRU capacity of the plan cache (number of prepared queries).
+  size_t plan_cache_capacity = 64;
+};
+
+struct PrepareOptions {
+  PrepareOptions() { rewrite.arbitrary_instances = true; }
+
+  // Pick the rewriter from the OMQ's profile (RecommendedRewriter); set to
+  // false to force `kind`.
+  bool auto_kind = true;
+  RewriterKind kind = RewriterKind::kTw;
+  // Engine default differs from the raw rewriters: arbitrary_instances is
+  // on, because a served data instance is updatable and thus not complete.
+  RewriteOptions rewrite;
+};
+
+struct PrepareResult {
+  Status status;
+  // Null iff !status.ok().
+  std::shared_ptr<const PreparedQuery> query;
+  // True when the plan came from the cache (the rewrite pipeline did not
+  // run).
+  bool cache_hit = false;
+
+  bool ok() const { return status.ok(); }
+};
+
+class Engine {
+ public:
+  // `tbox` is copied and normalized; `data` (and `tables`, if given) is
+  // frozen into snapshot version 1.
+  Engine(const TBox& tbox, const DataInstance& data,
+         const TableStore* tables = nullptr,
+         const EngineOptions& options = {});
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  // Compiles (or fetches from the plan cache) the query's NDL plan.
+  // Thread-safe; concurrent Prepare calls of the same key rewrite at most
+  // once.  Shape errors come back in the status, never as an abort.
+  PrepareResult Prepare(const ConjunctiveQuery& query,
+                        const PrepareOptions& options = {});
+
+  // Runs `prepared` against the current snapshot under the request's
+  // limits.  Thread-safe; any number of executions (same or different
+  // plans) may run concurrently with each other and with ApplyFacts.  The
+  // result carries the snapshot version the run was pinned to.
+  ExecuteResult Execute(const PreparedQuery& prepared,
+                        const ExecuteRequest& request = {}) const;
+
+  // Prepare + Execute in one call, for one-shot queries.  On prepare
+  // failure, returns an empty result and sets *status (nullable).
+  ExecuteResult Query(const ConjunctiveQuery& query,
+                      const ExecuteRequest& request = {},
+                      Status* status = nullptr,
+                      const PrepareOptions& prepare_options = {});
+
+  // Installs a new snapshot version extended by `batch` (copy-on-write per
+  // touched relation) and returns its version.  In-flight executions keep
+  // the version they pinned.  Plans stay valid: the cache key depends only
+  // on the TBox, not the data.
+  uint64_t ApplyFacts(const FactBatch& batch);
+
+  // The snapshot a new execution would pin right now.
+  std::shared_ptr<const DataSnapshot> snapshot() const;
+  uint64_t snapshot_version() const { return snapshot()->version(); }
+
+  const TBox& tbox() const { return tbox_; }
+  // Read-only reasoning state, e.g. for ProfileOmq.  Do not use concurrently
+  // with Prepare (which may grow the context's word table).
+  const RewritingContext& context() const { return ctx_; }
+  Vocabulary* vocabulary() const { return tbox_.vocabulary(); }
+  uint64_t tbox_fingerprint() const { return fingerprint_; }
+  PlanCache::Stats cache_stats() const { return cache_.stats(); }
+  size_t cache_size() const { return cache_.size(); }
+
+ private:
+  TBox tbox_;  // Engine's own normalized copy.
+  RewritingContext ctx_;
+  const uint64_t fingerprint_;
+  PlanCache cache_;
+  // Serializes cache-miss compilation: the rewriting context's word table
+  // is mutated during rewriting, so only one rewrite may run at a time
+  // (cache hits and executions never take this).
+  std::mutex prepare_mutex_;
+  mutable std::mutex snapshot_mutex_;  // Guards the `snapshot_` pointer.
+  std::shared_ptr<const DataSnapshot> snapshot_;
+};
+
+}  // namespace owlqr
+
+#endif  // OWLQR_ENGINE_ENGINE_H_

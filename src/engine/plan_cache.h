@@ -1,0 +1,126 @@
+#ifndef OWLQR_ENGINE_PLAN_CACHE_H_
+#define OWLQR_ENGINE_PLAN_CACHE_H_
+
+// The prepared-query plan cache of the engine facade.
+//
+// A PreparedQuery bundles everything the rewrite/compile pipeline produces
+// for one OMQ so repeated executions skip it entirely: the NDL program with
+// its analyses (clause index, topological order, IDB dependency edges)
+// pre-warmed, the rewrite diagnostics, and the shared join-order hint slots
+// the first execution fills in.  Prepared queries are immutable after
+// construction (the hint slots are write-once via once_flag) and handed out
+// as shared_ptr, so a query evicted from the cache stays valid for callers
+// still holding it.
+//
+// The PlanCache is a bounded LRU keyed by
+//   (TBox fingerprint, rewriter kind, rewrite options, canonical CQ form)
+// serialized into one string; see MakePlanCacheKey.  The TBox fingerprint
+// makes plans from different ontologies (or an edited ontology) miss instead
+// of aliasing; the canonical CQ form makes alpha-renamed copies of the same
+// query hit.
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "core/rewriters.h"
+#include "cq/cq.h"
+#include "ndl/evaluator.h"
+#include "ndl/program.h"
+#include "ontology/tbox.h"
+
+namespace owlqr {
+
+// One compiled OMQ: the chosen rewriter's NDL program plus everything an
+// execution needs that does not depend on the data snapshot.
+class PreparedQuery {
+ public:
+  // Takes ownership of `program`; pre-warms its lazy analyses so concurrent
+  // executions only ever read them.
+  PreparedQuery(NdlProgram program, RewriterKind kind,
+                RewriteDiagnostics diag, std::string cache_key);
+
+  PreparedQuery(const PreparedQuery&) = delete;
+  PreparedQuery& operator=(const PreparedQuery&) = delete;
+
+  const NdlProgram& program() const { return program_; }
+  RewriterKind kind() const { return kind_; }
+  const RewriteDiagnostics& diag() const { return diag_; }
+  const std::string& cache_key() const { return cache_key_; }
+
+  // Shared join-order capture slots (see JoinOrderHints): logically part of
+  // the plan, filled by the first execution of each clause.
+  JoinOrderHints* join_order_hints() const { return &hints_; }
+
+ private:
+  NdlProgram program_;
+  RewriterKind kind_;
+  RewriteDiagnostics diag_;
+  std::string cache_key_;
+  mutable JoinOrderHints hints_;
+};
+
+// FNV-1a fingerprint of every axiom of a (normalized) TBox.  Two TBoxes
+// with the same axioms over the same vocabulary ids collide by design —
+// their rewritings are interchangeable; any edit (added/removed/reordered
+// axiom) changes the fingerprint.
+uint64_t FingerprintTBox(const TBox& tbox);
+
+// A canonical serialization of `query`: atoms stable-sorted by
+// (kind, symbol), variables renamed by first occurrence in the sorted atom
+// list, answer variables appended in answer order.  Alpha-renamed copies of
+// a query map to the same key; distinct queries never collide (the
+// serialization is injective on the renamed form).  Queries that differ only
+// by reordering same-symbol atoms may map to different keys — that is a
+// spurious cache miss, never a wrong hit.
+std::string CanonicalCqKey(const ConjunctiveQuery& query);
+
+// The full cache key: fingerprint, kind, the option bits that change the
+// produced program, and the canonical CQ form.
+std::string MakePlanCacheKey(uint64_t tbox_fingerprint,
+                             const ConjunctiveQuery& query, RewriterKind kind,
+                             const RewriteOptions& options);
+
+// Bounded, thread-safe LRU cache of prepared queries.
+class PlanCache {
+ public:
+  struct Stats {
+    long hits = 0;
+    long misses = 0;
+    long evictions = 0;
+  };
+
+  explicit PlanCache(size_t capacity);
+
+  // Returns the cached plan and refreshes its recency, or null on miss.
+  // `count_miss` is false for the double-checked lookup under the compile
+  // lock, so one logical prepare never counts two misses.
+  std::shared_ptr<const PreparedQuery> Get(const std::string& key,
+                                           bool count_miss = true);
+
+  // Inserts (or replaces) the plan under `key`, evicting the least recently
+  // used entry if the cache is over capacity.
+  void Put(const std::string& key, std::shared_ptr<const PreparedQuery> plan);
+
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+  Stats stats() const;
+
+ private:
+  using Entry = std::pair<std::string, std::shared_ptr<const PreparedQuery>>;
+
+  const size_t capacity_;
+  mutable std::mutex mutex_;
+  std::list<Entry> lru_;  // Front = most recently used.
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  Stats stats_;
+};
+
+}  // namespace owlqr
+
+#endif  // OWLQR_ENGINE_PLAN_CACHE_H_

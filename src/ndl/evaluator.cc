@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cstdlib>
-#include <numeric>
 #include <thread>
 
 #include "util/logging.h"
@@ -12,228 +11,31 @@ namespace owlqr {
 
 namespace {
 
-constexpr size_t kHashSeed = 0x9e3779b97f4a7c15ULL;
 // How often (in join emissions, EDB rows, index-build rows, or merged shard
 // rows) the wall-clock deadline is polled.  The scan loops test
 // `count & (interval - 1)` (hence power of two); the join emission path
 // uses it as the ceiling of JoinContext::flush_countdown.
-constexpr long kDeadlineCheckInterval = 1024;
-// Slot values are row id + 1 stored in 32 bits, so the last representable
-// row id is 2^32 - 2; inserting beyond that would silently truncate and
-// corrupt deduplication.
-constexpr size_t kMaxRowsPerRelation = 0xFFFFFFFEull;
-// Crossing this row count bumps evaluator/rows_near_overflow so capacity
-// headroom shows up in traces long before the hard check fires.
-constexpr size_t kRowsNearOverflow = 1ull << 31;
-
-size_t Mix(size_t h, size_t v) {
-  h ^= v + kHashSeed + (h << 6) + (h >> 2);
-  return h;
-}
-
-// murmur3 finaliser: the open-addressing dedup table masks the *low* bits
-// of the hash, so they must avalanche (Mix alone clusters badly on the
-// dense sequential ids a vocabulary produces).
-size_t FinalMix(size_t h) {
-  h ^= h >> 33;
-  h *= 0xff51afd7ed558ccdULL;
-  h ^= h >> 33;
-  h *= 0xc4ceb9fe1a85ec53ULL;
-  h ^= h >> 33;
-  return h;
-}
-
-constexpr size_t kFnvBasis = 1469598103934665603ULL;
-
-// The tuple hash, with the loop dispatched on arity so the ubiquitous
-// small cases (concepts are unary; roles, equality keys and most IDB
-// predicates binary) inline fully at the call sites in the insert and
-// probe hot paths.  All arms compute the identical value.
-inline size_t HashN(const int* tuple, int arity) {
-  switch (arity) {
-    case 1:
-      return FinalMix(Mix(kFnvBasis, static_cast<size_t>(tuple[0]) + 1));
-    case 2:
-      return FinalMix(Mix(Mix(kFnvBasis, static_cast<size_t>(tuple[0]) + 1),
-                          static_cast<size_t>(tuple[1]) + 1));
-    default: {
-      size_t h = kFnvBasis;
-      for (int i = 0; i < arity; ++i) {
-        h = Mix(h, static_cast<size_t>(tuple[i]) + 1);
-      }
-      return FinalMix(h);
-    }
-  }
-}
+constexpr long kDeadlineCheckInterval = kRelationAbortInterval;
 
 }  // namespace
-
-size_t Evaluator::HashTuple(const int* tuple, int arity) {
-  return HashN(tuple, arity);
-}
-
-Evaluator::Rows::SlotBuffer::SlotBuffer(size_t n)
-    : data(static_cast<SmallSlot*>(std::calloc(n, sizeof(SmallSlot)))),
-      size(n) {
-  OWLQR_CHECK_MSG(n == 0 || data != nullptr, "dedup table allocation failed");
-}
-
-Evaluator::Rows::SlotBuffer& Evaluator::Rows::SlotBuffer::operator=(
-    SlotBuffer&& o) noexcept {
-  if (this != &o) {
-    std::free(data);
-    data = o.data;
-    size = o.size;
-    o.data = nullptr;
-    o.size = 0;
-  }
-  return *this;
-}
-
-Evaluator::Rows::SlotBuffer::~SlotBuffer() { std::free(data); }
-
-namespace {
-
-// Packs an arity-1 or arity-2 tuple into the inline dedup key.  Bit-casts
-// through uint32_t so negative ints round-trip.
-inline uint64_t PackSmall(const int* tuple, int arity) {
-  uint64_t key = static_cast<uint32_t>(tuple[0]);
-  if (arity == 2) {
-    key = (key << 32) | static_cast<uint32_t>(tuple[1]);
-  }
-  return key;
-}
-
-}  // namespace
-
-bool Evaluator::Rows::Insert(const int* tuple) {
-  if (arity == 0) {
-    // The zero-ary relation holds at most the empty tuple.
-    if (num_rows_ > 0) return false;
-    num_rows_ = 1;
-    return true;
-  }
-  return arity <= 2 ? InsertSmall(tuple) : InsertWide(tuple);
-}
-
-bool Evaluator::Rows::InsertSmall(const int* tuple) {
-  if ((num_rows_ + 1) * 2 > small_.size) GrowSmall();
-  size_t mask = small_.size - 1;
-  uint64_t key = PackSmall(tuple, arity);
-  size_t hash = HashN(tuple, arity);
-  size_t pos = hash & mask;
-  while (small_[pos].id != 0) {
-    if (small_[pos].key == key) return false;
-    pos = (pos + 1) & mask;
-  }
-  OWLQR_CHECK_MSG(num_rows_ < kMaxRowsPerRelation,
-                  "relation exceeds 2^32-2 rows; 32-bit dedup slots would "
-                  "truncate");
-  small_[pos].key = key;
-  small_[pos].id = static_cast<uint32_t>(num_rows_ + 1);
-  small_[pos].hash32 = static_cast<uint32_t>(hash);
-  cells.insert(cells.end(), tuple, tuple + arity);
-  if (++num_rows_ == kRowsNearOverflow) {
-    OWLQR_COUNT("evaluator/rows_near_overflow", 1);
-  }
-  return true;
-}
-
-bool Evaluator::Rows::InsertWide(const int* tuple) {
-  if ((num_rows_ + 1) * 2 > slots_.size()) GrowWide();
-  size_t mask = slots_.size() - 1;
-  size_t pos = HashN(tuple, arity) & mask;
-  while (slots_[pos] != 0) {
-    const int* existing = row(slots_[pos] - 1);
-    if (std::equal(tuple, tuple + arity, existing)) return false;
-    pos = (pos + 1) & mask;
-  }
-  OWLQR_CHECK_MSG(num_rows_ < kMaxRowsPerRelation,
-                  "relation exceeds 2^32-2 rows; 32-bit dedup slots would "
-                  "truncate");
-  slots_[pos] = static_cast<uint32_t>(num_rows_ + 1);
-  cells.insert(cells.end(), tuple, tuple + arity);
-  if (++num_rows_ == kRowsNearOverflow) {
-    OWLQR_COUNT("evaluator/rows_near_overflow", 1);
-  }
-  return true;
-}
-
-void Evaluator::Rows::RehashSmall(size_t capacity) {
-  SlotBuffer old = std::move(small_);
-  small_ = SlotBuffer(capacity);
-  size_t mask = capacity - 1;
-  for (size_t i = 0; i < old.size; ++i) {
-    const SmallSlot& slot = old[i];
-    if (slot.id == 0) continue;
-    size_t pos = slot.hash32 & mask;
-    while (small_[pos].id != 0) pos = (pos + 1) & mask;
-    small_[pos] = slot;
-  }
-}
-
-void Evaluator::Rows::GrowSmall() {
-  RehashSmall(small_.size == 0 ? 64 : small_.size * 2);
-}
-
-void Evaluator::Rows::Reserve(size_t expected_rows) {
-  if (arity < 1 || arity > 2) return;  // Wide relations are rare; skip.
-  // Bound the hint so a selective join over a huge driver cannot turn the
-  // estimate into an allocation: at most 2^16 slots (1 MiB of SmallSlots);
-  // a relation that truly outgrows that resumes doubling from there.
-  constexpr size_t kMaxReserveSlots = 1ull << 16;
-  size_t needed = expected_rows * 2;  // Keep load factor <= 1/2.
-  if (needed > kMaxReserveSlots) needed = kMaxReserveSlots;
-  size_t capacity = 64;
-  while (capacity < needed) capacity <<= 1;
-  if (capacity > small_.size) RehashSmall(capacity);
-}
-
-void Evaluator::Rows::GrowWide() {
-  size_t capacity = slots_.empty() ? 64 : slots_.size() * 2;
-  slots_.assign(capacity, 0);
-  size_t mask = capacity - 1;
-  for (size_t r = 0; r < num_rows_; ++r) {
-    size_t pos = HashN(row(r), arity) & mask;
-    while (slots_[pos] != 0) pos = (pos + 1) & mask;
-    slots_[pos] = static_cast<uint32_t>(r + 1);
-  }
-}
-
-std::vector<std::vector<int>> Evaluator::Rows::ToTuples() const {
-  std::vector<std::vector<int>> out;
-  out.reserve(num_rows_);
-  for (size_t r = 0; r < num_rows_; ++r) {
-    out.emplace_back(row(r), row(r) + arity);
-  }
-  return out;
-}
-
-std::vector<std::vector<int>> Evaluator::Rows::ToSortedTuples() const {
-  std::vector<uint32_t> order(num_rows_);
-  std::iota(order.begin(), order.end(), 0u);
-  std::sort(order.begin(), order.end(), [this](uint32_t a, uint32_t b) {
-    const int* ra = row(a);
-    const int* rb = row(b);
-    return std::lexicographical_compare(ra, ra + arity, rb, rb + arity);
-  });
-  std::vector<std::vector<int>> out;
-  out.reserve(num_rows_);
-  for (uint32_t r : order) {
-    out.emplace_back(row(r), row(r) + arity);
-  }
-  return out;
-}
 
 Evaluator::Evaluator(const NdlProgram& program, const DataInstance& data,
                      const EvaluatorLimits& limits)
-    : program_(program), data_(data), limits_(limits) {
+    : program_(program), data_(&data), limits_(limits) {
   Init();
 }
 
 Evaluator::Evaluator(const NdlProgram& program, const DataInstance& data,
                      const TableStore& tables, const EvaluatorLimits& limits)
-    : program_(program), data_(data), tables_(&tables), limits_(limits) {
+    : program_(program), data_(&data), tables_(&tables), limits_(limits) {
+  Init();
+}
+
+Evaluator::Evaluator(const NdlProgram& program,
+                     std::shared_ptr<const DataSnapshot> snapshot,
+                     const EvaluatorLimits& limits)
+    : program_(program), snapshot_(std::move(snapshot)), limits_(limits) {
+  OWLQR_CHECK_MSG(snapshot_ != nullptr, "null DataSnapshot");
   Init();
 }
 
@@ -241,10 +43,36 @@ Evaluator::~Evaluator() = default;
 
 void Evaluator::Init() {
   OWLQR_CHECK_MSG(program_.IsNonrecursive(), "program must be nonrecursive");
-  preds_.reserve(program_.num_predicates());
-  for (int p = 0; p < program_.num_predicates(); ++p) {
+  const int n = program_.num_predicates();
+  preds_.reserve(n);
+  for (int p = 0; p < n; ++p) {
     preds_.push_back(std::make_unique<PredicateState>());
     preds_.back()->rows.arity = program_.predicate(p).arity;
+  }
+  snapshot_rel_.assign(n, nullptr);
+  if (snapshot_ != nullptr) {
+    // Resolve each EDB predicate to its frozen snapshot relation once, so
+    // the hot paths do a vector load instead of a hash lookup.  Predicates
+    // the snapshot holds no facts for stay null and read as empty.
+    for (int p = 0; p < n; ++p) {
+      const PredicateInfo& info = program_.predicate(p);
+      switch (info.kind) {
+        case PredicateKind::kConceptEdb:
+          snapshot_rel_[p] = snapshot_->Concept(info.external_id);
+          break;
+        case PredicateKind::kRoleEdb:
+          snapshot_rel_[p] = snapshot_->Role(info.external_id);
+          break;
+        case PredicateKind::kTableEdb:
+          snapshot_rel_[p] = snapshot_->Table(info.external_id);
+          break;
+        case PredicateKind::kAdom:
+          snapshot_rel_[p] = &snapshot_->adom();
+          break;
+        default:
+          break;
+      }
+    }
   }
 }
 
@@ -265,8 +93,9 @@ bool Evaluator::DeadlineExpired() {
 }
 
 const std::vector<int>& Evaluator::ActiveDomain() {
+  if (snapshot_ != nullptr) return snapshot_->active_domain();
   std::call_once(active_domain_once_, [this] {
-    active_domain_ = data_.individuals();
+    active_domain_ = data_->individuals();
     if (tables_ != nullptr) {
       for (int ind : tables_->ActiveDomain()) active_domain_.push_back(ind);
       std::sort(active_domain_.begin(), active_domain_.end());
@@ -278,11 +107,21 @@ const std::vector<int>& Evaluator::ActiveDomain() {
   return active_domain_;
 }
 
-const Evaluator::Rows& Evaluator::EdbRows(int predicate) {
+const Rows& Evaluator::EdbRows(int predicate) {
+  // Snapshot path: the arena was frozen before any request existed.
+  if (snapshot_rel_[predicate] != nullptr) {
+    return snapshot_rel_[predicate]->rows();
+  }
   PredicateState& state = *preds_[predicate];
   std::call_once(state.edb_once, [this, predicate, &state] {
-    OWLQR_NAMED_SPAN(span, "evaluate/edb");
     Rows& rows = state.rows;
+    if (snapshot_ != nullptr) {
+      // The snapshot holds no facts for this external id: an empty
+      // extension, by construction complete.
+      rows.materialized = true;
+      return;
+    }
+    OWLQR_NAMED_SPAN(span, "evaluate/edb");
     const PredicateInfo& info = program_.predicate(predicate);
     // Deadline poll shared by the materialisation loops below: an
     // adversarially wide EDB must not blow past deadline_ms just because no
@@ -298,13 +137,13 @@ const Evaluator::Rows& Evaluator::EdbRows(int predicate) {
     };
     switch (info.kind) {
       case PredicateKind::kConceptEdb:
-        for (int a : data_.ConceptMembers(info.external_id)) {
+        for (int a : data_->ConceptMembers(info.external_id)) {
           rows.Insert(&a);
           if (expired()) break;
         }
         break;
       case PredicateKind::kRoleEdb:
-        for (auto [a, b] : data_.RolePairs(info.external_id)) {
+        for (auto [a, b] : data_->RolePairs(info.external_id)) {
           int pair[2] = {a, b};
           rows.Insert(pair);
           if (expired()) break;
@@ -341,12 +180,24 @@ const Evaluator::Rows& Evaluator::EdbRows(int predicate) {
   return state.rows;
 }
 
-const Evaluator::Rows& Evaluator::RowsFor(int predicate) {
+const Rows& Evaluator::RowsFor(int predicate) {
   return program_.IsIdb(predicate) ? preds_[predicate]->rows
                                    : EdbRows(predicate);
 }
 
-const Evaluator::Index& Evaluator::GetIndex(int predicate, unsigned mask) {
+const HashIndex& Evaluator::GetIndex(int predicate, unsigned mask) {
+  // Snapshot-backed EDB relations use the snapshot's shared index cache:
+  // built once per (relation, mask) across ALL executions, never
+  // deadline-bounded (a partial index cached in shared state would poison
+  // later requests).  Only a build this request triggered counts toward
+  // its index_builds stat.
+  if (snapshot_rel_[predicate] != nullptr) {
+    bool built_now = false;
+    const HashIndex& index =
+        snapshot_rel_[predicate]->Index(mask, &built_now);
+    if (built_now) index_builds_.fetch_add(1, std::memory_order_relaxed);
+    return index;
+  }
   PredicateState& state = *preds_[predicate];
   IndexSlot* slot;
   {
@@ -361,57 +212,15 @@ const Evaluator::Index& Evaluator::GetIndex(int predicate, unsigned mask) {
     const auto build_start = metrics ? std::chrono::steady_clock::now()
                                      : std::chrono::steady_clock::time_point();
     const Rows& rows = RowsFor(predicate);
-    Index& index = slot->index;
-    size_t capacity = 64;
-    while (capacity < rows.size() * 2) capacity <<= 1;
-    index.mask = capacity - 1;
-    index.hashes.assign(capacity, 0);
-    index.starts.assign(capacity, 0);
-    index.ends.assign(capacity, 0);
-    // Pass 1: claim a slot per distinct key hash and count its rows.
-    std::vector<uint32_t> row_hash;
-    row_hash.reserve(rows.size());
-    std::vector<int> key_values;
-    for (size_t r = 0; r < rows.size(); ++r) {
-      // A single huge index build must honour the deadline too; an aborted
-      // build leaves a partial index, which is fine because aborted_ stops
-      // every consumer before it trusts the results.
-      if ((r & (kDeadlineCheckInterval - 1)) == kDeadlineCheckInterval - 1 &&
-          DeadlineExpired()) {
-        break;
-      }
-      key_values.clear();
-      const int* tuple = rows.row(r);
-      for (int i = 0; i < rows.arity; ++i) {
-        if (mask & (1u << i)) key_values.push_back(tuple[i]);
-      }
-      uint32_t h = static_cast<uint32_t>(HashN(
-          key_values.data(), static_cast<int>(key_values.size())));
-      if (h == 0) h = 1;
-      row_hash.push_back(h);
-      size_t pos = h & index.mask;
-      while (index.hashes[pos] != 0 && index.hashes[pos] != h) {
-        pos = (pos + 1) & index.mask;
-      }
-      index.hashes[pos] = h;
-      ++index.ends[pos];
-    }
-    // Pass 2: prefix-sum the counts into per-key ranges, then scatter the
-    // row ids; `ends` advances back to one-past-last as rows land.
-    uint32_t cursor = 0;
-    for (size_t pos = 0; pos < capacity; ++pos) {
-      if (index.hashes[pos] == 0) continue;
-      index.starts[pos] = cursor;
-      cursor += index.ends[pos];
-      index.ends[pos] = index.starts[pos];
-    }
-    index.ids.resize(cursor);
-    for (size_t r = 0; r < row_hash.size(); ++r) {
-      uint32_t h = row_hash[r];
-      size_t pos = h & index.mask;
-      while (index.hashes[pos] != h) pos = (pos + 1) & index.mask;
-      index.ids[index.ends[pos]++] = static_cast<uint32_t>(r);
-    }
+    // A single huge index build must honour the deadline too; an aborted
+    // build leaves a partial index, which is fine because aborted_ stops
+    // every consumer before it trusts the results.
+    BuildHashIndex(
+        rows, mask, &slot->index,
+        [](void* arg) {
+          return static_cast<Evaluator*>(arg)->DeadlineExpired();
+        },
+        this);
     index_builds_.fetch_add(1, std::memory_order_relaxed);
     span.Attr("predicate", predicate);
     span.Attr("mask", static_cast<long>(mask));
@@ -443,14 +252,94 @@ void Evaluator::Materialize(int predicate) {
     }
   }
   for (int ci : program_.ClausesFor(predicate)) {
-    EvaluateClause(program_.clause(ci), &rows);
+    EvaluateClause(ci, &rows);
   }
   rows.materialized = true;
 }
 
-Evaluator::ClausePlan Evaluator::BuildPlan(const NdlClause& clause) {
+std::vector<int> Evaluator::ComputeJoinOrder(const NdlClause& clause) {
   // Static greedy atom order: simulate which variables become bound.
   std::vector<bool> used(clause.body.size(), false);
+  std::vector<bool> bound;
+  auto var_bound = [&bound](const Term& t) {
+    return t.is_constant ||
+           (t.value < static_cast<int>(bound.size()) && bound[t.value]);
+  };
+  int num_vars = 0;
+  for (const NdlAtom& atom : clause.body) {
+    for (const Term& t : atom.args) {
+      if (!t.is_constant) num_vars = std::max(num_vars, t.value + 1);
+    }
+  }
+  bound.assign(num_vars, false);
+
+  std::vector<int> order;
+  order.reserve(clause.body.size());
+  for (size_t step = 0; step < clause.body.size(); ++step) {
+    int best = -1;
+    double best_score = 0;
+    for (size_t i = 0; i < clause.body.size(); ++i) {
+      if (used[i]) continue;
+      const NdlAtom& atom = clause.body[i];
+      const PredicateKind kind = program_.predicate(atom.predicate).kind;
+      int bound_args = 0;
+      for (const Term& t : atom.args) {
+        if (var_bound(t)) ++bound_args;
+      }
+      bool all_bound = bound_args == static_cast<int>(atom.args.size());
+      double score;
+      if (kind == PredicateKind::kEquality) {
+        score = bound_args >= 1 ? 1e9 : -2e9;
+      } else if (kind == PredicateKind::kAdom) {
+        score = all_bound ? 1e8 : -1e9;
+      } else {
+        size_t size = RowsFor(atom.predicate).size();
+        score = 1e6 * bound_args + (all_bound ? 5e8 : 0) -
+                static_cast<double>(size) * 1e-3;
+      }
+      if (best < 0 || score > best_score) {
+        best = static_cast<int>(i);
+        best_score = score;
+      }
+    }
+    used[best] = true;
+    order.push_back(best);
+    for (const Term& t : clause.body[best].args) {
+      if (!t.is_constant) bound[t.value] = true;
+    }
+  }
+  return order;
+}
+
+Evaluator::ClausePlan Evaluator::BuildPlan(int ci) {
+  const NdlClause& clause = program_.clause(ci);
+
+  // The join order: from the shared hints when installed — the first
+  // execution to plan this clause records the greedy order under the
+  // slot's once_flag, every later one reuses it without re-scoring (the
+  // scores are data-dependent, so a reused order may be stale-suboptimal
+  // under a newer snapshot, but any order yields the same answers) — else
+  // computed fresh for this evaluation alone.
+  std::vector<int> local_order;
+  const std::vector<int>* order_ptr;
+  if (hints_ != nullptr) {
+    OWLQR_CHECK_MSG(ci < static_cast<int>(hints_->slots.size()),
+                    "join-order hints sized for a different program");
+    JoinOrderHints::Slot& slot = hints_->slots[ci];
+    std::call_once(slot.once, [this, &clause, &slot] {
+      slot.order = ComputeJoinOrder(clause);
+    });
+    order_ptr = &slot.order;
+  } else {
+    local_order = ComputeJoinOrder(clause);
+    order_ptr = &local_order;
+  }
+  const std::vector<int>& order = *order_ptr;
+
+  // Replay the bound-variable simulation over the chosen order and compile
+  // the per-step codes.  A term is bound at runtime iff it is bound here:
+  // constants always, and variables exactly when an earlier atom of the
+  // order binds them.
   std::vector<bool> bound;
   auto var_bound = [&bound](const Term& t) {
     return t.is_constant ||
@@ -482,39 +371,8 @@ Evaluator::ClausePlan Evaluator::BuildPlan(const NdlClause& clause) {
   plan.clause = &clause;
   plan.num_vars = num_vars;
   plan.steps.reserve(clause.body.size());
-  for (size_t step = 0; step < clause.body.size(); ++step) {
-    int best = -1;
-    double best_score = 0;
-    for (size_t i = 0; i < clause.body.size(); ++i) {
-      if (used[i]) continue;
-      const NdlAtom& atom = clause.body[i];
-      const PredicateKind kind = program_.predicate(atom.predicate).kind;
-      int bound_args = 0;
-      for (const Term& t : atom.args) {
-        if (var_bound(t)) ++bound_args;
-      }
-      bool all_bound = bound_args == static_cast<int>(atom.args.size());
-      double score;
-      if (kind == PredicateKind::kEquality) {
-        score = bound_args >= 1 ? 1e9 : -2e9;
-      } else if (kind == PredicateKind::kAdom) {
-        score = all_bound ? 1e8 : -1e9;
-      } else {
-        size_t size = RowsFor(atom.predicate).size();
-        score = 1e6 * bound_args + (all_bound ? 5e8 : 0) -
-                static_cast<double>(size) * 1e-3;
-      }
-      if (best < 0 || score > best_score) {
-        best = static_cast<int>(i);
-        best_score = score;
-      }
-    }
-    used[best] = true;
-
-    // Plan the chosen atom against the statically known bound set.  A term
-    // is bound at runtime iff it is bound here: constants always, and
-    // variables exactly when an earlier atom of the order binds them.
-    const NdlAtom& atom = clause.body[best];
+  for (int atom_index : order) {
+    const NdlAtom& atom = clause.body[atom_index];
     AtomStep& atom_step = plan.steps.emplace_back();
     atom_step.atom = &atom;
     atom_step.kind = program_.predicate(atom.predicate).kind;
@@ -584,9 +442,10 @@ void Evaluator::RunJoin(const ClausePlan& plan, JoinContext* ctx,
   }
 }
 
-void Evaluator::EvaluateClause(const NdlClause& clause, Rows* out) {
+void Evaluator::EvaluateClause(int ci, Rows* out) {
   if (aborted_.load(std::memory_order_relaxed)) return;
-  ClausePlan plan = BuildPlan(clause);
+  const NdlClause& clause = program_.clause(ci);
+  ClausePlan plan = BuildPlan(ci);
   JoinContext ctx;
   if (MetricsRegistry* metrics = MetricsRegistry::Global()) {
     ScopedSpan span(metrics, "evaluate/join");
@@ -761,7 +620,7 @@ bool Evaluator::Join(const ClausePlan& plan, size_t next, JoinContext* ctx,
     }
     return true;
   }
-  const Index*& index = ctx->index[next];
+  const HashIndex*& index = ctx->index[next];
   if (index == nullptr) {
     // Fetched lazily so clauses that fail before probing never build it;
     // cached in the (context-local) slot so each probe is one hash lookup.
@@ -788,7 +647,7 @@ bool Evaluator::Join(const ClausePlan& plan, size_t next, JoinContext* ctx,
     }
     key = ctx->key_buffer.data();
   }
-  auto [first, end] = index->Find(HashN(key, key_len));
+  auto [first, end] = index->Find(HashTuple(key, key_len));
   for (; first != end; ++first) {
     if (first + 1 != end) {
       // Candidate rows land all over the arena; fetching the next one while
@@ -923,7 +782,7 @@ void Evaluator::RunPredicateTask(Scheduler* sched, int predicate,
   for (int ci : program_.ClausesFor(predicate)) {
     if (aborted_.load(std::memory_order_relaxed)) break;
     const NdlClause& clause = program_.clause(ci);
-    ClausePlan plan = BuildPlan(clause);
+    ClausePlan plan = BuildPlan(ci);
     bool fan_out = false;
     if (limits_.morsel_rows > 0 && plan.splittable &&
         plan.steps[0].rows->size() >
@@ -1063,6 +922,16 @@ void Evaluator::FillStats(const std::vector<std::vector<int>>& answers,
   stats->morsel_batches = morsel_batches_.load();
   stats->morsels = morsels_.load();
   stats->slowest_task_ms = slowest_task_ms_;
+}
+
+ExecuteResult Evaluator::Run(const ExecuteRequest& request) {
+  limits_ = request.limits;
+  ExecuteResult result;
+  result.answers = request.num_threads > 1
+                       ? EvaluateParallel(request.num_threads, &result.stats)
+                       : Evaluate(&result.stats);
+  if (snapshot_ != nullptr) result.snapshot_version = snapshot_->version();
+  return result;
 }
 
 std::vector<std::vector<int>> Evaluator::Evaluate(EvaluationStats* stats) {

@@ -13,6 +13,8 @@
 #include <vector>
 
 #include "data/data_instance.h"
+#include "data/relation.h"
+#include "data/snapshot.h"
 #include "data/table_store.h"
 #include "ndl/program.h"
 
@@ -30,9 +32,12 @@ struct EvaluationStats {
   // True iff the abort was caused by EvaluatorLimits::deadline_ms.
   bool deadline_exceeded = false;
   // EDB relations whose materialisation was cut short by the deadline; when
-  // nonzero, `aborted` and `deadline_exceeded` are set too.
+  // nonzero, `aborted` and `deadline_exceeded` are set too.  Always zero on
+  // the snapshot path, whose relations are built ahead of any request.
   int partial_edbs = 0;
-  // Number of (predicate, bound-position mask) hash indexes built.
+  // Number of (predicate, bound-position mask) hash indexes built by this
+  // execution (shared snapshot-cache hits are not counted: the request did
+  // not pay for them).
   long index_builds = 0;
   // Per-predicate materialised tuple counts, indexed by predicate id
   // (zero for EDB and unevaluated predicates).
@@ -65,6 +70,50 @@ struct EvaluatorLimits {
   long morsel_rows = 2048;
 };
 
+// One evaluation request: per-request limits plus the evaluation mode.
+// This is the single knob surface shared by both evaluator entry points,
+// Engine::Execute, the CLI and the benches — in place of the former
+// scattered (limits ctor param, stats out-param, num_threads arg) plumbing.
+struct ExecuteRequest {
+  EvaluatorLimits limits;
+  // <= 1 runs the sequential evaluator; > 1 runs the dependency-DAG
+  // scheduler with this many workers (capped at hardware concurrency).
+  int num_threads = 1;
+};
+
+// What an evaluation produced: the sorted goal relation plus the stats the
+// run accumulated.  `snapshot_version` is filled by Engine::Execute with
+// the version of the DataSnapshot the run was pinned to (0 when evaluation
+// ran directly against a DataInstance).
+struct ExecuteResult {
+  std::vector<std::vector<int>> answers;
+  EvaluationStats stats;
+  uint64_t snapshot_version = 0;
+};
+
+// Join-order hints shared across executions of one prepared program.
+//
+// The greedy atom order is data-dependent (it scores atoms by relation
+// size), so it cannot be compiled into the immutable PreparedQuery at
+// prepare time; instead the first execution to plan clause `ci` records
+// the order it chose under slots[ci].once, and every later execution
+// (same or different snapshot version) reuses it and skips the greedy
+// scoring pass.  call_once makes the capture race-free under concurrent
+// executions; any order is *correct* (bind/check/head codes are recompiled
+// from the order per plan), a stale one is at worst suboptimal.
+struct JoinOrderHints {
+  struct Slot {
+    std::once_flag once;
+    std::vector<int> order;  // Body atom indexes, join order.
+  };
+  // One slot per program clause index.
+  std::vector<Slot> slots;
+
+  explicit JoinOrderHints(size_t num_clauses) : slots(num_clauses) {}
+  JoinOrderHints(const JoinOrderHints&) = delete;
+  JoinOrderHints& operator=(const JoinOrderHints&) = delete;
+};
+
 // Bottom-up evaluator for nonrecursive datalog over a data instance.
 //
 // IDB predicates are materialised in dependence order; each clause is
@@ -73,13 +122,22 @@ struct EvaluatorLimits {
 // ind(A); TOP is the active domain.  The evaluator assumes (and checks) that
 // the program is nonrecursive.
 //
-// Storage is a flat arena per predicate (one contiguous int vector with the
-// predicate's arity as stride) with an open-addressing hash set for
-// deduplication, so the hot insert path performs no per-tuple heap
-// allocation.  Hash indexes live in per-predicate slots, each built at most
-// once under a std::once_flag, so concurrent indexed lookups on different
-// predicates never contend and lookups on the same predicate contend only
-// until the index exists.
+// Storage is a flat arena per predicate (data/relation.h's Rows: one
+// contiguous int vector with the predicate's arity as stride plus an
+// open-addressing hash set for deduplication), so the hot insert path
+// performs no per-tuple heap allocation.  Hash indexes live in
+// per-predicate slots, each built at most once under a std::once_flag, so
+// concurrent indexed lookups on different predicates never contend and
+// lookups on the same predicate contend only until the index exists.
+//
+// Data backends: constructed from a DataInstance (optionally + TableStore),
+// EDB relations are materialised into evaluator-local arenas on first use,
+// as before; constructed from a shared DataSnapshot, EDB arenas and their
+// hash indexes come straight from the snapshot — pre-built, immutable, and
+// shared with every concurrent execution pinned to the same snapshot — and
+// the evaluator only materialises IDB relations.  The snapshot is held by
+// shared_ptr, so an execution keeps its data version alive even after the
+// engine swaps in a newer one.
 //
 // Parallel evaluation (EvaluateParallel) is barrier-free: every IDB
 // predicate the goal depends on becomes a task with an atomic
@@ -102,10 +160,23 @@ class Evaluator {
   // the active domain is then ind(data) united with the tables' cells.
   Evaluator(const NdlProgram& program, const DataInstance& data,
             const TableStore& tables, const EvaluatorLimits& limits = {});
+  // Over a frozen snapshot (see the class comment); the engine's path.
+  Evaluator(const NdlProgram& program,
+            std::shared_ptr<const DataSnapshot> snapshot,
+            const EvaluatorLimits& limits = {});
   ~Evaluator();
 
   Evaluator(const Evaluator&) = delete;
   Evaluator& operator=(const Evaluator&) = delete;
+
+  // Installs shared join-order hints (not owned; must outlive the
+  // evaluator and be sized to the program's clause count).  Must be called
+  // before evaluation starts.
+  void set_join_order_hints(JoinOrderHints* hints) { hints_ = hints; }
+
+  // One-call facade: applies the request's limits and thread count, runs
+  // the matching evaluation path, and returns answers + stats together.
+  ExecuteResult Run(const ExecuteRequest& request);
 
   // Materialises everything the goal depends on and returns the goal
   // relation, sorted lexicographically.
@@ -124,119 +195,6 @@ class Evaluator {
   std::vector<std::vector<int>> Relation(int predicate);
 
  private:
-  // One predicate's extension: a flat row-major arena of `arity`-strided
-  // cells plus an open-addressing dedup table (slot = row index + 1).
-  struct Rows {
-    int arity = 0;
-    std::vector<int> cells;
-    bool materialized = false;
-    // True when a deadline abort stopped materialisation partway: the rows
-    // present are valid, but the extension is incomplete.
-    bool partial = false;
-
-    size_t size() const { return num_rows_; }
-    const int* row(size_t r) const {
-      return cells.data() + r * static_cast<size_t>(arity);
-    }
-    // Inserts `tuple` (arity ints) if new; returns whether it was new.
-    bool Insert(const int* tuple);
-    // Hint that the relation will reach about `expected_rows` rows: sizes
-    // the dedup table once instead of growing through the doubling cascade
-    // (bounded, so a wildly selective join cannot over-allocate; a relation
-    // that outgrows the hint just resumes doubling).
-    void Reserve(size_t expected_rows);
-
-    std::vector<std::vector<int>> ToTuples() const;
-    // ToTuples() in lexicographic order, sorting row indices over the flat
-    // arena and materialising the per-tuple vectors once (the sorted output
-    // is byte-identical to sorting ToTuples(), without the intermediate
-    // copy-then-shuffle of arity-sized heap vectors).
-    std::vector<std::vector<int>> ToSortedTuples() const;
-
-   private:
-    // Dedup entry for arity <= 2 (every concept, role and rewriting-
-    // produced predicate): the tuple packed beside the row id, so the
-    // duplicate check reads one slot instead of chasing from the slot
-    // table into the cells arena, and rehashing touches neither the arena
-    // nor the hash function (the low hash bits ride in what would be
-    // padding; they cover any table below 2^32 slots, and a larger one
-    // merely clusters, it does not break the probe sequence).
-    struct SmallSlot {
-      uint64_t key = 0;
-      uint32_t id = 0;      // Row index + 1; 0 = empty.
-      uint32_t hash32 = 0;  // Low 32 bits of the tuple hash.
-    };
-
-    // Zero-initialised slot array allocated with calloc: for the table
-    // sizes a Reserve hint creates, the allocator hands back lazily zeroed
-    // pages, so sizing a big table does not pay an eager memset over slots
-    // that may never be touched (a std::vector fill would).
-    struct SlotBuffer {
-      SlotBuffer() = default;
-      explicit SlotBuffer(size_t n);
-      SlotBuffer(SlotBuffer&& o) noexcept : data(o.data), size(o.size) {
-        o.data = nullptr;
-        o.size = 0;
-      }
-      SlotBuffer& operator=(SlotBuffer&& o) noexcept;
-      ~SlotBuffer();
-
-      SmallSlot& operator[](size_t i) { return data[i]; }
-      const SmallSlot& operator[](size_t i) const { return data[i]; }
-
-      SmallSlot* data = nullptr;
-      size_t size = 0;
-    };
-
-    bool InsertSmall(const int* tuple);
-    bool InsertWide(const int* tuple);
-    void RehashSmall(size_t capacity);
-    void GrowSmall();
-    void GrowWide();
-
-    size_t num_rows_ = 0;
-    std::vector<uint32_t> slots_;     // Arity >= 3; power of two; 0 = empty.
-    SlotBuffer small_;                // Arity 1-2; power-of-two sized.
-  };
-
-  // Hash index on the positions set in `mask` (bit i = position i bound):
-  // key hash -> rows whose key matches (collisions compared by the caller).
-  // Flat open-addressing table over power-of-two slots with the row ids of
-  // each key contiguous in `ids` (CSR layout): a probe is one scan of the
-  // flat `hashes` array plus a contiguous candidate range, with none of the
-  // per-bucket pointer chasing of a node-based map.
-  // Keys are matched by the low 32 hash bits only (0 remapped to 1 as the
-  // empty marker) — sound because index consumers already treat a hash
-  // match as a candidate and verify the key positions against the row.
-  struct Index {
-    size_t mask = 0;                // slots - 1.
-    std::vector<uint32_t> hashes;   // 0 = empty slot.
-    std::vector<uint32_t> starts;   // Slot -> first candidate in `ids`.
-    std::vector<uint32_t> ends;     // Slot -> one past the last candidate.
-    std::vector<uint32_t> ids;      // Row ids, grouped by key, row order.
-
-    // Candidates for `h` as a [first, last) range (nullptrs when absent).
-    std::pair<const uint32_t*, const uint32_t*> Find(size_t h) const {
-      if (hashes.empty()) return {nullptr, nullptr};
-      uint32_t want = static_cast<uint32_t>(h);
-      if (want == 0) want = 1;
-      size_t pos = want & mask;
-      while (true) {
-        uint32_t stored = hashes[pos];
-        if (stored == want) {
-          return {ids.data() + starts[pos], ids.data() + ends[pos]};
-        }
-        if (stored == 0) return {nullptr, nullptr};
-        pos = (pos + 1) & mask;
-      }
-    }
-  };
-
-  struct IndexSlot {
-    std::once_flag built;
-    Index index;
-  };
-
   struct PredicateState {
     Rows rows;
     std::once_flag edb_once;          // Guards EDB materialisation.
@@ -285,7 +243,7 @@ class Evaluator {
     std::vector<int> binding;
     std::vector<int> head_tuple;           // Reused emission buffer.
     std::vector<int> key_buffer;           // Reused across probes.
-    std::vector<const Index*> index;       // Per-step lazily fetched cache.
+    std::vector<const HashIndex*> index;   // Per-step lazily fetched cache.
     // Row range of the driver (step 0) scan; the full relation by default,
     // one morsel when fanned out.
     size_t driver_begin = 0;
@@ -350,11 +308,17 @@ class Evaluator {
   // oversized relation cannot blow past EvaluatorLimits::deadline_ms.
   bool DeadlineExpired();
   void Materialize(int predicate);
-  ClausePlan BuildPlan(const NdlClause& clause);
+  // The greedy join order of `clause` (body atom indexes, best-first),
+  // scored against current relation sizes.
+  std::vector<int> ComputeJoinOrder(const NdlClause& clause);
+  // Compiles the plan for clause index `ci`: the join order comes from the
+  // shared hints when installed (captured under the slot's once_flag by the
+  // first execution to get here), else from ComputeJoinOrder directly.
+  ClausePlan BuildPlan(int ci);
   // Runs the join of `plan` into `out` over the context's driver range,
   // resetting the context's per-run buffers (but not its tallies).
   void RunJoin(const ClausePlan& plan, JoinContext* ctx, Rows* out);
-  void EvaluateClause(const NdlClause& clause, Rows* out);
+  void EvaluateClause(int ci, Rows* out);
   // Join/Emit return false to unwind the whole backtracking join after an
   // abort (limit exhausted, deadline expired, or another worker aborted);
   // the hot path carries the signal in the return value instead of
@@ -375,19 +339,24 @@ class Evaluator {
                        int worker_id, int num_workers, Rows* out);
   void RunMorsels(MorselBatch* batch, int worker_id);
   long MergeShards(MorselBatch* batch, Rows* out);
-  const Index& GetIndex(int predicate, unsigned mask);
+  const HashIndex& GetIndex(int predicate, unsigned mask);
   const Rows& EdbRows(int predicate);
   const Rows& RowsFor(int predicate);
   void FillStats(const std::vector<std::vector<int>>& answers,
                  EvaluationStats* stats) const;
 
-  static size_t HashTuple(const int* tuple, int arity);
-
   const std::vector<int>& ActiveDomain();
 
   const NdlProgram& program_;
-  const DataInstance& data_;
+  const DataInstance* data_ = nullptr;  // Null on the snapshot path.
   const TableStore* tables_ = nullptr;  // Not owned; may be null.
+  // Pins the data version this execution runs on (see the class comment).
+  std::shared_ptr<const DataSnapshot> snapshot_;
+  // Per-predicate snapshot relation, resolved once in Init (null for IDB
+  // predicates, equality, and EDB predicates the snapshot has no facts
+  // for — those fall back to an empty local relation).
+  std::vector<const EdbRelation*> snapshot_rel_;
+  JoinOrderHints* hints_ = nullptr;  // Not owned; may be null.
   std::vector<int> active_domain_;
   std::once_flag active_domain_once_;
   EvaluatorLimits limits_;

@@ -1,0 +1,78 @@
+#ifndef OWLQR_UTIL_STATUS_H_
+#define OWLQR_UTIL_STATUS_H_
+
+// Error propagation for the facade layers (engine, rewrite entry points).
+//
+// The library's internal invariants still abort via OWLQR_CHECK — those are
+// programmer errors.  A Status carries the *data-dependent* failures a
+// service must survive: a query outside a rewriter's applicability class, an
+// unknown rewriter name, a malformed request.  No exceptions, no allocation
+// on the OK path.
+
+#include <string>
+#include <utility>
+
+namespace owlqr {
+
+enum class StatusCode {
+  kOk = 0,
+  // The request itself is malformed (unknown rewriter kind, bad option).
+  kInvalidArgument,
+  // The OMQ is well-formed but outside the algorithm's class (non-tree CQ
+  // for Lin/Tw, infinite-depth ontology for Lin/Log).
+  kUnsupportedShape,
+  // A lookup missed (unknown predicate / query name).
+  kNotFound,
+};
+
+const char* StatusCodeName(StatusCode code);
+
+class Status {
+ public:
+  Status() = default;  // OK.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string message) {
+    return Status(StatusCode::kInvalidArgument, std::move(message));
+  }
+  static Status UnsupportedShape(std::string message) {
+    return Status(StatusCode::kUnsupportedShape, std::move(message));
+  }
+  static Status NotFound(std::string message) {
+    return Status(StatusCode::kNotFound, std::move(message));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "<CODE>: <message>", for logs and CLI error output.
+  std::string ToString() const {
+    if (ok()) return "OK";
+    return std::string(StatusCodeName(code_)) + ": " + message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+inline const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case StatusCode::kUnsupportedShape:
+      return "UNSUPPORTED_SHAPE";
+    case StatusCode::kNotFound:
+      return "NOT_FOUND";
+  }
+  return "?";
+}
+
+}  // namespace owlqr
+
+#endif  // OWLQR_UTIL_STATUS_H_

@@ -3,7 +3,10 @@
 # non-empty "benchmarks" array, and every entry must carry a real_time.  The
 # parallelism baseline must additionally cover both thread counts and report
 # the scheduler counters, so a stale pre-scheduler baseline cannot sneak
-# back in.  Usage: check_bench_json.sh <file.json>...
+# back in.  The engine baseline must cover the cold/warm x t1/t4 grid with
+# the expected cache-hit rates, and warm serves must be substantially faster
+# than cold ones (the whole point of the plan cache).
+# Usage: check_bench_json.sh <file.json>...
 # Registered as the ctest test `hygiene/bench_json`.
 set -u
 
@@ -36,6 +39,27 @@ if os.path.basename(path) == "BENCH_parallelism.json":
     sample = next(b for b in benches if "len15" in b["name"])
     for counter in ("SchedulerTasks", "GeneratedTuples"):
         assert counter in sample, f"{path}: missing counter {counter}"
+
+if os.path.basename(path) == "BENCH_engine.json":
+    by_name = {b["name"]: b for b in benches}
+    for mode, hit_rate in (("cold", 0.0), ("warm", 1.0)):
+        for threads in ("t1", "t4"):
+            name = f"EngineThroughput/{mode}/{threads}/real_time/threads:" \
+                   f"{threads[1:]}"
+            assert name in by_name, f"{path}: missing {name}"
+            rate = by_name[name].get("CacheHitRate")
+            assert rate == hit_rate, \
+                f"{path}: {name} CacheHitRate {rate}, want {hit_rate}"
+    for threads in ("t1", "t4"):
+        cold = by_name[f"EngineThroughput/cold/{threads}/real_time/"
+                       f"threads:{threads[1:]}"]["real_time"]
+        warm = by_name[f"EngineThroughput/warm/{threads}/real_time/"
+                       f"threads:{threads[1:]}"]["real_time"]
+        # The committed baseline shows >= 5x; 2x here tolerates noisy
+        # regeneration machines while still catching a dead cache.
+        assert warm * 2 < cold, \
+            f"{path}: warm serve not faster than cold at {threads} " \
+            f"(warm {warm}, cold {cold})"
 
 print(f"OK: {path}: {len(benches)} benchmark entries")
 EOF

@@ -1,0 +1,79 @@
+#!/bin/sh
+# Rejects NEW call sites of the deprecated abort-on-error `RewriteOmq(...)`
+# entry point outside src/core/.  New code must use `RewriteOmqOrError`
+# (non-aborting, returns RewriteResult{status, program, diag}) or go through
+# the owlqr::Engine facade.  Existing callers below are grandfathered; shrink
+# this list when migrating a file, never grow it.
+# Registered as the ctest test `hygiene/deprecated_api`.
+set -u
+
+ROOT=$(cd "$(dirname "$0")/.." && pwd)
+cd "$ROOT" || exit 1
+
+# Grandfathered callers (relative paths).  src/core/ is exempt wholesale:
+# it owns the definition and the deprecated shim itself.
+ALLOWLIST="
+bench/bench_ablation_inline.cc
+bench/bench_ablation_skinny.cc
+bench/bench_ablation_split.cc
+bench/bench_cost_model.cc
+bench/bench_fig1b_pe_succinctness.cc
+bench/bench_parallelism.cc
+examples/obda_mapping.cpp
+examples/paper_example.cpp
+examples/university_obda.cpp
+tests/api_misuse_test.cc
+tests/complexity_properties_test.cc
+tests/cost_model_test.cc
+tests/dot_test.cc
+tests/fig2_regression_test.cc
+tests/inconsistency_guard_test.cc
+tests/linear_evaluator_test.cc
+tests/log_cyclic_test.cc
+tests/mapping_parser_test.cc
+tests/mapping_test.cc
+tests/ndl_parser_test.cc
+tests/optimize_test.cc
+tests/parallel_evaluator_test.cc
+tests/pe_test.cc
+tests/rewriter_test.cc
+tests/sequence_sweep_test.cc
+tests/sql_export_test.cc
+"
+
+status=0
+for file in $(grep -rl '\bRewriteOmq(' \
+                  --include='*.cc' --include='*.cpp' --include='*.h' \
+                  src bench examples tests tools 2>/dev/null | sort); do
+  case "$file" in
+    src/core/*) continue ;;
+  esac
+  allowed=0
+  for entry in $ALLOWLIST; do
+    if [ "$file" = "$entry" ]; then
+      allowed=1
+      break
+    fi
+  done
+  if [ "$allowed" -eq 0 ]; then
+    echo "FAIL: $file calls deprecated RewriteOmq(); use RewriteOmqOrError" \
+         "or owlqr::Engine instead (see tools/check_deprecated_api.sh)"
+    grep -n '\bRewriteOmq(' "$file" | head -5
+    status=1
+  fi
+done
+
+# Keep the allowlist honest: an entry whose file no longer calls RewriteOmq
+# (or no longer exists) must be removed, so the list only shrinks.
+for entry in $ALLOWLIST; do
+  if [ ! -f "$entry" ] || ! grep -q '\bRewriteOmq(' "$entry"; then
+    echo "FAIL: stale allowlist entry $entry in tools/check_deprecated_api.sh" \
+         "(file migrated or removed -- delete the entry)"
+    status=1
+  fi
+done
+
+if [ "$status" -eq 0 ]; then
+  echo "OK: no new deprecated RewriteOmq call sites outside src/core/"
+fi
+exit $status

@@ -2,6 +2,7 @@
 # Regenerates the committed benchmark baselines at the repository root:
 #   BENCH_parallelism.json  -- bench_parallelism (DAG scheduler, t1 vs t4)
 #   BENCH_table3.json       -- bench_table3_eval_seq1 (paper Table 3)
+#   BENCH_engine.json       -- bench_engine_throughput (plan cache cold/warm)
 # Usage: run_bench_baseline.sh [build-dir]   (default: ./build)
 # Run from an idle machine on a Release build; the table 3 sweep takes about
 # a minute at the default OWLQR_SCALE.  Compare a fresh run against the
@@ -11,7 +12,7 @@ set -eu
 ROOT=$(cd "$(dirname "$0")/.." && pwd)
 BUILD="${1:-$ROOT/build}"
 
-for bin in bench_parallelism bench_table3_eval_seq1; do
+for bin in bench_parallelism bench_table3_eval_seq1 bench_engine_throughput; do
   if [ ! -x "$BUILD/bench/$bin" ]; then
     echo "FAIL: $BUILD/bench/$bin not built (cmake --build $BUILD --target $bin)" >&2
     exit 1
@@ -30,6 +31,12 @@ echo "Writing $ROOT/BENCH_table3.json ..."
     --benchmark_out="$ROOT/BENCH_table3.json" \
     --benchmark_out_format=json > /dev/null
 
+echo "Writing $ROOT/BENCH_engine.json ..."
+"$BUILD/bench/bench_engine_throughput" \
+    --benchmark_format=json \
+    --benchmark_out="$ROOT/BENCH_engine.json" \
+    --benchmark_out_format=json > /dev/null
+
 "$ROOT/tools/check_bench_json.sh" "$ROOT/BENCH_parallelism.json" \
-    "$ROOT/BENCH_table3.json"
+    "$ROOT/BENCH_table3.json" "$ROOT/BENCH_engine.json"
 echo "Baselines regenerated."
