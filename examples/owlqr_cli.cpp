@@ -15,6 +15,13 @@
 //                      classes and, when data is given, by the Section 6
 //                      cost model)
 //   --threads=N        evaluate with N worker threads (default 1)
+//   --max-memory-mb=N  engine-wide memory budget for execution arenas;
+//                      an execution that pushes usage past it aborts with
+//                      MEMORY_EXCEEDED (default 0 = track only)
+//   --max-concurrent=N execution slots; requests beyond N wait in a FIFO
+//                      queue (default 0 = unlimited)
+//   --queue-timeout-ms=N  how long a request may wait for a slot before
+//                      it is shed with REJECTED (default 100)
 //   --print-rewriting  print the NDL program even when DATA is given
 //   --sql              print the rewriting as SQL views instead
 //   --complete-instances  rewrite for complete instances (no * transform)
@@ -55,6 +62,9 @@ constexpr char kUsage[] =
     "flags:\n"
     "  --rewriter=KIND       lin | log | tw | twstar | ucq | presto | auto\n"
     "  --threads=N           evaluate with N worker threads\n"
+    "  --max-memory-mb=N     engine memory budget (0 = track only)\n"
+    "  --max-concurrent=N    execution slots (0 = unlimited)\n"
+    "  --queue-timeout-ms=N  max wait for a slot before REJECTED\n"
     "  --print-rewriting     print the NDL program even when DATA is given\n"
     "  --sql                 print the rewriting as SQL views\n"
     "  --complete-instances  rewrite for complete data instances\n"
@@ -159,6 +169,14 @@ bool ServeQuery(Engine* engine, const ConjunctiveQuery& query,
   }
   if (evaluate) {
     ExecuteResult result = engine->Execute(*prepared.query, request);
+    if (!result.status.ok()) {
+      // Governed abort (rejected / cancelled / deadline / memory): report
+      // it and whatever partial answers survived.
+      std::fprintf(stderr, "error: %s%s\n",
+                   result.status.ToString().c_str(),
+                   result.partial ? " (partial answers)" : "");
+      if (result.status.code() == StatusCode::kRejected) return false;
+    }
     PrintAnswers(query, result, *engine->vocabulary());
   }
   return true;
@@ -212,6 +230,9 @@ int main(int argc, char** argv) {
   bool complete_instances = false;
   bool repl = false;
   int threads = 1;
+  long max_memory_mb = 0;
+  int max_concurrent = 0;
+  long queue_timeout_ms = -1;
 
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--help") == 0) {
@@ -224,6 +245,27 @@ int main(int argc, char** argv) {
       if (threads < 1) {
         std::fprintf(stderr, "--threads needs a positive count, got '%s'\n",
                      argv[i] + 10);
+        return 2;
+      }
+    } else if (std::strncmp(argv[i], "--max-memory-mb=", 16) == 0) {
+      max_memory_mb = std::atol(argv[i] + 16);
+      if (max_memory_mb < 0) {
+        std::fprintf(stderr, "--max-memory-mb needs >= 0, got '%s'\n",
+                     argv[i] + 16);
+        return 2;
+      }
+    } else if (std::strncmp(argv[i], "--max-concurrent=", 17) == 0) {
+      max_concurrent = std::atoi(argv[i] + 17);
+      if (max_concurrent < 0) {
+        std::fprintf(stderr, "--max-concurrent needs >= 0, got '%s'\n",
+                     argv[i] + 17);
+        return 2;
+      }
+    } else if (std::strncmp(argv[i], "--queue-timeout-ms=", 19) == 0) {
+      queue_timeout_ms = std::atol(argv[i] + 19);
+      if (queue_timeout_ms < 0) {
+        std::fprintf(stderr, "--queue-timeout-ms needs >= 0, got '%s'\n",
+                     argv[i] + 19);
         return 2;
       }
     } else if (std::strncmp(argv[i], "--trace-json=", 13) == 0) {
@@ -311,8 +353,15 @@ int main(int argc, char** argv) {
   if (!trace_json_path.empty()) metrics.EndSpan(parse_span);
 
   // One engine serves every query of this invocation: ontology frozen and
-  // fingerprinted, data snapshotted, plans cached.
-  Engine engine(tbox, data);
+  // fingerprinted, data snapshotted, plans cached, executions governed.
+  EngineOptions engine_options;
+  engine_options.governor.max_memory_bytes =
+      static_cast<size_t>(max_memory_mb) * 1024 * 1024;
+  engine_options.governor.max_concurrent = max_concurrent;
+  if (queue_timeout_ms >= 0) {
+    engine_options.governor.queue_timeout_ms = queue_timeout_ms;
+  }
+  Engine engine(tbox, data, nullptr, engine_options);
 
   ExecuteRequest request;
   request.num_threads = threads;

@@ -13,11 +13,27 @@ namespace {
 
 // Slot values are row id + 1 stored in 32 bits, so the last representable
 // row id is 2^32 - 2; inserting beyond that would silently truncate and
-// corrupt deduplication.
+// corrupt deduplication.  Insert saturates at the ceiling (refuse + mark
+// AtRowCeiling) instead of aborting the process: the serving engine must
+// survive a query that tries, and the evaluator turns the flag into a
+// cooperative abort at its next limit flush — on the sequential path AND
+// the morsel-shard merge, which writes through the same Insert.
 constexpr size_t kMaxRowsPerRelation = 0xFFFFFFFEull;
-// Crossing this row count bumps evaluator/rows_near_overflow so capacity
-// headroom shows up in traces long before the hard check fires.
+// Crossing half the ceiling bumps evaluator/rows_near_overflow so capacity
+// headroom shows up in traces long before saturation.
 constexpr size_t kRowsNearOverflow = 1ull << 31;
+
+// Test-only ceiling override (0 = the real ceiling).  Plain variable: tests
+// set it before threads start and restore it after they join.
+size_t g_max_rows_for_test = 0;
+
+inline size_t RowCeiling() {
+  return g_max_rows_for_test != 0 ? g_max_rows_for_test : kMaxRowsPerRelation;
+}
+
+inline size_t NearOverflowMark(size_t ceiling) {
+  return ceiling == kMaxRowsPerRelation ? kRowsNearOverflow : ceiling / 2;
+}
 
 // Packs an arity-1 or arity-2 tuple into the inline dedup key.  Bit-casts
 // through uint32_t so negative ints round-trip.
@@ -79,14 +95,16 @@ bool Rows::InsertSmall(const int* tuple) {
     if (small_[pos].key == key) return false;
     pos = (pos + 1) & mask;
   }
-  OWLQR_CHECK_MSG(num_rows_ < kMaxRowsPerRelation,
-                  "relation exceeds 2^32-2 rows; 32-bit dedup slots would "
-                  "truncate");
+  const size_t ceiling = RowCeiling();
+  if (num_rows_ >= ceiling) {
+    at_row_ceiling_ = true;
+    return false;
+  }
   small_[pos].key = key;
   small_[pos].id = static_cast<uint32_t>(num_rows_ + 1);
   small_[pos].hash32 = static_cast<uint32_t>(hash);
   cells.insert(cells.end(), tuple, tuple + arity);
-  if (++num_rows_ == kRowsNearOverflow) {
+  if (++num_rows_ == NearOverflowMark(ceiling)) {
     OWLQR_COUNT("evaluator/rows_near_overflow", 1);
   }
   return true;
@@ -101,15 +119,21 @@ bool Rows::InsertWide(const int* tuple) {
     if (std::equal(tuple, tuple + arity, existing)) return false;
     pos = (pos + 1) & mask;
   }
-  OWLQR_CHECK_MSG(num_rows_ < kMaxRowsPerRelation,
-                  "relation exceeds 2^32-2 rows; 32-bit dedup slots would "
-                  "truncate");
+  const size_t ceiling = RowCeiling();
+  if (num_rows_ >= ceiling) {
+    at_row_ceiling_ = true;
+    return false;
+  }
   slots_[pos] = static_cast<uint32_t>(num_rows_ + 1);
   cells.insert(cells.end(), tuple, tuple + arity);
-  if (++num_rows_ == kRowsNearOverflow) {
+  if (++num_rows_ == NearOverflowMark(ceiling)) {
     OWLQR_COUNT("evaluator/rows_near_overflow", 1);
   }
   return true;
+}
+
+void Rows::SetMaxRowsForTest(size_t max_rows) {
+  g_max_rows_for_test = max_rows;
 }
 
 void Rows::RehashSmall(size_t capacity) {

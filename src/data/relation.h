@@ -86,8 +86,27 @@ struct Rows {
   const int* row(size_t r) const {
     return cells.data() + r * static_cast<size_t>(arity);
   }
+  // Heap bytes held by this relation: the cells arena plus whichever dedup
+  // table is live.  The number a MemoryAccount is charged for the relation
+  // (capacities, not sizes — what the allocator actually handed out).
+  size_t MemoryBytes() const {
+    return cells.capacity() * sizeof(int) +
+           slots_.capacity() * sizeof(uint32_t) +
+           small_.size * sizeof(SmallSlot);
+  }
   // Inserts `tuple` (arity ints) if new; returns whether it was new.
+  // A relation at the row ceiling (2^32-2 rows, the last id the 32-bit
+  // dedup slots can hold; see SetMaxRowsForTest) refuses the insert and
+  // marks itself `partial` instead of corrupting deduplication — callers
+  // that can abort must treat a partial output relation like any other
+  // truncation (the evaluator aborts at its next limit flush).
   bool Insert(const int* tuple);
+  // True iff the relation has hit the row ceiling and dropped an insert.
+  bool AtRowCeiling() const { return at_row_ceiling_; }
+  // Test hook: lowers the row ceiling process-wide so ceiling behaviour is
+  // testable without 2^32 rows.  0 restores the real ceiling.  Not for
+  // production use; set only while no evaluation is running.
+  static void SetMaxRowsForTest(size_t max_rows);
   // Hint that the relation will reach about `expected_rows` rows: sizes
   // the dedup table once instead of growing through the doubling cascade
   // (bounded, so a wildly selective join cannot over-allocate; a relation
@@ -145,6 +164,7 @@ struct Rows {
   void GrowWide();
 
   size_t num_rows_ = 0;
+  bool at_row_ceiling_ = false;     // A ceiling refusal happened; see Insert.
   std::vector<uint32_t> slots_;     // Arity >= 3; power of two; 0 = empty.
   SlotBuffer small_;                // Arity 1-2; power-of-two sized.
 };
@@ -164,6 +184,14 @@ struct HashIndex {
   std::vector<uint32_t> starts;   // Slot -> first candidate in `ids`.
   std::vector<uint32_t> ends;     // Slot -> one past the last candidate.
   std::vector<uint32_t> ids;      // Row ids, grouped by key, row order.
+
+  // Heap bytes held by the index's four flat arrays (capacities, matching
+  // Rows::MemoryBytes), for probe-index memory accounting.
+  size_t MemoryBytes() const {
+    return (hashes.capacity() + starts.capacity() + ends.capacity() +
+            ids.capacity()) *
+           sizeof(uint32_t);
+  }
 
   // Candidates for `h` as a [first, last) range (nullptrs when absent).
   std::pair<const uint32_t*, const uint32_t*> Find(size_t h) const {

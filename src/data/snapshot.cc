@@ -8,39 +8,66 @@
 
 namespace owlqr {
 
-const HashIndex& EdbRelation::Index(unsigned mask, bool* built_now) const {
-  IndexSlot* slot;
+const HashIndex* EdbRelation::Index(unsigned mask, AbortPoll poll_abort,
+                                    void* poll_arg, bool* built_now) const {
+  if (built_now != nullptr) *built_now = false;
+  SharedIndexSlot* slot;
+  std::unique_lock<std::mutex> lock(slot_mutex_);
   {
-    std::lock_guard<std::mutex> lock(slot_mutex_);
-    std::unique_ptr<IndexSlot>& entry = slots_[mask];
-    if (entry == nullptr) entry = std::make_unique<IndexSlot>();
+    std::unique_ptr<SharedIndexSlot>& entry = slots_[mask];
+    if (entry == nullptr) entry = std::make_unique<SharedIndexSlot>();
     slot = entry.get();
   }
-  bool built = false;
-  std::call_once(slot->built, [this, mask, slot, &built] {
-    // Same span/timer names as the evaluator's local index builds: trace
-    // consumers see one "evaluate/index-build" stream regardless of which
-    // cache the build landed in.
-    OWLQR_NAMED_SPAN(span, "evaluate/index-build");
-    const bool metrics = OWLQR_METRICS_ENABLED();
-    const auto build_start = metrics ? std::chrono::steady_clock::now()
-                                     : std::chrono::steady_clock::time_point();
-    // No abort poll: this index outlives the request that triggered it, so
-    // it must be complete no matter the request's deadline.
-    BuildHashIndex(rows_, mask, &slot->index);
-    built = true;
-    span.Attr("mask", static_cast<long>(mask));
-    span.Attr("rows", static_cast<long>(rows_.size()));
-    span.Attr("shared", 1);
-    if (metrics) {
-      double build_ms = std::chrono::duration<double, std::milli>(
-                            std::chrono::steady_clock::now() - build_start)
-                            .count();
-      OWLQR_RECORD("evaluator/index_build_ms", build_ms);
+  using State = SharedIndexSlot::State;
+  while (true) {
+    if (slot->state == State::kReady) return &slot->index;
+    if (slot->state == State::kEmpty) break;  // We become the builder.
+    // Another thread is building.  Wait, but keep polling our own abort
+    // signal so a cancelled request is not held hostage by someone else's
+    // cold build (the builder keeps going; only we give up).
+    slot_cv_.wait_for(lock, std::chrono::milliseconds(5));
+    if (poll_abort != nullptr && slot->state != State::kReady &&
+        poll_abort(poll_arg)) {
+      return nullptr;
     }
-  });
-  if (built_now != nullptr) *built_now = built;
-  return slot->index;
+  }
+  slot->state = State::kBuilding;
+  lock.unlock();
+
+  // Same span/timer names as the evaluator's local index builds: trace
+  // consumers see one "evaluate/index-build" stream regardless of which
+  // cache the build landed in.
+  OWLQR_NAMED_SPAN(span, "evaluate/index-build");
+  const bool metrics = OWLQR_METRICS_ENABLED();
+  const auto build_start = metrics ? std::chrono::steady_clock::now()
+                                   : std::chrono::steady_clock::time_point();
+  HashIndex index;
+  const bool complete =
+      BuildHashIndex(rows_, mask, &index, poll_abort, poll_arg);
+  span.Attr("mask", static_cast<long>(mask));
+  span.Attr("rows", static_cast<long>(rows_.size()));
+  span.Attr("shared", 1);
+  span.Attr("aborted", complete ? 0 : 1);
+  if (metrics) {
+    double build_ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - build_start)
+                          .count();
+    OWLQR_RECORD("evaluator/index_build_ms", build_ms);
+  }
+
+  lock.lock();
+  if (!complete) {
+    // Aborted: discard the partial index and reset the slot so the next
+    // request rebuilds; never publish incomplete shared state.
+    slot->state = State::kEmpty;
+    slot_cv_.notify_all();
+    return nullptr;
+  }
+  slot->index = std::move(index);
+  slot->state = State::kReady;
+  slot_cv_.notify_all();
+  if (built_now != nullptr) *built_now = true;
+  return &slot->index;
 }
 
 namespace {

@@ -14,12 +14,16 @@
 // entry), only relations an update actually grows are deep-copied.
 //
 // Thread-safety: everything here is either immutable after construction or
-// (the index cache) guarded by a once_flag per (relation, mask), so any
-// number of concurrent evaluations may share one snapshot.  Index builds
-// are NOT bounded by per-request deadlines on purpose: a deadline-aborted
-// partial index cached in shared state would silently poison every later
-// query that probes it.
+// (the index cache) guarded by a per-relation state machine, so any number
+// of concurrent evaluations may share one snapshot.  Index builds honour
+// the requesting execution's abort poll (deadline / cancel token) — a cold
+// index over a huge EDB must not block cancellation — but an aborted build
+// is DISCARDED, never published: the slot resets to empty and the next
+// request rebuilds from scratch, so shared state only ever holds complete
+// indexes and a deadline-aborted partial index can never poison later
+// queries.
 
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -53,12 +57,39 @@ class EdbRelation {
   // shared by every execution thereafter.  `built_now` (nullable) reports
   // whether this call performed the build, so per-request stats can count
   // only the builds a request actually paid for.
-  const HashIndex& Index(unsigned mask, bool* built_now = nullptr) const;
+  //
+  // `poll_abort` (nullable) is the requesting execution's cooperative abort
+  // signal (deadline expired, cancel token fired); it is polled both during
+  // a build this call performs and while waiting for another thread's
+  // build.  Returns null iff the poll fired — the partial build (if any)
+  // is discarded and the slot reset, so a later request rebuilds a
+  // complete index; the shared cache never holds partial state.
+  const HashIndex* Index(unsigned mask, AbortPoll poll_abort, void* poll_arg,
+                         bool* built_now = nullptr) const;
+  // Non-abortable convenience (engine-lifetime callers with no request
+  // context); never returns null.
+  const HashIndex& Index(unsigned mask, bool* built_now = nullptr) const {
+    return *Index(mask, nullptr, nullptr, built_now);
+  }
 
  private:
+  // One (relation, mask) cache entry: empty until someone builds, building
+  // while exactly one thread owns the (unlocked) build, ready once a
+  // complete index is published.  An aborted build resets to empty.
+  struct SharedIndexSlot {
+    enum class State { kEmpty, kBuilding, kReady };
+    State state = State::kEmpty;
+    HashIndex index;
+  };
+
   Rows rows_;
-  mutable std::mutex slot_mutex_;  // Guards the shape of `slots_`.
-  mutable std::unordered_map<unsigned, std::unique_ptr<IndexSlot>> slots_;
+  // Guards the shape of `slots_` and every slot's `state`; builds run with
+  // the mutex released.  Waiters block on `slot_cv_` (shared across masks —
+  // contention is build-rare) and re-poll their abort signal periodically.
+  mutable std::mutex slot_mutex_;
+  mutable std::condition_variable slot_cv_;
+  mutable std::unordered_map<unsigned, std::unique_ptr<SharedIndexSlot>>
+      slots_;
 };
 
 // A batch of ABox additions for Engine::ApplyFacts, by vocabulary ids.

@@ -23,7 +23,8 @@ Engine::Engine(const TBox& tbox, const DataInstance& data,
       ctx_(tbox_),
       fingerprint_(FingerprintTBox(tbox_)),
       cache_(options.plan_cache_capacity),
-      snapshot_(DataSnapshot::FromInstance(data, tables)) {}
+      snapshot_(DataSnapshot::FromInstance(data, tables)),
+      governor_(options.governor) {}
 
 PrepareResult Engine::Prepare(const ConjunctiveQuery& query,
                               const PrepareOptions& options) {
@@ -63,12 +64,56 @@ PrepareResult Engine::Prepare(const ConjunctiveQuery& query,
 ExecuteResult Engine::Execute(const PreparedQuery& prepared,
                               const ExecuteRequest& request) const {
   OWLQR_NAMED_SPAN(span, "engine/execute");
+  // Admission first: a shed request must cost nothing — no snapshot pin,
+  // no evaluator, no memory.
+  QueryGovernor::Admission admission =
+      governor_.Admit(request.queue_timeout_ms);
+  if (!admission.admitted()) {
+    span.Attr("rejected", 1);
+    ExecuteResult result;
+    result.status = admission.status();
+    result.partial = true;  // The (empty) answer set is incomplete.
+    return result;
+  }
   std::shared_ptr<const DataSnapshot> snap = snapshot();  // Pin the version.
   span.Attr("snapshot_version", static_cast<long>(snap->version()));
   span.Attr("threads", request.num_threads);
-  Evaluator eval(prepared.program(), std::move(snap));
-  eval.set_join_order_hints(prepared.join_order_hints());
-  return eval.Run(request);
+
+  const GovernorOptions& gov = governor_.options();
+  // One evaluation under a fresh MemoryAccount; the account dies with the
+  // evaluator's arenas, handing every charged byte back to the budget.
+  auto run_once = [&](const ExecuteRequest& req) {
+    MemoryAccount account(governor_.budget(),
+                          gov.max_execution_memory_bytes);
+    Evaluator eval(prepared.program(), snap);
+    eval.set_join_order_hints(prepared.join_order_hints());
+    eval.set_memory_account(&account);
+    return eval.Run(req);
+  };
+
+  ExecuteResult result = run_once(request);
+  bool degraded = false;
+  if (result.status.code() == StatusCode::kMemoryExceeded &&
+      gov.degraded_max_generated_tuples > 0 &&
+      (request.limits.max_generated_tuples <= 0 ||
+       request.limits.max_generated_tuples >
+           gov.degraded_max_generated_tuples)) {
+    // Graceful degradation: the first run's arenas are gone (released
+    // above), so retry once with a tuple limit small enough to fit — a
+    // truncated answer beats none.  The retry can itself abort; its result
+    // (including a repeat kMemoryExceeded) is final.
+    degraded = true;
+    span.Attr("degraded_retry", 1);
+    ExecuteRequest tightened = request;
+    tightened.limits.max_generated_tuples =
+        gov.degraded_max_generated_tuples;
+    result = run_once(tightened);
+    result.degraded = true;
+    // Even a clean retry answered under tighter limits than asked for.
+    result.partial = true;
+  }
+  governor_.RecordOutcome(result.status.code(), degraded);
+  return result;
 }
 
 ExecuteResult Engine::Query(const ConjunctiveQuery& query,

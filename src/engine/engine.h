@@ -37,6 +37,7 @@
 #include "data/data_instance.h"
 #include "data/snapshot.h"
 #include "data/table_store.h"
+#include "engine/governor.h"
 #include "engine/plan_cache.h"
 #include "ndl/evaluator.h"
 #include "ontology/tbox.h"
@@ -47,6 +48,10 @@ namespace owlqr {
 struct EngineOptions {
   // Bounded LRU capacity of the plan cache (number of prepared queries).
   size_t plan_cache_capacity = 64;
+  // Resource governance: memory budget, admission control, degradation
+  // (engine/governor.h).  The defaults govern nothing (no memory limit, no
+  // slot pool), preserving the ungoverned behaviour.
+  GovernorOptions governor;
 };
 
 struct PrepareOptions {
@@ -93,6 +98,14 @@ class Engine {
   // limits.  Thread-safe; any number of executions (same or different
   // plans) may run concurrently with each other and with ApplyFacts.  The
   // result carries the snapshot version the run was pinned to.
+  //
+  // Every call passes through the governor: admission control first (a shed
+  // request returns immediately with StatusCode::kRejected and no answers),
+  // then evaluation under a MemoryAccount charging the engine budget and
+  // the request's cancel token / deadline — aborts surface as kCancelled /
+  // kMemoryExceeded / kDeadlineExceeded with partial=true.  When degraded
+  // retries are configured, a memory-aborted run is re-run once with
+  // tightened limits and surfaced with degraded=true.
   ExecuteResult Execute(const PreparedQuery& prepared,
                         const ExecuteRequest& request = {}) const;
 
@@ -121,6 +134,11 @@ class Engine {
   uint64_t tbox_fingerprint() const { return fingerprint_; }
   PlanCache::Stats cache_stats() const { return cache_.stats(); }
   size_t cache_size() const { return cache_.size(); }
+  // Admission / memory / outcome counters (engine/governor.h); memory_used
+  // returns to zero once every execution has finished.
+  QueryGovernor::Counters governor_counters() const {
+    return governor_.counters();
+  }
 
  private:
   TBox tbox_;  // Engine's own normalized copy.
@@ -133,6 +151,9 @@ class Engine {
   std::mutex prepare_mutex_;
   mutable std::mutex snapshot_mutex_;  // Guards the `snapshot_` pointer.
   std::shared_ptr<const DataSnapshot> snapshot_;
+  // Mutable because Execute is const (it mutates no engine-visible state;
+  // the governor's slots/counters are bookkeeping).
+  mutable QueryGovernor governor_;
 };
 
 }  // namespace owlqr

@@ -82,6 +82,9 @@ void Evaluator::StartClock() {
     deadline_ = std::chrono::steady_clock::now() +
                 std::chrono::milliseconds(limits_.deadline_ms);
   }
+  // A request cancelled before evaluation starts does no work at all: this
+  // poll trips aborted_ before the first clause runs.
+  AbortRequested();
 }
 
 bool Evaluator::DeadlineExpired() {
@@ -90,6 +93,47 @@ bool Evaluator::DeadlineExpired() {
   deadline_exceeded_.store(true, std::memory_order_relaxed);
   aborted_.store(true, std::memory_order_relaxed);
   return true;
+}
+
+bool Evaluator::AbortRequested() {
+  // A previous abort (this worker's or another's) short-circuits the
+  // (possibly clock-reading) polls below.
+  if (aborted_.load(std::memory_order_relaxed)) return true;
+  if (cancel_ != nullptr && cancel_->cancelled()) {
+    cancelled_.store(true, std::memory_order_relaxed);
+    aborted_.store(true, std::memory_order_relaxed);
+    return true;
+  }
+  return DeadlineExpired();
+}
+
+bool Evaluator::ChargeMemory(size_t bytes) {
+  if (account_ == nullptr || bytes == 0) return true;
+  if (!account_->Charge(bytes)) {
+    // The bytes stay recorded (they are allocated either way; see
+    // util/budget.h); only the verdict aborts the evaluation.
+    memory_exceeded_.store(true, std::memory_order_relaxed);
+    aborted_.store(true, std::memory_order_relaxed);
+    return false;
+  }
+  return true;
+}
+
+bool Evaluator::ChargeRowsDelta(const Rows& rows, size_t* charged_bytes) {
+  bool ok = true;
+  if (rows.AtRowCeiling()) {
+    row_ceiling_.store(true, std::memory_order_relaxed);
+    aborted_.store(true, std::memory_order_relaxed);
+    ok = false;
+  }
+  size_t now = rows.MemoryBytes();
+  if (now > *charged_bytes) {
+    if (!ChargeMemory(now - *charged_bytes)) ok = false;
+    // Advance even on a failed charge: the bytes were recorded, so a later
+    // delta must not double-charge them.
+    *charged_bytes = now;
+  }
+  return ok;
 }
 
 const std::vector<int>& Evaluator::ActiveDomain() {
@@ -123,14 +167,17 @@ const Rows& Evaluator::EdbRows(int predicate) {
     }
     OWLQR_NAMED_SPAN(span, "evaluate/edb");
     const PredicateInfo& info = program_.predicate(predicate);
-    // Deadline poll shared by the materialisation loops below: an
-    // adversarially wide EDB must not blow past deadline_ms just because no
-    // join emission happens while it streams in.
+    // Abort poll shared by the materialisation loops below: an
+    // adversarially wide EDB must not blow past deadline_ms (or ignore a
+    // cancel, or outgrow the memory account) just because no join emission
+    // happens while it streams in.  The arena's growth is charged at the
+    // same cadence.
     long scanned = 0;
     bool cut_short = false;
-    auto expired = [this, &scanned, &cut_short] {
+    size_t charged = 0;
+    auto expired = [this, &rows, &scanned, &cut_short, &charged] {
       if ((++scanned & (kDeadlineCheckInterval - 1)) == 0 &&
-          DeadlineExpired()) {
+          (!ChargeRowsDelta(rows, &charged) || AbortRequested())) {
         cut_short = true;
       }
       return cut_short;
@@ -167,11 +214,13 @@ const Rows& Evaluator::EdbRows(int predicate) {
       default:
         OWLQR_CHECK_MSG(false, "EdbRows on IDB/equality predicate");
     }
-    // A deadline abort mid-stream leaves a silently incomplete extension;
-    // record the partiality (the once_flag means it will never be retried)
-    // so FillStats can surface it alongside aborted/deadline_exceeded.
+    // An abort mid-stream leaves a silently incomplete extension; record
+    // the partiality (the once_flag means it will never be retried) so
+    // FillStats can surface it alongside aborted/deadline_exceeded.
     rows.materialized = true;
     rows.partial = cut_short;
+    // Settle the residual arena growth since the last in-loop charge.
+    ChargeRowsDelta(rows, &charged);
     if (cut_short) OWLQR_COUNT("evaluator/partial_edbs", 1);
     span.Attr("predicate", predicate);
     span.Attr("rows", static_cast<long>(rows.size()));
@@ -187,16 +236,29 @@ const Rows& Evaluator::RowsFor(int predicate) {
 
 const HashIndex& Evaluator::GetIndex(int predicate, unsigned mask) {
   // Snapshot-backed EDB relations use the snapshot's shared index cache:
-  // built once per (relation, mask) across ALL executions, never
-  // deadline-bounded (a partial index cached in shared state would poison
-  // later requests).  Only a build this request triggered counts toward
-  // its index_builds stat.
+  // built once per (relation, mask) across ALL executions.  The build (and
+  // the wait for another execution's build) honours this request's abort
+  // poll; an aborted build is discarded by the slot, never published, so a
+  // partial index cannot poison later requests.  Only a build this request
+  // triggered counts toward its index_builds stat, and shared indexes are
+  // engine-lifetime assets — they are not charged to the execution's
+  // memory account (so a quiesced engine accounts to zero).
   if (snapshot_rel_[predicate] != nullptr) {
     bool built_now = false;
-    const HashIndex& index =
-        snapshot_rel_[predicate]->Index(mask, &built_now);
+    const HashIndex* index = snapshot_rel_[predicate]->Index(
+        mask,
+        [](void* arg) {
+          return static_cast<Evaluator*>(arg)->AbortRequested();
+        },
+        this, &built_now);
     if (built_now) index_builds_.fetch_add(1, std::memory_order_relaxed);
-    return index;
+    if (index == nullptr) {
+      // The abort poll fired (aborted_ is set): hand back an empty index;
+      // the caller re-checks aborted_ before probing and unwinds.
+      static const HashIndex kEmptyIndex;
+      return kEmptyIndex;
+    }
+    return *index;
   }
   PredicateState& state = *preds_[predicate];
   IndexSlot* slot;
@@ -212,16 +274,19 @@ const HashIndex& Evaluator::GetIndex(int predicate, unsigned mask) {
     const auto build_start = metrics ? std::chrono::steady_clock::now()
                                      : std::chrono::steady_clock::time_point();
     const Rows& rows = RowsFor(predicate);
-    // A single huge index build must honour the deadline too; an aborted
-    // build leaves a partial index, which is fine because aborted_ stops
-    // every consumer before it trusts the results.
+    // A single huge index build must honour the deadline and cancel token
+    // too; an aborted build leaves a partial index, which is fine because
+    // aborted_ stops every consumer before it trusts the results.
     BuildHashIndex(
         rows, mask, &slot->index,
         [](void* arg) {
-          return static_cast<Evaluator*>(arg)->DeadlineExpired();
+          return static_cast<Evaluator*>(arg)->AbortRequested();
         },
         this);
     index_builds_.fetch_add(1, std::memory_order_relaxed);
+    // Locally built probe indexes live in execution-owned arenas; charge
+    // them like any other allocation (they release with the account).
+    ChargeMemory(slot->index.MemoryBytes());
     span.Attr("predicate", predicate);
     span.Attr("mask", static_cast<long>(mask));
     span.Attr("rows", static_cast<long>(rows.size()));
@@ -424,6 +489,12 @@ void Evaluator::RunJoin(const ClausePlan& plan, JoinContext* ctx,
   ctx->binding.assign(plan.num_vars, -1);
   ctx->head_tuple.resize(plan.clause->head.args.size());
   ctx->index.assign(plan.steps.size(), nullptr);
+  // Memory-charge baseline: whatever `out` holds now was charged when the
+  // code that grew it settled (the invariant every growth path keeps), so
+  // this run charges only its own delta — captured before the Reserve
+  // below, whose allocation is part of that delta.
+  ctx->out = out;
+  ctx->charged_bytes = out->MemoryBytes();
   if (!plan.steps.empty() && plan.steps[0].rows != nullptr &&
       plan.steps[0].mask == 0) {
     // A scan-driven clause usually emits on the order of its driver range;
@@ -440,6 +511,9 @@ void Evaluator::RunJoin(const ClausePlan& plan, JoinContext* ctx,
   if (ctx->unflushed_emissions != 0 || ctx->unflushed_new != 0) {
     FlushLimits(ctx);
   }
+  // Settle the residual arena growth too, keeping the invariant that a
+  // fully-run clause leaves its output's MemoryBytes fully charged.
+  ChargeRowsDelta(*out, &ctx->charged_bytes);
 }
 
 void Evaluator::EvaluateClause(int ci, Rows* out) {
@@ -503,7 +577,10 @@ bool Evaluator::FlushLimits(JoinContext* ctx) {
       tuples > limits_.max_generated_tuples) {
     aborted_.store(true, std::memory_order_relaxed);
   }
-  if (has_deadline_) DeadlineExpired();
+  // Memory accounting and the cancel token ride the same flush cadence as
+  // the deadline: charge this context's arena growth, then poll.
+  if (ctx->out != nullptr) ChargeRowsDelta(*ctx->out, &ctx->charged_bytes);
+  if (has_deadline_ || cancel_ != nullptr) AbortRequested();
   if (aborted_.load(std::memory_order_relaxed)) return false;
   // Re-arm: flush again no later than the emission that could exceed the
   // nearest limit (new tuples <= emissions, so an emission-based countdown
@@ -697,19 +774,26 @@ long Evaluator::MergeShards(MorselBatch* batch, Rows* out) {
   long scanned = 0;
   size_t shard_rows = 0;
   for (const Rows& shard : batch->shards) shard_rows += shard.size();
+  // Baseline before the Reserve: `out` was fully charged by the clause runs
+  // that grew it, so this merge charges only its own delta.
+  size_t charged = out->MemoryBytes();
   out->Reserve(out->size() + shard_rows);
   for (const Rows& shard : batch->shards) {
     for (size_t r = 0; r < shard.size(); ++r) {
       if (out->Insert(shard.row(r))) ++inserted;
-      // A huge merge must honour the deadline like every other loop; an
-      // aborted merge leaves the relation partial, which is fine because
-      // aborted_ stops every consumer before it trusts the results.
+      // A huge merge must honour the deadline / cancel / memory budget like
+      // every other loop, and a merge that drives `out` into the 32-bit row
+      // ceiling must stop instead of silently dropping rows (ChargeRowsDelta
+      // folds the ceiling flag into the abort).  An aborted merge leaves the
+      // relation partial, which is fine because aborted_ stops every
+      // consumer before it trusts the results.
       if ((++scanned & (kDeadlineCheckInterval - 1)) == 0 &&
-          DeadlineExpired()) {
+          (!ChargeRowsDelta(*out, &charged) || AbortRequested())) {
         return inserted;
       }
     }
   }
+  ChargeRowsDelta(*out, &charged);
   return inserted;
 }
 
@@ -755,6 +839,14 @@ void Evaluator::RunClauseFanOut(Scheduler* sched, const ClausePlan& plan,
   // Single merge writer: only the owner touches the canonical Rows, so the
   // single-writer-per-relation invariant survives the fan-out.
   long inserted = MergeShards(&batch, out);
+  // The shards die with this frame; give their bytes back.  Each shard was
+  // fully charged by the RunJoin settles inside RunMorsels (charges are
+  // recorded even past the limit), so the release is exact.
+  if (account_ != nullptr) {
+    size_t shard_bytes = 0;
+    for (const Rows& shard : batch.shards) shard_bytes += shard.MemoryBytes();
+    account_->Release(shard_bytes);
+  }
   morsel_batches_.fetch_add(1, std::memory_order_relaxed);
   long emissions = 0;
   long shard_new = 0;
@@ -901,6 +993,13 @@ void Evaluator::FillStats(const std::vector<std::vector<int>>& answers,
   stats->predicates_evaluated = 0;
   stats->aborted = aborted_.load();
   stats->deadline_exceeded = deadline_exceeded_.load();
+  stats->cancelled = cancelled_.load();
+  stats->memory_exceeded = memory_exceeded_.load();
+  stats->row_ceiling = row_ceiling_.load();
+  if (account_ != nullptr) {
+    stats->memory_bytes = static_cast<long>(account_->used());
+    stats->memory_high_water = static_cast<long>(account_->high_water());
+  }
   stats->index_builds = index_builds_.load();
   stats->partial_edbs = 0;
   stats->predicate_tuples.assign(program_.num_predicates(), 0);
@@ -926,11 +1025,24 @@ void Evaluator::FillStats(const std::vector<std::vector<int>>& answers,
 
 ExecuteResult Evaluator::Run(const ExecuteRequest& request) {
   limits_ = request.limits;
+  if (request.cancel != nullptr) cancel_ = request.cancel;
   ExecuteResult result;
   result.answers = request.num_threads > 1
                        ? EvaluateParallel(request.num_threads, &result.stats)
                        : Evaluate(&result.stats);
   if (snapshot_ != nullptr) result.snapshot_version = snapshot_->version();
+  // Any abort leaves the answers a sound-but-possibly-incomplete subset.
+  // Tuple/work-limit truncation is an *asked-for* stop, so it stays kOk
+  // (partial says the rest); the status codes name the abort causes a
+  // caller did not opt into, most specific first.
+  result.partial = result.stats.aborted;
+  if (result.stats.cancelled) {
+    result.status = Status::Cancelled("execution cancelled");
+  } else if (result.stats.memory_exceeded) {
+    result.status = Status::MemoryExceeded("memory budget exceeded");
+  } else if (result.stats.deadline_exceeded) {
+    result.status = Status::DeadlineExceeded("deadline exceeded");
+  }
   return result;
 }
 

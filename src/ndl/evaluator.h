@@ -17,6 +17,8 @@
 #include "data/snapshot.h"
 #include "data/table_store.h"
 #include "ndl/program.h"
+#include "util/budget.h"
+#include "util/status.h"
 
 namespace owlqr {
 
@@ -31,8 +33,20 @@ struct EvaluationStats {
   bool aborted = false;
   // True iff the abort was caused by EvaluatorLimits::deadline_ms.
   bool deadline_exceeded = false;
-  // EDB relations whose materialisation was cut short by the deadline; when
-  // nonzero, `aborted` and `deadline_exceeded` are set too.  Always zero on
+  // True iff the abort was caused by ExecuteRequest::cancel firing.
+  bool cancelled = false;
+  // True iff the abort was caused by the memory account (per-execution cap
+  // or the shared budget) being exceeded.
+  bool memory_exceeded = false;
+  // True iff some relation refused an insert at the 32-bit row ceiling
+  // (see Rows::Insert); always accompanied by `aborted`.
+  bool row_ceiling = false;
+  // Memory-account readings at the end of the run: bytes still charged and
+  // the execution's high-water mark (0 when no account was installed).
+  long memory_bytes = 0;
+  long memory_high_water = 0;
+  // EDB relations whose materialisation was cut short by an abort (deadline,
+  // cancel, or memory); when nonzero, `aborted` is set too.  Always zero on
   // the snapshot path, whose relations are built ahead of any request.
   int partial_edbs = 0;
   // Number of (predicate, bound-position mask) hash indexes built by this
@@ -79,6 +93,15 @@ struct ExecuteRequest {
   // <= 1 runs the sequential evaluator; > 1 runs the dependency-DAG
   // scheduler with this many workers (capped at hardware concurrency).
   int num_threads = 1;
+  // Cooperative cancellation: when set, the evaluator polls the token at
+  // its deadline poll points and aborts with StatusCode::kCancelled once it
+  // fires.  Shared so the caller (and the governor) can keep signalling
+  // after the execution finishes.
+  std::shared_ptr<const CancelToken> cancel;
+  // How long Engine::Execute may hold this request in the admission queue
+  // before shedding it with kRejected (< 0: the governor's default;
+  // 0: never queue — reject immediately when no slot is free).
+  long queue_timeout_ms = -1;
 };
 
 // What an evaluation produced: the sorted goal relation plus the stats the
@@ -89,6 +112,19 @@ struct ExecuteResult {
   std::vector<std::vector<int>> answers;
   EvaluationStats stats;
   uint64_t snapshot_version = 0;
+  // Why the execution ended: kOk for a complete (or merely limit-truncated;
+  // see `partial`) run, else the abort cause — kCancelled, kMemoryExceeded,
+  // kDeadlineExceeded — or kRejected when admission shed the request before
+  // evaluation started.
+  Status status;
+  // True when `answers` is a sound but possibly incomplete subset: a
+  // tuple/work-limit stop, or a degraded retry after memory rejection.
+  // Aborts (non-kOk status) always leave partial == true; kOk + partial
+  // means a plain limit truncation.
+  bool partial = false;
+  // True when this result came from the governor's degraded retry (memory
+  // rejection, re-run once with tightened max_generated_tuples).
+  bool degraded = false;
 };
 
 // Join-order hints shared across executions of one prepared program.
@@ -174,6 +210,20 @@ class Evaluator {
   // before evaluation starts.
   void set_join_order_hints(JoinOrderHints* hints) { hints_ = hints; }
 
+  // Installs the per-execution memory account (not owned; must outlive the
+  // evaluator).  Arena growth — IDB relations, dedup tables, locally built
+  // probe indexes, morsel shards — is charged to it at the limit-flush
+  // cadence; a failed charge aborts the evaluation with memory_exceeded.
+  // Must be called before evaluation starts.
+  void set_memory_account(MemoryAccount* account) { account_ = account; }
+
+  // Installs the cancellation token (shared; may be null).  Polled at the
+  // same points as the deadline.  Must be called before evaluation starts;
+  // Run(request) installs request.cancel automatically.
+  void set_cancel_token(std::shared_ptr<const CancelToken> cancel) {
+    cancel_ = std::move(cancel);
+  }
+
   // One-call facade: applies the request's limits and thread count, runs
   // the matching evaluation path, and returns answers + stats together.
   ExecuteResult Run(const ExecuteRequest& request);
@@ -244,6 +294,13 @@ class Evaluator {
     std::vector<int> head_tuple;           // Reused emission buffer.
     std::vector<int> key_buffer;           // Reused across probes.
     std::vector<const HashIndex*> index;   // Per-step lazily fetched cache.
+    // The relation this context writes and the bytes of it already charged
+    // to the memory account; FlushLimits charges the delta, so memory
+    // accounting rides the existing flush cadence instead of adding atomics
+    // to the emission hot path.  Baselined at RunJoin entry (several
+    // sequential contexts may grow the same Rows).
+    Rows* out = nullptr;
+    size_t charged_bytes = 0;
     // Row range of the driver (step 0) scan; the full relation by default,
     // one morsel when fanned out.
     size_t driver_begin = 0;
@@ -307,6 +364,17 @@ class Evaluator {
   // the EDB-materialisation, index-build and shard-merge loops, so a single
   // oversized relation cannot blow past EvaluatorLimits::deadline_ms.
   bool DeadlineExpired();
+  // The full cooperative abort poll: cancel token, then deadline.  Every
+  // former DeadlineExpired() poll site goes through this, so cancellation
+  // and deadline share the same latency bound (kDeadlineCheckInterval
+  // emissions / kRelationAbortInterval rows).
+  bool AbortRequested();
+  // Charges `bytes` to the memory account (no-op without one); on a failed
+  // charge sets memory_exceeded_ and aborted_ and returns false.
+  bool ChargeMemory(size_t bytes);
+  // Charges the growth of `rows` since `charged_bytes` (updating it) and
+  // folds in the row-ceiling flag; returns false iff evaluation must abort.
+  bool ChargeRowsDelta(const Rows& rows, size_t* charged_bytes);
   void Materialize(int predicate);
   // The greedy join order of `clause` (body atom indexes, best-first),
   // scored against current relation sizes.
@@ -360,6 +428,8 @@ class Evaluator {
   std::vector<int> active_domain_;
   std::once_flag active_domain_once_;
   EvaluatorLimits limits_;
+  std::shared_ptr<const CancelToken> cancel_;  // May be null.
+  MemoryAccount* account_ = nullptr;           // Not owned; may be null.
   std::chrono::steady_clock::time_point deadline_;
   bool has_deadline_ = false;
   std::atomic<long> idb_tuples_{0};
@@ -367,6 +437,9 @@ class Evaluator {
   std::atomic<long> index_builds_{0};
   std::atomic<bool> aborted_{false};
   std::atomic<bool> deadline_exceeded_{false};
+  std::atomic<bool> cancelled_{false};
+  std::atomic<bool> memory_exceeded_{false};
+  std::atomic<bool> row_ceiling_{false};
   std::atomic<long> scheduler_tasks_{0};
   std::atomic<long> morsel_batches_{0};
   std::atomic<long> morsels_{0};

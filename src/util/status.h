@@ -23,6 +23,16 @@ enum class StatusCode {
   kUnsupportedShape,
   // A lookup missed (unknown predicate / query name).
   kNotFound,
+  // The execution was cancelled through its CancelToken.
+  kCancelled,
+  // The execution blew past EvaluatorLimits::deadline_ms.
+  kDeadlineExceeded,
+  // The execution exceeded its memory account (per-execution cap or the
+  // engine's shared budget).
+  kMemoryExceeded,
+  // Admission control turned the request away (no free execution slot and
+  // the wait queue was full, or the queue wait timed out).
+  kRejected,
 };
 
 const char* StatusCodeName(StatusCode code);
@@ -42,6 +52,18 @@ class Status {
   }
   static Status NotFound(std::string message) {
     return Status(StatusCode::kNotFound, std::move(message));
+  }
+  static Status Cancelled(std::string message) {
+    return Status(StatusCode::kCancelled, std::move(message));
+  }
+  static Status DeadlineExceeded(std::string message) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(message));
+  }
+  static Status MemoryExceeded(std::string message) {
+    return Status(StatusCode::kMemoryExceeded, std::move(message));
+  }
+  static Status Rejected(std::string message) {
+    return Status(StatusCode::kRejected, std::move(message));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }
@@ -69,6 +91,14 @@ inline const char* StatusCodeName(StatusCode code) {
       return "UNSUPPORTED_SHAPE";
     case StatusCode::kNotFound:
       return "NOT_FOUND";
+    case StatusCode::kCancelled:
+      return "CANCELLED";
+    case StatusCode::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
+    case StatusCode::kMemoryExceeded:
+      return "MEMORY_EXCEEDED";
+    case StatusCode::kRejected:
+      return "REJECTED";
   }
   return "?";
 }

@@ -4,8 +4,9 @@
 # parallelism baseline must additionally cover both thread counts and report
 # the scheduler counters, so a stale pre-scheduler baseline cannot sneak
 # back in.  The engine baseline must cover the cold/warm x t1/t4 grid with
-# the expected cache-hit rates, and warm serves must be substantially faster
-# than cold ones (the whole point of the plan cache).
+# the expected cache-hit rates, warm serves must be substantially faster
+# than cold ones (the whole point of the plan cache), and the governed
+# overload scenario must report shedding and admitted-latency percentiles.
 # Usage: check_bench_json.sh <file.json>...
 # Registered as the ctest test `hygiene/bench_json`.
 set -u
@@ -60,6 +61,18 @@ if os.path.basename(path) == "BENCH_engine.json":
         assert warm * 2 < cold, \
             f"{path}: warm serve not faster than cold at {threads} " \
             f"(warm {warm}, cold {cold})"
+    # The governed-overload scenario: 8 threads against 4 slots must shed
+    # some load (a ShedRate of 0 means admission control never engaged) and
+    # report both admitted-latency percentiles.
+    overload = "EngineThroughput/overload/t8/real_time/threads:8"
+    assert overload in by_name, f"{path}: missing {overload}"
+    row = by_name[overload]
+    for counter in ("ShedRate", "AdmittedP50Ms", "AdmittedP99Ms"):
+        assert counter in row, f"{path}: {overload} missing {counter}"
+    assert row["ShedRate"] > 0, \
+        f"{path}: overload ShedRate is 0 — admission control never shed"
+    assert row["AdmittedP50Ms"] <= row["AdmittedP99Ms"], \
+        f"{path}: overload latency percentiles out of order"
 
 print(f"OK: {path}: {len(benches)} benchmark entries")
 EOF

@@ -1,7 +1,10 @@
 #!/bin/sh
 # Smoke-checks the --trace-json flag end to end: runs the CLI on a tiny
 # quickstart-sized OMQ, then verifies the emitted trace parses as JSON and
-# contains the per-stage span names (rewrite, transform, index-build, join).
+# contains the per-stage span names (rewrite, transform, index-build, join)
+# plus the governor's admission counter.  A second run under explicit
+# governor flags (--max-memory-mb/--max-concurrent/--queue-timeout-ms) must
+# produce identical answers and a governed trace.
 # Usage: check_trace_json.sh <path-to-example_owlqr_cli>
 # Registered as the ctest test `hygiene/trace_json`.
 set -u
@@ -68,12 +71,52 @@ assert trace["counters"].get("evaluator/join_emissions", 0) > 0, \
     "evaluator/join_emissions not recorded"
 assert trace["timers"].get("evaluator/index_build_ms", {}).get("count", 0) > 0, \
     "evaluator/index_build_ms not recorded"
+assert trace["counters"].get("governor/admitted", 0) > 0, \
+    "governor/admitted not recorded"
 print("OK: trace JSON parses and contains per-stage spans:", len(names), "names")
 EOF
 status=$?
 if [ "$status" -ne 0 ]; then
   echo "FAIL: trace JSON validation failed"
   cat "$tmp/trace.json"
+  exit 1
+fi
+
+# Second run, governed: the resource flags must not change the answers, and
+# the governed serve must still be admitted (and traced).
+"$CLI" "$tmp/onto.txt" "$tmp/query.txt" "$tmp/data.txt" --rewriter=tw \
+    --max-memory-mb=64 --max-concurrent=2 --queue-timeout-ms=50 \
+    "--trace-json=$tmp/trace2.json" > "$tmp/answers2.txt" 2> "$tmp/stderr2.txt"
+status=$?
+if [ "$status" -ne 0 ]; then
+  echo "FAIL: governed CLI run exited with $status"
+  cat "$tmp/stderr2.txt"
+  exit 1
+fi
+if ! cmp -s "$tmp/answers.txt" "$tmp/answers2.txt"; then
+  echo "FAIL: governed run changed the answers"
+  diff "$tmp/answers.txt" "$tmp/answers2.txt"
+  exit 1
+fi
+
+python3 - "$tmp/trace2.json" <<'EOF'
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    trace = json.load(f)
+
+counters = trace.get("counters", {})
+assert counters.get("governor/admitted", 0) > 0, \
+    "governed run recorded no governor/admitted"
+assert counters.get("governor/rejected", 0) == 0, \
+    "single-threaded CLI serve must not be shed"
+print("OK: governed trace records admission counters")
+EOF
+status=$?
+if [ "$status" -ne 0 ]; then
+  echo "FAIL: governed trace JSON validation failed"
+  cat "$tmp/trace2.json"
   exit 1
 fi
 exit 0

@@ -2,7 +2,8 @@
 # Regenerates the committed benchmark baselines at the repository root:
 #   BENCH_parallelism.json  -- bench_parallelism (DAG scheduler, t1 vs t4)
 #   BENCH_table3.json       -- bench_table3_eval_seq1 (paper Table 3)
-#   BENCH_engine.json       -- bench_engine_throughput (plan cache cold/warm)
+#   BENCH_engine.json       -- bench_engine_throughput (plan cache cold/warm
+#                              + governed overload/t8 shedding scenario)
 # Usage: run_bench_baseline.sh [build-dir]   (default: ./build)
 # Run from an idle machine on a Release build; the table 3 sweep takes about
 # a minute at the default OWLQR_SCALE.  Compare a fresh run against the

@@ -1,0 +1,23 @@
+#!/bin/sh
+# Runs the governor soak suite (ctest label `soak`) against a build tree,
+# bounded to keep it CI-friendly (~30 s ceiling; the suite itself finishes
+# in a few seconds on an idle machine, longer under sanitizers).
+#
+# The soak is most valuable under ThreadSanitizer:
+#   cmake -S . -B build-tsan -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+#         -DOWLQR_SANITIZE=thread
+#   cmake --build build-tsan -j
+#   tools/run_soak.sh build-tsan
+#
+# Usage: run_soak.sh [build-dir]   (default: ./build)
+set -eu
+
+ROOT=$(cd "$(dirname "$0")/.." && pwd)
+BUILD="${1:-$ROOT/build}"
+
+if [ ! -d "$BUILD" ]; then
+  echo "FAIL: build dir $BUILD not found (cmake -S $ROOT -B $BUILD)" >&2
+  exit 1
+fi
+
+exec ctest --test-dir "$BUILD" -L soak --timeout 30 --output-on-failure
