@@ -15,6 +15,11 @@
 //                      classes and, when data is given, by the Section 6
 //                      cost model)
 //   --threads=N        evaluate with N worker threads (default 1)
+//   --incremental      maintain answers incrementally across '+' fact
+//                      lines in --repl: a repeated query re-uses its
+//                      retained result and only evaluates the delta
+//                      (falls back to a full run when no state is
+//                      retained; answers are identical either way)
 //   --max-memory-mb=N  engine-wide memory budget for execution arenas;
 //                      an execution that pushes usage past it aborts with
 //                      MEMORY_EXCEEDED (default 0 = track only)
@@ -62,6 +67,8 @@ constexpr char kUsage[] =
     "flags:\n"
     "  --rewriter=KIND       lin | log | tw | twstar | ucq | presto | auto\n"
     "  --threads=N           evaluate with N worker threads\n"
+    "  --incremental         maintain answers incrementally across '+' "
+    "lines\n"
     "  --max-memory-mb=N     engine memory budget (0 = track only)\n"
     "  --max-concurrent=N    execution slots (0 = unlimited)\n"
     "  --queue-timeout-ms=N  max wait for a slot before REJECTED\n"
@@ -138,9 +145,11 @@ void PrintAnswers(const ConjunctiveQuery& query, const ExecuteResult& result,
   if (query.IsBoolean()) {
     std::printf("%s\n", result.answers.empty() ? "false" : "true");
   }
-  std::fprintf(stderr, "%ld answers, %ld tuples materialised (snapshot v%llu)\n",
+  std::fprintf(stderr,
+               "%ld answers, %ld tuples materialised (snapshot v%llu)%s\n",
                result.stats.goal_tuples, result.stats.generated_tuples,
-               static_cast<unsigned long long>(result.snapshot_version));
+               static_cast<unsigned long long>(result.snapshot_version),
+               result.incremental ? " [incremental]" : "");
 }
 
 // One prepare+execute round against the engine; returns false on a prepare
@@ -229,6 +238,7 @@ int main(int argc, char** argv) {
   bool print_sql = false;
   bool complete_instances = false;
   bool repl = false;
+  bool incremental = false;
   int threads = 1;
   long max_memory_mb = 0;
   int max_concurrent = 0;
@@ -278,6 +288,8 @@ int main(int argc, char** argv) {
       complete_instances = true;
     } else if (std::strcmp(argv[i], "--repl") == 0) {
       repl = true;
+    } else if (std::strcmp(argv[i], "--incremental") == 0) {
+      incremental = true;
     } else if (std::strncmp(argv[i], "--", 2) == 0) {
       std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
       std::fprintf(stderr, kUsage, argv[0]);
@@ -365,6 +377,7 @@ int main(int argc, char** argv) {
 
   ExecuteRequest request;
   request.num_threads = threads;
+  request.incremental = incremental;
 
   int status = 0;
   if (repl) {

@@ -85,6 +85,29 @@ bool Rows::Insert(const int* tuple) {
   return arity <= 2 ? InsertSmall(tuple) : InsertWide(tuple);
 }
 
+bool Rows::Contains(const int* tuple) const {
+  if (arity == 0) return num_rows_ > 0;
+  if (arity <= 2) {
+    if (small_.size == 0) return false;
+    size_t mask = small_.size - 1;
+    uint64_t key = PackSmall(tuple, arity);
+    size_t pos = HashTuple(tuple, arity) & mask;
+    while (small_[pos].id != 0) {
+      if (small_[pos].key == key) return true;
+      pos = (pos + 1) & mask;
+    }
+    return false;
+  }
+  if (slots_.empty()) return false;
+  size_t mask = slots_.size() - 1;
+  size_t pos = HashTuple(tuple, arity) & mask;
+  while (slots_[pos] != 0) {
+    if (std::equal(tuple, tuple + arity, row(slots_[pos] - 1))) return true;
+    pos = (pos + 1) & mask;
+  }
+  return false;
+}
+
 bool Rows::InsertSmall(const int* tuple) {
   if ((num_rows_ + 1) * 2 > small_.size) GrowSmall();
   size_t mask = small_.size - 1;

@@ -101,6 +101,10 @@ struct Rows {
   // that can abort must treat a partial output relation like any other
   // truncation (the evaluator aborts at its next limit flush).
   bool Insert(const int* tuple);
+  // True iff `tuple` is already present.  The const dedup probe of Insert
+  // (no growth, no mutation): DataSnapshot::WithFacts uses it to filter a
+  // fact batch against the parent relation before deciding to deep-copy.
+  bool Contains(const int* tuple) const;
   // True iff the relation has hit the row ceiling and dropped an insert.
   bool AtRowCeiling() const { return at_row_ceiling_; }
   // Test hook: lowers the row ceiling process-wide so ceiling behaviour is

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <iterator>
 #include <utility>
 
 #include "util/metrics.h"
@@ -147,32 +148,47 @@ std::shared_ptr<const DataSnapshot> DataSnapshot::FromInstance(
   return snapshot;
 }
 
+void SnapshotDelta::MergeFrom(const SnapshotDelta& other) {
+  for (const auto& [id, rows] : other.concept_rows) {
+    std::vector<int>& dst = concept_rows[id];
+    dst.insert(dst.end(), rows.begin(), rows.end());
+  }
+  for (const auto& [id, rows] : other.role_rows) {
+    std::vector<int>& dst = role_rows[id];
+    dst.insert(dst.end(), rows.begin(), rows.end());
+  }
+  if (!other.new_individuals.empty()) {
+    std::vector<int> merged;
+    merged.reserve(new_individuals.size() + other.new_individuals.size());
+    std::merge(new_individuals.begin(), new_individuals.end(),
+               other.new_individuals.begin(), other.new_individuals.end(),
+               std::back_inserter(merged));
+    merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+    new_individuals = std::move(merged);
+  }
+}
+
 std::shared_ptr<const DataSnapshot> DataSnapshot::WithFacts(
-    const FactBatch& batch) const {
+    const FactBatch& batch, SnapshotDelta* delta) const {
   OWLQR_NAMED_SPAN(span, "snapshot/apply-facts");
-  auto next = std::shared_ptr<DataSnapshot>(new DataSnapshot());
-  // Share everything by default; the loops below replace only what grows.
-  next->concepts_ = concepts_;
-  next->roles_ = roles_;
-  next->tables_ = tables_;
-  next->active_domain_ = active_domain_;
-  next->num_atoms_ = num_atoms_;
-  next->version_ = version_ + 1;
+  if (delta != nullptr) *delta = SnapshotDelta();
 
-  // Writable deep copies, made at most once per touched external id.
-  std::unordered_map<int, std::shared_ptr<EdbRelation>> touched_concepts;
-  std::unordered_map<int, std::shared_ptr<EdbRelation>> touched_roles;
-  auto writable = [](auto& touched, auto& map, int id, int arity) {
-    std::shared_ptr<EdbRelation>& rel = touched[id];
-    if (rel == nullptr) {
-      auto it = map.find(id);
-      rel = it == map.end() ? NewRelation(arity)
-                            : std::make_shared<EdbRelation>(*it->second);
-      map[id] = rel;
+  // Pass 1: deduplicate the batch against itself (each fresh Rows dedups on
+  // Insert) and against the parent (Contains, a const probe) before copying
+  // anything.  After this pass, fresh_* hold exactly the rows a successor
+  // snapshot appends — every entry has at least one row, and an individual
+  // is noted only when a genuinely new fact mentions it.
+  std::unordered_map<int, Rows> fresh_concepts;
+  std::unordered_map<int, Rows> fresh_roles;
+  auto fresh_for = [](std::unordered_map<int, Rows>& fresh, int id,
+                      int arity) -> Rows* {
+    auto [it, inserted] = fresh.try_emplace(id);
+    if (inserted) {
+      it->second.arity = arity;
+      it->second.materialized = true;
     }
-    return rel.get();
+    return &it->second;
   };
-
   std::vector<int> new_individuals;
   auto note_individual = [this, &new_individuals](int ind) {
     if (!std::binary_search(active_domain_.begin(), active_domain_.end(),
@@ -183,37 +199,97 @@ std::shared_ptr<const DataSnapshot> DataSnapshot::WithFacts(
 
   long added = 0;
   for (const FactBatch::ConceptFact& fact : batch.concepts) {
-    EdbRelation* rel =
-        writable(touched_concepts, next->concepts_, fact.concept_id, 1);
-    if (rel->mutable_rows()->Insert(&fact.individual)) ++added;
-    note_individual(fact.individual);
+    const EdbRelation* parent = Concept(fact.concept_id);
+    if (parent != nullptr && parent->rows().Contains(&fact.individual)) {
+      continue;
+    }
+    if (fresh_for(fresh_concepts, fact.concept_id, 1)
+            ->Insert(&fact.individual)) {
+      ++added;
+      note_individual(fact.individual);
+    }
   }
   for (const FactBatch::RoleFact& fact : batch.roles) {
-    EdbRelation* rel =
-        writable(touched_roles, next->roles_, fact.role_id, 2);
+    const EdbRelation* parent = Role(fact.role_id);
     int pair[2] = {fact.subject, fact.object};
-    if (rel->mutable_rows()->Insert(pair)) ++added;
-    note_individual(fact.subject);
-    note_individual(fact.object);
+    if (parent != nullptr && parent->rows().Contains(pair)) continue;
+    if (fresh_for(fresh_roles, fact.role_id, 2)->Insert(pair)) {
+      ++added;
+      note_individual(fact.subject);
+      note_individual(fact.object);
+    }
   }
-  next->num_atoms_ += added;
+
+  if (added == 0) {
+    // Effectively-empty batch: every fact was already present, so the
+    // parent snapshot IS the result — same version(), no copies, and the
+    // delta stays empty.
+    span.Attr("version", static_cast<long>(version_));
+    span.Attr("added", 0);
+    span.Attr("noop", 1);
+    return shared_from_this();
+  }
+  std::sort(new_individuals.begin(), new_individuals.end());
+  new_individuals.erase(
+      std::unique(new_individuals.begin(), new_individuals.end()),
+      new_individuals.end());
+
+  auto next = std::shared_ptr<DataSnapshot>(new DataSnapshot());
+  // Share everything by default; only relations with fresh rows get the
+  // copy-on-write treatment below.
+  next->concepts_ = concepts_;
+  next->roles_ = roles_;
+  next->tables_ = tables_;
+  next->num_atoms_ = num_atoms_ + added;
+  next->version_ = version_ + 1;
+
+  auto grow =
+      [](std::unordered_map<int, std::shared_ptr<const EdbRelation>>& map,
+         int id, const Rows& fresh) {
+        auto it = map.find(id);
+        std::shared_ptr<EdbRelation> rel =
+            it == map.end() ? NewRelation(fresh.arity)
+                            : std::make_shared<EdbRelation>(*it->second);
+        Rows* rows = rel->mutable_rows();
+        for (size_t r = 0; r < fresh.size(); ++r) rows->Insert(fresh.row(r));
+        map[id] = std::move(rel);
+      };
+  for (const auto& [id, fresh] : fresh_concepts) {
+    grow(next->concepts_, id, fresh);
+  }
+  for (const auto& [id, fresh] : fresh_roles) {
+    grow(next->roles_, id, fresh);
+  }
 
   if (new_individuals.empty()) {
     // Same active domain, so the (potentially large) TOP relation and the
     // sorted individual list are shared too.
+    next->active_domain_ = active_domain_;
     next->adom_ = adom_;
   } else {
-    for (int ind : new_individuals) next->active_domain_.push_back(ind);
-    std::sort(next->active_domain_.begin(), next->active_domain_.end());
-    next->active_domain_.erase(std::unique(next->active_domain_.begin(),
-                                           next->active_domain_.end()),
-                               next->active_domain_.end());
+    next->active_domain_.reserve(active_domain_.size() +
+                                 new_individuals.size());
+    std::merge(active_domain_.begin(), active_domain_.end(),
+               new_individuals.begin(), new_individuals.end(),
+               std::back_inserter(next->active_domain_));
     next->adom_ = AdomRelation(next->active_domain_);
+  }
+
+  if (delta != nullptr) {
+    // The fresh cells arenas are already exactly the appended rows in
+    // insertion order; hand them over wholesale.
+    for (auto& [id, fresh] : fresh_concepts) {
+      delta->concept_rows.emplace(id, std::move(fresh.cells));
+    }
+    for (auto& [id, fresh] : fresh_roles) {
+      delta->role_rows.emplace(id, std::move(fresh.cells));
+    }
+    delta->new_individuals = std::move(new_individuals);
   }
   span.Attr("version", static_cast<long>(next->version_));
   span.Attr("added", added);
   span.Attr("copied_relations",
-            static_cast<long>(touched_concepts.size() + touched_roles.size()));
+            static_cast<long>(fresh_concepts.size() + fresh_roles.size()));
   return next;
 }
 

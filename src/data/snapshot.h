@@ -92,6 +92,28 @@ class EdbRelation {
       slots_;
 };
 
+// The per-relation description of exactly which rows a WithFacts call
+// appended relative to its parent snapshot, keyed by external id.  Row data
+// is flat (concepts stride 1, roles stride 2) and already deduplicated
+// against both the batch and the parent, so a delta row is guaranteed new
+// at the version it describes.  `new_individuals` is the sorted set of
+// individuals that entered the active domain — the delta of the TOP/adom
+// relation, and (paired with itself) of the equality relation.
+struct SnapshotDelta {
+  std::unordered_map<int, std::vector<int>> concept_rows;
+  std::unordered_map<int, std::vector<int>> role_rows;
+  std::vector<int> new_individuals;
+
+  bool empty() const {
+    return concept_rows.empty() && role_rows.empty() &&
+           new_individuals.empty();
+  }
+  // Folds `other` (a later version's delta) into this one, so consecutive
+  // deltas compose into one version-range delta.  Rows stay disjoint
+  // because each delta only holds rows new at its own version.
+  void MergeFrom(const SnapshotDelta& other);
+};
+
 // A batch of ABox additions for Engine::ApplyFacts, by vocabulary ids.
 // (Name-based convenience lives with the callers that own a Vocabulary.)
 struct FactBatch {
@@ -110,7 +132,7 @@ struct FactBatch {
   bool empty() const { return concepts.empty() && roles.empty(); }
 };
 
-class DataSnapshot {
+class DataSnapshot : public std::enable_shared_from_this<DataSnapshot> {
  public:
   // Freezes `data` (and, if given, the mapping-layer source tables) into
   // version 1 of a snapshot chain.
@@ -121,7 +143,17 @@ class DataSnapshot {
   // relations are deep-copied and grown by `batch`, with every other
   // relation shared with `this`.  Individuals mentioned by the batch join
   // the active domain.  `this` is unchanged; executions holding it run on.
-  std::shared_ptr<const DataSnapshot> WithFacts(const FactBatch& batch) const;
+  //
+  // The batch is deduplicated against both itself and the parent before
+  // anything is copied: a fact already present contributes nothing, and a
+  // batch with no genuinely new facts returns `this` unchanged — same
+  // version(), no copy, so re-asserting known facts is free and can never
+  // inflate num_atoms() or fabricate phantom delta rows.
+  //
+  // `delta` (nullable) receives the exact appended rows (see SnapshotDelta);
+  // it is cleared first and left empty on the no-op path.
+  std::shared_ptr<const DataSnapshot> WithFacts(
+      const FactBatch& batch, SnapshotDelta* delta = nullptr) const;
 
   // Monotonically increasing along a WithFacts chain (starts at 1).
   uint64_t version() const { return version_; }

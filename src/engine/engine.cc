@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "core/omq.h"
+#include "util/logging.h"
 #include "util/metrics.h"
 
 namespace owlqr {
@@ -15,7 +16,87 @@ TBox NormalizedCopy(const TBox& tbox) {
   return copy;
 }
 
+// Bounded length of the per-version delta log.  Retained states older than
+// this many ApplyFacts steps behind the head simply fall back to a full
+// re-evaluation; the log can never grow with update traffic.
+constexpr size_t kDeltaLogCapacity = 64;
+
 }  // namespace
+
+IncrementalStateCache::IncrementalStateCache(size_t capacity,
+                                             MemoryBudget* budget)
+    : capacity_(capacity), budget_(budget) {}
+
+IncrementalStateCache::~IncrementalStateCache() { Clear(); }
+
+IncrementalStateCache::Checkout IncrementalStateCache::Take(
+    const std::string& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = by_key_.find(key);
+  if (it == by_key_.end()) return {};
+  Checkout out;
+  out.state = std::move(it->second->state);
+  out.charged_bytes = it->second->bytes;
+  entries_.erase(it->second);
+  by_key_.erase(it);
+  return out;
+}
+
+void IncrementalStateCache::Publish(const std::string& key,
+                                    RetainedIdbState state,
+                                    size_t charged_bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const size_t bytes = state.MemoryBytes();
+  // Settle the caller's outstanding charge to the state's published size.
+  if (budget_ != nullptr) {
+    if (bytes > charged_bytes) {
+      budget_->Charge(bytes - charged_bytes);
+    } else if (charged_bytes > bytes) {
+      budget_->Release(charged_bytes - bytes);
+    }
+  }
+  auto it = by_key_.find(key);
+  if (it != by_key_.end()) {
+    // Racing publishers of the same key: the loser's entry is replaced and
+    // its charge released.
+    if (budget_ != nullptr) budget_->Release(it->second->bytes);
+    entries_.erase(it->second);
+    by_key_.erase(it);
+  }
+  entries_.push_front(Entry{key, std::move(state), bytes});
+  by_key_[key] = entries_.begin();
+  while (entries_.size() > capacity_) EvictBack();
+  // Budget pressure sheds retained state LRU-first: executions' live
+  // arenas matter more than our cache, and the entry just published is the
+  // last to go.
+  if (budget_ != nullptr && budget_->limit() > 0) {
+    while (budget_->used() > budget_->limit() && !entries_.empty()) {
+      EvictBack();
+    }
+  }
+}
+
+void IncrementalStateCache::Discard(size_t charged_bytes) {
+  if (budget_ != nullptr && charged_bytes > 0) {
+    budget_->Release(charged_bytes);
+  }
+}
+
+void IncrementalStateCache::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  while (!entries_.empty()) EvictBack();
+}
+
+size_t IncrementalStateCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+void IncrementalStateCache::EvictBack() {
+  if (budget_ != nullptr) budget_->Release(entries_.back().bytes);
+  by_key_.erase(entries_.back().key);
+  entries_.pop_back();
+}
 
 Engine::Engine(const TBox& tbox, const DataInstance& data,
                const TableStore* tables, const EngineOptions& options)
@@ -24,7 +105,8 @@ Engine::Engine(const TBox& tbox, const DataInstance& data,
       fingerprint_(FingerprintTBox(tbox_)),
       cache_(options.plan_cache_capacity),
       snapshot_(DataSnapshot::FromInstance(data, tables)),
-      governor_(options.governor) {}
+      governor_(options.governor),
+      incremental_(options.incremental_state_capacity, governor_.budget()) {}
 
 PrepareResult Engine::Prepare(const ConjunctiveQuery& query,
                               const PrepareOptions& options) {
@@ -80,18 +162,40 @@ ExecuteResult Engine::Execute(const PreparedQuery& prepared,
   span.Attr("threads", request.num_threads);
 
   const GovernorOptions& gov = governor_.options();
+
+  // Incremental maintenance only serves complete answer sets: a tuple/work
+  // limit could truncate the retained state, which would then poison every
+  // later delta run.
+  const bool want_incremental =
+      request.incremental && incremental_.capacity() > 0 &&
+      request.limits.max_generated_tuples <= 0 && request.limits.max_work <= 0;
+  ExecuteResult result;
+  if (want_incremental &&
+      ExecuteIncremental(prepared, request, &snap, &result)) {
+    span.Attr("incremental", 1);
+    governor_.RecordOutcome(result.status.code(), /*degraded=*/false);
+    return result;
+  }
+
   // One evaluation under a fresh MemoryAccount; the account dies with the
   // evaluator's arenas, handing every charged byte back to the budget.
-  auto run_once = [&](const ExecuteRequest& req) {
+  // `capture` (nullable) receives the materialised IDB state of a clean,
+  // complete run, to seed later incremental executions.
+  auto run_once = [&](const ExecuteRequest& req, RetainedIdbState* capture) {
     MemoryAccount account(governor_.budget(),
                           gov.max_execution_memory_bytes);
     Evaluator eval(prepared.program(), snap);
     eval.set_join_order_hints(prepared.join_order_hints());
     eval.set_memory_account(&account);
-    return eval.Run(req);
+    ExecuteResult r = eval.Run(req);
+    if (capture != nullptr && r.status.ok() && !r.partial) {
+      eval.ExtractRetainedState(capture);
+    }
+    return r;
   };
 
-  ExecuteResult result = run_once(request);
+  RetainedIdbState capture;
+  result = run_once(request, want_incremental ? &capture : nullptr);
   bool degraded = false;
   if (result.status.code() == StatusCode::kMemoryExceeded &&
       gov.degraded_max_generated_tuples > 0 &&
@@ -102,18 +206,89 @@ ExecuteResult Engine::Execute(const PreparedQuery& prepared,
     // above), so retry once with a tuple limit small enough to fit — a
     // truncated answer beats none.  The retry can itself abort; its result
     // (including a repeat kMemoryExceeded) is final.
+    //
+    // The retry runs on a freshly pinned snapshot (facts applied while the
+    // first run churned are visible, and the reported snapshot_version
+    // matches the data actually read) and, via run_once, on a fresh
+    // MemoryAccount whose destructor already reconciled the aborted run's
+    // charges back to the budget.  It never captures retained state —
+    // the tightened limit makes its answers partial by construction.
     degraded = true;
     span.Attr("degraded_retry", 1);
+    snap = snapshot();
     ExecuteRequest tightened = request;
     tightened.limits.max_generated_tuples =
         gov.degraded_max_generated_tuples;
-    result = run_once(tightened);
+    result = run_once(tightened, nullptr);
     result.degraded = true;
     // Even a clean retry answered under tighter limits than asked for.
     result.partial = true;
   }
+  if (capture.valid()) {
+    incremental_.Publish(prepared.cache_key(), std::move(capture),
+                         /*charged_bytes=*/0);
+  }
   governor_.RecordOutcome(result.status.code(), degraded);
   return result;
+}
+
+bool Engine::ExecuteIncremental(const PreparedQuery& prepared,
+                                const ExecuteRequest& request,
+                                std::shared_ptr<const DataSnapshot>* snap,
+                                ExecuteResult* result) const {
+  IncrementalStateCache::Checkout checkout =
+      incremental_.Take(prepared.cache_key());
+  if (!checkout.state.valid()) return false;  // Miss: nothing charged.
+  if (checkout.state.version > (*snap)->version()) {
+    // The retained state was captured on a snapshot newer than the one we
+    // pinned (an ApplyFacts landed in between).  Versions are monotone, so
+    // re-pinning forward reconverges; answers are still correct for the
+    // version the result reports.
+    *snap = snapshot();
+  }
+  SnapshotDelta delta;
+  if (checkout.state.version > (*snap)->version() ||
+      !DeltaBetween(checkout.state.version, (*snap)->version(), &delta)) {
+    // Version gap (log trimmed, or still ahead after re-pin): the state is
+    // useless and its successor will be re-captured by the full run.
+    incremental_.Discard(checkout.charged_bytes);
+    return false;
+  }
+
+  const GovernorOptions& gov = governor_.options();
+  MemoryAccount account(governor_.budget(), gov.max_execution_memory_bytes);
+  Evaluator eval(prepared.program(), *snap);
+  eval.set_join_order_hints(prepared.join_order_hints());
+  eval.set_memory_account(&account);
+  *result = eval.RunDelta(request, delta, &checkout.state);
+  if (result->status.ok() && !result->partial && checkout.state.valid()) {
+    incremental_.Publish(prepared.cache_key(), std::move(checkout.state),
+                         checkout.charged_bytes);
+    return true;
+  }
+  // Aborted or otherwise incomplete: RunDelta already dropped the adopted
+  // state (its arenas die with the evaluator), so release its charge and
+  // let the caller fall back to a full evaluation.
+  incremental_.Discard(checkout.charged_bytes);
+  return false;
+}
+
+bool Engine::DeltaBetween(uint64_t from, uint64_t to,
+                          SnapshotDelta* out) const {
+  if (from > to) return false;
+  if (from == to) return true;  // Empty delta: state is already current.
+  std::lock_guard<std::mutex> lock(snapshot_mutex_);
+  // Log versions are ascending and gap-free, so the range [from+1, to] maps
+  // to a contiguous run of entries when it is still resident.
+  if (delta_log_.empty() || delta_log_.front().version > from + 1 ||
+      delta_log_.back().version < to) {
+    return false;
+  }
+  size_t idx = static_cast<size_t>(from + 1 - delta_log_.front().version);
+  for (uint64_t v = from + 1; v <= to; ++v, ++idx) {
+    out->MergeFrom(delta_log_[idx].delta);
+  }
+  return true;
 }
 
 ExecuteResult Engine::Query(const ConjunctiveQuery& query,
@@ -125,11 +300,69 @@ ExecuteResult Engine::Query(const ConjunctiveQuery& query,
   return Execute(*prepared.query, request);
 }
 
-uint64_t Engine::ApplyFacts(const FactBatch& batch) {
-  std::lock_guard<std::mutex> lock(snapshot_mutex_);
-  snapshot_ = snapshot_->WithFacts(batch);
-  return snapshot_->version();
+Status Engine::ApplyFactsOrError(const FactBatch& batch, uint64_t* version) {
+  // Validate every id against the engine's vocabulary BEFORE building
+  // anything: an unknown or negative id would create an orphan relation no
+  // rewritten program can ever name — the fact would be silently
+  // unqueryable rather than rejected.
+  const Vocabulary& vocab = *tbox_.vocabulary();
+  const int num_concepts = vocab.num_concepts();
+  const int num_predicates = vocab.num_predicates();
+  const int num_individuals = vocab.num_individuals();
+  for (const FactBatch::ConceptFact& fact : batch.concepts) {
+    if (fact.concept_id < 0 || fact.concept_id >= num_concepts) {
+      return Status::InvalidArgument("ApplyFacts: unknown concept id");
+    }
+    if (fact.individual < 0 || fact.individual >= num_individuals) {
+      return Status::InvalidArgument("ApplyFacts: unknown individual id");
+    }
+  }
+  for (const FactBatch::RoleFact& fact : batch.roles) {
+    if (fact.role_id < 0 || fact.role_id >= num_predicates) {
+      return Status::InvalidArgument("ApplyFacts: unknown role id");
+    }
+    if (fact.subject < 0 || fact.subject >= num_individuals ||
+        fact.object < 0 || fact.object >= num_individuals) {
+      return Status::InvalidArgument("ApplyFacts: unknown individual id");
+    }
+  }
+
+  uint64_t new_version;
+  {
+    // One in-flight WithFacts at a time (monotone versions, gap-free delta
+    // log); the expensive copy-on-write build runs with snapshot_mutex_
+    // RELEASED, so Execute calls pin snapshots without waiting behind it.
+    std::lock_guard<std::mutex> apply_lock(apply_mutex_);
+    std::shared_ptr<const DataSnapshot> parent;
+    {
+      std::lock_guard<std::mutex> lock(snapshot_mutex_);
+      parent = snapshot_;
+    }
+    SnapshotDelta delta;
+    std::shared_ptr<const DataSnapshot> next = parent->WithFacts(batch, &delta);
+    {
+      std::lock_guard<std::mutex> lock(snapshot_mutex_);
+      if (next != parent) {
+        snapshot_ = next;
+        delta_log_.push_back({next->version(), std::move(delta)});
+        while (delta_log_.size() > kDeltaLogCapacity) delta_log_.pop_front();
+      }
+      // On the no-op path the parent snapshot (and version) stands.
+      new_version = snapshot_->version();
+    }
+  }
+  if (version != nullptr) *version = new_version;
+  return Status::Ok();
 }
+
+uint64_t Engine::ApplyFacts(const FactBatch& batch) {
+  uint64_t version = 0;
+  const Status status = ApplyFactsOrError(batch, &version);
+  OWLQR_CHECK_MSG(status.ok(), status.message().c_str());
+  return version;
+}
+
+void Engine::ClearIncrementalState() const { incremental_.Clear(); }
 
 std::shared_ptr<const DataSnapshot> Engine::snapshot() const {
   std::lock_guard<std::mutex> lock(snapshot_mutex_);

@@ -28,8 +28,12 @@
 // discarded after construction.
 
 #include <cstdint>
+#include <deque>
+#include <list>
 #include <memory>
 #include <mutex>
+#include <string>
+#include <unordered_map>
 
 #include "core/rewriters.h"
 #include "core/rewriting_context.h"
@@ -52,6 +56,60 @@ struct EngineOptions {
   // (engine/governor.h).  The defaults govern nothing (no memory limit, no
   // slot pool), preserving the ungoverned behaviour.
   GovernorOptions governor;
+  // Bounded LRU capacity of the retained-IDB-state cache behind
+  // ExecuteRequest::incremental (number of plans whose materialised state is
+  // kept between executions).  0 disables incremental maintenance entirely;
+  // every incremental request then falls back to full evaluation.
+  size_t incremental_state_capacity = 8;
+};
+
+// LRU cache of retained materialised IDB states, keyed by plan-cache key.
+// Each entry's bytes are charged against the engine memory budget for as
+// long as the entry lives (Publish charges, eviction / Discard / Clear
+// release), so retained state competes with executions for the same budget
+// and is shed LRU-first when the budget is over limit.
+//
+// Checkout REMOVES the entry (transferring its budget charge to the
+// caller), so one state is never adopted by two concurrent delta runs; the
+// winner publishes the updated state back, everyone else falls back to full
+// evaluation.  All methods are thread-safe.
+class IncrementalStateCache {
+ public:
+  IncrementalStateCache(size_t capacity, MemoryBudget* budget);
+  ~IncrementalStateCache();
+
+  struct Checkout {
+    RetainedIdbState state;    // !valid() on a miss.
+    size_t charged_bytes = 0;  // Budget bytes now owed by the caller.
+  };
+  // Removes and returns the entry for `key`; the caller owes its charge
+  // until it calls Publish or Discard.
+  Checkout Take(const std::string& key);
+  // Installs `state` under `key` as most-recently-used, settling the
+  // caller's outstanding charge to the state's current size, then evicts:
+  // LRU past `capacity`, and LRU-first while the budget is over limit (the
+  // fresh entry itself is the last to go).
+  void Publish(const std::string& key, RetainedIdbState state,
+               size_t charged_bytes);
+  // Releases a checked-out charge whose state will not be published.
+  void Discard(size_t charged_bytes);
+  void Clear();
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+
+ private:
+  struct Entry {
+    std::string key;
+    RetainedIdbState state;
+    size_t bytes = 0;
+  };
+  void EvictBack();  // Requires mutex_ held.
+
+  const size_t capacity_;
+  MemoryBudget* const budget_;  // Nullable (untracked).
+  mutable std::mutex mutex_;
+  std::list<Entry> entries_;  // Front = most recently used.
+  std::unordered_map<std::string, std::list<Entry>::iterator> by_key_;
 };
 
 struct PrepareOptions {
@@ -117,10 +175,30 @@ class Engine {
                       const PrepareOptions& prepare_options = {});
 
   // Installs a new snapshot version extended by `batch` (copy-on-write per
-  // touched relation) and returns its version.  In-flight executions keep
-  // the version they pinned.  Plans stay valid: the cache key depends only
-  // on the TBox, not the data.
+  // touched relation) and returns its version through `version` (nullable).
+  // In-flight executions keep the version they pinned.  Plans stay valid:
+  // the cache key depends only on the TBox, not the data.
+  //
+  // The batch is validated against the engine's vocabulary first: a
+  // concept / role / individual id that is negative or was never interned
+  // returns kInvalidArgument and installs NOTHING — previously such facts
+  // silently created orphan relations no rewriting could ever name.  A
+  // batch whose facts are all already present is a no-op: the version does
+  // not change and no snapshot is built.
+  //
+  // The expensive copy-on-write build runs OUTSIDE the snapshot lock, so
+  // concurrent Execute calls pin snapshots without waiting behind a large
+  // update; concurrent ApplyFacts calls serialise among themselves.
+  Status ApplyFactsOrError(const FactBatch& batch,
+                           uint64_t* version = nullptr);
+  // Checked shim over ApplyFactsOrError, preserving the original signature:
+  // aborts on an invalid batch (programmer error at this layer).
   uint64_t ApplyFacts(const FactBatch& batch);
+
+  // Drops every retained incremental IDB state, releasing its memory-budget
+  // charge.  Subsequent incremental executions re-seed from a full run.
+  void ClearIncrementalState() const;
+  size_t incremental_state_size() const { return incremental_.size(); }
 
   // The snapshot a new execution would pin right now.
   std::shared_ptr<const DataSnapshot> snapshot() const;
@@ -141,6 +219,26 @@ class Engine {
   }
 
  private:
+  // One recorded ApplyFacts step: the delta that took snapshot version
+  // `version - 1` to `version`.
+  struct DeltaLogEntry {
+    uint64_t version = 0;
+    SnapshotDelta delta;
+  };
+
+  // Composes the deltas taking version `from` to version `to` into `out`.
+  // False when the range has been trimmed out of the bounded log (the
+  // caller must fall back to full evaluation).
+  bool DeltaBetween(uint64_t from, uint64_t to, SnapshotDelta* out) const;
+  // The incremental Execute path: checkout retained state, catch it up via
+  // RunDelta, publish it back.  False (with the checkout discarded) on any
+  // miss / version gap / abort, in which case the caller runs the full
+  // path.  May re-pin `*snap` forward if the retained state is newer.
+  bool ExecuteIncremental(const PreparedQuery& prepared,
+                          const ExecuteRequest& request,
+                          std::shared_ptr<const DataSnapshot>* snap,
+                          ExecuteResult* result) const;
+
   TBox tbox_;  // Engine's own normalized copy.
   RewritingContext ctx_;
   const uint64_t fingerprint_;
@@ -149,11 +247,23 @@ class Engine {
   // is mutated during rewriting, so only one rewrite may run at a time
   // (cache hits and executions never take this).
   std::mutex prepare_mutex_;
-  mutable std::mutex snapshot_mutex_;  // Guards the `snapshot_` pointer.
+  // Serializes the build phase of ApplyFacts (one in-flight WithFacts at a
+  // time keeps versions monotone and the delta log gap-free) without
+  // blocking snapshot readers, who only ever take snapshot_mutex_.
+  std::mutex apply_mutex_;
+  mutable std::mutex snapshot_mutex_;  // Guards snapshot_ and delta_log_.
   std::shared_ptr<const DataSnapshot> snapshot_;
+  // Recent per-version deltas, ascending and gap-free in version (every
+  // non-no-op ApplyFacts appends exactly one entry), trimmed from the front
+  // at a fixed cap.  Incremental executions replay the range between their
+  // retained state's version and the pinned snapshot's.
+  std::deque<DeltaLogEntry> delta_log_;
   // Mutable because Execute is const (it mutates no engine-visible state;
   // the governor's slots/counters are bookkeeping).
   mutable QueryGovernor governor_;
+  // Retained IDB states for incremental execution; mutable for the same
+  // reason as the governor (a cache, not engine-visible semantics).
+  mutable IncrementalStateCache incremental_;
 };
 
 }  // namespace owlqr

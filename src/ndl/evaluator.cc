@@ -325,26 +325,32 @@ void Evaluator::Materialize(int predicate) {
 std::vector<int> Evaluator::ComputeJoinOrder(const NdlClause& clause) {
   // Static greedy atom order: simulate which variables become bound.
   std::vector<bool> used(clause.body.size(), false);
-  std::vector<bool> bound;
-  auto var_bound = [&bound](const Term& t) {
-    return t.is_constant ||
-           (t.value < static_cast<int>(bound.size()) && bound[t.value]);
-  };
   int num_vars = 0;
   for (const NdlAtom& atom : clause.body) {
     for (const Term& t : atom.args) {
       if (!t.is_constant) num_vars = std::max(num_vars, t.value + 1);
     }
   }
-  bound.assign(num_vars, false);
-
+  std::vector<bool> bound(num_vars, false);
   std::vector<int> order;
   order.reserve(clause.body.size());
-  for (size_t step = 0; step < clause.body.size(); ++step) {
+  ExtendJoinOrderGreedy(clause, &order, &used, &bound);
+  return order;
+}
+
+void Evaluator::ExtendJoinOrderGreedy(const NdlClause& clause,
+                                      std::vector<int>* order,
+                                      std::vector<bool>* used,
+                                      std::vector<bool>* bound) {
+  auto var_bound = [bound](const Term& t) {
+    return t.is_constant ||
+           (t.value < static_cast<int>(bound->size()) && (*bound)[t.value]);
+  };
+  while (order->size() < clause.body.size()) {
     int best = -1;
     double best_score = 0;
     for (size_t i = 0; i < clause.body.size(); ++i) {
-      if (used[i]) continue;
+      if ((*used)[i]) continue;
       const NdlAtom& atom = clause.body[i];
       const PredicateKind kind = program_.predicate(atom.predicate).kind;
       int bound_args = 0;
@@ -367,13 +373,12 @@ std::vector<int> Evaluator::ComputeJoinOrder(const NdlClause& clause) {
         best_score = score;
       }
     }
-    used[best] = true;
-    order.push_back(best);
+    (*used)[best] = true;
+    order->push_back(best);
     for (const Term& t : clause.body[best].args) {
-      if (!t.is_constant) bound[t.value] = true;
+      if (!t.is_constant) (*bound)[t.value] = true;
     }
   }
-  return order;
 }
 
 Evaluator::ClausePlan Evaluator::BuildPlan(int ci) {
@@ -399,8 +404,38 @@ Evaluator::ClausePlan Evaluator::BuildPlan(int ci) {
     local_order = ComputeJoinOrder(clause);
     order_ptr = &local_order;
   }
-  const std::vector<int>& order = *order_ptr;
+  return CompilePlan(clause, *order_ptr, nullptr);
+}
 
+Evaluator::ClausePlan Evaluator::BuildDeltaPlan(
+    int ci, int driven_atom, const std::vector<Rows>& delta_rows) {
+  const NdlClause& clause = program_.clause(ci);
+  std::vector<bool> used(clause.body.size(), false);
+  int num_vars = 0;
+  for (const NdlAtom& atom : clause.body) {
+    for (const Term& t : atom.args) {
+      if (!t.is_constant) num_vars = std::max(num_vars, t.value + 1);
+    }
+  }
+  std::vector<bool> bound(num_vars, false);
+  std::vector<int> order;
+  order.reserve(clause.body.size());
+  // The driven atom scans first (its delta is small, so it is the cheapest
+  // driver regardless of what the greedy scores would say), then the rest
+  // follow greedily with its variables already bound.
+  order.push_back(driven_atom);
+  used[driven_atom] = true;
+  for (const Term& t : clause.body[driven_atom].args) {
+    if (!t.is_constant) bound[t.value] = true;
+  }
+  ExtendJoinOrderGreedy(clause, &order, &used, &bound);
+  return CompilePlan(clause, order,
+                     &delta_rows[clause.body[driven_atom].predicate]);
+}
+
+Evaluator::ClausePlan Evaluator::CompilePlan(const NdlClause& clause,
+                                             const std::vector<int>& order,
+                                             const Rows* driven_rows) {
   // Replay the bound-variable simulation over the chosen order and compile
   // the per-step codes.  A term is bound at runtime iff it is bound here:
   // constants always, and variables exactly when an earlier atom of the
@@ -436,20 +471,40 @@ Evaluator::ClausePlan Evaluator::BuildPlan(int ci) {
   plan.clause = &clause;
   plan.num_vars = num_vars;
   plan.steps.reserve(clause.body.size());
-  for (int atom_index : order) {
+  for (size_t step_index = 0; step_index < order.size(); ++step_index) {
+    const int atom_index = order[step_index];
     const NdlAtom& atom = clause.body[atom_index];
     AtomStep& atom_step = plan.steps.emplace_back();
     atom_step.atom = &atom;
-    atom_step.kind = program_.predicate(atom.predicate).kind;
-    if (atom_step.kind != PredicateKind::kEquality &&
-        atom_step.kind != PredicateKind::kAdom) {
-      atom_step.rows = &RowsFor(atom.predicate);
-      auto binds_var = [&atom_step](int v) {
-        for (const auto& [pos, var] : atom_step.bind) {
-          if (var == v) return true;
+    const bool driven = driven_rows != nullptr && step_index == 0;
+    // The delta driver is always scanned as a regular relation, even when
+    // the atom is an adom/equality built-in: its synthetic delta rows
+    // substitute for the built-in's procedural evaluation.
+    atom_step.kind =
+        driven ? PredicateKind::kIdb : program_.predicate(atom.predicate).kind;
+    auto binds_var = [&atom_step](int v) {
+      for (const auto& [pos, var] : atom_step.bind) {
+        if (var == v) return true;
+      }
+      return false;
+    };
+    if (driven) {
+      atom_step.rows = driven_rows;
+      // mask stays 0: a full scan of the (small) delta, with constants and
+      // repeated variables demoted to per-row checks.
+      for (size_t i = 0; i < atom.args.size(); ++i) {
+        const Term& t = atom.args[i];
+        if (t.is_constant) {
+          atom_step.checks.emplace_back(static_cast<int>(i), code_of(t));
+        } else if (!binds_var(t.value)) {
+          atom_step.bind.emplace_back(static_cast<int>(i), t.value);
+        } else {
+          atom_step.checks.emplace_back(static_cast<int>(i), code_of(t));
         }
-        return false;
-      };
+      }
+    } else if (atom_step.kind != PredicateKind::kEquality &&
+               atom_step.kind != PredicateKind::kAdom) {
+      atom_step.rows = &RowsFor(atom.predicate);
       for (size_t i = 0; i < atom.args.size(); ++i) {
         const Term& t = atom.args[i];
         if (var_bound(t)) {
@@ -546,6 +601,11 @@ bool Evaluator::Emit(const ClausePlan& plan, JoinContext* ctx, Rows* out) {
   if (out->Insert(ctx->head_tuple.data())) {
     ++ctx->new_tuples;
     ++ctx->unflushed_new;
+    // Delta mode: a genuinely new tuple extends the head predicate's delta,
+    // which drives the clauses downstream in the dependency DAG.
+    if (ctx->delta_out != nullptr) {
+      ctx->delta_out->Insert(ctx->head_tuple.data());
+    }
   }
   ++ctx->emissions;
   ++ctx->unflushed_emissions;
@@ -1042,6 +1102,180 @@ ExecuteResult Evaluator::Run(const ExecuteRequest& request) {
     result.status = Status::MemoryExceeded("memory budget exceeded");
   } else if (result.stats.deadline_exceeded) {
     result.status = Status::DeadlineExceeded("deadline exceeded");
+  }
+  return result;
+}
+
+size_t RetainedIdbState::MemoryBytes() const {
+  size_t bytes = 0;
+  for (const Rows& rows : idb_rows) bytes += rows.MemoryBytes();
+  for (const auto& slot_map : slots) {
+    for (const auto& [mask, slot] : slot_map) {
+      (void)mask;
+      if (slot != nullptr) bytes += slot->index.MemoryBytes();
+    }
+  }
+  return bytes;
+}
+
+void Evaluator::ExtractRetainedState(RetainedIdbState* state) {
+  const int n = program_.num_predicates();
+  state->idb_rows.clear();
+  state->idb_rows.resize(n);
+  state->slots.clear();
+  state->slots.resize(n);
+  for (int p = 0; p < n; ++p) {
+    if (!program_.IsIdb(p)) continue;
+    state->idb_rows[p] = std::move(preds_[p]->rows);
+    state->slots[p] = std::move(preds_[p]->slots);
+  }
+  state->version = snapshot_ != nullptr ? snapshot_->version() : 1;
+}
+
+ExecuteResult Evaluator::RunDelta(const ExecuteRequest& request,
+                                  const SnapshotDelta& delta,
+                                  RetainedIdbState* state) {
+  OWLQR_CHECK_MSG(snapshot_ != nullptr, "RunDelta needs a snapshot backend");
+  OWLQR_CHECK_MSG(program_.goal() >= 0, "program has no goal predicate");
+  const int n = program_.num_predicates();
+  OWLQR_CHECK_MSG(
+      state->valid() && static_cast<int>(state->idb_rows.size()) == n &&
+          static_cast<int>(state->slots.size()) == n,
+      "retained state missing or sized for a different program");
+  limits_ = request.limits;
+  if (request.cancel != nullptr) cancel_ = request.cancel;
+
+  OWLQR_NAMED_SPAN(span, "evaluate/delta");
+  StartClock();
+
+  // Adopt the retained extensions: they become this evaluator's IDB
+  // relations, warm probe indexes included.  Their bytes stay charged to
+  // the engine's retained-state cache, not to this execution's account —
+  // the run below charges only its own growth.
+  for (int p = 0; p < n; ++p) {
+    if (!program_.IsIdb(p)) continue;
+    preds_[p]->rows = std::move(state->idb_rows[p]);
+    preds_[p]->slots = std::move(state->slots[p]);
+  }
+  state->Clear();
+
+  // Seed the per-predicate delta relations: the appended EDB rows by
+  // external id, plus synthetic adom/equality deltas over the individuals
+  // that newly entered the active domain — a clause constant can newly
+  // satisfy an adom or equality atom, so those atoms must be drivable too.
+  // IDB deltas start empty and fill as the propagation emits.
+  std::vector<Rows> delta_rows(n);
+  std::vector<size_t> delta_charged(n, 0);
+  size_t seed_rows = 0;
+  for (int p = 0; p < n; ++p) {
+    const PredicateInfo& info = program_.predicate(p);
+    Rows& seeds = delta_rows[p];
+    seeds.arity = info.arity;
+    seeds.materialized = true;
+    switch (info.kind) {
+      case PredicateKind::kConceptEdb: {
+        auto it = delta.concept_rows.find(info.external_id);
+        if (it != delta.concept_rows.end()) {
+          for (int a : it->second) seeds.Insert(&a);
+        }
+        break;
+      }
+      case PredicateKind::kRoleEdb: {
+        auto it = delta.role_rows.find(info.external_id);
+        if (it != delta.role_rows.end()) {
+          const std::vector<int>& cells = it->second;
+          for (size_t i = 0; i + 1 < cells.size(); i += 2) {
+            seeds.Insert(&cells[i]);
+          }
+        }
+        break;
+      }
+      case PredicateKind::kAdom:
+        for (int a : delta.new_individuals) seeds.Insert(&a);
+        break;
+      case PredicateKind::kEquality:
+        for (int a : delta.new_individuals) {
+          int pair[2] = {a, a};
+          seeds.Insert(pair);
+        }
+        break;
+      default:
+        break;  // IDB (fills below) or table EDB (immutable, never deltas).
+    }
+    seed_rows += seeds.size();
+    delta_charged[p] = seeds.MemoryBytes();
+    ChargeMemory(delta_charged[p]);
+  }
+
+  // Semi-naive propagation over the cached dependency DAG: for each
+  // materialised IDB predicate in topological order, re-join every clause
+  // once per body atom whose delta is non-empty, driven by that delta with
+  // all other atoms against the full new extensions (sound and complete
+  // for these monotone programs; dedup absorbs re-derivations).  New
+  // tuples merge into the retained relation and extend the head's delta.
+  long delta_derived = 0;
+  for (int p : program_.CachedTopologicalOrder()) {
+    if (aborted_.load(std::memory_order_relaxed)) break;
+    Rows& full = preds_[p]->rows;
+    // Outside the retained goal closure: the full run never materialised
+    // it, so nothing downstream of the goal can read it.
+    if (!full.materialized) continue;
+    Rows* dout = &delta_rows[p];
+    for (int ci : program_.ClausesFor(p)) {
+      const NdlClause& clause = program_.clause(ci);
+      for (size_t ai = 0; ai < clause.body.size(); ++ai) {
+        if (aborted_.load(std::memory_order_relaxed)) break;
+        if (delta_rows[clause.body[ai].predicate].size() == 0) continue;
+        ClausePlan plan = BuildDeltaPlan(ci, static_cast<int>(ai), delta_rows);
+        JoinContext ctx;
+        ctx.delta_out = dout;
+        if (MetricsRegistry* metrics = MetricsRegistry::Global()) {
+          ScopedSpan join_span(metrics, "evaluate/join");
+          RunJoin(plan, &ctx, &full);
+          join_span.Attr("head", clause.head.predicate);
+          join_span.Attr("emissions", ctx.emissions);
+          join_span.Attr("new_tuples", ctx.new_tuples);
+          join_span.Attr("delta_driven", 1);
+          metrics->Count("evaluator/join_emissions", ctx.emissions);
+          metrics->Count("evaluator/new_tuples", ctx.new_tuples);
+        } else {
+          RunJoin(plan, &ctx, &full);
+        }
+      }
+    }
+    if (dout->size() > 0) {
+      // The predicate grew: its retained probe indexes went stale — drop
+      // them before any downstream clause probes the merged relation (the
+      // next GetIndex rebuilds under a fresh once_flag).
+      preds_[p]->slots.clear();
+      delta_derived += static_cast<long>(dout->size());
+      ChargeRowsDelta(*dout, &delta_charged[p]);
+    }
+  }
+
+  ExecuteResult result;
+  result.answers = preds_[program_.goal()]->rows.ToSortedTuples();
+  FillStats(result.answers, &result.stats);
+  result.snapshot_version = snapshot_->version();
+  result.incremental = true;
+  result.partial = result.stats.aborted;
+  if (result.stats.cancelled) {
+    result.status = Status::Cancelled("execution cancelled");
+  } else if (result.stats.memory_exceeded) {
+    result.status = Status::MemoryExceeded("memory budget exceeded");
+  } else if (result.stats.deadline_exceeded) {
+    result.status = Status::DeadlineExceeded("deadline exceeded");
+  }
+  span.Attr("seed_rows", static_cast<long>(seed_rows));
+  span.Attr("delta_derived", delta_derived);
+  span.Attr("goal_tuples", static_cast<long>(result.answers.size()));
+  span.Attr("aborted", result.stats.aborted ? 1 : 0);
+  if (!result.stats.aborted) {
+    // Hand the updated extensions back for the next delta; an aborted run
+    // leaves `state` cleared and the caller falls back to full
+    // re-evaluation (a partially merged relation is sound — monotone
+    // additions only — but its version bookkeeping would be wrong).
+    ExtractRetainedState(state);
   }
   return result;
 }

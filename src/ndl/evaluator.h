@@ -102,6 +102,14 @@ struct ExecuteRequest {
   // before shedding it with kRejected (< 0: the governor's default;
   // 0: never queue — reject immediately when no slot is free).
   long queue_timeout_ms = -1;
+  // Ask Engine::Execute for the semi-naive delta path: when retained IDB
+  // state for (this plan, the previous snapshot version) is available, seed
+  // evaluation with only the rows ApplyFacts appended since and propagate
+  // through the dependency DAG instead of re-evaluating from scratch.
+  // Falls back to full evaluation transparently (state miss, abort, or a
+  // request with tuple/work limits — a truncated retained state would be
+  // unsound to reuse).  Answers are identical either way.
+  bool incremental = false;
 };
 
 // What an evaluation produced: the sorted goal relation plus the stats the
@@ -125,6 +133,10 @@ struct ExecuteResult {
   // True when this result came from the governor's degraded retry (memory
   // rejection, re-run once with tightened max_generated_tuples).
   bool degraded = false;
+  // True when the delta path served this result (ExecuteRequest::incremental
+  // was set AND retained state was available); false on the full path,
+  // including fallbacks of an incremental request.
+  bool incremental = false;
 };
 
 // Join-order hints shared across executions of one prepared program.
@@ -148,6 +160,31 @@ struct JoinOrderHints {
   explicit JoinOrderHints(size_t num_clauses) : slots(num_clauses) {}
   JoinOrderHints(const JoinOrderHints&) = delete;
   JoinOrderHints& operator=(const JoinOrderHints&) = delete;
+};
+
+// Materialised IDB state carried between executions of one prepared query
+// along a snapshot chain — the seed of the evaluator's semi-naive delta
+// path.  `idb_rows[p]` is predicate p's full extension at `version` (moved
+// out of the evaluator that produced it; empty vectors for non-IDB ids) and
+// `slots[p]` its locally built probe indexes, which stay valid as long as
+// the rows do (RunDelta discards the slots of any predicate its delta
+// grows).  version == 0 marks the state invalid/empty.  Owned and
+// memory-accounted by the engine's retained-state cache; an Evaluator only
+// ever borrows it for the duration of one RunDelta.
+struct RetainedIdbState {
+  uint64_t version = 0;
+  std::vector<Rows> idb_rows;
+  std::vector<std::unordered_map<unsigned, std::unique_ptr<IndexSlot>>> slots;
+
+  bool valid() const { return version != 0; }
+  void Clear() {
+    version = 0;
+    idb_rows.clear();
+    slots.clear();
+  }
+  // Heap bytes held: rows arenas + dedup tables + retained probe indexes
+  // (what the engine charges against its memory budget for keeping this).
+  size_t MemoryBytes() const;
 };
 
 // Bottom-up evaluator for nonrecursive datalog over a data instance.
@@ -228,6 +265,34 @@ class Evaluator {
   // the matching evaluation path, and returns answers + stats together.
   ExecuteResult Run(const ExecuteRequest& request);
 
+  // The semi-naive delta path (snapshot-backed evaluators only).  Adopts
+  // the retained IDB extensions out of `state` (which must hold the exact
+  // materialisation of this program at the parent version), seeds round 0
+  // with only `delta`'s appended EDB rows — plus synthetic adom/equality
+  // delta rows for individuals that newly entered the active domain — and
+  // propagates through the cached dependency DAG in topological order:
+  // each clause with a non-empty delta body atom is re-joined driven by
+  // that delta (all other atoms against the full new extensions, probing
+  // the retained/warm indexes), and newly derived tuples merge into the
+  // retained relations and extend the head predicate's delta.  Sound and
+  // complete for the monotone programs the rewriters emit because
+  // deduplication absorbs re-derivations.
+  //
+  // On a complete run, the updated extensions move back into `state`
+  // (version advanced to the snapshot's) for the next delta; on any abort
+  // (cancel/deadline/memory/row ceiling) `state` is left Clear()ed and the
+  // caller must fall back to full re-evaluation.  Always sequential: a
+  // delta is small, so DAG-scheduler fan-out would only add overhead.
+  ExecuteResult RunDelta(const ExecuteRequest& request,
+                         const SnapshotDelta& delta, RetainedIdbState* state);
+
+  // Moves the materialised IDB extensions (and their locally built probe
+  // indexes) out of this evaluator into `state`, stamped with the
+  // snapshot's version.  Only meaningful after a complete, un-aborted,
+  // unlimited evaluation — the caller guards that; the evaluator must not
+  // be used again afterwards.
+  void ExtractRetainedState(RetainedIdbState* state);
+
   // Materialises everything the goal depends on and returns the goal
   // relation, sorted lexicographically.
   std::vector<std::vector<int>> Evaluate(EvaluationStats* stats = nullptr);
@@ -301,6 +366,10 @@ class Evaluator {
     // sequential contexts may grow the same Rows).
     Rows* out = nullptr;
     size_t charged_bytes = 0;
+    // Delta mode only: every tuple newly inserted into `out` is also
+    // recorded here (the head predicate's delta, which drives downstream
+    // clauses).  Null outside RunDelta.
+    Rows* delta_out = nullptr;
     // Row range of the driver (step 0) scan; the full relation by default,
     // one morsel when fanned out.
     size_t driver_begin = 0;
@@ -379,10 +448,29 @@ class Evaluator {
   // The greedy join order of `clause` (body atom indexes, best-first),
   // scored against current relation sizes.
   std::vector<int> ComputeJoinOrder(const NdlClause& clause);
+  // The greedy-selection core of ComputeJoinOrder, continuing from
+  // pre-seeded used/bound state (the delta path seeds them with its driven
+  // atom) until every body atom is ordered.
+  void ExtendJoinOrderGreedy(const NdlClause& clause, std::vector<int>* order,
+                             std::vector<bool>* used,
+                             std::vector<bool>* bound);
   // Compiles the plan for clause index `ci`: the join order comes from the
   // shared hints when installed (captured under the slot's once_flag by the
   // first execution to get here), else from ComputeJoinOrder directly.
   ClausePlan BuildPlan(int ci);
+  // Compiles `order` into the per-step codes.  When `driven_rows` is given
+  // (the delta path), step 0 becomes an unconditional scan of those rows —
+  // even for adom/equality atoms, whose synthetic delta rows substitute for
+  // the built-ins' procedural evaluation — with constants/repeats demoted
+  // to checks.
+  ClausePlan CompilePlan(const NdlClause& clause,
+                         const std::vector<int>& order,
+                         const Rows* driven_rows);
+  // The delta plan of clause `ci` driven by body atom `driven_atom`: that
+  // atom's delta rows scan first, the rest follow greedily (bypassing the
+  // shared hints, whose orders assume a full-size driver).
+  ClausePlan BuildDeltaPlan(int ci, int driven_atom,
+                            const std::vector<Rows>& delta_rows);
   // Runs the join of `plan` into `out` over the context's driver range,
   // resetting the context's per-run buffers (but not its tallies).
   void RunJoin(const ClausePlan& plan, JoinContext* ctx, Rows* out);

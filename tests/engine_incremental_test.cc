@@ -1,0 +1,293 @@
+// Differential and contract tests for incremental answer maintenance
+// (ExecuteRequest::incremental): interleaved ApplyFacts / Execute rounds
+// where every incremental answer set must be byte-identical to a full
+// re-evaluation of the same snapshot version, including duplicate-fact and
+// empty-batch rounds; plus the ApplyFactsOrError validation contract and
+// the no-op version semantics of effectively-empty batches.  Part of the
+// `sanitize` ctest label.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "core/rewriters.h"
+#include "engine/engine.h"
+#include "ndl/evaluator.h"
+#include "workloads/paper_workloads.h"
+
+namespace owlqr {
+namespace {
+
+const char* const kWords[] = {"RS", "RSR", "RRSR"};
+constexpr int kNumQueries = 3;
+
+void ApplyBatchToInstance(DataInstance* data, const FactBatch& batch) {
+  for (const FactBatch::ConceptFact& fact : batch.concepts) {
+    data->AddConceptAssertion(fact.concept_id, fact.individual);
+  }
+  for (const FactBatch::RoleFact& fact : batch.roles) {
+    data->AddRoleAssertion(fact.role_id, fact.subject, fact.object);
+  }
+}
+
+class EngineIncrementalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    tbox_ = MakeExample11TBox(&vocab_);
+    base_ = std::make_unique<DataInstance>(
+        GenerateDataset(&vocab_, *tbox_, DatasetConfig{"c", 40, 0.1, 0.12, 7}));
+    for (const char* word : kWords) {
+      queries_.push_back(SequenceQuery(&vocab_, word));
+    }
+    RewritingContext ctx(*tbox_);
+    RewriteOptions options;
+    options.arbitrary_instances = true;
+    for (const ConjunctiveQuery& q : queries_) {
+      RewriteResult rewritten =
+          RewriteOmqOrError(&ctx, q, RewriterKind::kTw, options);
+      ASSERT_TRUE(rewritten.ok()) << rewritten.status.ToString();
+      programs_.push_back(std::move(rewritten.program));
+    }
+    prepare_options_.auto_kind = false;
+    prepare_options_.kind = RewriterKind::kTw;
+  }
+
+  // The full-evaluation oracle: a fresh evaluator over the mirror instance.
+  std::vector<std::vector<int>> Oracle(const DataInstance& grown, int q) {
+    Evaluator eval(programs_[q], grown);
+    ExecuteResult result = eval.Run(ExecuteRequest{});
+    EXPECT_TRUE(result.status.ok()) << result.status.ToString();
+    return result.answers;
+  }
+
+  Vocabulary vocab_;
+  std::unique_ptr<TBox> tbox_;
+  std::unique_ptr<DataInstance> base_;
+  std::vector<ConjunctiveQuery> queries_;
+  std::vector<NdlProgram> programs_;
+  PrepareOptions prepare_options_;
+};
+
+// N interleaved ApplyFacts / Execute rounds: fresh batches, verbatim
+// re-application of old batches (no-op), mixed batches (one new fact among
+// duplicates), and empty batches, each followed by incremental executions
+// whose answers must equal a from-scratch evaluation of the mirror
+// instance at the same version.
+TEST_F(EngineIncrementalTest, RandomizedDifferentialDeltaVsFull) {
+  Engine engine(*tbox_, *base_);
+  std::vector<std::shared_ptr<const PreparedQuery>> prepared;
+  for (const ConjunctiveQuery& q : queries_) {
+    PrepareResult p = engine.Prepare(q, prepare_options_);
+    ASSERT_TRUE(p.ok()) << p.status.ToString();
+    prepared.push_back(p.query);
+  }
+
+  int r_id = vocab_.InternPredicate("R");
+  int s_id = vocab_.InternPredicate("S");
+  int label = tbox_->ExistsConcept(RoleOf(vocab_.InternPredicate("P")));
+  ASSERT_GE(label, 0);
+
+  std::mt19937 rng(4242);
+  DataInstance grown = *base_;     // The oracle's mirror of the snapshot.
+  std::vector<FactBatch> applied;  // Accepted batches, for duplicate rounds.
+  std::vector<int> pool;           // Individuals introduced by fresh rounds.
+  uint64_t version = engine.snapshot_version();
+  ASSERT_EQ(version, 1u);
+  int incremental_served = 0;
+
+  constexpr int kRounds = 14;
+  for (int round = 0; round < kRounds; ++round) {
+    FactBatch batch;
+    bool expect_bump = false;
+    switch (round % 4) {
+      case 0:
+      case 2: {
+        // Fresh chain (guaranteed-new facts) plus random edges within the
+        // pool, which may or may not duplicate earlier rounds' edges.
+        std::string prefix = "inc" + std::to_string(round) + "_";
+        std::vector<int> chain;
+        for (int i = 0; i < 5; ++i) {
+          chain.push_back(vocab_.InternIndividual(prefix + std::to_string(i)));
+        }
+        batch.roles.push_back({r_id, chain[0], chain[1]});
+        batch.roles.push_back({s_id, chain[1], chain[2]});
+        batch.roles.push_back({r_id, chain[2], chain[3]});
+        batch.roles.push_back({r_id, chain[3], chain[4]});
+        batch.concepts.push_back({label, chain[4]});
+        for (int k = 0; !pool.empty() && k < 3; ++k) {
+          batch.roles.push_back({rng() % 2 == 0 ? r_id : s_id,
+                                 pool[rng() % pool.size()],
+                                 pool[rng() % pool.size()]});
+        }
+        pool.insert(pool.end(), chain.begin(), chain.end());
+        expect_bump = true;
+        break;
+      }
+      case 1: {
+        // Verbatim duplicate of an accepted batch: every fact is already
+        // present, so this must be a version-preserving no-op.
+        if (!applied.empty()) batch = applied[rng() % applied.size()];
+        expect_bump = false;
+        break;
+      }
+      case 3: {
+        // Empty batch half the time; otherwise duplicates plus exactly one
+        // genuinely new fact, which must bump the version by one.
+        if (rng() % 2 == 0 && !applied.empty()) {
+          batch = applied[rng() % applied.size()];
+          int fresh = vocab_.InternIndividual("mix" + std::to_string(round));
+          batch.roles.push_back({r_id, fresh, fresh});
+          pool.push_back(fresh);
+          expect_bump = true;
+        }
+        break;
+      }
+    }
+
+    uint64_t new_version = 0;
+    ASSERT_TRUE(engine.ApplyFactsOrError(batch, &new_version).ok());
+    if (expect_bump) {
+      EXPECT_EQ(new_version, version + 1) << "round " << round;
+    } else {
+      EXPECT_EQ(new_version, version) << "round " << round;
+    }
+    version = new_version;
+    ApplyBatchToInstance(&grown, batch);  // Insert dedups; mirror stays equal.
+
+    // One mid-run state wipe: the next executions miss, re-capture from a
+    // full run (a parallel one below), and the rounds after that go back
+    // to serving deltas off the re-captured state.
+    if (round == 9) engine.ClearIncrementalState();
+
+    for (int q = 0; q < kNumQueries; ++q) {
+      ExecuteRequest request;
+      request.incremental = true;
+      request.num_threads = round % 5 == 4 ? 2 : 1;
+      ExecuteResult result = engine.Execute(*prepared[q], request);
+      ASSERT_TRUE(result.status.ok()) << result.status.ToString();
+      EXPECT_FALSE(result.partial);
+      EXPECT_EQ(result.snapshot_version, version);
+      if (result.incremental) ++incremental_served;
+      EXPECT_EQ(result.answers, Oracle(grown, q))
+          << "round " << round << " query " << kWords[q]
+          << (result.incremental ? " (incremental)" : " (full)");
+    }
+  }
+
+  // The delta path must actually have served most rounds: after each
+  // query's first (capturing) full run, every later round is one delta
+  // behind at most.
+  EXPECT_GT(incremental_served, kRounds);
+  EXPECT_GT(engine.incremental_state_size(), 0u);
+
+  // Retained states are the only surviving budget charges; dropping them
+  // accounts the engine back to zero.
+  engine.ClearIncrementalState();
+  EXPECT_EQ(engine.incremental_state_size(), 0u);
+  EXPECT_EQ(engine.governor_counters().memory_used, 0u);
+}
+
+// A request with tuple/work limits must transparently fall back to the full
+// path: a truncated retained state would poison every later delta run.
+TEST_F(EngineIncrementalTest, LimitedRequestsFallBackToFullEvaluation) {
+  Engine engine(*tbox_, *base_);
+  PrepareResult p = engine.Prepare(queries_[0], prepare_options_);
+  ASSERT_TRUE(p.ok()) << p.status.ToString();
+
+  // Seed retained state with a clean incremental-capturing run.
+  ExecuteRequest request;
+  request.incremental = true;
+  ExecuteResult seed = engine.Execute(*p.query, request);
+  ASSERT_TRUE(seed.status.ok());
+  EXPECT_EQ(engine.incremental_state_size(), 1u);
+
+  ExecuteRequest limited = request;
+  limited.limits.max_generated_tuples = 1;
+  ExecuteResult truncated = engine.Execute(*p.query, limited);
+  EXPECT_FALSE(truncated.incremental);
+  // The retained state survives untouched and still serves the next
+  // unlimited incremental request.
+  EXPECT_EQ(engine.incremental_state_size(), 1u);
+  ExecuteResult again = engine.Execute(*p.query, request);
+  ASSERT_TRUE(again.status.ok());
+  EXPECT_TRUE(again.incremental);
+  EXPECT_EQ(again.answers, seed.answers);
+}
+
+// Unknown or negative ids must reject the whole batch atomically: nothing
+// installed, version unchanged, and no orphan relations for later valid
+// updates to trip over.
+TEST_F(EngineIncrementalTest, InvalidIdsAreRejectedAtomically) {
+  Engine engine(*tbox_, *base_);
+  const uint64_t version = engine.snapshot_version();
+  const long atoms = engine.snapshot()->num_atoms();
+  int r_id = vocab_.InternPredicate("R");
+  int known = vocab_.InternIndividual("known");
+
+  FactBatch bad_concept;
+  bad_concept.concepts.push_back({vocab_.num_concepts() + 5, known});
+  FactBatch negative_concept;
+  negative_concept.concepts.push_back({-1, known});
+  FactBatch bad_role;
+  bad_role.roles.push_back({vocab_.num_predicates(), known, known});
+  FactBatch bad_individual;
+  bad_individual.roles.push_back({r_id, known, vocab_.num_individuals() + 9});
+  // A batch mixing one valid and one invalid fact must install NEITHER.
+  FactBatch mixed;
+  mixed.roles.push_back({r_id, known, known});
+  mixed.roles.push_back({-3, known, known});
+
+  for (const FactBatch* batch : {&bad_concept, &negative_concept, &bad_role,
+                                 &bad_individual, &mixed}) {
+    uint64_t out = 77;
+    Status status = engine.ApplyFactsOrError(*batch, &out);
+    EXPECT_EQ(status.code(), StatusCode::kInvalidArgument)
+        << status.ToString();
+    EXPECT_EQ(engine.snapshot_version(), version);
+    EXPECT_EQ(engine.snapshot()->num_atoms(), atoms);
+  }
+
+  // The same valid fact goes through once the poison pill is gone.
+  FactBatch good;
+  good.roles.push_back({r_id, known, known});
+  uint64_t out = 0;
+  ASSERT_TRUE(engine.ApplyFactsOrError(good, &out).ok());
+  EXPECT_EQ(out, version + 1);
+  EXPECT_EQ(engine.snapshot()->num_atoms(), atoms + 1);
+}
+
+// The explicit no-op contract of WithFacts through the engine: empty and
+// all-duplicate batches return the parent snapshot unchanged — same
+// version, same object — and never log a phantom delta.
+TEST_F(EngineIncrementalTest, DuplicateAndEmptyBatchesAreNoOps) {
+  Engine engine(*tbox_, *base_);
+  std::shared_ptr<const DataSnapshot> before = engine.snapshot();
+
+  uint64_t out = 0;
+  ASSERT_TRUE(engine.ApplyFactsOrError(FactBatch{}, &out).ok());
+  EXPECT_EQ(out, before->version());
+  EXPECT_EQ(engine.snapshot(), before);  // Same object, not just version.
+
+  int r_id = vocab_.InternPredicate("R");
+  FactBatch batch;
+  batch.roles.push_back({r_id, vocab_.InternIndividual("dup_a"),
+                         vocab_.InternIndividual("dup_b")});
+  // The batch also duplicates itself; one row must land, once.
+  batch.roles.push_back(batch.roles.front());
+  ASSERT_TRUE(engine.ApplyFactsOrError(batch, &out).ok());
+  EXPECT_EQ(out, before->version() + 1);
+  std::shared_ptr<const DataSnapshot> after = engine.snapshot();
+  EXPECT_EQ(after->num_atoms(), before->num_atoms() + 1);
+
+  // Re-applying the identical batch is a no-op at the new version.
+  ASSERT_TRUE(engine.ApplyFactsOrError(batch, &out).ok());
+  EXPECT_EQ(out, after->version());
+  EXPECT_EQ(engine.snapshot(), after);
+}
+
+}  // namespace
+}  // namespace owlqr

@@ -192,6 +192,11 @@ TEST(EngineSoakTest, GovernedChaosKeepsAnswersExactAndAccountsToZero) {
         }
         ExecuteRequest request;
         request.num_threads = i % 3 == 0 ? 3 : 1;
+        // Half the traffic asks for incremental maintenance: retained
+        // states churn through checkout / publish / budget-pressure
+        // eviction concurrently with full runs, updates and cancellation,
+        // and must never change what an un-aborted run answers.
+        request.incremental = i % 2 == 0;
         unsigned shape = rng() % 8;
         if (shape == 0) request.limits.deadline_ms = 1;  // Likely deadline.
         if (shape == 1) request.queue_timeout_ms = 0;    // Shed if busy.
@@ -258,8 +263,11 @@ TEST(EngineSoakTest, GovernedChaosKeepsAnswersExactAndAccountsToZero) {
   // The soak must actually have exercised the happy path, not just aborts.
   EXPECT_GT(exact_results.load(), 0);
 
-  // Quiesce: every account died with its execution, so the shared budget is
-  // back to exactly zero, and the counters add up.
+  // Quiesce: every account died with its execution and the only remaining
+  // budget charges belong to retained incremental states, so after dropping
+  // those the shared budget is back to exactly zero, and the counters add
+  // up.
+  engine.ClearIncrementalState();
   QueryGovernor::Counters counters = engine.governor_counters();
   EXPECT_EQ(counters.memory_used, 0u);
   EXPECT_EQ(counters.cancelled, cancelled_results.load());

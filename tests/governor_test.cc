@@ -597,6 +597,51 @@ TEST_F(GovernedEngineTest, DegradedRetryReturnsTruncatedResult) {
   EXPECT_EQ(counters.memory_used, 0u);
 }
 
+TEST_F(GovernedEngineTest, DegradedRetryReconcilesBudgetAndCountsOnce) {
+  DataInstance data = LayeredGraph(1000);
+  EngineOptions options;
+  options.governor.max_memory_bytes = 4 * 1024 * 1024;
+  options.governor.degraded_max_generated_tuples = 50;
+  Engine engine(*tbox_, data, nullptr, options);
+  PrepareResult prepared = engine.Prepare(ChainQuery());
+  ASSERT_TRUE(prepared.ok()) << prepared.status.ToString();
+
+  int r = vocab_.FindPredicate("R");
+  ASSERT_GE(r, 0);
+  constexpr int kRounds = 3;
+  for (int i = 0; i < kRounds; ++i) {
+    ExecuteResult result = engine.Execute(*prepared.query, ExecuteRequest{});
+    EXPECT_TRUE(result.status.ok()) << result.status.ToString();
+    EXPECT_TRUE(result.degraded);
+    EXPECT_TRUE(result.partial);
+    // The retry ran on a freshly pinned snapshot: the reported version is
+    // the engine's current one, including the facts applied below on
+    // earlier rounds.
+    EXPECT_EQ(result.snapshot_version, engine.snapshot_version());
+
+    QueryGovernor::Counters counters = engine.governor_counters();
+    // The aborted first attempt's account reconciled fully: no residue
+    // accumulates across memory-abort-then-retry rounds.
+    EXPECT_EQ(counters.memory_used, 0u);
+    // Exactly ONE outcome per Execute, and it is the retry's: the retry
+    // counter advances once per round while the abort of the first attempt
+    // never surfaces as a memory_exceeded outcome.
+    EXPECT_EQ(counters.degraded_retries, i + 1);
+    EXPECT_EQ(counters.memory_exceeded, 0);
+    EXPECT_EQ(counters.cancelled, 0);
+    EXPECT_EQ(counters.deadline_exceeded, 0);
+
+    // Grow the data between rounds so each retry answers a later version.
+    FactBatch batch;
+    batch.roles.push_back(
+        {r, vocab_.InternIndividual("fresh" + std::to_string(i)),
+         vocab_.InternIndividual("mid2" + std::to_string(i))});
+    uint64_t version = 0;
+    ASSERT_TRUE(engine.ApplyFactsOrError(batch, &version).ok());
+    EXPECT_EQ(version, static_cast<uint64_t>(i) + 2);
+  }
+}
+
 TEST_F(GovernedEngineTest, RejectedExecutionCostsNothing) {
   DataInstance data = DenseData(400);
   EngineOptions options;

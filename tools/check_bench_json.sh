@@ -73,6 +73,26 @@ if os.path.basename(path) == "BENCH_engine.json":
         f"{path}: overload ShedRate is 0 — admission control never shed"
     assert row["AdmittedP50Ms"] <= row["AdmittedP99Ms"], \
         f"{path}: overload latency percentiles out of order"
+    # The incremental-maintenance A/B (one ApplyFacts fact + one unlimited
+    # serve of the length-15 query per iteration).  Matched by prefix: the
+    # fixed-iteration registration appends an /iterations suffix.
+    def by_prefix(prefix):
+        rows = [b for b in benches if b["name"].startswith(prefix)]
+        assert rows, f"{path}: missing {prefix}"
+        return rows[0]
+    delta = by_prefix("EngineThroughput/warm_apply_delta/t1")
+    full = by_prefix("EngineThroughput/warm_apply_full/t1")
+    assert delta.get("DeltaRate", 0) > 0.9, \
+        f"{path}: warm_apply_delta DeltaRate {delta.get('DeltaRate')} — " \
+        f"the delta path never served"
+    assert full.get("DeltaRate", 1) == 0.0, \
+        f"{path}: warm_apply_full DeltaRate nonzero — the A/B control " \
+        f"ran incrementally"
+    # The committed baseline shows >= 5x; 2x here tolerates noisy
+    # regeneration machines while still catching a dead delta path.
+    assert delta["real_time"] * 2 < full["real_time"], \
+        f"{path}: delta update path not faster than full re-evaluation " \
+        f"(delta {delta['real_time']}, full {full['real_time']})"
 
 print(f"OK: {path}: {len(benches)} benchmark entries")
 EOF
