@@ -15,6 +15,17 @@
 // engine (64 MB budget, 4 slots, 2-deep queue with a 5 ms timeout) and
 // reports ShedRate plus AdmittedP50Ms/AdmittedP99Ms — load shedding and
 // admitted-latency under sustained saturation.
+//
+// The hot-key pair measures cross-request answer memoization: hotkey/t8 is
+// 8 threads serving ONE identical (query, limits) request against a
+// memoizing engine while thread 0 applies a fresh fact every 64 serves to
+// churn the snapshot version; hotkey_nocache/t8 is the same loop with the
+// answer cache and coalescing off.  HitRate/CoalesceRate confirm the
+// regime; the committed baseline shows >= 5x real_time at t8.  The
+// warm_cachemiss/t1 control serves with a per-iteration-unique limits
+// signature through a memoizing engine — every serve pays the key build,
+// the probe, the in-flight table and the publish without ever earning a
+// hit — and must stay within the noise bar of warm/t1.
 
 #include <benchmark/benchmark.h>
 
@@ -285,6 +296,147 @@ void BM_EngineApply(benchmark::State& state, bool incremental) {
   state.SetLabel(incremental ? "warm apply, delta" : "warm apply, full");
 }
 
+// The hot-key scenario: every thread serves the SAME prepared query with
+// the SAME (unlimited, thus cacheable) request, the workload shape the
+// answer cache exists for.  Thread 0 applies one fresh role fact every
+// kChurnEvery of its serves, so the snapshot version keeps moving: each
+// bump invalidates the cached entry, the 8 threads race the re-fill (one
+// leader evaluates, the rest coalesce), and every serve until the next
+// bump is a hit.  The _nocache control runs the identical loop with
+// memoization off.
+constexpr int kHotPoolSize = 4096;
+constexpr int kChurnEvery = 64;
+
+struct HotKeyFixture {
+  Engine* engine = nullptr;
+  std::shared_ptr<const PreparedQuery> query;
+  std::vector<int> pool;  // Pre-interned fresh individuals, 2 per fact.
+  size_t next_fact = 0;
+  int r_id = 0;
+};
+
+HotKeyFixture& HotKeyEngine(bool memoized) {
+  auto make = [](bool mem) {
+    auto* f = new HotKeyFixture();
+    Scenario& s = Scenario::Get();
+    EngineOptions options;
+    options.plan_cache_capacity = 2 * kNumQueries;
+    if (mem) {
+      options.answer_cache_capacity = 256;
+      options.answer_cache_max_bytes = 64ull << 20;
+    } else {
+      options.answer_cache_capacity = 0;
+      options.coalesce = false;
+    }
+    f->engine = new Engine(*s.tbox, Dataset(), nullptr, options);
+    PrepareResult prepared =
+        f->engine->Prepare(Queries().back(), TablePrepareOptions());
+    OWLQR_CHECK_MSG(prepared.ok(), prepared.status.ToString().c_str());
+    f->query = prepared.query;
+    f->r_id = s.vocab.InternPredicate("R");
+    const char* tag = mem ? "m" : "n";
+    for (int i = 0; i < kHotPoolSize; ++i) {
+      f->pool.push_back(
+          s.vocab.InternIndividual("hot" + std::to_string(i) + tag));
+    }
+    return f;
+  };
+  static HotKeyFixture* memoized_fixture = make(true);
+  static HotKeyFixture* plain_fixture = make(false);
+  return memoized ? *memoized_fixture : *plain_fixture;
+}
+
+void BM_EngineHotKey(benchmark::State& state, bool memoized) {
+  HotKeyFixture& fixture = HotKeyEngine(memoized);
+  // Unlimited on purpose: only clean, complete runs are cacheable.
+  ExecuteRequest request;
+
+  long serves = 0;
+  long hits = 0;
+  long coalesced = 0;
+  for (auto _ : state) {
+    if (state.thread_index() == 0 && serves % kChurnEvery == 0) {
+      FactBatch batch;
+      size_t i = fixture.next_fact;
+      fixture.next_fact += 2;
+      batch.roles.push_back({fixture.r_id,
+                             fixture.pool[i % kHotPoolSize],
+                             fixture.pool[(i + 1) % kHotPoolSize]});
+      fixture.engine->ApplyFacts(batch);
+    }
+    ExecuteResult result = fixture.engine->Execute(*fixture.query, request);
+    OWLQR_CHECK_MSG(result.status.ok(), result.status.ToString().c_str());
+    benchmark::DoNotOptimize(result.answers);
+    ++serves;
+    if (result.cached) ++hits;
+    if (result.coalesced) ++coalesced;
+  }
+  state.counters["HitRate"] = benchmark::Counter(
+      serves > 0 ? static_cast<double>(hits) / static_cast<double>(serves)
+                 : 0,
+      benchmark::Counter::kAvgThreads);
+  state.counters["CoalesceRate"] = benchmark::Counter(
+      serves > 0
+          ? static_cast<double>(coalesced) / static_cast<double>(serves)
+          : 0,
+      benchmark::Counter::kAvgThreads);
+  state.SetLabel(memoized ? "hot key, memoized" : "hot key, uncached");
+}
+
+// The always-miss control: the warm serve loop against a memoizing engine,
+// but with a per-iteration-unique max_work, so the limits signature — and
+// with it the memoization key — never repeats.  Every serve pays the key
+// build, the cache probe, the in-flight registration and (when the run is
+// complete) the publish and an eviction at capacity, and none of it is
+// ever repaid with a hit.  The real_time delta against warm/t1 is the raw
+// overhead the memoization layer adds to an uncacheable workload.
+Engine& CacheMissEngine() {
+  static Engine* engine = [] {
+    EngineOptions options;
+    options.plan_cache_capacity = 2 * kNumQueries;
+    options.answer_cache_capacity = 256;
+    options.answer_cache_max_bytes = 64ull << 20;
+    auto* memoizing =
+        new Engine(*Scenario::Get().tbox, Dataset(), nullptr, options);
+    for (const ConjunctiveQuery& q : Queries()) {
+      PrepareResult prepared = memoizing->Prepare(q, TablePrepareOptions());
+      OWLQR_CHECK_MSG(prepared.ok(), prepared.status.ToString().c_str());
+    }
+    return memoizing;
+  }();
+  return *engine;
+}
+
+void BM_EngineCacheMiss(benchmark::State& state) {
+  Engine& engine = CacheMissEngine();
+  const std::vector<ConjunctiveQuery>& queries = Queries();
+  PrepareOptions prepare_options = TablePrepareOptions();
+  ExecuteRequest request;
+  request.limits.max_generated_tuples = TupleBudget();
+
+  long serves = 0;
+  long hits = 0;
+  size_t next = static_cast<size_t>(state.thread_index());
+  for (auto _ : state) {
+    const ConjunctiveQuery& query = queries[next % queries.size()];
+    // Unique per serve, far above the point where the ceiling could bind:
+    // the evaluation work is identical to warm/t1, only the key differs.
+    request.limits.max_work = 20 * TupleBudget() + static_cast<long>(next);
+    next += static_cast<size_t>(state.threads());
+    PrepareResult prepared = engine.Prepare(query, prepare_options);
+    OWLQR_CHECK_MSG(prepared.ok(), prepared.status.ToString().c_str());
+    ExecuteResult result = engine.Execute(*prepared.query, request);
+    benchmark::DoNotOptimize(result.answers);
+    ++serves;
+    if (result.cached) ++hits;
+  }
+  state.counters["HitRate"] = benchmark::Counter(
+      serves > 0 ? static_cast<double>(hits) / static_cast<double>(serves)
+                 : 0,
+      benchmark::Counter::kAvgThreads);
+  state.SetLabel("warm serve, unique keys");
+}
+
 void RegisterAll() {
   for (bool warm : {false, true}) {
     for (int threads : {1, 4}) {
@@ -300,6 +452,19 @@ void RegisterAll() {
   benchmark::RegisterBenchmark("EngineThroughput/overload/t8",
                                BM_EngineOverload)
       ->Threads(8)
+      ->UseRealTime()
+      ->Unit(benchmark::kMillisecond);
+  for (bool memoized : {true, false}) {
+    std::string name = std::string("EngineThroughput/hotkey") +
+                       (memoized ? "" : "_nocache") + "/t8";
+    benchmark::RegisterBenchmark(name.c_str(), BM_EngineHotKey, memoized)
+        ->Threads(8)
+        ->UseRealTime()
+        ->Unit(benchmark::kMillisecond);
+  }
+  benchmark::RegisterBenchmark("EngineThroughput/warm_cachemiss/t1",
+                               BM_EngineCacheMiss)
+      ->Threads(1)
       ->UseRealTime()
       ->Unit(benchmark::kMillisecond);
   // Fixed iteration counts: the A/B pair does identical update work per

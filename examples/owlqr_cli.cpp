@@ -27,6 +27,13 @@
 //                      queue (default 0 = unlimited)
 //   --queue-timeout-ms=N  how long a request may wait for a slot before
 //                      it is shed with REJECTED (default 100)
+//   --answer-cache-mb=N  memoize complete answers across requests: a
+//                      repeated (query, snapshot version, limits) serves
+//                      the cached result without re-evaluating, up to N MB
+//                      of retained copies charged against the memory
+//                      budget (default 0 = disabled)
+//   --no-coalesce      evaluate identical concurrent requests separately
+//                      instead of coalescing them onto one execution
 //   --print-rewriting  print the NDL program even when DATA is given
 //   --sql              print the rewriting as SQL views instead
 //   --complete-instances  rewrite for complete instances (no * transform)
@@ -72,6 +79,8 @@ constexpr char kUsage[] =
     "  --max-memory-mb=N     engine memory budget (0 = track only)\n"
     "  --max-concurrent=N    execution slots (0 = unlimited)\n"
     "  --queue-timeout-ms=N  max wait for a slot before REJECTED\n"
+    "  --answer-cache-mb=N   memoize complete answers (0 = disabled)\n"
+    "  --no-coalesce         do not coalesce identical concurrent requests\n"
     "  --print-rewriting     print the NDL program even when DATA is given\n"
     "  --sql                 print the rewriting as SQL views\n"
     "  --complete-instances  rewrite for complete data instances\n"
@@ -146,10 +155,11 @@ void PrintAnswers(const ConjunctiveQuery& query, const ExecuteResult& result,
     std::printf("%s\n", result.answers.empty() ? "false" : "true");
   }
   std::fprintf(stderr,
-               "%ld answers, %ld tuples materialised (snapshot v%llu)%s\n",
+               "%ld answers, %ld tuples materialised (snapshot v%llu)%s%s\n",
                result.stats.goal_tuples, result.stats.generated_tuples,
                static_cast<unsigned long long>(result.snapshot_version),
-               result.incremental ? " [incremental]" : "");
+               result.incremental ? " [incremental]" : "",
+               result.cached ? " [answer-cached]" : "");
 }
 
 // One prepare+execute round against the engine; returns false on a prepare
@@ -223,6 +233,11 @@ int RunRepl(Engine* engine, const PrepareOptions& prepare_options,
   PlanCache::Stats stats = engine->cache_stats();
   std::fprintf(stderr, "plan cache: %ld hits, %ld misses, %ld evictions\n",
                stats.hits, stats.misses, stats.evictions);
+  AnswerCache::Stats answers = engine->answer_cache_stats();
+  if (answers.hits + answers.misses > 0) {
+    std::fprintf(stderr, "answer cache: %ld hits, %ld misses, %ld evictions\n",
+                 answers.hits, answers.misses, answers.evictions);
+  }
   return 0;
 }
 
@@ -243,6 +258,8 @@ int main(int argc, char** argv) {
   long max_memory_mb = 0;
   int max_concurrent = 0;
   long queue_timeout_ms = -1;
+  long answer_cache_mb = 0;
+  bool coalesce = true;
 
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--help") == 0) {
@@ -278,6 +295,15 @@ int main(int argc, char** argv) {
                      argv[i] + 19);
         return 2;
       }
+    } else if (std::strncmp(argv[i], "--answer-cache-mb=", 18) == 0) {
+      answer_cache_mb = std::atol(argv[i] + 18);
+      if (answer_cache_mb < 0) {
+        std::fprintf(stderr, "--answer-cache-mb needs >= 0, got '%s'\n",
+                     argv[i] + 18);
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--no-coalesce") == 0) {
+      coalesce = false;
     } else if (std::strncmp(argv[i], "--trace-json=", 13) == 0) {
       trace_json_path = argv[i] + 13;
     } else if (std::strcmp(argv[i], "--print-rewriting") == 0) {
@@ -373,6 +399,12 @@ int main(int argc, char** argv) {
   if (queue_timeout_ms >= 0) {
     engine_options.governor.queue_timeout_ms = queue_timeout_ms;
   }
+  if (answer_cache_mb > 0) {
+    engine_options.answer_cache_capacity = 256;
+    engine_options.answer_cache_max_bytes =
+        static_cast<size_t>(answer_cache_mb) * 1024 * 1024;
+  }
+  engine_options.coalesce = coalesce;
   Engine engine(tbox, data, nullptr, engine_options);
 
   ExecuteRequest request;

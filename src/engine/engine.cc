@@ -16,11 +16,6 @@ TBox NormalizedCopy(const TBox& tbox) {
   return copy;
 }
 
-// Bounded length of the per-version delta log.  Retained states older than
-// this many ApplyFacts steps behind the head simply fall back to a full
-// re-evaluation; the log can never grow with update traffic.
-constexpr size_t kDeltaLogCapacity = 64;
-
 }  // namespace
 
 IncrementalStateCache::IncrementalStateCache(size_t capacity,
@@ -106,13 +101,21 @@ Engine::Engine(const TBox& tbox, const DataInstance& data,
       cache_(options.plan_cache_capacity),
       snapshot_(DataSnapshot::FromInstance(data, tables)),
       governor_(options.governor),
-      incremental_(options.incremental_state_capacity, governor_.budget()) {}
+      incremental_(options.incremental_state_capacity, governor_.budget()),
+      answer_cache_(options.answer_cache_capacity,
+                    options.answer_cache_max_bytes, governor_.budget()),
+      coalesce_(options.coalesce),
+      delta_log_capacity_(options.delta_log_capacity) {}
 
 PrepareResult Engine::Prepare(const ConjunctiveQuery& query,
                               const PrepareOptions& options) {
   OWLQR_NAMED_SPAN(span, "engine/prepare");
   RewriterKind kind = options.kind;
   if (options.auto_kind) {
+    // Shared lock: profiling reads the context's word graph, which a
+    // concurrent cache-miss rewrite (below, under the exclusive lock) may
+    // be growing.  Unlocked, this read raced that growth.
+    std::shared_lock<std::shared_mutex> ctx_lock(ctx_mutex_);
     kind = ProfileOmq(ctx_, query).RecommendedRewriter();
   }
   span.Attr("kind", static_cast<long>(kind));
@@ -132,8 +135,13 @@ PrepareResult Engine::Prepare(const ConjunctiveQuery& query,
     return {Status::Ok(), std::move(hit), true};
   }
   span.Attr("cache_hit", 0);
-  RewriteResult rewritten =
-      RewriteOmqOrError(&ctx_, query, kind, options.rewrite);
+  RewriteResult rewritten = [&] {
+    // Exclusive: the rewrite grows the context's word table, and
+    // ProfileOmq readers above must never observe that mid-growth.
+    // prepare_mutex_ (held) already serializes rewrites among themselves.
+    std::unique_lock<std::shared_mutex> ctx_lock(ctx_mutex_);
+    return RewriteOmqOrError(&ctx_, query, kind, options.rewrite);
+  }();
   if (!rewritten.ok()) {
     return {std::move(rewritten.status), nullptr, false};
   }
@@ -146,20 +154,97 @@ PrepareResult Engine::Prepare(const ConjunctiveQuery& query,
 ExecuteResult Engine::Execute(const PreparedQuery& prepared,
                               const ExecuteRequest& request) const {
   OWLQR_NAMED_SPAN(span, "engine/execute");
-  // Admission first: a shed request must cost nothing — no snapshot pin,
-  // no evaluator, no memory.
+  if (!answer_cache_.enabled() && !coalesce_) {
+    return ExecuteGoverned(prepared, request, nullptr, &span);
+  }
+
+  // Resolve before compute: the answer set is a pure function of (plan,
+  // snapshot version, limits), so pin the version and look the request up
+  // before paying for admission or evaluation.
+  std::shared_ptr<const DataSnapshot> snap = snapshot();
+  const uint64_t keyed_version = snap->version();
+  const std::string key =
+      AnswerCacheKey(prepared.cache_key(), keyed_version, request.limits);
+  if (std::shared_ptr<const ExecuteResult> hit = answer_cache_.Get(key)) {
+    span.Attr("answer_cache_hit", 1);
+    span.Attr("snapshot_version", static_cast<long>(hit->snapshot_version));
+    governor_.RecordAnswerCacheHit();
+    ExecuteResult result = *hit;  // Byte-identical copy of a clean run.
+    result.cached = true;
+    return result;
+  }
+  // A follower parks on the leader's shared_future, an uninterruptible
+  // wait — requests that refuse to wait (queue_timeout_ms == 0) or that
+  // may need to abort (a cancel token) must keep their own semantics and
+  // evaluate themselves.  They skip leading too: a leader that gets
+  // cancelled or shed would resolve its followers with that failure for
+  // no better reason than arrival order.
+  const bool can_coalesce = coalesce_ && request.cancel == nullptr &&
+                            request.queue_timeout_ms != 0;
+  InFlightTable::Ticket ticket;
+  if (can_coalesce) {
+    ticket = inflight_.JoinOrLead(key);
+    if (!ticket.leader) {
+      // Follower: an identical execution is already running.  Wait for its
+      // result instead of burning an admission slot re-deriving it; the
+      // leader resolves the future on every exit path, failures included.
+      std::shared_ptr<const ExecuteResult> ready = ticket.flight->future.get();
+      span.Attr("coalesced", 1);
+      span.Attr("snapshot_version",
+                static_cast<long>(ready->snapshot_version));
+      governor_.RecordCoalesced();
+      ExecuteResult result = *ready;
+      result.coalesced = true;
+      return result;
+    }
+  }
+
+  ExecuteResult result =
+      ExecuteGoverned(prepared, request, std::move(snap), &span);
+
+  // Publish ONLY a clean complete run: a partial, degraded or aborted
+  // result would poison every later hit.  The incremental path may have
+  // re-pinned the snapshot forward, so key the publish by the version the
+  // result actually answers for.
+  std::shared_ptr<const ExecuteResult> shared;
+  const bool clean =
+      result.status.ok() && !result.partial && !result.degraded;
+  if (answer_cache_.enabled() && clean) {
+    shared = std::make_shared<const ExecuteResult>(result);
+    const std::string publish_key =
+        result.snapshot_version == keyed_version
+            ? key
+            : AnswerCacheKey(prepared.cache_key(), result.snapshot_version,
+                             request.limits);
+    answer_cache_.Put(publish_key, result.snapshot_version, shared);
+  }
+  if (ticket.leader) {
+    // Resolve the followers — with failure too, but never via the cache.
+    if (shared == nullptr) {
+      shared = std::make_shared<const ExecuteResult>(result);
+    }
+    inflight_.Finish(key, ticket.flight, std::move(shared));
+  }
+  return result;
+}
+
+ExecuteResult Engine::ExecuteGoverned(
+    const PreparedQuery& prepared, const ExecuteRequest& request,
+    std::shared_ptr<const DataSnapshot> snap, ScopedSpan* span) const {
+  // Admission first: a shed request must cost as little as possible — with
+  // memoization off no snapshot is pinned yet, so shedding pins none.
   QueryGovernor::Admission admission =
       governor_.Admit(request.queue_timeout_ms);
   if (!admission.admitted()) {
-    span.Attr("rejected", 1);
+    span->Attr("rejected", 1);
     ExecuteResult result;
     result.status = admission.status();
     result.partial = true;  // The (empty) answer set is incomplete.
     return result;
   }
-  std::shared_ptr<const DataSnapshot> snap = snapshot();  // Pin the version.
-  span.Attr("snapshot_version", static_cast<long>(snap->version()));
-  span.Attr("threads", request.num_threads);
+  if (snap == nullptr) snap = snapshot();  // Pin the version.
+  span->Attr("snapshot_version", static_cast<long>(snap->version()));
+  span->Attr("threads", request.num_threads);
 
   const GovernorOptions& gov = governor_.options();
 
@@ -172,7 +257,11 @@ ExecuteResult Engine::Execute(const PreparedQuery& prepared,
   ExecuteResult result;
   if (want_incremental &&
       ExecuteIncremental(prepared, request, &snap, &result)) {
-    span.Attr("incremental", 1);
+    span->Attr("incremental", 1);
+    // The incremental path may have re-pinned `snap` forward; re-record the
+    // version the result actually answers for.
+    span->Attr("snapshot_version",
+               static_cast<long>(result.snapshot_version));
     governor_.RecordOutcome(result.status.code(), /*degraded=*/false);
     return result;
   }
@@ -214,8 +303,12 @@ ExecuteResult Engine::Execute(const PreparedQuery& prepared,
     // charges back to the budget.  It never captures retained state —
     // the tightened limit makes its answers partial by construction.
     degraded = true;
-    span.Attr("degraded_retry", 1);
+    span->Attr("degraded_retry", 1);
     snap = snapshot();
+    // The retry answers for the re-pinned version, not the one recorded at
+    // entry; without this re-record the trace lied after every retry that
+    // straddled an ApplyFacts.
+    span->Attr("snapshot_version", static_cast<long>(snap->version()));
     ExecuteRequest tightened = request;
     tightened.limits.max_generated_tuples =
         gov.degraded_max_generated_tuples;
@@ -345,10 +438,18 @@ Status Engine::ApplyFactsOrError(const FactBatch& batch, uint64_t* version) {
       if (next != parent) {
         snapshot_ = next;
         delta_log_.push_back({next->version(), std::move(delta)});
-        while (delta_log_.size() > kDeltaLogCapacity) delta_log_.pop_front();
+        while (delta_log_.size() > delta_log_capacity_) {
+          delta_log_.pop_front();
+        }
       }
       // On the no-op path the parent snapshot (and version) stands.
       new_version = snapshot_->version();
+    }
+    if (next != parent) {
+      // Memoized answers for older versions can never hit again (the key
+      // embeds the version); sweep them now instead of letting dead entries
+      // hold budget until LRU eviction reaches them.
+      answer_cache_.InvalidateBelow(new_version);
     }
   }
   if (version != nullptr) *version = new_version;

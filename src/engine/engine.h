@@ -32,6 +32,7 @@
 #include <list>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 
@@ -41,10 +42,12 @@
 #include "data/data_instance.h"
 #include "data/snapshot.h"
 #include "data/table_store.h"
+#include "engine/answer_cache.h"
 #include "engine/governor.h"
 #include "engine/plan_cache.h"
 #include "ndl/evaluator.h"
 #include "ontology/tbox.h"
+#include "util/metrics.h"
 #include "util/status.h"
 
 namespace owlqr {
@@ -61,6 +64,23 @@ struct EngineOptions {
   // kept between executions).  0 disables incremental maintenance entirely;
   // every incremental request then falls back to full evaluation.
   size_t incremental_state_capacity = 8;
+  // Bounded LRU capacity of the cross-request answer cache (number of
+  // memoized complete results, keyed by plan x snapshot version x limits).
+  // 0 (the default) disables answer memoization: every Execute evaluates,
+  // matching the other defaults that govern nothing.
+  size_t answer_cache_capacity = 0;
+  // Byte ceiling across all cached answers (their retained-copy sizes);
+  // 0 = no byte cap (the entry-count cap and the memory budget still bound
+  // the cache).  Ignored when the cache is disabled.
+  size_t answer_cache_max_bytes = 0;
+  // Coalesce identical concurrent requests (same plan, snapshot version and
+  // limits) onto one evaluation: followers wait on the leader's result
+  // instead of burning an admission slot.  Semantics-preserving, so on by
+  // default; works with or without the answer cache.
+  bool coalesce = true;
+  // Entries retained in the per-version delta log that backs incremental
+  // execution; ranges trimmed past this force a full-evaluation fallback.
+  size_t delta_log_capacity = 64;
 };
 
 // LRU cache of retained materialised IDB states, keyed by plan-cache key.
@@ -164,6 +184,13 @@ class Engine {
   // kMemoryExceeded / kDeadlineExceeded with partial=true.  When degraded
   // retries are configured, a memory-aborted run is re-run once with
   // tightened limits and surfaced with degraded=true.
+  //
+  // With the answer cache enabled, a memoized complete result for the same
+  // (plan, snapshot version, limits) is returned directly — byte-identical
+  // answers, cached=true, no admission slot taken.  With coalescing on, an
+  // identical request already evaluating makes this call a follower: it
+  // waits for the leader's result and returns a copy with coalesced=true.
+  // Partial, degraded and aborted results are never memoized.
   ExecuteResult Execute(const PreparedQuery& prepared,
                         const ExecuteRequest& request = {}) const;
 
@@ -200,13 +227,22 @@ class Engine {
   void ClearIncrementalState() const;
   size_t incremental_state_size() const { return incremental_.size(); }
 
+  // Drops every memoized answer, releasing its memory-budget charge.
+  void ClearAnswerCache() const { answer_cache_.Clear(); }
+  AnswerCache::Stats answer_cache_stats() const {
+    return answer_cache_.stats();
+  }
+  size_t answer_cache_size() const { return answer_cache_.size(); }
+  size_t answer_cache_bytes() const { return answer_cache_.bytes(); }
+
   // The snapshot a new execution would pin right now.
   std::shared_ptr<const DataSnapshot> snapshot() const;
   uint64_t snapshot_version() const { return snapshot()->version(); }
 
   const TBox& tbox() const { return tbox_; }
   // Read-only reasoning state, e.g. for ProfileOmq.  Do not use concurrently
-  // with Prepare (which may grow the context's word table).
+  // with Prepare (which may grow the context's word table); Prepare's own
+  // internal reads are synchronized via ctx_mutex_.
   const RewritingContext& context() const { return ctx_; }
   Vocabulary* vocabulary() const { return tbox_.vocabulary(); }
   uint64_t tbox_fingerprint() const { return fingerprint_; }
@@ -238,6 +274,17 @@ class Engine {
                           const ExecuteRequest& request,
                           std::shared_ptr<const DataSnapshot>* snap,
                           ExecuteResult* result) const;
+  // The governed evaluation core of Execute: admission, snapshot pinning
+  // (reuses `snap` when the memoization front-end already pinned one),
+  // incremental path, full evaluation, degraded retry.  Everything except
+  // the answer-cache / coalescing front-end that wraps it.
+  ExecuteResult ExecuteGoverned(const PreparedQuery& prepared,
+                                const ExecuteRequest& request,
+                                std::shared_ptr<const DataSnapshot> snap,
+                                ScopedSpan* span) const;
+
+  // White-box access for tests (delta-log edge cases, incremental re-pin).
+  friend class EngineTestPeer;
 
   TBox tbox_;  // Engine's own normalized copy.
   RewritingContext ctx_;
@@ -247,6 +294,11 @@ class Engine {
   // is mutated during rewriting, so only one rewrite may run at a time
   // (cache hits and executions never take this).
   std::mutex prepare_mutex_;
+  // Reader/writer guard on ctx_'s mutable reasoning state: rewrites (which
+  // grow the word table) take it exclusively; ProfileOmq-style read-only
+  // probes take it shared.  Without it, Prepare's pre-lock profile raced a
+  // concurrent cache-miss rewrite's word-table growth.
+  mutable std::shared_mutex ctx_mutex_;
   // Serializes the build phase of ApplyFacts (one in-flight WithFacts at a
   // time keeps versions monotone and the delta log gap-free) without
   // blocking snapshot readers, who only ever take snapshot_mutex_.
@@ -264,6 +316,12 @@ class Engine {
   // Retained IDB states for incremental execution; mutable for the same
   // reason as the governor (a cache, not engine-visible semantics).
   mutable IncrementalStateCache incremental_;
+  // Cross-request answer memoization and in-flight coalescing (mutable for
+  // the same reason: caches, not engine-visible semantics).
+  mutable AnswerCache answer_cache_;
+  mutable InFlightTable inflight_;
+  const bool coalesce_;
+  const size_t delta_log_capacity_;
 };
 
 }  // namespace owlqr

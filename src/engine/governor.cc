@@ -116,6 +116,16 @@ void QueryGovernor::RecordOutcome(StatusCode code, bool degraded) {
   }
 }
 
+void QueryGovernor::RecordAnswerCacheHit() {
+  answer_cache_hits_.fetch_add(1, std::memory_order_relaxed);
+  OWLQR_COUNT("governor/answer_cache_hits", 1);
+}
+
+void QueryGovernor::RecordCoalesced() {
+  coalesced_.fetch_add(1, std::memory_order_relaxed);
+  OWLQR_COUNT("governor/coalesced", 1);
+}
+
 QueryGovernor::Counters QueryGovernor::counters() const {
   Counters c;
   c.admitted = admitted_.load(std::memory_order_relaxed);
@@ -127,6 +137,8 @@ QueryGovernor::Counters QueryGovernor::counters() const {
   c.deadline_exceeded = deadline_exceeded_.load(std::memory_order_relaxed);
   c.memory_exceeded = memory_exceeded_.load(std::memory_order_relaxed);
   c.degraded_retries = degraded_retries_.load(std::memory_order_relaxed);
+  c.answer_cache_hits = answer_cache_hits_.load(std::memory_order_relaxed);
+  c.coalesced = coalesced_.load(std::memory_order_relaxed);
   c.memory_used = budget_.used();
   c.memory_high_water = budget_.high_water();
   return c;

@@ -70,6 +70,11 @@ class QueryGovernor {
     long deadline_exceeded = 0;
     long memory_exceeded = 0;   // Final kMemoryExceeded outcomes.
     long degraded_retries = 0;  // Degraded re-runs attempted.
+    // Requests resolved without evaluating (and without taking a slot):
+    // served out of the engine's answer cache, or coalesced onto an
+    // identical in-flight execution as followers of its leader.
+    long answer_cache_hits = 0;
+    long coalesced = 0;
     size_t memory_used = 0;
     size_t memory_high_water = 0;
 
@@ -115,6 +120,12 @@ class QueryGovernor {
   // flag), for the counters and the metrics registry.
   void RecordOutcome(StatusCode code, bool degraded);
 
+  // Records a request served from the answer cache / coalesced onto an
+  // in-flight leader — resolved without admission or evaluation; the two
+  // cheap outcomes of Engine::Execute.
+  void RecordAnswerCacheHit();
+  void RecordCoalesced();
+
   const GovernorOptions& options() const { return options_; }
   MemoryBudget* budget() { return &budget_; }
   Counters counters() const;
@@ -145,6 +156,8 @@ class QueryGovernor {
   std::atomic<long> deadline_exceeded_{0};
   std::atomic<long> memory_exceeded_{0};
   std::atomic<long> degraded_retries_{0};
+  std::atomic<long> answer_cache_hits_{0};
+  std::atomic<long> coalesced_{0};
 };
 
 }  // namespace owlqr

@@ -1106,6 +1106,17 @@ ExecuteResult Evaluator::Run(const ExecuteRequest& request) {
   return result;
 }
 
+size_t ExecuteResult::MemoryBytes() const {
+  size_t bytes = sizeof(ExecuteResult);
+  bytes += answers.capacity() * sizeof(std::vector<int>);
+  for (const std::vector<int>& tuple : answers) {
+    bytes += tuple.capacity() * sizeof(int);
+  }
+  bytes += stats.predicate_tuples.capacity() * sizeof(long);
+  bytes += status.message().capacity();
+  return bytes;
+}
+
 size_t RetainedIdbState::MemoryBytes() const {
   size_t bytes = 0;
   for (const Rows& rows : idb_rows) bytes += rows.MemoryBytes();

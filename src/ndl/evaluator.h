@@ -137,6 +137,21 @@ struct ExecuteResult {
   // was set AND retained state was available); false on the full path,
   // including fallbacks of an incremental request.
   bool incremental = false;
+  // True when Engine::Execute served this result out of its answer cache —
+  // a byte-identical copy of a prior clean complete run at the same
+  // (plan, snapshot version, limits) key; no evaluation ran and no
+  // admission slot was taken.
+  bool cached = false;
+  // True when this request coalesced onto an identical in-flight execution
+  // and copied the leader's result (whatever its outcome) instead of
+  // running itself.
+  bool coalesced = false;
+
+  // Heap bytes a retained copy of this result holds (the answer tuples plus
+  // the per-predicate stats vector) — what the engine's answer cache
+  // charges against the memory budget per resident entry, and what one
+  // cache hit or coalesced follower pays to copy.
+  size_t MemoryBytes() const;
 };
 
 // Join-order hints shared across executions of one prepared program.

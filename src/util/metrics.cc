@@ -110,6 +110,16 @@ void MetricsRegistry::SpanAttr(size_t token, const std::string& key,
                                long value) {
   std::lock_guard<std::mutex> lock(mutex_);
   if (token >= spans_.size()) return;
+  // Re-recording a key overwrites it (spans serialise attrs as a JSON
+  // object, which cannot carry duplicates): an attribute whose value is
+  // revised mid-span — e.g. engine/execute's snapshot_version after a
+  // degraded retry re-pins — keeps only the final, accurate value.
+  for (auto& [existing, existing_value] : spans_[token].attrs) {
+    if (existing == key) {
+      existing_value = value;
+      return;
+    }
+  }
   spans_[token].attrs.emplace_back(key, value);
 }
 

@@ -71,7 +71,8 @@ class MetricsRegistry {
   // thread.  Prefer ScopedSpan / OWLQR_SPAN.
   size_t BeginSpan(const std::string& name);
   void EndSpan(size_t token);
-  // Attaches a labelled value to a still-open span.
+  // Attaches a labelled value to a still-open span; re-recording the same
+  // key overwrites the earlier value (attrs serialise as a JSON object).
   void SpanAttr(size_t token, const std::string& key, long value);
 
   // Snapshot accessors (take the registry lock; not for hot paths).

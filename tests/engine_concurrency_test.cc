@@ -167,5 +167,69 @@ TEST(EngineConcurrencyTest, ConcurrentPrepareExecuteApplyFactsAgree) {
   EXPECT_GT(stats.misses, 0);
 }
 
+// Regression for a data race in Engine::Prepare: the auto-kind profiling
+// pass (ProfileOmq) used to run before `prepare_mutex_` was taken, reading
+// the RewritingContext's interned word table while a concurrent cache-miss
+// rewrite grew it.  With N threads preparing disjoint fresh queries, every
+// Prepare is a miss whose rewrite mutates the shared context while every
+// other thread's profiler reads it.  Run under ThreadSanitizer (`ctest -L
+// sanitize`) this pins the fix: profiling holds `ctx_mutex_` shared,
+// rewrites hold it exclusive.
+TEST(EngineConcurrencyTest, ConcurrentAutoKindPrepareIsRaceFree) {
+  constexpr int kThreads = 4;
+  constexpr int kQueriesPerThread = 6;
+
+  Vocabulary vocab;
+  auto tbox = MakeExample11TBox(&vocab);
+  DataInstance base =
+      GenerateDataset(&vocab, *tbox, DatasetConfig{"c", 30, 0.1, 0.12, 3});
+
+  // A distinct word per (thread, query): the binary digits of a unique
+  // integer spelled in R/S.  All interned up front — the Vocabulary is not
+  // thread-safe — and pairwise distinct, so no thread ever gets a plan
+  // cache hit and every Prepare races a rewrite against the profilers.
+  std::vector<std::vector<ConjunctiveQuery>> queries(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    for (int i = 0; i < kQueriesPerThread; ++i) {
+      std::string word;
+      for (int code = t * kQueriesPerThread + i + 2; code > 0; code >>= 1) {
+        word += (code & 1) ? 'S' : 'R';
+      }
+      queries[t].push_back(SequenceQuery(&vocab, word));
+    }
+  }
+
+  EngineOptions engine_options;
+  engine_options.plan_cache_capacity =
+      static_cast<size_t>(kThreads * kQueriesPerThread);
+  Engine engine(*tbox, base, nullptr, engine_options);
+
+  PrepareOptions prepare_options;  // auto_kind on: every miss profiles.
+  ASSERT_TRUE(prepare_options.auto_kind);
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (const ConjunctiveQuery& query : queries[t]) {
+        PrepareResult prepared = engine.Prepare(query, prepare_options);
+        if (!prepared.ok()) {
+          failures.fetch_add(1);
+          continue;
+        }
+        ExecuteResult result =
+            engine.Execute(*prepared.query, ExecuteRequest{});
+        if (!result.status.ok()) failures.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+  // Disjoint queries: every Prepare was a miss, none a hit.
+  PlanCache::Stats stats = engine.cache_stats();
+  EXPECT_EQ(stats.misses, static_cast<long>(kThreads * kQueriesPerThread));
+  EXPECT_EQ(stats.hits, 0);
+}
+
 }  // namespace
 }  // namespace owlqr

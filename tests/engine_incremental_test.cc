@@ -8,14 +8,17 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <random>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/rewriters.h"
 #include "engine/engine.h"
+#include "engine_test_peer.h"
 #include "ndl/evaluator.h"
 #include "workloads/paper_workloads.h"
 
@@ -287,6 +290,218 @@ TEST_F(EngineIncrementalTest, DuplicateAndEmptyBatchesAreNoOps) {
   ASSERT_TRUE(engine.ApplyFactsOrError(batch, &out).ok());
   EXPECT_EQ(out, after->version());
   EXPECT_EQ(engine.snapshot(), after);
+}
+
+// DeltaBetween's range edges, pinned white-box: from == to is the trivial
+// empty delta (even for a version the log never held); a range whose first
+// needed entry is exactly `delta_log_.front()` still composes after
+// trimming; one version older has fallen off and must miss; backwards
+// ranges never compose.
+TEST_F(EngineIncrementalTest, DeltaBetweenHandlesRangeEdgesAndTrimming) {
+  EngineOptions engine_options;
+  engine_options.delta_log_capacity = 2;
+  Engine engine(*tbox_, *base_, nullptr, engine_options);
+  int r_id = vocab_.InternPredicate("R");
+  auto bump = [&](int tag) {
+    FactBatch batch;
+    batch.roles.push_back(
+        {r_id, vocab_.InternIndividual("dl" + std::to_string(tag) + "a"),
+         vocab_.InternIndividual("dl" + std::to_string(tag) + "b")});
+    return engine.ApplyFacts(batch);
+  };
+
+  SnapshotDelta identity;
+  EXPECT_TRUE(EngineTestPeer::DeltaBetween(engine, 1, 1, &identity));
+  EXPECT_TRUE(identity.empty());
+  // from == to does not consult the log at all, so it holds even for
+  // versions the engine has never seen.
+  EXPECT_TRUE(EngineTestPeer::DeltaBetween(engine, 9, 9, &identity));
+  EXPECT_TRUE(identity.empty());
+
+  ASSERT_EQ(bump(0), 2u);
+  ASSERT_EQ(bump(1), 3u);
+  ASSERT_EQ(bump(2), 4u);  // Capacity 2: only the v3 and v4 entries survive.
+  EXPECT_EQ(EngineTestPeer::DeltaLogSize(engine), 2u);
+  EXPECT_EQ(EngineTestPeer::DeltaLogFrontVersion(engine), 3u);
+
+  // [2 -> 4] needs entries {3, 4} — exactly the surviving run, starting at
+  // the log's front.
+  SnapshotDelta at_front;
+  EXPECT_TRUE(EngineTestPeer::DeltaBetween(engine, 2, 4, &at_front));
+  EXPECT_FALSE(at_front.empty());
+  // Each bump introduced two fresh individuals; both trimmed-in deltas
+  // contribute theirs.
+  EXPECT_EQ(at_front.new_individuals.size(), 4u);
+
+  // [1 -> 4] additionally needs the trimmed v2 entry: a clean miss, with
+  // the output left untouched for the caller to discard.
+  SnapshotDelta trimmed;
+  EXPECT_FALSE(EngineTestPeer::DeltaBetween(engine, 1, 4, &trimmed));
+  // Backwards ranges never compose (a retained state ahead of the target
+  // version is the caller's re-pin problem, not a merge problem).
+  SnapshotDelta backwards;
+  EXPECT_FALSE(EngineTestPeer::DeltaBetween(engine, 4, 3, &backwards));
+  // And from == to stays trivially true at the current version.
+  SnapshotDelta current;
+  EXPECT_TRUE(EngineTestPeer::DeltaBetween(engine, 4, 4, &current));
+  EXPECT_TRUE(current.empty());
+}
+
+// A no-op ApplyFacts (verbatim duplicate or empty batch) must not append a
+// delta-log entry: the log's versions are assumed ascending and gap-free by
+// DeltaBetween's indexing, and a phantom empty entry would also evict a
+// real one once the log is at capacity.
+TEST_F(EngineIncrementalTest, NoOpApplyFactsAppendsNoDeltaLogEntry) {
+  Engine engine(*tbox_, *base_);
+  EXPECT_EQ(EngineTestPeer::DeltaLogSize(engine), 0u);
+
+  int r_id = vocab_.InternPredicate("R");
+  FactBatch batch;
+  batch.roles.push_back({r_id, vocab_.InternIndividual("nolog_a"),
+                         vocab_.InternIndividual("nolog_b")});
+  ASSERT_EQ(engine.ApplyFacts(batch), 2u);
+  EXPECT_EQ(EngineTestPeer::DeltaLogSize(engine), 1u);
+  EXPECT_EQ(EngineTestPeer::DeltaLogFrontVersion(engine), 2u);
+
+  // Verbatim duplicate: version preserved, log untouched.
+  ASSERT_EQ(engine.ApplyFacts(batch), 2u);
+  EXPECT_EQ(EngineTestPeer::DeltaLogSize(engine), 1u);
+  // Empty batch: likewise.
+  ASSERT_EQ(engine.ApplyFacts(FactBatch{}), 2u);
+  EXPECT_EQ(EngineTestPeer::DeltaLogSize(engine), 1u);
+  EXPECT_EQ(EngineTestPeer::DeltaLogFrontVersion(engine), 2u);
+}
+
+// The incremental path's forward re-pin: when the retained state was
+// captured on a snapshot NEWER than the one this request pinned (an
+// ApplyFacts plus a re-capturing run landed between pin and serve), the
+// serve must re-pin forward and answer for the re-pinned version — versions
+// are monotone, so reconverging forward is always correct.
+TEST_F(EngineIncrementalTest, RetainedStateAheadOfPinForcesForwardRePin) {
+  Engine engine(*tbox_, *base_);
+  PrepareResult p = engine.Prepare(queries_[0], prepare_options_);
+  ASSERT_TRUE(p.ok()) << p.status.ToString();
+  ExecuteRequest request;
+  request.incremental = true;
+
+  // Pin version 1 the way Execute would, BEFORE the world moves.
+  std::shared_ptr<const DataSnapshot> stale = engine.snapshot();
+  ASSERT_EQ(stale->version(), 1u);
+
+  // Seed retained state at v1, move the engine to v2, re-capture at v2.
+  ASSERT_TRUE(engine.Execute(*p.query, request).status.ok());
+  int r_id = vocab_.InternPredicate("R");
+  int s_id = vocab_.InternPredicate("S");
+  FactBatch batch;
+  int a = vocab_.InternIndividual("repin_a");
+  int b = vocab_.InternIndividual("repin_b");
+  int c = vocab_.InternIndividual("repin_c");
+  batch.roles.push_back({r_id, a, b});
+  batch.roles.push_back({s_id, b, c});
+  ASSERT_EQ(engine.ApplyFacts(batch), 2u);
+  ExecuteResult at2 = engine.Execute(*p.query, request);
+  ASSERT_TRUE(at2.status.ok());
+  ASSERT_EQ(at2.snapshot_version, 2u);
+
+  // Serve with the stale pin: state.version (2) > snap->version (1), so
+  // the peer call must re-pin forward and serve the delta run at v2.
+  DataInstance grown = *base_;
+  ApplyBatchToInstance(&grown, batch);
+  std::shared_ptr<const DataSnapshot> snap = stale;
+  ExecuteResult result;
+  ASSERT_TRUE(EngineTestPeer::ExecuteIncremental(engine, *p.query, request,
+                                                 &snap, &result));
+  EXPECT_EQ(snap->version(), 2u);  // Re-pinned, not the stale pin.
+  EXPECT_TRUE(result.incremental);
+  EXPECT_EQ(result.snapshot_version, 2u);
+  EXPECT_EQ(result.answers, Oracle(grown, 0));
+}
+
+// Differential check that RetainedIdbState.version is stamped from the
+// snapshot the capturing run actually evaluated (the pinned one), not from
+// whatever the engine's current version happens to be at publish time:
+// capture-publish races ApplyFacts here, and a mis-stamped state would make
+// a later delta run merge the wrong version range and answer incorrectly
+// for the version it reports.
+TEST_F(EngineIncrementalTest, CapturePublishRacingApplyFactsStampsPinnedVersion) {
+  constexpr int kBatches = 8;
+  constexpr int kExecutions = 48;
+
+  int r_id = vocab_.InternPredicate("R");
+  int s_id = vocab_.InternPredicate("S");
+  int label = tbox_->ExistsConcept(RoleOf(vocab_.InternPredicate("P")));
+  ASSERT_GE(label, 0);
+
+  // Deterministic batches and per-version expected answers, precomputed on
+  // this thread (the Vocabulary is not thread-safe).
+  std::vector<FactBatch> batches;
+  for (int b = 0; b < kBatches; ++b) {
+    std::string prefix = "race" + std::to_string(b) + "_";
+    auto ind = [&](int i) {
+      return vocab_.InternIndividual(prefix + std::to_string(i));
+    };
+    FactBatch batch;
+    batch.roles.push_back({r_id, ind(0), ind(1)});
+    batch.roles.push_back({s_id, ind(1), ind(2)});
+    batch.roles.push_back({r_id, ind(2), ind(3)});
+    batch.concepts.push_back({label, ind(3)});
+    batches.push_back(batch);
+  }
+  std::vector<std::vector<std::vector<int>>> expected;  // expected[v - 1].
+  DataInstance grown = *base_;
+  expected.push_back(Oracle(grown, 0));
+  for (const FactBatch& batch : batches) {
+    ApplyBatchToInstance(&grown, batch);
+    expected.push_back(Oracle(grown, 0));
+  }
+  ASSERT_NE(expected.front(), expected.back());
+
+  Engine engine(*tbox_, *base_);
+  PrepareResult p = engine.Prepare(queries_[0], prepare_options_);
+  ASSERT_TRUE(p.ok()) << p.status.ToString();
+
+  std::atomic<int> failures{0};
+  std::atomic<int> incremental_served{0};
+  std::thread updater([&] {
+    for (int b = 0; b < kBatches; ++b) {
+      if (engine.ApplyFacts(batches[b]) != static_cast<uint64_t>(b) + 2) {
+        failures.fetch_add(1);
+      }
+      std::this_thread::yield();
+    }
+  });
+  std::thread executor([&] {
+    for (int i = 0; i < kExecutions; ++i) {
+      ExecuteRequest request;
+      request.incremental = true;
+      ExecuteResult result = engine.Execute(*p.query, request);
+      if (!result.status.ok() || result.partial) {
+        failures.fetch_add(1);
+        continue;
+      }
+      size_t v = static_cast<size_t>(result.snapshot_version);
+      if (v < 1 || v > static_cast<size_t>(kBatches) + 1 ||
+          result.answers != expected[v - 1]) {
+        failures.fetch_add(1);
+      }
+      if (result.incremental) incremental_served.fetch_add(1);
+    }
+  });
+  updater.join();
+  executor.join();
+  EXPECT_EQ(failures.load(), 0);
+  // Once the updater stops, every later execution serves off retained
+  // state: the delta path must actually have fired.
+  EXPECT_GT(incremental_served.load(), 0);
+
+  // And a final run agrees with the fully-grown oracle at the final
+  // version — the retained state reconverged exactly.
+  ExecuteRequest request;
+  request.incremental = true;
+  ExecuteResult last = engine.Execute(*p.query, request);
+  ASSERT_TRUE(last.status.ok());
+  EXPECT_EQ(last.snapshot_version, static_cast<uint64_t>(kBatches) + 1);
+  EXPECT_EQ(last.answers, expected.back());
 }
 
 }  // namespace

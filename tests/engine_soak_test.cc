@@ -1,10 +1,12 @@
 // Randomized governor soak: one Engine with a 1-slot admission pool and a
 // small shared memory budget, hammered by 8 threads mixing Prepare, Execute
 // (sequential and parallel, with and without deadlines, sometimes refusing
-// to queue), ApplyFacts and asynchronous cancellation.  Part of the
-// `sanitize` AND `soak` ctest labels — under ThreadSanitizer this proves the
-// admission queue, the memory accounting, the cancel-token plumbing and the
-// governor counters race-free.
+// to queue), ApplyFacts and asynchronous cancellation — with the answer
+// cache and in-flight coalescing enabled, and half the traffic carrying no
+// cancel token so it is coalescing-eligible.  Part of the `sanitize` AND
+// `soak` ctest labels — under ThreadSanitizer this proves the admission
+// queue, the memory accounting, the cancel-token plumbing, the answer
+// cache, the in-flight table and the governor counters race-free.
 //
 // Correctness is checked the same way as engine_concurrency_test.cc: fact
 // batches are applied in a fixed order by a single updater, so snapshot
@@ -148,12 +150,19 @@ TEST(EngineSoakTest, GovernedChaosKeepsAnswersExactAndAccountsToZero) {
   engine_options.governor.queue_timeout_ms = 5'000;
   engine_options.governor.max_memory_bytes = 512 * 1024;
   engine_options.governor.degraded_max_generated_tuples = 10'000;
+  // Cross-request memoization on, sized so version churn and budget
+  // pressure both force evictions mid-soak.  Coalescing defaults on; only
+  // requests without a cancel token are eligible.
+  engine_options.answer_cache_capacity = 32;
+  engine_options.answer_cache_max_bytes = 256 * 1024;
   Engine engine(*tbox, base, nullptr, engine_options);
 
   std::atomic<int> failures{0};
   std::atomic<int> exact_results{0};
   std::atomic<int> cancelled_results{0};
   std::atomic<int> rejected_results{0};
+  std::atomic<int> cached_results{0};
+  std::atomic<int> coalesced_results{0};
   std::atomic<bool> done{false};
   std::vector<CancelSlot> slots(kExecutorThreads);
 
@@ -200,11 +209,42 @@ TEST(EngineSoakTest, GovernedChaosKeepsAnswersExactAndAccountsToZero) {
         unsigned shape = rng() % 8;
         if (shape == 0) request.limits.deadline_ms = 1;  // Likely deadline.
         if (shape == 1) request.queue_timeout_ms = 0;    // Shed if busy.
-        auto cancel = std::make_shared<CancelToken>();
-        request.cancel = cancel;
-        slots[t].Set(cancel);
+        // Half the traffic carries no cancel token: those requests are
+        // eligible to hit the answer cache's key fast path and to coalesce
+        // onto identical in-flight executions (cancellable requests never
+        // lead or follow — they must stay interruptible).
+        if (shape < 4) {
+          auto cancel = std::make_shared<CancelToken>();
+          request.cancel = cancel;
+          slots[t].Set(cancel);
+        }
         ExecuteResult result = engine.Execute(*prepared.query, request);
         slots[t].Set(nullptr);
+
+        if (result.cached || result.coalesced) {
+          // Served without evaluating: a cache hit is always a clean,
+          // complete, byte-identical replay; a coalesced result is a copy
+          // of the leader's outcome (whose request had the same limits
+          // signature, but whose failure modes are its own), so only the
+          // answer-exactness contract applies here — the per-status stats
+          // contracts below belong to the runs that actually executed.
+          if (result.cached) cached_results.fetch_add(1);
+          if (result.coalesced) coalesced_results.fetch_add(1);
+          if (result.cached &&
+              (!result.status.ok() || result.partial || result.degraded)) {
+            failures.fetch_add(1);  // Only clean runs may be cached.
+          }
+          if (result.status.ok() && !result.partial) {
+            size_t v = static_cast<size_t>(result.snapshot_version);
+            if (v < 1 || v > static_cast<size_t>(kNumBatches) + 1 ||
+                result.answers != expected[v - 1][q]) {
+              failures.fetch_add(1);
+            } else {
+              exact_results.fetch_add(1);
+            }
+          }
+          continue;
+        }
 
         switch (result.status.code()) {
           case StatusCode::kOk:
@@ -264,15 +304,25 @@ TEST(EngineSoakTest, GovernedChaosKeepsAnswersExactAndAccountsToZero) {
   EXPECT_GT(exact_results.load(), 0);
 
   // Quiesce: every account died with its execution and the only remaining
-  // budget charges belong to retained incremental states, so after dropping
-  // those the shared budget is back to exactly zero, and the counters add
-  // up.
+  // budget charges belong to retained incremental states and cached answer
+  // sets, so after dropping both the shared budget is back to exactly
+  // zero, and the counters add up.
   engine.ClearIncrementalState();
+  engine.ClearAnswerCache();
   QueryGovernor::Counters counters = engine.governor_counters();
   EXPECT_EQ(counters.memory_used, 0u);
   EXPECT_EQ(counters.cancelled, cancelled_results.load());
   EXPECT_EQ(counters.rejected(), rejected_results.load());
   EXPECT_GT(counters.admitted, 0);
+  // Memoization accounting: hits and coalesced followers are exactly the
+  // results marked as such, and every request is accounted once — it was
+  // admitted, shed, served from cache, or parked on a leader.
+  EXPECT_EQ(counters.answer_cache_hits, cached_results.load());
+  EXPECT_EQ(counters.coalesced, coalesced_results.load());
+  EXPECT_EQ(
+      counters.admitted + counters.rejected() + counters.answer_cache_hits +
+          counters.coalesced,
+      static_cast<long>(kExecutorThreads) * kIterationsPerThread);
 
   // And the engine still serves exact answers on the final snapshot.
   EXPECT_EQ(engine.snapshot_version(), static_cast<uint64_t>(kNumBatches) + 1);

@@ -1,0 +1,50 @@
+#ifndef OWLQR_TESTS_ENGINE_TEST_PEER_H_
+#define OWLQR_TESTS_ENGINE_TEST_PEER_H_
+
+// White-box access to Engine internals for tests that pin down behaviour
+// the public surface deliberately hides: delta-log range composition and
+// trimming, the incremental path's forward re-pin, and the in-flight
+// coalescing table.  Defined ONCE here (Engine befriends exactly this
+// class) so every test TU shares one definition.
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "engine/engine.h"
+
+namespace owlqr {
+
+class EngineTestPeer {
+ public:
+  static bool DeltaBetween(const Engine& engine, uint64_t from, uint64_t to,
+                           SnapshotDelta* out) {
+    return engine.DeltaBetween(from, to, out);
+  }
+
+  static size_t DeltaLogSize(const Engine& engine) {
+    std::lock_guard<std::mutex> lock(engine.snapshot_mutex_);
+    return engine.delta_log_.size();
+  }
+
+  static uint64_t DeltaLogFrontVersion(const Engine& engine) {
+    std::lock_guard<std::mutex> lock(engine.snapshot_mutex_);
+    return engine.delta_log_.empty() ? 0 : engine.delta_log_.front().version;
+  }
+
+  static bool ExecuteIncremental(const Engine& engine,
+                                 const PreparedQuery& prepared,
+                                 const ExecuteRequest& request,
+                                 std::shared_ptr<const DataSnapshot>* snap,
+                                 ExecuteResult* result) {
+    return engine.ExecuteIncremental(prepared, request, snap, result);
+  }
+
+  static size_t InFlightSize(const Engine& engine) {
+    return engine.inflight_.size();
+  }
+};
+
+}  // namespace owlqr
+
+#endif  // OWLQR_TESTS_ENGINE_TEST_PEER_H_

@@ -93,6 +93,42 @@ if os.path.basename(path) == "BENCH_engine.json":
     assert delta["real_time"] * 2 < full["real_time"], \
         f"{path}: delta update path not faster than full re-evaluation " \
         f"(delta {delta['real_time']}, full {full['real_time']})"
+    # The hot-key answer-memoization pair: the memoizing scenario must have
+    # run in the cache-hit regime despite the version churn (HitRate >= 0.5
+    # is the floor; the baseline shows ~1) and report its coalesce rate,
+    # while the control must never have hit.  The ratio bar is 5x — the
+    # cached path is a map probe against a full evaluation, so even noisy
+    # machines clear it by an order of magnitude.
+    hot = by_name.get("EngineThroughput/hotkey/t8/real_time/threads:8")
+    nohot = by_name.get(
+        "EngineThroughput/hotkey_nocache/t8/real_time/threads:8")
+    assert hot is not None, f"{path}: missing hotkey/t8"
+    assert nohot is not None, f"{path}: missing hotkey_nocache/t8"
+    assert hot.get("HitRate", 0) >= 0.5, \
+        f"{path}: hotkey HitRate {hot.get('HitRate')} < 0.5 — the answer " \
+        f"cache never warmed"
+    assert "CoalesceRate" in hot, f"{path}: hotkey missing CoalesceRate"
+    assert nohot.get("HitRate", 1) == 0.0, \
+        f"{path}: hotkey_nocache HitRate nonzero — the A/B control cached"
+    assert hot["real_time"] * 5 < nohot["real_time"], \
+        f"{path}: memoized hot-key serve not >= 5x the uncached one " \
+        f"(cached {hot['real_time']}, uncached {nohot['real_time']})"
+    # The always-miss control: a per-serve-unique limits signature defeats
+    # the cache, and the memoization layer's overhead (key build, probe,
+    # in-flight table, publish) must stay within the warm serve's noise
+    # bar.  Repetition means of the two scenarios are equal to within their
+    # ~10% stddev on the baseline machine; 1.25x here tolerates single-shot
+    # regeneration noise while still catching an accidentally expensive
+    # miss path (a per-serve answer copy, say, would blow straight past it).
+    miss = by_name.get(
+        "EngineThroughput/warm_cachemiss/t1/real_time/threads:1")
+    assert miss is not None, f"{path}: missing warm_cachemiss/t1"
+    assert miss.get("HitRate", 1) == 0.0, \
+        f"{path}: warm_cachemiss HitRate nonzero — keys repeated"
+    warm1 = by_name["EngineThroughput/warm/t1/real_time/threads:1"]
+    assert miss["real_time"] <= warm1["real_time"] * 1.25, \
+        f"{path}: memoization miss-path overhead above the noise bar " \
+        f"(cachemiss {miss['real_time']}, warm {warm1['real_time']})"
 
 print(f"OK: {path}: {len(benches)} benchmark entries")
 EOF

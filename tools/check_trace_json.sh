@@ -4,7 +4,11 @@
 # contains the per-stage span names (rewrite, transform, index-build, join)
 # plus the governor's admission counter.  A second run under explicit
 # governor flags (--max-memory-mb/--max-concurrent/--queue-timeout-ms) must
-# produce identical answers and a governed trace.
+# produce identical answers and a governed trace.  A third run drives the
+# --repl with --answer-cache-mb: the same query served twice must hit the
+# answer cache with byte-identical answers, a '+' fact must invalidate the
+# entry, the answer-cache counters must land in the trace schema, and every
+# engine/execute span must carry the snapshot_version its result reported.
 # Usage: check_trace_json.sh <path-to-example_owlqr_cli>
 # Registered as the ctest test `hygiene/trace_json`.
 set -u
@@ -117,6 +121,92 @@ status=$?
 if [ "$status" -ne 0 ]; then
   echo "FAIL: governed trace JSON validation failed"
   cat "$tmp/trace2.json"
+  exit 1
+fi
+
+# Third run, memoizing REPL: serve the same query twice (second serve must
+# come out of the answer cache, byte-identical), apply one fresh fact (must
+# invalidate), then serve again (must see the new individual).
+cat > "$tmp/repl.txt" <<'EOF'
+q(x) :- teaches(x, y), Course(y)
+q(x) :- teaches(x, y), Course(y)
++ lectures(carol, logic).
+q(x) :- teaches(x, y), Course(y)
+EOF
+
+"$CLI" "$tmp/onto.txt" --repl "$tmp/data.txt" --rewriter=tw \
+    --answer-cache-mb=16 "--trace-json=$tmp/trace3.json" \
+    < "$tmp/repl.txt" > "$tmp/answers3.txt" 2> "$tmp/stderr3.txt"
+status=$?
+if [ "$status" -ne 0 ]; then
+  echo "FAIL: memoizing REPL run exited with $status"
+  cat "$tmp/stderr3.txt"
+  exit 1
+fi
+
+python3 - "$tmp/trace3.json" "$tmp/answers3.txt" "$tmp/stderr3.txt" <<'EOF'
+import json
+import re
+import sys
+
+with open(sys.argv[1]) as f:
+    trace = json.load(f)
+with open(sys.argv[2]) as f:
+    answers = f.read().splitlines()
+with open(sys.argv[3]) as f:
+    stderr = f.read()
+
+# The answer-cache counters are part of the trace schema once the cache is
+# enabled: two distinct keys missed (first serve, post-invalidation serve),
+# one hit, and each clean run was published.
+counters = trace.get("counters", {})
+assert counters.get("engine/answer_cache_hit", 0) >= 1, \
+    "repeated serve never hit the answer cache"
+assert counters.get("engine/answer_cache_miss", 0) >= 2, \
+    "expected misses on the first and post-invalidation serves"
+assert counters.get("engine/answer_cache_insert", 0) >= 2, \
+    "clean complete runs were not published to the answer cache"
+assert counters.get("governor/answer_cache_hits", 0) >= 1, \
+    "governor did not count the answer-cache hit"
+
+# Per-serve answer counts and snapshot versions, in order, from the
+# "<N> answers, ... (snapshot v<V>)" result lines.
+serves = [(int(m.group(1)), int(m.group(2)))
+          for m in re.finditer(r"(\d+) answers.*\(snapshot v(\d+)\)",
+                               stderr)]
+assert len(serves) == 3, f"expected 3 serves, saw {len(serves)}: {stderr}"
+assert "[answer-cached]" in stderr, "no serve was marked [answer-cached]"
+assert "answer cache:" in stderr, "missing answer-cache summary line"
+
+# Identical answers on the cached serve; the post-invalidation serve sees
+# the new individual.
+n1, n2, n3 = (n for n, _ in serves)
+block1 = answers[:n1]
+block2 = answers[n1:n1 + n2]
+block3 = answers[n1 + n2:n1 + n2 + n3]
+assert block1 and block1 == block2, \
+    f"cached serve differed from the fresh one: {block1} vs {block2}"
+assert "carol" in "\n".join(block3), \
+    f"post-invalidation serve missed the new fact: {block3}"
+
+# Every engine/execute span reports the snapshot_version its result
+# reported — including the cache-hit serve and any serve that re-pinned.
+versions = [v for _, v in serves]
+spans = [s for s in trace.get("spans", []) if s["name"] == "engine/execute"]
+attrs = [s.get("attrs", {}).get("snapshot_version") for s in spans]
+assert attrs == versions, \
+    f"engine/execute span versions {attrs} != reported versions {versions}"
+assert any(s.get("attrs", {}).get("answer_cache_hit") == 1 for s in spans), \
+    "no engine/execute span was attributed to an answer-cache hit"
+
+print("OK: memoizing REPL trace — cache hit byte-identical, invalidated on"
+      " update, span versions faithful")
+EOF
+status=$?
+if [ "$status" -ne 0 ]; then
+  echo "FAIL: memoizing REPL validation failed"
+  cat "$tmp/trace3.json"
+  cat "$tmp/stderr3.txt"
   exit 1
 fi
 exit 0
