@@ -1,6 +1,8 @@
 #ifndef OWLQR_BENCH_BENCH_COMMON_H_
 #define OWLQR_BENCH_BENCH_COMMON_H_
 
+#include <benchmark/benchmark.h>
+
 #include <cstdlib>
 #include <memory>
 #include <string>
@@ -11,6 +13,22 @@
 
 namespace owlqr {
 namespace bench {
+
+// Bakes the build type of *our* code into every bench report's context:
+// the stock `context.library_build_type` reflects how the distro's
+// libbenchmark package was compiled (debug on this image, regardless of our
+// flags), so baseline hygiene keys on `owlqr_build_type` instead —
+// tools/check_bench_json.sh rejects committed baselines that were not
+// recorded from a release (NDEBUG) build of this repo.
+inline int RegisterBuildTypeContext() {
+#ifdef NDEBUG
+  benchmark::AddCustomContext("owlqr_build_type", "release");
+#else
+  benchmark::AddCustomContext("owlqr_build_type", "debug");
+#endif
+  return 0;
+}
+inline int build_type_context_registered = RegisterBuildTypeContext();
 
 // The Section 6 scenario: Example 11 ontology plus a shared rewriting
 // context.  One static instance per bench binary.

@@ -155,6 +155,104 @@ bool Rows::InsertWide(const int* tuple) {
   return true;
 }
 
+size_t Rows::InsertBatch(const int* tuples, size_t n, const size_t* hashes,
+                         uint32_t* new_idx) {
+  // The wide and zero-ary cases are rare enough that per-tuple Insert is
+  // fine; the batch machinery pays off on the small-arity fast path below.
+  if (arity == 0 || arity > 2) {
+    size_t added = 0;
+    for (size_t i = 0; i < n; ++i) {
+      if (Insert(tuples + static_cast<size_t>(arity) * i)) {
+        new_idx[added++] = static_cast<uint32_t>(i);
+      }
+    }
+    return added;
+  }
+  if (small_.size == 0) GrowSmall();
+  const size_t ceiling = RowCeiling();
+  const size_t near_mark = NearOverflowMark(ceiling);
+
+  // Pass 1 — read-only duplicate filter against the table as it stands.
+  // Saturated joins emit mostly duplicates, and this loop retires them with
+  // pipelined independent probes (no growth checks, no stores).  It is
+  // conservative: a tuple equal to an earlier tuple of the *same* batch is
+  // not in the table yet, survives, and is caught by pass 2's re-probe.
+  // Survivor indexes go on the stack; oversized batches (the EmitBatch
+  // caller chunks at the limit-flush countdown, far below this) fall back
+  // to probing inline in pass 2.
+  constexpr size_t kFilterCap = 4096;
+  uint32_t survivors[kFilterCap];
+  size_t num_survivors = 0;
+  const bool filtered = n <= kFilterCap;
+  if (filtered) {
+    const size_t mask = small_.size - 1;
+    // Wave-style group prefetch: fetch a group's dedup slots, then probe
+    // the group — keeps several independent misses in flight where a
+    // lookahead distance would serialise behind chain extensions.
+    constexpr size_t kWave = 32;
+    for (size_t base = 0; base < n; base += kWave) {
+      const size_t lim = base + kWave < n ? base + kWave : n;
+      for (size_t i = base; i < lim; ++i) {
+        __builtin_prefetch(&small_[hashes[i] & mask]);
+      }
+      for (size_t i = base; i < lim; ++i) {
+        const int* tuple = tuples + static_cast<size_t>(arity) * i;
+        const uint64_t key = PackSmall(tuple, arity);
+        size_t pos = hashes[i] & mask;
+        bool duplicate = false;
+        while (small_[pos].id != 0) {
+          if (small_[pos].key == key) {
+            duplicate = true;
+            break;
+          }
+          pos = (pos + 1) & mask;
+        }
+        if (!duplicate) survivors[num_survivors++] = static_cast<uint32_t>(i);
+      }
+    }
+  }
+
+  // Pass 2 — insert the survivors in order, with the exact growth schedule
+  // and duplicate semantics of n sequential InsertSmall calls.
+  const size_t rounds = filtered ? num_survivors : n;
+  size_t mask = small_.size - 1;
+  size_t added = 0;
+  for (size_t r = 0; r < rounds; ++r) {
+    const size_t i = filtered ? survivors[r] : r;
+    if ((num_rows_ + 1) * 2 > small_.size) {
+      GrowSmall();
+      mask = small_.size - 1;
+    }
+    const int* tuple = tuples + static_cast<size_t>(arity) * i;
+    const uint64_t key = PackSmall(tuple, arity);
+    const size_t hash = hashes[i];
+    size_t pos = hash & mask;
+    bool duplicate = false;
+    while (small_[pos].id != 0) {
+      if (small_[pos].key == key) {
+        duplicate = true;
+        break;
+      }
+      pos = (pos + 1) & mask;
+    }
+    if (duplicate) continue;
+    if (num_rows_ >= ceiling) {
+      at_row_ceiling_ = true;
+      continue;
+    }
+    small_[pos].key = key;
+    small_[pos].id = static_cast<uint32_t>(num_rows_ + 1);
+    small_[pos].hash32 = static_cast<uint32_t>(hash);
+    cells.push_back(tuple[0]);
+    if (arity == 2) cells.push_back(tuple[1]);
+    new_idx[added++] = static_cast<uint32_t>(i);
+    if (++num_rows_ == near_mark) {
+      OWLQR_COUNT("evaluator/rows_near_overflow", 1);
+    }
+  }
+  return added;
+}
+
 void Rows::SetMaxRowsForTest(size_t max_rows) {
   g_max_rows_for_test = max_rows;
 }

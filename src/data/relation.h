@@ -65,6 +65,36 @@ inline size_t HashTuple(const int* tuple, int arity) {
   }
 }
 
+// Batched tuple hashing for the vector-at-a-time join executor: hashes `n`
+// row-major keys of `arity` ints each into `out`.  Each arm is one tight
+// loop with no per-element branching, so the compiler can vectorise it;
+// every value is identical to HashTuple on the same key.
+inline void HashTupleBatch(const int* keys, int arity, size_t n,
+                           size_t* out) {
+  using relation_internal::FinalMix;
+  using relation_internal::kFnvBasis;
+  using relation_internal::Mix;
+  switch (arity) {
+    case 1:
+      for (size_t i = 0; i < n; ++i) {
+        out[i] = FinalMix(Mix(kFnvBasis, static_cast<size_t>(keys[i]) + 1));
+      }
+      break;
+    case 2:
+      for (size_t i = 0; i < n; ++i) {
+        out[i] = FinalMix(
+            Mix(Mix(kFnvBasis, static_cast<size_t>(keys[2 * i]) + 1),
+                static_cast<size_t>(keys[2 * i + 1]) + 1));
+      }
+      break;
+    default:
+      for (size_t i = 0; i < n; ++i) {
+        out[i] = HashTuple(keys + static_cast<size_t>(arity) * i, arity);
+      }
+      break;
+  }
+}
+
 // One predicate's extension: a flat row-major arena of `arity`-strided
 // cells plus an open-addressing dedup table (slot = row index + 1).
 struct Rows {
@@ -101,6 +131,16 @@ struct Rows {
   // that can abort must treat a partial output relation like any other
   // truncation (the evaluator aborts at its next limit flush).
   bool Insert(const int* tuple);
+  // Batched Insert for the vector-at-a-time emit path: inserts `n`
+  // row-major tuples given their precomputed HashTuple values (one
+  // HashTupleBatch call hashes the whole run in a vectorisable loop),
+  // records the batch-local indices of the genuinely new tuples in
+  // `new_idx` (caller-allocated, at least n long) and returns their count.
+  // The dedup slot of an upcoming tuple is prefetched while the current one
+  // probes.  Outcome — row order, duplicate handling, table growth points,
+  // ceiling refusals — is identical to n sequential Insert calls.
+  size_t InsertBatch(const int* tuples, size_t n, const size_t* hashes,
+                     uint32_t* new_idx);
   // True iff `tuple` is already present.  The const dedup probe of Insert
   // (no growth, no mutation): DataSnapshot::WithFacts uses it to filter a
   // fact batch against the parent relation before deciding to deep-copy.
@@ -195,6 +235,46 @@ struct HashIndex {
     return (hashes.capacity() + starts.capacity() + ends.capacity() +
             ids.capacity()) *
            sizeof(uint32_t);
+  }
+
+  // Bulk probe for the batch executor: resolves `n` hashes to candidate
+  // ranges as [begin[i], end[i]) offsets into `ids` (begin == end when the
+  // key is absent).  Offsets rather than pointers so the caller's per-batch
+  // range arrays stay 32-bit; the slot of the next probe is prefetched
+  // while the current one resolves.  Equivalent to n Find calls.
+  void FindBatch(const size_t* h, size_t n, uint32_t* out_begin,
+                 uint32_t* out_end) const {
+    if (hashes.empty()) {
+      for (size_t i = 0; i < n; ++i) {
+        out_begin[i] = 0;
+        out_end[i] = 0;
+      }
+      return;
+    }
+    for (size_t i = 0; i < n; ++i) {
+      if (i + 1 < n) {
+        uint32_t ahead = static_cast<uint32_t>(h[i + 1]);
+        if (ahead == 0) ahead = 1;
+        __builtin_prefetch(hashes.data() + (ahead & mask));
+      }
+      uint32_t want = static_cast<uint32_t>(h[i]);
+      if (want == 0) want = 1;
+      size_t pos = want & mask;
+      uint32_t begin = 0;
+      uint32_t end = 0;
+      while (true) {
+        uint32_t stored = hashes[pos];
+        if (stored == want) {
+          begin = starts[pos];
+          end = ends[pos];
+          break;
+        }
+        if (stored == 0) break;
+        pos = (pos + 1) & mask;
+      }
+      out_begin[i] = begin;
+      out_end[i] = end;
+    }
   }
 
   // Candidates for `h` as a [first, last) range (nullptrs when absent).

@@ -301,7 +301,7 @@ const HashIndex& Evaluator::GetIndex(int predicate, unsigned mask) {
   return slot->index;
 }
 
-void Evaluator::Materialize(int predicate) {
+void Evaluator::Materialize(int predicate, JoinContext* ctx) {
   Rows& rows = preds_[predicate]->rows;
   if (rows.materialized) return;
   if (!program_.IsIdb(predicate)) {
@@ -312,12 +312,12 @@ void Evaluator::Materialize(int predicate) {
   for (int ci : program_.ClausesFor(predicate)) {
     for (const NdlAtom& atom : program_.clause(ci).body) {
       if (program_.IsIdb(atom.predicate) && atom.predicate != predicate) {
-        Materialize(atom.predicate);
+        Materialize(atom.predicate, ctx);
       }
     }
   }
   for (int ci : program_.ClausesFor(predicate)) {
-    EvaluateClause(ci, &rows);
+    EvaluateClause(ci, ctx, &rows);
   }
   rows.materialized = true;
 }
@@ -536,13 +536,194 @@ Evaluator::ClausePlan Evaluator::CompilePlan(const NdlClause& clause,
   }
   plan.splittable = !plan.steps.empty() && plan.steps[0].rows != nullptr &&
                     plan.steps[0].mask == 0;
+  if (limits_.batch_rows > 0) CompileBatchPlan(&plan);
   return plan;
+}
+
+void Evaluator::CompileBatchPlan(ClausePlan* plan) {
+  const size_t k = plan->steps.size();
+  if (k == 0) return;  // Empty body: the scalar path emits the one tuple.
+  const int nv = plan->num_vars;
+
+  // Pass 1 — static boundness before each step (bound[s][v]: some step < s
+  // binds v).  Mirrors the replay in CompilePlan exactly, so a variable is
+  // bound at runtime iff it is bound here.
+  std::vector<std::vector<char>> bound(k + 1, std::vector<char>(nv, 0));
+  for (size_t s = 0; s < k; ++s) {
+    bound[s + 1] = bound[s];
+    for (const Term& t : plan->steps[s].atom->args) {
+      if (!t.is_constant) bound[s + 1][t.value] = 1;
+    }
+  }
+  auto is_bound = [&bound](size_t s, const Term& t) {
+    return t.is_constant || bound[s][t.value] != 0;
+  };
+
+  // Pass 2 — liveness, backwards: a step's output carries only the
+  // variables some later step (or the head) still reads, so batches stay
+  // narrow on long chain joins.  live[s] (ascending var ids) is the column
+  // layout of step s's output batch — and of step s+1's input batch.
+  std::vector<char> needed(nv, 0);
+  for (int code : plan->head_code) {
+    if (code >= 0) needed[code] = 1;
+  }
+  std::vector<std::vector<int>> live(k);
+  for (size_t s = k; s-- > 0;) {
+    for (int v = 0; v < nv; ++v) {
+      if (needed[v] && bound[s + 1][v]) live[s].push_back(v);
+    }
+    const AtomStep& step = plan->steps[s];
+    if (step.rows != nullptr) {
+      for (int code : step.key_code) {
+        if (code >= 0) needed[code] = 1;
+      }
+      // A check against a variable this very atom binds (a repeated open
+      // variable) reads the candidate tuple, not the input batch.
+      for (const auto& [pos, code] : step.checks) {
+        (void)pos;
+        if (code >= 0 && bound[s][code]) needed[code] = 1;
+      }
+    } else {
+      for (const Term& t : step.atom->args) {
+        if (!t.is_constant && bound[s][t.value]) needed[t.value] = 1;
+      }
+    }
+  }
+
+  auto slot_of = [](const std::vector<int>& cols, int v) {
+    return static_cast<int>(std::lower_bound(cols.begin(), cols.end(), v) -
+                            cols.begin());
+  };
+
+  // Pass 3 — per-step recipes against the narrowed column layouts.
+  static const std::vector<int> kNoCols;
+  plan->batch.resize(k);
+  for (size_t s = 0; s < k; ++s) {
+    const AtomStep& step = plan->steps[s];
+    BatchStep& bs = plan->batch[s];
+    const std::vector<int>& in = s == 0 ? kNoCols : live[s - 1];
+    const std::vector<int>& outv = live[s];
+    // Scalar term code -> batch code: constants keep their encoding,
+    // variables become input-column indexes.
+    auto bcode = [&](int code) { return code < 0 ? code : slot_of(in, code); };
+    auto bterm = [&](const Term& t) {
+      return t.is_constant ? -t.value - 1 : slot_of(in, t.value);
+    };
+    auto pass_through = [&](int v) {
+      return BatchOut{BatchOut::kFromSlot, slot_of(in, v)};
+    };
+
+    if (step.rows != nullptr) {
+      bs.op = step.mask == 0 ? BatchOp::kScan : BatchOp::kProbe;
+      bs.key_code.reserve(step.key_code.size());
+      for (int code : step.key_code) bs.key_code.push_back(bcode(code));
+      bs.key_len = static_cast<int>(bs.key_code.size());
+      bs.checks.reserve(step.checks.size());
+      for (const auto& [pos, code] : step.checks) {
+        BatchCheck c;
+        c.pos = pos;
+        if (code < 0) {
+          c.kind = BatchCheck::kConst;
+          c.arg = -code - 1;
+        } else if (bound[s][code]) {
+          c.kind = BatchCheck::kSlot;
+          c.arg = slot_of(in, code);
+        } else {
+          c.kind = BatchCheck::kTuplePos;
+          for (const auto& [bpos, var] : step.bind) {
+            if (var == code) {
+              c.arg = bpos;
+              break;
+            }
+          }
+        }
+        bs.checks.push_back(c);
+      }
+      bs.out.reserve(outv.size());
+      for (int v : outv) {
+        int bind_pos = -1;
+        for (const auto& [bpos, var] : step.bind) {
+          if (var == v) {
+            bind_pos = bpos;
+            break;
+          }
+        }
+        bs.out.push_back(bind_pos >= 0
+                             ? BatchOut{BatchOut::kFromTuple, bind_pos}
+                             : pass_through(v));
+      }
+      bs.verbatim =
+          static_cast<int>(bs.out.size()) == step.rows->arity;
+      for (size_t j = 0; j < bs.out.size(); ++j) {
+        if (bs.out[j].kind != BatchOut::kFromTuple ||
+            bs.out[j].arg != static_cast<int>(j)) {
+          bs.verbatim = false;
+        }
+      }
+    } else if (step.kind == PredicateKind::kEquality) {
+      const Term& a = step.atom->args[0];
+      const Term& b = step.atom->args[1];
+      const bool ba = is_bound(s, a);
+      const bool bb = is_bound(s, b);
+      if (ba && bb) {
+        bs.op = BatchOp::kEqFilter;
+        bs.code = bterm(a);
+        bs.code_b = bterm(b);
+        for (int v : outv) bs.out.push_back(pass_through(v));
+      } else if (ba || bb) {
+        // One side open: binds it to the bound side's value — a 1:1
+        // pass-through whose only work is the open variable's column.
+        bs.op = BatchOp::kEqBind;
+        bs.code = bterm(ba ? a : b);
+        const int open = (ba ? b : a).value;
+        for (int v : outv) {
+          if (v == open) {
+            bs.out.push_back(bs.code < 0
+                                 ? BatchOut{BatchOut::kConst, -bs.code - 1}
+                                 : BatchOut{BatchOut::kFromSlot, bs.code});
+          } else {
+            bs.out.push_back(pass_through(v));
+          }
+        }
+      } else {
+        // Both open (rare): enumerate the active domain, binding both.
+        bs.op = BatchOp::kEqExpand;
+        for (int v : outv) {
+          bs.out.push_back(v == a.value || v == b.value
+                               ? BatchOut{BatchOut::kFromTuple, 0}
+                               : pass_through(v));
+        }
+      }
+    } else {  // kAdom
+      const Term& a = step.atom->args[0];
+      if (is_bound(s, a)) {
+        bs.op = BatchOp::kAdomFilter;
+        bs.code = bterm(a);
+        for (int v : outv) bs.out.push_back(pass_through(v));
+      } else {
+        bs.op = BatchOp::kAdomExpand;
+        for (int v : outv) {
+          bs.out.push_back(v == a.value ? BatchOut{BatchOut::kFromTuple, 0}
+                                        : pass_through(v));
+        }
+      }
+    }
+  }
+  // Head recipe over the final batch, whose columns are exactly the head
+  // variables (liveness was seeded with them).
+  plan->head_slot.reserve(plan->head_code.size());
+  for (int code : plan->head_code) {
+    plan->head_slot.push_back(code < 0 ? code : slot_of(live[k - 1], code));
+  }
+  plan->head_identity = plan->head_slot.size() == live[k - 1].size();
+  for (size_t i = 0; i < plan->head_slot.size(); ++i) {
+    if (plan->head_slot[i] != static_cast<int>(i)) plan->head_identity = false;
+  }
+  plan->batch_compiled = true;
 }
 
 void Evaluator::RunJoin(const ClausePlan& plan, JoinContext* ctx,
                         Rows* out) {
-  ctx->binding.assign(plan.num_vars, -1);
-  ctx->head_tuple.resize(plan.clause->head.args.size());
   ctx->index.assign(plan.steps.size(), nullptr);
   // Memory-charge baseline: whatever `out` holds now was charged when the
   // code that grew it settled (the invariant every growth path keeps), so
@@ -560,7 +741,23 @@ void Evaluator::RunJoin(const ClausePlan& plan, JoinContext* ctx,
       out->Reserve(out->size() + (end - ctx->driver_begin));
     }
   }
-  Join(plan, 0, ctx, out);
+  if (plan.batch_compiled) {
+    // Vector-at-a-time path: expansion is row-major and in driver order, so
+    // the emission sequence — and with it every counter, limit-abort point
+    // and truncated answer prefix — is byte-identical to the scalar path's
+    // depth-first recursion.
+    if (!aborted_.load(std::memory_order_relaxed) &&
+        EnsureBatchScratch(plan, ctx)) {
+      ctx->levels[0].size = 1;  // One empty binding seeds the root scan.
+      JoinBatch(plan, 0, ctx, out);
+      ctx->levels[0].size = 0;
+    }
+    FlushBatchMetrics(ctx);
+  } else {
+    ctx->binding.assign(plan.num_vars, -1);
+    ctx->head_tuple.resize(plan.clause->head.args.size());
+    Join(plan, 0, ctx, out);
+  }
   // Settle the residual tallies so the evaluator-wide counters (and the
   // fan-out owner's shard accounting) see every emission of this run.
   if (ctx->unflushed_emissions != 0 || ctx->unflushed_new != 0) {
@@ -571,24 +768,489 @@ void Evaluator::RunJoin(const ClausePlan& plan, JoinContext* ctx,
   ChargeRowsDelta(*out, &ctx->charged_bytes);
 }
 
-void Evaluator::EvaluateClause(int ci, Rows* out) {
+bool Evaluator::EnsureBatchScratch(const ClausePlan& plan, JoinContext* ctx) {
+  // Morsel workers re-enter with the same (stable) plan object, so pointer
+  // identity short-circuits the chunk loop.  Callers that run a context
+  // across *different* plans (one per clause) clear scratch_plan between
+  // runs — plan objects there are stack locals whose addresses can repeat.
+  if (ctx->scratch_plan == &plan) return true;
+  const size_t cap = static_cast<size_t>(
+      std::min<long>(std::max<long>(limits_.batch_rows, 1), 65536));
+  const size_t k = plan.steps.size();
+  ctx->batch_cap = cap;
+  // Never shrink the level list: a retained context runs many plans in a
+  // row (one per clause of a task), and keeping the levels keeps their
+  // vectors' capacity — after the first few clauses re-setup allocates
+  // nothing.  Stale levels beyond k end every run at size 0, so they are
+  // inert; their bytes stay counted below.
+  if (ctx->levels.size() < k + 1) ctx->levels.resize(k + 1);
+  size_t bytes = 0;
+  for (size_t s = 0; s <= k; ++s) {
+    JoinContext::BatchLevel& lv = ctx->levels[s];
+    lv.width = s == 0 ? 0 : static_cast<int>(plan.batch[s - 1].out.size());
+    lv.cols.resize(static_cast<size_t>(lv.width) * cap);
+    lv.size = 0;
+    lv.ext = nullptr;  // Any zero-copy alias belongs to a finished run.
+    if (s < k) {
+      const BatchStep& bs = plan.batch[s];
+      switch (bs.op) {
+        case BatchOp::kScan:
+        case BatchOp::kProbe:
+        case BatchOp::kEqExpand:
+        case BatchOp::kAdomExpand:
+          lv.sel.resize(cap);
+          lv.cand.resize(cap);
+          break;
+        case BatchOp::kEqFilter:
+        case BatchOp::kAdomFilter:
+          lv.sel.resize(cap);
+          break;
+        case BatchOp::kEqBind:
+          break;
+      }
+      if (bs.op == BatchOp::kProbe) {
+        lv.keys.resize(static_cast<size_t>(bs.key_len) * cap);
+        lv.hashes.resize(cap);
+        lv.range_begin.resize(cap);
+        lv.range_end.resize(cap);
+      }
+    }
+  }
+  for (const JoinContext::BatchLevel& lv : ctx->levels) {
+    bytes += lv.cols.capacity() * sizeof(int) +
+             (lv.sel.capacity() + lv.cand.capacity()) * sizeof(uint32_t) +
+             lv.keys.capacity() * sizeof(int) +
+             lv.hashes.capacity() * sizeof(size_t) +
+             (lv.range_begin.capacity() + lv.range_end.capacity()) *
+                 sizeof(uint32_t);
+  }
+  if (ctx->head_stage.size() < plan.head_slot.size() * cap) {
+    ctx->head_stage.resize(plan.head_slot.size() * cap);
+  }
+  if (ctx->head_hashes.size() < cap) {
+    ctx->head_hashes.resize(cap);
+    ctx->new_idx.resize(cap);
+  }
+  bytes += ctx->head_stage.capacity() * sizeof(int) +
+           ctx->head_hashes.capacity() * sizeof(size_t) +
+           ctx->new_idx.capacity() * sizeof(uint32_t);
+  ctx->scratch_plan = &plan;
+  // Charge the scratch like any other execution-owned allocation; the
+  // context's destructor gives the bytes back.  Even a failed charge stays
+  // recorded (the memory is allocated either way; see util/budget.h).
+  if (account_ != nullptr && bytes != ctx->scratch_charged) {
+    ctx->scratch_account = account_;
+    bool ok = true;
+    if (bytes > ctx->scratch_charged) {
+      ok = ChargeMemory(bytes - ctx->scratch_charged);
+    } else {
+      account_->Release(ctx->scratch_charged - bytes);
+    }
+    ctx->scratch_charged = bytes;
+    return ok;
+  }
+  return true;
+}
+
+bool Evaluator::JoinBatch(const ClausePlan& plan, size_t next,
+                          JoinContext* ctx, Rows* out) {
+  if (next == plan.steps.size()) return EmitBatch(plan, ctx, out);
+  JoinContext::BatchLevel& in = ctx->levels[next];
+  const size_t n = in.size;
+  if (n == 0) return true;
+  const AtomStep& step = plan.steps[next];
+  const BatchStep& bs = plan.batch[next];
+  JoinContext::BatchLevel& outb = ctx->levels[next + 1];
+  const size_t cap = ctx->batch_cap;
+  const int in_width = in.width;
+  const int out_width = outb.width;
+  const int* in_cols = in.data();
+  int* out_cols = outb.cols.data();
+
+  auto operand = [&](int code, size_t i) {
+    return code >= 0 ? in_cols[i * static_cast<size_t>(in_width) + code]
+                     : -code - 1;
+  };
+
+  // Candidate tuple source of kFromTuple output recipes: the step's
+  // relation rows, or the active domain (arity 1) for the expand built-ins.
+  const int* tuple_base = nullptr;
+  int tuple_arity = 1;
+  if (step.rows != nullptr) {
+    tuple_base = step.rows->size() > 0 ? step.rows->row(0) : nullptr;
+    tuple_arity = step.rows->arity;
+  } else if (bs.op == BatchOp::kEqExpand || bs.op == BatchOp::kAdomExpand) {
+    tuple_base = ActiveDomain().data();
+  }
+
+  // Gathers the `m` pending (sel, cand) pairs into the output batch, one
+  // tight loop per column — the shape the compiler can vectorise.
+  uint32_t* sel = in.sel.data();
+  uint32_t* cand = in.cand.data();
+  auto gather = [&](size_t m) {
+    for (size_t oi = 0; oi < bs.out.size(); ++oi) {
+      const BatchOut& o = bs.out[oi];
+      int* dst = out_cols + oi;
+      switch (o.kind) {
+        case BatchOut::kFromSlot: {
+          const int* src = in_cols + o.arg;
+          for (size_t j = 0; j < m; ++j) {
+            dst[j * out_width] = src[sel[j] * static_cast<size_t>(in_width)];
+          }
+          break;
+        }
+        case BatchOut::kFromTuple: {
+          const int* src = tuple_base + o.arg;
+          for (size_t j = 0; j < m; ++j) {
+            dst[j * out_width] =
+                src[cand[j] * static_cast<size_t>(tuple_arity)];
+          }
+          break;
+        }
+        case BatchOut::kConst:
+          for (size_t j = 0; j < m; ++j) dst[j * out_width] = o.arg;
+          break;
+      }
+    }
+    outb.size = m;
+  };
+  size_t m = 0;
+  auto flush = [&]() {
+    gather(m);
+    ctx->batch_rows_tally += static_cast<long>(m);
+    ctx->batch_out_tally += static_cast<long>(m);
+    m = 0;
+    bool ok = JoinBatch(plan, next + 1, ctx, out);
+    outb.size = 0;
+    return ok;
+  };
+  // Cooperative abort poll for long candidate stretches that emit nothing
+  // (same cadence as the scalar path's flush interval).
+  auto abort_poll = [&]() {
+    return (++ctx->batch_scanned & (kDeadlineCheckInterval - 1)) == 0 &&
+           AbortRequested();
+  };
+
+  switch (bs.op) {
+    case BatchOp::kEqBind: {
+      // 1:1 pass-through; only the open variable's column is new.
+      for (size_t oi = 0; oi < bs.out.size(); ++oi) {
+        const BatchOut& o = bs.out[oi];
+        int* dst = out_cols + oi;
+        if (o.kind == BatchOut::kConst) {
+          for (size_t j = 0; j < n; ++j) dst[j * out_width] = o.arg;
+        } else {
+          const int* src = in_cols + o.arg;
+          for (size_t j = 0; j < n; ++j) {
+            dst[j * out_width] = src[j * static_cast<size_t>(in_width)];
+          }
+        }
+      }
+      outb.size = n;
+      ctx->batch_rows_tally += static_cast<long>(n);
+      bool ok = JoinBatch(plan, next + 1, ctx, out);
+      outb.size = 0;
+      return ok;
+    }
+    case BatchOp::kEqFilter: {
+      // Branch-free selection build, then one gather.
+      for (size_t i = 0; i < n; ++i) {
+        sel[m] = static_cast<uint32_t>(i);
+        m += operand(bs.code, i) == operand(bs.code_b, i) ? 1 : 0;
+      }
+      ctx->batch_cand_tally += static_cast<long>(n);
+      return m == 0 || flush();
+    }
+    case BatchOp::kAdomFilter: {
+      const std::vector<int>& adom = ActiveDomain();
+      for (size_t i = 0; i < n; ++i) {
+        sel[m] = static_cast<uint32_t>(i);
+        m += std::binary_search(adom.begin(), adom.end(), operand(bs.code, i))
+                 ? 1
+                 : 0;
+      }
+      ctx->batch_cand_tally += static_cast<long>(n);
+      return m == 0 || flush();
+    }
+    case BatchOp::kEqExpand:
+    case BatchOp::kAdomExpand: {
+      const size_t adom_size = ActiveDomain().size();
+      for (size_t i = 0; i < n; ++i) {
+        for (size_t r = 0; r < adom_size; ++r) {
+          if (abort_poll()) return false;
+          sel[m] = static_cast<uint32_t>(i);
+          cand[m] = static_cast<uint32_t>(r);
+          if (++m == cap && !flush()) return false;
+        }
+      }
+      ctx->batch_cand_tally += static_cast<long>(n * adom_size);
+      return m == 0 || flush();
+    }
+    case BatchOp::kScan: {
+      const Rows& rows = *step.rows;
+      size_t begin = 0;
+      size_t end = rows.size();
+      if (next == 0) {
+        // The driver scan honours the context's row range (the whole
+        // relation by default, one morsel/chunk under a fan-out).
+        begin = ctx->driver_begin;
+        end = std::min(end, ctx->driver_end);
+      }
+      if (bs.checks.empty() && bs.verbatim && &rows != out) {
+        // Zero-copy scan: the output batch is the candidate tuple verbatim,
+        // so each chunk of consecutive arena rows becomes the next level's
+        // batch in place (BatchLevel::ext) — no selection vectors, no
+        // gather.  A copy clause thus runs as hash + dedup-insert straight
+        // off the source arena.  Emission order and all limit counters are
+        // unchanged; the &rows != out guard keeps the aliased rows stable
+        // while `out` grows (impossible for stratified programs, but cheap).
+        for (size_t i = 0; i < n; ++i) {
+          for (size_t r = begin; r < end;) {
+            const size_t take = std::min(end - r, cap);
+            ctx->batch_scanned += static_cast<long>(take);
+            if (AbortRequested()) return false;
+            outb.ext = rows.row(r);
+            outb.size = take;
+            ctx->batch_rows_tally += static_cast<long>(take);
+            ctx->batch_out_tally += static_cast<long>(take);
+            const bool ok = JoinBatch(plan, next + 1, ctx, out);
+            outb.size = 0;
+            outb.ext = nullptr;
+            if (!ok) return false;
+            r += take;
+          }
+          ctx->batch_cand_tally += static_cast<long>(end - begin);
+        }
+        return true;
+      }
+      if (bs.checks.empty()) {
+        // Unfiltered scan: every row qualifies, so the selection vectors
+        // fill in branch-free consecutive runs (one abort poll per run
+        // instead of per candidate — deadline cadence only, which is
+        // nondeterministic anyway; emission order is unchanged).
+        for (size_t i = 0; i < n; ++i) {
+          size_t r = begin;
+          while (r < end) {
+            const size_t take = std::min(end - r, cap - m);
+            for (size_t t = 0; t < take; ++t) {
+              sel[m + t] = static_cast<uint32_t>(i);
+              cand[m + t] = static_cast<uint32_t>(r + t);
+            }
+            ctx->batch_scanned += take;
+            if (AbortRequested()) return false;
+            m += take;
+            r += take;
+            if (m == cap && !flush()) return false;
+          }
+          ctx->batch_cand_tally += static_cast<long>(end - begin);
+        }
+        return m == 0 || flush();
+      }
+      for (size_t i = 0; i < n; ++i) {
+        for (size_t r = begin; r < end; ++r) {
+          if (abort_poll()) return false;
+          const int* tuple = rows.row(r);
+          bool ok = true;
+          for (const BatchCheck& c : bs.checks) {
+            const int want =
+                c.kind == BatchCheck::kSlot
+                    ? in_cols[i * static_cast<size_t>(in_width) + c.arg]
+                    : (c.kind == BatchCheck::kConst ? c.arg : tuple[c.arg]);
+            if (tuple[c.pos] != want) {
+              ok = false;
+              break;
+            }
+          }
+          if (!ok) continue;
+          sel[m] = static_cast<uint32_t>(i);
+          cand[m] = static_cast<uint32_t>(r);
+          if (++m == cap && !flush()) return false;
+        }
+        ctx->batch_cand_tally += static_cast<long>(end - begin);
+      }
+      return m == 0 || flush();
+    }
+    case BatchOp::kProbe:
+      break;  // Falls through to the bulk-probe body below.
+  }
+
+  const HashIndex*& index = ctx->index[next];
+  if (index == nullptr) {
+    // Fetched lazily so clauses that fail before probing never build it.
+    index = &GetIndex(step.atom->predicate, step.mask);
+    // The build itself may have exhausted the deadline (leaving a partial
+    // index); do not probe it in that case.
+    if (aborted_.load(std::memory_order_relaxed)) return false;
+  }
+  // Key gather + batched hashing + bulk probe: each a tight loop over the
+  // whole input batch, replacing the per-probe HashTuple/Find pair of the
+  // scalar path.
+  const int kl = bs.key_len;
+  int* keys = in.keys.data();
+  for (int j = 0; j < kl; ++j) {
+    const int code = bs.key_code[j];
+    int* dst = keys + j;
+    if (code >= 0) {
+      const int* src = in_cols + code;
+      for (size_t i = 0; i < n; ++i) {
+        dst[i * static_cast<size_t>(kl)] =
+            src[i * static_cast<size_t>(in_width)];
+      }
+    } else {
+      const int value = -code - 1;
+      for (size_t i = 0; i < n; ++i) {
+        dst[i * static_cast<size_t>(kl)] = value;
+      }
+    }
+  }
+  HashTupleBatch(keys, kl, n, in.hashes.data());
+  index->FindBatch(in.hashes.data(), n, in.range_begin.data(),
+                   in.range_end.data());
+  ctx->batch_probes_tally += static_cast<long>(n);
+  const Rows& rows = *step.rows;
+  const uint32_t* ids = index->ids.data();
+  for (size_t i = 0; i < n; ++i) {
+    const uint32_t rb = in.range_begin[i];
+    const uint32_t re = in.range_end[i];
+    ctx->batch_cand_tally += static_cast<long>(re - rb);
+    for (uint32_t t = rb; t < re; ++t) {
+      if (t + 1 < re) {
+        // Candidate rows land all over the arena; fetching the next one
+        // while this one joins hides most of that latency.
+        __builtin_prefetch(rows.row(ids[t + 1]));
+      }
+      if (abort_poll()) return false;
+      const uint32_t r = ids[t];
+      const int* tuple = rows.row(r);
+      bool ok = true;
+      for (const BatchCheck& c : bs.checks) {
+        const int want =
+            c.kind == BatchCheck::kSlot
+                ? in_cols[i * static_cast<size_t>(in_width) + c.arg]
+                : (c.kind == BatchCheck::kConst ? c.arg : tuple[c.arg]);
+        if (tuple[c.pos] != want) {
+          ok = false;
+          break;
+        }
+      }
+      if (!ok) continue;
+      sel[m] = static_cast<uint32_t>(i);
+      cand[m] = r;
+      if (++m == cap && !flush()) return false;
+    }
+  }
+  return m == 0 || flush();
+}
+
+bool Evaluator::EmitBatch(const ClausePlan& plan, JoinContext* ctx,
+                          Rows* out) {
+  JoinContext::BatchLevel& in = ctx->levels[plan.steps.size()];
+  const size_t n = in.size;
+  if (n == 0) return true;
+  const int width = in.width;
+  const int* in_cols = in.data();
+  const int head_arity = static_cast<int>(plan.head_slot.size());
+  const int* stage = in_cols;
+  if (!plan.head_identity) {
+    // Permute/project the level columns into head order.  Skipped when the
+    // head is the identity over the final layout — the level batch is
+    // already row-major head tuples and feeds the hash/insert passes as-is.
+    int* staged = ctx->head_stage.data();
+    for (int oi = 0; oi < head_arity; ++oi) {
+      const int code = plan.head_slot[oi];
+      int* dst = staged + oi;
+      if (code >= 0) {
+        const int* src = in_cols + code;
+        for (size_t j = 0; j < n; ++j) {
+          dst[j * head_arity] = src[j * static_cast<size_t>(width)];
+        }
+      } else {
+        const int value = -code - 1;
+        for (size_t j = 0; j < n; ++j) dst[j * head_arity] = value;
+      }
+    }
+    stage = staged;
+  }
+  // One vectorisable hashing pass over the staged run, then insert in
+  // countdown-bounded sub-runs so limits flush on exactly the emission the
+  // scalar path would flush on: abort points, counters and truncated answer
+  // prefixes stay byte-identical.
+  HashTupleBatch(stage, head_arity, n, ctx->head_hashes.data());
+  size_t done = 0;
+  while (done < n) {
+    const size_t take = std::min<size_t>(
+        n - done, static_cast<size_t>(std::max<long>(ctx->flush_countdown, 1)));
+    const size_t added =
+        out->InsertBatch(stage + done * static_cast<size_t>(head_arity), take,
+                         ctx->head_hashes.data() + done, ctx->new_idx.data());
+    ctx->new_tuples += static_cast<long>(added);
+    ctx->unflushed_new += static_cast<long>(added);
+    if (ctx->delta_out != nullptr) {
+      for (size_t j = 0; j < added; ++j) {
+        ctx->delta_out->Insert(stage + (done + ctx->new_idx[j]) *
+                                           static_cast<size_t>(head_arity));
+      }
+    }
+    ctx->emissions += static_cast<long>(take);
+    ctx->unflushed_emissions += static_cast<long>(take);
+    ctx->flush_countdown -= static_cast<long>(take);
+    done += take;
+    if (ctx->flush_countdown <= 0 && !FlushLimits(ctx)) return false;
+  }
+  return true;
+}
+
+void Evaluator::FlushBatchMetrics(JoinContext* ctx) {
+  if (ctx->batch_rows_tally != 0) {
+    batch_rows_.fetch_add(ctx->batch_rows_tally, std::memory_order_relaxed);
+  }
+  if (ctx->batch_probes_tally != 0) {
+    batch_probes_.fetch_add(ctx->batch_probes_tally,
+                            std::memory_order_relaxed);
+  }
+  if (MetricsRegistry* metrics = MetricsRegistry::Global()) {
+    if (ctx->batch_rows_tally != 0) {
+      metrics->Count("ndl/batch_rows", ctx->batch_rows_tally);
+    }
+    if (ctx->batch_probes_tally != 0) {
+      metrics->Count("ndl/batch_probes", ctx->batch_probes_tally);
+    }
+    if (ctx->batch_cand_tally > 0) {
+      metrics->Record("ndl/selection_density",
+                      static_cast<double>(ctx->batch_out_tally) /
+                          static_cast<double>(ctx->batch_cand_tally));
+    }
+  }
+  ctx->batch_rows_tally = 0;
+  ctx->batch_probes_tally = 0;
+  ctx->batch_cand_tally = 0;
+  ctx->batch_out_tally = 0;
+}
+
+void Evaluator::EvaluateClause(int ci, JoinContext* ctx, Rows* out) {
   if (aborted_.load(std::memory_order_relaxed)) return;
   const NdlClause& clause = program_.clause(ci);
   ClausePlan plan = BuildPlan(ci);
-  JoinContext ctx;
+  // `plan` is a fresh stack object each call (its address can repeat), so
+  // the scratch's plan-identity cache must not carry over.
+  ctx->scratch_plan = nullptr;
   if (MetricsRegistry* metrics = MetricsRegistry::Global()) {
     ScopedSpan span(metrics, "evaluate/join");
-    RunJoin(plan, &ctx, out);
+    const long emitted0 = ctx->emissions;
+    const long new0 = ctx->new_tuples;
+    RunJoin(plan, ctx, out);
+    const long emitted = ctx->emissions - emitted0;
+    const long fresh = ctx->new_tuples - new0;
     span.Attr("head", clause.head.predicate);
-    span.Attr("emissions", ctx.emissions);
-    span.Attr("new_tuples", ctx.new_tuples);
+    span.Attr("emissions", emitted);
+    span.Attr("new_tuples", fresh);
     // Totals feed the dedup hit rate: new_tuples / join_emissions.
-    metrics->Count("evaluator/join_emissions", ctx.emissions);
-    metrics->Count("evaluator/new_tuples", ctx.new_tuples);
+    metrics->Count("evaluator/join_emissions", emitted);
+    metrics->Count("evaluator/new_tuples", fresh);
     metrics->Record("evaluator/clause_emissions",
-                    static_cast<double>(ctx.emissions));
+                    static_cast<double>(emitted));
   } else {
-    RunJoin(plan, &ctx, out);
+    RunJoin(plan, ctx, out);
   }
 }
 
@@ -798,29 +1460,98 @@ bool Evaluator::Join(const ClausePlan& plan, size_t next, JoinContext* ctx,
 
 // --- Dependency-DAG scheduler + intra-clause morsel parallelism ----------
 
+namespace {
+
+inline uint64_t PackRange(size_t begin, size_t end) {
+  // Driver row ids fit 32 bits (the Rows arena caps at 2^32 - 2 rows).
+  return (static_cast<uint64_t>(begin) << 32) | static_cast<uint64_t>(end);
+}
+
+}  // namespace
+
+bool Evaluator::StealRange(MorselBatch* batch, size_t* begin, size_t* end) {
+  const int n = static_cast<int>(batch->shards.size());
+  while (!aborted_.load(std::memory_order_relaxed)) {
+    // Pick the worker with the most driver rows left; a range is worth
+    // splitting only when both halves keep at least one chunk.
+    int victim = -1;
+    uint64_t victim_range = 0;
+    size_t best_left = 2 * batch->chunk_rows;
+    for (int w = 0; w < n; ++w) {
+      const uint64_t cur = batch->active[w].load(std::memory_order_acquire);
+      const size_t b = cur >> 32;
+      const size_t e = cur & 0xffffffffu;
+      if (e > b && e - b >= best_left) {
+        victim = w;
+        victim_range = cur;
+        best_left = e - b;
+      }
+    }
+    if (victim < 0) return false;
+    const size_t b = victim_range >> 32;
+    const size_t e = victim_range & 0xffffffffu;
+    const size_t mid = b + (e - b) / 2;
+    if (batch->active[victim].compare_exchange_strong(
+            victim_range, PackRange(b, mid), std::memory_order_acq_rel)) {
+      *begin = mid;
+      *end = e;
+      batch->steals.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+    // Lost the race (the victim advanced a chunk or another thief split
+    // first); rescan — remaining ranges only ever shrink, so this loop
+    // terminates.
+  }
+  return false;
+}
+
 void Evaluator::RunMorsels(MorselBatch* batch, int worker_id) {
   JoinContext ctx;
   Rows* shard = &batch->shards[worker_id];
+  std::atomic<uint64_t>& mine = batch->active[worker_id];
   while (true) {
-    size_t begin =
-        batch->cursor.fetch_add(batch->rows_per_morsel,
-                                std::memory_order_relaxed);
-    if (begin >= batch->driver_rows) break;
-    ctx.driver_begin = begin;
-    ctx.driver_end = std::min(begin + batch->rows_per_morsel,
-                              batch->driver_rows);
-    RunJoin(*batch->plan, &ctx, shard);
+    size_t begin = batch->cursor.fetch_add(batch->rows_per_morsel,
+                                           std::memory_order_relaxed);
+    size_t end;
+    if (begin < batch->driver_rows) {
+      end = std::min(begin + batch->rows_per_morsel, batch->driver_rows);
+    } else if (!StealRange(batch, &begin, &end)) {
+      break;
+    }
+    morsels_.fetch_add(1, std::memory_order_relaxed);
+    // Publish the owned range, then consume it chunk by chunk, advancing
+    // `mine` by CAS — the same word thieves halve, so a chunk is joined by
+    // exactly one worker.
+    mine.store(PackRange(begin, end), std::memory_order_release);
+    size_t processed = 0;
+    while (true) {
+      uint64_t cur = mine.load(std::memory_order_acquire);
+      const size_t b = cur >> 32;
+      const size_t e = cur & 0xffffffffu;
+      if (b >= e) break;
+      const size_t chunk_end = std::min(b + batch->chunk_rows, e);
+      if (!mine.compare_exchange_weak(cur, PackRange(chunk_end, e),
+                                      std::memory_order_acq_rel)) {
+        continue;  // A thief halved the range; re-read.
+      }
+      ctx.driver_begin = b;
+      ctx.driver_end = chunk_end;
+      RunJoin(*batch->plan, &ctx, shard);
+      processed += chunk_end - b;
+    }
+    mine.store(0, std::memory_order_release);
     // Settle the tallies into this worker's slot (single writer per slot)
-    // BEFORE the completed increment below: the owner sums the slots as
-    // soon as the last morsel's release lands, so a write after it would
-    // race with that read.
+    // BEFORE the rows_done release below: the owner sums the slots as soon
+    // as the final release lands, so a write after it would race with that
+    // read.
     batch->emissions[worker_id] += ctx.emissions;
     batch->new_tuples[worker_id] += ctx.new_tuples;
     ctx.emissions = 0;
     ctx.new_tuples = 0;
-    morsels_.fetch_add(1, std::memory_order_relaxed);
-    size_t done = batch->completed.fetch_add(1, std::memory_order_acq_rel) + 1;
-    if (done == batch->num_morsels) {
+    const size_t done =
+        batch->rows_done.fetch_add(processed, std::memory_order_acq_rel) +
+        processed;
+    if (done == batch->driver_rows) {
       // Lock/unlock pairs with the owner's predicate check so the final
       // notification cannot slip between its check and its wait.
       std::lock_guard<std::mutex> lock(batch->mu);
@@ -863,8 +1594,20 @@ void Evaluator::RunClauseFanOut(Scheduler* sched, const ClausePlan& plan,
   batch.plan = &plan;
   batch.driver_rows = plan.steps[0].rows->size();
   batch.rows_per_morsel = static_cast<size_t>(limits_.morsel_rows);
-  batch.num_morsels =
-      (batch.driver_rows + batch.rows_per_morsel - 1) / batch.rows_per_morsel;
+  // Chunk granularity: one column batch on the batch path (a steal never
+  // splits a batch mid-flight), an eighth of a morsel on the scalar path —
+  // small enough that a straggler's remaining work is visible to thieves,
+  // large enough that the CAS traffic stays negligible.
+  batch.chunk_rows =
+      limits_.batch_rows > 0
+          ? std::min(batch.rows_per_morsel,
+                     static_cast<size_t>(std::max<long>(limits_.batch_rows,
+                                                        64)))
+          : std::max<size_t>(batch.rows_per_morsel / 8, 64);
+  batch.active = std::make_unique<std::atomic<uint64_t>[]>(num_workers);
+  for (int w = 0; w < num_workers; ++w) {
+    batch.active[w].store(0, std::memory_order_relaxed);
+  }
   batch.shards.resize(num_workers);
   for (Rows& shard : batch.shards) shard.arity = out->arity;
   batch.emissions.assign(num_workers, 0);
@@ -885,14 +1628,15 @@ void Evaluator::RunClauseFanOut(Scheduler* sched, const ClausePlan& plan,
     if (it != sched->batches.end()) sched->batches.erase(it);
   }
   // ... then waits for helpers still inside the batch — both those joining
-  // their last morsel (completed) and those that entered only to find the
-  // cursor exhausted (helpers).  The batch (and the plan it points into)
-  // stays alive on this frame until no other worker can touch it.
+  // their last range (rows_done) and those that entered only to find
+  // nothing left to claim or steal (helpers).  The batch (and the plan it
+  // points into) stays alive on this frame until no other worker can touch
+  // it.
   {
     std::unique_lock<std::mutex> lock(batch.mu);
     batch.cv.wait(lock, [&batch] {
-      return batch.completed.load(std::memory_order_acquire) ==
-                 batch.num_morsels &&
+      return batch.rows_done.load(std::memory_order_acquire) ==
+                 batch.driver_rows &&
              batch.helpers.load(std::memory_order_relaxed) == 0;
     });
   }
@@ -917,10 +1661,12 @@ void Evaluator::RunClauseFanOut(Scheduler* sched, const ClausePlan& plan,
   if (shard_new > inserted) {
     idb_tuples_.fetch_sub(shard_new - inserted, std::memory_order_relaxed);
   }
+  const long steals = batch.steals.load(std::memory_order_relaxed);
+  if (steals != 0) steals_.fetch_add(steals, std::memory_order_relaxed);
   span.Attr("head", plan.clause->head.predicate);
   span.Attr("emissions", emissions);
   span.Attr("new_tuples", inserted);
-  span.Attr("morsels", static_cast<long>(batch.num_morsels));
+  span.Attr("steals", steals);
   OWLQR_COUNT("evaluator/join_emissions", emissions);
   OWLQR_COUNT("evaluator/new_tuples", inserted);
   OWLQR_RECORD("evaluator/clause_emissions", static_cast<double>(emissions));
@@ -931,6 +1677,9 @@ void Evaluator::RunPredicateTask(Scheduler* sched, int predicate,
   const bool metrics = OWLQR_METRICS_ENABLED();
   const auto task_start = std::chrono::steady_clock::now();
   Rows& out = preds_[predicate]->rows;
+  // One context for every clause of the task: the batch scratch keeps its
+  // capacity across plans, so only the first clause pays the allocations.
+  JoinContext ctx;
   for (int ci : program_.ClausesFor(predicate)) {
     if (aborted_.load(std::memory_order_relaxed)) break;
     const NdlClause& clause = program_.clause(ci);
@@ -946,21 +1695,26 @@ void Evaluator::RunPredicateTask(Scheduler* sched, int predicate,
       fan_out = sched->idle > 0 ||
                 sched->ready.size() + 1 < static_cast<size_t>(num_workers);
     }
+    // `plan` is a fresh stack object each iteration (its address can
+    // repeat), so the scratch's plan-identity cache must not carry over.
+    ctx.scratch_plan = nullptr;
     if (fan_out) {
       RunClauseFanOut(sched, plan, worker_id, num_workers, &out);
     } else if (MetricsRegistry* registry = MetricsRegistry::Global()) {
       ScopedSpan span(registry, "evaluate/join");
-      JoinContext ctx;
+      const long emitted0 = ctx.emissions;
+      const long new0 = ctx.new_tuples;
       RunJoin(plan, &ctx, &out);
+      const long emitted = ctx.emissions - emitted0;
+      const long fresh = ctx.new_tuples - new0;
       span.Attr("head", clause.head.predicate);
-      span.Attr("emissions", ctx.emissions);
-      span.Attr("new_tuples", ctx.new_tuples);
-      registry->Count("evaluator/join_emissions", ctx.emissions);
-      registry->Count("evaluator/new_tuples", ctx.new_tuples);
+      span.Attr("emissions", emitted);
+      span.Attr("new_tuples", fresh);
+      registry->Count("evaluator/join_emissions", emitted);
+      registry->Count("evaluator/new_tuples", fresh);
       registry->Record("evaluator/clause_emissions",
-                       static_cast<double>(ctx.emissions));
+                       static_cast<double>(emitted));
     } else {
-      JoinContext ctx;
       RunJoin(plan, &ctx, &out);
     }
   }
@@ -1016,9 +1770,27 @@ void Evaluator::SchedulerWorker(Scheduler* sched, int worker_id,
       MorselBatch* candidate = sched->batches.back();
       if (candidate->cursor.load(std::memory_order_relaxed) >=
           candidate->driver_rows) {
-        // Fully claimed; drop it (the owner also erases on completion).
-        sched->batches.pop_back();
-        continue;
+        // Cursor exhausted: the batch is still worth joining while some
+        // worker's published range is large enough to steal from.  Once it
+        // is not, it never will be again (ranges only shrink), so dropping
+        // the batch here cannot strand work (the owner also erases on
+        // completion).
+        bool stealable = false;
+        const int nw = static_cast<int>(candidate->shards.size());
+        for (int w = 0; w < nw; ++w) {
+          const uint64_t cur =
+              candidate->active[w].load(std::memory_order_relaxed);
+          const size_t b = cur >> 32;
+          const size_t e = cur & 0xffffffffu;
+          if (e > b && e - b >= 2 * candidate->chunk_rows) {
+            stealable = true;
+            break;
+          }
+        }
+        if (!stealable) {
+          sched->batches.pop_back();
+          continue;
+        }
       }
       batch = candidate;
       break;
@@ -1081,6 +1853,12 @@ void Evaluator::FillStats(const std::vector<std::vector<int>>& answers,
   stats->morsel_batches = morsel_batches_.load();
   stats->morsels = morsels_.load();
   stats->slowest_task_ms = slowest_task_ms_;
+  // Every driver row is joined exactly once regardless of worker count or
+  // batching, so join_emissions is deterministic like generated_tuples.
+  stats->join_emissions = work_.load();
+  stats->batch_rows = batch_rows_.load();
+  stats->batch_probes = batch_probes_.load();
+  stats->steals = steals_.load();
 }
 
 ExecuteResult Evaluator::Run(const ExecuteRequest& request) {
@@ -1225,6 +2003,9 @@ ExecuteResult Evaluator::RunDelta(const ExecuteRequest& request,
   // for these monotone programs; dedup absorbs re-derivations).  New
   // tuples merge into the retained relation and extend the head's delta.
   long delta_derived = 0;
+  // One context for the whole propagation: the batch scratch keeps its
+  // capacity across the (many, mostly tiny) delta-driven plans.
+  JoinContext ctx;
   for (int p : program_.CachedTopologicalOrder()) {
     if (aborted_.load(std::memory_order_relaxed)) break;
     Rows& full = preds_[p]->rows;
@@ -1232,28 +2013,34 @@ ExecuteResult Evaluator::RunDelta(const ExecuteRequest& request,
     // it, so nothing downstream of the goal can read it.
     if (!full.materialized) continue;
     Rows* dout = &delta_rows[p];
+    ctx.delta_out = dout;
     for (int ci : program_.ClausesFor(p)) {
       const NdlClause& clause = program_.clause(ci);
       for (size_t ai = 0; ai < clause.body.size(); ++ai) {
         if (aborted_.load(std::memory_order_relaxed)) break;
         if (delta_rows[clause.body[ai].predicate].size() == 0) continue;
         ClausePlan plan = BuildDeltaPlan(ci, static_cast<int>(ai), delta_rows);
-        JoinContext ctx;
-        ctx.delta_out = dout;
+        // Plans are per-iteration stack objects; see RunPredicateTask.
+        ctx.scratch_plan = nullptr;
         if (MetricsRegistry* metrics = MetricsRegistry::Global()) {
           ScopedSpan join_span(metrics, "evaluate/join");
+          const long emitted0 = ctx.emissions;
+          const long new0 = ctx.new_tuples;
           RunJoin(plan, &ctx, &full);
+          const long emitted = ctx.emissions - emitted0;
+          const long fresh = ctx.new_tuples - new0;
           join_span.Attr("head", clause.head.predicate);
-          join_span.Attr("emissions", ctx.emissions);
-          join_span.Attr("new_tuples", ctx.new_tuples);
+          join_span.Attr("emissions", emitted);
+          join_span.Attr("new_tuples", fresh);
           join_span.Attr("delta_driven", 1);
-          metrics->Count("evaluator/join_emissions", ctx.emissions);
-          metrics->Count("evaluator/new_tuples", ctx.new_tuples);
+          metrics->Count("evaluator/join_emissions", emitted);
+          metrics->Count("evaluator/new_tuples", fresh);
         } else {
           RunJoin(plan, &ctx, &full);
         }
       }
     }
+    ctx.delta_out = nullptr;
     if (dout->size() > 0) {
       // The predicate grew: its retained probe indexes went stale — drop
       // them before any downstream clause probes the merged relation (the
@@ -1295,7 +2082,13 @@ std::vector<std::vector<int>> Evaluator::Evaluate(EvaluationStats* stats) {
   OWLQR_CHECK_MSG(program_.goal() >= 0, "program has no goal predicate");
   OWLQR_NAMED_SPAN(span, "evaluate");
   StartClock();
-  Materialize(program_.goal());
+  {
+    // Scoped so the batch scratch is released (and un-charged) before the
+    // stats snapshot: final memory readings must reconcile to exactly the
+    // retained arenas.
+    JoinContext ctx;
+    Materialize(program_.goal(), &ctx);
+  }
   std::vector<std::vector<int>> answers =
       preds_[program_.goal()]->rows.ToSortedTuples();
   if (stats != nullptr) FillStats(answers, stats);
@@ -1306,7 +2099,10 @@ std::vector<std::vector<int>> Evaluator::Evaluate(EvaluationStats* stats) {
 }
 
 std::vector<std::vector<int>> Evaluator::Relation(int predicate) {
-  Materialize(predicate);
+  {
+    JoinContext ctx;
+    Materialize(predicate, &ctx);
+  }
   return preds_[predicate]->rows.ToTuples();
 }
 

@@ -64,6 +64,17 @@ struct EvaluationStats {
   long morsel_batches = 0;
   long morsels = 0;
   double slowest_task_ms = 0;
+  // Join emissions (head-tuple productions, duplicates included) across the
+  // run — the quantity EvaluatorLimits::max_work bounds.  Identical on the
+  // batch and scalar paths, and independent of the worker count.
+  long join_emissions = 0;
+  // Vector-at-a-time executor tallies (zero when EvaluatorLimits::batch_rows
+  // disabled the batch path): elements materialised into column batches
+  // across all join stages, bulk hash-index probes issued, and driver
+  // sub-ranges idle workers stole from in-flight morsel ranges.
+  long batch_rows = 0;
+  long batch_probes = 0;
+  long steals = 0;
 };
 
 struct EvaluatorLimits {
@@ -82,6 +93,12 @@ struct EvaluatorLimits {
   // atom scans more than this many rows, the scan is split into morsels of
   // this size and fanned out across workers (<= 0 disables splitting).
   long morsel_rows = 2048;
+  // Column-batch width of the vector-at-a-time join executor: up to this
+  // many elements flow between join steps per batch (capped at 65536).
+  // <= 0 disables batching and runs the scalar tuple-at-a-time path — the
+  // differential oracle the batch tests compare against.  Answers, stats
+  // and limit-abort points are identical either way.
+  long batch_rows = 1024;
 };
 
 // One evaluation request: per-request limits plus the evaluation mode.
@@ -351,6 +368,65 @@ class Evaluator {
     std::vector<std::pair<int, int>> checks;  // (position, code) to verify.
   };
 
+  // What one join step does on the batch (vector-at-a-time) path.  Regular
+  // atoms are kScan (mask 0: enumerate a row range) or kProbe (mask != 0:
+  // bulk hash-index lookup); equality atoms filter (both operands bound),
+  // bind (copy-through, kept only for its output recipes) or expand over
+  // the active domain; adom atoms filter or expand likewise.
+  enum class BatchOp : uint8_t {
+    kScan,
+    kProbe,
+    kEqFilter,
+    kEqBind,
+    kEqExpand,
+    kAdomFilter,
+    kAdomExpand,
+  };
+
+  // One candidate-row filter of a kScan/kProbe batch step: tuple position
+  // `pos` must equal an input-batch column (kSlot: arg = column), a
+  // constant (kConst: arg = value), or an earlier position of the same
+  // tuple (kTuplePos: arg = position — a repeated variable first bound by
+  // this very atom).
+  struct BatchCheck {
+    enum Kind : uint8_t { kSlot, kConst, kTuplePos };
+    Kind kind = kSlot;
+    int pos = 0;
+    int arg = 0;
+  };
+
+  // Recipe for one output column of a batch step: gather from an input
+  // column through the selection vector (kFromSlot: arg = column), from
+  // the candidate tuple (kFromTuple: arg = position), or broadcast a
+  // constant (kConst: arg = value).
+  struct BatchOut {
+    enum Kind : uint8_t { kFromSlot, kFromTuple, kConst };
+    Kind kind = kFromSlot;
+    int arg = 0;
+  };
+
+  // The batch twin of AtomStep, compiled by CompileBatchPlan.  Column
+  // addressing is projection-pruned: a step's output carries only the
+  // variables some later step (or the head) still reads, so batches stay
+  // narrow on long chain joins.
+  struct BatchStep {
+    BatchOp op = BatchOp::kScan;
+    // Probe key recipe, in bound-position order: >= 0 names an input
+    // column, < 0 the constant -(code + 1).  key_len == key_code.size().
+    std::vector<int> key_code;
+    int key_len = 0;
+    // Equality/adom operand codes (same encoding as key_code).
+    int code = 0;
+    int code_b = 0;
+    std::vector<BatchCheck> checks;
+    std::vector<BatchOut> out;
+    // True when the output batch is the candidate tuple verbatim (every
+    // column is kFromTuple position i, width == the relation's arity): an
+    // unfiltered scan can then alias the arena rows in place (BatchLevel::
+    // ext) instead of gathering a copy.
+    bool verbatim = false;
+  };
+
   // Built once per clause evaluation (after the clause's dependencies are
   // materialised, so the greedy atom order sees real relation sizes) and
   // shared read-only by every worker joining the same fan-out.
@@ -365,6 +441,17 @@ class Evaluator {
     // True when step 0 is a full scan of a regular relation, i.e. its row
     // range is splittable into morsels.
     bool splittable = false;
+    // Batch-path recipes, one per step, compiled alongside the scalar codes
+    // when EvaluatorLimits::batch_rows > 0 (batch.size() == steps.size()).
+    std::vector<BatchStep> batch;
+    // Head recipe over the final batch: >= 0 names a column of the last
+    // step's output, < 0 the constant -(code + 1).
+    std::vector<int> head_slot;
+    // True when head_slot is the identity over the final batch (same arity,
+    // column i feeds head position i): EmitBatch then hashes and inserts
+    // straight from the level columns instead of staging a copy.
+    bool head_identity = false;
+    bool batch_compiled = false;
   };
 
   // Mutable state of one join execution; one per worker per fan-out, so the
@@ -402,23 +489,80 @@ class Evaluator {
     long unflushed_emissions = 0;
     long unflushed_new = 0;
     long flush_countdown = 0;  // 0 forces a flush on the first emission.
+
+    // ---- Vector-at-a-time executor scratch (EnsureBatchScratch) ----
+    // One level per step boundary: levels[s] is the row-major input batch
+    // of step s (levels[k] feeds EmitBatch), plus step s's working arrays —
+    // the selection vector / candidate rows of pending output elements and,
+    // for probe steps, the gathered keys, their hashes and the CSR
+    // candidate ranges.  Per-level (not shared) because JoinBatch flushes a
+    // full output batch downstream mid-expansion and resumes afterwards,
+    // so every level's arrays stay live across the recursion.
+    struct BatchLevel {
+      std::vector<int> cols;
+      // Non-null when this level aliases rows in place (the verbatim-scan
+      // zero-copy path) instead of owning gathered columns in `cols`.
+      const int* ext = nullptr;
+      const int* data() const { return ext != nullptr ? ext : cols.data(); }
+      size_t size = 0;
+      int width = 0;
+      std::vector<uint32_t> sel;
+      std::vector<uint32_t> cand;
+      std::vector<int> keys;
+      std::vector<size_t> hashes;
+      std::vector<uint32_t> range_begin;
+      std::vector<uint32_t> range_end;
+    };
+    std::vector<BatchLevel> levels;
+    std::vector<int> head_stage;  // Row-major staged head tuples.
+    std::vector<size_t> head_hashes;  // Their HashTupleBatch values.
+    std::vector<uint32_t> new_idx;    // InsertBatch's new-tuple indices.
+    const ClausePlan* scratch_plan = nullptr;  // Plan the scratch is sized for.
+    size_t batch_cap = 0;
+    // Scratch bytes charged to the memory account (released on context
+    // destruction — all contexts die before the evaluator quiesces).
+    size_t scratch_charged = 0;
+    MemoryAccount* scratch_account = nullptr;
+    // Batch metric tallies, flushed once per RunJoin by FlushBatchMetrics.
+    long batch_rows_tally = 0;
+    long batch_probes_tally = 0;
+    long batch_cand_tally = 0;
+    long batch_out_tally = 0;
+    size_t batch_scanned = 0;  // Abort-poll counter across candidate loops.
+
+    JoinContext() = default;
+    JoinContext(const JoinContext&) = delete;
+    JoinContext& operator=(const JoinContext&) = delete;
+    ~JoinContext() {
+      if (scratch_account != nullptr && scratch_charged > 0) {
+        scratch_account->Release(scratch_charged);
+      }
+    }
   };
 
   // One intra-clause fan-out: workers claim morsels (driver row ranges) off
-  // the atomic cursor and join them into their own Rows shard; the owner
-  // waits for `completed` to reach `num_morsels` AND `helpers` to drop to
-  // zero, then merges the shards.  The helper count covers the stragglers
-  // `completed` cannot: a worker that entered the batch but found the
-  // cursor already exhausted still reads the batch fields, so the owner
-  // must not destroy the (stack-allocated) batch under it.
+  // the atomic cursor, publish the range they own in `active[worker]`, and
+  // join it chunk by chunk into their own Rows shard; the owner waits for
+  // `rows_done` to reach `driver_rows` AND `helpers` to drop to zero, then
+  // merges the shards.  When the cursor is exhausted but some worker still
+  // owns a large range (the straggler), idle helpers steal the upper half
+  // of the largest published range instead of leaving (StealRange).  The
+  // helper count covers the stragglers `rows_done` cannot: a worker that
+  // entered the batch but found no work still reads the batch fields, so
+  // the owner must not destroy the (stack-allocated) batch under it.
   struct MorselBatch {
     const ClausePlan* plan = nullptr;
     size_t driver_rows = 0;
-    size_t rows_per_morsel = 0;
-    size_t num_morsels = 0;
+    size_t rows_per_morsel = 0;  // Cursor-claim granularity.
+    size_t chunk_rows = 0;       // Within-range processing granularity.
     std::atomic<size_t> cursor{0};     // Next unclaimed driver row.
-    std::atomic<size_t> completed{0};  // Morsels fully joined.
+    std::atomic<size_t> rows_done{0};  // Driver rows fully joined.
     std::atomic<int> helpers{0};       // Workers currently inside the batch.
+    std::atomic<long> steals{0};       // Successful StealRange grabs.
+    // Per worker id: the driver range the worker currently owns, packed
+    // begin << 32 | end (0 = none).  The owner CASes begin forward to
+    // consume a chunk; a thief CASes end down to take the upper half.
+    std::unique_ptr<std::atomic<uint64_t>[]> active;
     std::vector<Rows> shards;          // One per worker id (single writer).
     std::vector<long> emissions;       // Per worker id.
     std::vector<long> new_tuples;
@@ -459,7 +603,10 @@ class Evaluator {
   // Charges the growth of `rows` since `charged_bytes` (updating it) and
   // folds in the row-ceiling flag; returns false iff evaluation must abort.
   bool ChargeRowsDelta(const Rows& rows, size_t* charged_bytes);
-  void Materialize(int predicate);
+  // Materialises `predicate` (dependencies first); `ctx` is the join
+  // context shared by the whole sequential evaluation so the batch scratch
+  // is allocated once, not once per clause.
+  void Materialize(int predicate, JoinContext* ctx);
   // The greedy join order of `clause` (body atom indexes, best-first),
   // scored against current relation sizes.
   std::vector<int> ComputeJoinOrder(const NdlClause& clause);
@@ -486,10 +633,33 @@ class Evaluator {
   // shared hints, whose orders assume a full-size driver).
   ClausePlan BuildDeltaPlan(int ci, int driven_atom,
                             const std::vector<Rows>& delta_rows);
+  // Compiles the batch (vector-at-a-time) recipes of `plan`: a liveness
+  // pass prunes every step's output to the variables later steps or the
+  // head still read, then each step's key/check/output recipes are emitted
+  // against those narrowed column layouts.  Called at the end of
+  // CompilePlan when limits_.batch_rows > 0.
+  void CompileBatchPlan(ClausePlan* plan);
+  // Sizes the context's batch scratch for `plan` (no-op when already sized
+  // for it) and charges the capacity bytes to the memory account; returns
+  // false iff the charge failed (evaluation aborts with memory_exceeded).
+  bool EnsureBatchScratch(const ClausePlan& plan, JoinContext* ctx);
+  // The batch join: consumes the input batch at ctx->levels[next], appends
+  // matches to levels[next + 1], and recurses whenever the output batch
+  // fills (or the input is exhausted); next == steps.size() stages and
+  // inserts head tuples.  Same false-on-abort contract as Join.
+  bool JoinBatch(const ClausePlan& plan, size_t next, JoinContext* ctx,
+                 Rows* out);
+  // Gathers head tuples from the final batch and inserts them in
+  // countdown-bounded runs, flushing limits exactly where the scalar path
+  // would — emitted prefixes under a limit abort are byte-identical.
+  bool EmitBatch(const ClausePlan& plan, JoinContext* ctx, Rows* out);
+  // Folds the context's batch tallies into the evaluator-wide counters and
+  // the metrics registry; called once per RunJoin on the batch path.
+  void FlushBatchMetrics(JoinContext* ctx);
   // Runs the join of `plan` into `out` over the context's driver range,
   // resetting the context's per-run buffers (but not its tallies).
   void RunJoin(const ClausePlan& plan, JoinContext* ctx, Rows* out);
-  void EvaluateClause(int ci, Rows* out);
+  void EvaluateClause(int ci, JoinContext* ctx, Rows* out);
   // Join/Emit return false to unwind the whole backtracking join after an
   // abort (limit exhausted, deadline expired, or another worker aborted);
   // the hot path carries the signal in the return value instead of
@@ -509,6 +679,11 @@ class Evaluator {
   void RunClauseFanOut(Scheduler* sched, const ClausePlan& plan,
                        int worker_id, int num_workers, Rows* out);
   void RunMorsels(MorselBatch* batch, int worker_id);
+  // Steals the upper half of the largest driver range still published in
+  // batch->active (>= 2 * chunk_rows remaining); on success stores the
+  // stolen range in [*begin, *end) and returns true.  Lock-free: a single
+  // CAS on the victim's packed range, retried against its chunk advances.
+  bool StealRange(MorselBatch* batch, size_t* begin, size_t* end);
   long MergeShards(MorselBatch* batch, Rows* out);
   const HashIndex& GetIndex(int predicate, unsigned mask);
   const Rows& EdbRows(int predicate);
@@ -546,6 +721,9 @@ class Evaluator {
   std::atomic<long> scheduler_tasks_{0};
   std::atomic<long> morsel_batches_{0};
   std::atomic<long> morsels_{0};
+  std::atomic<long> batch_rows_{0};
+  std::atomic<long> batch_probes_{0};
+  std::atomic<long> steals_{0};
   double slowest_task_ms_ = 0;  // Written under the scheduler mutex.
   std::vector<std::unique_ptr<PredicateState>> preds_;
 };

@@ -156,5 +156,59 @@ TEST(SchedulerMorselTest, SingleHeavyTaskFansOut) {
   EXPECT_GE(stats.morsels, 2);
 }
 
+// Work stealing: carve the driver into one dominating morsel plus a tiny
+// remainder.  The worker that drew the remainder goes idle almost
+// immediately and must split the straggler's published range instead of
+// waiting at the helpers barrier — observable as stats.steals > 0.  The
+// exact interleaving is up to the OS scheduler, so the test retries a few
+// rounds and requires at least one steal overall (each round also
+// differential-checks the answers, so a round without a steal still
+// verifies the merge).  The tiny batch_rows keeps the steal threshold
+// (two chunks) far below the dominating range.
+TEST(SchedulerMorselTest, IdleWorkerStealsFromDominatingRange) {
+  Vocabulary vocab;
+  NdlProgram program(&vocab);
+  int r = program.AddRolePredicate(vocab.InternPredicate("R"));
+  int g = program.AddIdbPredicate("G", 2);
+  NdlClause c;
+  c.head = {g, {Term::Var(0), Term::Var(1)}};
+  c.body.push_back({r, {Term::Var(0), Term::Var(2)}});
+  c.body.push_back({r, {Term::Var(2), Term::Var(1)}});
+  program.AddClause(std::move(c));
+  program.SetGoal(g);
+
+  // A complete digraph on 100 vertices: exactly 10000 driver rows (the
+  // random generator dedups below the fan-out threshold), 100-way fanout.
+  DataInstance data(&vocab);
+  std::vector<int> inds;
+  for (int i = 0; i < 100; ++i) {
+    inds.push_back(data.AddIndividual("v" + std::to_string(i)));
+  }
+  for (int i = 0; i < 100; ++i) {
+    for (int j = 0; j < 100; ++j) {
+      data.AddRoleAssertion(vocab.InternPredicate("R"), inds[i], inds[j]);
+    }
+  }
+
+  EvaluationStats seq_stats;
+  auto expected = Evaluator(program, data).Evaluate(&seq_stats);
+
+  long steals = 0;
+  for (int round = 0; round < 8 && steals == 0; ++round) {
+    EvaluatorLimits limits;
+    limits.morsel_rows = 9992;  // One dominating morsel + an 8-row stub.
+    limits.batch_rows = 32;     // Chunk size; steals need >= 2 chunks left.
+    EvaluationStats stats;
+    auto actual =
+        Evaluator(program, data, limits).EvaluateParallel(4, &stats);
+    ASSERT_EQ(actual, expected) << "round " << round;
+    ASSERT_EQ(stats.predicate_tuples, seq_stats.predicate_tuples)
+        << "round " << round;
+    steals += stats.steals;
+  }
+  EXPECT_GT(steals, 0)
+      << "no idle worker ever stole from the dominating driver range";
+}
+
 }  // namespace
 }  // namespace owlqr

@@ -1,0 +1,63 @@
+#!/bin/sh
+# Counter-parity gate for the columnar batch executor: the sequential (t1)
+# parallelism cells must report exactly the GeneratedTuples / JoinEmissions
+# the scalar tuple-at-a-time executor has always produced — the batch
+# refactor is required to preserve the emission sequence byte for byte, so
+# any drift here means the vectorised joins changed observable behaviour
+# (different dedup outcome, different clause order, a lost or double-counted
+# emission), not just performance.
+#
+# Runs the committed expectation against a live binary (OWLQR_SCALE=0.1,
+# the default bench scale the values were recorded at).
+# Usage: check_counters_identical.sh <bench_parallelism-binary>
+# Registered as the ctest test `hygiene/batch_counter_parity`.
+set -eu
+
+BIN="${1:?usage: check_counters_identical.sh <bench_parallelism-binary>}"
+if [ ! -x "$BIN" ]; then
+  echo "FAIL: $BIN not built (cmake --build <dir> --target bench_parallelism)"
+  exit 1
+fi
+
+# Only the six default-scale sequential cells; the /ab/ A/B cells run at
+# their own fixed scale and are validated by check_bench_json.sh instead.
+OWLQR_SCALE=0.1 "$BIN" \
+    --benchmark_filter='Parallelism/len(7|15)/(Lin|Log|Tw)/t1/' \
+    --benchmark_format=json 2>/dev/null | python3 -c '
+import json
+import sys
+
+# The scalar executor reference values at OWLQR_SCALE=0.1 (per-benchmark
+# counters are top-level keys of each benchmarks[] entry).
+WANT = {
+    "Parallelism/len7/Lin/t1":   (562,   562),
+    "Parallelism/len7/Log/t1":   (8589,  15672),
+    "Parallelism/len7/Tw/t1":    (29671, 169090),
+    "Parallelism/len15/Lin/t1":  (7769,  7769),
+    "Parallelism/len15/Log/t1":  (21079, 28808),
+    "Parallelism/len15/Tw/t1":   (70710, 353620),
+}
+
+data = json.load(sys.stdin)
+seen = {}
+for b in data.get("benchmarks", []):
+    for prefix in WANT:
+        if b["name"].startswith(prefix + "/"):
+            seen[prefix] = (int(b.get("GeneratedTuples", -1)),
+                            int(b.get("JoinEmissions", -1)))
+
+status = 0
+for prefix, want in WANT.items():
+    got = seen.get(prefix)
+    if got is None:
+        print(f"FAIL: {prefix} did not run")
+        status = 1
+    elif got != want:
+        print(f"FAIL: {prefix}: (GeneratedTuples, JoinEmissions) = {got}, "
+              f"want {want} — the batch executor changed the emission "
+              f"sequence")
+        status = 1
+if status == 0:
+    print(f"OK: {len(WANT)} t1 cells match the scalar reference counters")
+sys.exit(status)
+'

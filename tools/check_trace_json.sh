@@ -2,7 +2,9 @@
 # Smoke-checks the --trace-json flag end to end: runs the CLI on a tiny
 # quickstart-sized OMQ, then verifies the emitted trace parses as JSON and
 # contains the per-stage span names (rewrite, transform, index-build, join)
-# plus the governor's admission counter.  A second run under explicit
+# plus the governor's admission counter and the batch executor's counters
+# (ndl/batch_rows, ndl/batch_probes, ndl/selection_density).  A second run
+# under explicit
 # governor flags (--max-memory-mb/--max-concurrent/--queue-timeout-ms) must
 # produce identical answers and a governed trace.  A third run drives the
 # --repl with --answer-cache-mb: the same query served twice must hit the
@@ -77,6 +79,21 @@ assert trace["timers"].get("evaluator/index_build_ms", {}).get("count", 0) > 0, 
     "evaluator/index_build_ms not recorded"
 assert trace["counters"].get("governor/admitted", 0) > 0, \
     "governor/admitted not recorded"
+
+# The columnar batch executor runs by default (EvaluatorLimits::batch_rows
+# > 0), so every serve must account its vectorised work: rows pushed through
+# batch levels, index probes issued in bulk, and the per-flush output/candidate
+# selection density distribution (1.0 = every candidate survived its checks).
+assert trace["counters"].get("ndl/batch_rows", 0) > 0, \
+    "ndl/batch_rows not recorded — the batch executor never ran"
+assert trace["counters"].get("ndl/batch_probes", 0) > 0, \
+    "ndl/batch_probes not recorded — no bulk index probes issued"
+density = trace["timers"].get("ndl/selection_density", {})
+assert density.get("count", 0) > 0, \
+    "ndl/selection_density distribution not recorded"
+assert 0.0 <= density.get("min", -1) and density.get("max", -1) >= \
+    density.get("min", -1), \
+    f"ndl/selection_density bounds malformed: {density}"
 print("OK: trace JSON parses and contains per-stage spans:", len(names), "names")
 EOF
 status=$?

@@ -5,9 +5,16 @@
 #   BENCH_engine.json       -- bench_engine_throughput (plan cache cold/warm
 #                              + governed overload/t8 shedding scenario)
 # Usage: run_bench_baseline.sh [build-dir]   (default: ./build)
-# Run from an idle machine on a Release build; the table 3 sweep takes about
-# a minute at the default OWLQR_SCALE.  Compare a fresh run against the
-# committed files before/after a performance change (see EXPERIMENTS.md).
+# Run from an idle machine on a Release build (check_bench_json.sh rejects
+# debug recordings via context.owlqr_build_type); the table 3 sweep takes
+# about a minute at the default OWLQR_SCALE.  The parallelism run includes
+# the batch-vs-scalar A/B cells (Parallelism/len15/Tw/ab/*), which must
+# show the columnar executor >= 1.5x ahead of the scalar oracle at t4 —
+# validated below, so a regeneration on a degraded machine fails loudly
+# instead of committing a baseline that trips hygiene/bench_json later.
+# Compare a fresh run against the committed files before/after a
+# performance change (see EXPERIMENTS.md); tools/check_counters_identical.sh
+# separately pins the sequential t1 counters to their historical values.
 set -eu
 
 ROOT=$(cd "$(dirname "$0")/.." && pwd)
