@@ -8,6 +8,8 @@
 
 #include "bench_common.h"
 #include "ndl/evaluator.h"
+#include "util/logging.h"
+#include <utility>
 
 namespace owlqr {
 namespace bench {
@@ -22,9 +24,11 @@ void BM_InlineAblation(benchmark::State& state) {
   ConjunctiveQuery query = SequenceQuery(&s.vocab, word);
   RewriteOptions options;
   options.arbitrary_instances = true;
-  NdlProgram program = RewriteOmq(
+  RewriteResult program_rw = RewriteOmqOrError(
       s.ctx.get(), query,
       inlined ? RewriterKind::kTwStar : RewriterKind::kTw, options);
+  OWLQR_CHECK_MSG(program_rw.ok(), program_rw.status.message().c_str());
+  NdlProgram program = std::move(program_rw.program);
 
   auto configs = Table2Configs(DatasetScale());
   DataInstance data = GenerateDataset(&s.vocab, *s.tbox, configs[2]);

@@ -8,6 +8,8 @@
 #include "bench_common.h"
 #include "ndl/evaluator.h"
 #include "ndl/skinny.h"
+#include "util/logging.h"
+#include <utility>
 
 namespace owlqr {
 namespace bench {
@@ -21,8 +23,10 @@ void BM_SkinnyAblation(benchmark::State& state) {
   ConjunctiveQuery query = SequenceQuery(&s.vocab, word);
   RewriteOptions options;
   options.arbitrary_instances = true;
-  NdlProgram program = RewriteOmq(s.ctx.get(), query, RewriterKind::kLog,
+  RewriteResult program_rw = RewriteOmqOrError(s.ctx.get(), query, RewriterKind::kLog,
                                   options);
+  OWLQR_CHECK_MSG(program_rw.ok(), program_rw.status.message().c_str());
+  NdlProgram program = std::move(program_rw.program);
   if (use_skinny) program = SkinnyTransform(program);
 
   auto configs = Table2Configs(DatasetScale());

@@ -8,6 +8,8 @@
 #include "bench_common.h"
 #include "core/cost_model.h"
 #include "ndl/evaluator.h"
+#include "util/logging.h"
+#include <utility>
 
 namespace owlqr {
 namespace bench {
@@ -22,7 +24,9 @@ void BM_CostModel(benchmark::State& state) {
   ConjunctiveQuery query = SequenceQuery(&s.vocab, word);
   RewriteOptions options;
   options.arbitrary_instances = true;
-  NdlProgram program = RewriteOmq(s.ctx.get(), query, kind, options);
+  RewriteResult program_rw = RewriteOmqOrError(s.ctx.get(), query, kind, options);
+  OWLQR_CHECK_MSG(program_rw.ok(), program_rw.status.message().c_str());
+  NdlProgram program = std::move(program_rw.program);
 
   auto configs = Table2Configs(DatasetScale());
   DataInstance data = GenerateDataset(&s.vocab, *s.tbox, configs[1]);

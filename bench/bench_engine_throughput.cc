@@ -26,6 +26,12 @@
 // signature through a memoizing engine — every serve pays the key build,
 // the probe, the in-flight table and the publish without ever earning a
 // hit — and must stay within the noise bar of warm/t1.
+//
+// The http pair prices the same serving regimes through the full HTTP/1.1
+// wire path over loopback (socket, framing, JSON codecs, Service dispatch):
+// http_warm/t8 is the memoized hot key end to end, http_overload/t8 is
+// unique-keyed saturation against a 2-slot governor (ShedRate > 0 proves
+// 429 shedding engages on the wire).
 
 #include <benchmark/benchmark.h>
 
@@ -36,6 +42,10 @@
 
 #include "bench_common.h"
 #include "engine/engine.h"
+#include "server/api.h"
+#include "server/client.h"
+#include "server/http_server.h"
+#include "server/registry.h"
 #include "util/logging.h"
 
 namespace owlqr {
@@ -281,7 +291,8 @@ void BM_EngineApply(benchmark::State& state, bool incremental) {
     batch.roles.push_back({fixture.r_id,
                            fixture.pool[i % kApplyPoolSize],
                            fixture.pool[(i + 1) % kApplyPoolSize]});
-    fixture.engine->ApplyFacts(batch);
+    Status apply_status = fixture.engine->ApplyFactsOrError(batch);
+    OWLQR_CHECK_MSG(apply_status.ok(), apply_status.ToString().c_str());
     ExecuteResult result = fixture.engine->Execute(*fixture.query, request);
     OWLQR_CHECK_MSG(result.status.ok(), result.status.ToString().c_str());
     benchmark::DoNotOptimize(result.answers);
@@ -362,7 +373,8 @@ void BM_EngineHotKey(benchmark::State& state, bool memoized) {
       batch.roles.push_back({fixture.r_id,
                              fixture.pool[i % kHotPoolSize],
                              fixture.pool[(i + 1) % kHotPoolSize]});
-      fixture.engine->ApplyFacts(batch);
+      Status apply_status = fixture.engine->ApplyFactsOrError(batch);
+      OWLQR_CHECK_MSG(apply_status.ok(), apply_status.ToString().c_str());
     }
     ExecuteResult result = fixture.engine->Execute(*fixture.query, request);
     OWLQR_CHECK_MSG(result.status.ok(), result.status.ToString().c_str());
@@ -437,6 +449,116 @@ void BM_EngineCacheMiss(benchmark::State& state) {
   state.SetLabel("warm serve, unique keys");
 }
 
+// ---------------------------------------------------------------------------
+// HTTP serving throughput: the full wire path — client socket, HTTP/1.1
+// framing, JSON codecs, Service dispatch, governed Execute — over loopback,
+// against a single-tenant registry (2 carved slots, no admission queue,
+// memoizing engine).
+//
+//   http_warm/t8:     8 keep-alive clients serve ONE fixed (query, limits)
+//                     request: after the first evaluation every serve is an
+//                     answer-cache hit (or coalesces onto a concurrent
+//                     leader), so the row prices the transport + codec
+//                     overhead of a memoized answer end to end.
+//   http_overload/t8: the same wire path with per-request-unique limits —
+//                     every admitted request really evaluates, and with 8
+//                     clients against 2 slots the governor must shed;
+//                     ShedRate > 0 proves the 429 path engages under
+//                     sustained HTTP load.
+struct HttpFixture {
+  server::EngineRegistry* registry = nullptr;
+  api::Service* service = nullptr;
+  server::HttpServer* http = nullptr;
+  std::string query;
+};
+
+HttpFixture& HttpServing() {
+  static HttpFixture* fixture = [] {
+    auto* f = new HttpFixture();
+    // A self-contained tenant (the Scenario fixtures own their vocabulary;
+    // a registry tenant must own its own): 4 course blocks of 8 lecturers
+    // plus one concept-only member, and a 4-atom path query that walks a
+    // block against itself twice — enough per-serve work that overload
+    // requests overlap on the two slots.
+    std::string ontology =
+        "Professor SUB EX teaches\n"
+        "EX teaches- SUB Course\n"
+        "lectures SUBR teaches\n";
+    std::string data;
+    for (int c = 0; c < 4; ++c) {
+      for (int i = 0; i < 8; ++i) {
+        data += "lectures(p" + std::to_string(c * 8 + i) + ", c" +
+                std::to_string(c) + ").\n";
+      }
+    }
+    data += "Professor(solo).\n";
+    f->query =
+        "q(x, w) :- teaches(x, y), teaches(z, y), "
+        "teaches(z, v), teaches(w, v)";
+
+    server::RegistryOptions options;
+    options.max_tenants = 1;
+    options.process_slots = 2;
+    options.engine.governor.max_queue = 0;  // Saturated -> shed now.
+    options.engine.answer_cache_capacity = 64;
+    options.engine.coalesce = true;
+    f->registry = new server::EngineRegistry(options);
+    Status registered = f->registry->RegisterParsed("bench", ontology, data);
+    OWLQR_CHECK_MSG(registered.ok(), registered.ToString().c_str());
+    f->service = new api::Service(f->registry);
+    server::HttpServerOptions http_options;
+    // Thread-per-connection: every benchmark thread keeps one connection.
+    http_options.num_workers = 12;
+    f->http = new server::HttpServer(f->service, http_options);
+    Status started = f->http->Start();
+    OWLQR_CHECK_MSG(started.ok(), started.ToString().c_str());
+    return f;
+  }();
+  return *fixture;
+}
+
+void BM_HttpServe(benchmark::State& state, bool overload) {
+  HttpFixture& fixture = HttpServing();
+  server::HttpClient client("127.0.0.1", fixture.http->port());
+  long serves = 0;
+  long memoized = 0;
+  long shed = 0;
+  long failures = 0;
+  long key = static_cast<long>(state.thread_index()) * 1'000'000;
+  for (auto _ : state) {
+    api::WireExecuteRequest request;
+    request.query = fixture.query;
+    if (overload) {
+      // Unique limits defeat the answer-cache and coalesce keys, so every
+      // admitted request evaluates and saturation really sheds.
+      request.exec.limits.max_generated_tuples = 50'000'000 + (++key);
+    }
+    api::WireExecuteResult result;
+    Status status = client.Execute("bench", request, &result);
+    benchmark::DoNotOptimize(result.answers);
+    ++serves;
+    if (status.ok()) {
+      if (result.cached || result.coalesced) ++memoized;
+    } else if (status.code() == StatusCode::kRejected &&
+               result.status.code() == StatusCode::kRejected) {
+      ++shed;  // A governed 429 whose body still parsed as a full result.
+    } else {
+      ++failures;
+    }
+  }
+  OWLQR_CHECK_MSG(failures == 0, "http serve saw transport-level failures");
+  state.counters["MemoRate"] = benchmark::Counter(
+      serves > 0 ? static_cast<double>(memoized) /
+                       static_cast<double>(serves)
+                 : 0,
+      benchmark::Counter::kAvgThreads);
+  state.counters["ShedRate"] = benchmark::Counter(
+      serves > 0 ? static_cast<double>(shed) / static_cast<double>(serves)
+                 : 0,
+      benchmark::Counter::kAvgThreads);
+  state.SetLabel(overload ? "http governed overload" : "http warm hot key");
+}
+
 void RegisterAll() {
   for (bool warm : {false, true}) {
     for (int threads : {1, 4}) {
@@ -467,6 +589,14 @@ void RegisterAll() {
       ->Threads(1)
       ->UseRealTime()
       ->Unit(benchmark::kMillisecond);
+  for (bool overload : {false, true}) {
+    std::string name = std::string("EngineThroughput/http_") +
+                       (overload ? "overload" : "warm") + "/t8";
+    benchmark::RegisterBenchmark(name.c_str(), BM_HttpServe, overload)
+        ->Threads(8)
+        ->UseRealTime()
+        ->Unit(benchmark::kMillisecond);
+  }
   // Fixed iteration counts: the A/B pair does identical update work per
   // iteration, and the pre-interned individual pool bounds the run.
   for (bool incremental : {true, false}) {

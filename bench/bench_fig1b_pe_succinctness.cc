@@ -10,6 +10,8 @@
 
 #include "bench_common.h"
 #include "pe/pe_formula.h"
+#include "util/logging.h"
+#include <utility>
 
 namespace owlqr {
 namespace bench {
@@ -25,7 +27,9 @@ void BM_PeSuccinctness(benchmark::State& state) {
   long ndl_size = 0;
   long pe_size = 0;
   for (auto _ : state) {
-    NdlProgram program = RewriteOmq(s.ctx.get(), query, kind);
+    RewriteResult program_rw = RewriteOmqOrError(s.ctx.get(), query, kind);
+    OWLQR_CHECK_MSG(program_rw.ok(), program_rw.status.message().c_str());
+    NdlProgram program = std::move(program_rw.program);
     ndl_size = program.SizeInSymbols();
     pe_size = UnfoldedPeSize(program);
     benchmark::DoNotOptimize(pe_size);

@@ -14,6 +14,8 @@
 
 #include "bench_common.h"
 #include "ndl/evaluator.h"
+#include "util/logging.h"
+#include <utility>
 
 namespace owlqr {
 namespace bench {
@@ -29,7 +31,9 @@ void BM_Parallelism(benchmark::State& state) {
   ConjunctiveQuery query = SequenceQuery(&s.vocab, word);
   RewriteOptions options;
   options.arbitrary_instances = true;
-  NdlProgram program = RewriteOmq(s.ctx.get(), query, kind, options);
+  RewriteResult program_rw = RewriteOmqOrError(s.ctx.get(), query, kind, options);
+  OWLQR_CHECK_MSG(program_rw.ok(), program_rw.status.message().c_str());
+  NdlProgram program = std::move(program_rw.program);
 
   auto levels = program.TopologicalLevels();
   size_t max_width = 0;
@@ -87,8 +91,9 @@ void BM_BatchAB(benchmark::State& state) {
   ConjunctiveQuery query = SequenceQuery(&s.vocab, word);
   RewriteOptions options;
   options.arbitrary_instances = true;
-  NdlProgram program =
-      RewriteOmq(s.ctx.get(), query, RewriterKind::kTw, options);
+  RewriteResult program_rw = RewriteOmqOrError(s.ctx.get(), query, RewriterKind::kTw, options);
+  OWLQR_CHECK_MSG(program_rw.ok(), program_rw.status.message().c_str());
+  NdlProgram program = std::move(program_rw.program);
   auto configs = Table2Configs(0.3);
   DataInstance data = GenerateDataset(&s.vocab, *s.tbox, configs[0]);
   EvaluationStats stats;

@@ -13,6 +13,8 @@
 #include "core/rewriters.h"
 #include "ndl/evaluator.h"
 #include "syntax/parser.h"
+#include "util/logging.h"
+#include <utility>
 
 int main() {
   using namespace owlqr;
@@ -63,8 +65,9 @@ int main() {
   RewritingContext ctx(tbox);
   RewriteOptions options;
   options.arbitrary_instances = true;
-  NdlProgram rewriting =
-      RewriteOmq(&ctx, *query, RewriterKind::kTwStar, options);
+  RewriteResult rewriting_rw = RewriteOmqOrError(&ctx, *query, RewriterKind::kTwStar, options);
+  OWLQR_CHECK_MSG(rewriting_rw.ok(), rewriting_rw.status.message().c_str());
+  NdlProgram rewriting = std::move(rewriting_rw.program);
 
   // Pipeline (1): materialise M(D).
   DataInstance virtual_abox = MaterializeMapping(mapping, tables);

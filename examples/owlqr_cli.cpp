@@ -39,9 +39,17 @@
 //   --complete-instances  rewrite for complete instances (no * transform)
 //   --trace-json=PATH  write a structured trace of the run to PATH as JSON
 //                      (per-stage spans, counters, timers; DESIGN.md §7)
+//   --stats-json=PATH  write the engine's end-of-run stats (governor
+//                      counters, plan/answer cache) to PATH, in the same
+//                      schema the HTTP stats endpoint serves (DESIGN.md
+//                      §13)
 //   --repl             batch mode: read queries from stdin, one per line,
 //                      against one engine (plans are cached across lines);
 //                      lines starting with '+' add facts, e.g.  + A(a).
+//   --serve=PORT       serve ONTOLOGY [DATA] over HTTP on 127.0.0.1:PORT
+//                      (0 picks an ephemeral port) as tenant 'default';
+//                      the governor flags above set the process budgets.
+//                      Endpoints and schemas: DESIGN.md §13.
 //   --help             print this usage and exit
 //
 // Unsupported query shapes are reported as errors (exit 1), never aborts.
@@ -49,6 +57,9 @@
 // Example:
 //   ./example_owlqr_cli onto.txt query.txt data.txt --rewriter=lin
 
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -57,12 +68,19 @@
 #include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "core/cost_model.h"
 #include "core/omq.h"
+#include "core/rewriters.h"
 #include "engine/engine.h"
+#include "server/api.h"
+#include "server/http_server.h"
+#include "server/registry.h"
 #include "syntax/parser.h"
 #include "syntax/sql_export.h"
+#include "util/json.h"
 #include "util/metrics.h"
 
 namespace {
@@ -85,7 +103,9 @@ constexpr char kUsage[] =
     "  --sql                 print the rewriting as SQL views\n"
     "  --complete-instances  rewrite for complete data instances\n"
     "  --trace-json=PATH     write a JSON trace of the run to PATH\n"
+    "  --stats-json=PATH     write end-of-run engine stats to PATH\n"
     "  --repl                read queries (and '+ fact.' lines) from stdin\n"
+    "  --serve=PORT          serve over HTTP on 127.0.0.1:PORT (0 = any)\n"
     "  --help                print this message\n";
 
 bool ReadFile(const char* path, std::string* out) {
@@ -97,33 +117,17 @@ bool ReadFile(const char* path, std::string* out) {
   return true;
 }
 
-// Parses --rewriter=KIND.  Returns false (with a message listing the valid
-// kinds) on an unknown KIND.
+// Parses --rewriter=KIND through the core name registry (the same one the
+// wire's "rewriter" member uses).  Returns false, with a message listing
+// the valid kinds, on an unknown KIND.
 bool ParseRewriterKind(const std::string& name, bool* auto_kind,
                        RewriterKind* kind) {
-  *auto_kind = false;
-  if (name == "auto") {
-    *auto_kind = true;
-  } else if (name == "lin") {
-    *kind = RewriterKind::kLin;
-  } else if (name == "log") {
-    *kind = RewriterKind::kLog;
-  } else if (name == "tw") {
-    *kind = RewriterKind::kTw;
-  } else if (name == "twstar") {
-    *kind = RewriterKind::kTwStar;
-  } else if (name == "ucq") {
-    *kind = RewriterKind::kUcq;
-  } else if (name == "presto") {
-    *kind = RewriterKind::kPrestoLike;
-  } else {
-    std::fprintf(stderr,
-                 "unknown rewriter '%s'; valid kinds: lin, log, tw, twstar, "
-                 "ucq, presto, auto\n",
-                 name.c_str());
-    return false;
-  }
-  return true;
+  if (RewriterKindFromName(name, auto_kind, kind)) return true;
+  std::fprintf(stderr,
+               "unknown rewriter '%s'; valid kinds: lin, log, tw, twstar, "
+               "ucq, presto, auto\n",
+               name.c_str());
+  return false;
 }
 
 // Converts a parsed DataInstance into an engine FactBatch (for '+' lines).
@@ -217,7 +221,13 @@ int RunRepl(Engine* engine, const PrepareOptions& prepare_options,
         std::fprintf(stderr, "error: %s\n", error.c_str());
         continue;
       }
-      uint64_t version = engine->ApplyFacts(ToFactBatch(delta));
+      uint64_t version = 0;
+      Status apply_status =
+          engine->ApplyFactsOrError(ToFactBatch(delta), &version);
+      if (!apply_status.ok()) {
+        std::fprintf(stderr, "error: %s\n", apply_status.message().c_str());
+        continue;
+      }
       std::fprintf(stderr, "snapshot v%llu\n",
                    static_cast<unsigned long long>(version));
       continue;
@@ -241,14 +251,94 @@ int RunRepl(Engine* engine, const PrepareOptions& prepare_options,
   return 0;
 }
 
+// --stats-json: the engine's end-of-run stats through the wire's stats
+// serialization (api::AppendEngineStats), so this file and the HTTP stats
+// endpoint cannot drift apart.
+bool WriteStatsJson(const Engine& engine, const std::string& path) {
+  JsonWriter w;
+  w.BeginObject();
+  api::AppendEngineStats(&w, engine);
+  w.EndObject();
+  std::string json = w.TakeString();
+  json.push_back('\n');
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  int rc = std::fclose(f);
+  return written == json.size() && rc == 0;
+}
+
+// Flipped by SIGINT/SIGTERM, polled by the --serve loop.
+std::atomic<int> g_stop{0};
+
+void HandleStopSignal(int) { g_stop.store(1); }
+
+// --serve=PORT: serve ONTOLOGY [DATA] as the single tenant 'default' over
+// HTTP until SIGINT/SIGTERM.  The governor flags are process budgets; with
+// one tenant the registry's carve hands them over whole.
+int RunServe(const char* ontology_path, const char* data_path, int port,
+             int threads, long max_memory_mb, int max_concurrent,
+             const EngineOptions& engine_template) {
+  std::string ontology_text, data_text;
+  if (!ReadFile(ontology_path, &ontology_text)) {
+    std::fprintf(stderr, "cannot read %s\n", ontology_path);
+    return 1;
+  }
+  if (data_path != nullptr && !ReadFile(data_path, &data_text)) {
+    std::fprintf(stderr, "cannot read %s\n", data_path);
+    return 1;
+  }
+
+  server::RegistryOptions reg_options;
+  reg_options.max_tenants = 1;
+  reg_options.process_memory_bytes =
+      static_cast<size_t>(max_memory_mb) * 1024 * 1024;
+  reg_options.process_slots = max_concurrent;
+  reg_options.engine = engine_template;
+  server::EngineRegistry registry(reg_options);
+  std::shared_ptr<server::Tenant> tenant;
+  Status registered =
+      registry.RegisterParsed("default", ontology_text, data_text, &tenant);
+  if (!registered.ok()) {
+    std::fprintf(stderr, "error: %s\n", registered.ToString().c_str());
+    return 1;
+  }
+
+  api::Service service(&registry);
+  server::HttpServerOptions http_options;
+  http_options.port = port;
+  if (threads > 1) http_options.num_workers = threads;
+  server::HttpServer http(&service, http_options);
+  Status started = http.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "error: %s\n", started.ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr,
+               "serving tenant 'default' (fingerprint %s) on "
+               "http://127.0.0.1:%d%s/ -- Ctrl-C stops\n",
+               tenant->fingerprint().c_str(), http.port(), api::kApiPrefix);
+  std::signal(SIGINT, HandleStopSignal);
+  std::signal(SIGTERM, HandleStopSignal);
+  while (g_stop.load() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  std::fprintf(stderr, "stopping\n");
+  http.Stop();
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const char* ontology_path = nullptr;
   const char* query_path = nullptr;
   const char* data_path = nullptr;
+  std::vector<const char*> positionals;
   std::string rewriter = "auto";
   std::string trace_json_path;
+  std::string stats_json_path;
+  int serve_port = -1;
   bool print_rewriting = false;
   bool print_sql = false;
   bool complete_instances = false;
@@ -306,6 +396,15 @@ int main(int argc, char** argv) {
       coalesce = false;
     } else if (std::strncmp(argv[i], "--trace-json=", 13) == 0) {
       trace_json_path = argv[i] + 13;
+    } else if (std::strncmp(argv[i], "--stats-json=", 13) == 0) {
+      stats_json_path = argv[i] + 13;
+    } else if (std::strncmp(argv[i], "--serve=", 8) == 0) {
+      serve_port = std::atoi(argv[i] + 8);
+      if (serve_port < 0 || serve_port > 65535) {
+        std::fprintf(stderr, "--serve needs a port in [0, 65535], got '%s'\n",
+                     argv[i] + 8);
+        return 2;
+      }
     } else if (std::strcmp(argv[i], "--print-rewriting") == 0) {
       print_rewriting = true;
     } else if (std::strcmp(argv[i], "--sql") == 0) {
@@ -320,20 +419,50 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
       std::fprintf(stderr, kUsage, argv[0]);
       return 2;
-    } else if (ontology_path == nullptr) {
-      ontology_path = argv[i];
-    } else if (query_path == nullptr && !repl) {
-      query_path = argv[i];
-    } else if (data_path == nullptr) {
-      data_path = argv[i];
+    } else if (positionals.size() < 3) {
+      positionals.push_back(argv[i]);
     } else {
       std::fprintf(stderr, "unexpected argument: %s\n", argv[i]);
       return 2;
     }
   }
-  if (ontology_path == nullptr || (query_path == nullptr && !repl)) {
+  // Assign the positionals only after every flag is parsed: --repl and
+  // --serve take ONTOLOGY [DATA] (no query file), and must mean the same
+  // thing whether they appear before or after the file arguments.
+  bool has_query_positional = !repl && serve_port < 0;
+  size_t want = has_query_positional ? 2u : 1u;
+  if (positionals.size() < want ||
+      positionals.size() > (has_query_positional ? 3u : 2u)) {
     std::fprintf(stderr, kUsage, argv[0]);
     return 2;
+  }
+  ontology_path = positionals[0];
+  if (has_query_positional) {
+    query_path = positionals[1];
+    if (positionals.size() > 2) data_path = positionals[2];
+  } else if (positionals.size() > 1) {
+    data_path = positionals[1];
+  }
+
+  // The engine configuration depends only on flags; the --serve path hands
+  // it to the registry as the per-tenant template.
+  EngineOptions engine_options;
+  engine_options.governor.max_memory_bytes =
+      static_cast<size_t>(max_memory_mb) * 1024 * 1024;
+  engine_options.governor.max_concurrent = max_concurrent;
+  if (queue_timeout_ms >= 0) {
+    engine_options.governor.queue_timeout_ms = queue_timeout_ms;
+  }
+  if (answer_cache_mb > 0) {
+    engine_options.answer_cache_capacity = 256;
+    engine_options.answer_cache_max_bytes =
+        static_cast<size_t>(answer_cache_mb) * 1024 * 1024;
+  }
+  engine_options.coalesce = coalesce;
+
+  if (serve_port >= 0) {
+    return RunServe(ontology_path, data_path, serve_port, threads,
+                    max_memory_mb, max_concurrent, engine_options);
   }
 
   PrepareOptions prepare_options;
@@ -392,19 +521,6 @@ int main(int argc, char** argv) {
 
   // One engine serves every query of this invocation: ontology frozen and
   // fingerprinted, data snapshotted, plans cached, executions governed.
-  EngineOptions engine_options;
-  engine_options.governor.max_memory_bytes =
-      static_cast<size_t>(max_memory_mb) * 1024 * 1024;
-  engine_options.governor.max_concurrent = max_concurrent;
-  if (queue_timeout_ms >= 0) {
-    engine_options.governor.queue_timeout_ms = queue_timeout_ms;
-  }
-  if (answer_cache_mb > 0) {
-    engine_options.answer_cache_capacity = 256;
-    engine_options.answer_cache_max_bytes =
-        static_cast<size_t>(answer_cache_mb) * 1024 * 1024;
-  }
-  engine_options.coalesce = coalesce;
   Engine engine(tbox, data, nullptr, engine_options);
 
   ExecuteRequest request;
@@ -436,6 +552,11 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (!stats_json_path.empty() && !WriteStatsJson(engine, stats_json_path)) {
+    std::fprintf(stderr, "cannot write stats to %s\n",
+                 stats_json_path.c_str());
+    return 1;
+  }
   if (!trace_json_path.empty()) {
     MetricsRegistry::SetGlobal(nullptr);
     if (!metrics.WriteJsonFile(trace_json_path)) {

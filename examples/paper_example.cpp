@@ -10,6 +10,8 @@
 #include "core/rewriters.h"
 #include "ndl/evaluator.h"
 #include "workloads/paper_workloads.h"
+#include "util/logging.h"
+#include <utility>
 
 int main() {
   using namespace owlqr;
@@ -25,7 +27,9 @@ int main() {
   for (RewriterKind kind :
        {RewriterKind::kUcq, RewriterKind::kLog, RewriterKind::kLin,
         RewriterKind::kTw, RewriterKind::kTwStar}) {
-    NdlProgram program = RewriteOmq(&ctx, query, kind);
+    RewriteResult program_rw = RewriteOmqOrError(&ctx, query, kind);
+    OWLQR_CHECK_MSG(program_rw.ok(), program_rw.status.message().c_str());
+    NdlProgram program = std::move(program_rw.program);
     std::printf("=== %s rewriting (%d clauses, depth %d, width %d) ===\n%s\n",
                 RewriterName(kind), program.num_clauses(), program.Depth(),
                 program.Width(), program.ToString().c_str());
@@ -48,7 +52,9 @@ int main() {
         RewriterKind::kTw, RewriterKind::kTwStar}) {
     RewriteOptions options;
     options.arbitrary_instances = true;
-    NdlProgram program = RewriteOmq(&ctx, query, kind, options);
+    RewriteResult program_rw = RewriteOmqOrError(&ctx, query, kind, options);
+    OWLQR_CHECK_MSG(program_rw.ok(), program_rw.status.message().c_str());
+    NdlProgram program = std::move(program_rw.program);
     Evaluator eval(program, data);
     auto answers = eval.Evaluate();
     std::printf("%-4s answers:", RewriterName(kind));

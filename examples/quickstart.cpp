@@ -94,7 +94,12 @@ int main() {
   batch.roles.push_back({vocab.InternPredicate("lectures"),
                          vocab.InternIndividual("carol"),
                          vocab.InternIndividual("logic")});
-  uint64_t version = engine.ApplyFacts(batch);
+  uint64_t version = 0;
+  Status apply_status = engine.ApplyFactsOrError(batch, &version);
+  if (!apply_status.ok()) {
+    std::fprintf(stderr, "apply error: %s\n", apply_status.ToString().c_str());
+    return 1;
+  }
   Status status;
   ExecuteResult after = engine.Query(*query, ExecuteRequest{}, &status);
   if (!status.ok()) {

@@ -12,6 +12,8 @@
 #include "core/rewriters.h"
 #include "ndl/evaluator.h"
 #include "syntax/parser.h"
+#include "util/logging.h"
+#include <utility>
 
 namespace {
 
@@ -106,7 +108,9 @@ int main() {
       RewriteOptions options;
       options.arbitrary_instances = true;
       auto t0 = Clock::now();
-      NdlProgram program = RewriteOmq(&ctx, *query, kind, options);
+      RewriteResult program_rw = RewriteOmqOrError(&ctx, *query, kind, options);
+      OWLQR_CHECK_MSG(program_rw.ok(), program_rw.status.message().c_str());
+      NdlProgram program = std::move(program_rw.program);
       auto t1 = Clock::now();
       EvaluationStats stats;
       Evaluator eval(program, data);

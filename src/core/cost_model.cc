@@ -130,7 +130,11 @@ NdlProgram CostBasedRewrite(RewritingContext* ctx,
   int best = -1;
   std::vector<NdlProgram> programs;
   for (size_t i = 0; i < candidates.size(); ++i) {
-    programs.push_back(RewriteOmq(ctx, query, candidates[i], options));
+    // The candidate list above applies exactly the validator's applicability
+    // conditions, so a shape failure here is an invariant violation.
+    RewriteResult rewrite = RewriteOmqOrError(ctx, query, candidates[i], options);
+    OWLQR_CHECK_MSG(rewrite.ok(), rewrite.status.message().c_str());
+    programs.push_back(std::move(rewrite.program));
     double cost = EstimateEvaluationCost(programs.back(), stats);
     if (best < 0 || cost < best_cost) {
       best = static_cast<int>(i);

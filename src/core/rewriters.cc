@@ -31,6 +31,47 @@ const char* RewriterName(RewriterKind kind) {
   return "?";
 }
 
+const char* RewriterWireName(RewriterKind kind) {
+  switch (kind) {
+    case RewriterKind::kLog:
+      return "log";
+    case RewriterKind::kLin:
+      return "lin";
+    case RewriterKind::kTw:
+      return "tw";
+    case RewriterKind::kTwStar:
+      return "twstar";
+    case RewriterKind::kUcq:
+      return "ucq";
+    case RewriterKind::kPrestoLike:
+      return "presto";
+  }
+  return "?";
+}
+
+bool RewriterKindFromName(const std::string& name, bool* auto_kind,
+                          RewriterKind* kind) {
+  *auto_kind = false;
+  if (name == "auto") {
+    *auto_kind = true;
+  } else if (name == "lin") {
+    *kind = RewriterKind::kLin;
+  } else if (name == "log") {
+    *kind = RewriterKind::kLog;
+  } else if (name == "tw") {
+    *kind = RewriterKind::kTw;
+  } else if (name == "twstar") {
+    *kind = RewriterKind::kTwStar;
+  } else if (name == "ucq") {
+    *kind = RewriterKind::kUcq;
+  } else if (name == "presto") {
+    *kind = RewriterKind::kPrestoLike;
+  } else {
+    return false;
+  }
+  return true;
+}
+
 int MergeProgram(NdlProgram* dst, const NdlProgram& src,
                  const std::string& prefix) {
   std::vector<int> pred_map(src.num_predicates());
@@ -230,17 +271,6 @@ RewriteResult RewriteOmqOrError(RewritingContext* ctx,
   }
   NdlProgram program = RewriteOmqImpl(ctx, query, kind, options, &diag);
   return {Status::Ok(), std::move(program), diag};
-}
-
-NdlProgram RewriteOmq(RewritingContext* ctx, const ConjunctiveQuery& query,
-                      RewriterKind kind, const RewriteOptions& options) {
-  // The legacy contract: class mismatches abort.  Validation runs up front
-  // so the abort carries the same "tree-shaped" / "finite-depth" messages
-  // the sub-rewriters used to emit.
-  Status status = ValidateOmqShape(*ctx, query, kind);
-  OWLQR_CHECK_MSG(status.ok(), status.message().c_str());
-  RewriteDiagnostics diag;
-  return RewriteOmqImpl(ctx, query, kind, options, &diag);
 }
 
 }  // namespace owlqr

@@ -55,6 +55,17 @@ struct RewriteResult {
 Status ValidateOmqShape(const RewritingContext& ctx,
                         const ConjunctiveQuery& query, RewriterKind kind);
 
+// Parses the lower-case rewriter spelling shared by the CLI flags and the
+// wire codecs: "lin", "log", "tw", "twstar", "ucq", "presto", or "auto".
+// "auto" sets *auto_kind and leaves *kind untouched; the others clear
+// *auto_kind and set *kind.  Returns false on an unknown name.
+bool RewriterKindFromName(const std::string& name, bool* auto_kind,
+                          RewriterKind* kind);
+
+// The inverse spelling: the lower-case name RewriterKindFromName accepts
+// for `kind` (RewriterName is the paper-styled display name, "Tw*" etc.).
+const char* RewriterWireName(RewriterKind kind);
+
 // Rewrites the OMQ (ctx->tbox(), query) with the chosen algorithm.
 // Disconnected queries are handled by rewriting each connected component and
 // conjoining the component goals.  Queries outside the algorithm's class are
@@ -63,18 +74,6 @@ RewriteResult RewriteOmqOrError(RewritingContext* ctx,
                                 const ConjunctiveQuery& query,
                                 RewriterKind kind,
                                 const RewriteOptions& options = {});
-
-// DEPRECATED legacy entry point: like RewriteOmqOrError but *aborts the
-// process* when the query shape or ontology depth does not fit the
-// algorithm's class, and drops the diagnostics.  Kept so existing examples,
-// tests and benches migrate incrementally; new call sites outside src/core/
-// are rejected by the hygiene check (tools/check_deprecated_api.sh).
-// Define OWLQR_WARN_DEPRECATED to get compiler warnings at call sites.
-#ifdef OWLQR_WARN_DEPRECATED
-[[deprecated("use RewriteOmqOrError")]]
-#endif
-NdlProgram RewriteOmq(RewritingContext* ctx, const ConjunctiveQuery& query,
-                      RewriterKind kind, const RewriteOptions& options = {});
 
 // Merges `src` into `dst`, prefixing IDB predicate names with `prefix`.
 // Returns the predicate in `dst` corresponding to src's goal.

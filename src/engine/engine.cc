@@ -456,13 +456,6 @@ Status Engine::ApplyFactsOrError(const FactBatch& batch, uint64_t* version) {
   return Status::Ok();
 }
 
-uint64_t Engine::ApplyFacts(const FactBatch& batch) {
-  uint64_t version = 0;
-  const Status status = ApplyFactsOrError(batch, &version);
-  OWLQR_CHECK_MSG(status.ok(), status.message().c_str());
-  return version;
-}
-
 void Engine::ClearIncrementalState() const { incremental_.Clear(); }
 
 std::shared_ptr<const DataSnapshot> Engine::snapshot() const {

@@ -14,7 +14,7 @@
 //   Execute(plan, req)   -> answers + stats, pinned to the snapshot version
 //                           current at call time; per-request limits and
 //                           thread count come in the ExecuteRequest.
-//   ApplyFacts(batch)    -> installs a new copy-on-write snapshot version;
+//   ApplyFactsOrError(batch) -> installs a new copy-on-write snapshot version;
 //                           executions already running keep the old
 //                           version alive via shared_ptr and are unaffected.
 //
@@ -218,9 +218,6 @@ class Engine {
   // update; concurrent ApplyFacts calls serialise among themselves.
   Status ApplyFactsOrError(const FactBatch& batch,
                            uint64_t* version = nullptr);
-  // Checked shim over ApplyFactsOrError, preserving the original signature:
-  // aborts on an invalid batch (programmer error at this layer).
-  uint64_t ApplyFacts(const FactBatch& batch);
 
   // Drops every retained incremental IDB state, releasing its memory-budget
   // charge.  Subsequent incremental executions re-seed from a full run.

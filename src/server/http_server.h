@@ -1,0 +1,133 @@
+#ifndef OWLQR_SERVER_HTTP_SERVER_H_
+#define OWLQR_SERVER_HTTP_SERVER_H_
+
+// The HTTP/1.1 transport over api::Service.
+//
+// Deliberately small: a loopback listening socket, one acceptor thread, a
+// bounded handoff queue and a fixed worker pool — no external HTTP library
+// (the container has none, and the protocol subset a JSON API needs is
+// tiny).  Everything protocol-agnostic lives in server/api.h; this file
+// only parses request heads, routes paths to verbs and frames responses.
+//
+// Backpressure has three layers, outermost first:
+//   1. The kernel accept backlog (`listen_backlog`).
+//   2. The handoff queue between acceptor and workers: when all workers
+//      are busy and the queue is full, the acceptor answers 503 directly
+//      and closes — the cheapest possible shed, no worker time spent.
+//   3. The engine governor behind api::Service: admission shed / queue
+//      timeout comes back as 429 with the error envelope.
+//
+// Robustness against hostile clients: request heads are capped
+// (max_header_bytes -> 431), bodies are capped (max_body_bytes -> 413),
+// POST requires Content-Length (411; chunked transfer is not implemented
+// -> 501), and a client that trickles its head slower than
+// header_timeout_ms gets 408 (slowloris).  A client that disconnects
+// mid-execute is noticed by the disconnect watcher, which fires the
+// request's CancelToken so the evaluation aborts with kCancelled instead
+// of running to completion for nobody.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "server/api.h"
+#include "util/status.h"
+
+namespace owlqr {
+namespace server {
+
+struct HttpServerOptions {
+  // 0 binds an ephemeral port; read the outcome from HttpServer::port().
+  int port = 0;
+  int num_workers = 4;
+  // The kernel listen(2) backlog.
+  int listen_backlog = 64;
+  // Accepted connections waiting for a free worker; beyond this the
+  // acceptor sheds with 503.
+  size_t handoff_capacity = 32;
+  // Caps on the request head (request line + headers) and body.
+  size_t max_header_bytes = 8192;
+  size_t max_body_bytes = 4u << 20;
+  // The whole request head must arrive within this budget (slowloris).
+  long header_timeout_ms = 5000;
+  // Per-syscall socket send/receive timeout.
+  long io_timeout_ms = 30000;
+  // Keep-alive requests served on one connection before the server closes
+  // it (bounds how long a worker can be owned by one client).
+  int max_requests_per_connection = 1000;
+  // Cadence of the disconnect watcher's poll(2) sweep.
+  long watch_poll_ms = 50;
+};
+
+class HttpServer {
+ public:
+  // `service` must outlive the server.
+  HttpServer(api::Service* service, const HttpServerOptions& options = {});
+  ~HttpServer();  // Stops if still running.
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  // Binds 127.0.0.1:<port>, starts the acceptor, workers and disconnect
+  // watcher.  kInvalidArgument on socket/bind failures (port in use).
+  Status Start();
+
+  // Closes the listener, wakes blocked workers by shutting their in-flight
+  // connections down, joins every thread.  Idempotent.
+  void Stop();
+
+  // The bound port (after Start); 0 before.
+  int port() const { return port_; }
+
+  // Connections shed by the handoff queue (layer 2 above) since Start.
+  long handoff_shed_count() const {
+    return handoff_shed_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void AcceptLoop();
+  void WorkerLoop();
+  void WatchLoop();
+  // Serves one connection until close / error / request cap.
+  void ServeConnection(int fd);
+
+  // Disconnect watcher registration for an in-flight request.
+  void WatchForDisconnect(int fd, std::shared_ptr<CancelToken> token);
+  void UnwatchDisconnect(int fd);
+
+  api::Service* const service_;
+  const HttpServerOptions options_;
+
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<long> handoff_shed_{0};
+
+  std::thread acceptor_;
+  std::vector<std::thread> workers_;
+  std::thread watcher_;
+
+  std::mutex handoff_mutex_;
+  std::condition_variable handoff_cv_;
+  std::deque<int> handoff_;  // Accepted fds awaiting a worker.
+
+  std::mutex active_mutex_;
+  std::vector<int> active_fds_;  // Connections currently owned by workers.
+
+  struct Watch {
+    int fd;
+    std::shared_ptr<CancelToken> token;
+  };
+  std::mutex watch_mutex_;
+  std::vector<Watch> watches_;
+};
+
+}  // namespace server
+}  // namespace owlqr
+
+#endif  // OWLQR_SERVER_HTTP_SERVER_H_

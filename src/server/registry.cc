@@ -1,0 +1,144 @@
+#include "server/registry.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+
+#include "data/data_instance.h"
+#include "syntax/parser.h"
+
+namespace owlqr {
+namespace server {
+
+namespace {
+
+std::string FingerprintHex(uint64_t fingerprint) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(fingerprint));
+  return buf;
+}
+
+}  // namespace
+
+Tenant::Tenant(std::string name, std::unique_ptr<Vocabulary> vocab,
+               const TBox& tbox, const DataInstance& data,
+               const TableStore* tables, const EngineOptions& options)
+    : name_(std::move(name)), vocab_(std::move(vocab)) {
+  engine_ = std::make_unique<Engine>(tbox, data, tables, options);
+  fingerprint_ = FingerprintHex(engine_->tbox_fingerprint());
+}
+
+EngineRegistry::EngineRegistry(const RegistryOptions& options)
+    : options_(options) {}
+
+size_t EngineRegistry::tenant_memory_bytes() const {
+  if (options_.process_memory_bytes == 0) return 0;
+  size_t tenants = std::max<size_t>(options_.max_tenants, 1);
+  return options_.process_memory_bytes / tenants;
+}
+
+int EngineRegistry::tenant_slots() const {
+  if (options_.process_slots <= 0) return 0;
+  int tenants = static_cast<int>(std::max<size_t>(options_.max_tenants, 1));
+  return std::max(options_.process_slots / tenants, 1);
+}
+
+Status EngineRegistry::RegisterParsed(const std::string& name,
+                                      const std::string& ontology_text,
+                                      const std::string& data_text,
+                                      std::shared_ptr<Tenant>* out) {
+  auto vocab = std::make_unique<Vocabulary>();
+  TBox tbox(vocab.get());
+  std::string error;
+  if (!ParseTBox(ontology_text, &tbox, &error)) {
+    return Status::InvalidArgument("ontology: " + error);
+  }
+  tbox.Normalize();
+  DataInstance data(vocab.get());
+  if (!data_text.empty() && !ParseData(data_text, &data, &error)) {
+    return Status::InvalidArgument("data: " + error);
+  }
+  return Register(name, std::move(vocab), tbox, data, nullptr, out);
+}
+
+Status EngineRegistry::Register(const std::string& name,
+                                std::unique_ptr<Vocabulary> vocab,
+                                const TBox& tbox, const DataInstance& data,
+                                const TableStore* tables,
+                                std::shared_ptr<Tenant>* out) {
+  if (name.empty()) {
+    return Status::InvalidArgument("tenant name must be non-empty");
+  }
+  {
+    // Capacity and alias checks up front: engine construction (TBox copy,
+    // snapshot build) is too expensive to do first and throw away.  The
+    // fingerprint check has to wait until the engine exists; the window in
+    // which a concurrent duplicate registration could slip past is closed
+    // by re-checking under the lock before publication below.
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (tenants_.size() >= options_.max_tenants) {
+      return Status::Rejected("registry full (" +
+                              std::to_string(options_.max_tenants) +
+                              " tenants)");
+    }
+    for (const auto& tenant : tenants_) {
+      if (tenant->name() == name) {
+        return Status::InvalidArgument("tenant '" + name +
+                                       "' already registered");
+      }
+    }
+  }
+
+  EngineOptions engine_options = options_.engine;
+  engine_options.governor.max_memory_bytes = tenant_memory_bytes();
+  engine_options.governor.max_concurrent = tenant_slots();
+  auto tenant = std::make_shared<Tenant>(name, std::move(vocab), tbox, data,
+                                         tables, engine_options);
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (tenants_.size() >= options_.max_tenants) {
+    return Status::Rejected("registry full (" +
+                            std::to_string(options_.max_tenants) +
+                            " tenants)");
+  }
+  for (const auto& existing : tenants_) {
+    if (existing->name() == name) {
+      return Status::InvalidArgument("tenant '" + name +
+                                     "' already registered");
+    }
+    if (existing->fingerprint() == tenant->fingerprint()) {
+      return Status::InvalidArgument(
+          "TBox already registered as tenant '" + existing->name() +
+          "' (fingerprint " + existing->fingerprint() + ")");
+    }
+  }
+  tenants_.push_back(tenant);
+  if (out != nullptr) *out = std::move(tenant);
+  return Status::Ok();
+}
+
+std::shared_ptr<Tenant> EngineRegistry::Find(
+    const std::string& name_or_fingerprint) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& tenant : tenants_) {
+    if (tenant->name() == name_or_fingerprint ||
+        tenant->fingerprint() == name_or_fingerprint) {
+      return tenant;
+    }
+  }
+  return nullptr;
+}
+
+std::vector<std::shared_ptr<Tenant>> EngineRegistry::List() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return tenants_;
+}
+
+size_t EngineRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return tenants_.size();
+}
+
+}  // namespace server
+}  // namespace owlqr

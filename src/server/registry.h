@@ -1,0 +1,135 @@
+#ifndef OWLQR_SERVER_REGISTRY_H_
+#define OWLQR_SERVER_REGISTRY_H_
+
+// Multi-tenant engine registry: one process serves many ontologies.
+//
+// A Tenant bundles everything one served ontology needs — its own
+// Vocabulary (engines reference the vocabulary for their whole lifetime),
+// the Engine built over the frozen TBox + initial data, and the lock that
+// makes name<->id translation safe under concurrent requests.  Tenants are
+// keyed by the engine's TBox fingerprint (the same FNV-1a hash the plan
+// cache keys on), so two registrations of byte-identical ontologies are
+// detected as duplicates no matter what names they were given; a
+// human-readable alias is kept alongside for addressable URLs.
+//
+// Resource carving: the registry is configured with a PROCESS-wide memory
+// budget and execution-slot count, and carves both equally across
+// `max_tenants` at registration time (every tenant gets
+// process_total / max_tenants, floored at one slot).  The carve is static —
+// an early tenant can never starve a later one by grabbing the whole
+// budget, and the sum across tenants never exceeds the process totals.
+//
+// Thread-safety: Register / Find / List may be called concurrently; the
+// returned shared_ptr<Tenant> stays valid for as long as the caller holds
+// it, even across later registrations.
+
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "data/table_store.h"
+#include "engine/engine.h"
+#include "ontology/vocabulary.h"
+#include "util/status.h"
+
+namespace owlqr {
+namespace server {
+
+struct RegistryOptions {
+  // Registrations beyond this fail with kRejected; the carve divides the
+  // process totals by this number, so it also sets each tenant's share.
+  size_t max_tenants = 4;
+  // Process-wide memory budget for execution-owned allocations, split
+  // equally across max_tenants (0 = track only, no limit anywhere).
+  size_t process_memory_bytes = 0;
+  // Process-wide execution slots, split equally across max_tenants with a
+  // floor of one slot per tenant (0 = unlimited everywhere).
+  int process_slots = 0;
+  // Template for every tenant's engine; the governor's max_memory_bytes and
+  // max_concurrent are overwritten by the carve described above.
+  EngineOptions engine;
+};
+
+// One served ontology: vocabulary + engine + the vocabulary lock.
+class Tenant {
+ public:
+  Tenant(std::string name, std::unique_ptr<Vocabulary> vocab,
+         const TBox& tbox, const DataInstance& data, const TableStore* tables,
+         const EngineOptions& options);
+
+  Tenant(const Tenant&) = delete;
+  Tenant& operator=(const Tenant&) = delete;
+
+  const std::string& name() const { return name_; }
+  // Lower-case hex of the engine's TBox fingerprint — the registry key and
+  // the tenant's canonical wire identifier.
+  const std::string& fingerprint() const { return fingerprint_; }
+  Engine* engine() const { return engine_.get(); }
+  Vocabulary* vocabulary() const { return vocab_.get(); }
+
+  // Guards the tenant's vocabulary against the Interner's unsynchronized
+  // growth: anything that may intern new names (parsing a query, building a
+  // fact batch, Engine::Prepare on a cache miss — rewriting interns fresh
+  // IDB predicate names) takes it exclusively; read-only name lookups
+  // (serialising answer tuples) take it shared.  Engine::Execute itself
+  // never touches the vocabulary and runs outside the lock.
+  std::shared_mutex& vocab_mutex() const { return vocab_mutex_; }
+
+ private:
+  const std::string name_;
+  std::unique_ptr<Vocabulary> vocab_;
+  std::unique_ptr<Engine> engine_;
+  std::string fingerprint_;
+  mutable std::shared_mutex vocab_mutex_;
+};
+
+class EngineRegistry {
+ public:
+  explicit EngineRegistry(const RegistryOptions& options = {});
+
+  EngineRegistry(const EngineRegistry&) = delete;
+  EngineRegistry& operator=(const EngineRegistry&) = delete;
+
+  // Builds a tenant from ontology / data text in the src/syntax parser
+  // grammar and registers it.  Parse failures come back as
+  // kInvalidArgument, a duplicate name or TBox as kInvalidArgument, a full
+  // registry as kRejected.  `out` (nullable) receives the tenant.
+  Status RegisterParsed(const std::string& name,
+                        const std::string& ontology_text,
+                        const std::string& data_text,
+                        std::shared_ptr<Tenant>* out = nullptr);
+
+  // Registers a tenant from already-built pieces.  `vocab` must be the
+  // vocabulary `tbox` and `data` were built against; the tenant takes
+  // ownership.  Same failure taxonomy as RegisterParsed.
+  Status Register(const std::string& name, std::unique_ptr<Vocabulary> vocab,
+                  const TBox& tbox, const DataInstance& data,
+                  const TableStore* tables = nullptr,
+                  std::shared_ptr<Tenant>* out = nullptr);
+
+  // Lookup by alias or fingerprint hex; null when unknown.
+  std::shared_ptr<Tenant> Find(const std::string& name_or_fingerprint) const;
+
+  // Registration-ordered snapshot of every tenant.
+  std::vector<std::shared_ptr<Tenant>> List() const;
+
+  size_t size() const;
+  const RegistryOptions& options() const { return options_; }
+
+  // The per-tenant shares the carve hands out (what a new registration
+  // will be governed by).
+  size_t tenant_memory_bytes() const;
+  int tenant_slots() const;
+
+ private:
+  const RegistryOptions options_;
+  mutable std::mutex mutex_;
+  std::vector<std::shared_ptr<Tenant>> tenants_;  // Registration order.
+};
+
+}  // namespace server
+}  // namespace owlqr
+
+#endif  // OWLQR_SERVER_REGISTRY_H_

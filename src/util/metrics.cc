@@ -4,6 +4,8 @@
 #include <functional>
 #include <thread>
 
+#include "util/json.h"
+
 namespace owlqr {
 
 namespace {
@@ -17,43 +19,6 @@ thread_local int tls_span_depth = 0;
 unsigned long ThisThreadId() {
   return static_cast<unsigned long>(
       std::hash<std::thread::id>{}(std::this_thread::get_id()));
-}
-
-// JSON string escaping for metric names (our own literals, but a malformed
-// trace file is worse than a few branches here).
-void AppendEscaped(std::string* out, const std::string& s) {
-  out->push_back('"');
-  for (char c : s) {
-    switch (c) {
-      case '"':
-        *out += "\\\"";
-        break;
-      case '\\':
-        *out += "\\\\";
-        break;
-      case '\n':
-        *out += "\\n";
-        break;
-      case '\t':
-        *out += "\\t";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          *out += buf;
-        } else {
-          out->push_back(c);
-        }
-    }
-  }
-  out->push_back('"');
-}
-
-void AppendDouble(std::string* out, double v) {
-  char buf[32];
-  std::snprintf(buf, sizeof(buf), "%.6g", v);
-  *out += buf;
 }
 
 }  // namespace
@@ -153,59 +118,45 @@ double MetricsRegistry::ElapsedMs() const {
 
 std::string MetricsRegistry::ToJson() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  std::string out = "{\n  \"counters\": {";
-  bool first = true;
-  for (const auto& [name, value] : counters_) {
-    if (!first) out += ",";
-    out += "\n    ";
-    AppendEscaped(&out, name);
-    out += ": " + std::to_string(value);
-    first = false;
-  }
-  out += first ? "},\n" : "\n  },\n";
-  out += "  \"timers\": {";
-  first = true;
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("counters");
+  w.BeginObject();
+  for (const auto& [name, value] : counters_) w.KV(name, value);
+  w.EndObject();
+  w.Key("timers");
+  w.BeginObject();
   for (const auto& [name, t] : timers_) {
-    if (!first) out += ",";
-    out += "\n    ";
-    AppendEscaped(&out, name);
-    out += ": {\"count\": " + std::to_string(t.count) + ", \"sum\": ";
-    AppendDouble(&out, t.sum);
-    out += ", \"min\": ";
-    AppendDouble(&out, t.min);
-    out += ", \"max\": ";
-    AppendDouble(&out, t.max);
-    out += "}";
-    first = false;
+    w.Key(name);
+    w.BeginObject();
+    w.KV("count", t.count);
+    w.KV("sum", t.sum);
+    w.KV("min", t.min);
+    w.KV("max", t.max);
+    w.EndObject();
   }
-  out += first ? "},\n" : "\n  },\n";
-  out += "  \"spans\": [";
-  first = true;
+  w.EndObject();
+  w.Key("spans");
+  w.BeginArray();
   for (const Span& span : spans_) {
-    if (!first) out += ",";
-    out += "\n    {\"name\": ";
-    AppendEscaped(&out, span.name);
-    out += ", \"start_ms\": ";
-    AppendDouble(&out, span.start_ms);
-    out += ", \"duration_ms\": ";
-    AppendDouble(&out, span.duration_ms);
-    out += ", \"depth\": " + std::to_string(span.depth);
-    out += ", \"thread\": " + std::to_string(span.thread);
+    w.BeginObject();
+    w.KV("name", span.name);
+    w.KV("start_ms", span.start_ms);
+    w.KV("duration_ms", span.duration_ms);
+    w.KV("depth", span.depth);
+    w.KV("thread", span.thread);
     if (!span.attrs.empty()) {
-      out += ", \"attrs\": {";
-      bool first_attr = true;
-      for (const auto& [key, value] : span.attrs) {
-        if (!first_attr) out += ", ";
-        AppendEscaped(&out, key);
-        out += ": " + std::to_string(value);
-        first_attr = false;
-      }
-      out += "}";
+      w.Key("attrs");
+      w.BeginObject();
+      for (const auto& [key, value] : span.attrs) w.KV(key, value);
+      w.EndObject();
     }
-    out += "}";
-    first = false;
+    w.EndObject();
   }
-  out += first ? "]\n}\n" : "\n  ]\n}\n";
+  w.EndArray();
+  w.EndObject();
+  std::string out = w.TakeString();
+  out.push_back('\n');
   return out;
 }
 

@@ -1,10 +1,14 @@
-// Failure-injection tests: misusing the API must abort with a clear check
-// message rather than silently producing wrong rewritings.
+// Failure-injection tests: misusing the API must fail loudly — invariant
+// violations abort with a clear check message, while data-dependent shape
+// errors come back as a Status (never an abort) through RewriteOmqOrError.
 
 #include <gtest/gtest.h>
 
+#include <utility>
+
 #include "core/rewriters.h"
 #include "ndl/linear_evaluator.h"
+#include "util/logging.h"
 #include "workloads/paper_workloads.h"
 
 namespace owlqr {
@@ -20,7 +24,7 @@ TEST(ApiMisuseDeathTest, RewritersRequireNormalizedTBox) {
   EXPECT_DEATH({ RewritingContext ctx(tbox); }, "normalized");
 }
 
-TEST(ApiMisuseDeathTest, LinRejectsCyclicQueries) {
+TEST(RewriteStatusTest, LinRejectsCyclicQueries) {
   Vocabulary vocab;
   auto tbox = MakeExample11TBox(&vocab);
   RewritingContext ctx(*tbox);
@@ -28,11 +32,16 @@ TEST(ApiMisuseDeathTest, LinRejectsCyclicQueries) {
   q.AddBinary("R", "x", "y");
   q.AddBinary("R", "y", "z");
   q.AddBinary("R", "z", "x");
-  EXPECT_DEATH(RewriteOmq(&ctx, q, RewriterKind::kLin), "tree-shaped");
-  EXPECT_DEATH(RewriteOmq(&ctx, q, RewriterKind::kTw), "tree-shaped");
+  for (RewriterKind kind : {RewriterKind::kLin, RewriterKind::kTw}) {
+    RewriteResult result = RewriteOmqOrError(&ctx, q, kind);
+    EXPECT_FALSE(result.ok());
+    EXPECT_EQ(result.status.code(), StatusCode::kUnsupportedShape);
+    EXPECT_NE(result.status.message().find("tree-shaped"), std::string::npos)
+        << result.status.message();
+  }
 }
 
-TEST(ApiMisuseDeathTest, LinAndLogRequireFiniteDepth) {
+TEST(RewriteStatusTest, LinAndLogRequireFiniteDepth) {
   Vocabulary vocab;
   TBox tbox(&vocab);
   RoleId p = RoleOf(vocab.InternPredicate("P"));
@@ -44,11 +53,17 @@ TEST(ApiMisuseDeathTest, LinAndLogRequireFiniteDepth) {
   ConjunctiveQuery q(&vocab);
   q.AddBinary("P", "x", "y");
   q.MarkAnswerVariable(q.FindVariable("x"));
-  EXPECT_DEATH(RewriteOmq(&ctx, q, RewriterKind::kLin), "finite-depth");
-  EXPECT_DEATH(RewriteOmq(&ctx, q, RewriterKind::kLog), "finite-depth");
+  for (RewriterKind kind : {RewriterKind::kLin, RewriterKind::kLog}) {
+    RewriteResult result = RewriteOmqOrError(&ctx, q, kind);
+    EXPECT_FALSE(result.ok());
+    EXPECT_EQ(result.status.code(), StatusCode::kUnsupportedShape);
+    EXPECT_NE(result.status.message().find("finite-depth"), std::string::npos)
+        << result.status.message();
+  }
   // Tw is fine on infinite-depth ontologies.
-  NdlProgram tw = RewriteOmq(&ctx, q, RewriterKind::kTw);
-  EXPECT_GT(tw.num_clauses(), 0);
+  RewriteResult tw_rw = RewriteOmqOrError(&ctx, q, RewriterKind::kTw);
+  ASSERT_TRUE(tw_rw.ok()) << tw_rw.status.message();
+  EXPECT_GT(tw_rw.program.num_clauses(), 0);
 }
 
 TEST(ApiMisuseDeathTest, LinearEvaluatorRejectsNonLinearPrograms) {
@@ -56,7 +71,9 @@ TEST(ApiMisuseDeathTest, LinearEvaluatorRejectsNonLinearPrograms) {
   auto tbox = MakeExample11TBox(&vocab);
   RewritingContext ctx(*tbox);
   ConjunctiveQuery q = SequenceQuery(&vocab, "RSR");
-  NdlProgram log_program = RewriteOmq(&ctx, q, RewriterKind::kLog);
+  RewriteResult log_rw = RewriteOmqOrError(&ctx, q, RewriterKind::kLog);
+  ASSERT_TRUE(log_rw.ok()) << log_rw.status.message();
+  NdlProgram log_program = std::move(log_rw.program);
   DataInstance data(&vocab);
   if (!log_program.IsLinear()) {
     EXPECT_DEATH(LinearReachabilityEvaluator(log_program, data), "linear");

@@ -413,7 +413,11 @@ TEST(BatchExecutorTest, DeltaPathDifferential) {
     batch.roles.push_back({r_id, chain[0], chain[1]});
     batch.roles.push_back({s_id, chain[1], chain[2]});
     batch.roles.push_back({r_id, chain[2], chain[3]});
-    ASSERT_EQ(batch_engine.ApplyFacts(batch), scalar_engine.ApplyFacts(batch));
+    uint64_t batch_version = 0;
+    uint64_t scalar_version = 0;
+    ASSERT_TRUE(batch_engine.ApplyFactsOrError(batch, &batch_version).ok());
+    ASSERT_TRUE(scalar_engine.ApplyFactsOrError(batch, &scalar_version).ok());
+    ASSERT_EQ(batch_version, scalar_version);
     for (const FactBatch::RoleFact& fact : batch.roles) {
       grown.AddRoleAssertion(fact.role_id, fact.subject, fact.object);
     }

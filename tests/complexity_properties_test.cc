@@ -14,6 +14,8 @@
 #include "core/rewriters.h"
 #include "ndl/skinny.h"
 #include "workloads/paper_workloads.h"
+#include "util/logging.h"
+#include <utility>
 
 namespace owlqr {
 namespace {
@@ -39,7 +41,9 @@ TEST_P(StructuralBounds, TheoremBoundsHold) {
 
   // Theorem 12: linear NDL of width <= 2l, polynomially many clauses.
   {
-    NdlProgram lin = RewriteOmq(&ctx, query, RewriterKind::kLin);
+    RewriteResult lin_rw = RewriteOmqOrError(&ctx, query, RewriterKind::kLin);
+    OWLQR_CHECK_MSG(lin_rw.ok(), lin_rw.status.message().c_str());
+    NdlProgram lin = std::move(lin_rw.program);
     EXPECT_TRUE(lin.IsLinear());
     EXPECT_LE(lin.Width(), 2 * kLeaves);
     EXPECT_LE(lin.num_clauses(), 10 * param.length + 10);
@@ -47,7 +51,9 @@ TEST_P(StructuralBounds, TheoremBoundsHold) {
   // Theorem 9: width <= 3(t+1); skinny depth <= 6 log |Q| (we allow the
   // constant the paper's Section 3.2 computes).
   {
-    NdlProgram log_p = RewriteOmq(&ctx, query, RewriterKind::kLog);
+    RewriteResult log_p_rw = RewriteOmqOrError(&ctx, query, RewriterKind::kLog);
+    OWLQR_CHECK_MSG(log_p_rw.ok(), log_p_rw.status.message().c_str());
+    NdlProgram log_p = std::move(log_p_rw.program);
     EXPECT_LE(log_p.Width(), 3 * (kTreewidth + 1));
     double omq_size =
         static_cast<double>(tbox->NumAxioms() + 3 * param.length);
@@ -59,7 +65,9 @@ TEST_P(StructuralBounds, TheoremBoundsHold) {
   }
   // Theorem 13: depth <= log |q| + O(1); width <= l + 2.
   {
-    NdlProgram tw = RewriteOmq(&ctx, query, RewriterKind::kTw);
+    RewriteResult tw_rw = RewriteOmqOrError(&ctx, query, RewriterKind::kTw);
+    OWLQR_CHECK_MSG(tw_rw.ok(), tw_rw.status.message().c_str());
+    NdlProgram tw = std::move(tw_rw.program);
     EXPECT_LE(tw.Depth(),
               static_cast<int>(std::ceil(std::log2(param.length + 1))) + 2);
     EXPECT_LE(tw.Width(), kLeaves + 2);

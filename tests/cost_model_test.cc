@@ -4,6 +4,8 @@
 #include "core/cost_model.h"
 #include "ndl/evaluator.h"
 #include "workloads/paper_workloads.h"
+#include "util/logging.h"
+#include <utility>
 
 namespace owlqr {
 namespace {
@@ -79,8 +81,12 @@ TEST(CostModelTest, PrefersCheaperProgramOnSkewedData) {
 
   RewriteOptions options;
   options.arbitrary_instances = true;
-  NdlProgram lin = RewriteOmq(&ctx, query, RewriterKind::kLin, options);
-  NdlProgram log_p = RewriteOmq(&ctx, query, RewriterKind::kLog, options);
+  RewriteResult lin_rw = RewriteOmqOrError(&ctx, query, RewriterKind::kLin, options);
+  OWLQR_CHECK_MSG(lin_rw.ok(), lin_rw.status.message().c_str());
+  NdlProgram lin = std::move(lin_rw.program);
+  RewriteResult log_p_rw = RewriteOmqOrError(&ctx, query, RewriterKind::kLog, options);
+  OWLQR_CHECK_MSG(log_p_rw.ok(), log_p_rw.status.message().c_str());
+  NdlProgram log_p = std::move(log_p_rw.program);
   double lin_cost = EstimateEvaluationCost(lin, stats);
   double log_cost = EstimateEvaluationCost(log_p, stats);
   RewriterKind chosen;

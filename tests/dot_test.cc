@@ -4,6 +4,8 @@
 #include "core/rewriters.h"
 #include "util/dot.h"
 #include "workloads/paper_workloads.h"
+#include "util/logging.h"
+#include <utility>
 
 namespace owlqr {
 namespace {
@@ -13,7 +15,9 @@ TEST(DotTest, DependenceGraph) {
   auto tbox = MakeExample11TBox(&vocab);
   RewritingContext ctx(*tbox);
   ConjunctiveQuery q = SequenceQuery(&vocab, "RSR");
-  NdlProgram program = RewriteOmq(&ctx, q, RewriterKind::kTw);
+  RewriteResult program_rw = RewriteOmqOrError(&ctx, q, RewriterKind::kTw);
+  OWLQR_CHECK_MSG(program_rw.ok(), program_rw.status.message().c_str());
+  NdlProgram program = std::move(program_rw.program);
   std::string dot = DependenceGraphToDot(program);
   EXPECT_NE(dot.find("digraph dependence"), std::string::npos);
   EXPECT_NE(dot.find("->"), std::string::npos);

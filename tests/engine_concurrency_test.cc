@@ -121,8 +121,11 @@ TEST(EngineConcurrencyTest, ConcurrentPrepareExecuteApplyFactsAgree) {
   std::atomic<int> failures{0};
   std::thread updater([&] {
     for (int b = 0; b < kNumBatches; ++b) {
-      uint64_t version = engine.ApplyFacts(batches[b]);
-      if (version != static_cast<uint64_t>(b) + 2) failures.fetch_add(1);
+      uint64_t version = 0;
+      if (!engine.ApplyFactsOrError(batches[b], &version).ok() ||
+          version != static_cast<uint64_t>(b) + 2) {
+        failures.fetch_add(1);
+      }
       std::this_thread::yield();
     }
   });

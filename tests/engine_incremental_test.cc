@@ -28,6 +28,13 @@ namespace {
 const char* const kWords[] = {"RS", "RSR", "RRSR"};
 constexpr int kNumQueries = 3;
 
+// Applies `batch` asserting success, returning the installed version.
+uint64_t MustApply(Engine& engine, const FactBatch& batch) {
+  uint64_t version = 0;
+  EXPECT_TRUE(engine.ApplyFactsOrError(batch, &version).ok());
+  return version;
+}
+
 void ApplyBatchToInstance(DataInstance* data, const FactBatch& batch) {
   for (const FactBatch::ConceptFact& fact : batch.concepts) {
     data->AddConceptAssertion(fact.concept_id, fact.individual);
@@ -307,7 +314,7 @@ TEST_F(EngineIncrementalTest, DeltaBetweenHandlesRangeEdgesAndTrimming) {
     batch.roles.push_back(
         {r_id, vocab_.InternIndividual("dl" + std::to_string(tag) + "a"),
          vocab_.InternIndividual("dl" + std::to_string(tag) + "b")});
-    return engine.ApplyFacts(batch);
+    return MustApply(engine, batch);
   };
 
   SnapshotDelta identity;
@@ -359,15 +366,15 @@ TEST_F(EngineIncrementalTest, NoOpApplyFactsAppendsNoDeltaLogEntry) {
   FactBatch batch;
   batch.roles.push_back({r_id, vocab_.InternIndividual("nolog_a"),
                          vocab_.InternIndividual("nolog_b")});
-  ASSERT_EQ(engine.ApplyFacts(batch), 2u);
+  ASSERT_EQ(MustApply(engine, batch), 2u);
   EXPECT_EQ(EngineTestPeer::DeltaLogSize(engine), 1u);
   EXPECT_EQ(EngineTestPeer::DeltaLogFrontVersion(engine), 2u);
 
   // Verbatim duplicate: version preserved, log untouched.
-  ASSERT_EQ(engine.ApplyFacts(batch), 2u);
+  ASSERT_EQ(MustApply(engine, batch), 2u);
   EXPECT_EQ(EngineTestPeer::DeltaLogSize(engine), 1u);
   // Empty batch: likewise.
-  ASSERT_EQ(engine.ApplyFacts(FactBatch{}), 2u);
+  ASSERT_EQ(MustApply(engine, FactBatch{}), 2u);
   EXPECT_EQ(EngineTestPeer::DeltaLogSize(engine), 1u);
   EXPECT_EQ(EngineTestPeer::DeltaLogFrontVersion(engine), 2u);
 }
@@ -398,7 +405,7 @@ TEST_F(EngineIncrementalTest, RetainedStateAheadOfPinForcesForwardRePin) {
   int c = vocab_.InternIndividual("repin_c");
   batch.roles.push_back({r_id, a, b});
   batch.roles.push_back({s_id, b, c});
-  ASSERT_EQ(engine.ApplyFacts(batch), 2u);
+  ASSERT_EQ(MustApply(engine, batch), 2u);
   ExecuteResult at2 = engine.Execute(*p.query, request);
   ASSERT_TRUE(at2.status.ok());
   ASSERT_EQ(at2.snapshot_version, 2u);
@@ -464,7 +471,9 @@ TEST_F(EngineIncrementalTest, CapturePublishRacingApplyFactsStampsPinnedVersion)
   std::atomic<int> incremental_served{0};
   std::thread updater([&] {
     for (int b = 0; b < kBatches; ++b) {
-      if (engine.ApplyFacts(batches[b]) != static_cast<uint64_t>(b) + 2) {
+      uint64_t version = 0;
+      if (!engine.ApplyFactsOrError(batches[b], &version).ok() ||
+          version != static_cast<uint64_t>(b) + 2) {
         failures.fetch_add(1);
       }
       std::this_thread::yield();

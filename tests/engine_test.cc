@@ -248,7 +248,9 @@ TEST_F(EngineTest, ApplyFactsIsCopyOnWriteAndVersioned) {
   int n2 = vocab_.InternIndividual("fresh2");
   batch.roles.push_back({r, n0, n1});
   batch.roles.push_back({s, n1, n2});
-  EXPECT_EQ(engine.ApplyFacts(batch), 2u);
+  uint64_t version = 0;
+  ASSERT_TRUE(engine.ApplyFactsOrError(batch, &version).ok());
+  EXPECT_EQ(version, 2u);
   EXPECT_EQ(engine.snapshot_version(), 2u);
 
   ExecuteResult after = engine.Execute(*prepared.query);

@@ -7,6 +7,8 @@
 
 #include "core/rewriters.h"
 #include "workloads/paper_workloads.h"
+#include "util/logging.h"
+#include <utility>
 
 namespace owlqr {
 namespace {
@@ -34,7 +36,9 @@ TEST(Fig2RegressionTest, Sequence1ClauseCounts) {
     ConjunctiveQuery query =
         SequenceQuery(&vocab, std::string(kSequence1, length));
     for (int k = 0; k < 6; ++k) {
-      NdlProgram program = RewriteOmq(&ctx, query, kKinds[k]);
+      RewriteResult program_rw = RewriteOmqOrError(&ctx, query, kKinds[k]);
+      OWLQR_CHECK_MSG(program_rw.ok(), program_rw.status.message().c_str());
+      NdlProgram program = std::move(program_rw.program);
       EXPECT_EQ(program.num_clauses(), kExpected[length - 1][k])
           << "len " << length << " " << RewriterName(kKinds[k]);
     }

@@ -1,0 +1,280 @@
+// End-to-end soak of the serving stack: 8 concurrent HTTP clients against a
+// 2-slot-per-tenant governed registry of two tenants.  Every OK response
+// must be byte-identical (same tuples, same order) to an in-process
+// Service::Handle of the same request at the same snapshot version; the
+// governor must shed overload as 429s whose bodies still parse as full
+// execute results; and per tenant the terminal outcomes must account for
+// every execute attempt:
+//   admitted + rejected() + answer_cache_hits + coalesced == attempts.
+
+#include <gtest/gtest.h>
+
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/api.h"
+#include "server/client.h"
+#include "server/http_server.h"
+#include "server/registry.h"
+#include "util/json.h"
+
+namespace owlqr {
+namespace {
+
+constexpr int kThreads = 8;
+constexpr int kIters = 25;
+constexpr int kCourses = 4;
+constexpr int kLecturersPerCourse = 25;
+constexpr int kSoloMembers = 6;
+
+// One tenant's vocabulary theme: the same axiom shapes under different
+// names, so the two TBoxes get distinct fingerprints.
+struct TenantSpec {
+  std::string alias;
+  std::string ontology;
+  std::string data;
+  std::string query;
+  std::string subrole;  // Role name for the apply-facts batch.
+  std::string course0;  // An existing object individual for the new fact.
+};
+
+TenantSpec MakeSpec(const std::string& alias, const std::string& concept_name,
+                    const std::string& role, const std::string& subrole,
+                    const std::string& range, const char* person,
+                    const char* course) {
+  TenantSpec spec;
+  spec.alias = alias;
+  spec.ontology = concept_name + " SUB EX " + role + "\nEX " + role + "- SUB " +
+                  range + "\n" + subrole + " SUBR " + role + "\n";
+  // A blocky join graph: the 4-atom path query below walks each course's
+  // lecturer set against itself twice (~kCourses * kLecturersPerCourse^3
+  // join emissions per execute) -- enough sustained work per admitted run
+  // that concurrent requests overlap on the governor's two slots and
+  // saturation actually sheds.
+  for (int c = 0; c < kCourses; ++c) {
+    for (int i = 0; i < kLecturersPerCourse; ++i) {
+      spec.data += subrole + "(" + person +
+                   std::to_string(c * kLecturersPerCourse + i) + ", " +
+                   course + std::to_string(c) + ").\n";
+    }
+  }
+  // Concept-only members answer through the anonymous EX witness: each
+  // contributes exactly the reflexive pair.
+  for (int i = 0; i < kSoloMembers; ++i) {
+    spec.data += concept_name + "(solo" + std::to_string(i) + ").\n";
+  }
+  spec.query = "q(x, w) :- " + role + "(x, y), " + role + "(z, y), " +
+               role + "(z, v), " + role + "(w, v)";
+  spec.subrole = subrole;
+  spec.course0 = course + std::string("0");
+  return spec;
+}
+
+// What one client thread saw; aggregated (and asserted on) by the main
+// thread only, because gtest assertions are not thread-safe.
+struct ThreadOutcome {
+  std::vector<api::WireExecuteResult> ok;
+  std::vector<long> ok_limits;  // The unique limit key each OK run used.
+  long rejected = 0;
+  long unexpected = 0;
+  std::string first_error;
+};
+
+class HttpSoakTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    specs_.push_back(MakeSpec("alpha", "Professor", "teaches", "lectures",
+                              "Course", "p", "c"));
+    specs_.push_back(MakeSpec("beta", "Student", "enrolled", "takes",
+                              "Module", "s", "m"));
+    // The fingerprint hashes the normalized TBox *structure*, not its
+    // names: two isomorphic ontologies over fresh vocabularies intern to
+    // identical ids and would collide as duplicates.  One extra axiom
+    // makes beta a genuinely different TBox.
+    specs_[1].ontology += "Tutor SUB Student\n";
+
+    server::RegistryOptions registry_options;
+    registry_options.max_tenants = 2;
+    registry_options.process_slots = 4;  // Carved to 2 slots per tenant.
+    registry_options.engine.governor.max_queue = 0;  // Saturated -> 429 now.
+    registry_options.engine.answer_cache_capacity = 64;
+    registry_options.engine.coalesce = true;
+    registry_ = std::make_unique<server::EngineRegistry>(registry_options);
+    for (const TenantSpec& spec : specs_) {
+      ASSERT_TRUE(
+          registry_->RegisterParsed(spec.alias, spec.ontology, spec.data)
+              .ok());
+    }
+    ASSERT_EQ(registry_->tenant_slots(), 2);
+    service_ = std::make_unique<api::Service>(registry_.get());
+
+    server::HttpServerOptions options;
+    // Thread-per-connection: every concurrent keep-alive client needs its
+    // own worker, plus headroom for the main thread's own clients.
+    options.num_workers = kThreads + 4;
+    server_ = std::make_unique<server::HttpServer>(service_.get(), options);
+    ASSERT_TRUE(server_->Start().ok());
+  }
+
+  void TearDown() override { server_->Stop(); }
+
+  static api::WireExecuteRequest RequestFor(const TenantSpec& spec) {
+    api::WireExecuteRequest request;
+    request.query = spec.query;
+    return request;
+  }
+
+  // The in-process oracle: the same protocol-agnostic dispatch the HTTP
+  // layer fronts, with no socket.  Counts as one execute attempt against
+  // the tenant's governor.
+  api::WireExecuteResult Oracle(const TenantSpec& spec,
+                                const api::WireExecuteRequest& request) {
+    api::Request raw;
+    raw.verb = api::Verb::kExecute;
+    raw.tenant = spec.alias;
+    raw.body = api::ExecuteRequestToJson(request);
+    api::Response response = service_->Handle(raw);
+    api::WireExecuteResult result;
+    JsonValue parsed;
+    EXPECT_TRUE(JsonValue::Parse(response.body, &parsed));
+    EXPECT_TRUE(api::ExecuteResultFromJson(parsed, &result).ok());
+    return result;
+  }
+
+  std::vector<TenantSpec> specs_;
+  std::unique_ptr<server::EngineRegistry> registry_;
+  std::unique_ptr<api::Service> service_;
+  std::unique_ptr<server::HttpServer> server_;
+};
+
+TEST_F(HttpSoakTest, ConcurrentClientsSeeExactAnswersAndAccountedSheds) {
+  // --- Phase 1: 8 clients (4 per tenant) pound unique-keyed executes. ----
+  std::vector<ThreadOutcome> outcomes(kThreads);
+  std::promise<void> go;
+  std::shared_future<void> gate = go.get_future().share();
+  std::vector<std::thread> clients;
+  clients.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([this, t, gate, &outcomes] {
+      const TenantSpec& spec = specs_[static_cast<size_t>(t % 2)];
+      ThreadOutcome& out = outcomes[static_cast<size_t>(t)];
+      server::HttpClient client("127.0.0.1", server_->port());
+      gate.wait();
+      for (int k = 0; k < kIters; ++k) {
+        api::WireExecuteRequest request = RequestFor(spec);
+        // A per-request unique limit defeats the answer-cache and coalesce
+        // keys, so every admitted run really evaluates and saturation
+        // really sheds.
+        long limit = 10'000'000 + t * 1000 + k;
+        request.exec.limits.max_generated_tuples = limit;
+        api::WireExecuteResult result;
+        Status status = client.Execute(spec.alias, request, &result);
+        if (status.ok()) {
+          out.ok.push_back(std::move(result));
+          out.ok_limits.push_back(limit);
+        } else if (status.code() == StatusCode::kRejected &&
+                   result.status.code() == StatusCode::kRejected) {
+          // A governed shed: the 429 body parsed as a full execute result.
+          ++out.rejected;
+          if (!result.answers.empty()) {
+            ++out.unexpected;
+            out.first_error = "shed result carried answers";
+          }
+        } else {
+          ++out.unexpected;
+          if (out.first_error.empty()) out.first_error = status.ToString();
+        }
+      }
+    });
+  }
+  go.set_value();
+  for (std::thread& client : clients) client.join();
+
+  long total_rejected = 0;
+  std::vector<long> ok_per_tenant(2, 0);
+  for (int t = 0; t < kThreads; ++t) {
+    const ThreadOutcome& out = outcomes[static_cast<size_t>(t)];
+    EXPECT_EQ(out.unexpected, 0) << "thread " << t << ": " << out.first_error;
+    EXPECT_EQ(out.ok.size() + static_cast<size_t>(out.rejected),
+              static_cast<size_t>(kIters))
+        << "thread " << t;
+    total_rejected += out.rejected;
+    ok_per_tenant[static_cast<size_t>(t % 2)] +=
+        static_cast<long>(out.ok.size());
+  }
+  // With 4 clients per tenant contending for 2 slots and no queue, the
+  // governor must have shed; zero rejections would mean it never engaged.
+  EXPECT_GT(total_rejected, 0);
+
+  // --- Phase 2: every OK response replays byte-identically in process. ---
+  std::vector<long> oracle_per_tenant(2, 0);
+  for (int t = 0; t < kThreads; ++t) {
+    const TenantSpec& spec = specs_[static_cast<size_t>(t % 2)];
+    const ThreadOutcome& out = outcomes[static_cast<size_t>(t)];
+    for (size_t i = 0; i < out.ok.size(); ++i) {
+      EXPECT_EQ(out.ok[i].snapshot_version, 1u);
+      api::WireExecuteRequest request = RequestFor(spec);
+      request.exec.limits.max_generated_tuples = out.ok_limits[i];
+      api::WireExecuteResult expected = Oracle(spec, request);
+      ++oracle_per_tenant[static_cast<size_t>(t % 2)];
+      ASSERT_TRUE(expected.status.ok());
+      EXPECT_EQ(expected.snapshot_version, out.ok[i].snapshot_version);
+      // Byte-identical: same tuples in the same (engine-sorted) order.
+      EXPECT_EQ(expected.answers, out.ok[i].answers)
+          << spec.alias << " thread " << t << " iter " << i;
+    }
+  }
+
+  // --- Phase 3: per tenant — cache hit, snapshot bump, and accounting. --
+  for (size_t tenant = 0; tenant < specs_.size(); ++tenant) {
+    const TenantSpec& spec = specs_[tenant];
+    server::HttpClient client("127.0.0.1", server_->port());
+    api::WireExecuteRequest fixed = RequestFor(spec);  // Default limits.
+    api::WireExecuteResult first;
+    ASSERT_TRUE(client.Execute(spec.alias, fixed, &first).ok());
+    EXPECT_FALSE(first.cached);  // This limit key was never used above.
+    api::WireExecuteResult second;
+    ASSERT_TRUE(client.Execute(spec.alias, fixed, &second).ok());
+    EXPECT_TRUE(second.cached);  // Same plan, version and limits: memoized.
+    EXPECT_EQ(second.answers, first.answers);
+
+    // A new fact through the wire bumps the snapshot and shows up in the
+    // next execute (the version changes the cache key, so it evaluates).
+    api::WireFactBatch batch;
+    batch.roles.push_back({spec.subrole, "fresh", spec.course0});
+    uint64_t version = 0;
+    ASSERT_TRUE(client.ApplyFacts(spec.alias, batch, &version).ok());
+    EXPECT_EQ(version, 2u);
+    api::WireExecuteResult bumped;
+    ASSERT_TRUE(client.Execute(spec.alias, fixed, &bumped).ok());
+    EXPECT_EQ(bumped.snapshot_version, 2u);
+    EXPECT_GT(bumped.answers.size(), first.answers.size());
+    bool saw_fresh = false;
+    for (const std::vector<std::string>& tuple : bumped.answers) {
+      for (const std::string& name : tuple) {
+        if (name == "fresh") saw_fresh = true;
+      }
+    }
+    EXPECT_TRUE(saw_fresh);
+
+    // Terminal-outcome accounting: the four buckets partition every
+    // execute attempt this test made against the tenant.
+    QueryGovernor::Counters counters;
+    ASSERT_TRUE(client.Stats(spec.alias, &counters).ok());
+    long phase1 = (kThreads / 2) * kIters;
+    long attempts = phase1 + oracle_per_tenant[tenant] + 3;
+    EXPECT_EQ(counters.admitted + counters.rejected() +
+                  counters.answer_cache_hits + counters.coalesced,
+              attempts)
+        << spec.alias;
+    EXPECT_EQ(counters.rejected_queue_full + counters.rejected_timeout,
+              counters.rejected())
+        << spec.alias;
+  }
+}
+
+}  // namespace
+}  // namespace owlqr

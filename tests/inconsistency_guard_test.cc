@@ -4,6 +4,8 @@
 #include "core/inconsistency_guard.h"
 #include "core/rewriters.h"
 #include "ndl/evaluator.h"
+#include "util/logging.h"
+#include <utility>
 
 namespace owlqr {
 namespace {
@@ -21,7 +23,9 @@ NdlProgram BuildGuarded(GuardScenario* s, RewritingContext* ctx) {
   q.MarkAnswerVariable(q.FindVariable("x"));
   RewriteOptions options;
   options.arbitrary_instances = true;
-  NdlProgram program = RewriteOmq(ctx, q, RewriterKind::kLin, options);
+  RewriteResult program_rw = RewriteOmqOrError(ctx, q, RewriterKind::kLin, options);
+  OWLQR_CHECK_MSG(program_rw.ok(), program_rw.status.message().c_str());
+  NdlProgram program = std::move(program_rw.program);
   AddInconsistencyGuard(ctx, &program);
   return program;
 }

@@ -4,6 +4,8 @@
 #include "ndl/evaluator.h"
 #include "ndl/linear_evaluator.h"
 #include "workloads/paper_workloads.h"
+#include "util/logging.h"
+#include <utility>
 
 namespace owlqr {
 namespace {
@@ -24,7 +26,9 @@ TEST(LinearReachabilityTest, AgreesWithBottomUpOnLinRewritings) {
     ConjunctiveQuery q = SequenceQuery(&vocab, word);
     RewriteOptions options;
     options.arbitrary_instances = true;
-    NdlProgram program = RewriteOmq(&ctx, q, RewriterKind::kLin, options);
+    RewriteResult program_rw = RewriteOmqOrError(&ctx, q, RewriterKind::kLin, options);
+    OWLQR_CHECK_MSG(program_rw.ok(), program_rw.status.message().c_str());
+    NdlProgram program = std::move(program_rw.program);
     ASSERT_TRUE(program.IsLinear()) << word;
 
     Evaluator eval(program, data);

@@ -15,6 +15,8 @@
 #include "ndl/skinny.h"
 #include "ndl/transforms.h"
 #include "workloads/paper_workloads.h"
+#include "util/logging.h"
+#include <utility>
 
 namespace owlqr {
 namespace {
@@ -71,7 +73,9 @@ TEST_P(CyclicQueries, LogAndUcqMatchReferenceOnCycles) {
   for (RewriterKind kind : {RewriterKind::kLog, RewriterKind::kUcq}) {
     RewriteOptions options;
     options.arbitrary_instances = true;
-    NdlProgram program = RewriteOmq(&ctx, q, kind, options);
+    RewriteResult program_rw = RewriteOmqOrError(&ctx, q, kind, options);
+    OWLQR_CHECK_MSG(program_rw.ok(), program_rw.status.message().c_str());
+    NdlProgram program = std::move(program_rw.program);
     Evaluator eval(program, data);
     EXPECT_EQ(eval.Evaluate(), reference.answers)
         << RewriterName(kind) << "\n"

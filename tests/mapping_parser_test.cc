@@ -4,6 +4,8 @@
 #include "ndl/evaluator.h"
 #include "syntax/mapping_parser.h"
 #include "syntax/parser.h"
+#include "util/logging.h"
+#include <utility>
 
 namespace owlqr {
 namespace {
@@ -38,7 +40,9 @@ TEST(MappingParserTest, ParseAndRun) {
   RewritingContext ctx(tbox);
   RewriteOptions options;
   options.arbitrary_instances = true;
-  NdlProgram rewriting = RewriteOmq(&ctx, *query, RewriterKind::kLin, options);
+  RewriteResult rewriting_rw = RewriteOmqOrError(&ctx, *query, RewriterKind::kLin, options);
+  OWLQR_CHECK_MSG(rewriting_rw.ok(), rewriting_rw.status.message().c_str());
+  NdlProgram rewriting = std::move(rewriting_rw.program);
   NdlProgram unfolded = UnfoldThroughMapping(rewriting, mapping);
   DataInstance empty(&vocab);
   Evaluator eval(unfolded, empty, tables);

@@ -6,6 +6,7 @@
 #include "ndl/evaluator.h"
 #include "syntax/parser.h"
 #include "util/logging.h"
+#include <utility>
 
 namespace owlqr {
 namespace {
@@ -82,7 +83,9 @@ TEST(MappingTest, UnfoldingAvoidsMaterialisation) {
   options.arbitrary_instances = true;
   for (RewriterKind kind : {RewriterKind::kLin, RewriterKind::kLog,
                             RewriterKind::kTwStar, RewriterKind::kUcq}) {
-    NdlProgram rewriting = RewriteOmq(&ctx, s.query, kind, options);
+    RewriteResult rewriting_rw = RewriteOmqOrError(&ctx, s.query, kind, options);
+    OWLQR_CHECK_MSG(rewriting_rw.ok(), rewriting_rw.status.message().c_str());
+    NdlProgram rewriting = std::move(rewriting_rw.program);
     Evaluator over_abox(rewriting, virtual_abox);
     auto expected = over_abox.Evaluate();
 
@@ -110,7 +113,9 @@ TEST(MappingTest, UnmappedPredicatesAreEmpty) {
   ASSERT_TRUE(q.has_value()) << error;
   RewriteOptions options;
   options.arbitrary_instances = true;
-  NdlProgram rewriting = RewriteOmq(&ctx, *q, RewriterKind::kTw, options);
+  RewriteResult rewriting_rw = RewriteOmqOrError(&ctx, *q, RewriterKind::kTw, options);
+  OWLQR_CHECK_MSG(rewriting_rw.ok(), rewriting_rw.status.message().c_str());
+  NdlProgram rewriting = std::move(rewriting_rw.program);
   NdlProgram unfolded = UnfoldThroughMapping(rewriting, *s.mapping);
   DataInstance empty(&s.vocab);
   Evaluator eval(unfolded, empty, s.tables);

@@ -8,6 +8,7 @@
 #include "data/data_instance.h"
 #include "ndl/evaluator.h"
 #include "ndl/program.h"
+#include "util/json.h"
 
 namespace owlqr {
 namespace {
@@ -97,22 +98,41 @@ TEST(MetricsTest, JsonSerialisesAllSections) {
     ScopedSpan span(&registry, "span");
     span.Attr("rows", 3);
   }
-  std::string json = registry.ToJson();
-  EXPECT_NE(json.find("\"counters\""), std::string::npos);
-  EXPECT_NE(json.find("\"counter\\\"quoted\": 1"), std::string::npos);
-  EXPECT_NE(json.find("\"timers\""), std::string::npos);
-  EXPECT_NE(json.find("\"count\": 1"), std::string::npos);
-  EXPECT_NE(json.find("\"spans\""), std::string::npos);
-  EXPECT_NE(json.find("\"name\": \"span\""), std::string::npos);
-  EXPECT_NE(json.find("\"attrs\": {\"rows\": 3}"), std::string::npos);
+  // The trace must round-trip through the repo's own parser: the emitter
+  // and the serving layer's reader share one implementation of escaping.
+  JsonValue trace;
+  std::string error;
+  ASSERT_TRUE(JsonValue::Parse(registry.ToJson(), &trace, &error)) << error;
+  const JsonValue* counters = trace.Find("counters");
+  ASSERT_NE(counters, nullptr);
+  ASSERT_NE(counters->Find("counter\"quoted"), nullptr);
+  EXPECT_EQ(counters->Find("counter\"quoted")->AsLong(), 1);
+  const JsonValue* timers = trace.Find("timers");
+  ASSERT_NE(timers, nullptr);
+  ASSERT_NE(timers->Find("timer"), nullptr);
+  EXPECT_EQ(timers->Find("timer")->Find("count")->AsLong(), 1);
+  EXPECT_DOUBLE_EQ(timers->Find("timer")->Find("sum")->AsDouble(), 1.5);
+  const JsonValue* spans = trace.Find("spans");
+  ASSERT_NE(spans, nullptr);
+  ASSERT_EQ(spans->items().size(), 1u);
+  const JsonValue& span = spans->items()[0];
+  EXPECT_EQ(span.Find("name")->AsString(), "span");
+  ASSERT_NE(span.Find("attrs"), nullptr);
+  EXPECT_EQ(span.Find("attrs")->Find("rows")->AsLong(), 3);
 }
 
 TEST(MetricsTest, EmptyRegistrySerialisesToValidSkeleton) {
   MetricsRegistry registry;
-  std::string json = registry.ToJson();
-  EXPECT_NE(json.find("\"counters\": {}"), std::string::npos);
-  EXPECT_NE(json.find("\"timers\": {}"), std::string::npos);
-  EXPECT_NE(json.find("\"spans\": []"), std::string::npos);
+  JsonValue trace;
+  std::string error;
+  ASSERT_TRUE(JsonValue::Parse(registry.ToJson(), &trace, &error)) << error;
+  ASSERT_NE(trace.Find("counters"), nullptr);
+  EXPECT_EQ(trace.Find("counters")->size(), 0u);
+  ASSERT_NE(trace.Find("timers"), nullptr);
+  EXPECT_EQ(trace.Find("timers")->size(), 0u);
+  ASSERT_NE(trace.Find("spans"), nullptr);
+  EXPECT_TRUE(trace.Find("spans")->is_array());
+  EXPECT_EQ(trace.Find("spans")->size(), 0u);
 }
 
 // Direct concurrent hammering of one registry (runs under ctest -L sanitize

@@ -4,6 +4,8 @@
 #include "ndl/evaluator.h"
 #include "syntax/ndl_parser.h"
 #include "workloads/paper_workloads.h"
+#include "util/logging.h"
+#include <utility>
 
 namespace owlqr {
 namespace {
@@ -73,7 +75,9 @@ TEST_P(RoundTrip, PrintParseEvaluate) {
   ConjunctiveQuery q = SequenceQuery(&vocab, "RSRR");
   RewriteOptions options;
   options.arbitrary_instances = true;
-  NdlProgram program = RewriteOmq(&ctx, q, GetParam(), options);
+  RewriteResult program_rw = RewriteOmqOrError(&ctx, q, GetParam(), options);
+  OWLQR_CHECK_MSG(program_rw.ok(), program_rw.status.message().c_str());
+  NdlProgram program = std::move(program_rw.program);
 
   std::string printed = program.ToString();
   std::string error;

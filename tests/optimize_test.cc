@@ -4,6 +4,8 @@
 #include "ndl/evaluator.h"
 #include "ndl/optimize.h"
 #include "workloads/paper_workloads.h"
+#include "util/logging.h"
+#include <utility>
 
 namespace owlqr {
 namespace {
@@ -17,7 +19,9 @@ TEST(OptimizeTest, EmptyPredicateClausesDropped) {
   ConjunctiveQuery q = SequenceQuery(&vocab, "RSRRS");
   RewriteOptions options;
   options.arbitrary_instances = true;
-  NdlProgram program = RewriteOmq(&ctx, q, RewriterKind::kLog, options);
+  RewriteResult program_rw = RewriteOmqOrError(&ctx, q, RewriterKind::kLog, options);
+  OWLQR_CHECK_MSG(program_rw.ok(), program_rw.status.message().c_str());
+  NdlProgram program = std::move(program_rw.program);
 
   DataInstance data(&vocab);
   data.Assert("R", "a", "b");
@@ -119,7 +123,9 @@ TEST(OptimizeTest, SubsumptionPreservesRewritingAnswers) {
   RewriteOptions options;
   options.arbitrary_instances = true;
   for (RewriterKind kind : {RewriterKind::kUcq, RewriterKind::kTw}) {
-    NdlProgram program = RewriteOmq(&ctx, q, kind, options);
+    RewriteResult program_rw = RewriteOmqOrError(&ctx, q, kind, options);
+    OWLQR_CHECK_MSG(program_rw.ok(), program_rw.status.message().c_str());
+    NdlProgram program = std::move(program_rw.program);
     NdlProgram optimized = program;
     RemoveSubsumedClauses(&optimized);
 

@@ -8,6 +8,8 @@
 #include "data/table_store.h"
 #include "ndl/evaluator.h"
 #include "workloads/paper_workloads.h"
+#include "util/logging.h"
+#include <utility>
 
 namespace owlqr {
 namespace {
@@ -56,7 +58,9 @@ TEST_P(ParallelAgreement, ParallelMatchesSequential) {
          {RewriterKind::kLog, RewriterKind::kTw, RewriterKind::kUcq}) {
       RewriteOptions options;
       options.arbitrary_instances = true;
-      NdlProgram program = RewriteOmq(&ctx, q, kind, options);
+      RewriteResult program_rw = RewriteOmqOrError(&ctx, q, kind, options);
+      OWLQR_CHECK_MSG(program_rw.ok(), program_rw.status.message().c_str());
+      NdlProgram program = std::move(program_rw.program);
       Evaluator sequential(program, data);
       EvaluationStats s1;
       auto expected = sequential.Evaluate(&s1);

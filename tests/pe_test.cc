@@ -5,6 +5,8 @@
 #include "ndl/evaluator.h"
 #include "pe/pe_formula.h"
 #include "workloads/paper_workloads.h"
+#include "util/logging.h"
+#include <utility>
 
 namespace owlqr {
 namespace {
@@ -28,7 +30,9 @@ TEST(PeFormulaTest, UnfoldSizeMatchesDp) {
   RewritingContext ctx(*tbox);
   for (int len : {3, 5, 7}) {
     ConjunctiveQuery q = SequenceQuery(&vocab, std::string(kSequence1, len));
-    NdlProgram lin = RewriteOmq(&ctx, q, RewriterKind::kLin);
+    RewriteResult lin_rw = RewriteOmqOrError(&ctx, q, RewriterKind::kLin);
+    OWLQR_CHECK_MSG(lin_rw.ok(), lin_rw.status.message().c_str());
+    NdlProgram lin = std::move(lin_rw.program);
     bool truncated = false;
     PeFormula pe = UnfoldToPe(lin, /*max_nodes=*/1 << 22, &truncated);
     ASSERT_FALSE(truncated);
@@ -52,7 +56,9 @@ TEST(PeFormulaTest, UnfoldedEvaluationAgrees) {
                             RewriterKind::kTw, RewriterKind::kUcq}) {
     RewriteOptions options;
     options.arbitrary_instances = true;
-    NdlProgram program = RewriteOmq(&ctx, q, kind, options);
+    RewriteResult program_rw = RewriteOmqOrError(&ctx, q, kind, options);
+    OWLQR_CHECK_MSG(program_rw.ok(), program_rw.status.message().c_str());
+    NdlProgram program = std::move(program_rw.program);
     bool truncated = false;
     PeFormula pe = UnfoldToPe(program, 1 << 22, &truncated);
     ASSERT_FALSE(truncated);
@@ -68,7 +74,9 @@ TEST(PeFormulaTest, UcqUnfoldIsPi2) {
   auto tbox = MakeExample11TBox(&vocab);
   RewritingContext ctx(*tbox);
   ConjunctiveQuery q = SequenceQuery(&vocab, "RSRRSRR");
-  NdlProgram ucq = RewriteOmq(&ctx, q, RewriterKind::kUcq);
+  RewriteResult ucq_rw = RewriteOmqOrError(&ctx, q, RewriterKind::kUcq);
+  OWLQR_CHECK_MSG(ucq_rw.ok(), ucq_rw.status.message().c_str());
+  NdlProgram ucq = std::move(ucq_rw.program);
   PeFormula pe = UnfoldToPe(ucq);
   EXPECT_EQ(pe.AlternationDepth(), 2);
 }
@@ -83,7 +91,9 @@ TEST(PeFormulaTest, SuccinctnessGapGrows) {
   long previous_ratio = 0;
   for (int len : {5, 10, 15}) {
     ConjunctiveQuery q = SequenceQuery(&vocab, std::string(kSequence1, len));
-    NdlProgram lin = RewriteOmq(&ctx, q, RewriterKind::kLin);
+    RewriteResult lin_rw = RewriteOmqOrError(&ctx, q, RewriterKind::kLin);
+    OWLQR_CHECK_MSG(lin_rw.ok(), lin_rw.status.message().c_str());
+    NdlProgram lin = std::move(lin_rw.program);
     long ndl_size = lin.SizeInSymbols();
     long pe_size = UnfoldedPeSize(lin);
     long ratio = pe_size / std::max(1L, ndl_size);
@@ -98,7 +108,9 @@ TEST(PeFormulaTest, TruncationReported) {
   auto tbox = MakeExample11TBox(&vocab);
   RewritingContext ctx(*tbox);
   ConjunctiveQuery q = SequenceQuery(&vocab, kSequence1);
-  NdlProgram log_program = RewriteOmq(&ctx, q, RewriterKind::kLog);
+  RewriteResult log_program_rw = RewriteOmqOrError(&ctx, q, RewriterKind::kLog);
+  OWLQR_CHECK_MSG(log_program_rw.ok(), log_program_rw.status.message().c_str());
+  NdlProgram log_program = std::move(log_program_rw.program);
   bool truncated = false;
   PeFormula pe = UnfoldToPe(log_program, /*max_nodes=*/32, &truncated);
   EXPECT_TRUE(truncated);

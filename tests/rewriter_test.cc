@@ -7,6 +7,8 @@
 #include "data/completion.h"
 #include "ndl/evaluator.h"
 #include "workloads/paper_workloads.h"
+#include "util/logging.h"
+#include <utility>
 
 namespace owlqr {
 namespace {
@@ -24,7 +26,9 @@ void CheckRewriter(RewritingContext* ctx, const ConjunctiveQuery& query,
                    const std::string& label) {
   RewriteOptions options;
   options.arbitrary_instances = true;
-  NdlProgram program = RewriteOmq(ctx, query, kind, options);
+  RewriteResult program_rw = RewriteOmqOrError(ctx, query, kind, options);
+  OWLQR_CHECK_MSG(program_rw.ok(), program_rw.status.message().c_str());
+  NdlProgram program = std::move(program_rw.program);
   ASSERT_TRUE(program.IsNonrecursive()) << label;
   Evaluator eval(program, data);
   EXPECT_EQ(eval.Evaluate(), expected)
@@ -32,7 +36,9 @@ void CheckRewriter(RewritingContext* ctx, const ConjunctiveQuery& query,
       << query.ToString();
 
   // The complete-instance rewriting over the completed instance must agree.
-  NdlProgram complete_program = RewriteOmq(ctx, query, kind);
+  RewriteResult complete_program_rw = RewriteOmqOrError(ctx, query, kind);
+  OWLQR_CHECK_MSG(complete_program_rw.ok(), complete_program_rw.status.message().c_str());
+  NdlProgram complete_program = std::move(complete_program_rw.program);
   DataInstance completed =
       CompleteInstance(data, ctx->tbox(), ctx->saturation());
   Evaluator eval2(complete_program, completed);
@@ -56,13 +62,17 @@ TEST(LinRewriterTest, ProducesLinearProgram) {
   auto tbox = MakeExample11TBox(&vocab);
   RewritingContext ctx(*tbox);
   ConjunctiveQuery q = SequenceQuery(&vocab, "RSRRSRR");
-  NdlProgram lin = RewriteOmq(&ctx, q, RewriterKind::kLin);
+  RewriteResult lin_rw = RewriteOmqOrError(&ctx, q, RewriterKind::kLin);
+  OWLQR_CHECK_MSG(lin_rw.ok(), lin_rw.status.message().c_str());
+  NdlProgram lin = std::move(lin_rw.program);
   EXPECT_TRUE(lin.IsLinear());
   // Width <= 2 * leaves = 4 over complete instances.
   EXPECT_LE(lin.Width(), 4);
   RewriteOptions arb;
   arb.arbitrary_instances = true;
-  NdlProgram lin_arb = RewriteOmq(&ctx, q, RewriterKind::kLin, arb);
+  RewriteResult lin_arb_rw = RewriteOmqOrError(&ctx, q, RewriterKind::kLin, arb);
+  OWLQR_CHECK_MSG(lin_arb_rw.ok(), lin_arb_rw.status.message().c_str());
+  NdlProgram lin_arb = std::move(lin_arb_rw.program);
   EXPECT_TRUE(lin_arb.IsLinear());
   EXPECT_LE(lin_arb.Width(), 5);  // Lemma 3: width grows by at most 1.
 }
@@ -72,7 +82,9 @@ TEST(LogRewriterTest, WidthBound) {
   auto tbox = MakeExample11TBox(&vocab);
   RewritingContext ctx(*tbox);
   ConjunctiveQuery q = SequenceQuery(&vocab, "RSRRSRR");
-  NdlProgram log_program = RewriteOmq(&ctx, q, RewriterKind::kLog);
+  RewriteResult log_program_rw = RewriteOmqOrError(&ctx, q, RewriterKind::kLog);
+  OWLQR_CHECK_MSG(log_program_rw.ok(), log_program_rw.status.message().c_str());
+  NdlProgram log_program = std::move(log_program_rw.program);
   // Treewidth 1: width <= 3 (t + 1) = 6.
   EXPECT_LE(log_program.Width(), 6);
 }
@@ -90,8 +102,12 @@ TEST(TwRewriterTest, InliningPreservesAnswers) {
 
   RewriteOptions arb;
   arb.arbitrary_instances = true;
-  NdlProgram tw = RewriteOmq(&ctx, q, RewriterKind::kTw, arb);
-  NdlProgram tw_star = RewriteOmq(&ctx, q, RewriterKind::kTwStar, arb);
+  RewriteResult tw_rw = RewriteOmqOrError(&ctx, q, RewriterKind::kTw, arb);
+  OWLQR_CHECK_MSG(tw_rw.ok(), tw_rw.status.message().c_str());
+  NdlProgram tw = std::move(tw_rw.program);
+  RewriteResult tw_star_rw = RewriteOmqOrError(&ctx, q, RewriterKind::kTwStar, arb);
+  OWLQR_CHECK_MSG(tw_star_rw.ok(), tw_star_rw.status.message().c_str());
+  NdlProgram tw_star = std::move(tw_star_rw.program);
   EXPECT_LE(tw_star.num_clauses(), tw.num_clauses());
   Evaluator e1(tw, data);
   Evaluator e2(tw_star, data);

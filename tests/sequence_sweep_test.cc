@@ -10,6 +10,8 @@
 #include "data/completion.h"
 #include "ndl/evaluator.h"
 #include "workloads/paper_workloads.h"
+#include "util/logging.h"
+#include <utility>
 
 namespace owlqr {
 namespace {
@@ -65,12 +67,16 @@ TEST_P(SequenceSweep, AllRewritersAgreeWithReference) {
         RewriterKind::kPrestoLike}) {
     RewriteOptions arbitrary;
     arbitrary.arbitrary_instances = true;
-    NdlProgram program = RewriteOmq(&ctx, query, kind, arbitrary);
+    RewriteResult program_rw = RewriteOmqOrError(&ctx, query, kind, arbitrary);
+    OWLQR_CHECK_MSG(program_rw.ok(), program_rw.status.message().c_str());
+    NdlProgram program = std::move(program_rw.program);
     Evaluator eval(program, data);
     EXPECT_EQ(eval.Evaluate(), reference.answers)
         << RewriterName(kind) << " over raw data, word " << word;
 
-    NdlProgram complete_program = RewriteOmq(&ctx, query, kind);
+    RewriteResult complete_program_rw = RewriteOmqOrError(&ctx, query, kind);
+    OWLQR_CHECK_MSG(complete_program_rw.ok(), complete_program_rw.status.message().c_str());
+    NdlProgram complete_program = std::move(complete_program_rw.program);
     Evaluator eval2(complete_program, completed);
     EXPECT_EQ(eval2.Evaluate(), reference.answers)
         << RewriterName(kind) << " over completed data, word " << word;

@@ -12,6 +12,8 @@
 #include "ndl/evaluator.h"
 #include "syntax/sql_export.h"
 #include "workloads/paper_workloads.h"
+#include "util/logging.h"
+#include <utility>
 
 namespace owlqr {
 namespace {
@@ -88,7 +90,9 @@ TEST_P(SqlExportRewriters, SqliteAgreesWithEvaluator) {
   ConjunctiveQuery q = SequenceQuery(&vocab, "RSRR");
   RewriteOptions options;
   options.arbitrary_instances = true;
-  NdlProgram program = RewriteOmq(&ctx, q, GetParam(), options);
+  RewriteResult program_rw = RewriteOmqOrError(&ctx, q, GetParam(), options);
+  OWLQR_CHECK_MSG(program_rw.ok(), program_rw.status.message().c_str());
+  NdlProgram program = std::move(program_rw.program);
 
   DataInstance data(&vocab);
   data.Assert("R", "a", "b");
@@ -136,7 +140,9 @@ TEST(SqlExportTest, BooleanQuery) {
   q.AddBinary("S", "x", "y");  // Boolean: exists an S-edge (or a P witness).
   RewriteOptions options;
   options.arbitrary_instances = true;
-  NdlProgram program = RewriteOmq(&ctx, q, RewriterKind::kTw, options);
+  RewriteResult program_rw = RewriteOmqOrError(&ctx, q, RewriterKind::kTw, options);
+  OWLQR_CHECK_MSG(program_rw.ok(), program_rw.status.message().c_str());
+  NdlProgram program = std::move(program_rw.program);
   SqlExport sql = ExportSql(program);
 
   SqliteDb db;

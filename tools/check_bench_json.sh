@@ -118,6 +118,20 @@ if os.path.basename(path) == "BENCH_engine.json":
         f"{path}: overload ShedRate is 0 — admission control never shed"
     assert row["AdmittedP50Ms"] <= row["AdmittedP99Ms"], \
         f"{path}: overload latency percentiles out of order"
+    # The HTTP serving pair (full wire path over loopback): the warm hot
+    # key must actually be memoized, and the unique-keyed overload run
+    # must shed on the wire as 429s.
+    http_warm = by_name.get("EngineThroughput/http_warm/t8/real_time/"
+                            "threads:8")
+    assert http_warm is not None, f"{path}: missing http_warm/t8"
+    assert http_warm.get("MemoRate", 0) > 0.9, \
+        f"{path}: http_warm MemoRate {http_warm.get('MemoRate')} — the " \
+        f"served hot key was not memoized"
+    http_overload = by_name.get("EngineThroughput/http_overload/t8/"
+                                "real_time/threads:8")
+    assert http_overload is not None, f"{path}: missing http_overload/t8"
+    assert http_overload.get("ShedRate", 0) > 0, \
+        f"{path}: http_overload ShedRate is 0 — the wire path never shed"
     # The incremental-maintenance A/B (one ApplyFacts fact + one unlimited
     # serve of the length-15 query per iteration).  Matched by prefix: the
     # fixed-iteration registration appends an /iterations suffix.

@@ -1,72 +1,77 @@
 #!/bin/sh
-# Rejects NEW call sites of the deprecated abort-on-error `RewriteOmq(...)`
-# entry point outside src/core/.  New code must use `RewriteOmqOrError`
-# (non-aborting, returns RewriteResult{status, program, diag}) or go through
-# the owlqr::Engine facade.  Existing callers below are grandfathered; shrink
-# this list when migrating a file, never grow it.
+# Rejects call sites of retired abort-on-error entry points:
+#   - `RewriteOmq(...)`: removed; use `RewriteOmqOrError` (non-aborting,
+#     returns RewriteResult{status, program, diag}) or the owlqr::Engine
+#     facade.
+#   - unchecked `Engine::ApplyFacts(...)`: removed; use `ApplyFactsOrError`
+#     (returns Status, reports the installed snapshot version via out-param).
+# The allowlist is empty and must stay empty: the migration is complete, and
+# this check exists so the deprecated spellings never come back.
 # Registered as the ctest test `hygiene/deprecated_api`.
 set -u
 
 ROOT=$(cd "$(dirname "$0")/.." && pwd)
 cd "$ROOT" || exit 1
 
-# Grandfathered callers (relative paths).  src/core/ is exempt wholesale:
-# it owns the definition and the deprecated shim itself.
+# Intentionally empty.  Grow it only with a written justification in the
+# same commit; the stale-entry check below deletes entries automatically
+# once a file migrates.
 ALLOWLIST="
-bench/bench_ablation_inline.cc
-bench/bench_ablation_skinny.cc
-bench/bench_ablation_split.cc
-bench/bench_cost_model.cc
-bench/bench_fig1b_pe_succinctness.cc
-bench/bench_parallelism.cc
-examples/obda_mapping.cpp
-examples/paper_example.cpp
-examples/university_obda.cpp
-tests/api_misuse_test.cc
-tests/complexity_properties_test.cc
-tests/cost_model_test.cc
-tests/dot_test.cc
-tests/fig2_regression_test.cc
-tests/inconsistency_guard_test.cc
-tests/linear_evaluator_test.cc
-tests/log_cyclic_test.cc
-tests/mapping_parser_test.cc
-tests/mapping_test.cc
-tests/ndl_parser_test.cc
-tests/optimize_test.cc
-tests/parallel_evaluator_test.cc
-tests/pe_test.cc
-tests/rewriter_test.cc
-tests/sequence_sweep_test.cc
-tests/sql_export_test.cc
 "
 
+in_allowlist() {
+  for entry in $ALLOWLIST; do
+    if [ "$1" = "$entry" ]; then
+      return 0
+    fi
+  done
+  return 1
+}
+
 status=0
+
+# 1. RewriteOmq(...) -- matches the bare name only, not RewriteOmqOrError.
 for file in $(grep -rl '\bRewriteOmq(' \
                   --include='*.cc' --include='*.cpp' --include='*.h' \
                   src bench examples tests tools 2>/dev/null | sort); do
-  case "$file" in
-    src/core/*) continue ;;
-  esac
-  allowed=0
-  for entry in $ALLOWLIST; do
-    if [ "$file" = "$entry" ]; then
-      allowed=1
-      break
-    fi
-  done
-  if [ "$allowed" -eq 0 ]; then
-    echo "FAIL: $file calls deprecated RewriteOmq(); use RewriteOmqOrError" \
-         "or owlqr::Engine instead (see tools/check_deprecated_api.sh)"
-    grep -n '\bRewriteOmq(' "$file" | head -5
-    status=1
+  if in_allowlist "$file"; then
+    continue
   fi
+  echo "FAIL: $file calls removed RewriteOmq(); use RewriteOmqOrError" \
+       "or owlqr::Engine instead (see tools/check_deprecated_api.sh)"
+  grep -n '\bRewriteOmq(' "$file" | head -5
+  status=1
 done
 
-# Keep the allowlist honest: an entry whose file no longer calls RewriteOmq
-# (or no longer exists) must be removed, so the list only shrinks.
+# 2. Unchecked Engine::ApplyFacts(...) through an object -- `x.ApplyFacts(`
+#    or `x->ApplyFacts(`.  ApplyFactsOrError and the HTTP api::Service /
+#    HttpClient verbs of the same name are fine: src/server/ itself is
+#    exempt, and elsewhere a receiver whose identifier ends in `client`
+#    (`client.ApplyFacts(...)`, `http_client->ApplyFacts(...)`) is the
+#    Status-returning wire verb, not the retired Engine shim.
+for file in $(grep -rlE '(\.|->)ApplyFacts\(' \
+                  --include='*.cc' --include='*.cpp' --include='*.h' \
+                  src bench examples tests tools 2>/dev/null | sort); do
+  case "$file" in
+    src/server/*) continue ;;
+  esac
+  if in_allowlist "$file"; then
+    continue
+  fi
+  matches=$(grep -nE '(\.|->)ApplyFacts\(' "$file" |
+            grep -vE '[A-Za-z0-9_]*[Cc]lient_?(\.|->)ApplyFacts\(')
+  [ -z "$matches" ] && continue
+  echo "FAIL: $file calls removed unchecked Engine::ApplyFacts();" \
+       "use ApplyFactsOrError (see tools/check_deprecated_api.sh)"
+  printf '%s\n' "$matches" | head -5
+  status=1
+done
+
+# Keep the allowlist honest: an entry whose file no longer calls a deprecated
+# spelling (or no longer exists) must be removed, so the list only shrinks.
 for entry in $ALLOWLIST; do
-  if [ ! -f "$entry" ] || ! grep -q '\bRewriteOmq(' "$entry"; then
+  if [ ! -f "$entry" ] ||
+     ! grep -qE '\bRewriteOmq\(|(\.|->)ApplyFacts\(' "$entry"; then
     echo "FAIL: stale allowlist entry $entry in tools/check_deprecated_api.sh" \
          "(file migrated or removed -- delete the entry)"
     status=1
@@ -74,6 +79,6 @@ for entry in $ALLOWLIST; do
 done
 
 if [ "$status" -eq 0 ]; then
-  echo "OK: no new deprecated RewriteOmq call sites outside src/core/"
+  echo "OK: no deprecated RewriteOmq / unchecked ApplyFacts call sites"
 fi
 exit $status
