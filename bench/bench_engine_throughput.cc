@@ -36,7 +36,9 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -46,6 +48,7 @@
 #include "server/client.h"
 #include "server/http_server.h"
 #include "server/registry.h"
+#include "store/store.h"
 #include "util/logging.h"
 
 namespace owlqr {
@@ -559,6 +562,193 @@ void BM_HttpServe(benchmark::State& state, bool overload) {
   state.SetLabel(overload ? "http governed overload" : "http warm hot key");
 }
 
+// ---------------------------------------------------------------------------
+// Durable-store cells (DESIGN.md §14).
+//
+//   store_warm/t1:    the warm/t1 serve loop against a store-BACKED engine.
+//                     Warm executions never touch the store (appends happen
+//                     on ApplyFacts, not Execute), so this cell must price
+//                     within the warm/t1 noise bar — the durability layer
+//                     may not tax the read path.
+//   store_append/t4:  4 threads each applying one fresh role fact per
+//                     iteration through the WAL (append + fsync + install).
+//                     Prices the durable update path under apply-mutex
+//                     contention; LogRecords confirms every batch logged.
+//   store_recovery/t1: one full cold restart per iteration — open the
+//                     store, mmap + CRC-check the segment, replay the log
+//                     tail, serve the first answer.  RecoveryMs isolates
+//                     the store+replay share of that wall time.
+
+std::string MakeBenchStoreDir(const char* tag) {
+  std::string templ = std::string("/tmp/owlqr_bench_") + tag + ".XXXXXX";
+  std::vector<char> buf(templ.begin(), templ.end());
+  buf.push_back('\0');
+  OWLQR_CHECK_MSG(mkdtemp(buf.data()) != nullptr,
+                  "mkdtemp failed for the bench store dir");
+  return std::string(buf.data());
+}
+
+std::shared_ptr<store::DurableStore> OpenBenchStore(const std::string& dir) {
+  store::StoreOptions options;
+  options.dir = dir;
+  std::shared_ptr<store::DurableStore> durable;
+  Status status = store::DurableStore::Open(options, &durable);
+  OWLQR_CHECK_MSG(status.ok(), status.ToString().c_str());
+  return durable;
+}
+
+std::unique_ptr<Engine> OpenStoreEngine(const std::string& dir,
+                                        const DataInstance& data) {
+  EngineOptions options;
+  options.plan_cache_capacity = 2 * kNumQueries;
+  options.store = OpenBenchStore(dir);
+  Status status;
+  std::unique_ptr<Engine> engine =
+      Engine::Open(*Scenario::Get().tbox, data, nullptr, options, &status);
+  OWLQR_CHECK_MSG(engine != nullptr, status.ToString().c_str());
+  return engine;
+}
+
+Engine& StoreWarmEngine() {
+  static Engine* engine = [] {
+    auto owned = OpenStoreEngine(MakeBenchStoreDir("warm"), Dataset());
+    for (const ConjunctiveQuery& q : Queries()) {
+      PrepareResult prepared = owned->Prepare(q, TablePrepareOptions());
+      OWLQR_CHECK_MSG(prepared.ok(), prepared.status.ToString().c_str());
+    }
+    return owned.release();
+  }();
+  return *engine;
+}
+
+void BM_StoreWarmServe(benchmark::State& state) {
+  Engine& engine = StoreWarmEngine();
+  const std::vector<ConjunctiveQuery>& queries = Queries();
+  PrepareOptions prepare_options = TablePrepareOptions();
+  ExecuteRequest request;
+  request.limits.max_generated_tuples = TupleBudget();
+  request.limits.max_work = 20 * TupleBudget();
+
+  long serves = 0;
+  long hits = 0;
+  size_t next = static_cast<size_t>(state.thread_index());
+  for (auto _ : state) {
+    const ConjunctiveQuery& query = queries[next % queries.size()];
+    next += static_cast<size_t>(state.threads());
+    PrepareResult prepared = engine.Prepare(query, prepare_options);
+    OWLQR_CHECK_MSG(prepared.ok(), prepared.status.ToString().c_str());
+    ExecuteResult result = engine.Execute(*prepared.query, request);
+    benchmark::DoNotOptimize(result.answers);
+    ++serves;
+    if (prepared.cache_hit) ++hits;
+  }
+  state.counters["CacheHitRate"] = benchmark::Counter(
+      serves > 0 ? static_cast<double>(hits) / serves : 0,
+      benchmark::Counter::kAvgThreads);
+  state.SetLabel("warm cache, store-backed");
+}
+
+constexpr int kStorePoolSize = 8192;
+
+struct StoreAppendFixture {
+  Engine* engine = nullptr;
+  std::vector<int> pool;  // Pre-interned fresh individuals, 2 per fact.
+  std::atomic<size_t> next_fact{0};
+  int r_id = 0;
+};
+
+StoreAppendFixture& StoreAppendEngine() {
+  static StoreAppendFixture* fixture = [] {
+    auto* f = new StoreAppendFixture();
+    Scenario& s = Scenario::Get();
+    f->engine =
+        OpenStoreEngine(MakeBenchStoreDir("append"), Dataset()).release();
+    f->r_id = s.vocab.InternPredicate("R");
+    for (int i = 0; i < kStorePoolSize; ++i) {
+      f->pool.push_back(
+          s.vocab.InternIndividual("stap" + std::to_string(i)));
+    }
+    return f;
+  }();
+  return *fixture;
+}
+
+void BM_StoreAppend(benchmark::State& state) {
+  StoreAppendFixture& fixture = StoreAppendEngine();
+  long applied = 0;
+  for (auto _ : state) {
+    FactBatch batch;
+    const size_t i =
+        fixture.next_fact.fetch_add(2, std::memory_order_relaxed);
+    batch.roles.push_back({fixture.r_id,
+                           fixture.pool[i % kStorePoolSize],
+                           fixture.pool[(i + 1) % kStorePoolSize]});
+    Status status = fixture.engine->ApplyFactsOrError(batch);
+    OWLQR_CHECK_MSG(status.ok(), status.ToString().c_str());
+    ++applied;
+  }
+  benchmark::DoNotOptimize(applied);
+  const store::StoreCounters counters = fixture.engine->store()->counters();
+  state.counters["LogRecords"] = benchmark::Counter(
+      static_cast<double>(counters.log_records),
+      benchmark::Counter::kAvgThreads);
+  state.counters["LogBytes"] = benchmark::Counter(
+      static_cast<double>(counters.log_bytes),
+      benchmark::Counter::kAvgThreads);
+  state.SetLabel("durable ApplyFacts (append + fsync)");
+}
+
+// A store directory with a seeded segment plus a log tail of fresh facts —
+// what a restart after some traffic actually recovers.
+const std::string& RecoveryStoreDir() {
+  static const std::string* dir = [] {
+    auto* d = new std::string(MakeBenchStoreDir("recovery"));
+    Scenario& s = Scenario::Get();
+    auto engine = OpenStoreEngine(*d, Dataset());
+    const int r_id = s.vocab.InternPredicate("R");
+    for (int b = 0; b < 32; ++b) {
+      FactBatch batch;
+      batch.roles.push_back(
+          {r_id, s.vocab.InternIndividual("rec" + std::to_string(b) + "a"),
+           s.vocab.InternIndividual("rec" + std::to_string(b) + "b")});
+      Status status = engine->ApplyFactsOrError(batch);
+      OWLQR_CHECK_MSG(status.ok(), status.ToString().c_str());
+    }
+    return d;
+  }();
+  return *dir;
+}
+
+void BM_StoreRecovery(benchmark::State& state) {
+  const std::string& dir = RecoveryStoreDir();
+  Scenario& s = Scenario::Get();
+  const ConjunctiveQuery& query = Queries().front();
+  PrepareOptions prepare_options = TablePrepareOptions();
+  ExecuteRequest request;
+  request.limits.max_generated_tuples = TupleBudget();
+  request.limits.max_work = 20 * TupleBudget();
+
+  double recovery_ms = 0;
+  double recovered_records = 0;
+  for (auto _ : state) {
+    DataInstance ignored(&s.vocab);  // Recovery supersedes the seed data.
+    std::unique_ptr<Engine> engine = OpenStoreEngine(dir, ignored);
+    PrepareResult prepared = engine->Prepare(query, prepare_options);
+    OWLQR_CHECK_MSG(prepared.ok(), prepared.status.ToString().c_str());
+    ExecuteResult result = engine->Execute(*prepared.query, request);
+    OWLQR_CHECK_MSG(result.status.ok(), result.status.ToString().c_str());
+    benchmark::DoNotOptimize(result.answers);
+    recovery_ms += engine->recovery_ms();
+    recovered_records = static_cast<double>(
+        engine->store()->counters().recovered_records);
+  }
+  state.counters["RecoveryMs"] = benchmark::Counter(
+      recovery_ms, benchmark::Counter::kAvgIterations);
+  state.counters["RecoveredRecords"] =
+      benchmark::Counter(recovered_records);
+  state.SetLabel("cold restart to first answer");
+}
+
 void RegisterAll() {
   for (bool warm : {false, true}) {
     for (int threads : {1, 4}) {
@@ -597,6 +787,24 @@ void RegisterAll() {
         ->UseRealTime()
         ->Unit(benchmark::kMillisecond);
   }
+  benchmark::RegisterBenchmark("EngineThroughput/store_warm/t1",
+                               BM_StoreWarmServe)
+      ->Threads(1)
+      ->UseRealTime()
+      ->Unit(benchmark::kMillisecond);
+  // Fixed iterations: the pre-interned pool bounds the durable append run,
+  // and one recovery per iteration is already milliseconds of work.
+  benchmark::RegisterBenchmark("EngineThroughput/store_append/t4",
+                               BM_StoreAppend)
+      ->Threads(4)
+      ->Iterations(256)
+      ->UseRealTime()
+      ->Unit(benchmark::kMillisecond);
+  benchmark::RegisterBenchmark("EngineThroughput/store_recovery/t1",
+                               BM_StoreRecovery)
+      ->Iterations(32)
+      ->UseRealTime()
+      ->Unit(benchmark::kMillisecond);
   // Fixed iteration counts: the A/B pair does identical update work per
   // iteration, and the pre-interned individual pool bounds the run.
   for (bool incremental : {true, false}) {

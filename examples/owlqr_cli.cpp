@@ -34,6 +34,18 @@
 //                      budget (default 0 = disabled)
 //   --no-coalesce      evaluate identical concurrent requests separately
 //                      instead of coalescing them onto one execution
+//   --store-dir=PATH   durable store (DESIGN.md §14): facts applied via
+//                      '+' lines / POST /facts are logged to PATH and
+//                      survive restarts; on startup the store's state is
+//                      recovered and DATA is only used to seed a fresh
+//                      store.  Under --serve each tenant gets its own
+//                      store under PATH/<tenant>.
+//   --store-fsync=P    always | never: fsync the fact log on every append
+//                      (default always; never trades the unsynced suffix
+//                      for throughput, recovery stays torn-proof)
+//   --store-compact-mb=N  checkpoint into a fresh columnar segment once
+//                      the log exceeds N MB (default 64; 0 = never by
+//                      size)
 //   --print-rewriting  print the NDL program even when DATA is given
 //   --sql              print the rewriting as SQL views instead
 //   --complete-instances  rewrite for complete instances (no * transform)
@@ -78,6 +90,7 @@
 #include "server/api.h"
 #include "server/http_server.h"
 #include "server/registry.h"
+#include "store/store.h"
 #include "syntax/parser.h"
 #include "syntax/sql_export.h"
 #include "util/json.h"
@@ -99,6 +112,10 @@ constexpr char kUsage[] =
     "  --queue-timeout-ms=N  max wait for a slot before REJECTED\n"
     "  --answer-cache-mb=N   memoize complete answers (0 = disabled)\n"
     "  --no-coalesce         do not coalesce identical concurrent requests\n"
+    "  --store-dir=PATH      durable fact log + snapshot store at PATH\n"
+    "  --store-fsync=P       always | never (default always)\n"
+    "  --store-compact-mb=N  compact once the log exceeds N MB (default "
+    "64)\n"
     "  --print-rewriting     print the NDL program even when DATA is given\n"
     "  --sql                 print the rewriting as SQL views\n"
     "  --complete-instances  rewrite for complete data instances\n"
@@ -278,7 +295,8 @@ void HandleStopSignal(int) { g_stop.store(1); }
 // one tenant the registry's carve hands them over whole.
 int RunServe(const char* ontology_path, const char* data_path, int port,
              int threads, long max_memory_mb, int max_concurrent,
-             const EngineOptions& engine_template) {
+             const EngineOptions& engine_template,
+             const store::StoreOptions& store_template) {
   std::string ontology_text, data_text;
   if (!ReadFile(ontology_path, &ontology_text)) {
     std::fprintf(stderr, "cannot read %s\n", ontology_path);
@@ -295,6 +313,7 @@ int RunServe(const char* ontology_path, const char* data_path, int port,
       static_cast<size_t>(max_memory_mb) * 1024 * 1024;
   reg_options.process_slots = max_concurrent;
   reg_options.engine = engine_template;
+  reg_options.store = store_template;  // Empty dir = in-memory tenants.
   server::EngineRegistry registry(reg_options);
   std::shared_ptr<server::Tenant> tenant;
   Status registered =
@@ -350,6 +369,9 @@ int main(int argc, char** argv) {
   long queue_timeout_ms = -1;
   long answer_cache_mb = 0;
   bool coalesce = true;
+  std::string store_dir;
+  bool store_fsync = true;
+  long store_compact_mb = 64;
 
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--help") == 0) {
@@ -394,6 +416,31 @@ int main(int argc, char** argv) {
       }
     } else if (std::strcmp(argv[i], "--no-coalesce") == 0) {
       coalesce = false;
+    } else if (std::strncmp(argv[i], "--store-dir=", 12) == 0) {
+      store_dir = argv[i] + 12;
+      if (store_dir.empty()) {
+        std::fprintf(stderr, "--store-dir needs a path\n");
+        return 2;
+      }
+    } else if (std::strncmp(argv[i], "--store-fsync=", 14) == 0) {
+      const char* policy = argv[i] + 14;
+      if (std::strcmp(policy, "always") == 0) {
+        store_fsync = true;
+      } else if (std::strcmp(policy, "never") == 0) {
+        store_fsync = false;
+      } else {
+        std::fprintf(stderr,
+                     "--store-fsync needs 'always' or 'never', got '%s'\n",
+                     policy);
+        return 2;
+      }
+    } else if (std::strncmp(argv[i], "--store-compact-mb=", 19) == 0) {
+      store_compact_mb = std::atol(argv[i] + 19);
+      if (store_compact_mb < 0) {
+        std::fprintf(stderr, "--store-compact-mb needs >= 0, got '%s'\n",
+                     argv[i] + 19);
+        return 2;
+      }
     } else if (std::strncmp(argv[i], "--trace-json=", 13) == 0) {
       trace_json_path = argv[i] + 13;
     } else if (std::strncmp(argv[i], "--stats-json=", 13) == 0) {
@@ -460,9 +507,16 @@ int main(int argc, char** argv) {
   }
   engine_options.coalesce = coalesce;
 
+  store::StoreOptions store_options;
+  store_options.dir = store_dir;  // Possibly empty (no durability).
+  store_options.fsync = store_fsync;
+  store_options.compact_log_bytes =
+      static_cast<uint64_t>(store_compact_mb) * 1024 * 1024;
+
   if (serve_port >= 0) {
     return RunServe(ontology_path, data_path, serve_port, threads,
-                    max_memory_mb, max_concurrent, engine_options);
+                    max_memory_mb, max_concurrent, engine_options,
+                    store_options);
   }
 
   PrepareOptions prepare_options;
@@ -521,7 +575,25 @@ int main(int argc, char** argv) {
 
   // One engine serves every query of this invocation: ontology frozen and
   // fingerprinted, data snapshotted, plans cached, executions governed.
-  Engine engine(tbox, data, nullptr, engine_options);
+  // With --store-dir, Engine::Open first recovers durable state (DATA then
+  // only seeds a fresh store) and '+' facts survive restarts.
+  if (!store_dir.empty()) {
+    std::shared_ptr<store::DurableStore> durable;
+    Status store_status = store::DurableStore::Open(store_options, &durable);
+    if (!store_status.ok()) {
+      std::fprintf(stderr, "error: %s\n", store_status.ToString().c_str());
+      return 1;
+    }
+    engine_options.store = std::move(durable);
+  }
+  Status open_status;
+  std::unique_ptr<Engine> engine_owner =
+      Engine::Open(tbox, data, nullptr, engine_options, &open_status);
+  if (engine_owner == nullptr) {
+    std::fprintf(stderr, "error: %s\n", open_status.ToString().c_str());
+    return 1;
+  }
+  Engine& engine = *engine_owner;
 
   ExecuteRequest request;
   request.num_threads = threads;

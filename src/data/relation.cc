@@ -287,6 +287,46 @@ void Rows::Reserve(size_t expected_rows) {
   if (capacity > small_.size) RehashSmall(capacity);
 }
 
+void Rows::AdoptColumn(int arity_in, const int* column, size_t num_rows) {
+  OWLQR_CHECK_MSG(num_rows_ == 0 && cells.empty(),
+                  "AdoptColumn requires an empty relation");
+  arity = arity_in;
+  materialized = true;
+  if (arity == 0) {
+    num_rows_ = num_rows > 0 ? 1 : 0;
+    return;
+  }
+  cells.assign(column, column + num_rows * static_cast<size_t>(arity));
+  num_rows_ = num_rows;
+  if (num_rows == 0) return;
+  // Presize the dedup table for the final row count and place every row in
+  // one pass.  Distinctness is the caller's contract, so placement skips
+  // the duplicate compare and only walks to the first empty slot.
+  size_t capacity = 64;
+  while (capacity < num_rows * 2) capacity <<= 1;
+  if (arity <= 2) {
+    small_ = SlotBuffer(capacity);
+    const size_t mask = capacity - 1;
+    for (size_t r = 0; r < num_rows; ++r) {
+      const int* tuple = row(r);
+      const size_t hash = HashTuple(tuple, arity);
+      size_t pos = hash & mask;
+      while (small_[pos].id != 0) pos = (pos + 1) & mask;
+      small_[pos].key = PackSmall(tuple, arity);
+      small_[pos].id = static_cast<uint32_t>(r + 1);
+      small_[pos].hash32 = static_cast<uint32_t>(hash);
+    }
+  } else {
+    slots_.assign(capacity, 0);
+    const size_t mask = capacity - 1;
+    for (size_t r = 0; r < num_rows; ++r) {
+      size_t pos = HashTuple(row(r), arity) & mask;
+      while (slots_[pos] != 0) pos = (pos + 1) & mask;
+      slots_[pos] = static_cast<uint32_t>(r + 1);
+    }
+  }
+}
+
 void Rows::GrowWide() {
   size_t capacity = slots_.empty() ? 64 : slots_.size() * 2;
   slots_.assign(capacity, 0);

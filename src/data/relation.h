@@ -157,6 +157,15 @@ struct Rows {
   // that outgrows the hint just resumes doubling).
   void Reserve(size_t expected_rows);
 
+  // Bulk load for the durable store's columnar segments: adopts `num_rows`
+  // row-major tuples that are KNOWN distinct (a segment column is the
+  // verbatim arena of an already deduplicated relation) into an empty
+  // relation.  One memcpy plus one presized dedup-table placement pass —
+  // no per-row probe/growth cascade, which is what lets a snapshot load
+  // without a row-by-row rebuild.  The result is indistinguishable from
+  // num_rows sequential Insert calls of the same tuples.
+  void AdoptColumn(int arity_in, const int* column, size_t num_rows);
+
   std::vector<std::vector<int>> ToTuples() const;
   // ToTuples() in lexicographic order, sorting row indices over the flat
   // arena and materialising the per-tuple vectors once (the sorted output

@@ -148,6 +148,31 @@ std::shared_ptr<const DataSnapshot> DataSnapshot::FromInstance(
   return snapshot;
 }
 
+std::shared_ptr<const DataSnapshot> DataSnapshot::FromColumns(
+    uint64_t version, long num_atoms, std::vector<int> active_domain,
+    std::unordered_map<int, std::shared_ptr<const EdbRelation>> concepts,
+    std::unordered_map<int, std::shared_ptr<const EdbRelation>> roles,
+    std::vector<int> cold_concepts, std::vector<int> cold_roles,
+    std::shared_ptr<const ColumnSource> source) {
+  OWLQR_NAMED_SPAN(span, "snapshot/from-columns");
+  auto snapshot = std::shared_ptr<DataSnapshot>(new DataSnapshot());
+  snapshot->version_ = version;
+  snapshot->num_atoms_ = num_atoms;
+  snapshot->concepts_ = std::move(concepts);
+  snapshot->roles_ = std::move(roles);
+  snapshot->cold_concepts_ = std::move(cold_concepts);
+  snapshot->cold_roles_ = std::move(cold_roles);
+  snapshot->source_ = std::move(source);
+  snapshot->active_domain_ = std::move(active_domain);
+  snapshot->adom_ = AdomRelation(snapshot->active_domain_);
+  span.Attr("atoms", snapshot->num_atoms_);
+  span.Attr("resident", static_cast<long>(snapshot->concepts_.size() +
+                                          snapshot->roles_.size()));
+  span.Attr("cold", static_cast<long>(snapshot->cold_concepts_.size() +
+                                      snapshot->cold_roles_.size()));
+  return snapshot;
+}
+
 void SnapshotDelta::MergeFrom(const SnapshotDelta& other) {
   for (const auto& [id, rows] : other.concept_rows) {
     std::vector<int>& dst = concept_rows[id];
@@ -242,6 +267,15 @@ std::shared_ptr<const DataSnapshot> DataSnapshot::WithFacts(
   next->tables_ = tables_;
   next->num_atoms_ = num_atoms_ + added;
   next->version_ = version_ + 1;
+  if (source_ != nullptr) {
+    // Columns faulted in on this snapshot are resident in the child (the
+    // dedup pass above already loaded any cold relation the batch touches,
+    // so grow() below always sees its parent rows); everything still cold
+    // stays cold, served by the shared source.
+    std::lock_guard<std::mutex> lock(lazy_mutex_);
+    for (const auto& [id, rel] : lazy_concepts_) next->concepts_[id] = rel;
+    for (const auto& [id, rel] : lazy_roles_) next->roles_[id] = rel;
+  }
 
   auto grow =
       [](std::unordered_map<int, std::shared_ptr<const EdbRelation>>& map,
@@ -259,6 +293,21 @@ std::shared_ptr<const DataSnapshot> DataSnapshot::WithFacts(
   }
   for (const auto& [id, fresh] : fresh_roles) {
     grow(next->roles_, id, fresh);
+  }
+
+  if (source_ != nullptr) {
+    next->source_ = source_;
+    auto still_cold = [&next](const std::vector<int>& cold, bool role) {
+      std::vector<int> out;
+      out.reserve(cold.size());
+      const auto& resident = role ? next->roles_ : next->concepts_;
+      for (int id : cold) {
+        if (resident.find(id) == resident.end()) out.push_back(id);
+      }
+      return out;
+    };
+    next->cold_concepts_ = still_cold(cold_concepts_, /*role=*/false);
+    next->cold_roles_ = still_cold(cold_roles_, /*role=*/true);
   }
 
   if (new_individuals.empty()) {
@@ -293,14 +342,55 @@ std::shared_ptr<const DataSnapshot> DataSnapshot::WithFacts(
   return next;
 }
 
+const EdbRelation* DataSnapshot::LookupOrFault(
+    const std::unordered_map<int, std::shared_ptr<const EdbRelation>>&
+        resident,
+    const std::vector<int>& cold,
+    std::unordered_map<int, std::shared_ptr<const EdbRelation>>* lazy,
+    bool role, int id) const {
+  auto it = resident.find(id);
+  if (it != resident.end()) return it->second.get();
+  if (source_ == nullptr ||
+      !std::binary_search(cold.begin(), cold.end(), id)) {
+    return nullptr;
+  }
+  // Cold column: fault it in once and publish it in the overlay.  The
+  // mutex serializes concurrent first touches of different columns too —
+  // acceptable, a load is one memcpy plus one table-placement pass.
+  std::lock_guard<std::mutex> lock(lazy_mutex_);
+  auto lazy_it = lazy->find(id);
+  if (lazy_it == lazy->end()) {
+    std::shared_ptr<const EdbRelation> rel = source_->LoadColumn(role, id);
+    lazy_it = lazy->emplace(id, std::move(rel)).first;
+    OWLQR_COUNT("store/cold_column_faults", 1);
+  }
+  return lazy_it->second.get();
+}
+
 const EdbRelation* DataSnapshot::Concept(int concept_id) const {
-  auto it = concepts_.find(concept_id);
-  return it == concepts_.end() ? nullptr : it->second.get();
+  return LookupOrFault(concepts_, cold_concepts_, &lazy_concepts_,
+                       /*role=*/false, concept_id);
 }
 
 const EdbRelation* DataSnapshot::Role(int role_id) const {
-  auto it = roles_.find(role_id);
-  return it == roles_.end() ? nullptr : it->second.get();
+  return LookupOrFault(roles_, cold_roles_, &lazy_roles_,
+                       /*role=*/true, role_id);
+}
+
+size_t DataSnapshot::ResidentColumns() const {
+  size_t resident = concepts_.size() + roles_.size();
+  if (source_ != nullptr) {
+    std::lock_guard<std::mutex> lock(lazy_mutex_);
+    resident += lazy_concepts_.size() + lazy_roles_.size();
+  }
+  return resident;
+}
+
+size_t DataSnapshot::ColdColumns() const {
+  if (source_ == nullptr) return 0;
+  std::lock_guard<std::mutex> lock(lazy_mutex_);
+  return cold_concepts_.size() + cold_roles_.size() - lazy_concepts_.size() -
+         lazy_roles_.size();
 }
 
 const EdbRelation* DataSnapshot::Table(int table_id) const {

@@ -132,12 +132,42 @@ struct FactBatch {
   bool empty() const { return concepts.empty() && roles.empty(); }
 };
 
+// Where a store-backed snapshot's cold columns come from: the durable
+// store's newest segment (store/segment.h implements this over the mmap'd
+// column files).  LoadColumn must return the complete frozen extension of
+// concept (role == false) / role (role == true) `id` — a live vocabulary
+// id the source advertised at recovery — and must be safe to call from any
+// number of threads.  It is never called for ids the source did not
+// advertise.
+class ColumnSource {
+ public:
+  virtual ~ColumnSource() = default;
+  virtual std::shared_ptr<const EdbRelation> LoadColumn(bool role,
+                                                        int id) const = 0;
+};
+
 class DataSnapshot : public std::enable_shared_from_this<DataSnapshot> {
  public:
   // Freezes `data` (and, if given, the mapping-layer source tables) into
   // version 1 of a snapshot chain.
   static std::shared_ptr<const DataSnapshot> FromInstance(
       const DataInstance& data, const TableStore* tables = nullptr);
+
+  // Rebuilds a snapshot from a durable store's columnar segment:
+  // `concepts` / `roles` hold the eagerly loaded (resident) relations,
+  // `cold_concepts` / `cold_roles` (sorted live ids) the columns left on
+  // disk, and `source` serves a cold column the first time an evaluation
+  // touches it.  A faulted-in column stays resident for this snapshot's
+  // lifetime — executions pin snapshots, so dropping one mid-flight would
+  // dangle the raw pointers Concept()/Role() hand out; residency is
+  // re-decided per snapshot, not per query.  `num_atoms` counts ALL
+  // columns, cold included (the segment's META knows every row count).
+  static std::shared_ptr<const DataSnapshot> FromColumns(
+      uint64_t version, long num_atoms, std::vector<int> active_domain,
+      std::unordered_map<int, std::shared_ptr<const EdbRelation>> concepts,
+      std::unordered_map<int, std::shared_ptr<const EdbRelation>> roles,
+      std::vector<int> cold_concepts, std::vector<int> cold_roles,
+      std::shared_ptr<const ColumnSource> source);
 
   // The copy-on-write update: a new snapshot whose touched concept / role
   // relations are deep-copied and grown by `batch`, with every other
@@ -166,12 +196,21 @@ class DataSnapshot : public std::enable_shared_from_this<DataSnapshot> {
 
   // Relation lookups by external (vocabulary / table-store) id; null when
   // the snapshot holds no facts for that id (callers substitute an empty
-  // relation of the right arity).
+  // relation of the right arity).  On a store-backed snapshot a cold column
+  // is faulted in from the ColumnSource on first touch and stays resident
+  // for the snapshot's lifetime; the returned pointer is stable either way.
   const EdbRelation* Concept(int concept_id) const;
   const EdbRelation* Role(int role_id) const;
   const EdbRelation* Table(int table_id) const;
 
-  // Whole-map views, for cost statistics and diagnostics.
+  // Residency diagnostics for store-backed snapshots: columns held in
+  // memory (eager + faulted-in) vs columns still cold on disk.  A snapshot
+  // with no ColumnSource reports everything resident.
+  size_t ResidentColumns() const;
+  size_t ColdColumns() const;
+
+  // Whole-map views of the RESIDENT relations, for cost statistics and
+  // diagnostics; cold columns are not listed (see cold_concepts()).
   const std::unordered_map<int, std::shared_ptr<const EdbRelation>>&
   concepts() const {
     return concepts_;
@@ -180,12 +219,30 @@ class DataSnapshot : public std::enable_shared_from_this<DataSnapshot> {
       const {
     return roles_;
   }
+  // Sorted live ids of the columns this snapshot still serves from its
+  // ColumnSource (minus any already faulted in), plus the source itself —
+  // the store's checkpoint writer streams cold columns straight from here
+  // without making them resident.
+  const std::vector<int>& cold_concepts() const { return cold_concepts_; }
+  const std::vector<int>& cold_roles() const { return cold_roles_; }
+  const std::shared_ptr<const ColumnSource>& column_source() const {
+    return source_;
+  }
 
   // Total concept + role facts (the |A| of the paper's data complexity).
   long num_atoms() const { return num_atoms_; }
 
  private:
   DataSnapshot() = default;
+
+  // Serves `id` from the resident map, else faults it in from source_
+  // under lazy_mutex_ (mirroring the index cache's publish-once pattern).
+  const EdbRelation* LookupOrFault(
+      const std::unordered_map<int, std::shared_ptr<const EdbRelation>>&
+          resident,
+      const std::vector<int>& cold,
+      std::unordered_map<int, std::shared_ptr<const EdbRelation>>* lazy,
+      bool role, int id) const;
 
   std::unordered_map<int, std::shared_ptr<const EdbRelation>> concepts_;
   std::unordered_map<int, std::shared_ptr<const EdbRelation>> roles_;
@@ -194,6 +251,20 @@ class DataSnapshot : public std::enable_shared_from_this<DataSnapshot> {
   std::vector<int> active_domain_;
   long num_atoms_ = 0;
   uint64_t version_ = 1;
+
+  // Store-backed snapshots only: the cold-column source, the sorted ids it
+  // still serves, and the faulted-in overlay.  The overlay is additive for
+  // the snapshot's lifetime (entries are inserted, never removed, and the
+  // shared_ptr'd relations never move), so a pointer handed out under the
+  // mutex stays valid without it.
+  std::shared_ptr<const ColumnSource> source_;
+  std::vector<int> cold_concepts_;
+  std::vector<int> cold_roles_;
+  mutable std::mutex lazy_mutex_;
+  mutable std::unordered_map<int, std::shared_ptr<const EdbRelation>>
+      lazy_concepts_;
+  mutable std::unordered_map<int, std::shared_ptr<const EdbRelation>>
+      lazy_roles_;
 };
 
 }  // namespace owlqr

@@ -1,5 +1,6 @@
 #include "engine/engine.h"
 
+#include <chrono>
 #include <utility>
 
 #include "core/omq.h"
@@ -93,19 +94,116 @@ void IncrementalStateCache::EvictBack() {
   entries_.pop_back();
 }
 
-Engine::Engine(const TBox& tbox, const DataInstance& data,
-               const TableStore* tables, const EngineOptions& options)
-    : tbox_(NormalizedCopy(tbox)),
+Engine::Engine(TBox normalized, std::shared_ptr<const DataSnapshot> snapshot,
+               const EngineOptions& options)
+    : tbox_(std::move(normalized)),
       ctx_(tbox_),
       fingerprint_(FingerprintTBox(tbox_)),
       cache_(options.plan_cache_capacity),
-      snapshot_(DataSnapshot::FromInstance(data, tables)),
+      snapshot_(std::move(snapshot)),
       governor_(options.governor),
       incremental_(options.incremental_state_capacity, governor_.budget()),
       answer_cache_(options.answer_cache_capacity,
                     options.answer_cache_max_bytes, governor_.budget()),
       coalesce_(options.coalesce),
-      delta_log_capacity_(options.delta_log_capacity) {}
+      delta_log_capacity_(options.delta_log_capacity),
+      store_(options.store) {}
+
+Engine::Engine(const TBox& tbox, const DataInstance& data,
+               const TableStore* tables, const EngineOptions& options)
+    : Engine(NormalizedCopy(tbox), DataSnapshot::FromInstance(data, tables),
+             options) {
+  OWLQR_CHECK_MSG(options.store == nullptr,
+                  "store-backed engines must be created via Engine::Open "
+                  "(recovery has to run before the engine serves)");
+}
+
+std::unique_ptr<Engine> Engine::Open(const TBox& tbox,
+                                     const DataInstance& data,
+                                     const TableStore* tables,
+                                     const EngineOptions& options,
+                                     Status* status) {
+  Status local_status;
+  if (status == nullptr) status = &local_status;
+  *status = Status::Ok();
+  if (options.store == nullptr) {
+    return std::make_unique<Engine>(tbox, data, tables, options);
+  }
+  if (tables != nullptr) {
+    *status = Status::InvalidArgument(
+        "a durable store cannot back mapping-layer source tables");
+    return nullptr;
+  }
+  OWLQR_NAMED_SPAN(span, "engine/open-recover");
+  const auto t0 = std::chrono::steady_clock::now();
+
+  TBox normalized = NormalizedCopy(tbox);
+  const uint64_t fingerprint = FingerprintTBox(normalized);
+  size_t resident_bytes = options.store_resident_bytes;
+  if (resident_bytes == 0 && options.governor.max_memory_bytes > 0) {
+    // Half the governor budget: recovered columns share the budget with
+    // execution arenas and the retained-state caches.
+    resident_bytes = options.governor.max_memory_bytes / 2;
+  }
+
+  store::RecoveredState recovered;
+  *status = options.store->Recover(normalized.vocabulary(), fingerprint,
+                                   resident_bytes, &recovered);
+  if (!status->ok()) return nullptr;
+
+  std::unique_ptr<Engine> engine;
+  if (recovered.fresh) {
+    engine.reset(new Engine(std::move(normalized),
+                            DataSnapshot::FromInstance(data), options));
+    // Seed the baseline segment before anything can be acknowledged; a
+    // failure here fails Open, because an append-only log with no baseline
+    // is the unrecoverable LOG-without-CURRENT state.
+    *status = options.store->Checkpoint(*engine->snapshot(),
+                                        *engine->vocabulary());
+    if (!status->ok()) return nullptr;
+  } else {
+    // The store is the source of truth; `data` was only ever its seed.
+    engine.reset(new Engine(std::move(normalized), std::move(recovered.base),
+                            options));
+    Vocabulary* vocab = engine->vocabulary();
+    for (const store::LogRecord& record : recovered.tail) {
+      // Resolve names against the live vocabulary.  Intern, not Find: the
+      // names were valid when acknowledged, and interning an already-known
+      // name is the identity.
+      FactBatch batch;
+      batch.concepts.reserve(record.batch.concepts.size());
+      for (const auto& fact : record.batch.concepts) {
+        batch.concepts.push_back(
+            {vocab->InternConcept(fact.concept_name),
+             vocab->InternIndividual(fact.individual)});
+      }
+      batch.roles.reserve(record.batch.roles.size());
+      for (const auto& fact : record.batch.roles) {
+        batch.roles.push_back({vocab->InternPredicate(fact.role),
+                               vocab->InternIndividual(fact.subject),
+                               vocab->InternIndividual(fact.object)});
+      }
+      uint64_t version = 0;
+      *status = engine->ApplyFactsInternal(batch, &version,
+                                           /*persist=*/false);
+      if (!status->ok()) return nullptr;
+      if (version != record.version) {
+        *status = Status::DataLoss(
+            "log replay diverged: record for version " +
+            std::to_string(record.version) + " produced version " +
+            std::to_string(version) +
+            " (a record was a no-op against the recovered baseline)");
+        return nullptr;
+      }
+    }
+  }
+  engine->recovery_ms_ = std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - t0)
+                             .count();
+  span.Attr("tail_records", static_cast<long>(recovered.tail.size()));
+  OWLQR_RECORD("engine/recovery_ms", engine->recovery_ms_);
+  return engine;
+}
 
 PrepareResult Engine::Prepare(const ConjunctiveQuery& query,
                               const PrepareOptions& options) {
@@ -394,6 +492,11 @@ ExecuteResult Engine::Query(const ConjunctiveQuery& query,
 }
 
 Status Engine::ApplyFactsOrError(const FactBatch& batch, uint64_t* version) {
+  return ApplyFactsInternal(batch, version, /*persist=*/true);
+}
+
+Status Engine::ApplyFactsInternal(const FactBatch& batch, uint64_t* version,
+                                  bool persist) {
   // Validate every id against the engine's vocabulary BEFORE building
   // anything: an unknown or negative id would create an orphan relation no
   // rewritten program can ever name — the fact would be silently
@@ -433,6 +536,30 @@ Status Engine::ApplyFactsOrError(const FactBatch& batch, uint64_t* version) {
     }
     SnapshotDelta delta;
     std::shared_ptr<const DataSnapshot> next = parent->WithFacts(batch, &delta);
+    if (persist && store_ != nullptr && next != parent) {
+      // Write-ahead: the delta (only the genuinely new rows, by name) must
+      // be durable BEFORE the version is installed, so every version a
+      // caller ever observes is recoverable.  On append failure the engine
+      // stays on the parent version — the built snapshot is discarded.
+      store::NamedFactBatch named;
+      named.concepts.reserve(delta.concept_rows.size());
+      for (const auto& [concept_id, rows] : delta.concept_rows) {
+        const std::string& concept_name = vocab.ConceptName(concept_id);
+        for (int individual : rows) {
+          named.concepts.push_back(
+              {concept_name, vocab.IndividualName(individual)});
+        }
+      }
+      for (const auto& [role_id, rows] : delta.role_rows) {
+        const std::string& role_name = vocab.PredicateName(role_id);
+        for (size_t i = 0; i + 1 < rows.size(); i += 2) {
+          named.roles.push_back({role_name, vocab.IndividualName(rows[i]),
+                                 vocab.IndividualName(rows[i + 1])});
+        }
+      }
+      Status status = store_->AppendBatch(next->version(), named);
+      if (!status.ok()) return status;
+    }
     {
       std::lock_guard<std::mutex> lock(snapshot_mutex_);
       if (next != parent) {
@@ -451,9 +578,24 @@ Status Engine::ApplyFactsOrError(const FactBatch& batch, uint64_t* version) {
       // hold budget until LRU eviction reaches them.
       answer_cache_.InvalidateBelow(new_version);
     }
+    if (persist && store_ != nullptr && store_->ShouldCompact()) {
+      // Inline compaction, still under apply_mutex_ (checkpoints must not
+      // interleave with appends).  Failure is deliberately swallowed: the
+      // version just acknowledged IS durable in the log; the store counts
+      // the failed compaction and the next apply retries.
+      store_->Checkpoint(*snapshot(), vocab);
+    }
   }
   if (version != nullptr) *version = new_version;
   return Status::Ok();
+}
+
+Status Engine::Checkpoint() {
+  if (store_ == nullptr) {
+    return Status::InvalidArgument("engine has no durable store");
+  }
+  std::lock_guard<std::mutex> apply_lock(apply_mutex_);
+  return store_->Checkpoint(*snapshot(), *tbox_.vocabulary());
 }
 
 void Engine::ClearIncrementalState() const { incremental_.Clear(); }

@@ -47,6 +47,7 @@
 #include "engine/plan_cache.h"
 #include "ndl/evaluator.h"
 #include "ontology/tbox.h"
+#include "store/store.h"
 #include "util/metrics.h"
 #include "util/status.h"
 
@@ -81,6 +82,15 @@ struct EngineOptions {
   // Entries retained in the per-version delta log that backs incremental
   // execution; ranges trimmed past this force a full-evaluation fallback.
   size_t delta_log_capacity = 64;
+  // Durable backend (store/store.h).  Null = in-memory only (the default).
+  // A store-backed engine must be created through Engine::Open, which runs
+  // recovery; the plain constructor refuses a non-null store.
+  std::shared_ptr<store::Store> store;
+  // Byte budget for the columns loaded eagerly from a recovered segment;
+  // the rest stays cold and faults in on first touch.  0 derives the budget
+  // from the governor (half its memory limit), or loads everything when the
+  // governor is untracked.
+  size_t store_resident_bytes = 0;
 };
 
 // LRU cache of retained materialised IDB states, keyed by plan-cache key.
@@ -158,10 +168,27 @@ struct PrepareResult {
 class Engine {
  public:
   // `tbox` is copied and normalized; `data` (and `tables`, if given) is
-  // frozen into snapshot version 1.
+  // frozen into snapshot version 1.  Refuses (CHECK) a non-null
+  // options.store — durable engines go through Open.
   Engine(const TBox& tbox, const DataInstance& data,
          const TableStore* tables = nullptr,
          const EngineOptions& options = {});
+
+  // The store-aware factory.  Without a store it behaves exactly like the
+  // constructor.  With one, it runs recovery first: a fresh store is seeded
+  // with a checkpoint of `data` (seed failure fails Open — facts must never
+  // be acknowledged without a durable baseline); an existing store rebuilds
+  // its base snapshot from the newest segment and replays the log tail
+  // through the normal ApplyFacts delta path, so restart cost is
+  // O(segment load + log tail), `data` is ignored, and the incremental /
+  // answer caches see ordinary versioned updates.  Returns null iff
+  // *status is non-OK.  `tables` with a store is unsupported
+  // (kInvalidArgument): source tables live outside the store's fact model.
+  static std::unique_ptr<Engine> Open(const TBox& tbox,
+                                      const DataInstance& data,
+                                      const TableStore* tables,
+                                      const EngineOptions& options,
+                                      Status* status);
 
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
@@ -219,6 +246,12 @@ class Engine {
   Status ApplyFactsOrError(const FactBatch& batch,
                            uint64_t* version = nullptr);
 
+  // Forces a store checkpoint of the current snapshot (segment write +
+  // CURRENT switch + log reset).  Serialises with ApplyFacts.  Errors are
+  // non-fatal to serving — the previous segment and log still recover.
+  // kInvalidArgument when the engine has no store.
+  Status Checkpoint();
+
   // Drops every retained incremental IDB state, releasing its memory-budget
   // charge.  Subsequent incremental executions re-seed from a full run.
   void ClearIncrementalState() const;
@@ -250,8 +283,29 @@ class Engine {
   QueryGovernor::Counters governor_counters() const {
     return governor_.counters();
   }
+  // Null for in-memory engines.
+  const std::shared_ptr<store::Store>& store() const { return store_; }
+  // End-to-end Open recovery wall time (store load + log-tail replay);
+  // 0 for in-memory engines and fresh stores.
+  double recovery_ms() const { return recovery_ms_; }
 
  private:
+  // Shared guts of the constructor and Open: `normalized` is already the
+  // engine's own normalized TBox copy, `snapshot` its initial data version
+  // (frozen instance or recovered segment).
+  Engine(TBox normalized, std::shared_ptr<const DataSnapshot> snapshot,
+         const EngineOptions& options);
+
+  // The body of ApplyFactsOrError.  With `persist`, the delta is appended
+  // (and fsynced) to the store BETWEEN the copy-on-write build and the
+  // install — an append failure leaves the engine on the old version, so a
+  // version is acknowledged iff it is durable — and a post-install
+  // ShouldCompact triggers an inline checkpoint (failure counted, not
+  // surfaced).  Recovery replays log records with persist=false: they are
+  // already durable.
+  Status ApplyFactsInternal(const FactBatch& batch, uint64_t* version,
+                            bool persist);
+
   // One recorded ApplyFacts step: the delta that took snapshot version
   // `version - 1` to `version`.
   struct DeltaLogEntry {
@@ -319,6 +373,10 @@ class Engine {
   mutable InFlightTable inflight_;
   const bool coalesce_;
   const size_t delta_log_capacity_;
+  // Durable backend; appends/checkpoints run under apply_mutex_, reads of
+  // its counters are internally synchronized.  Null = in-memory engine.
+  const std::shared_ptr<store::Store> store_;
+  double recovery_ms_ = 0;  // Set once by Open, before any concurrency.
 };
 
 }  // namespace owlqr

@@ -21,6 +21,7 @@ bool StatusCodeFromName(const std::string& name, StatusCode* out) {
       StatusCode::kUnsupportedShape, StatusCode::kNotFound,
       StatusCode::kCancelled,    StatusCode::kDeadlineExceeded,
       StatusCode::kMemoryExceeded,   StatusCode::kRejected,
+      StatusCode::kDataLoss,
   };
   for (StatusCode code : kAll) {
     if (name == StatusCodeName(code)) {
@@ -161,6 +162,8 @@ int HttpStatusFor(StatusCode code) {
       return 503;
     case StatusCode::kDeadlineExceeded:
       return 504;
+    case StatusCode::kDataLoss:
+      return 500;  // Durable-state failure: not the client's fault.
   }
   return 500;
 }
@@ -179,6 +182,8 @@ StatusCode StatusCodeForHttp(int http_status) {
       return StatusCode::kRejected;
     case 499:
       return StatusCode::kCancelled;
+    case 500:
+      return StatusCode::kDataLoss;
     case 503:
       return StatusCode::kMemoryExceeded;
     case 504:
@@ -776,6 +781,23 @@ void AppendEngineStats(JsonWriter* w, const Engine& engine) {
   w->KV("bytes", engine.answer_cache_bytes());
   w->EndObject();
   w->KV("incremental_state_size", engine.incremental_state_size());
+  if (engine.store() != nullptr) {
+    const store::StoreCounters counters = engine.store()->counters();
+    const std::shared_ptr<const DataSnapshot> snap = engine.snapshot();
+    w->Key("store");
+    w->BeginObject();
+    w->KV("log_bytes", counters.log_bytes);
+    w->KV("log_records", counters.log_records);
+    w->KV("appended_batches", counters.appended_batches);
+    w->KV("log_dropped_bytes", counters.log_dropped_bytes);
+    w->KV("segments_written", counters.segments_written);
+    w->KV("compactions_failed", counters.compactions_failed);
+    w->KV("recovered_records", counters.recovered_records);
+    w->KV("recovery_ms", engine.recovery_ms());
+    w->KV("resident_columns", snap->ResidentColumns());
+    w->KV("cold_columns", snap->ColdColumns());
+    w->EndObject();
+  }
 }
 
 Response Service::Stats(server::Tenant& tenant) {

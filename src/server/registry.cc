@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "data/data_instance.h"
+#include "store/fs.h"
 #include "syntax/parser.h"
 
 namespace owlqr {
@@ -19,6 +20,19 @@ std::string FingerprintHex(uint64_t fingerprint) {
   return buf;
 }
 
+// Tenant names become store directory names; anything outside the portable
+// filename alphabet is replaced so a hostile alias can't traverse paths.
+std::string SanitizeStoreDirName(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '.' || c == '-';
+    if (!ok) c = '_';
+  }
+  if (out == "." || out == "..") out = "_";
+  return out;
+}
+
 }  // namespace
 
 Tenant::Tenant(std::string name, std::unique_ptr<Vocabulary> vocab,
@@ -26,6 +40,14 @@ Tenant::Tenant(std::string name, std::unique_ptr<Vocabulary> vocab,
                const TableStore* tables, const EngineOptions& options)
     : name_(std::move(name)), vocab_(std::move(vocab)) {
   engine_ = std::make_unique<Engine>(tbox, data, tables, options);
+  fingerprint_ = FingerprintHex(engine_->tbox_fingerprint());
+}
+
+Tenant::Tenant(std::string name, std::unique_ptr<Vocabulary> vocab,
+               std::unique_ptr<Engine> engine)
+    : name_(std::move(name)),
+      vocab_(std::move(vocab)),
+      engine_(std::move(engine)) {
   fingerprint_ = FingerprintHex(engine_->tbox_fingerprint());
 }
 
@@ -93,8 +115,27 @@ Status EngineRegistry::Register(const std::string& name,
   EngineOptions engine_options = options_.engine;
   engine_options.governor.max_memory_bytes = tenant_memory_bytes();
   engine_options.governor.max_concurrent = tenant_slots();
-  auto tenant = std::make_shared<Tenant>(name, std::move(vocab), tbox, data,
-                                         tables, engine_options);
+  std::shared_ptr<Tenant> tenant;
+  if (!options_.store.dir.empty()) {
+    // One DurableStore per tenant, rooted under the registry's store dir.
+    Status status = store::MakeDir(options_.store.dir);
+    if (!status.ok()) return status;
+    store::StoreOptions store_options = options_.store;
+    store_options.dir =
+        options_.store.dir + "/" + SanitizeStoreDirName(name);
+    std::shared_ptr<store::DurableStore> tenant_store;
+    status = store::DurableStore::Open(store_options, &tenant_store);
+    if (!status.ok()) return status;
+    engine_options.store = std::move(tenant_store);
+    std::unique_ptr<Engine> engine =
+        Engine::Open(tbox, data, tables, engine_options, &status);
+    if (engine == nullptr) return status;
+    tenant = std::make_shared<Tenant>(name, std::move(vocab),
+                                      std::move(engine));
+  } else {
+    tenant = std::make_shared<Tenant>(name, std::move(vocab), tbox, data,
+                                      tables, engine_options);
+  }
 
   std::lock_guard<std::mutex> lock(mutex_);
   if (tenants_.size() >= options_.max_tenants) {

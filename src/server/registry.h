@@ -50,6 +50,13 @@ struct RegistryOptions {
   // Template for every tenant's engine; the governor's max_memory_bytes and
   // max_concurrent are overwritten by the carve described above.
   EngineOptions engine;
+  // Durability template.  store.dir names the ROOT directory; each tenant
+  // gets its own DurableStore under <root>/<sanitized tenant name>, opened
+  // through Engine::Open (so registering a tenant whose store already holds
+  // state recovers it and ignores the registration's data text).  An empty
+  // dir (the default) keeps every tenant in-memory.  engine.store must stay
+  // null — the registry builds the per-tenant store itself.
+  store::StoreOptions store;
 };
 
 // One served ontology: vocabulary + engine + the vocabulary lock.
@@ -58,6 +65,10 @@ class Tenant {
   Tenant(std::string name, std::unique_ptr<Vocabulary> vocab,
          const TBox& tbox, const DataInstance& data, const TableStore* tables,
          const EngineOptions& options);
+  // Adopts an engine built elsewhere (Engine::Open for store-backed
+  // tenants).  `vocab` must be the vocabulary the engine references.
+  Tenant(std::string name, std::unique_ptr<Vocabulary> vocab,
+         std::unique_ptr<Engine> engine);
 
   Tenant(const Tenant&) = delete;
   Tenant& operator=(const Tenant&) = delete;

@@ -1,0 +1,149 @@
+#include "store/format.h"
+
+#include <cstring>
+
+#include "util/logging.h"
+
+namespace owlqr {
+namespace store {
+
+namespace {
+
+struct Crc32Table {
+  uint32_t entries[256];
+  Crc32Table() {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      entries[i] = c;
+    }
+  }
+};
+
+const Crc32Table& Table() {
+  static const Crc32Table table;
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t size) {
+  const uint8_t* bytes = static_cast<const uint8_t*>(data);
+  const Crc32Table& table = Table();
+  uint32_t crc = 0xFFFFFFFFu;
+  for (size_t i = 0; i < size; ++i) {
+    crc = table.entries[(crc ^ bytes[i]) & 0xFF] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+void PutU16(std::string* out, uint16_t v) {
+  out->push_back(static_cast<char>(v & 0xFF));
+  out->push_back(static_cast<char>((v >> 8) & 0xFF));
+}
+
+void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void PutString(std::string* out, const std::string& s) {
+  OWLQR_CHECK_MSG(s.size() <= 0xFFFF, "store: name longer than 65535 bytes");
+  PutU16(out, static_cast<uint16_t>(s.size()));
+  out->append(s);
+}
+
+bool ByteReader::ReadU16(uint16_t* out) {
+  if (remaining() < 2) return false;
+  *out = static_cast<uint16_t>(data[pos]) |
+         static_cast<uint16_t>(data[pos + 1]) << 8;
+  pos += 2;
+  return true;
+}
+
+bool ByteReader::ReadU32(uint32_t* out) {
+  if (remaining() < 4) return false;
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(data[pos + i]) << (8 * i);
+  }
+  pos += 4;
+  *out = v;
+  return true;
+}
+
+bool ByteReader::ReadU64(uint64_t* out) {
+  if (remaining() < 8) return false;
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(data[pos + i]) << (8 * i);
+  }
+  pos += 8;
+  *out = v;
+  return true;
+}
+
+bool ByteReader::ReadString(std::string* out) {
+  uint16_t len;
+  if (!ReadU16(&len)) return false;
+  if (remaining() < len) return false;
+  out->assign(reinterpret_cast<const char*>(data + pos), len);
+  pos += len;
+  return true;
+}
+
+bool ByteReader::ReadBytes(size_t n, const uint8_t** out) {
+  if (remaining() < n) return false;
+  *out = data + pos;
+  pos += n;
+  return true;
+}
+
+void AppendFileHeader(std::string* out, FileType type) {
+  out->append(kMagic, sizeof(kMagic));
+  PutU32(out, static_cast<uint32_t>(type));
+  PutU32(out, kFormatVersion);
+  PutU32(out, 0);  // Reserved.
+}
+
+Status CheckFileHeader(const uint8_t* data, size_t size, FileType type,
+                       const std::string& what) {
+  if (size < kFileHeaderBytes) {
+    return Status::DataLoss(what + ": file shorter than the 16-byte header");
+  }
+  if (std::memcmp(data, kMagic, sizeof(kMagic)) != 0) {
+    return Status::DataLoss(what + ": bad magic (not a store file)");
+  }
+  ByteReader reader(data + 4, kFileHeaderBytes - 4);
+  uint32_t tag = 0;
+  uint32_t version = 0;
+  uint32_t reserved = 0;
+  reader.ReadU32(&tag);
+  reader.ReadU32(&version);
+  reader.ReadU32(&reserved);
+  if (tag != static_cast<uint32_t>(type)) {
+    return Status::DataLoss(what + ": wrong file-type tag " +
+                            std::to_string(tag));
+  }
+  if (version != kFormatVersion) {
+    return Status::DataLoss(what + ": format version " +
+                            std::to_string(version) + ", this build reads " +
+                            std::to_string(kFormatVersion));
+  }
+  if (reserved != 0) {
+    return Status::DataLoss(what + ": reserved header bytes are not zero");
+  }
+  return Status::Ok();
+}
+
+}  // namespace store
+}  // namespace owlqr

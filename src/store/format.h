@@ -1,0 +1,86 @@
+#ifndef OWLQR_STORE_FORMAT_H_
+#define OWLQR_STORE_FORMAT_H_
+
+// The versioned on-disk format shared by every file a DurableStore writes
+// (DESIGN.md §14): the common 16-byte file header, the little-endian
+// primitive codecs, and the CRC32 used by the fact log's record checksums
+// and the segment files' payload checksums.
+//
+// Every decoder here is total over hostile bytes: a malformed header or a
+// truncated primitive comes back as a field-naming Status (or a false from
+// ByteReader), never as UB — the corruption fuzz suite drives these paths
+// directly.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace owlqr {
+namespace store {
+
+// Every store file starts with the same 16-byte header:
+//
+//   bytes 0..3   magic "OWQR"
+//   bytes 4..7   file-type tag (FileType, little-endian u32)
+//   bytes 8..11  format version (little-endian u32)
+//   bytes 12..15 reserved, must be zero (checked on read, so corruption
+//                anywhere in the header is always detected)
+inline constexpr char kMagic[4] = {'O', 'W', 'Q', 'R'};
+inline constexpr uint32_t kFormatVersion = 1;
+inline constexpr size_t kFileHeaderBytes = 16;
+
+enum class FileType : uint32_t {
+  kLog = 1,          // The append-only fact log ("LOG").
+  kSegmentMeta = 2,  // A segment's META file.
+  kColumn = 3,       // A segment column file (adom / c<ID> / r<ID>).
+  kCurrent = 4,      // The CURRENT segment pointer.
+};
+
+// CRC32 (reflected, polynomial 0xEDB88320 — the zlib/IEEE one).
+uint32_t Crc32(const void* data, size_t size);
+
+// Little-endian appenders onto a byte buffer.
+void PutU16(std::string* out, uint16_t v);
+void PutU32(std::string* out, uint32_t v);
+void PutU64(std::string* out, uint64_t v);
+// Length-prefixed (u16) string; names longer than 65535 bytes are a caller
+// error (the parser's identifiers are far shorter) and are truncated-proof:
+// PutString CHECK-fails on oversize rather than writing a lying prefix.
+void PutString(std::string* out, const std::string& s);
+
+// Bounds-checked little-endian cursor over a byte range.  Every Read
+// returns false (leaving the cursor unspecified) instead of reading out of
+// bounds.
+struct ByteReader {
+  ByteReader(const uint8_t* data, size_t size) : data(data), size(size) {}
+
+  const uint8_t* data;
+  size_t size;
+  size_t pos = 0;
+
+  size_t remaining() const { return size - pos; }
+  bool ReadU16(uint16_t* out);
+  bool ReadU32(uint32_t* out);
+  bool ReadU64(uint64_t* out);
+  bool ReadString(std::string* out);
+  // Hands back a pointer into the buffer; false when fewer than n bytes
+  // remain.
+  bool ReadBytes(size_t n, const uint8_t** out);
+};
+
+// Appends the 16-byte file header for `type`.
+void AppendFileHeader(std::string* out, FileType type);
+
+// Validates the header at the start of `data`: magic, type tag, format
+// version (an unknown or future version is refused, never guessed at), and
+// the reserved bytes.  `what` names the file in error messages
+// ("store.log", "segment.meta", ...).
+Status CheckFileHeader(const uint8_t* data, size_t size, FileType type,
+                       const std::string& what);
+
+}  // namespace store
+}  // namespace owlqr
+
+#endif  // OWLQR_STORE_FORMAT_H_

@@ -1,0 +1,203 @@
+#include "store/fs.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace owlqr {
+namespace store {
+
+namespace {
+
+std::string Errno(const std::string& what, const std::string& path) {
+  return what + " " + path + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+bool PathExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+bool IsDirectory(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0 && S_ISDIR(st.st_mode);
+}
+
+Status MakeDir(const std::string& path) {
+  if (::mkdir(path.c_str(), 0755) == 0) return Status::Ok();
+  if (errno == EEXIST && IsDirectory(path)) return Status::Ok();
+  return Status::DataLoss(Errno("store: mkdir", path));
+}
+
+Status ListDir(const std::string& dir, std::vector<std::string>* out) {
+  out->clear();
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return Status::DataLoss(Errno("store: opendir", dir));
+  while (struct dirent* entry = ::readdir(d)) {
+    std::string name = entry->d_name;
+    if (name == "." || name == "..") continue;
+    out->push_back(std::move(name));
+  }
+  ::closedir(d);
+  return Status::Ok();
+}
+
+Status ReadWholeFile(const std::string& path, std::string* out) {
+  out->clear();
+  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return Status::DataLoss(Errno("store: open", path));
+  char buf[1 << 16];
+  while (true) {
+    ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return Status::DataLoss(Errno("store: read", path));
+    }
+    if (n == 0) break;
+    out->append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return Status::Ok();
+}
+
+Status FsyncDir(const std::string& dir) {
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) return Status::DataLoss(Errno("store: open dir", dir));
+  int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) return Status::DataLoss(Errno("store: fsync dir", dir));
+  return Status::Ok();
+}
+
+Status WriteFileDurable(const std::string& path, const std::string& contents,
+                        bool fsync) {
+  const std::string tmp = path + ".tmp";
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) return Status::DataLoss(Errno("store: create", tmp));
+  size_t written = 0;
+  while (written < contents.size()) {
+    ssize_t n =
+        ::write(fd, contents.data() + written, contents.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return Status::DataLoss(Errno("store: write", tmp));
+    }
+    written += static_cast<size_t>(n);
+  }
+  if (fsync && ::fsync(fd) != 0) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return Status::DataLoss(Errno("store: fsync", tmp));
+  }
+  if (::close(fd) != 0) {
+    ::unlink(tmp.c_str());
+    return Status::DataLoss(Errno("store: close", tmp));
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    return Status::DataLoss(Errno("store: rename", path));
+  }
+  if (fsync) {
+    size_t slash = path.find_last_of('/');
+    const std::string dir = slash == std::string::npos
+                                ? std::string(".")
+                                : path.substr(0, slash == 0 ? 1 : slash);
+    return FsyncDir(dir);
+  }
+  return Status::Ok();
+}
+
+Status RemoveFile(const std::string& path) {
+  if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+    return Status::DataLoss(Errno("store: unlink", path));
+  }
+  return Status::Ok();
+}
+
+Status RemoveDirRecursive(const std::string& dir) {
+  std::vector<std::string> entries;
+  Status s = ListDir(dir, &entries);
+  if (!s.ok()) return s;
+  for (const std::string& name : entries) {
+    const std::string path = dir + "/" + name;
+    if (!IsDirectory(path)) {
+      s = RemoveFile(path);
+      if (!s.ok()) return s;
+    }
+  }
+  if (::rmdir(dir.c_str()) != 0 && errno != ENOENT) {
+    return Status::DataLoss(Errno("store: rmdir", dir));
+  }
+  return Status::Ok();
+}
+
+MappedFile::MappedFile(MappedFile&& o) noexcept
+    : data_(o.data_), size_(o.size_), opened_(o.opened_) {
+  o.data_ = nullptr;
+  o.size_ = 0;
+  o.opened_ = false;
+}
+
+MappedFile& MappedFile::operator=(MappedFile&& o) noexcept {
+  if (this != &o) {
+    Close();
+    data_ = o.data_;
+    size_ = o.size_;
+    opened_ = o.opened_;
+    o.data_ = nullptr;
+    o.size_ = 0;
+    o.opened_ = false;
+  }
+  return *this;
+}
+
+MappedFile::~MappedFile() { Close(); }
+
+Status MappedFile::Open(const std::string& path) {
+  Close();
+  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return Status::DataLoss(Errno("store: open", path));
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Status::DataLoss(Errno("store: stat", path));
+  }
+  size_ = static_cast<size_t>(st.st_size);
+  opened_ = true;
+  if (size_ == 0) {
+    // mmap of length 0 is EINVAL; an empty mapping is just no bytes.
+    ::close(fd);
+    data_ = nullptr;
+    return Status::Ok();
+  }
+  void* mapped = ::mmap(nullptr, size_, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);  // The mapping holds its own reference.
+  if (mapped == MAP_FAILED) {
+    size_ = 0;
+    opened_ = false;
+    return Status::DataLoss(Errno("store: mmap", path));
+  }
+  data_ = static_cast<uint8_t*>(mapped);
+  return Status::Ok();
+}
+
+void MappedFile::Close() {
+  if (data_ != nullptr) ::munmap(data_, size_);
+  data_ = nullptr;
+  size_ = 0;
+  opened_ = false;
+}
+
+}  // namespace store
+}  // namespace owlqr

@@ -1,0 +1,78 @@
+#ifndef OWLQR_STORE_FS_H_
+#define OWLQR_STORE_FS_H_
+
+// POSIX file plumbing for the durable store: whole-file reads, durable
+// (tmp + fsync + rename + directory-fsync) writes, and a read-only mmap
+// wrapper.  Every failure surfaces as a Status naming the path — the store
+// never aborts the process over an IO error.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace owlqr {
+namespace store {
+
+bool PathExists(const std::string& path);
+bool IsDirectory(const std::string& path);
+
+// mkdir, tolerating an already-existing directory.  Creates one level only
+// (callers create parents explicitly, so a typo'd --store-dir fails loudly
+// instead of fabricating a deep tree).
+Status MakeDir(const std::string& path);
+
+// Names (not paths) of the entries in `dir`, excluding "." / "..".
+Status ListDir(const std::string& dir, std::vector<std::string>* out);
+
+Status ReadWholeFile(const std::string& path, std::string* out);
+
+// Writes `contents` to `path` via a temporary sibling + rename, fsyncing
+// the file (when `fsync`) and the containing directory, so a crash leaves
+// either the old file or the new one — never a torn mix.
+Status WriteFileDurable(const std::string& path, const std::string& contents,
+                        bool fsync);
+
+// fsync on a directory fd, making a rename / create inside it durable.
+Status FsyncDir(const std::string& dir);
+
+Status RemoveFile(const std::string& path);
+// Removes a directory and the regular files directly inside it (segment
+// directories are flat; anything deeper is left in place and fails the
+// rmdir with a Status).
+Status RemoveDirRecursive(const std::string& dir);
+
+// Read-only mmap of a whole file.  The mapping stays valid for the
+// object's lifetime even if the file is later unlinked (compaction removes
+// old segments while snapshots still reference them); truncating a mapped
+// file out from under the process is the one thing that can still SIGBUS,
+// which is why the store never truncates segment files in place.
+class MappedFile {
+ public:
+  MappedFile() = default;
+  MappedFile(MappedFile&& o) noexcept;
+  MappedFile& operator=(MappedFile&& o) noexcept;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+  ~MappedFile();
+
+  Status Open(const std::string& path);
+  void Close();
+
+  bool valid() const { return data_ != nullptr || size_ == 0; }
+  bool open() const { return opened_; }
+  const uint8_t* data() const { return data_; }
+  size_t size() const { return size_; }
+
+ private:
+  uint8_t* data_ = nullptr;
+  size_t size_ = 0;
+  bool opened_ = false;
+};
+
+}  // namespace store
+}  // namespace owlqr
+
+#endif  // OWLQR_STORE_FS_H_

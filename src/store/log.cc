@@ -1,0 +1,226 @@
+#include "store/log.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "store/format.h"
+#include "store/fs.h"
+#include "util/metrics.h"
+
+namespace owlqr {
+namespace store {
+
+namespace {
+
+// Decodes one record payload.  False on any truncation or count lie — the
+// caller treats the whole record as invalid.
+bool DecodePayload(const uint8_t* data, size_t size, LogRecord* out) {
+  ByteReader reader(data, size);
+  uint32_t n_concepts = 0;
+  uint32_t n_roles = 0;
+  if (!reader.ReadU64(&out->version) || !reader.ReadU32(&n_concepts) ||
+      !reader.ReadU32(&n_roles)) {
+    return false;
+  }
+  // Each fact costs at least one u16 length per string; refuse counts that
+  // could not possibly fit the remaining bytes before reserving anything.
+  if (static_cast<uint64_t>(n_concepts) * 4 + static_cast<uint64_t>(n_roles) * 6 >
+      reader.remaining()) {
+    return false;
+  }
+  out->batch.concepts.reserve(n_concepts);
+  for (uint32_t i = 0; i < n_concepts; ++i) {
+    NamedFactBatch::ConceptFact fact;
+    if (!reader.ReadString(&fact.concept_name) ||
+        !reader.ReadString(&fact.individual)) {
+      return false;
+    }
+    out->batch.concepts.push_back(std::move(fact));
+  }
+  out->batch.roles.reserve(n_roles);
+  for (uint32_t i = 0; i < n_roles; ++i) {
+    NamedFactBatch::RoleFact fact;
+    if (!reader.ReadString(&fact.role) || !reader.ReadString(&fact.subject) ||
+        !reader.ReadString(&fact.object)) {
+      return false;
+    }
+    out->batch.roles.push_back(std::move(fact));
+  }
+  // Trailing slack inside a record means the length prefix lied.
+  return reader.remaining() == 0;
+}
+
+}  // namespace
+
+void EncodeLogRecord(const LogRecord& record, std::string* out) {
+  std::string payload;
+  PutU64(&payload, record.version);
+  PutU32(&payload, static_cast<uint32_t>(record.batch.concepts.size()));
+  PutU32(&payload, static_cast<uint32_t>(record.batch.roles.size()));
+  for (const NamedFactBatch::ConceptFact& fact : record.batch.concepts) {
+    PutString(&payload, fact.concept_name);
+    PutString(&payload, fact.individual);
+  }
+  for (const NamedFactBatch::RoleFact& fact : record.batch.roles) {
+    PutString(&payload, fact.role);
+    PutString(&payload, fact.subject);
+    PutString(&payload, fact.object);
+  }
+  PutU32(out, static_cast<uint32_t>(payload.size()));
+  PutU32(out, Crc32(payload.data(), payload.size()));
+  out->append(payload);
+}
+
+Status ScanLog(const uint8_t* data, size_t size,
+               std::vector<LogRecord>* records, size_t* valid_end,
+               size_t* dropped_bytes) {
+  records->clear();
+  *valid_end = 0;
+  *dropped_bytes = 0;
+  Status header = CheckFileHeader(data, size, FileType::kLog, "store.log");
+  if (!header.ok()) return header;
+
+  size_t pos = kFileHeaderBytes;
+  size_t prefix_end = pos;
+  uint64_t last_version = 0;
+  while (pos + 8 <= size) {
+    ByteReader reader(data + pos, 8);
+    uint32_t payload_len = 0;
+    uint32_t crc = 0;
+    reader.ReadU32(&payload_len);
+    reader.ReadU32(&crc);
+    if (payload_len < kMinLogPayloadBytes ||
+        payload_len > kMaxLogPayloadBytes ||
+        payload_len > size - pos - 8) {
+      break;  // A lying length prefix: the torn tail starts here.
+    }
+    const uint8_t* payload = data + pos + 8;
+    if (Crc32(payload, payload_len) != crc) break;
+    LogRecord record;
+    if (!DecodePayload(payload, payload_len, &record)) break;
+    // Versions must be strictly ascending along the log; a record out of
+    // order survived its CRC but cannot be replayed soundly, so the prefix
+    // ends before it.
+    if (record.version <= last_version) break;
+    last_version = record.version;
+    records->push_back(std::move(record));
+    pos += 8 + payload_len;
+    prefix_end = pos;
+  }
+  *valid_end = prefix_end;
+  *dropped_bytes = size - prefix_end;
+  return Status::Ok();
+}
+
+Status FactLog::Open(const std::string& path, bool fsync,
+                     std::unique_ptr<FactLog>* out,
+                     std::vector<LogRecord>* recovered,
+                     uint64_t* dropped_bytes) {
+  out->reset();
+  recovered->clear();
+  *dropped_bytes = 0;
+
+  size_t valid_end = kFileHeaderBytes;
+  bool fresh = !PathExists(path);
+  if (fresh) {
+    std::string header;
+    AppendFileHeader(&header, FileType::kLog);
+    Status s = WriteFileDurable(path, header, fsync);
+    if (!s.ok()) return s;
+  } else {
+    std::string contents;
+    Status s = ReadWholeFile(path, &contents);
+    if (!s.ok()) return s;
+    size_t dropped = 0;
+    s = ScanLog(reinterpret_cast<const uint8_t*>(contents.data()),
+                contents.size(), recovered, &valid_end, &dropped);
+    if (!s.ok()) return s;
+    *dropped_bytes = dropped;
+  }
+
+  int fd = ::open(path.c_str(), O_WRONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::DataLoss("store: open " + path + ": " +
+                            std::strerror(errno));
+  }
+  // Truncate-repair: drop the torn tail now so the next append lands
+  // directly after the last valid record.
+  if (::ftruncate(fd, static_cast<off_t>(valid_end)) != 0) {
+    Status s = Status::DataLoss("store: truncate " + path + ": " +
+                                std::strerror(errno));
+    ::close(fd);
+    return s;
+  }
+  if (::lseek(fd, 0, SEEK_END) < 0) {
+    Status s = Status::DataLoss("store: seek " + path + ": " +
+                                std::strerror(errno));
+    ::close(fd);
+    return s;
+  }
+  if (*dropped_bytes > 0) {
+    OWLQR_COUNT("store/log_dropped_bytes",
+                static_cast<long>(*dropped_bytes));
+  }
+  out->reset(new FactLog(path, fd, fsync, valid_end, recovered->size()));
+  return Status::Ok();
+}
+
+FactLog::~FactLog() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status FactLog::Append(const LogRecord& record) {
+  std::string encoded;
+  EncodeLogRecord(record, &encoded);
+  size_t written = 0;
+  while (written < encoded.size()) {
+    ssize_t n =
+        ::write(fd_, encoded.data() + written, encoded.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      Status s = Status::DataLoss("store: append " + path_ + ": " +
+                                  std::strerror(errno));
+      // Roll the file back to the last durable record so a partial write
+      // cannot sit under a later successful append.
+      (void)::ftruncate(fd_, static_cast<off_t>(bytes_));
+      return s;
+    }
+    written += static_cast<size_t>(n);
+  }
+  if (fsync_ && ::fsync(fd_) != 0) {
+    Status s = Status::DataLoss("store: fsync " + path_ + ": " +
+                                std::strerror(errno));
+    (void)::ftruncate(fd_, static_cast<off_t>(bytes_));
+    return s;
+  }
+  bytes_ += encoded.size();
+  ++records_;
+  OWLQR_COUNT("store/log_appends", 1);
+  OWLQR_COUNT("store/log_appended_bytes", static_cast<long>(encoded.size()));
+  return Status::Ok();
+}
+
+Status FactLog::Reset() {
+  if (::ftruncate(fd_, static_cast<off_t>(kFileHeaderBytes)) != 0) {
+    return Status::DataLoss("store: truncate " + path_ + ": " +
+                            std::strerror(errno));
+  }
+  if (::lseek(fd_, 0, SEEK_END) < 0) {
+    return Status::DataLoss("store: seek " + path_ + ": " +
+                            std::strerror(errno));
+  }
+  if (fsync_ && ::fsync(fd_) != 0) {
+    return Status::DataLoss("store: fsync " + path_ + ": " +
+                            std::strerror(errno));
+  }
+  bytes_ = kFileHeaderBytes;
+  records_ = 0;
+  return Status::Ok();
+}
+
+}  // namespace store
+}  // namespace owlqr

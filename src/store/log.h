@@ -1,0 +1,126 @@
+#ifndef OWLQR_STORE_LOG_H_
+#define OWLQR_STORE_LOG_H_
+
+// The append-only, checksummed fact log (DESIGN.md §14.2): one record per
+// non-no-op ApplyFacts batch, written and fsynced BEFORE the new snapshot
+// version is installed, so every acknowledged version is recoverable.
+//
+// Records carry fact NAMES, not vocabulary ids: ids are assigned in intern
+// order and a restarted process may intern in a different order (a changed
+// data file, a different request interleaving), so an id-addressed log
+// would silently rebind facts.  Recovery resolves names against the live
+// vocabulary instead.
+//
+// Record layout (after the common file header):
+//
+//   u32 payload_len   u32 crc32(payload)   payload
+//
+//   payload: u64 version, u32 n_concepts, u32 n_roles,
+//            n_concepts x (str concept, str individual),
+//            n_roles    x (str role, str subject, str object)
+//   (str = u16 length + bytes)
+//
+// Recovery scans from the front and keeps the longest valid prefix: the
+// first record whose length lies past the file end, whose CRC mismatches,
+// or whose payload under-runs its declared length ends the scan, and the
+// file is truncated back to the prefix — the torn tail of a mid-append
+// crash is dropped, never re-served.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace owlqr {
+namespace store {
+
+// A FactBatch by names (see the header comment for why names).
+struct NamedFactBatch {
+  struct ConceptFact {
+    std::string concept_name;
+    std::string individual;
+  };
+  struct RoleFact {
+    std::string role;
+    std::string subject;
+    std::string object;
+  };
+  std::vector<ConceptFact> concepts;
+  std::vector<RoleFact> roles;
+};
+
+struct LogRecord {
+  uint64_t version = 0;
+  NamedFactBatch batch;
+};
+
+// A single record's payload must at least hold version + the two counts; a
+// record claiming more than kMaxLogPayloadBytes (or more than the file
+// holds) is treated as the torn tail, so a lying 4 GiB length prefix can
+// neither allocate nor scan past the mapping.
+inline constexpr size_t kMinLogPayloadBytes = 16;
+inline constexpr size_t kMaxLogPayloadBytes = 1ull << 30;
+
+// Scans a whole log-file image: validates the file header, decodes the
+// longest valid record prefix into `records`, and reports where that
+// prefix ends (`valid_end`, a byte offset; kFileHeaderBytes for an empty
+// log) plus how many trailing bytes were dropped.  Only a bad file header
+// is a non-OK status — a torn or corrupt tail is NORMAL after a crash and
+// is reported through `dropped_bytes`.
+Status ScanLog(const uint8_t* data, size_t size,
+               std::vector<LogRecord>* records, size_t* valid_end,
+               size_t* dropped_bytes);
+
+// Encodes one record (length prefix + CRC + payload) for appending.
+void EncodeLogRecord(const LogRecord& record, std::string* out);
+
+class FactLog {
+ public:
+  // Opens (creating if absent) the log at `path`.  An existing file is
+  // scanned; `recovered` receives its valid record prefix and the file is
+  // truncated back to that prefix.  `fsync` fixes the durability policy of
+  // every later Append.
+  static Status Open(const std::string& path, bool fsync,
+                     std::unique_ptr<FactLog>* out,
+                     std::vector<LogRecord>* recovered,
+                     uint64_t* dropped_bytes);
+
+  FactLog(const FactLog&) = delete;
+  FactLog& operator=(const FactLog&) = delete;
+  ~FactLog();
+
+  // Appends one record (and fsyncs, under the kAlways policy).  On any
+  // write error the log tries to truncate back to the last durable record
+  // so a later append cannot land after a torn one.
+  Status Append(const LogRecord& record);
+
+  // Truncates to an empty (header-only) log.  Compaction calls this after
+  // the new segment and CURRENT pointer are durable.
+  Status Reset();
+
+  uint64_t bytes() const { return bytes_; }
+  uint64_t records() const { return records_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  FactLog(std::string path, int fd, bool fsync, uint64_t bytes,
+          uint64_t records)
+      : path_(std::move(path)),
+        fd_(fd),
+        fsync_(fsync),
+        bytes_(bytes),
+        records_(records) {}
+
+  const std::string path_;
+  int fd_ = -1;
+  const bool fsync_;
+  uint64_t bytes_ = 0;
+  uint64_t records_ = 0;
+};
+
+}  // namespace store
+}  // namespace owlqr
+
+#endif  // OWLQR_STORE_LOG_H_

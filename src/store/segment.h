@@ -1,0 +1,128 @@
+#ifndef OWLQR_STORE_SEGMENT_H_
+#define OWLQR_STORE_SEGMENT_H_
+
+// Columnar snapshot segments (DESIGN.md §14.3): a checkpoint of one whole
+// DataSnapshot as a flat directory of mmap-able column files.
+//
+//   seg-<version>/META   name tables (stored id -> name), the TBox
+//                        fingerprint, the per-column directory with CRCs,
+//                        and its own trailing CRC
+//   seg-<version>/adom   the sorted active domain (i32 cells)
+//   seg-<version>/c<ID>  concept <stored ID>'s extension, the verbatim
+//                        Rows cells arena (i32, row-major)
+//   seg-<version>/r<ID>  role (predicate) <stored ID>'s extension, ditto
+//
+// Cells are little-endian i32 exactly as the in-memory arena lays them
+// out, so loading a column is one Rows::AdoptColumn (memcpy + presized
+// dedup build), not a row-by-row rebuild.  Cell values are STORED
+// individual ids — indexes into META's individual name table — because a
+// restarted process may intern ids differently; SegmentReader::Bind
+// re-interns every stored name against the live vocabulary and detects the
+// (overwhelmingly common) identity mapping, under which AdoptColumn adopts
+// the mmap'd cells verbatim.  A non-identity binding remaps cell-by-cell —
+// slower, still exact.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "data/snapshot.h"
+#include "ontology/vocabulary.h"
+#include "store/fs.h"
+#include "util/status.h"
+
+namespace owlqr {
+namespace store {
+
+struct ColumnInfo {
+  bool role = false;       // false = concept column, true = role column.
+  uint32_t stored_id = 0;  // Index into the matching META name table.
+  uint32_t arity = 0;
+  uint64_t num_rows = 0;
+  uint32_t crc = 0;  // CRC32 of the column file's cell payload.
+};
+
+struct SegmentMeta {
+  uint64_t snapshot_version = 0;
+  uint64_t tbox_fingerprint = 0;
+  std::vector<std::string> concept_names;     // Stored concept id -> name.
+  std::vector<std::string> predicate_names;   // Stored predicate id -> name.
+  std::vector<std::string> individual_names;  // Stored individual id -> name.
+  uint64_t num_adom = 0;
+  uint32_t adom_crc = 0;
+  std::vector<ColumnInfo> columns;
+};
+
+// Encodes / decodes the META payload (the bytes between the file header
+// and nothing — the trailing CRC is part of the encoding).  DecodeMeta is
+// total over hostile bytes.
+void EncodeMeta(const SegmentMeta& meta, std::string* out);
+Status DecodeMeta(const uint8_t* data, size_t size, SegmentMeta* out);
+
+// Writes a complete segment for `snapshot` into `dir` (created if needed):
+// every column file first, META last, each through the durable
+// tmp+fsync+rename path.  Cold columns are streamed from the snapshot's
+// ColumnSource without being published into the snapshot.  The caller owns
+// making the segment visible (the CURRENT pointer) afterwards.
+Status WriteSegment(const std::string& dir, const DataSnapshot& snapshot,
+                    const Vocabulary& vocab, uint64_t tbox_fingerprint,
+                    bool fsync);
+
+// A validated, mmap'd segment.  Open() maps and CRC-checks every file up
+// front — corruption surfaces at recovery as a field-naming Status, and a
+// later cold-column fault can no longer fail (which is what lets
+// DataSnapshot::Concept stay Status-free).  Bind() then resolves stored
+// names against the live vocabulary; after Bind the reader serves as the
+// snapshot's ColumnSource.
+class SegmentReader : public ColumnSource {
+ public:
+  static Status Open(const std::string& dir,
+                     std::shared_ptr<SegmentReader>* out);
+
+  const SegmentMeta& meta() const { return meta_; }
+
+  // Interns every stored name into `vocab` and builds the stored->live id
+  // remaps.  Must be called exactly once, before any column load.
+  Status Bind(Vocabulary* vocab);
+
+  // The active domain in live ids, sorted.
+  std::vector<int> LiveActiveDomain() const;
+
+  // One column as the recovery planner sees it, in live-id terms.
+  struct LiveColumn {
+    bool role = false;
+    int live_id = 0;
+    uint32_t arity = 0;
+    uint64_t num_rows = 0;
+    size_t bytes = 0;  // Cell payload bytes (the resident cost ballpark).
+    size_t index = 0;  // Into meta().columns.
+  };
+  const std::vector<LiveColumn>& live_columns() const { return live_; }
+
+  // ColumnSource: loads column `id` (a live id Bind advertised).  Never
+  // fails — Open validated every byte this reads.
+  std::shared_ptr<const EdbRelation> LoadColumn(bool role,
+                                                int id) const override;
+
+ private:
+  SegmentReader() = default;
+
+  std::string dir_;
+  SegmentMeta meta_;
+  MappedFile adom_map_;
+  std::vector<MappedFile> column_maps_;  // Parallel to meta_.columns.
+
+  bool bound_ = false;
+  bool identity_individuals_ = false;
+  std::vector<int> individual_live_;  // Stored individual id -> live id.
+  std::unordered_map<int, size_t> concept_by_live_;
+  std::unordered_map<int, size_t> role_by_live_;
+  std::vector<LiveColumn> live_;
+};
+
+}  // namespace store
+}  // namespace owlqr
+
+#endif  // OWLQR_STORE_SEGMENT_H_

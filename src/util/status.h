@@ -33,6 +33,9 @@ enum class StatusCode {
   // Admission control turned the request away (no free execution slot and
   // the wait queue was full, or the queue wait timed out).
   kRejected,
+  // Durable state failed an integrity or IO check (store corruption, a
+  // failed log append / segment write, an on-disk format mismatch).
+  kDataLoss,
 };
 
 const char* StatusCodeName(StatusCode code);
@@ -64,6 +67,9 @@ class Status {
   }
   static Status Rejected(std::string message) {
     return Status(StatusCode::kRejected, std::move(message));
+  }
+  static Status DataLoss(std::string message) {
+    return Status(StatusCode::kDataLoss, std::move(message));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }
@@ -99,6 +105,8 @@ inline const char* StatusCodeName(StatusCode code) {
       return "MEMORY_EXCEEDED";
     case StatusCode::kRejected:
       return "REJECTED";
+    case StatusCode::kDataLoss:
+      return "DATA_LOSS";
   }
   return "?";
 }

@@ -53,6 +53,7 @@ TEST(StatusHttpMappingTest, TableDrivenForward) {
       {StatusCode::kCancelled, 499},
       {StatusCode::kMemoryExceeded, 503},
       {StatusCode::kDeadlineExceeded, 504},
+      {StatusCode::kDataLoss, 500},
   };
   for (const auto& row : kTable) {
     EXPECT_EQ(api::HttpStatusFor(row.code), row.http)
@@ -68,7 +69,6 @@ TEST(StatusHttpMappingTest, UnknownCodesMapConservatively) {
   EXPECT_EQ(api::StatusCodeForHttp(405), StatusCode::kInvalidArgument);
   EXPECT_EQ(api::StatusCodeForHttp(431), StatusCode::kInvalidArgument);
   // Anything else: treat as retryable-with-backoff.
-  EXPECT_EQ(api::StatusCodeForHttp(500), StatusCode::kRejected);
   EXPECT_EQ(api::StatusCodeForHttp(502), StatusCode::kRejected);
 }
 

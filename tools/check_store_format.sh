@@ -1,0 +1,176 @@
+#!/bin/sh
+# Validates a real CLI run's durable store directory against the documented
+# on-disk format (DESIGN.md §14), and pins the REPL-persistence contract:
+#
+#   1. A --repl session with --store-dir applies a '+' fact and exits; the
+#      store directory it leaves behind must contain ONLY documented files
+#      (CURRENT, LOG, seg-<version>/{META,adom,c*,r*}), every one carrying
+#      the versioned 16-byte header — magic "OWQR", the right file-type
+#      tag, format version 1, zero reserved bytes.  Unversioned or unknown
+#      files fail the check: anything the recovery path would not
+#      understand must never be written.
+#   2. A SECOND repl session over the same store (and the ORIGINAL data
+#      file, which predates the '+' fact) must answer with the added
+#      individual — the fact survived the restart out of the store, not
+#      out of any input file.  This is the regression test for +fact
+#      updates being silently lost on exit.
+#   3. A store whose CURRENT is overwritten with unversioned bytes must
+#      make the CLI refuse to start (nonzero exit, no crash).
+# Usage: check_store_format.sh <path-to-example_owlqr_cli>
+# Registered as the ctest test `hygiene/store_format`.
+set -u
+
+CLI="${1:?usage: check_store_format.sh <path-to-example_owlqr_cli>}"
+
+tmp=$(mktemp -d) || exit 1
+trap 'rm -rf "$tmp"' EXIT
+
+cat > "$tmp/onto.txt" <<'EOF'
+Professor SUB EX teaches
+EX teaches- SUB Course
+lectures SUBR teaches
+EOF
+
+cat > "$tmp/data.txt" <<'EOF'
+Professor(ann).
+lectures(bob, algebra).
+EOF
+
+# ---- 1: a REPL session that applies a fact and exits --------------------
+cat > "$tmp/repl1.txt" <<'EOF'
+q(x) :- teaches(x, y), Course(y)
++ lectures(carol, logic).
+q(x) :- teaches(x, y), Course(y)
+EOF
+
+"$CLI" "$tmp/onto.txt" --repl "$tmp/data.txt" --rewriter=tw \
+    "--store-dir=$tmp/store" < "$tmp/repl1.txt" \
+    > "$tmp/answers1.txt" 2> "$tmp/stderr1.txt"
+status=$?
+if [ "$status" -ne 0 ]; then
+  echo "FAIL: first REPL run exited with $status"
+  cat "$tmp/stderr1.txt"
+  exit 1
+fi
+if ! grep -q "carol" "$tmp/answers1.txt"; then
+  echo "FAIL: first run never answered with the added individual"
+  cat "$tmp/answers1.txt"
+  exit 1
+fi
+
+python3 - "$tmp/store" <<'EOF'
+import os
+import re
+import struct
+import sys
+
+root = sys.argv[1]
+MAGIC = b"OWQR"
+FORMAT_VERSION = 1
+TYPE_LOG, TYPE_META, TYPE_COLUMN, TYPE_CURRENT = 1, 2, 3, 4
+
+def header(path):
+    with open(path, "rb") as f:
+        raw = f.read(16)
+    assert len(raw) == 16, f"{path}: shorter than the 16-byte file header"
+    magic, ftype, version, reserved = struct.unpack("<4sIII", raw)
+    assert magic == MAGIC, f"{path}: bad magic {magic!r} (unversioned file?)"
+    assert version == FORMAT_VERSION, \
+        f"{path}: format version {version}, want {FORMAT_VERSION}"
+    assert reserved == 0, f"{path}: reserved bytes nonzero ({reserved:#x})"
+    return ftype
+
+entries = sorted(os.listdir(root))
+assert "CURRENT" in entries, f"{root}: no CURRENT segment pointer"
+seg_dirs = [e for e in entries if re.fullmatch(r"seg-\d+", e)]
+assert seg_dirs, f"{root}: no segment directory"
+for e in entries:
+    path = os.path.join(root, e)
+    if e == "CURRENT":
+        assert header(path) == TYPE_CURRENT, f"{path}: wrong file-type tag"
+    elif e == "LOG":
+        assert header(path) == TYPE_LOG, f"{path}: wrong file-type tag"
+    elif e in seg_dirs:
+        assert os.path.isdir(path), f"{path}: seg-* must be a directory"
+    else:
+        raise AssertionError(f"{root}: undocumented entry {e!r}")
+
+for seg in seg_dirs:
+    seg_path = os.path.join(root, seg)
+    files = sorted(os.listdir(seg_path))
+    assert "META" in files, f"{seg_path}: no META"
+    assert "adom" in files, f"{seg_path}: no adom"
+    for e in files:
+        path = os.path.join(seg_path, e)
+        assert os.path.isfile(path), f"{path}: unexpected subdirectory"
+        if e == "META":
+            assert header(path) == TYPE_META, f"{path}: wrong file-type tag"
+        elif e == "adom" or re.fullmatch(r"[cr]\d+", e):
+            assert header(path) == TYPE_COLUMN, \
+                f"{path}: wrong file-type tag"
+        else:
+            raise AssertionError(f"{seg_path}: undocumented entry {e!r}")
+
+# CURRENT must point at one of the segment directories actually present.
+with open(os.path.join(root, "CURRENT"), "rb") as f:
+    raw = f.read()
+(name_len,) = struct.unpack_from("<H", raw, 16)
+name = raw[18:18 + name_len].decode()
+assert name in seg_dirs, \
+    f"CURRENT points at {name!r}, which is not on disk ({seg_dirs})"
+print(f"OK: store layout valid — {len(seg_dirs)} segment(s), "
+      f"CURRENT -> {name}")
+EOF
+status=$?
+if [ "$status" -ne 0 ]; then
+  echo "FAIL: store directory format validation failed"
+  ls -laR "$tmp/store"
+  exit 1
+fi
+
+# ---- 2: restart — the '+' fact must come back out of the store ----------
+cat > "$tmp/repl2.txt" <<'EOF'
+q(x) :- teaches(x, y), Course(y)
+EOF
+
+"$CLI" "$tmp/onto.txt" --repl "$tmp/data.txt" --rewriter=tw \
+    "--store-dir=$tmp/store" < "$tmp/repl2.txt" \
+    > "$tmp/answers2.txt" 2> "$tmp/stderr2.txt"
+status=$?
+if [ "$status" -ne 0 ]; then
+  echo "FAIL: restarted REPL run exited with $status"
+  cat "$tmp/stderr2.txt"
+  exit 1
+fi
+if ! grep -q "carol" "$tmp/answers2.txt"; then
+  echo "FAIL: '+ lectures(carol, logic).' was lost across the restart"
+  cat "$tmp/answers2.txt"
+  cat "$tmp/stderr2.txt"
+  exit 1
+fi
+if ! grep -q "ann" "$tmp/answers2.txt"; then
+  echo "FAIL: restarted store lost the seed data"
+  cat "$tmp/answers2.txt"
+  exit 1
+fi
+
+# ---- 3: an unversioned CURRENT must be refused, not served --------------
+printf 'this is not a store file' > "$tmp/store/CURRENT"
+"$CLI" "$tmp/onto.txt" --repl "$tmp/data.txt" --rewriter=tw \
+    "--store-dir=$tmp/store" < "$tmp/repl2.txt" \
+    > "$tmp/answers3.txt" 2> "$tmp/stderr3.txt"
+status=$?
+if [ "$status" -eq 0 ]; then
+  echo "FAIL: CLI served from a store with an unversioned CURRENT"
+  cat "$tmp/answers3.txt"
+  exit 1
+fi
+if ! grep -qi "current" "$tmp/stderr3.txt"; then
+  echo "FAIL: refusal did not name the corrupt file"
+  cat "$tmp/stderr3.txt"
+  exit 1
+fi
+
+echo "OK: store format versioned throughout; +facts survive restart;"
+echo "    corruption refused with a named error"
+exit 0
