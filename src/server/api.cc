@@ -182,8 +182,10 @@ StatusCode StatusCodeForHttp(int http_status) {
       return StatusCode::kRejected;
     case 499:
       return StatusCode::kCancelled;
-    case 500:
-      return StatusCode::kDataLoss;
+    // 500 deliberately has no case: kDataLoss encodes to 500 but a bare 500
+    // is any internal error, so it falls to the generic 5xx bucket below.
+    // A real durable-state failure still decodes as kDataLoss through the
+    // error envelope's status-code name (ParseErrorBody).
     case 503:
       return StatusCode::kMemoryExceeded;
     case 504:

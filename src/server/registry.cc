@@ -20,20 +20,35 @@ std::string FingerprintHex(uint64_t fingerprint) {
   return buf;
 }
 
-// Tenant names become store directory names; anything outside the portable
-// filename alphabet is replaced so a hostile alias can't traverse paths.
-std::string SanitizeStoreDirName(const std::string& name) {
-  std::string out = name;
-  for (char& c : out) {
+}  // namespace
+
+// Tenant names become store directory names.  Percent-encoding (instead of
+// replacing non-portable bytes with a fixed character) keeps the map
+// injective: 'a/b', 'a:b' and 'a_b' each get their own directory, so two
+// tenants can never open the same LOG/CURRENT with independent fds and
+// interleave appends into each other's durable state.  '%' itself is
+// always encoded, which is what makes decoding unambiguous.
+std::string StoreDirNameForTenant(const std::string& name) {
+  static const char kHex[] = "0123456789ABCDEF";
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
     const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
                     (c >= '0' && c <= '9') || c == '_' || c == '.' || c == '-';
-    if (!ok) c = '_';
+    if (ok) {
+      out.push_back(c);
+    } else {
+      const unsigned char b = static_cast<unsigned char>(c);
+      out.push_back('%');
+      out.push_back(kHex[b >> 4]);
+      out.push_back(kHex[b & 0xF]);
+    }
   }
-  if (out == "." || out == "..") out = "_";
+  // "." and ".." are portable-alphabet but mean the root / its parent.
+  if (out == ".") out = "%2E";
+  if (out == "..") out = "%2E%2E";
   return out;
 }
-
-}  // namespace
 
 Tenant::Tenant(std::string name, std::unique_ptr<Vocabulary> vocab,
                const TBox& tbox, const DataInstance& data,
@@ -122,7 +137,7 @@ Status EngineRegistry::Register(const std::string& name,
     if (!status.ok()) return status;
     store::StoreOptions store_options = options_.store;
     store_options.dir =
-        options_.store.dir + "/" + SanitizeStoreDirName(name);
+        options_.store.dir + "/" + StoreDirNameForTenant(name);
     std::shared_ptr<store::DurableStore> tenant_store;
     status = store::DurableStore::Open(store_options, &tenant_store);
     if (!status.ok()) return status;

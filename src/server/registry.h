@@ -51,13 +51,22 @@ struct RegistryOptions {
   // max_concurrent are overwritten by the carve described above.
   EngineOptions engine;
   // Durability template.  store.dir names the ROOT directory; each tenant
-  // gets its own DurableStore under <root>/<sanitized tenant name>, opened
+  // gets its own DurableStore under <root>/StoreDirNameForTenant(name),
+  // opened
   // through Engine::Open (so registering a tenant whose store already holds
   // state recovers it and ignores the registration's data text).  An empty
   // dir (the default) keeps every tenant in-memory.  engine.store must stay
   // null — the registry builds the per-tenant store itself.
   store::StoreOptions store;
 };
+
+// The directory name a tenant's DurableStore lives under (relative to the
+// registry's store root).  Injective: bytes outside the portable filename
+// alphabet — and '%' itself — are percent-encoded as %XX, so distinct
+// tenant names ('a/b', 'a:b', 'a_b') can never collide onto one directory
+// and silently share (or corrupt) each other's durable state.  "." and ".."
+// are fully encoded so an alias can't escape the root.
+std::string StoreDirNameForTenant(const std::string& name);
 
 // One served ontology: vocabulary + engine + the vocabulary lock.
 class Tenant {

@@ -129,7 +129,10 @@ Status FactLog::Open(const std::string& path, bool fsync,
   if (fresh) {
     std::string header;
     AppendFileHeader(&header, FileType::kLog);
-    Status s = WriteFileDurable(path, header, fsync);
+    // The header is synced even under fsync=never: a torn header makes the
+    // whole log unreadable forever, which is worse than the lost-suffix
+    // contract the flag buys.  One-time cost per store.
+    Status s = WriteFileDurable(path, header, /*fsync=*/true);
     if (!s.ok()) return s;
   } else {
     std::string contents;
@@ -142,7 +145,11 @@ Status FactLog::Open(const std::string& path, bool fsync,
     *dropped_bytes = dropped;
   }
 
-  int fd = ::open(path.c_str(), O_WRONLY | O_CLOEXEC);
+  // O_APPEND: every write lands at the kernel's idea of EOF, so a rollback
+  // ftruncate after a failed append can never leave the next record past a
+  // zero-filled hole (the scan would stop at the hole and silently lose
+  // every acknowledged record after it).
+  int fd = ::open(path.c_str(), O_WRONLY | O_APPEND | O_CLOEXEC);
   if (fd < 0) {
     return Status::DataLoss("store: open " + path + ": " +
                             std::strerror(errno));
@@ -185,8 +192,10 @@ Status FactLog::Append(const LogRecord& record) {
       Status s = Status::DataLoss("store: append " + path_ + ": " +
                                   std::strerror(errno));
       // Roll the file back to the last durable record so a partial write
-      // cannot sit under a later successful append.
+      // cannot sit under a later successful append, and reposition the fd
+      // (ftruncate does not move the offset; O_APPEND also covers this).
       (void)::ftruncate(fd_, static_cast<off_t>(bytes_));
+      (void)::lseek(fd_, static_cast<off_t>(bytes_), SEEK_SET);
       return s;
     }
     written += static_cast<size_t>(n);
@@ -195,6 +204,7 @@ Status FactLog::Append(const LogRecord& record) {
     Status s = Status::DataLoss("store: fsync " + path_ + ": " +
                                 std::strerror(errno));
     (void)::ftruncate(fd_, static_cast<off_t>(bytes_));
+    (void)::lseek(fd_, static_cast<off_t>(bytes_), SEEK_SET);
     return s;
   }
   bytes_ += encoded.size();

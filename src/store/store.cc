@@ -218,8 +218,13 @@ Status DurableStore::Checkpoint(const DataSnapshot& snapshot,
     Status status = RemoveDirRecursive(dir);
     if (!status.ok()) return fail(std::move(status));
   }
+  // Segment files are synced even under fsync=never: CURRENT is always
+  // durable, so a crash must not leave it pointing at a segment whose data
+  // never reached disk — recovery would fail with DataLoss on every open,
+  // which is strictly worse than the flag's lost-log-suffix contract.
+  // Checkpoints are rare, so the cost is bounded.
   Status status = WriteSegment(dir, snapshot, vocab, tbox_fingerprint_,
-                               options_.fsync);
+                               /*fsync=*/true);
   if (!status.ok()) return fail(std::move(status));
   status = WriteCurrent(name);
   if (!status.ok()) return fail(std::move(status));

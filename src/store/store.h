@@ -44,9 +44,11 @@ namespace store {
 struct StoreOptions {
   // Root directory for this engine's durable state.
   std::string dir;
-  // fsync the log on every append (and segment files at checkpoint).  Off
-  // trades crash durability for throughput — recovery still never serves a
-  // torn record, it just may lose the unsynced suffix.
+  // fsync the log on every append.  Off trades crash durability for
+  // throughput — recovery still never serves a torn record, it just may
+  // lose the unsynced log suffix.  Checkpoint files (segment columns, META,
+  // CURRENT) and the log header are always synced regardless: losing them
+  // would make the store permanently unopenable, not merely stale.
   bool fsync = true;
   // Checkpoint once the log holds this many bytes (0 = never by size;
   // explicit Engine::Checkpoint still works).

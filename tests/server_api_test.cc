@@ -3,11 +3,14 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdlib>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "server/registry.h"
+#include "store/fs.h"
 #include "util/json.h"
 #include "util/status.h"
 
@@ -53,7 +56,6 @@ TEST(StatusHttpMappingTest, TableDrivenForward) {
       {StatusCode::kCancelled, 499},
       {StatusCode::kMemoryExceeded, 503},
       {StatusCode::kDeadlineExceeded, 504},
-      {StatusCode::kDataLoss, 500},
   };
   for (const auto& row : kTable) {
     EXPECT_EQ(api::HttpStatusFor(row.code), row.http)
@@ -62,6 +64,18 @@ TEST(StatusHttpMappingTest, TableDrivenForward) {
     EXPECT_EQ(api::StatusCodeForHttp(row.http), row.code) << row.http;
     EXPECT_STRNE(api::HttpReasonPhrase(row.http), "") << row.http;
   }
+  // kDataLoss encodes to 500, but the inverse is deliberately NOT exact: a
+  // bare 500 is any internal server error, and decoding it as durable-state
+  // data loss would mislead callers that branch on the code.  A real
+  // kDataLoss still round-trips through the error envelope's code name.
+  EXPECT_EQ(api::HttpStatusFor(StatusCode::kDataLoss), 500);
+  EXPECT_STRNE(api::HttpReasonPhrase(500), "");
+  EXPECT_EQ(api::StatusCodeForHttp(500), StatusCode::kRejected);
+  JsonValue body = MustParse(api::ErrorBody(Status::DataLoss("log torn")));
+  Status parsed;
+  ASSERT_TRUE(api::ParseErrorBody(body, &parsed));
+  EXPECT_EQ(parsed.code(), StatusCode::kDataLoss);
+  EXPECT_EQ(body.Find("error")->Find("http")->AsLong(), 500);
 }
 
 TEST(StatusHttpMappingTest, UnknownCodesMapConservatively) {
@@ -416,6 +430,51 @@ TEST(RegistryTest, CarveSplitsTheProcessBudget) {
   ASSERT_TRUE(registry.RegisterParsed("b", "A SUB B", "").ok());
   EXPECT_EQ(registry.RegisterParsed("c", "C SUB D", "").code(),
             StatusCode::kRejected);
+}
+
+TEST(RegistryTest, StoreDirNamesAreInjectiveAndPathSafe) {
+  // Names that used to collapse onto one '_'-mangled directory — colliding
+  // store dirs mean two tenants interleaving appends into one LOG.
+  const std::vector<std::string> names = {
+      "a/b",  "a:b",  "a_b",  "a%2Fb", "a%b",  "a.b", "a-b",
+      "a b",  "a..b", ".",    "..",    "%2E",  "a",   "A",
+  };
+  std::set<std::string> dirs;
+  for (const std::string& name : names) {
+    const std::string dir = server::StoreDirNameForTenant(name);
+    EXPECT_TRUE(dirs.insert(dir).second)
+        << "'" << name << "' collides onto '" << dir << "'";
+    // No path separators or relative components may survive encoding.
+    EXPECT_EQ(dir.find('/'), std::string::npos) << dir;
+    EXPECT_NE(dir, ".");
+    EXPECT_NE(dir, "..");
+  }
+  // Portable names pass through unchanged (existing store dirs stay valid).
+  EXPECT_EQ(server::StoreDirNameForTenant("default"), "default");
+  EXPECT_EQ(server::StoreDirNameForTenant("Tenant-1.prod"), "Tenant-1.prod");
+}
+
+TEST(RegistryTest, HostileTenantNamesGetDistinctStoreDirs) {
+  std::string templ = ::testing::TempDir() + "registry_store.XXXXXX";
+  std::vector<char> buf(templ.begin(), templ.end());
+  buf.push_back('\0');
+  ASSERT_NE(mkdtemp(buf.data()), nullptr);
+  const std::string root(buf.data());
+
+  server::RegistryOptions options;
+  options.store.dir = root;
+  server::EngineRegistry registry(options);
+  // Distinct TBoxes (the fingerprint check would otherwise reject the
+  // second), names that the old '_'-mangling collapsed together.
+  ASSERT_TRUE(registry.RegisterParsed("a/b", kOntology, kData).ok());
+  ASSERT_TRUE(registry.RegisterParsed("a_b", "X SUB Y", "").ok());
+  EXPECT_TRUE(store::PathExists(root + "/a%2Fb/CURRENT"));
+  EXPECT_TRUE(store::PathExists(root + "/a_b/CURRENT"));
+  for (const char* tenant : {"a%2Fb", "a_b"}) {
+    store::RemoveDirRecursive(root + "/" + tenant + "/seg-1");
+    store::RemoveDirRecursive(root + "/" + tenant);
+  }
+  store::RemoveDirRecursive(root);
 }
 
 }  // namespace

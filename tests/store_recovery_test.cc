@@ -326,6 +326,55 @@ TEST(StoreRecoveryTest, LogBitFlipsTruncateToLastIntactRecord) {
   }
 }
 
+// Regression: FactLog::Append rolled a failed append back with ftruncate
+// but never repositioned the (non-O_APPEND) fd, so the next successful
+// append wrote past a zero-filled hole — acknowledged and fsynced, yet
+// unrecoverable because the scan stops at the hole.  The log is now opened
+// O_APPEND; this test reproduces the mechanism by shrinking the file out
+// from under the open fd (exactly what the rollback ftruncate does) and
+// asserts the next append lands at the real EOF, not at the stale offset.
+TEST(StoreRecoveryTest, AppendAfterRollbackTruncationLeavesNoHole) {
+  const std::string dir = MakeTempDir("store_log_hole");
+  const std::string path = dir + "/LOG";
+  std::unique_ptr<store::FactLog> log;
+  std::vector<store::LogRecord> recovered;
+  uint64_t dropped = 0;
+  ASSERT_TRUE(
+      store::FactLog::Open(path, /*fsync=*/false, &log, &recovered, &dropped)
+          .ok());
+
+  store::LogRecord r1;
+  r1.version = 1;
+  r1.batch.concepts.push_back({"A", "a1"});
+  ASSERT_TRUE(log->Append(r1).ok());
+  // The error-path rollback: the file shrinks back to the header while the
+  // fd's offset (under the old bug) still sits past the end of r1.
+  ASSERT_EQ(::truncate(path.c_str(),
+                       static_cast<off_t>(store::kFileHeaderBytes)),
+            0);
+  store::LogRecord r2;
+  r2.version = 2;
+  r2.batch.concepts.push_back({"A", "a2"});
+  ASSERT_TRUE(log->Append(r2).ok());
+  log.reset();
+
+  const std::string bytes = ReadBytes(path);
+  std::vector<store::LogRecord> records;
+  size_t valid_end = 0;
+  size_t drop = 0;
+  ASSERT_TRUE(store::ScanLog(reinterpret_cast<const uint8_t*>(bytes.data()),
+                             bytes.size(), &records, &valid_end, &drop)
+                  .ok());
+  // r2 must be fully recoverable: no hole, no dropped tail.
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].version, 2u);
+  ASSERT_EQ(records[0].batch.concepts.size(), 1u);
+  EXPECT_EQ(records[0].batch.concepts[0].individual, "a2");
+  EXPECT_EQ(valid_end, bytes.size());
+  EXPECT_EQ(drop, 0u);
+  store::RemoveDirRecursive(dir);
+}
+
 TEST(StoreRecoveryTest, SegmentAndCurrentBitFlipsAreAlwaysRefused) {
   const std::string dir = MakeTempDir("store_segflip");
   BuildStore(dir, 1);
